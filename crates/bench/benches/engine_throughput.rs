@@ -1,0 +1,106 @@
+//! Criterion benches: raw simulation-engine throughput (rounds executed
+//! per second) for both communication models, across network sizes and
+//! failure probabilities.
+//!
+//! These are substrate benches — they calibrate how large the E1–E10
+//! experiment sweeps can afford to be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
+use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
+use randcast_graph::{generators, NodeId};
+
+/// Flooding automaton (the engine stress case: every informed node sends
+/// every round).
+struct Flood {
+    informed: bool,
+}
+
+impl MpNode for Flood {
+    type Msg = bool;
+    fn send(&mut self, _round: usize) -> Outgoing<bool> {
+        if self.informed {
+            Outgoing::Broadcast(true)
+        } else {
+            Outgoing::Silent
+        }
+    }
+    fn recv(&mut self, _round: usize, _from: NodeId, _msg: bool) {
+        self.informed = true;
+    }
+}
+
+/// Round-robin radio beacon.
+struct Beacon {
+    me: usize,
+}
+
+impl RadioNode for Beacon {
+    type Msg = u8;
+    fn act(&mut self, round: usize) -> RadioAction<u8> {
+        if round % 16 == self.me % 16 {
+            RadioAction::Transmit(1)
+        } else {
+            RadioAction::Listen
+        }
+    }
+    fn recv(&mut self, _round: usize, _heard: Option<u8>) {}
+}
+
+fn bench_mp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp_rounds");
+    for side in [8usize, 16, 32] {
+        let g = generators::grid(side, side);
+        let rounds = 64usize;
+        group.throughput(Throughput::Elements((rounds * g.node_count()) as u64));
+        for p in [0.0, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid{side}x{side}"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut net = MpNetwork::new(&g, FaultConfig::omission(p), 7, |v| Flood {
+                            informed: v.index() == 0,
+                        });
+                        net.run(rounds);
+                        net.stats().deliveries
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_radio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radio_rounds");
+    for side in [8usize, 16, 32] {
+        let g = generators::grid(side, side);
+        let rounds = 64usize;
+        group.throughput(Throughput::Elements((rounds * g.node_count()) as u64));
+        for p in [0.0, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid{side}x{side}"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut net = RadioNetwork::new(&g, FaultConfig::omission(p), 7, |v| {
+                            Beacon { me: v.index() }
+                        });
+                        net.run(rounds);
+                        net.stats().receptions
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mp, bench_radio
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Extension — the randomized Decay baseline (paper reference \[7\])
+//! against the deterministic Theorem 3.4 expansion, under omission
+//! faults.
+//!
+//! Decay needs no precomputed schedule but pays `Θ(log n)` per layer and
+//! only tolerates omission faults; the expansion needs a fault-free
+//! schedule but handles malicious faults too. The table shows rounds and
+//! success side by side.
+
+use randcast_bench::{banner, effort, standard_suite};
+use randcast_core::decay::{run_decay, DecayConfig};
+use randcast_core::experiment::run_success_trials;
+use randcast_core::radio_robust::ExpandedPlan;
+use randcast_core::radio_sched::greedy_schedule;
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::radio::SilentRadioAdversary;
+use randcast_graph::traversal;
+use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_prob, Table};
+
+fn main() {
+    let e = effort();
+    banner(
+        "Extension (ref. [7])",
+        "Randomized Decay vs deterministic Omission-Radio expansion, omission p = 0.4.",
+    );
+    let p = 0.4;
+    let mut table = Table::new(["graph", "n", "algorithm", "rounds", "success"]);
+    for (name, g) in standard_suite() {
+        let n = g.node_count();
+        let source = g.node(0);
+        let d = traversal::radius_from(&g, source);
+
+        let mut cfg = DecayConfig::classical(n, d);
+        cfg.epochs *= 2; // compensate omission faults at p = 0.4
+        let est = run_success_trials(e.trials, SeedSequence::new(120), |seed| {
+            run_decay(&g, source, cfg, FaultConfig::omission(p), seed).complete()
+        });
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            "decay (randomized)".into(),
+            cfg.total_rounds().to_string(),
+            fmt_prob(est.rate()),
+        ]);
+
+        let base = greedy_schedule(&g, source);
+        let plan = ExpandedPlan::omission(&g, source, &base, p);
+        let est = run_success_trials(e.trials, SeedSequence::new(121), |seed| {
+            plan.run(
+                &g,
+                FaultConfig::omission(p),
+                SilentRadioAdversary,
+                seed,
+                true,
+            )
+            .all_correct(true)
+        });
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            "omission-radio (deterministic)".into(),
+            plan.total_rounds().to_string(),
+            fmt_prob(est.rate()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: both reach high success; decay wins on shallow dense graphs (no\n\
+         schedule needed), the expansion wins where greedy schedules are short —\n\
+         and only the expansion generalizes to malicious faults (E10)."
+    );
+}

@@ -1,0 +1,50 @@
+//! E4 — §2.2.2 remark: under *limited* malicious failures (no speaking
+//! out of turn), the even/odd "hello" timing protocol broadcasts a bit
+//! over a single link for **any** `p < 1`, with error `e^{−Θ(m)}`.
+//!
+//! Sweeps `p` and the window size `m`; reports the measured success rate
+//! per bit value and the analytic error bound for bit 0 (bit 1 is
+//! decoded correctly deterministically).
+
+use randcast_bench::{banner, effort};
+use randcast_core::datalink::{hello_error_bound, run_hello};
+use randcast_core::experiment::run_success_trials;
+use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_prob, Table};
+
+fn main() {
+    let e = effort();
+    banner(
+        "E4 (§2.2.2)",
+        "Even/odd datalink protocol: limited malicious, any p < 1; error e^{-Θ(m)}.",
+    );
+    let mut table = Table::new([
+        "p",
+        "m",
+        "success(bit=1)",
+        "success(bit=0)",
+        "analytic err(bit=0)",
+    ]);
+    for p in [0.3, 0.5, 0.7, 0.9] {
+        for m in [5usize, 20, 80, 320] {
+            let ones = run_success_trials(e.trials, SeedSequence::new(50), |seed| {
+                run_hello(m, p, true, seed)
+            });
+            let zeros = run_success_trials(e.trials, SeedSequence::new(51), |seed| {
+                run_hello(m, p, false, seed)
+            });
+            table.row([
+                format!("{p}"),
+                m.to_string(),
+                fmt_prob(ones.rate()),
+                fmt_prob(zeros.rate()),
+                format!("{:.3e}", hello_error_bound(m, p)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: bit 1 always correct; bit 0 error tracks the analytic bound and\n\
+         decays exponentially in m at every p < 1 — no threshold, unlike Theorem 2.3."
+    );
+}

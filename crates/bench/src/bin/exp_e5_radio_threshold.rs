@@ -1,0 +1,145 @@
+//! E5 — Theorem 2.4: malicious radio broadcast is feasible iff
+//! `p < p*(Δ)`, the fixed point of `p = (1 − p)^{Δ+1}`.
+//!
+//! Two directions:
+//!
+//! * **Feasibility** (`p < p*`): `Simple-Malicious` with the prescribed
+//!   phase length passes the almost-safety bar on stars, against the
+//!   lie-or-jam adversary.
+//! * **Infeasibility** (`p ≥ p*`): on the paper's star (source = leaf,
+//!   receiver = center), the lie-or-jam adversary makes clean lies
+//!   arrive at rate `p` and clean truths at rate `q = (1 − p)^{Δ+1}`;
+//!   at and beyond the threshold, majority decoding degrades to a coin
+//!   flip or worse, and no horizon helps.
+
+use randcast_bench::{banner, effort};
+use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
+use randcast_core::feasibility::{radio_clean_reception_prob, radio_threshold};
+use randcast_core::simple::SimplePlan;
+use randcast_engine::adversary::LieOrJamAdversary;
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
+use randcast_graph::generators;
+use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_prob, Table};
+
+/// The Theorem 2.4 star experiment: leaf `1` repeats the source bit every
+/// round; everyone else listens; the center (node 0) majority-decodes.
+struct StarNode {
+    is_speaker: bool,
+    ones: usize,
+    total: usize,
+}
+
+impl RadioNode for StarNode {
+    type Msg = bool;
+    fn act(&mut self, _round: usize) -> RadioAction<bool> {
+        if self.is_speaker {
+            RadioAction::Transmit(true)
+        } else {
+            RadioAction::Listen
+        }
+    }
+    fn recv(&mut self, _round: usize, heard: Option<bool>) {
+        if let Some(b) = heard {
+            self.total += 1;
+            self.ones += usize::from(b);
+        }
+    }
+}
+
+/// One trial: does the center's majority equal the source bit (`true`)?
+fn center_decodes(delta: usize, p: f64, rounds: usize, seed: u64) -> bool {
+    let g = generators::star(delta);
+    let mut net = RadioNetwork::with_adversary(
+        &g,
+        FaultConfig::malicious(p),
+        LieOrJamAdversary::new(true),
+        seed,
+        |v| StarNode {
+            is_speaker: v.index() == 1,
+            ones: 0,
+            total: 0,
+        },
+    );
+    net.run(rounds);
+    let c = net.node(g.node(0));
+    2 * c.ones > c.total
+}
+
+fn main() {
+    let e = effort();
+    banner(
+        "E5 (Theorem 2.4)",
+        "Radio malicious threshold p*(Δ): p = (1-p)^(Δ+1).",
+    );
+
+    println!("threshold table:");
+    let mut t = Table::new(["Δ", "p*(Δ)", "q(p*) = (1-p*)^(Δ+1)"]);
+    for delta in [1usize, 2, 4, 8, 16, 32] {
+        let p = radio_threshold(delta);
+        t.row([
+            delta.to_string(),
+            format!("{p:.6}"),
+            format!("{:.6}", radio_clean_reception_prob(p, delta)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("star K_{{1,Δ}}, source = leaf, receiver = center, lie-or-jam adversary:");
+    let mut t = Table::new(["Δ", "p/p*", "p", "rounds", "center success"]);
+    for delta in [2usize, 4, 8] {
+        let p_star = radio_threshold(delta);
+        for factor in [0.5, 0.8, 1.0, 1.2, 1.5] {
+            let p = (p_star * factor).min(0.95);
+            for rounds in [201usize, 2001] {
+                let est = run_success_trials(e.trials, SeedSequence::new(60), |seed| {
+                    center_decodes(delta, p, rounds, seed)
+                });
+                t.row([
+                    delta.to_string(),
+                    format!("{factor:.1}"),
+                    format!("{p:.4}"),
+                    rounds.to_string(),
+                    fmt_prob(est.rate()),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+
+    println!("feasible side, full broadcast: Simple-Malicious on stars, p = 0.5·p*(Δ):");
+    let mut t = Table::new(["Δ", "n", "p", "m", "success", "target", "verdict"]);
+    let bit = true;
+    for delta in [2usize, 4, 8] {
+        let g = generators::star(delta);
+        let n = g.node_count();
+        let p = radio_threshold(delta) * 0.5;
+        let plan = SimplePlan::malicious_radio(&g, g.node(0), p);
+        let est = run_success_trials(e.trials, SeedSequence::new(61), |seed| {
+            plan.run_radio(
+                &g,
+                FaultConfig::malicious(p),
+                LieOrJamAdversary::new(bit),
+                seed,
+                bit,
+            )
+            .all_correct(bit)
+        });
+        let row = AlmostSafeRow::judge(est, n);
+        t.row([
+            delta.to_string(),
+            n.to_string(),
+            format!("{p:.4}"),
+            plan.phase_len().to_string(),
+            fmt_prob(est.rate()),
+            fmt_prob(row.target()),
+            row.label(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected: center success > 1/2 for p < p*, ≈ or < 1/2 at p ≥ p* (more rounds\n\
+         do not help past the threshold); the feasible-side rows pass almost-safety."
+    );
+}

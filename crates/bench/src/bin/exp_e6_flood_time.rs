@@ -1,0 +1,86 @@
+//! E6 — Theorem 3.1: with node-omission failures, message-passing
+//! broadcast completes in `Θ(D + log n)` rounds (BFS-tree flooding), and
+//! this is optimal.
+//!
+//! Measures the empirical completion round of `Flood-Omission` across
+//! growing paths (maximal `D`) and grids, checks the `D/(1−p) + O(log n)`
+//! shape, and contrasts the naive `Simple-Omission` time `n·m` — the
+//! `Θ(D + log n)` vs `Θ(n log n)` separation.
+
+use randcast_bench::{banner, effort};
+use randcast_core::flood::{FloodPlan, FloodVariant};
+use randcast_core::simple::SimplePlan;
+use randcast_engine::fault::FaultConfig;
+use randcast_graph::{generators, traversal, Graph};
+use randcast_stats::estimate::Running;
+use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_f2, Table};
+
+fn measure(g: &Graph, p: f64, trials: usize, horizon: usize) -> (Running, usize) {
+    let plan = FloodPlan::with_horizon(g, g.node(0), horizon, FloodVariant::Tree);
+    let seeds = SeedSequence::new(70);
+    let mut acc = Running::new();
+    let mut incomplete = 0usize;
+    for i in 0..trials {
+        let out = plan.run(g, FaultConfig::omission(p), seeds.nth_seed(i as u64));
+        match out.completion_round() {
+            Some(r) => acc.push(r as f64),
+            None => incomplete += 1,
+        }
+    }
+    (acc, incomplete)
+}
+
+fn main() {
+    let e = effort();
+    banner(
+        "E6 (Theorem 3.1)",
+        "Flood-Omission completes in Θ(D + log n); naive Simple-Omission needs n·m.",
+    );
+    let p = 0.4;
+    let mut table = Table::new([
+        "graph",
+        "n",
+        "D",
+        "mean T",
+        "max T",
+        "D/(1-p)",
+        "(T-D/(1-p))/ln n",
+        "naive n·m",
+    ]);
+    let mut graphs: Vec<(String, Graph)> = Vec::new();
+    for len in [16usize, 32, 64, 128, 256] {
+        graphs.push((format!("path-{len}"), generators::path(len)));
+    }
+    for side in [6usize, 12, 18] {
+        graphs.push((format!("grid-{side}x{side}"), generators::grid(side, side)));
+    }
+    graphs.push(("tree-2-8".into(), generators::balanced_tree(2, 8)));
+
+    for (name, g) in &graphs {
+        let n = g.node_count();
+        let d = traversal::radius_from(g, g.node(0));
+        let generous = FloodPlan::new(g, g.node(0), p).horizon() * 2;
+        let (acc, incomplete) = measure(g, p, e.trials, generous);
+        assert_eq!(incomplete, 0, "{name}: generous horizon must complete");
+        let base = d as f64 / (1.0 - p);
+        let naive = SimplePlan::omission_with_p(g, g.node(0), p).total_rounds();
+        table.row([
+            name.clone(),
+            n.to_string(),
+            d.to_string(),
+            fmt_f2(acc.mean()),
+            fmt_f2(acc.max()),
+            fmt_f2(base),
+            fmt_f2((acc.mean() - base) / (n as f64).ln()),
+            naive.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: mean T tracks D/(1-p) plus a term bounded by a constant multiple of\n\
+         ln n (the residual column stays small and roughly flat), while the naive\n\
+         algorithm's n·m column explodes — the Θ(D + log n) vs Θ(n log n) separation.\n\
+         Lower bounds: T ≥ D always; T ≥ Ω(log n) since the source must win ~log n coins."
+    );
+}

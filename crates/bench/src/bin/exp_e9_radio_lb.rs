@@ -1,0 +1,94 @@
+//! E9 — Theorem 3.3 (Lemma 3.4): on `G(m)`, almost-safe radio broadcast
+//! needs `Ω(log n · log log n / log log log n)` rounds — in particular,
+//! `O(opt + log n)` is impossible, separating radio from message passing
+//! (where Theorem 3.1 gives `O(D + log n)`).
+//!
+//! For each `m`, searches two schedule families for the minimal length
+//! `τ` whose hit-count union bound `Σ_v p^{h_v}` drops below `1/n`, then
+//! verifies the chosen schedule by Monte-Carlo simulation of the omission
+//! process. Reports `τ` against `opt + log₂ n` (ratio grows ⇒ the target
+//! is unattainable) and against the paper's lower-bound curve (ratio
+//! stays bounded).
+
+use randcast_bench::{banner, effort};
+use randcast_core::experiment::run_success_trials;
+use randcast_core::lower_bound::{lower_bound_curve, min_reps_for_target, LayerSchedule};
+use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_f2, fmt_prob, Table};
+
+fn main() {
+    let e = effort();
+    let p = 0.5;
+    banner(
+        "E9 (Theorem 3.3)",
+        "G(m): minimal almost-safe radio rounds vs opt + log n — the gap grows.",
+    );
+    let mut table = Table::new([
+        "m",
+        "n",
+        "opt",
+        "opt+log2 n",
+        "singleton τ",
+        "scale τ",
+        "best τ / (opt+log n)",
+        "best τ / LB-curve",
+        "MC success@best",
+    ]);
+    let ms: Vec<usize> = if e.scale == 1 {
+        vec![4, 6, 8, 10, 12, 14]
+    } else {
+        vec![4, 6, 8, 10]
+    };
+    for m in ms {
+        let n = (1usize << m) + m;
+        let target = 1.0 / n as f64;
+        let opt = m + 1;
+        let baseline = opt as f64 + (n as f64).log2();
+
+        let (single_reps, single_rounds) =
+            min_reps_for_target(|r| LayerSchedule::singletons(m, r), p, target);
+        let mut seq = SeedSequence::new(90);
+        let (scale_reps, scale_rounds) = min_reps_for_target(
+            |r| {
+                let mut rng = seq.nth_rng(r as u64);
+                seq = seq.child(r as u64);
+                LayerSchedule::scales(m, r, &mut rng)
+            },
+            p,
+            target,
+        );
+
+        // Monte-Carlo check of the better schedule: success ≥ 1 - 1/n.
+        let (best_rounds, best): (usize, LayerSchedule) = if scale_rounds < single_rounds {
+            let mut rng = SeedSequence::new(91).nth_rng(0);
+            (scale_rounds, LayerSchedule::scales(m, scale_reps, &mut rng))
+        } else {
+            (single_rounds, LayerSchedule::singletons(m, single_reps))
+        };
+        let mc_trials = if m <= 10 { e.trials } else { e.trials / 4 };
+        let est = run_success_trials(mc_trials.max(40), SeedSequence::new(92), |seed| {
+            let mut rng = SeedSequence::new(seed).nth_rng(0);
+            best.simulate_omission(p, &mut rng)
+        });
+
+        let best_tau = best_rounds as f64 + 1.0; // + the source round
+        table.row([
+            m.to_string(),
+            n.to_string(),
+            opt.to_string(),
+            fmt_f2(baseline),
+            (single_rounds + 1).to_string(),
+            (scale_rounds + 1).to_string(),
+            fmt_f2(best_tau / baseline),
+            fmt_f2(best_tau / lower_bound_curve(n)),
+            fmt_prob(est.rate()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: τ/(opt + log n) increases with m — no schedule family can stay\n\
+         within O(opt + log n) — while τ/(log n·log log n/log log log n) stays bounded;\n\
+         the Monte-Carlo column confirms the chosen schedules really are almost-safe\n\
+         (the hit-count union bound is conservative, so MC success exceeds 1 − 1/n)."
+    );
+}

@@ -1,0 +1,75 @@
+//! Shared plumbing for the reproduction experiment binaries (`exp_e1` …
+//! `exp_e10`) and the Criterion benches.
+//!
+//! Each binary regenerates one result of Pelc & Peleg (PODC'05 / TCS'07);
+//! the mapping from binaries to theorems is the per-experiment index in
+//! `DESIGN.md`. All binaries accept `--quick` to shrink trial counts for
+//! smoke runs, and print Markdown tables compatible with
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use randcast_graph::{generators, Graph};
+
+/// Trial counts for an experiment, switchable by `--quick`.
+#[derive(Clone, Copy, Debug)]
+pub struct Effort {
+    /// Monte-Carlo trials per table cell.
+    pub trials: usize,
+    /// Divisor for sweep extents (1 = full).
+    pub scale: usize,
+}
+
+/// Parses CLI args: `--quick` selects the reduced effort.
+#[must_use]
+pub fn effort() -> Effort {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        Effort {
+            trials: 60,
+            scale: 2,
+        }
+    } else {
+        Effort {
+            trials: 400,
+            scale: 1,
+        }
+    }
+}
+
+/// The standard graph suite used by several experiments: name plus
+/// constructor, all with source node 0.
+#[must_use]
+pub fn standard_suite() -> Vec<(&'static str, Graph)> {
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(12345);
+    vec![
+        ("path-32", generators::path(32)),
+        ("grid-8x8", generators::grid(8, 8)),
+        ("tree-2-6", generators::balanced_tree(2, 6)),
+        ("hypercube-6", generators::hypercube(6)),
+        ("rand-tree-64", generators::random_tree(64, &mut rng)),
+        ("G(5)", generators::lower_bound_graph(5)),
+    ]
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, claim: &str) {
+    println!("== {id} ==");
+    println!("{claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_connected_and_nontrivial() {
+        for (name, g) in standard_suite() {
+            assert!(g.node_count() >= 33, "{name}");
+            assert!(randcast_graph::traversal::is_connected(&g), "{name}");
+        }
+    }
+}

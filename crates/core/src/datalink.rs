@@ -1,0 +1,337 @@
+//! Single-link protocols and the Theorem 2.3 impossibility harness
+//! (§2.2.2).
+//!
+//! Two results live here:
+//!
+//! * **The even/odd "hello" protocol** ([`run_hello`]): under *limited*
+//!   malicious failures (no speaking out of turn), a sender can transmit
+//!   one bit to a receiver for **any** `p < 1`, by encoding the bit in the
+//!   *timing pattern* of transmissions — `M = 0` ⇒ transmit every step of
+//!   `1..2m`; `M = 1` ⇒ transmit only the even steps. The receiver
+//!   outputs 0 iff it heard transmissions in two consecutive steps.
+//!   `M = 1` is decoded correctly *always*; `M = 0` fails only if no two
+//!   consecutive transmissions survive, probability `e^{−Θ(m)}`.
+//!
+//! * **The Theorem 2.3 adversary** ([`run_two_node_majority`]): with full
+//!   malicious failures and `p ≥ 1/2`, no algorithm beats success 1/2 on
+//!   the two-node graph. We demonstrate it on the natural
+//!   repetition-with-majority receiver against the flip adversary, with
+//!   the paper's throttling reduction applied for `p > 1/2`.
+
+use randcast_engine::adversary::{FlipMpAdversary, Throttled};
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
+use randcast_graph::{generators, NodeId};
+
+/// Sender for the even/odd "hello" protocol. The message *content* is
+/// irrelevant; only presence matters.
+#[derive(Clone, Debug)]
+struct HelloSender {
+    bit: bool,
+    m: usize,
+}
+
+impl MpNode for HelloSender {
+    type Msg = bool;
+
+    fn send(&mut self, round: usize) -> Outgoing<bool> {
+        // Paper steps are 1-based: step = round + 1 ∈ 1..=2m.
+        let step = round + 1;
+        if step > 2 * self.m {
+            return Outgoing::Silent;
+        }
+        let speak = if self.bit {
+            step.is_multiple_of(2)
+        } else {
+            true
+        };
+        if speak {
+            Outgoing::Broadcast(true) // "hello"
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn recv(&mut self, _round: usize, _from: NodeId, _msg: bool) {}
+}
+
+/// Receiver: decodes 0 iff transmissions arrived in two consecutive
+/// steps.
+#[derive(Clone, Debug, Default)]
+struct HelloReceiver {
+    prev_heard: bool,
+    heard_this_round: bool,
+    saw_consecutive: bool,
+}
+
+impl HelloReceiver {
+    /// Marks a delivery in the current round.
+    fn note_heard(&mut self) {
+        self.heard_this_round = true;
+    }
+
+    /// Folds the completed round into the consecutive-pair detector.
+    /// Called at the next round's start (the engine calls `send` before
+    /// any delivery of the new round).
+    fn roll_round(&mut self) {
+        if self.prev_heard && self.heard_this_round {
+            self.saw_consecutive = true;
+        }
+        self.prev_heard = self.heard_this_round;
+        self.heard_this_round = false;
+    }
+
+    fn decode(&self) -> bool {
+        // The final round's pair is still pending when the run stops.
+        let pending = self.prev_heard && self.heard_this_round;
+        // Two consecutive transmissions ⇒ 0 (false), else 1 (true).
+        !(self.saw_consecutive || pending)
+    }
+}
+
+/// Runs the even/odd protocol over one unreliable link for `2m` steps
+/// under limited-malicious faults (the worst adversary drops every faulty
+/// transmission — content corruption is harmless since only presence is
+/// decoded). Returns whether the receiver decoded `bit` correctly.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `p ∉ [0, 1)`.
+#[must_use]
+pub fn run_hello(m: usize, p: f64, bit: bool, seed: u64) -> bool {
+    assert!(m > 0, "need at least one step pair");
+    let g = generators::path(1);
+    let mut net = MpNetwork::with_adversary(
+        &g,
+        FaultConfig::limited_malicious(p),
+        SilentMpAdversary, // faulty sends dropped: the worst case here
+        seed,
+        |v| {
+            if v.index() == 0 {
+                HelloLink::Sender(HelloSender { bit, m })
+            } else {
+                HelloLink::Receiver(HelloReceiver::default())
+            }
+        },
+    );
+    net.run(2 * m);
+    match net.node(g.node(1)) {
+        HelloLink::Receiver(r) => r.decode() == bit,
+        HelloLink::Sender(_) => unreachable!("node 1 is the receiver"),
+    }
+}
+
+/// Either endpoint of the datalink.
+#[derive(Clone, Debug)]
+enum HelloLink {
+    Sender(HelloSender),
+    Receiver(HelloReceiver),
+}
+
+impl MpNode for HelloLink {
+    type Msg = bool;
+
+    fn send(&mut self, round: usize) -> Outgoing<bool> {
+        match self {
+            HelloLink::Sender(s) => s.send(round),
+            HelloLink::Receiver(r) => {
+                // `send` marks the round boundary: fold the last round's
+                // observation into the consecutive-pair detector.
+                r.roll_round();
+                Outgoing::Silent
+            }
+        }
+    }
+
+    fn recv(&mut self, round: usize, from: NodeId, msg: bool) {
+        match self {
+            HelloLink::Sender(s) => s.recv(round, from, msg),
+            HelloLink::Receiver(r) => r.note_heard(),
+        }
+    }
+}
+
+/// The analytic error bound for `M = 0`: probability that no two
+/// consecutive steps out of `2m` both deliver, each step delivering
+/// independently with probability `1 − p`. Computed by the linear
+/// recurrence over "no two consecutive successes" strings.
+#[must_use]
+pub fn hello_error_bound(m: usize, p: f64) -> f64 {
+    // f(k): probability that a length-k Bernoulli(1-p) string has no two
+    // consecutive successes. Conditioning on the first step:
+    // f(k) = p·f(k-1) + (1-p)·p·f(k-2), with f(0) = f(1) = 1.
+    let steps = 2 * m;
+    let q = 1.0 - p;
+    let (mut f_prev, mut f_cur) = (1.0f64, 1.0f64);
+    for _ in 2..=steps {
+        let f_next = p * f_cur + q * p * f_prev;
+        f_prev = f_cur;
+        f_cur = f_next;
+    }
+    f_cur
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2.3 harness
+// ---------------------------------------------------------------------------
+
+/// Sender of the repetition code: broadcasts `bit` every round.
+#[derive(Clone, Debug)]
+struct RepSender {
+    bit: bool,
+}
+
+/// Receiver: majority over all received bits.
+#[derive(Clone, Debug, Default)]
+struct RepReceiver {
+    ones: usize,
+    total: usize,
+}
+
+/// Either endpoint of the repetition link.
+#[derive(Clone, Debug)]
+enum RepLink {
+    Sender(RepSender),
+    Receiver(RepReceiver),
+}
+
+impl MpNode for RepLink {
+    type Msg = bool;
+
+    fn send(&mut self, _round: usize) -> Outgoing<bool> {
+        match self {
+            RepLink::Sender(s) => Outgoing::Broadcast(s.bit),
+            RepLink::Receiver(_) => Outgoing::Silent,
+        }
+    }
+
+    fn recv(&mut self, _round: usize, _from: NodeId, msg: bool) {
+        if let RepLink::Receiver(r) = self {
+            r.total += 1;
+            r.ones += usize::from(msg);
+        }
+    }
+}
+
+/// Runs the repetition-with-majority algorithm on the two-node graph
+/// against the Theorem 2.3 flip adversary for `rounds` rounds (odd
+/// recommended) under full malicious faults with probability `p ≥ 1/2`.
+///
+/// When `p > 1/2`, the paper's throttling reduction is applied so the
+/// effective malicious rate is exactly 1/2 — under which the received
+/// bits are i.i.d. uniform and *no* decoder can beat success 1/2.
+///
+/// Returns whether the receiver's majority equals `bit`.
+///
+/// # Panics
+///
+/// Panics if `p < 1/2` (use the feasible-regime algorithms instead) or
+/// `p ≥ 1`.
+#[must_use]
+pub fn run_two_node_majority(rounds: usize, p: f64, bit: bool, seed: u64) -> bool {
+    assert!(
+        (0.5..1.0).contains(&p),
+        "harness models the infeasible regime"
+    );
+    let g = generators::path(1);
+    let make = |v: NodeId| {
+        if v.index() == 0 {
+            RepLink::Sender(RepSender { bit })
+        } else {
+            RepLink::Receiver(RepReceiver::default())
+        }
+    };
+    let decode = |net_ones: usize, net_total: usize| 2 * net_ones > net_total;
+    let fault = FaultConfig::malicious(p);
+    let (ones, total) = if p > 0.5 {
+        let adversary = Throttled::new(FlipMpAdversary, p, 0.5);
+        let mut net = MpNetwork::with_adversary(&g, fault, adversary, seed, make);
+        net.run(rounds);
+        match net.node(g.node(1)) {
+            RepLink::Receiver(r) => (r.ones, r.total),
+            RepLink::Sender(_) => unreachable!(),
+        }
+    } else {
+        let mut net = MpNetwork::with_adversary(&g, fault, FlipMpAdversary, seed, make);
+        net.run(rounds);
+        match net.node(g.node(1)) {
+            RepLink::Receiver(r) => (r.ones, r.total),
+            RepLink::Sender(_) => unreachable!(),
+        }
+    };
+    decode(ones, total) == bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_bit_one_is_always_correct() {
+        for seed in 0..30 {
+            assert!(run_hello(10, 0.9, true, seed));
+        }
+    }
+
+    #[test]
+    fn hello_bit_zero_succeeds_with_moderate_m() {
+        let ok = (0..50).filter(|&s| run_hello(40, 0.5, false, s)).count();
+        assert!(ok >= 48, "ok={ok}");
+    }
+
+    #[test]
+    fn hello_bit_zero_fails_often_with_tiny_m_high_p() {
+        let ok = (0..50).filter(|&s| run_hello(1, 0.9, false, s)).count();
+        // With m=1 (2 steps) and p=0.9, both steps survive w.p. 0.01.
+        assert!(ok <= 5, "ok={ok}");
+    }
+
+    #[test]
+    fn hello_error_bound_matches_simulation() {
+        let m = 6;
+        let p = 0.6;
+        let bound = hello_error_bound(m, p);
+        let trials = 4000;
+        let fails = (0..trials)
+            .filter(|&s| !run_hello(m, p, false, s as u64))
+            .count();
+        let rate = fails as f64 / trials as f64;
+        assert!((rate - bound).abs() < 0.03, "rate={rate} bound={bound}");
+    }
+
+    #[test]
+    fn hello_error_bound_decreases_in_m() {
+        let p = 0.7;
+        let b1 = hello_error_bound(5, p);
+        let b2 = hello_error_bound(20, p);
+        assert!(b2 < b1);
+        assert!(b2 > 0.0);
+    }
+
+    #[test]
+    fn two_node_majority_pinned_at_half_for_p_half() {
+        let trials: u64 = 600;
+        let ok = (0..trials)
+            .filter(|&s| run_two_node_majority(101, 0.5, s % 2 == 0, s))
+            .count();
+        let rate = ok as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.08, "rate={rate}");
+    }
+
+    #[test]
+    fn two_node_majority_pinned_at_half_for_p_above_half() {
+        // Throttled: still exactly 1/2.
+        let trials: u64 = 600;
+        let ok = (0..trials)
+            .filter(|&s| run_two_node_majority(101, 0.8, s % 2 == 0, s))
+            .count();
+        let rate = ok as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.08, "rate={rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible regime")]
+    fn two_node_harness_rejects_feasible_p() {
+        let _ = run_two_node_majority(11, 0.3, true, 0);
+    }
+}

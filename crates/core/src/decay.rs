@@ -1,0 +1,251 @@
+//! The Bar-Yehuda–Goldreich–Itai *Decay* protocol — the classical
+//! randomized radio broadcast baseline (reference \[7\] of the paper).
+//!
+//! The paper's radio algorithms assume a centrally precomputed fault-free
+//! schedule (Section 3). Decay needs none: time is divided into epochs of
+//! `k = ⌈log₂ n⌉ + 1` rounds; in round `j` of an epoch, every informed
+//! node transmits with probability `2^{−j}` (implemented by each node
+//! halting its participation in the epoch after each coin flip — the
+//! eponymous decay). Within one epoch, a node with at least one informed
+//! neighbor receives the message with constant probability, regardless of
+//! how many neighbors compete; `O(log n)` epochs per layer then suffice
+//! w.h.p.
+//!
+//! This module is an **extension** beyond the paper's own algorithms: it
+//! serves as the natural schedule-free baseline for the Theorem 3.4
+//! expansion experiments, and it composes with the same fault model
+//! (a transmitter-failed node simply loses its transmission that round —
+//! the protocol is oblivious, so omission faults just scale the effective
+//! transmission probability by `1 − p`).
+//!
+//! Note that Decay is a *randomized* protocol, while the paper's
+//! algorithms are deterministic (only the environment is random); the
+//! comparison is therefore between different algorithm classes — see the
+//! discussion in `EXPERIMENTS.md`.
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
+use randcast_graph::{Graph, NodeId};
+use randcast_stats::seed::{splitmix64, SeedSequence};
+
+/// Outcome of one Decay execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecayOutcome {
+    /// Round at which each node first became informed (`Some(0)` for the
+    /// source, `None` if never).
+    pub informed_at: Vec<Option<usize>>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl DecayOutcome {
+    /// Whether every node was informed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.informed_at.iter().all(Option::is_some)
+    }
+
+    /// The completion round (`None` if incomplete).
+    #[must_use]
+    pub fn completion_round(&self) -> Option<usize> {
+        self.informed_at
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
+            .map(|rs| rs.into_iter().max().unwrap_or(0))
+    }
+}
+
+/// Configuration for the Decay protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct DecayConfig {
+    /// Epoch length `k` (rounds per epoch); the classical choice is
+    /// `⌈log₂ n⌉ + 1`.
+    pub epoch_len: usize,
+    /// Number of epochs to run.
+    pub epochs: usize,
+}
+
+impl DecayConfig {
+    /// The classical parameterization for an `n`-node graph of source
+    /// radius `d`: epoch length `⌈log₂ n⌉ + 1`, and `2·(d + log₂ n)`
+    /// epochs (enough for w.h.p. completion layer by layer).
+    #[must_use]
+    pub fn classical(n: usize, d: usize) -> Self {
+        let log_n = (n.max(2) as f64).log2().ceil() as usize;
+        DecayConfig {
+            epoch_len: log_n + 1,
+            epochs: 2 * (d + log_n).max(1),
+        }
+    }
+
+    /// Total rounds.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.epoch_len * self.epochs
+    }
+}
+
+/// Decay automaton: in each epoch, an informed node transmits in round
+/// `j` iff all of its first `j` private coins came up heads — i.e. it
+/// participates with probability `2^{−j}`, halving each round.
+struct DecayNode {
+    informed_at: Option<usize>,
+    epoch_len: usize,
+    /// Per-node random tape (deterministic from the network seed).
+    tape: u64,
+    /// Whether this node is still participating in the current epoch.
+    active: bool,
+}
+
+impl DecayNode {
+    fn coin(&self, epoch: usize, j: usize) -> bool {
+        // One fair coin per (node-tape, epoch, round-in-epoch).
+        splitmix64(
+            self.tape
+                ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (j as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        ) & 1
+            == 1
+    }
+}
+
+impl RadioNode for DecayNode {
+    type Msg = bool;
+
+    fn act(&mut self, round: usize) -> RadioAction<bool> {
+        if self.informed_at.is_none() {
+            return RadioAction::Listen;
+        }
+        let epoch = round / self.epoch_len;
+        let j = round % self.epoch_len;
+        if j == 0 {
+            self.active = true;
+        }
+        if self.active {
+            // Transmit this round, then flip a coin to stay in the epoch.
+            if !self.coin(epoch, j) {
+                self.active = false;
+            }
+            RadioAction::Transmit(true)
+        } else {
+            RadioAction::Listen
+        }
+    }
+
+    fn recv(&mut self, round: usize, heard: Option<bool>) {
+        if heard.is_some() && self.informed_at.is_none() {
+            self.informed_at = Some(round + 1);
+        }
+    }
+}
+
+/// Runs the Decay protocol on `graph` from `source` under the given fault
+/// configuration (omission faults compose naturally; the protocol carries
+/// no content to corrupt beyond the single bit, so it is *not* hardened
+/// against malicious faults — use [`crate::radio_robust`] for those).
+#[must_use]
+pub fn run_decay(
+    graph: &Graph,
+    source: NodeId,
+    config: DecayConfig,
+    fault: FaultConfig,
+    seed: u64,
+) -> DecayOutcome {
+    let tapes = SeedSequence::new(seed).child(0xDECA);
+    let mut net = RadioNetwork::new(graph, fault, seed, |v| DecayNode {
+        informed_at: (v == source).then_some(0),
+        epoch_len: config.epoch_len,
+        tape: tapes.nth_seed(v.index() as u64),
+        active: false,
+    });
+    net.run(config.total_rounds());
+    DecayOutcome {
+        informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
+        rounds: config.total_rounds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::{generators, traversal};
+
+    fn classical_for(g: &Graph) -> DecayConfig {
+        DecayConfig::classical(g.node_count(), traversal::radius_from(g, g.node(0)))
+    }
+
+    #[test]
+    fn decay_completes_fault_free_on_families() {
+        for g in [
+            generators::path(12),
+            generators::star(16),
+            generators::grid(5, 5),
+            generators::lower_bound_graph(4),
+            generators::complete(12),
+        ] {
+            let cfg = classical_for(&g);
+            let mut ok = 0;
+            for seed in 0..10 {
+                ok += usize::from(
+                    run_decay(&g, g.node(0), cfg, FaultConfig::fault_free(), seed).complete(),
+                );
+            }
+            assert!(ok >= 9, "graph n={} ok={ok}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn decay_survives_omission_faults() {
+        let g = generators::grid(5, 5);
+        let mut cfg = classical_for(&g);
+        // Omission at rate p scales effective transmission probability;
+        // double the epochs to compensate at p = 0.5.
+        cfg.epochs *= 2;
+        let mut ok = 0;
+        for seed in 0..20 {
+            ok += usize::from(
+                run_decay(&g, g.node(0), cfg, FaultConfig::omission(0.5), seed).complete(),
+            );
+        }
+        assert!(ok >= 18, "ok={ok}");
+    }
+
+    #[test]
+    fn decay_informs_nothing_with_zero_epochs() {
+        let g = generators::path(3);
+        let cfg = DecayConfig {
+            epoch_len: 3,
+            epochs: 0,
+        };
+        let out = run_decay(&g, g.node(0), cfg, FaultConfig::fault_free(), 0);
+        assert!(!out.complete());
+        assert_eq!(out.informed_at[0], Some(0));
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn decay_handles_high_contention() {
+        // Complete bipartite: all of side A informed after one step would
+        // collide forever under naive flooding; decay's back-off resolves
+        // it.
+        let g = generators::complete_bipartite(8, 8);
+        let cfg = classical_for(&g);
+        let mut ok = 0;
+        for seed in 0..10 {
+            ok += usize::from(
+                run_decay(&g, g.node(0), cfg, FaultConfig::fault_free(), seed).complete(),
+            );
+        }
+        assert!(ok >= 9, "ok={ok}");
+    }
+
+    #[test]
+    fn decay_is_deterministic_given_seed() {
+        let g = generators::grid(4, 4);
+        let cfg = classical_for(&g);
+        let a = run_decay(&g, g.node(0), cfg, FaultConfig::omission(0.3), 5);
+        let b = run_decay(&g, g.node(0), cfg, FaultConfig::omission(0.3), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Monte-Carlo experiment drivers shared by the reproduction binaries.
+//!
+//! Experiments ask one question over and over: *with what probability does
+//! algorithm X broadcast correctly on graph G under failure scenario F?*
+//! This module packages the trial loop, the deterministic per-trial
+//! seeding and the almost-safety verdict so the `randcast-bench` binaries
+//! stay declarative.
+
+use randcast_stats::estimate::{SuccessEstimate, Verdict};
+use randcast_stats::seed::SeedSequence;
+
+/// Runs `trials` success/failure trials; trial `i` receives the derived
+/// engine seed `seeds.nth_seed(i)`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+///
+/// # Example
+///
+/// ```
+/// use randcast_core::experiment::run_success_trials;
+/// use randcast_stats::seed::SeedSequence;
+///
+/// let est = run_success_trials(100, SeedSequence::new(1), |_seed| true);
+/// assert_eq!(est.rate(), 1.0);
+/// ```
+pub fn run_success_trials<F>(trials: usize, seeds: SeedSequence, mut trial: F) -> SuccessEstimate
+where
+    F: FnMut(u64) -> bool,
+{
+    assert!(trials > 0, "need at least one trial");
+    let successes = (0..trials)
+        .filter(|&i| trial(seeds.nth_seed(i as u64)))
+        .count();
+    SuccessEstimate::new(successes, trials)
+}
+
+/// A labelled row of an experiment report: the estimate plus the
+/// almost-safety verdict against `1 − 1/n`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AlmostSafeRow {
+    /// The measured success estimate.
+    pub estimate: SuccessEstimate,
+    /// The `n` defining the almost-safety target.
+    pub n: usize,
+    /// Verdict at 95% confidence.
+    pub verdict: Verdict,
+}
+
+impl AlmostSafeRow {
+    /// Judges an estimate against the almost-safety target for `n`.
+    #[must_use]
+    pub fn judge(estimate: SuccessEstimate, n: usize) -> Self {
+        AlmostSafeRow {
+            estimate,
+            n,
+            verdict: estimate.almost_safe_verdict(n, 1.96),
+        }
+    }
+
+    /// The almost-safety target `1 − 1/n`.
+    #[must_use]
+    pub fn target(&self) -> f64 {
+        1.0 - 1.0 / self.n as f64
+    }
+
+    /// A table label that distinguishes confident verdicts from
+    /// point-estimate ones. The paper's prescribed constants are
+    /// *minimal*, so true success rates sit right at the `1 − 1/n` bar
+    /// and finite-trial Wilson intervals often straddle it:
+    ///
+    /// * `pass` — Wilson lower bound clears the target;
+    /// * `pass*` — point estimate clears the target, interval straddles;
+    /// * `near*` — point estimate within half of `1/n` below the target;
+    /// * `FAIL` — Wilson upper bound is below the target.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let rate = self.estimate.rate();
+        let target = self.target();
+        match self.verdict {
+            Verdict::Pass => "pass".into(),
+            Verdict::Fail => "FAIL".into(),
+            Verdict::Inconclusive => {
+                if rate >= target {
+                    "pass*".into()
+                } else if rate >= target - 0.5 / self.n as f64 {
+                    "near*".into()
+                } else {
+                    "inconclusive".into()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_deterministic() {
+        let mut seen = Vec::new();
+        let est = run_success_trials(50, SeedSequence::new(9), |s| {
+            seen.push(s);
+            s % 2 == 0
+        });
+        let mut seen2 = Vec::new();
+        let est2 = run_success_trials(50, SeedSequence::new(9), |s| {
+            seen2.push(s);
+            s % 2 == 0
+        });
+        assert_eq!(seen, seen2);
+        assert_eq!(est.successes(), est2.successes());
+    }
+
+    #[test]
+    fn judge_passes_perfect_run() {
+        let est = SuccessEstimate::new(1000, 1000);
+        let row = AlmostSafeRow::judge(est, 32);
+        assert_eq!(row.verdict, Verdict::Pass);
+        assert!((row.target() - (1.0 - 1.0 / 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn judge_fails_coin_flip_run() {
+        let est = SuccessEstimate::new(500, 1000);
+        let row = AlmostSafeRow::judge(est, 32);
+        assert_eq!(row.verdict, Verdict::Fail);
+    }
+}

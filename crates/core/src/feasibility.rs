@@ -1,0 +1,144 @@
+//! The paper's feasibility landscape (Theorems 2.1–2.4).
+//!
+//! | model | omission | malicious |
+//! |-------|----------|-----------|
+//! | message passing | feasible ∀ `p < 1` | feasible **iff** `p < 1/2` |
+//! | radio | feasible ∀ `p < 1` | feasible **iff** `p < (1 − p)^{Δ+1}` |
+//!
+//! The radio threshold `p*(Δ)` — the unique fixed point of
+//! `p = (1 − p)^{Δ+1}` in `(0, 1)` — is computed by [`radio_threshold`].
+
+/// Whether almost-safe broadcast with node-omission failures is feasible
+/// (Theorem 2.1): any `p < 1`, in both models.
+#[must_use]
+pub fn omission_feasible(p: f64) -> bool {
+    (0.0..1.0).contains(&p)
+}
+
+/// Whether almost-safe broadcast with malicious failures is feasible in
+/// the message-passing model (Theorems 2.2–2.3): iff `p < 1/2`.
+#[must_use]
+pub fn malicious_mp_feasible(p: f64) -> bool {
+    (0.0..0.5).contains(&p)
+}
+
+/// Whether almost-safe broadcast with malicious failures is feasible in
+/// the radio model on a graph of maximum degree `Δ` (Theorem 2.4):
+/// iff `p < (1 − p)^{Δ+1}`.
+#[must_use]
+pub fn malicious_radio_feasible(p: f64, max_degree: usize) -> bool {
+    (0.0..1.0).contains(&p) && p < (1.0 - p).powi(max_degree as i32 + 1)
+}
+
+/// The radio feasibility threshold `p*(Δ)`: the unique solution of
+/// `p = (1 − p)^{Δ+1}` in `(0, 1)`, computed by bisection to absolute
+/// precision `1e-12`.
+///
+/// Malicious radio broadcast is feasible for `p < p*(Δ)` and infeasible
+/// for `p ≥ p*(Δ)`. The threshold decreases in `Δ` (denser neighborhoods
+/// give the jamming adversary more leverage): `p*(0) = 1/2` exactly
+/// (matching the two-node message-passing threshold, where the
+/// neighborhood argument degenerates), `p*(1) = (3 − √5)/2 ≈ 0.382`, and
+/// `p*(Δ) → 0` as `Δ → ∞`.
+///
+/// # Example
+///
+/// ```
+/// use randcast_core::feasibility::{malicious_radio_feasible, radio_threshold};
+///
+/// let t = radio_threshold(4);
+/// assert!(malicious_radio_feasible(t - 1e-6, 4));
+/// assert!(!malicious_radio_feasible(t + 1e-6, 4));
+/// ```
+#[must_use]
+pub fn radio_threshold(max_degree: usize) -> f64 {
+    // f(p) = (1-p)^{Δ+1} - p is strictly decreasing on [0,1],
+    // f(0) = 1 > 0, f(1) = -1 < 0: unique root.
+    let exponent = max_degree as i32 + 1;
+    let f = |p: f64| (1.0 - p).powi(exponent) - p;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while hi - lo > 1e-12 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The per-step clean-reception probability `q = (1 − p)^{Δ+1}` from the
+/// Theorem 2.4 analysis: all of `v`'s neighbors plus `v` itself must be
+/// fault-free for `v` to be guaranteed a clean, correct reception.
+#[must_use]
+pub fn radio_clean_reception_prob(p: f64, max_degree: usize) -> f64 {
+    (1.0 - p).powi(max_degree as i32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omission_feasibility_boundaries() {
+        assert!(omission_feasible(0.0));
+        assert!(omission_feasible(0.999));
+        assert!(!omission_feasible(1.0));
+        assert!(!omission_feasible(-0.1));
+    }
+
+    #[test]
+    fn mp_malicious_threshold_is_half() {
+        assert!(malicious_mp_feasible(0.499));
+        assert!(!malicious_mp_feasible(0.5));
+        assert!(!malicious_mp_feasible(0.75));
+    }
+
+    #[test]
+    fn radio_threshold_is_fixed_point() {
+        for delta in [0usize, 1, 2, 4, 8, 16, 64] {
+            let t = radio_threshold(delta);
+            let rhs = (1.0 - t).powi(delta as i32 + 1);
+            assert!((t - rhs).abs() < 1e-9, "Δ={delta}: {t} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn radio_threshold_delta_zero_is_half() {
+        // p = (1-p)^1 has solution exactly 1/2.
+        assert!((radio_threshold(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radio_threshold_decreases_with_degree() {
+        let mut last = radio_threshold(0);
+        for delta in 1..20 {
+            let t = radio_threshold(delta);
+            assert!(t < last, "Δ={delta}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn radio_feasibility_agrees_with_threshold() {
+        for delta in [1usize, 3, 7] {
+            let t = radio_threshold(delta);
+            assert!(malicious_radio_feasible(t - 1e-6, delta));
+            assert!(!malicious_radio_feasible(t + 1e-6, delta));
+        }
+    }
+
+    #[test]
+    fn radio_threshold_known_value_delta_one() {
+        // p = (1-p)^2 => p^2 - 3p + 1 = 0 => p = (3 - sqrt(5))/2 ≈ 0.381966.
+        let expect = (3.0 - 5.0f64.sqrt()) / 2.0;
+        assert!((radio_threshold(1) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_reception_prob_matches_formula() {
+        let q = radio_clean_reception_prob(0.2, 3);
+        assert!((q - 0.8f64.powi(4)).abs() < 1e-12);
+    }
+}

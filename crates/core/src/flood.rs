@@ -1,0 +1,251 @@
+//! `Flood-Omission` (Theorem 3.1): optimal-time `O(D + log n)` broadcast
+//! under node-omission failures in the message-passing model.
+//!
+//! Following the paper's adaptation of Diks–Pelc (Lemma 3.1): build a BFS
+//! spanning tree of depth `D` and let every informed node transmit to its
+//! children simultaneously in every step for `O(D + log n)` steps. Along
+//! each root-to-leaf branch the message front advances one hop whenever
+//! the frontier node's transmitter works, so completion time is a sum of
+//! geometric delays that concentrates at `O(D)`; the `+ log n` in the
+//! horizon buys a per-branch Chernoff exponent strong enough to
+//! union-bound over all branches.
+//!
+//! The module also offers full-graph flooding ([`FloodVariant::Graph`]),
+//! which dominates tree flooding (more disjoint paths) — an ablation, not
+//! part of the paper's analysis.
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
+use randcast_graph::{traversal, Graph, NodeId, SpanningTree};
+use randcast_stats::chernoff;
+
+/// Which edges carry the flood.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FloodVariant {
+    /// Transmit only to spanning-tree children (the paper's analyzed
+    /// algorithm).
+    Tree,
+    /// Transmit to all neighbors (dominates tree flooding; ablation).
+    Graph,
+}
+
+/// Outcome of one flooding execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FloodOutcome {
+    /// Round (1-based: "informed by end of round r") at which each node
+    /// first became informed; `None` if never. The source is `Some(0)`.
+    pub informed_at: Vec<Option<usize>>,
+    /// The horizon that was run.
+    pub rounds: usize,
+}
+
+impl FloodOutcome {
+    /// Whether every node was informed within the horizon.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.informed_at.iter().all(Option::is_some)
+    }
+
+    /// The broadcast completion time: the round by which the last node
+    /// was informed (`None` if incomplete).
+    #[must_use]
+    pub fn completion_round(&self) -> Option<usize> {
+        self.informed_at
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
+            .map(|rs| rs.into_iter().max().unwrap_or(0))
+    }
+
+    /// Number of informed nodes.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed_at.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// A compiled flooding plan: spanning tree plus horizon.
+#[derive(Clone, Debug)]
+pub struct FloodPlan {
+    children: Vec<Vec<NodeId>>,
+    neighbors: Vec<Vec<NodeId>>,
+    source: NodeId,
+    horizon: usize,
+    variant: FloodVariant,
+}
+
+impl FloodPlan {
+    /// Plan with the Theorem 3.1 horizon
+    /// `τ = ⌈2(D + 4 ln n)/(1 − p)⌉ = O(D + log n)`:
+    /// per-branch failure `≤ 1/n²`, hence overall failure `≤ 1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the graph is disconnected from `source`.
+    #[must_use]
+    pub fn new(graph: &Graph, source: NodeId, p: f64) -> Self {
+        let d = traversal::radius_from(graph, source);
+        let n = graph.node_count().max(2);
+        let horizon = chernoff::flood_horizon(d, p, 4.0 * (n as f64).ln());
+        Self::with_horizon(graph, source, horizon.max(1), FloodVariant::Tree)
+    }
+
+    /// Plan with an explicit horizon and flood variant (ablations and
+    /// time-measurement experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected from `source`.
+    #[must_use]
+    pub fn with_horizon(
+        graph: &Graph,
+        source: NodeId,
+        horizon: usize,
+        variant: FloodVariant,
+    ) -> Self {
+        let tree = SpanningTree::bfs(graph, source);
+        FloodPlan {
+            children: graph.nodes().map(|v| tree.children(v).to_vec()).collect(),
+            neighbors: graph.nodes().map(|v| graph.neighbors(v).to_vec()).collect(),
+            source,
+            horizon,
+            variant,
+        }
+    }
+
+    /// The horizon (number of rounds executed).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Executes the flood in the message-passing model with omission
+    /// faults. Runs the full horizon and reports per-node informing
+    /// times.
+    #[must_use]
+    pub fn run(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> FloodOutcome {
+        let mut net = MpNetwork::new(graph, fault, seed, |v| FloodNode {
+            targets: match self.variant {
+                FloodVariant::Tree => self.children[v.index()].clone(),
+                FloodVariant::Graph => self.neighbors[v.index()].clone(),
+            },
+            informed_at: (v == self.source).then_some(0),
+        });
+        net.run(self.horizon);
+        FloodOutcome {
+            informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
+            rounds: self.horizon,
+        }
+    }
+}
+
+/// Flooding automaton: once informed, transmit to targets every round.
+#[derive(Clone, Debug)]
+struct FloodNode {
+    targets: Vec<NodeId>,
+    informed_at: Option<usize>,
+}
+
+impl MpNode for FloodNode {
+    type Msg = bool;
+
+    fn send(&mut self, _round: usize) -> Outgoing<bool> {
+        if self.informed_at.is_some() && !self.targets.is_empty() {
+            Outgoing::Directed(self.targets.iter().map(|&c| (c, true)).collect())
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn recv(&mut self, round: usize, _from: NodeId, _msg: bool) {
+        if self.informed_at.is_none() {
+            self.informed_at = Some(round + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::generators;
+
+    #[test]
+    fn fault_free_flood_takes_exactly_d_rounds() {
+        let g = generators::path(7);
+        let plan = FloodPlan::with_horizon(&g, g.node(0), 10, FloodVariant::Tree);
+        let out = plan.run(&g, FaultConfig::fault_free(), 0);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(7));
+        // Node i informed exactly at round i.
+        for i in 0..=7 {
+            assert_eq!(out.informed_at[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn default_horizon_suffices_with_high_probability() {
+        let g = generators::grid(5, 5);
+        let p = 0.4;
+        let plan = FloodPlan::new(&g, g.node(0), p);
+        let mut complete = 0;
+        for seed in 0..20 {
+            if plan.run(&g, FaultConfig::omission(p), seed).complete() {
+                complete += 1;
+            }
+        }
+        assert_eq!(complete, 20, "horizon {} too short", plan.horizon());
+    }
+
+    #[test]
+    fn short_horizon_fails() {
+        let g = generators::path(20);
+        // Horizon 5 cannot inform a node at distance 20.
+        let plan = FloodPlan::with_horizon(&g, g.node(0), 5, FloodVariant::Tree);
+        let out = plan.run(&g, FaultConfig::fault_free(), 0);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 6);
+        assert_eq!(out.completion_round(), None);
+    }
+
+    #[test]
+    fn graph_variant_dominates_tree_variant_on_cycle() {
+        // On a cycle, the BFS tree cuts one edge; graph flooding uses
+        // both directions and should never be slower.
+        let g = generators::cycle(9);
+        for seed in 0..10 {
+            let tree = FloodPlan::with_horizon(&g, g.node(0), 60, FloodVariant::Tree).run(
+                &g,
+                FaultConfig::omission(0.5),
+                seed,
+            );
+            let graph = FloodPlan::with_horizon(&g, g.node(0), 60, FloodVariant::Graph).run(
+                &g,
+                FaultConfig::omission(0.5),
+                seed,
+            );
+            if let (Some(t), Some(gr)) = (tree.completion_round(), graph.completion_round()) {
+                assert!(gr <= t, "seed={seed}: graph {gr} vs tree {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_scales_like_d_plus_log_n() {
+        // Doubling D roughly doubles the horizon; fixed p.
+        let g1 = generators::path(50);
+        let g2 = generators::path(100);
+        let h1 = FloodPlan::new(&g1, g1.node(0), 0.2).horizon();
+        let h2 = FloodPlan::new(&g2, g2.node(0), 0.2).horizon();
+        assert!(h2 > h1);
+        assert!((h2 as f64) < 2.5 * h1 as f64);
+    }
+
+    #[test]
+    fn outcome_on_single_node() {
+        let g = generators::path(0);
+        let plan = FloodPlan::with_horizon(&g, g.node(0), 1, FloodVariant::Tree);
+        let out = plan.run(&g, FaultConfig::fault_free(), 0);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(0));
+    }
+}

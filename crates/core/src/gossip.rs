@@ -1,0 +1,194 @@
+//! Almost-safe gossiping (extension, after Diks–Pelc).
+//!
+//! The paper's Lemma 3.1 is taken from Diks & Pelc, *"Almost safe
+//! gossiping in bounded degree networks"* (SIAM J. Discrete Math. 5,
+//! 1992) — a paper about **gossiping**: every node starts with its own
+//! token and all nodes must learn all tokens. This module rounds out the
+//! library with that primitive under the same transmitter-failure model,
+//! in the message-passing setting:
+//!
+//! every node repeatedly broadcasts its full set of known tokens to all
+//! neighbors for a horizon of `O(Diam + log n)` rounds (the same
+//! wavefront + Chernoff argument as Theorem 3.1, applied per
+//! source-destination pair and union-bounded over `n²` pairs).
+//!
+//! Tokens are represented as a bitmask, so this implementation supports
+//! up to 128 nodes (plenty for the experiment sizes; the algorithm
+//! itself is size-agnostic).
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
+use randcast_graph::{traversal, Graph, NodeId};
+use randcast_stats::chernoff;
+
+/// Outcome of one gossip execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GossipOutcome {
+    /// Each node's final token set (bit `i` ⇔ knows node `i`'s token).
+    pub known: Vec<u128>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl GossipOutcome {
+    /// Whether every node knows every token.
+    #[must_use]
+    pub fn complete(&self, n: usize) -> bool {
+        let full = full_mask(n);
+        self.known.iter().all(|&k| k == full)
+    }
+
+    /// Number of (node, token) pairs still missing.
+    #[must_use]
+    pub fn missing_pairs(&self, n: usize) -> usize {
+        let full = full_mask(n);
+        self.known
+            .iter()
+            .map(|&k| (full & !k).count_ones() as usize)
+            .sum()
+    }
+}
+
+fn full_mask(n: usize) -> u128 {
+    if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// A compiled gossip plan: flooding horizon for the all-pairs target.
+#[derive(Clone, Debug)]
+pub struct GossipPlan {
+    horizon: usize,
+}
+
+impl GossipPlan {
+    /// Horizon `⌈2(Diam + 6 ln n)/(1 − p)⌉`: per-pair wavefront failure
+    /// `≤ 1/n³`, union-bounded over `n²` ordered pairs to `≤ 1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected, has more than 128 nodes, or
+    /// `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(graph: &Graph, p: f64) -> Self {
+        assert!(
+            graph.node_count() <= 128,
+            "token mask supports up to 128 nodes"
+        );
+        let diam = traversal::diameter(graph);
+        let n = graph.node_count().max(2);
+        let horizon = chernoff::flood_horizon(diam, p, 6.0 * (n as f64).ln()).max(1);
+        GossipPlan { horizon }
+    }
+
+    /// Explicit horizon (ablation entry point).
+    #[must_use]
+    pub fn with_horizon(horizon: usize) -> Self {
+        GossipPlan { horizon }
+    }
+
+    /// The horizon.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Executes the gossip under omission faults.
+    #[must_use]
+    pub fn run(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> GossipOutcome {
+        let mut net = MpNetwork::new(graph, fault, seed, |v| GossipNode {
+            known: 1u128 << v.index(),
+        });
+        net.run(self.horizon);
+        GossipOutcome {
+            known: graph.nodes().map(|v| net.node(v).known).collect(),
+            rounds: self.horizon,
+        }
+    }
+}
+
+/// Gossip automaton: broadcast everything known, absorb everything heard.
+#[derive(Clone, Copy, Debug)]
+struct GossipNode {
+    known: u128,
+}
+
+impl MpNode for GossipNode {
+    type Msg = u128;
+
+    fn send(&mut self, _round: usize) -> Outgoing<u128> {
+        Outgoing::Broadcast(self.known)
+    }
+
+    fn recv(&mut self, _round: usize, _from: NodeId, msg: u128) {
+        self.known |= msg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::generators;
+
+    #[test]
+    fn fault_free_gossip_completes_in_diameter_rounds() {
+        let g = generators::path(6);
+        let plan = GossipPlan::with_horizon(6);
+        let out = plan.run(&g, FaultConfig::fault_free(), 0);
+        assert!(out.complete(g.node_count()));
+        // One fewer round leaves the endpoints ignorant of each other.
+        let out = GossipPlan::with_horizon(5).run(&g, FaultConfig::fault_free(), 0);
+        assert!(!out.complete(g.node_count()));
+        assert_eq!(out.missing_pairs(g.node_count()), 2);
+    }
+
+    #[test]
+    fn gossip_is_almost_safe_under_omission() {
+        let g = generators::grid(4, 4);
+        let p = 0.5;
+        let plan = GossipPlan::new(&g, p);
+        let mut ok = 0;
+        for seed in 0..30 {
+            ok += usize::from(plan.run(&g, FaultConfig::omission(p), seed).complete(16));
+        }
+        assert!(ok >= 29, "ok={ok}");
+    }
+
+    #[test]
+    fn gossip_on_various_families() {
+        for g in [
+            generators::cycle(9),
+            generators::star(8),
+            generators::hypercube(4),
+            generators::balanced_tree(2, 3),
+        ] {
+            let p = 0.3;
+            let plan = GossipPlan::new(&g, p);
+            let out = plan.run(&g, FaultConfig::omission(p), 7);
+            assert!(
+                out.complete(g.node_count()),
+                "n={} missing={}",
+                g.node_count(),
+                out.missing_pairs(g.node_count())
+            );
+        }
+    }
+
+    #[test]
+    fn missing_pairs_counts_correctly() {
+        let g = generators::path(2);
+        let out = GossipPlan::with_horizon(0).run(&g, FaultConfig::fault_free(), 0);
+        // Nobody learned anything beyond their own token: each of the 3
+        // nodes misses 2 tokens.
+        assert_eq!(out.missing_pairs(3), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "128 nodes")]
+    fn rejects_oversized_graphs() {
+        let g = generators::path(150);
+        let _ = GossipPlan::new(&g, 0.1);
+    }
+}

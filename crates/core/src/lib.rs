@@ -1,0 +1,52 @@
+//! Broadcast protocols and feasibility theory from Pelc & Peleg,
+//! *"Feasibility and complexity of broadcasting with random transmission
+//! failures"* (PODC 2005 / Theoretical Computer Science 370 (2007)).
+//!
+//! This is the paper's primary contribution, implemented on top of the
+//! [`randcast_graph`] and [`randcast_engine`] substrates:
+//!
+//! | module | paper section | content |
+//! |--------|---------------|---------|
+//! | [`decay`] | extension | the Bar-Yehuda–Goldreich–Itai randomized Decay baseline (the paper's reference \[7\]) |
+//! | [`feasibility`] | §1–2 | the four feasibility predicates and the radio threshold `p* (Δ)` solving `p = (1−p)^{Δ+1}` |
+//! | [`selftimed`] | §2.1/§2.2.2 remarks | assumption-free (no global index/clock) variants: first-reception relay and the sliding-majority acceptance rule |
+//! | [`simple`] | §2 | algorithms `Simple-Omission` and `Simple-Malicious` (Theorems 2.1, 2.2, 2.4), runnable in both models |
+//! | [`datalink`] | §2.2.2 | the even/odd-steps single-link protocol (any `p < 1`, limited malicious) and the Theorem 2.3 impossibility harness |
+//! | [`flood`] | §3, Thm 3.1 | BFS-tree flooding: omission broadcast in `O(D + log n)` rounds |
+//! | [`gossip`] | extension | almost-safe gossiping after Diks–Pelc (the source of Lemma 3.1) |
+//! | [`kucera`] | §3, Thm 3.2 | Kučera's line algorithm with composition rules \[CO1\]/\[CO2\], its planner, and the tree lift achieving `O(D + log^α n)` |
+//! | [`radio_sched`] | §3, Lemma 3.3 | fault-free radio schedules: validation, greedy construction, exact schedules, brute-force optima |
+//! | [`radio_robust`] | §3, Thm 3.4 | `Omission-Radio` / `Malicious-Radio`: `m`-fold expansion of a fault-free schedule (`O(opt · log n)`) |
+//! | [`lower_bound`] | §3, Thm 3.3 | hit-counting analysis on the three-layer graph `G(m)` |
+//! | [`experiment`] | — | Monte-Carlo experiment drivers shared by the reproduction binaries |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use randcast_core::simple::{SimplePlan, BroadcastOutcome};
+//! use randcast_engine::fault::FaultConfig;
+//! use randcast_engine::mp::SilentMpAdversary;
+//! use randcast_graph::generators;
+//!
+//! // Broadcast a bit over a 4x4 grid with omission failures (p = 0.3).
+//! let g = generators::grid(4, 4);
+//! let plan = SimplePlan::omission(&g, g.node(0));
+//! let outcome = plan.run_mp(&g, FaultConfig::omission(0.3), SilentMpAdversary, 7, true);
+//! assert!(outcome.all_correct(true)); // almost surely, at this size
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datalink;
+pub mod decay;
+pub mod experiment;
+pub mod feasibility;
+pub mod flood;
+pub mod gossip;
+pub mod kucera;
+pub mod lower_bound;
+pub mod radio_robust;
+pub mod radio_sched;
+pub mod selftimed;
+pub mod simple;

@@ -1,0 +1,401 @@
+//! Hit-counting analysis on the three-layer lower-bound graph `G(m)`
+//! (Theorem 3.3 / Lemmas 3.3–3.4).
+//!
+//! `G(m)` has a root `s`, `m` "bit" nodes `b_1 … b_m` adjacent to `s`, and
+//! `2^m − 1` layer-3 nodes, where node with value `v` is adjacent to `b_i`
+//! iff bit `i` of `v` is set. Fault-free broadcast takes `opt = m + 1`
+//! rounds, but almost-safe broadcast requires
+//! `Ω(log n · log log n / log log log n)` rounds.
+//!
+//! Following the paper, layer-2 scheduling is analyzed through **hits**: a
+//! layer-3 node `v` is *hit* by a round transmitting the set
+//! `A ⊆ {1..m}` iff `|A ∩ P_v| = 1` (`P_v` = set bit positions of `v`),
+//! because only then can `v` cleanly hear. If `v` collects `h_v` hits
+//! over the schedule, it misses all of them with probability `p^{h_v}`
+//! (Claim 3.1), so almost-safety forces `h_v ≥ c log n` for all `v`
+//! (Claim 3.2).
+//!
+//! Note on exactness: with omission failures, a round with
+//! `|A ∩ P_v| = k ≥ 2` can still inform `v` if exactly `k − 1` of those
+//! transmitters happen to fail, so the true miss probability is at most
+//! `p^{h_v}`. The Monte-Carlo runner [`LayerSchedule::simulate_omission`] samples the
+//! full process including these failure-assisted receptions; the paper's
+//! hit bound is reported alongside it.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use randcast_graph::NodeId;
+
+use crate::radio_sched::RadioSchedule;
+
+/// A broadcast schedule for the layer-2 nodes of `G(m)`: each round
+/// transmits a subset of bit indices `{1..=m}`, represented as a bitmask
+/// over bits `0..m` (mask bit `i − 1` ⇔ node `b_i`).
+///
+/// The source round is implicit (the paper's Lemma 3.4 assumes the source
+/// is fault-free, so one initial round by `s` informs all of layer 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayerSchedule {
+    m: usize,
+    rounds: Vec<u32>,
+}
+
+impl LayerSchedule {
+    /// Wraps explicit round masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or exceeds 24, or a mask has bits `≥ m`.
+    #[must_use]
+    pub fn new(m: usize, rounds: Vec<u32>) -> Self {
+        assert!((1..=24).contains(&m), "m out of supported range");
+        let full = (1u32 << m) - 1;
+        for &r in &rounds {
+            assert!(r & !full == 0, "round mask uses bits beyond m");
+        }
+        LayerSchedule { m, rounds }
+    }
+
+    /// The number of bit nodes `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of layer-2 rounds (excluding the implicit source round).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the schedule has no rounds.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The round masks.
+    #[must_use]
+    pub fn rounds(&self) -> &[u32] {
+        &self.rounds
+    }
+
+    /// The singleton round-robin schedule: `b_1, …, b_m` repeated `reps`
+    /// times (`τ = m · reps`). A layer-3 node of Hamming weight `j`
+    /// collects `h_v = j · reps` hits, so the binding constraint is the
+    /// weight-1 class: `reps ≥ c log n`.
+    #[must_use]
+    pub fn singletons(m: usize, reps: usize) -> Self {
+        let rounds = (0..reps).flat_map(|_| (0..m).map(|i| 1u32 << i)).collect();
+        LayerSchedule::new(m, rounds)
+    }
+
+    /// The *scale schedule*: for each scale `ℓ ∈ {1, 2, 4, …}` (capped at
+    /// `m`) and each of `reps` repetitions, one uniformly random subset of
+    /// size `ℓ`. Subsets of size `≈ m/j` are the efficient hitters of the
+    /// weight-`j` class (Claim 3.5), so `O(log m)` scales with
+    /// `reps = O(log n)` repetitions cover every class —
+    /// `τ = O(log n · log m)`, the shape the lower bound says cannot be
+    /// improved past `log n · log log n / log log log n`.
+    #[must_use]
+    pub fn scales(m: usize, reps: usize, rng: &mut SmallRng) -> Self {
+        let mut rounds = Vec::new();
+        let mut ell = 1usize;
+        let mut sizes = Vec::new();
+        while ell <= m {
+            sizes.push(ell);
+            ell *= 2;
+        }
+        let mut positions: Vec<usize> = (0..m).collect();
+        for _ in 0..reps {
+            for &size in &sizes {
+                positions.shuffle(rng);
+                let mask = positions[..size]
+                    .iter()
+                    .fold(0u32, |acc, &i| acc | (1 << i));
+                rounds.push(mask);
+            }
+        }
+        LayerSchedule::new(m, rounds)
+    }
+
+    /// Number of hits on the layer-3 node with value `value`
+    /// (`H(v, t) = 1` iff `|A_t ∩ P_v| = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not in `1..2^m`.
+    #[must_use]
+    pub fn hits(&self, value: u32) -> usize {
+        assert!(value >= 1 && value < (1u32 << self.m), "value out of range");
+        self.rounds
+            .iter()
+            .filter(|&&a| (a & value).count_ones() == 1)
+            .count()
+    }
+
+    /// The minimum hit count over all layer-3 nodes — the paper's
+    /// binding quantity (Claim 3.2 requires it to be `≥ c log n`).
+    #[must_use]
+    pub fn min_hits(&self) -> usize {
+        (1..(1u32 << self.m)).map(|v| self.hits(v)).min().unwrap()
+    }
+
+    /// The union-bound failure estimate `Σ_v p^{h_v}` (the paper's
+    /// Claim 3.1 + union bound). Almost-safety needs this `≤ 1/n` with
+    /// `n = 2^m + m`.
+    #[must_use]
+    pub fn union_bound_failure(&self, p: f64) -> f64 {
+        (1..(1u32 << self.m))
+            .map(|v| p.powi(self.hits(v) as i32))
+            .sum()
+    }
+
+    /// Monte-Carlo simulation of the omission-fault process (source
+    /// assumed fault-free, as in Lemma 3.4): layer-2 transmitters fail
+    /// independently with probability `p` per round; a layer-3 node is
+    /// informed when exactly one of its *actually transmitting* neighbors
+    /// transmits. Returns whether every layer-3 node was informed.
+    #[must_use]
+    pub fn simulate_omission(&self, p: f64, rng: &mut SmallRng) -> bool {
+        let total = (1u32 << self.m) - 1;
+        let mut informed = vec![false; total as usize + 1];
+        let mut remaining = total as usize;
+        for &mask in &self.rounds {
+            // Sample per-transmitter omission faults.
+            let mut actual = 0u32;
+            for i in 0..self.m {
+                if mask & (1 << i) != 0 && !rng.gen_bool(p) {
+                    actual |= 1 << i;
+                }
+            }
+            if actual == 0 {
+                continue;
+            }
+            for v in 1..=total {
+                if !informed[v as usize] && (actual & v).count_ones() == 1 {
+                    informed[v as usize] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                return true;
+            }
+        }
+        remaining == 0
+    }
+
+    /// Converts to a full [`RadioSchedule`] on
+    /// [`lower_bound_graph(m)`](randcast_graph::generators::lower_bound_graph):
+    /// one initial round by the source, then the layer-2 rounds.
+    #[must_use]
+    pub fn to_radio_schedule(&self) -> RadioSchedule {
+        let mut rounds: Vec<Vec<NodeId>> = vec![vec![NodeId::new(0)]];
+        for &mask in &self.rounds {
+            rounds.push(
+                (0..self.m)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| NodeId::new(i + 1))
+                    .collect(),
+            );
+        }
+        RadioSchedule::new(rounds)
+    }
+}
+
+/// The exact `(m + 1)`-round optimal schedule of Lemma 3.3: the source,
+/// then each bit node alone.
+#[must_use]
+pub fn lemma33_schedule(m: usize) -> LayerSchedule {
+    LayerSchedule::singletons(m, 1)
+}
+
+/// The paper's lower-bound growth function
+/// `log n · log log n / log log log n` (binary logs, clamped below at 1).
+#[must_use]
+pub fn lower_bound_curve(n: usize) -> f64 {
+    let log = |x: f64| x.log2().max(1.0);
+    let ln_n = log(n as f64);
+    let ll = log(ln_n);
+    let lll = log(ll);
+    ln_n * ll / lll
+}
+
+/// Finds the minimal repetition count for a schedule family such that the
+/// union-bound failure estimate drops to `target` (doubling then binary
+/// search). Returns `(reps, rounds)`.
+pub fn min_reps_for_target<F>(mut family: F, p: f64, target: f64) -> (usize, usize)
+where
+    F: FnMut(usize) -> LayerSchedule,
+{
+    let mut hi = 1usize;
+    while family(hi).union_bound_failure(p) > target {
+        hi *= 2;
+        assert!(hi <= 1 << 20, "target unreachable");
+    }
+    let mut lo = hi / 2; // family(lo) fails (or lo == 0)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if family(mid).union_bound_failure(p) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let sched = family(hi);
+    (hi, sched.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use randcast_graph::generators;
+
+    #[test]
+    fn hits_match_hand_computation() {
+        // m = 3, schedule { {b1}, {b1,b2}, {b1,b2,b3} }.
+        let s = LayerSchedule::new(3, vec![0b001, 0b011, 0b111]);
+        // v = 0b001: hits in round 0 (|{1}|=1), round 1 (|{1}|=1),
+        // round 2 (|{1}|=1) => 3.
+        assert_eq!(s.hits(0b001), 3);
+        // v = 0b011: round 0: |{1}| = 1 hit; round 1: |{1,2}| = 2 no;
+        // round 2: 2 no => 1.
+        assert_eq!(s.hits(0b011), 1);
+        // v = 0b110: round 0: 0; round 1: |{2}|=1 hit; round 2: 2 => 1.
+        assert_eq!(s.hits(0b110), 1);
+        assert_eq!(s.min_hits(), 1);
+    }
+
+    #[test]
+    fn singleton_hits_are_weight_times_reps() {
+        let m = 5;
+        let reps = 4;
+        let s = LayerSchedule::singletons(m, reps);
+        for v in 1u32..(1 << m) {
+            assert_eq!(s.hits(v), v.count_ones() as usize * reps);
+        }
+        assert_eq!(s.len(), m * reps);
+        assert_eq!(s.min_hits(), reps);
+    }
+
+    #[test]
+    fn lemma33_schedule_is_valid_and_optimal_length() {
+        for m in 1..=4 {
+            let g = generators::lower_bound_graph(m);
+            let radio = lemma33_schedule(m).to_radio_schedule();
+            assert_eq!(radio.len(), m + 1);
+            radio.validate(&g, g.node(0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemma33_lower_bound_certified_exhaustively() {
+        // No m-round schedule exists (brute force) for small m: the
+        // optimum is exactly m + 1.
+        use crate::radio_sched::optimal_broadcast_time;
+        for m in 1..=3 {
+            let g = generators::lower_bound_graph(m);
+            assert_eq!(
+                optimal_broadcast_time(&g, g.node(0), m + 1),
+                Some(m + 1),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_bound_decreases_with_reps() {
+        let p = 0.3;
+        let f4 = LayerSchedule::singletons(6, 4).union_bound_failure(p);
+        let f8 = LayerSchedule::singletons(6, 8).union_bound_failure(p);
+        assert!(f8 < f4);
+    }
+
+    #[test]
+    fn union_bound_formula_on_tiny_case() {
+        // m = 1: single layer-3 node (v=1); schedule = {b1} once.
+        let s = LayerSchedule::singletons(1, 1);
+        assert!((s.union_bound_failure(0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_schedule_has_expected_length() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = LayerSchedule::scales(8, 5, &mut rng);
+        // scales {1,2,4,8} => 4 sizes * 5 reps.
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.m(), 8);
+    }
+
+    #[test]
+    fn scale_schedule_hits_all_classes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = LayerSchedule::scales(8, 40, &mut rng);
+        assert!(s.min_hits() > 0, "every node should be hit eventually");
+    }
+
+    #[test]
+    fn simulate_omission_p_zero_always_succeeds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = LayerSchedule::singletons(4, 1);
+        for _ in 0..5 {
+            assert!(s.simulate_omission(0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn simulate_omission_high_p_fails_with_few_reps() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = LayerSchedule::singletons(4, 1);
+        let fails = (0..50)
+            .filter(|_| !s.simulate_omission(0.8, &mut rng))
+            .count();
+        assert!(fails > 25, "fails={fails}");
+    }
+
+    #[test]
+    fn simulate_agrees_with_union_bound_direction() {
+        // Success rate should be at least 1 - union_bound (the bound is
+        // conservative).
+        let p = 0.4;
+        let s = LayerSchedule::singletons(5, 12);
+        let bound = s.union_bound_failure(p);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trials = 400;
+        let ok = (0..trials)
+            .filter(|_| s.simulate_omission(p, &mut rng))
+            .count();
+        let rate = ok as f64 / trials as f64;
+        assert!(
+            rate >= 1.0 - bound - 0.05,
+            "rate={rate} vs 1-bound={}",
+            1.0 - bound
+        );
+    }
+
+    #[test]
+    fn min_reps_search_is_minimal() {
+        let p = 0.5;
+        let m = 6;
+        let n = (1usize << m) + m;
+        let target = 1.0 / n as f64;
+        let (reps, rounds) = min_reps_for_target(|r| LayerSchedule::singletons(m, r), p, target);
+        assert_eq!(rounds, m * reps);
+        assert!(LayerSchedule::singletons(m, reps).union_bound_failure(p) <= target);
+        assert!(LayerSchedule::singletons(m, reps - 1).union_bound_failure(p) > target);
+    }
+
+    #[test]
+    fn lower_bound_curve_grows() {
+        assert!(lower_bound_curve(1 << 12) > lower_bound_curve(1 << 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "round mask")]
+    fn rejects_out_of_range_mask() {
+        let _ = LayerSchedule::new(3, vec![0b1000]);
+    }
+}

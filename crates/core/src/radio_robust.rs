@@ -1,0 +1,356 @@
+//! `Omission-Radio` and `Malicious-Radio` (Theorem 3.4): almost-safe radio
+//! broadcast in `O(opt · log n)` rounds.
+//!
+//! Take any fault-free broadcast schedule `A` (of length `opt` when
+//! optimal). Repeat each round `i` of `A` as a *series* `S_i` of
+//! `m = ⌈c log n⌉` consecutive rounds. A node `v` that receives the
+//! message from `p(v)` in round `i` of `A` instead listens during the
+//! whole series `S_i` and sets its value `M_v` to
+//!
+//! * **any** bit received during `S_i` (`Omission-Radio`, any `p < 1`), or
+//! * the **majority** bit over `S_i`, default `0`
+//!   (`Malicious-Radio`, feasible when `p < (1 − p)^{Δ+1}`).
+//!
+//! In later series where `v` is scheduled to transmit, it transmits `M_v`.
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode};
+use randcast_graph::{Graph, NodeId};
+use randcast_stats::chernoff;
+
+use crate::radio_sched::RadioSchedule;
+use crate::simple::{BroadcastOutcome, VoteMode};
+
+/// A compiled robust radio plan: the base schedule expanded `m`-fold.
+#[derive(Clone, Debug)]
+pub struct ExpandedPlan {
+    /// Base rounds in which each node transmits.
+    transmit_rounds: Vec<Vec<usize>>,
+    /// Base round in which each node listens for its message (`None` for
+    /// the source).
+    listen_round: Vec<Option<usize>>,
+    source: NodeId,
+    mode: VoteMode,
+    m: usize,
+    base_len: usize,
+}
+
+impl ExpandedPlan {
+    /// `Omission-Radio`: series length `m = ⌈2 ln n / ln(1/p)⌉`, any-bit
+    /// vote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid for `(graph, source)` or
+    /// `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn omission(graph: &Graph, source: NodeId, base: &RadioSchedule, p: f64) -> Self {
+        let m = chernoff::phase_len_omission(graph.node_count().max(2), p);
+        Self::with_phase_len(graph, source, base, m, VoteMode::Any)
+    }
+
+    /// `Malicious-Radio`: series length from the `(1 − p)^{Δ+1} − p`
+    /// margin, majority vote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ (1 − p)^{Δ+1}` or the schedule is invalid.
+    #[must_use]
+    pub fn malicious(graph: &Graph, source: NodeId, base: &RadioSchedule, p: f64) -> Self {
+        let m =
+            chernoff::phase_len_malicious_radio(graph.node_count().max(2), p, graph.max_degree());
+        Self::with_phase_len(graph, source, base, m, VoteMode::Majority)
+    }
+
+    /// Expansion with an explicit series length (ablation entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or the base schedule does not validate.
+    #[must_use]
+    pub fn with_phase_len(
+        graph: &Graph,
+        source: NodeId,
+        base: &RadioSchedule,
+        m: usize,
+        mode: VoteMode,
+    ) -> Self {
+        assert!(m > 0, "series length must be positive");
+        base.validate(graph, source)
+            .expect("base schedule must be a valid fault-free broadcast schedule");
+        let n = graph.node_count();
+        let mut transmit_rounds = vec![Vec::new(); n];
+        for (t, set) in base.rounds().iter().enumerate() {
+            for &u in set {
+                transmit_rounds[u.index()].push(t);
+            }
+        }
+        let listen_round = base
+            .reception_map(graph, source)
+            .into_iter()
+            .map(|r| r.map(|(t, _)| t))
+            .collect();
+        ExpandedPlan {
+            transmit_rounds,
+            listen_round,
+            source,
+            mode,
+            m,
+            base_len: base.len(),
+        }
+    }
+
+    /// The series length `m`.
+    #[must_use]
+    pub fn phase_len(&self) -> usize {
+        self.m
+    }
+
+    /// Total expanded rounds: `|A| · m`.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.base_len * self.m
+    }
+
+    /// Executes the expanded schedule in the radio model.
+    pub fn run<A: RadioAdversary<bool>>(
+        &self,
+        graph: &Graph,
+        fault: FaultConfig,
+        adversary: A,
+        seed: u64,
+        source_bit: bool,
+    ) -> BroadcastOutcome {
+        let mut net = RadioNetwork::with_adversary(graph, fault, adversary, seed, |v| {
+            let is_source = v == self.source;
+            ExpandedNode {
+                transmit_rounds: self.transmit_rounds[v.index()].clone(),
+                listen_round: self.listen_round[v.index()],
+                m: self.m,
+                mode: self.mode,
+                value: is_source.then_some(source_bit),
+                decided: is_source,
+                votes: Vec::new(),
+            }
+        });
+        net.run(self.total_rounds());
+        // Finalize nodes whose listening series was the last base round:
+        // their vote is still pending when the schedule ends.
+        for v in graph.nodes() {
+            net.node_mut(v).maybe_decide(self.total_rounds());
+        }
+        BroadcastOutcome {
+            values: graph.nodes().map(|v| net.node(v).value).collect(),
+            rounds: self.total_rounds(),
+        }
+    }
+}
+
+/// Automaton for one node of the expanded schedule.
+#[derive(Clone, Debug)]
+struct ExpandedNode {
+    transmit_rounds: Vec<usize>,
+    listen_round: Option<usize>,
+    m: usize,
+    mode: VoteMode,
+    value: Option<bool>,
+    decided: bool,
+    votes: Vec<bool>,
+}
+
+impl ExpandedNode {
+    fn base_round(&self, round: usize) -> usize {
+        round / self.m
+    }
+
+    /// Finalize the vote once the listening series has passed.
+    fn maybe_decide(&mut self, round: usize) {
+        if self.decided {
+            return;
+        }
+        let Some(listen) = self.listen_round else {
+            return;
+        };
+        if self.base_round(round) > listen {
+            let ones = self.votes.iter().filter(|&&b| b).count();
+            self.value = Some(match self.mode {
+                // Any-bit: with omission faults every received bit is the
+                // truth; `votes` nonempty iff something was heard.
+                VoteMode::Any => self.votes.first().copied().unwrap_or(false),
+                VoteMode::Majority => 2 * ones > self.votes.len(),
+            });
+            self.decided = true;
+        }
+    }
+}
+
+impl RadioNode for ExpandedNode {
+    type Msg = bool;
+
+    fn act(&mut self, round: usize) -> RadioAction<bool> {
+        self.maybe_decide(round);
+        let base = self.base_round(round);
+        if self.transmit_rounds.binary_search(&base).is_ok() {
+            RadioAction::Transmit(self.value.unwrap_or(false))
+        } else {
+            RadioAction::Listen
+        }
+    }
+
+    fn recv(&mut self, round: usize, heard: Option<bool>) {
+        let Some(listen) = self.listen_round else {
+            return;
+        };
+        if self.base_round(round) == listen && !self.decided {
+            if let Some(bit) = heard {
+                self.votes.push(bit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio_sched::{greedy_schedule, path_schedule};
+    use randcast_engine::adversary::{JamRadioAdversary, LieOrJamAdversary};
+    use randcast_engine::radio::SilentRadioAdversary;
+    use randcast_graph::generators;
+
+    #[test]
+    fn fault_free_expansion_reproduces_base_schedule() {
+        let g = generators::path(4);
+        let base = path_schedule(4);
+        let plan = ExpandedPlan::with_phase_len(&g, g.node(0), &base, 3, VoteMode::Any);
+        assert_eq!(plan.total_rounds(), 12);
+        let out = plan.run(&g, FaultConfig::fault_free(), SilentRadioAdversary, 0, true);
+        assert!(out.all_correct(true));
+    }
+
+    #[test]
+    fn omission_expansion_succeeds_at_high_p() {
+        let g = generators::path(6);
+        let base = path_schedule(6);
+        let p = 0.5;
+        let plan = ExpandedPlan::omission(&g, g.node(0), &base, p);
+        let mut ok = 0;
+        for seed in 0..20 {
+            let out = plan.run(
+                &g,
+                FaultConfig::omission(p),
+                SilentRadioAdversary,
+                seed,
+                true,
+            );
+            ok += usize::from(out.all_correct(true));
+        }
+        assert!(ok >= 18, "ok={ok}");
+    }
+
+    #[test]
+    fn malicious_expansion_survives_jamming_below_threshold() {
+        // Path: Δ = 2, threshold p*(2) ≈ 0.276; take p = 0.05.
+        let g = generators::path(5);
+        let base = path_schedule(5);
+        let p = 0.05;
+        let plan = ExpandedPlan::malicious(&g, g.node(0), &base, p);
+        let mut ok = 0;
+        for seed in 0..20 {
+            let out = plan.run(
+                &g,
+                FaultConfig::malicious(p),
+                JamRadioAdversary::new(false),
+                seed,
+                true,
+            );
+            ok += usize::from(out.all_correct(true));
+        }
+        assert!(ok >= 18, "ok={ok}");
+    }
+
+    #[test]
+    fn malicious_expansion_survives_lie_or_jam_below_threshold() {
+        let g = generators::path(4);
+        let base = path_schedule(4);
+        let p = 0.05;
+        let plan = ExpandedPlan::malicious(&g, g.node(0), &base, p);
+        let mut ok = 0;
+        for seed in 0..20 {
+            let out = plan.run(
+                &g,
+                FaultConfig::malicious(p),
+                LieOrJamAdversary::new(true),
+                seed,
+                true,
+            );
+            ok += usize::from(out.all_correct(true));
+        }
+        assert!(ok >= 18, "ok={ok}");
+    }
+
+    #[test]
+    fn works_with_greedy_schedules_on_gm() {
+        let g = generators::lower_bound_graph(3);
+        let base = greedy_schedule(&g, g.node(0));
+        let p = 0.3;
+        let plan = ExpandedPlan::omission(&g, g.node(0), &base, p);
+        let mut ok = 0;
+        for seed in 0..10 {
+            let out = plan.run(
+                &g,
+                FaultConfig::omission(p),
+                SilentRadioAdversary,
+                seed,
+                true,
+            );
+            ok += usize::from(out.all_correct(true));
+        }
+        assert!(ok >= 9, "ok={ok}");
+    }
+
+    #[test]
+    fn any_vote_breaks_under_flip_majority_survives() {
+        // Ablation A1: under a flip adversary, Omission-Radio's any-vote
+        // adopts the first lie it hears; Malicious-Radio's majority
+        // tolerates it (p far below threshold).
+        use randcast_engine::adversary::FlipRadioAdversary;
+        let g = generators::path(3);
+        let base = path_schedule(3);
+        let p = 0.10;
+        let any = ExpandedPlan::with_phase_len(&g, g.node(0), &base, 21, VoteMode::Any);
+        let maj = ExpandedPlan::with_phase_len(&g, g.node(0), &base, 21, VoteMode::Majority);
+        let mut any_ok = 0;
+        let mut maj_ok = 0;
+        for seed in 0..60 {
+            let a = any.run(
+                &g,
+                FaultConfig::malicious(p),
+                FlipRadioAdversary,
+                seed,
+                true,
+            );
+            let m = maj.run(
+                &g,
+                FaultConfig::malicious(p),
+                FlipRadioAdversary,
+                seed,
+                true,
+            );
+            any_ok += usize::from(a.all_correct(true));
+            maj_ok += usize::from(m.all_correct(true));
+        }
+        assert!(maj_ok >= 55, "majority should survive: {maj_ok}");
+        assert!(
+            any_ok < maj_ok,
+            "any-vote should do worse: any={any_ok} maj={maj_ok}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid fault-free broadcast schedule")]
+    fn rejects_invalid_base_schedule() {
+        let g = generators::path(4);
+        let base = path_schedule(2); // incomplete for a length-4 path
+        let _ = ExpandedPlan::with_phase_len(&g, g.node(0), &base, 3, VoteMode::Any);
+    }
+}

@@ -1,0 +1,512 @@
+//! Algorithms `Simple-Omission` and `Simple-Malicious` (Section 2).
+//!
+//! Broadcasting proceeds along a BFS spanning tree `T` rooted at the
+//! source. Nodes are enumerated `v1, …, vn` by nondecreasing distance from
+//! the source; phase `i` consists of `m = ⌈c log n⌉` consecutive steps in
+//! which only `v_i` transmits and all other nodes remain silent (so, in
+//! the radio model, there are never collisions among correct nodes).
+//!
+//! * `Simple-Omission` (Theorem 2.1): `v_i` transmits the source message
+//!   (or the default `0` if it has not received it); a child adopts *any*
+//!   bit received from its parent during the parent's phase.
+//! * `Simple-Malicious` (Theorems 2.2 / 2.4): a child takes the
+//!   *majority* of the bits received from its parent during the parent's
+//!   phase (default `0` on a tie or empty vote).
+//!
+//! Both variants run in the message-passing and radio models; the phase
+//! lengths differ per model and failure type and are chosen by the
+//! explicit Chernoff constants in [`randcast_stats::chernoff`].
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, Outgoing};
+use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode};
+use randcast_graph::{Graph, NodeId, SpanningTree};
+use randcast_stats::chernoff;
+
+/// How a node aggregates the bits heard during its parent's phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VoteMode {
+    /// Adopt any received bit (sound under omission failures, where
+    /// received information can be trusted).
+    Any,
+    /// Adopt the majority bit, defaulting to `false` on ties or an empty
+    /// vote (required under malicious failures).
+    Majority,
+}
+
+/// The result of one broadcast execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BroadcastOutcome {
+    /// Each node's final value (`None` = never decided, for
+    /// [`VoteMode::Any`] nodes that heard nothing).
+    pub values: Vec<Option<bool>>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl BroadcastOutcome {
+    /// Whether every node ended with the source bit — the paper's
+    /// success criterion.
+    #[must_use]
+    pub fn all_correct(&self, source_bit: bool) -> bool {
+        self.values.iter().all(|v| *v == Some(source_bit))
+    }
+
+    /// Number of nodes holding the correct bit.
+    #[must_use]
+    pub fn correct_count(&self, source_bit: bool) -> usize {
+        self.values
+            .iter()
+            .filter(|v| **v == Some(source_bit))
+            .count()
+    }
+}
+
+/// A compiled schedule for `Simple-Omission` / `Simple-Malicious`:
+/// the spanning tree, the level-order enumeration, and the phase length.
+#[derive(Clone, Debug)]
+pub struct SimplePlan {
+    /// Phase index of each node (indexed by node id): node with phase `k`
+    /// transmits during rounds `[k·m, (k+1)·m)`.
+    phase_of: Vec<usize>,
+    /// Tree parent of each node (`None` for the source).
+    parent: Vec<Option<NodeId>>,
+    /// Tree children of each node.
+    children: Vec<Vec<NodeId>>,
+    source: NodeId,
+    mode: VoteMode,
+    m: usize,
+}
+
+impl SimplePlan {
+    /// Plan for node-omission failures (Theorem 2.1): phase length
+    /// `m = ⌈2 ln n / ln(1/p)⌉` so that `p^m ≤ 1/n²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn omission_with_p(graph: &Graph, source: NodeId, p: f64) -> Self {
+        let m = chernoff::phase_len_omission(graph.node_count().max(2), p);
+        Self::with_phase_len(graph, source, m, VoteMode::Any)
+    }
+
+    /// Plan for node-omission failures with a representative default
+    /// failure probability of `p = 0.5` (callers that know `p` should
+    /// prefer [`omission_with_p`](Self::omission_with_p)).
+    #[must_use]
+    pub fn omission(graph: &Graph, source: NodeId) -> Self {
+        Self::omission_with_p(graph, source, 0.5)
+    }
+
+    /// Plan for malicious failures in the message-passing model
+    /// (Theorem 2.2): phase length `m = ⌈ln n / (1/2 − p)²⌉` (odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ 1/2` (infeasible, Theorem 2.3) or the graph is
+    /// disconnected.
+    #[must_use]
+    pub fn malicious_mp(graph: &Graph, source: NodeId, p: f64) -> Self {
+        let m = chernoff::phase_len_malicious_mp(graph.node_count().max(2), p);
+        Self::with_phase_len(graph, source, m, VoteMode::Majority)
+    }
+
+    /// Plan for malicious failures in the radio model (Theorem 2.4):
+    /// phase length from the `q = (1−p)^{Δ+1}` margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ (1−p)^{Δ+1}` (infeasible) or the graph is
+    /// disconnected.
+    #[must_use]
+    pub fn malicious_radio(graph: &Graph, source: NodeId, p: f64) -> Self {
+        let m =
+            chernoff::phase_len_malicious_radio(graph.node_count().max(2), p, graph.max_degree());
+        Self::with_phase_len(graph, source, m, VoteMode::Majority)
+    }
+
+    /// Plan with an explicit phase length (ablation entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or the graph is disconnected from `source`.
+    #[must_use]
+    pub fn with_phase_len(graph: &Graph, source: NodeId, m: usize, mode: VoteMode) -> Self {
+        assert!(m > 0, "phase length must be positive");
+        let tree = SpanningTree::bfs(graph, source);
+        let order = tree.level_order();
+        let mut phase_of = vec![0usize; graph.node_count()];
+        for (k, &v) in order.iter().enumerate() {
+            phase_of[v.index()] = k;
+        }
+        let parent = graph.nodes().map(|v| tree.parent(v)).collect();
+        let children = graph.nodes().map(|v| tree.children(v).to_vec()).collect();
+        SimplePlan {
+            phase_of,
+            parent,
+            children,
+            source,
+            mode,
+            m,
+        }
+    }
+
+    /// The phase length `m`.
+    #[must_use]
+    pub fn phase_len(&self) -> usize {
+        self.m
+    }
+
+    /// The vote mode.
+    #[must_use]
+    pub fn mode(&self) -> VoteMode {
+        self.mode
+    }
+
+    /// Total rounds: `n · m`.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.phase_of.len() * self.m
+    }
+
+    /// Builds the automaton for node `v` with the given source bit.
+    fn node(&self, v: NodeId, source_bit: bool) -> SimpleNode {
+        let is_source = v == self.source;
+        SimpleNode {
+            my_window: window(self.phase_of[v.index()], self.m),
+            parent: self.parent[v.index()],
+            parent_window: self.parent[v.index()].map(|p| window(self.phase_of[p.index()], self.m)),
+            children: self.children[v.index()].clone(),
+            mode: self.mode,
+            value: is_source.then_some(source_bit),
+            is_source,
+            votes: Vec::new(),
+            decided: is_source,
+        }
+    }
+
+    /// Executes the plan in the message-passing model.
+    pub fn run_mp<A: MpAdversary<bool>>(
+        &self,
+        graph: &Graph,
+        fault: FaultConfig,
+        adversary: A,
+        seed: u64,
+        source_bit: bool,
+    ) -> BroadcastOutcome {
+        let mut net =
+            MpNetwork::with_adversary(graph, fault, adversary, seed, |v| self.node(v, source_bit));
+        net.run(self.total_rounds());
+        BroadcastOutcome {
+            values: graph.nodes().map(|v| net.node(v).final_value()).collect(),
+            rounds: self.total_rounds(),
+        }
+    }
+
+    /// Executes the plan in the radio model.
+    pub fn run_radio<A: RadioAdversary<bool>>(
+        &self,
+        graph: &Graph,
+        fault: FaultConfig,
+        adversary: A,
+        seed: u64,
+        source_bit: bool,
+    ) -> BroadcastOutcome {
+        let mut net = RadioNetwork::with_adversary(graph, fault, adversary, seed, |v| {
+            self.node(v, source_bit)
+        });
+        net.run(self.total_rounds());
+        BroadcastOutcome {
+            values: graph.nodes().map(|v| net.node(v).final_value()).collect(),
+            rounds: self.total_rounds(),
+        }
+    }
+}
+
+/// Half-open round window `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Window {
+    start: usize,
+    end: usize,
+}
+
+impl Window {
+    fn contains(self, round: usize) -> bool {
+        (self.start..self.end).contains(&round)
+    }
+}
+
+fn window(phase: usize, m: usize) -> Window {
+    Window {
+        start: phase * m,
+        end: (phase + 1) * m,
+    }
+}
+
+/// Majority of a vote list; `false` on tie or empty (the paper's
+/// default-0 rule).
+fn majority(votes: &[bool]) -> bool {
+    let ones = votes.iter().filter(|&&b| b).count();
+    2 * ones > votes.len()
+}
+
+/// The per-node automaton shared by both algorithm variants and both
+/// communication models.
+#[derive(Clone, Debug)]
+struct SimpleNode {
+    my_window: Window,
+    parent: Option<NodeId>,
+    parent_window: Option<Window>,
+    children: Vec<NodeId>,
+    mode: VoteMode,
+    value: Option<bool>,
+    is_source: bool,
+    votes: Vec<bool>,
+    decided: bool,
+}
+
+impl SimpleNode {
+    /// Accepts a bit heard during the parent's phase.
+    fn observe(&mut self, round: usize, bit: bool) {
+        let Some(w) = self.parent_window else {
+            return;
+        };
+        if !w.contains(round) || self.is_source {
+            return;
+        }
+        match self.mode {
+            VoteMode::Any => {
+                if self.value.is_none() {
+                    self.value = Some(bit);
+                    self.decided = true;
+                }
+            }
+            VoteMode::Majority => self.votes.push(bit),
+        }
+    }
+
+    /// Finalizes the majority vote once the parent's phase has ended.
+    fn maybe_decide(&mut self, round: usize) {
+        if self.decided || self.mode != VoteMode::Majority {
+            return;
+        }
+        if let Some(w) = self.parent_window {
+            if round >= w.end {
+                self.value = Some(majority(&self.votes));
+                self.decided = true;
+            }
+        }
+    }
+
+    /// The bit this node transmits during its phase (the paper's
+    /// "Ms, or 0 if it has not received Ms").
+    fn transmit_bit(&self) -> bool {
+        self.value.unwrap_or(false)
+    }
+
+    fn final_value(&self) -> Option<bool> {
+        self.value
+    }
+}
+
+impl MpNode for SimpleNode {
+    type Msg = bool;
+
+    fn send(&mut self, round: usize) -> Outgoing<bool> {
+        self.maybe_decide(round);
+        if self.my_window.contains(round) && !self.children.is_empty() {
+            let bit = self.transmit_bit();
+            Outgoing::Directed(self.children.iter().map(|&c| (c, bit)).collect())
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn recv(&mut self, round: usize, from: NodeId, msg: bool) {
+        if Some(from) == self.parent {
+            self.observe(round, msg);
+        }
+    }
+}
+
+impl RadioNode for SimpleNode {
+    type Msg = bool;
+
+    fn act(&mut self, round: usize) -> RadioAction<bool> {
+        self.maybe_decide(round);
+        if self.my_window.contains(round) {
+            RadioAction::Transmit(self.transmit_bit())
+        } else {
+            RadioAction::Listen
+        }
+    }
+
+    fn recv(&mut self, round: usize, heard: Option<bool>) {
+        // In the radio model the receiver cannot name the sender; it
+        // trusts the schedule: during the parent's phase only the parent
+        // is *supposed* to transmit. (Malicious faults may violate that —
+        // exactly the attack surface Theorem 2.4 quantifies.)
+        if let Some(bit) = heard {
+            self.observe(round, bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_engine::adversary::{FlipMpAdversary, JamRadioAdversary};
+    use randcast_engine::mp::SilentMpAdversary;
+    use randcast_engine::radio::SilentRadioAdversary;
+    use randcast_graph::generators;
+
+    #[test]
+    fn majority_defaults_to_false() {
+        assert!(!majority(&[]));
+        assert!(!majority(&[true, false]));
+        assert!(majority(&[true, true, false]));
+        assert!(!majority(&[false, false, true]));
+    }
+
+    #[test]
+    fn fault_free_mp_broadcast_succeeds_both_bits() {
+        let g = generators::grid(3, 4);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 1, VoteMode::Any);
+        for bit in [false, true] {
+            let out = plan.run_mp(&g, FaultConfig::fault_free(), SilentMpAdversary, 0, bit);
+            assert!(out.all_correct(bit), "bit={bit}");
+        }
+    }
+
+    #[test]
+    fn fault_free_radio_broadcast_succeeds() {
+        let g = generators::lower_bound_graph(3);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 1, VoteMode::Any);
+        let out = plan.run_radio(&g, FaultConfig::fault_free(), SilentRadioAdversary, 0, true);
+        assert!(out.all_correct(true));
+    }
+
+    #[test]
+    fn fault_free_majority_mode_succeeds() {
+        let g = generators::balanced_tree(2, 3);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 3, VoteMode::Majority);
+        let out = plan.run_mp(&g, FaultConfig::fault_free(), SilentMpAdversary, 0, true);
+        assert!(out.all_correct(true));
+        let out = plan.run_radio(&g, FaultConfig::fault_free(), SilentRadioAdversary, 0, true);
+        assert!(out.all_correct(true));
+    }
+
+    #[test]
+    fn omission_broadcast_usually_succeeds_at_high_p() {
+        // p = 0.6 < 1: feasible (Theorem 2.1). With the prescribed m,
+        // failure probability is at most 1/n per run.
+        let g = generators::path(15);
+        let plan = SimplePlan::omission_with_p(&g, g.node(0), 0.6);
+        let mut successes = 0;
+        for seed in 0..20 {
+            let out = plan.run_mp(
+                &g,
+                FaultConfig::omission(0.6),
+                SilentMpAdversary,
+                seed,
+                true,
+            );
+            successes += usize::from(out.all_correct(true));
+        }
+        assert!(successes >= 18, "successes={successes}");
+    }
+
+    #[test]
+    fn omission_radio_matches_mp_structure() {
+        let g = generators::star(6);
+        let plan = SimplePlan::omission_with_p(&g, g.node(0), 0.5);
+        let out = plan.run_radio(
+            &g,
+            FaultConfig::omission(0.5),
+            SilentRadioAdversary,
+            3,
+            true,
+        );
+        // Not asserting success (randomized) but shape: rounds = n * m.
+        assert_eq!(out.rounds, plan.total_rounds());
+        assert_eq!(out.values.len(), g.node_count());
+    }
+
+    #[test]
+    fn malicious_mp_survives_flip_adversary_below_half() {
+        let g = generators::grid(3, 3);
+        let p = 0.3;
+        let plan = SimplePlan::malicious_mp(&g, g.node(0), p);
+        let mut successes = 0;
+        for seed in 0..20 {
+            let out = plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, true);
+            successes += usize::from(out.all_correct(true));
+        }
+        assert!(successes >= 18, "successes={successes}");
+    }
+
+    #[test]
+    fn malicious_radio_survives_jam_below_threshold() {
+        // Star with Δ = 3 (3 leaves + center... center degree 3):
+        // threshold p*(3) ≈ 0.2; take p well below.
+        let g = generators::star(3);
+        let p = 0.05;
+        let plan = SimplePlan::malicious_radio(&g, g.node(0), p);
+        let mut successes = 0;
+        for seed in 0..20 {
+            let out = plan.run_radio(
+                &g,
+                FaultConfig::malicious(p),
+                JamRadioAdversary::new(false),
+                seed,
+                true,
+            );
+            successes += usize::from(out.all_correct(true));
+        }
+        assert!(successes >= 18, "successes={successes}");
+    }
+
+    #[test]
+    fn phase_windows_do_not_overlap() {
+        let g = generators::path(5);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 4, VoteMode::Any);
+        // All six nodes have disjoint windows covering 24 rounds.
+        let mut seen = vec![false; plan.total_rounds()];
+        for v in g.nodes() {
+            let w = window(plan.phase_of[v.index()], plan.m);
+            for (r, slot) in seen.iter_mut().enumerate().take(w.end).skip(w.start) {
+                assert!(!*slot, "round {r} double-booked");
+                *slot = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn source_keeps_its_bit_under_majority() {
+        // Even with an adversary, the source's own value never changes.
+        let g = generators::path(3);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 5, VoteMode::Majority);
+        let out = plan.run_mp(&g, FaultConfig::malicious(0.4), FlipMpAdversary, 1, true);
+        assert_eq!(out.values[0], Some(true));
+    }
+
+    #[test]
+    fn outcome_counters() {
+        let g = generators::path(2);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 1, VoteMode::Any);
+        let out = plan.run_mp(&g, FaultConfig::fault_free(), SilentMpAdversary, 0, true);
+        assert_eq!(out.correct_count(true), 3);
+        assert!(!out.all_correct(false));
+    }
+
+    #[test]
+    fn total_rounds_is_n_times_m() {
+        let g = generators::cycle(7);
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), 9, VoteMode::Any);
+        assert_eq!(plan.total_rounds(), 63);
+        assert_eq!(plan.phase_len(), 9);
+        assert_eq!(plan.mode(), VoteMode::Any);
+    }
+}

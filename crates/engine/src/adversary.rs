@@ -1,0 +1,504 @@
+//! Standard adversaries, including the paper's worst-case constructions.
+//!
+//! Positive (feasibility) results must survive *every* adversary here;
+//! negative results are demonstrated with the specific adversaries from
+//! the paper's proofs:
+//!
+//! * [`FlipMpAdversary`] — Theorem 2.3's "opposite behavior" adversary
+//!   specialized to relay protocols: a faulty transmitter sends the
+//!   complement of whatever it intended to send (for a protocol relaying
+//!   the source bit, that is exactly "the behavior for the opposite
+//!   source message").
+//! * [`LieOrJamAdversary`] — Theorem 2.4's radio adversary: when the
+//!   scheduled speaker is faulty it delivers a clean lie while all other
+//!   faulty nodes stay silent; when the speaker is healthy every faulty
+//!   node transmits, colliding the truth away (and deafening itself).
+//! * [`Throttled`] — the paper's failure-rate "slowing" reduction: an
+//!   adversary facing `p > p*` that behaves fault-free with probability
+//!   `(p − p*)/p` is exactly a malicious adversary for `p*`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use randcast_graph::NodeId;
+
+use crate::mp::{MpAdversary, MpRoundCtx, Outgoing};
+use crate::radio::{RadioAction, RadioAdversary, RadioRoundCtx};
+
+// ---------------------------------------------------------------------------
+// Message-passing adversaries
+// ---------------------------------------------------------------------------
+
+/// Flips every bit a faulty transmitter intended to send (silent nodes
+/// stay silent). Compatible with the limited-malicious containment rule.
+///
+/// For bit-relay protocols this is the Theorem 2.3 adversary: switching a
+/// faulty sender's transmission to "the corresponding one for the opposite
+/// source message".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlipMpAdversary;
+
+impl MpAdversary<bool> for FlipMpAdversary {
+    fn corrupt_round(
+        &mut self,
+        ctx: MpRoundCtx<'_, bool>,
+        _rng: &mut SmallRng,
+    ) -> Vec<(NodeId, Outgoing<bool>)> {
+        ctx.faulty
+            .iter()
+            .map(|&v| {
+                let flipped = match &ctx.intended[v.index()] {
+                    Outgoing::Silent => Outgoing::Silent,
+                    Outgoing::Broadcast(b) => Outgoing::Broadcast(!b),
+                    Outgoing::Directed(list) => {
+                        Outgoing::Directed(list.iter().map(|&(t, b)| (t, !b)).collect())
+                    }
+                };
+                (v, flipped)
+            })
+            .collect()
+    }
+}
+
+/// Always broadcasts the complement of a fixed ground-truth bit from every
+/// faulty node, out of turn if need be (full-malicious only — under
+/// limited-malicious the engine clamps the out-of-turn part away).
+///
+/// A blunter instrument than [`FlipMpAdversary`]; used in ablations to
+/// show flip-of-intended is the binding attack near `p = 1/2`.
+#[derive(Clone, Copy, Debug)]
+pub struct AntiTruthMpAdversary {
+    truth: bool,
+}
+
+impl AntiTruthMpAdversary {
+    /// Creates an adversary that pushes the complement of `truth`.
+    #[must_use]
+    pub fn new(truth: bool) -> Self {
+        AntiTruthMpAdversary { truth }
+    }
+}
+
+impl MpAdversary<bool> for AntiTruthMpAdversary {
+    fn corrupt_round(
+        &mut self,
+        ctx: MpRoundCtx<'_, bool>,
+        _rng: &mut SmallRng,
+    ) -> Vec<(NodeId, Outgoing<bool>)> {
+        ctx.faulty
+            .iter()
+            .map(|&v| (v, Outgoing::Broadcast(!self.truth)))
+            .collect()
+    }
+}
+
+/// Broadcasts a uniformly random bit from every faulty node (a weak,
+/// oblivious attacker — ablation baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomBitMpAdversary;
+
+impl MpAdversary<bool> for RandomBitMpAdversary {
+    fn corrupt_round(
+        &mut self,
+        ctx: MpRoundCtx<'_, bool>,
+        rng: &mut SmallRng,
+    ) -> Vec<(NodeId, Outgoing<bool>)> {
+        ctx.faulty
+            .iter()
+            .map(|&v| (v, Outgoing::Broadcast(rng.gen_bool(0.5))))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Radio adversaries
+// ---------------------------------------------------------------------------
+
+/// Every faulty node transmits `garbage` — maximal collision pressure and
+/// self-deafening. The crude jamming attack.
+#[derive(Clone, Debug)]
+pub struct JamRadioAdversary<M> {
+    garbage: M,
+}
+
+impl<M> JamRadioAdversary<M> {
+    /// Creates a jammer transmitting `garbage` from every faulty node.
+    #[must_use]
+    pub fn new(garbage: M) -> Self {
+        JamRadioAdversary { garbage }
+    }
+}
+
+impl<M: Clone + Eq + std::fmt::Debug> RadioAdversary<M> for JamRadioAdversary<M> {
+    fn corrupt_round(
+        &mut self,
+        ctx: RadioRoundCtx<'_, M>,
+        _rng: &mut SmallRng,
+    ) -> Vec<(NodeId, RadioAction<M>)> {
+        ctx.faulty
+            .iter()
+            .map(|&v| (v, RadioAction::Transmit(self.garbage.clone())))
+            .collect()
+    }
+}
+
+/// Flips the bit of every faulty transmitter that was scheduled to speak;
+/// faulty listeners stay silent (in-turn corruption only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlipRadioAdversary;
+
+impl RadioAdversary<bool> for FlipRadioAdversary {
+    fn corrupt_round(
+        &mut self,
+        ctx: RadioRoundCtx<'_, bool>,
+        _rng: &mut SmallRng,
+    ) -> Vec<(NodeId, RadioAction<bool>)> {
+        ctx.faulty
+            .iter()
+            .filter_map(|&v| match ctx.intended[v.index()] {
+                RadioAction::Transmit(b) => Some((v, RadioAction::Transmit(!b))),
+                RadioAction::Listen => None,
+            })
+            .collect()
+    }
+}
+
+/// Theorem 2.4's adaptive radio adversary, generalized to any schedule
+/// that designates one speaker per round.
+///
+/// Per round, with `T` = set of nodes intending to transmit:
+///
+/// * `|T| = 1`, speaker faulty → the speaker transmits the complement of
+///   the ground-truth bit; every other faulty node stays silent (a clean
+///   lie beats a collision).
+/// * `|T| = 1`, speaker healthy → every faulty node transmits garbage,
+///   colliding the truth away at shared listeners and deafening itself.
+/// * otherwise → faulty nodes behave as if fault-free (the paper's
+///   "outside `S`" case).
+#[derive(Clone, Copy, Debug)]
+pub struct LieOrJamAdversary {
+    truth: bool,
+}
+
+impl LieOrJamAdversary {
+    /// Creates the adversary; `truth` is the source message it fights.
+    #[must_use]
+    pub fn new(truth: bool) -> Self {
+        LieOrJamAdversary { truth }
+    }
+}
+
+impl RadioAdversary<bool> for LieOrJamAdversary {
+    fn corrupt_round(
+        &mut self,
+        ctx: RadioRoundCtx<'_, bool>,
+        _rng: &mut SmallRng,
+    ) -> Vec<(NodeId, RadioAction<bool>)> {
+        let speakers: Vec<NodeId> = ctx
+            .graph
+            .nodes()
+            .filter(|v| ctx.intended[v.index()].is_transmit())
+            .collect();
+        if speakers.len() != 1 {
+            // Behave fault-free.
+            return ctx
+                .faulty
+                .iter()
+                .map(|&v| (v, ctx.intended[v.index()].clone()))
+                .collect();
+        }
+        let speaker = speakers[0];
+        let speaker_faulty = ctx.faulty.contains(&speaker);
+        ctx.faulty
+            .iter()
+            .map(|&v| {
+                let action = if speaker_faulty {
+                    if v == speaker {
+                        RadioAction::Transmit(!self.truth)
+                    } else {
+                        RadioAction::Listen
+                    }
+                } else {
+                    RadioAction::Transmit(!self.truth)
+                };
+                (v, action)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The throttling reduction
+// ---------------------------------------------------------------------------
+
+/// The paper's failure-rate "slowing" wrapper (proofs of Theorems 2.3 and
+/// 2.4): when the ambient failure probability `p` exceeds the target
+/// `p*`, behave fault-free with probability `(p − p*)/p` on each fault,
+/// otherwise delegate to the inner adversary. The composition is exactly
+/// a malicious adversary operating at rate `p*`.
+#[derive(Clone, Debug)]
+pub struct Throttled<A> {
+    inner: A,
+    keep_prob: f64,
+}
+
+impl<A> Throttled<A> {
+    /// Wraps `inner`, throttling ambient rate `p` down to `p_target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_target <= p < 1`.
+    #[must_use]
+    pub fn new(inner: A, p: f64, p_target: f64) -> Self {
+        assert!(
+            0.0 < p_target && p_target <= p && p < 1.0,
+            "need 0 < p_target <= p < 1"
+        );
+        Throttled {
+            inner,
+            // Probability of *remaining* malicious given a fault.
+            keep_prob: p_target / p,
+        }
+    }
+}
+
+impl<A: MpAdversary<M>, M: Clone + Eq + std::fmt::Debug> MpAdversary<M> for Throttled<A> {
+    fn corrupt_round(
+        &mut self,
+        ctx: MpRoundCtx<'_, M>,
+        rng: &mut SmallRng,
+    ) -> Vec<(NodeId, Outgoing<M>)> {
+        // Split the faulty set: some stay malicious, the rest behave.
+        let (kept, healed): (Vec<NodeId>, Vec<NodeId>) = ctx
+            .faulty
+            .iter()
+            .partition(|_| rng.gen_bool(self.keep_prob));
+        let sub_ctx = MpRoundCtx {
+            round: ctx.round,
+            graph: ctx.graph,
+            faulty: &kept,
+            intended: ctx.intended,
+        };
+        let mut overrides = self.inner.corrupt_round(sub_ctx, rng);
+        overrides.extend(
+            healed
+                .into_iter()
+                .map(|v| (v, ctx.intended[v.index()].clone())),
+        );
+        overrides
+    }
+}
+
+impl<A: RadioAdversary<M>, M: Clone + Eq + std::fmt::Debug> RadioAdversary<M> for Throttled<A> {
+    fn corrupt_round(
+        &mut self,
+        ctx: RadioRoundCtx<'_, M>,
+        rng: &mut SmallRng,
+    ) -> Vec<(NodeId, RadioAction<M>)> {
+        let (kept, healed): (Vec<NodeId>, Vec<NodeId>) = ctx
+            .faulty
+            .iter()
+            .partition(|_| rng.gen_bool(self.keep_prob));
+        let sub_ctx = RadioRoundCtx {
+            round: ctx.round,
+            graph: ctx.graph,
+            faulty: &kept,
+            intended: ctx.intended,
+        };
+        let mut overrides = self.inner.corrupt_round(sub_ctx, rng);
+        overrides.extend(
+            healed
+                .into_iter()
+                .map(|v| (v, ctx.intended[v.index()].clone())),
+        );
+        overrides
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::mp::{MpNetwork, MpNode};
+    use crate::radio::{RadioNetwork, RadioNode};
+    use randcast_graph::generators;
+
+    /// Sender 0 broadcasts `true` every round; everyone records bits.
+    struct Repeater {
+        me: usize,
+        heard: Vec<bool>,
+    }
+    impl MpNode for Repeater {
+        type Msg = bool;
+        fn send(&mut self, _round: usize) -> Outgoing<bool> {
+            if self.me == 0 {
+                Outgoing::Broadcast(true)
+            } else {
+                Outgoing::Silent
+            }
+        }
+        fn recv(&mut self, _round: usize, _from: NodeId, msg: bool) {
+            self.heard.push(msg);
+        }
+    }
+
+    fn mp_heard_with<A: MpAdversary<bool>>(adversary: A, p: f64, seed: u64) -> Vec<bool> {
+        let g = generators::path(1);
+        let mut net =
+            MpNetwork::with_adversary(&g, FaultConfig::malicious(p), adversary, seed, |v| {
+                Repeater {
+                    me: v.index(),
+                    heard: Vec::new(),
+                }
+            });
+        net.run(400);
+        net.node(g.node(1)).heard.clone()
+    }
+
+    #[test]
+    fn flip_adversary_error_rate_matches_p() {
+        let heard = mp_heard_with(FlipMpAdversary, 0.3, 1);
+        assert_eq!(heard.len(), 400, "flip preserves delivery");
+        let wrong = heard.iter().filter(|&&b| !b).count() as f64 / 400.0;
+        assert!((wrong - 0.3).abs() < 0.07, "wrong={wrong}");
+    }
+
+    #[test]
+    fn anti_truth_pushes_complement() {
+        let heard = mp_heard_with(AntiTruthMpAdversary::new(true), 0.5, 2);
+        assert!(heard.iter().any(|&b| !b));
+        assert!(heard.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn random_bit_is_unbiased() {
+        let heard = mp_heard_with(RandomBitMpAdversary, 0.9, 3);
+        let falses = heard.iter().filter(|&&b| !b).count() as f64;
+        // ~90% of rounds faulty, half of those deliver false: ~45%.
+        let rate = falses / heard.len() as f64;
+        assert!((rate - 0.45).abs() < 0.08, "rate={rate}");
+    }
+
+    #[test]
+    fn throttled_mp_reduces_effective_error() {
+        // Ambient p = 0.8 throttled to 0.4: flip rate should be ~0.4.
+        let heard = mp_heard_with(Throttled::new(FlipMpAdversary, 0.8, 0.4), 0.8, 4);
+        let wrong = heard.iter().filter(|&&b| !b).count() as f64 / heard.len() as f64;
+        assert!((wrong - 0.4).abs() < 0.07, "wrong={wrong}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_target")]
+    fn throttled_validates_targets() {
+        let _ = Throttled::new(FlipMpAdversary, 0.3, 0.5);
+    }
+
+    /// Radio: node `speaker` transmits `true` every round, rest listen.
+    struct RSpeak {
+        me: usize,
+        speaker: usize,
+        heard: Vec<Option<bool>>,
+    }
+    impl RadioNode for RSpeak {
+        type Msg = bool;
+        fn act(&mut self, _round: usize) -> RadioAction<bool> {
+            if self.me == self.speaker {
+                RadioAction::Transmit(true)
+            } else {
+                RadioAction::Listen
+            }
+        }
+        fn recv(&mut self, _round: usize, heard: Option<bool>) {
+            self.heard.push(heard);
+        }
+    }
+
+    #[test]
+    fn lie_or_jam_on_star_produces_clean_lies_and_collisions() {
+        // Star with center 0 and 4 leaves; speaker = leaf 1 (the source),
+        // listener = center 0.
+        let g = generators::star(4);
+        let mut net = RadioNetwork::with_adversary(
+            &g,
+            FaultConfig::malicious(0.4),
+            LieOrJamAdversary::new(true),
+            7,
+            |v| RSpeak {
+                me: v.index(),
+                speaker: 1,
+                heard: Vec::new(),
+            },
+        );
+        net.run(600);
+        let center = net.node(g.node(0));
+        let lies = center.heard.iter().filter(|h| **h == Some(false)).count();
+        let truths = center.heard.iter().filter(|h| **h == Some(true)).count();
+        assert!(lies > 0, "speaker faults should deliver clean lies");
+        assert!(truths > 0, "fault-free rounds should deliver truth");
+        assert!(net.stats().collisions > 0, "healthy-speaker rounds jam");
+    }
+
+    #[test]
+    fn jam_adversary_maximizes_collisions() {
+        let g = generators::star(4);
+        let mut net = RadioNetwork::with_adversary(
+            &g,
+            FaultConfig::malicious(0.5),
+            JamRadioAdversary::new(false),
+            8,
+            |v| RSpeak {
+                me: v.index(),
+                speaker: 1,
+                heard: Vec::new(),
+            },
+        );
+        net.run(200);
+        assert!(net.stats().collisions > 20);
+    }
+
+    #[test]
+    fn flip_radio_only_speaks_in_turn() {
+        let g = generators::path(2);
+        let mut net = RadioNetwork::with_adversary(
+            &g,
+            FaultConfig::malicious(0.5),
+            FlipRadioAdversary,
+            9,
+            |v| RSpeak {
+                me: v.index(),
+                speaker: 0,
+                heard: Vec::new(),
+            },
+        );
+        net.run(300);
+        // Node 2 is not adjacent to the speaker and no faulty listener
+        // ever transmits, so node 2 hears nothing, ever.
+        assert!(net.node(g.node(2)).heard.iter().all(Option::is_none));
+        // Node 1 hears flipped bits at rate ~p.
+        let heard = &net.node(g.node(1)).heard;
+        let falses = heard.iter().filter(|h| **h == Some(false)).count();
+        assert!(falses > 100, "falses={falses}");
+    }
+
+    #[test]
+    fn throttled_radio_heals_faults() {
+        let g = generators::path(1);
+        // Throttle 0.9 down to 0.1: listener should hear mostly truth.
+        let mut net = RadioNetwork::with_adversary(
+            &g,
+            FaultConfig::malicious(0.9),
+            Throttled::new(FlipRadioAdversary, 0.9, 0.1),
+            10,
+            |v| RSpeak {
+                me: v.index(),
+                speaker: 0,
+                heard: Vec::new(),
+            },
+        );
+        net.run(500);
+        let heard = &net.node(g.node(1)).heard;
+        let truths = heard.iter().filter(|h| **h == Some(true)).count() as f64;
+        let rate = truths / heard.len() as f64;
+        assert!((rate - 0.9).abs() < 0.06, "rate={rate}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Execution tracing via automaton decorators.
+//!
+//! The engines stay lean; tracing is opt-in by wrapping a node automaton
+//! in [`Traced`], which logs every action and reception into a shared
+//! [`TraceLog`]. Useful for debugging protocols and for asserting
+//! fine-grained timing properties in tests.
+//!
+//! ```
+//! use randcast_engine::fault::FaultConfig;
+//! use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
+//! use randcast_engine::trace::{Traced, TraceEvent, TraceLog};
+//! use randcast_graph::{generators, NodeId};
+//!
+//! struct Beep;
+//! impl MpNode for Beep {
+//!     type Msg = bool;
+//!     fn send(&mut self, round: usize) -> Outgoing<bool> {
+//!         if round == 0 { Outgoing::Broadcast(true) } else { Outgoing::Silent }
+//!     }
+//!     fn recv(&mut self, _round: usize, _from: NodeId, _msg: bool) {}
+//! }
+//!
+//! let g = generators::path(1);
+//! let log = TraceLog::new();
+//! let mut net = MpNetwork::new(&g, FaultConfig::fault_free(), 0, |v| {
+//!     Traced::new(v, Beep, log.clone())
+//! });
+//! net.step();
+//! let events = log.events();
+//! assert!(matches!(events[0], TraceEvent::MpSend { round: 0, .. }));
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use randcast_graph::NodeId;
+
+use crate::mp::{MpNode, Outgoing};
+use crate::radio::{RadioAction, RadioNode};
+
+/// One logged event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent<M> {
+    /// A message-passing node produced an outgoing intention.
+    MpSend {
+        /// Emitting node.
+        node: NodeId,
+        /// Round of the intention.
+        round: usize,
+        /// Whether anything was sent.
+        silent: bool,
+    },
+    /// A message-passing node received a message.
+    MpRecv {
+        /// Receiving node.
+        node: NodeId,
+        /// Round of the delivery.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// The delivered message.
+        msg: M,
+    },
+    /// A radio node chose an action.
+    RadioAct {
+        /// Acting node.
+        node: NodeId,
+        /// Round of the action.
+        round: usize,
+        /// Whether it transmitted.
+        transmit: bool,
+    },
+    /// A radio node observed a reception outcome.
+    RadioRecv {
+        /// Listening node.
+        node: NodeId,
+        /// Round of the observation.
+        round: usize,
+        /// What was heard (`None` = silence/collision).
+        heard: Option<M>,
+    },
+}
+
+/// A shared, clonable event log (single-threaded interior mutability —
+/// the engines are single-threaded by design).
+pub struct TraceLog<M> {
+    events: Rc<RefCell<Vec<TraceEvent<M>>>>,
+}
+
+impl<M> Clone for TraceLog<M> {
+    fn clone(&self) -> Self {
+        TraceLog {
+            events: Rc::clone(&self.events),
+        }
+    }
+}
+
+impl<M> Default for TraceLog<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> fmt::Debug for TraceLog<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceLog({} events)", self.events.borrow().len())
+    }
+}
+
+impl<M> TraceLog<M> {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog {
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    fn push(&self, e: TraceEvent<M>) {
+        self.events.borrow_mut().push(e);
+    }
+
+    /// A snapshot of all events so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent<M>>
+    where
+        TraceEvent<M>: Clone,
+    {
+        self.events.borrow().clone()
+    }
+
+    /// Number of logged events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+/// Decorator logging all of a node's interactions into a [`TraceLog`].
+#[derive(Clone, Debug)]
+pub struct Traced<P, M> {
+    id: NodeId,
+    inner: P,
+    log: TraceLog<M>,
+}
+
+impl<P, M: Clone> Traced<P, M> {
+    /// Wraps `inner` (playing node `id`), logging into `log`.
+    #[must_use]
+    pub fn new(id: NodeId, inner: P, log: TraceLog<M>) -> Self {
+        Traced { id, inner, log }
+    }
+
+    /// The wrapped automaton.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the automaton.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P, M> MpNode for Traced<P, M>
+where
+    P: MpNode<Msg = M>,
+    M: Clone + Eq + fmt::Debug,
+{
+    type Msg = M;
+
+    fn send(&mut self, round: usize) -> Outgoing<M> {
+        let out = self.inner.send(round);
+        self.log.push(TraceEvent::MpSend {
+            node: self.id,
+            round,
+            silent: out.is_silent(),
+        });
+        out
+    }
+
+    fn recv(&mut self, round: usize, from: NodeId, msg: M) {
+        self.log.push(TraceEvent::MpRecv {
+            node: self.id,
+            round,
+            from,
+            msg: msg.clone(),
+        });
+        self.inner.recv(round, from, msg);
+    }
+}
+
+impl<P, M> RadioNode for Traced<P, M>
+where
+    P: RadioNode<Msg = M>,
+    M: Clone + Eq + fmt::Debug,
+{
+    type Msg = M;
+
+    fn act(&mut self, round: usize) -> RadioAction<M> {
+        let action = self.inner.act(round);
+        self.log.push(TraceEvent::RadioAct {
+            node: self.id,
+            round,
+            transmit: action.is_transmit(),
+        });
+        action
+    }
+
+    fn recv(&mut self, round: usize, heard: Option<M>) {
+        self.log.push(TraceEvent::RadioRecv {
+            node: self.id,
+            round,
+            heard: heard.clone(),
+        });
+        self.inner.recv(round, heard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::mp::MpNetwork;
+    use crate::radio::RadioNetwork;
+    use randcast_graph::generators;
+
+    struct Echo {
+        have: bool,
+    }
+    impl MpNode for Echo {
+        type Msg = bool;
+        fn send(&mut self, _round: usize) -> Outgoing<bool> {
+            if self.have {
+                Outgoing::Broadcast(true)
+            } else {
+                Outgoing::Silent
+            }
+        }
+        fn recv(&mut self, _round: usize, _from: NodeId, _msg: bool) {
+            self.have = true;
+        }
+    }
+    impl RadioNode for Echo {
+        type Msg = bool;
+        fn act(&mut self, round: usize) -> RadioAction<bool> {
+            if self.have && round == 0 {
+                RadioAction::Transmit(true)
+            } else {
+                RadioAction::Listen
+            }
+        }
+        fn recv(&mut self, _round: usize, heard: Option<bool>) {
+            if heard.is_some() {
+                self.have = true;
+            }
+        }
+    }
+
+    #[test]
+    fn mp_trace_records_sends_and_recvs() {
+        let g = generators::path(1);
+        let log = TraceLog::new();
+        let mut net = MpNetwork::new(&g, FaultConfig::fault_free(), 0, |v| {
+            Traced::new(
+                v,
+                Echo {
+                    have: v.index() == 0,
+                },
+                log.clone(),
+            )
+        });
+        net.run(2);
+        let events = log.events();
+        // Per round: 2 sends; round 0: 1 recv (0 -> 1); round 1: 2 recvs.
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MpSend { .. }))
+            .count();
+        let recvs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MpRecv { .. }))
+            .count();
+        assert_eq!(sends, 4);
+        assert_eq!(recvs, 3);
+        // First event is node 0's round-0 send.
+        assert_eq!(
+            events[0],
+            TraceEvent::MpSend {
+                node: g.node(0),
+                round: 0,
+                silent: false
+            }
+        );
+    }
+
+    #[test]
+    fn radio_trace_records_acts_and_outcomes() {
+        let g = generators::path(1);
+        let log = TraceLog::new();
+        let mut net = RadioNetwork::new(&g, FaultConfig::fault_free(), 0, |v| {
+            Traced::new(
+                v,
+                Echo {
+                    have: v.index() == 0,
+                },
+                log.clone(),
+            )
+        });
+        net.step();
+        let events = log.events();
+        assert!(events.contains(&TraceEvent::RadioAct {
+            node: g.node(0),
+            round: 0,
+            transmit: true
+        }));
+        assert!(events.contains(&TraceEvent::RadioRecv {
+            node: g.node(1),
+            round: 0,
+            heard: Some(true)
+        }));
+    }
+
+    #[test]
+    fn log_utilities() {
+        let log: TraceLog<bool> = TraceLog::new();
+        assert!(log.is_empty());
+        log.push(TraceEvent::MpSend {
+            node: NodeId::new(0),
+            round: 0,
+            silent: true,
+        });
+        assert_eq!(log.len(), 1);
+        let clone = log.clone();
+        clone.clear();
+        assert!(log.is_empty(), "clones share the log");
+        assert!(!format!("{log:?}").is_empty());
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let t = Traced::new(NodeId::new(3), Echo { have: true }, TraceLog::<bool>::new());
+        assert!(t.inner().have);
+        assert!(t.into_inner().have);
+    }
+}

@@ -1,0 +1,287 @@
+//! Property-based tests for the simulation engines: model semantics that
+//! must hold for *every* graph, seed, and failure probability.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+
+use randcast_engine::fault::FaultConfig;
+use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, MpRoundCtx, Outgoing};
+use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode, RadioRoundCtx};
+use randcast_graph::{Graph, GraphBuilder, NodeId};
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..20,
+        proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+    )
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                b.edge((v * 5 + 1) % v, v);
+            }
+            for (u, v) in extra {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    b.edge(u, v);
+                }
+            }
+            b.finish().expect("valid construction")
+        })
+}
+
+/// Flooding automaton recording when it was informed.
+struct Flood {
+    informed_at: Option<usize>,
+}
+
+impl MpNode for Flood {
+    type Msg = bool;
+    fn send(&mut self, _round: usize) -> Outgoing<bool> {
+        if self.informed_at.is_some() {
+            Outgoing::Broadcast(true)
+        } else {
+            Outgoing::Silent
+        }
+    }
+    fn recv(&mut self, round: usize, _from: NodeId, _msg: bool) {
+        if self.informed_at.is_none() {
+            self.informed_at = Some(round);
+        }
+    }
+}
+
+/// Radio automaton: transmits on a fixed round, records everything heard.
+struct Script {
+    transmit_round: Option<usize>,
+    heard: Vec<Option<u8>>,
+}
+
+impl RadioNode for Script {
+    type Msg = u8;
+    fn act(&mut self, round: usize) -> RadioAction<u8> {
+        if self.transmit_round == Some(round) {
+            RadioAction::Transmit(7)
+        } else {
+            RadioAction::Listen
+        }
+    }
+    fn recv(&mut self, _round: usize, heard: Option<u8>) {
+        self.heard.push(heard);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mp_execution_is_deterministic(
+        g in connected_graph(),
+        p in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut net = MpNetwork::new(&g, FaultConfig::omission(p), seed, |v| Flood {
+                informed_at: (v.index() == 0).then_some(0),
+            });
+            net.run(12);
+            (g.nodes().map(|v| net.node(v).informed_at).collect::<Vec<_>>(), net.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mp_fault_free_floods_by_distance(g in connected_graph()) {
+        let mut net = MpNetwork::new(&g, FaultConfig::fault_free(), 0, |v| Flood {
+            informed_at: (v.index() == 0).then_some(0),
+        });
+        net.run(g.node_count());
+        let dist = randcast_graph::traversal::bfs_distances(&g, g.node(0));
+        for v in g.nodes() {
+            // recv at round r means informed at distance r+1; node at
+            // distance d is informed at round d-1.
+            let expect = if v.index() == 0 { 0 } else { dist[v.index()] - 1 };
+            prop_assert_eq!(net.node(v).informed_at, Some(expect));
+        }
+    }
+
+    #[test]
+    fn mp_omission_never_corrupts_content(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // Under omission faults every delivered message is genuine: the
+        // flood only ever sends `true`, so nothing else can arrive —
+        // completion is the only observable difference.
+        struct Check {
+            informed_at: Option<usize>,
+        }
+        impl MpNode for Check {
+            type Msg = bool;
+            fn send(&mut self, _round: usize) -> Outgoing<bool> {
+                if self.informed_at.is_some() {
+                    Outgoing::Broadcast(true)
+                } else {
+                    Outgoing::Silent
+                }
+            }
+            fn recv(&mut self, round: usize, _from: NodeId, msg: bool) {
+                assert!(msg, "omission faults must not alter content");
+                if self.informed_at.is_none() {
+                    self.informed_at = Some(round);
+                }
+            }
+        }
+        let mut net = MpNetwork::new(&g, FaultConfig::omission(p), seed, |v| Check {
+            informed_at: (v.index() == 0).then_some(0),
+        });
+        net.run(20);
+    }
+
+    #[test]
+    fn radio_reception_rule_is_exact(
+        g in connected_graph(),
+        transmitters in proptest::collection::vec(0usize..20, 1..6),
+    ) {
+        // All chosen transmitters fire in round 0; fault-free. Verify the
+        // exact reception predicate for every node.
+        let tx: Vec<usize> = transmitters.iter().map(|t| t % g.node_count()).collect();
+        let mut net = RadioNetwork::new(&g, FaultConfig::fault_free(), 0, |v| Script {
+            transmit_round: tx.contains(&v.index()).then_some(0),
+            heard: Vec::new(),
+        });
+        net.step();
+        for v in g.nodes() {
+            let transmitting = tx.contains(&v.index());
+            let tx_neighbors = g
+                .neighbors(v)
+                .iter()
+                .filter(|u| tx.contains(&u.index()))
+                .count();
+            let expect = if !transmitting && tx_neighbors == 1 {
+                Some(7u8)
+            } else {
+                None
+            };
+            prop_assert_eq!(net.node(v).heard[0], expect, "node {}", v);
+        }
+    }
+
+    #[test]
+    fn radio_execution_is_deterministic(
+        g in connected_graph(),
+        p in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut net = RadioNetwork::new(&g, FaultConfig::omission(p), seed, |v| Script {
+                transmit_round: Some(v.index() % 5),
+                heard: Vec::new(),
+            });
+            net.run(5);
+            g.nodes().map(|v| net.node(v).heard.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn limited_malicious_never_speaks_out_of_turn_mp(
+        g in connected_graph(),
+        p in 0.1f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // An adversary that tries to broadcast from every faulty node.
+        struct Loud;
+        impl MpAdversary<bool> for Loud {
+            fn corrupt_round(
+                &mut self,
+                ctx: MpRoundCtx<'_, bool>,
+                _rng: &mut SmallRng,
+            ) -> Vec<(NodeId, Outgoing<bool>)> {
+                ctx.faulty
+                    .iter()
+                    .map(|&v| (v, Outgoing::Broadcast(false)))
+                    .collect()
+            }
+        }
+        // Nobody ever intends to send, so nobody may ever receive.
+        struct Mute {
+            got: usize,
+        }
+        impl MpNode for Mute {
+            type Msg = bool;
+            fn send(&mut self, _round: usize) -> Outgoing<bool> {
+                Outgoing::Silent
+            }
+            fn recv(&mut self, _round: usize, _from: NodeId, _msg: bool) {
+                self.got += 1;
+            }
+        }
+        let mut net = MpNetwork::with_adversary(
+            &g,
+            FaultConfig::limited_malicious(p),
+            Loud,
+            seed,
+            |_| Mute { got: 0 },
+        );
+        net.run(15);
+        for v in g.nodes() {
+            prop_assert_eq!(net.node(v).got, 0);
+        }
+    }
+
+    #[test]
+    fn limited_malicious_never_speaks_out_of_turn_radio(
+        g in connected_graph(),
+        p in 0.1f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        struct LoudR;
+        impl RadioAdversary<u8> for LoudR {
+            fn corrupt_round(
+                &mut self,
+                ctx: RadioRoundCtx<'_, u8>,
+                _rng: &mut SmallRng,
+            ) -> Vec<(NodeId, RadioAction<u8>)> {
+                ctx.faulty
+                    .iter()
+                    .map(|&v| (v, RadioAction::Transmit(9)))
+                    .collect()
+            }
+        }
+        let mut net = RadioNetwork::with_adversary(
+            &g,
+            FaultConfig::limited_malicious(p),
+            LoudR,
+            seed,
+            |_| Script {
+                transmit_round: None,
+                heard: Vec::new(),
+            },
+        );
+        net.run(15);
+        prop_assert_eq!(net.stats().transmissions, 0);
+        for v in g.nodes() {
+            prop_assert!(net.node(v).heard.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn p_zero_malicious_equals_fault_free(
+        g in connected_graph(),
+        seed in any::<u64>(),
+    ) {
+        // With p = 0 the adversary is never consulted: executions under
+        // any fault kind coincide with the fault-free reference.
+        let run = |fault: FaultConfig| {
+            let mut net = MpNetwork::new(&g, fault, seed, |v| Flood {
+                informed_at: (v.index() == 0).then_some(0),
+            });
+            net.run(10);
+            g.nodes().map(|v| net.node(v).informed_at).collect::<Vec<_>>()
+        };
+        let reference = run(FaultConfig::fault_free());
+        prop_assert_eq!(run(FaultConfig::malicious(0.0)), reference.clone());
+        prop_assert_eq!(run(FaultConfig::limited_malicious(0.0)), reference);
+    }
+}

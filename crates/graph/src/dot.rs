@@ -1,0 +1,88 @@
+//! Graphviz DOT export, for debugging and documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, NodeId};
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// `label` is applied to the graph; nodes are named `v0 … v{n−1}`.
+///
+/// # Example
+///
+/// ```
+/// use randcast_graph::{dot, generators};
+///
+/// let g = generators::path(2);
+/// let s = dot::to_dot(&g, "line");
+/// assert!(s.contains("v0 -- v1"));
+/// assert!(s.contains("graph line"));
+/// ```
+#[must_use]
+pub fn to_dot(graph: &Graph, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {label} {{");
+    for v in graph.nodes() {
+        let _ = writeln!(out, "    {v};");
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "    {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph with nodes colored by a per-node class (e.g. BFS
+/// layer, informed/uninformed) using a small fixed palette.
+#[must_use]
+pub fn to_dot_classed(graph: &Graph, label: &str, class: impl Fn(NodeId) -> usize) -> String {
+    const PALETTE: [&str; 6] = [
+        "lightblue",
+        "lightgreen",
+        "lightyellow",
+        "lightpink",
+        "lightgray",
+        "orange",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {label} {{");
+    let _ = writeln!(out, "    node [style=filled];");
+    for v in graph.nodes() {
+        let color = PALETTE[class(v) % PALETTE.len()];
+        let _ = writeln!(out, "    {v} [fillcolor={color}];");
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "    {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    #[test]
+    fn dot_lists_every_node_and_edge() {
+        let g = generators::cycle(4);
+        let s = to_dot(&g, "c4");
+        for v in g.nodes() {
+            assert!(s.contains(&format!("{v};")));
+        }
+        assert_eq!(s.matches(" -- ").count(), g.edge_count());
+        assert!(s.starts_with("graph c4 {"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn classed_dot_colors_by_layer() {
+        let g = generators::path(3);
+        let d = traversal::bfs_distances(&g, g.node(0));
+        let s = to_dot_classed(&g, "p3", |v| d[v.index()]);
+        assert!(s.contains("v0 [fillcolor=lightblue];"));
+        assert!(s.contains("v1 [fillcolor=lightgreen];"));
+        assert!(s.contains("style=filled"));
+    }
+}

@@ -1,0 +1,317 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        nodes: usize,
+    },
+    /// An edge connected a node to itself; the network model has no
+    /// self-loops (a node always hears itself in neither model).
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// A graph must have at least one node (the source).
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "edge endpoint {node} out of range for {nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Incremental, validating builder for [`Graph`].
+///
+/// Duplicate edges are merged silently (the network model is a simple
+/// graph); self-loops and out-of-range endpoints are rejected by
+/// [`finish`](GraphBuilder::finish).
+///
+/// # Example
+///
+/// ```
+/// use randcast_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1).edge(1, 2).edge(0, 1); // duplicate is fine
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `nodes` nodes and no edges.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        GraphBuilder {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `self` for chaining.
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge in `iter`.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for zero nodes,
+    /// [`GraphError::SelfLoop`] for an edge `{u, u}` and
+    /// [`GraphError::NodeOutOfRange`] for endpoints `>= nodes`.
+    pub fn finish(&self) -> Result<Graph, GraphError> {
+        if self.nodes == 0 {
+            return Err(GraphError::Empty);
+        }
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            for e in [u, v] {
+                if e >= self.nodes {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: e,
+                        nodes: self.nodes,
+                    });
+                }
+            }
+        }
+        // Deduplicate into sorted normalized edge list.
+        let mut norm: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+
+        // CSR layout.
+        let mut degree = vec![0usize; self.nodes];
+        for &(u, v) in &norm {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.nodes + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![NodeId::default(); acc];
+        for &(u, v) in &norm {
+            adjacency[cursor[u]] = NodeId::new(v);
+            cursor[u] += 1;
+            adjacency[cursor[v]] = NodeId::new(u);
+            cursor[v] += 1;
+        }
+        // Neighbor lists sorted for determinism.
+        for u in 0..self.nodes {
+            adjacency[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Ok(Graph {
+            offsets,
+            adjacency,
+            edge_count: norm.len(),
+        })
+    }
+}
+
+/// An undirected simple graph in compressed sparse row (CSR) form.
+///
+/// Nodes are identified by dense [`NodeId`]s `0..n`. The representation is
+/// immutable after construction via [`GraphBuilder`], which keeps every
+/// simulation run free of accidental topology mutation.
+///
+/// # Example
+///
+/// ```
+/// use randcast_graph::generators;
+///
+/// let g = generators::star(4); // center v0 plus 4 leaves
+/// assert_eq!(g.node_count(), 5);
+/// assert_eq!(g.degree(g.node(0)), 4);
+/// assert_eq!(g.max_degree(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u+1]` indexes `adjacency` for node `u`.
+    offsets: Vec<usize>,
+    adjacency: Vec<NodeId>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The [`NodeId`] for dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.node_count()`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(index < self.node_count(), "node index out of range");
+        NodeId::new(index)
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.adjacency[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The maximum degree `Δ` of the graph — the parameter of the radio
+    /// feasibility threshold `p < (1 − p)^{Δ+1}` (Theorem 2.4).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|i| self.offsets[i + 1] - self.offsets[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert_eq!(GraphBuilder::new(0).finish(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(1, 1);
+        assert_eq!(b.finish(), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 2);
+        assert_eq!(
+            b.finish(),
+            Err(GraphError::NodeOutOfRange { node: 2, nodes: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_merge() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 0).edge(0, 1).edge(2, 1);
+        let g = b.finish().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(g.node(1)), 2);
+        assert!(g.has_edge(g.node(0), g.node(1)));
+        assert!(!g.has_edge(g.node(0), g.node(2)));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(2, 4).edge(2, 0).edge(2, 3).edge(2, 1);
+        let g = b.finish().unwrap();
+        let nb: Vec<usize> = g.neighbors(g.node(2)).iter().map(|v| v.index()).collect();
+        assert_eq!(nb, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0);
+        let g = b.finish().unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn single_node_graph_is_valid() {
+        let g = GraphBuilder::new(1).finish().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, nodes: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains('2'));
+        assert!(!GraphError::Empty.to_string().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for graph invariants.
+
+use proptest::prelude::*;
+use randcast_graph::{generators, traversal, GraphBuilder, NodeId, SpanningTree};
+
+/// Strategy: a random connected graph as (n, extra edge pairs).
+fn connected_graph() -> impl Strategy<Value = randcast_graph::Graph> {
+    (
+        2usize..40,
+        proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    )
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            // Recursive-tree skeleton keeps it connected and deterministic.
+            for v in 1..n {
+                b.edge((v * 7 + 3) % v, v);
+            }
+            for (u, v) in extra {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    b.edge(u, v);
+                }
+            }
+            b.finish().expect("valid construction")
+        })
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_is_twice_edge_count(g in connected_graph()) {
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_unique(g in connected_graph()) {
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in connected_graph()) {
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in connected_graph()) {
+        let d = traversal::bfs_distances(&g, g.node(0));
+        prop_assert_eq!(d[0], 0);
+        // Edge endpoints differ by at most one level.
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u.index()], d[v.index()]);
+            prop_assert!(du.abs_diff(dv) <= 1, "edge {}-{}", u, v);
+        }
+        // Every non-source node has a strictly closer neighbor.
+        for v in g.nodes().skip(1) {
+            prop_assert!(g
+                .neighbors(v)
+                .iter()
+                .any(|u| d[u.index()] + 1 == d[v.index()]));
+        }
+    }
+
+    #[test]
+    fn radius_equals_max_distance(g in connected_graph()) {
+        let d = traversal::bfs_distances(&g, g.node(0));
+        let r = traversal::radius_from(&g, g.node(0));
+        prop_assert_eq!(r, d.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn bfs_tree_matches_bfs_levels(g in connected_graph()) {
+        let t = SpanningTree::bfs(&g, g.node(0));
+        let d = traversal::bfs_distances(&g, g.node(0));
+        for v in g.nodes() {
+            prop_assert_eq!(t.level(v), d[v.index()]);
+            if let Some(p) = t.parent(v) {
+                prop_assert!(g.has_edge(p, v));
+                prop_assert_eq!(t.level(p) + 1, t.level(v));
+            } else {
+                prop_assert_eq!(v, g.node(0));
+            }
+        }
+        prop_assert_eq!(t.depth(), traversal::radius_from(&g, g.node(0)));
+    }
+
+    #[test]
+    fn tree_children_are_inverse_of_parent(g in connected_graph()) {
+        let t = SpanningTree::bfs(&g, g.node(0));
+        let mut child_count = 0usize;
+        for v in g.nodes() {
+            for &c in t.children(v) {
+                prop_assert_eq!(t.parent(c), Some(v));
+                child_count += 1;
+            }
+        }
+        // Every node except the root is someone's child exactly once.
+        prop_assert_eq!(child_count, g.node_count() - 1);
+    }
+
+    #[test]
+    fn level_order_is_sorted_by_level(g in connected_graph()) {
+        let t = SpanningTree::bfs(&g, g.node(0));
+        let order = t.level_order();
+        prop_assert_eq!(order.len(), g.node_count());
+        for w in order.windows(2) {
+            prop_assert!(t.level(w[0]) <= t.level(w[1]));
+        }
+        prop_assert_eq!(order[0], g.node(0));
+    }
+
+    #[test]
+    fn branches_partition_leaves(g in connected_graph()) {
+        let t = SpanningTree::bfs(&g, g.node(0));
+        let branches = t.branches();
+        let mut leaf_ends: Vec<NodeId> =
+            branches.iter().map(|b| *b.last().unwrap()).collect();
+        leaf_ends.sort();
+        leaf_ends.dedup();
+        let mut leaves: Vec<NodeId> = g.nodes().filter(|&v| t.is_leaf(v)).collect();
+        leaves.sort();
+        prop_assert_eq!(leaf_ends, leaves);
+        for b in &branches {
+            prop_assert!(b.len() <= t.depth() + 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_has_tree_shape(n in 1usize..200, seed in any::<u64>()) {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_connected_is_connected(n in 2usize..60, q in 0.0f64..0.3, seed in any::<u64>()) {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, q, &mut rng);
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn lower_bound_graph_degrees(m in 1usize..10) {
+        let g = generators::lower_bound_graph(m);
+        // Layer-3 node with value v has degree = popcount(v).
+        for value in 1usize..(1 << m) {
+            let node = generators::lb::value_node(m, value);
+            prop_assert_eq!(g.degree(node), value.count_ones() as usize);
+        }
+    }
+}

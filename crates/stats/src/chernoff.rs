@@ -1,0 +1,283 @@
+//! Chernoff/Hoeffding bound helpers and the paper's explicit parameter
+//! formulas.
+//!
+//! Every algorithm in the paper fixes a phase length `m = ⌈c log n⌉` where
+//! the constant `c = c(p)` comes from a Chernoff-style tail bound. This
+//! module computes those constants *explicitly*, so experiments run with
+//! exactly the phase lengths the proofs prescribe:
+//!
+//! * [`phase_len_omission`] — Theorem 2.1: smallest `m` with `p^m ≤ 1/n²`.
+//! * [`phase_len_malicious_mp`] — Theorem 2.2: majority of `m` votes wrong
+//!   with probability ≤ `1/n²` when each vote is bad with probability
+//!   `p < 1/2` (Hoeffding).
+//! * [`phase_len_malicious_radio`] — Theorem 2.4: per-step correct
+//!   reception probability `q = (1−p)^{Δ+1}`, incorrect ≤ `p`; majority
+//!   correct with probability ≥ `1 − 1/n²` whenever `q > p`.
+//! * [`flood_horizon`] — Lemma 3.1 / Theorem 3.1: number of rounds after
+//!   which a wavefront over a length-`L` line has advanced `L` hops except
+//!   with probability ≤ `exp(−target_exponent)`.
+
+/// Natural log of `n choose k` via `ln Γ` (Stirling series), exact enough
+/// for tail computations with `n` up to millions.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "k must be at most n");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of `n!` (exact summation below 256, Stirling series above).
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 256 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let x = n as f64;
+        // Stirling with the first correction terms: accurate to ~1e-10 here.
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+/// Exact upper tail of a binomial: `P(Bin(n, p) >= k)`.
+///
+/// Computed by log-space summation; suitable for the moderate `n` used in
+/// composition-rule accounting (\[CO2\] in Section 3).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_upper_tail(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut total = 0.0f64;
+    for j in k..=n {
+        let lt = ln_choose(n, j) + j as f64 * lp + (n - j) as f64 * lq;
+        total += lt.exp();
+    }
+    total.min(1.0)
+}
+
+/// Hoeffding bound on a wrong majority: `P(Bin(m, p) ≥ m/2) ≤
+/// exp(−2m(1/2 − p)²)` for `p < 1/2`.
+#[must_use]
+pub fn hoeffding_majority_error(m: u64, p: f64) -> f64 {
+    let gap = 0.5 - p;
+    (-2.0 * m as f64 * gap * gap).exp()
+}
+
+/// Theorem 2.1 phase length: the smallest `m` with `p^m ≤ 1/n²`, i.e.
+/// `m = ⌈2 ln n / ln(1/p)⌉` (at least 1).
+///
+/// A node transmitting `m` times is then heard at least once except with
+/// probability `≤ 1/n²`; a union bound over `n` nodes gives almost-safety.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1)` or `n < 2`.
+#[must_use]
+pub fn phase_len_omission(n: usize, p: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&p),
+        "failure probability must be in [0,1)"
+    );
+    assert!(n >= 2, "need at least two nodes");
+    if p == 0.0 {
+        return 1;
+    }
+    let m = (2.0 * (n as f64).ln() / (1.0 / p).ln()).ceil() as usize;
+    m.max(1)
+}
+
+/// Theorem 2.2 phase length for the message-passing malicious model:
+/// the smallest `m` with `exp(−2m(1/2 − p)²) ≤ 1/n²`, i.e.
+/// `m = ⌈ln n / (1/2 − p)²⌉` (at least 1, rounded up to odd so majority
+/// votes cannot tie).
+///
+/// # Panics
+///
+/// Panics if `p ≥ 1/2` (infeasible regime, Theorem 2.3) or `n < 2`.
+#[must_use]
+pub fn phase_len_malicious_mp(n: usize, p: f64) -> usize {
+    assert!((0.0..0.5).contains(&p), "feasible only for p < 1/2");
+    assert!(n >= 2, "need at least two nodes");
+    let gap = 0.5 - p;
+    let m = ((n as f64).ln() / (gap * gap)).ceil() as usize;
+    make_odd(m.max(1))
+}
+
+/// Theorem 2.4 phase length for the radio malicious model.
+///
+/// With `q = (1−p)^{Δ+1}` and `q > p`, each of the `m` steps contributes
+/// `+1` (correct reception, probability ≥ `q`), `−1` (incorrect, ≤ `p`) or
+/// `0`. Hoeffding on the ±1 sum gives wrong-majority probability
+/// `≤ exp(−m(q−p)²/2)`; we return the smallest odd `m` pushing that below
+/// `1/n²`.
+///
+/// # Panics
+///
+/// Panics if `p ≥ (1−p)^{Δ+1}` (infeasible regime) or `n < 2`.
+#[must_use]
+pub fn phase_len_malicious_radio(n: usize, p: f64, max_degree: usize) -> usize {
+    assert!(n >= 2, "need at least two nodes");
+    let q = (1.0 - p).powi(max_degree as i32 + 1);
+    assert!(p < q, "feasible only for p < (1-p)^(Δ+1)");
+    let gap = q - p;
+    let m = (4.0 * (n as f64).ln() / (gap * gap)).ceil() as usize;
+    make_odd(m.max(1))
+}
+
+/// Lemma 3.1 / Theorem 3.1 horizon: number of rounds `τ` such that a
+/// Bernoulli(1−p) wavefront advances `length` hops within `τ` rounds except
+/// with probability `≤ exp(−target_exponent)`.
+///
+/// Uses the multiplicative Chernoff bound
+/// `P(Bin(τ, 1−p) < L) ≤ exp(−(μ−L)²/(2μ))` with mean
+/// `μ = τ(1−p) = 2(L + target_exponent)` — i.e.
+/// `τ = ⌈2(L + E)/(1−p)⌉`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1)`.
+#[must_use]
+pub fn flood_horizon(length: usize, p: f64, target_exponent: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&p),
+        "failure probability must be in [0,1)"
+    );
+    assert!(target_exponent >= 0.0, "exponent must be nonnegative");
+    if length == 0 {
+        return 0;
+    }
+    let mu = 2.0 * (length as f64 + target_exponent);
+    (mu / (1.0 - p)).ceil() as usize
+}
+
+/// Rounds `m` up to the next odd integer (majority votes over an odd
+/// number of ballots can never tie).
+#[must_use]
+pub fn make_odd(m: usize) -> usize {
+    if m.is_multiple_of(2) {
+        m + 1
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - (10f64).ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 0)).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - (2_598_960f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_agrees_with_exact() {
+        // Compare the Stirling branch (n >= 256) against extended exact sum.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_tail_matches_hand_computation() {
+        // P(Bin(3, 1/2) >= 2) = 4/8 = 0.5
+        assert!((binomial_upper_tail(3, 2, 0.5) - 0.5).abs() < 1e-12);
+        // P(Bin(2, 0.3) >= 1) = 1 - 0.49 = 0.51
+        assert!((binomial_upper_tail(2, 1, 0.3) - 0.51).abs() < 1e-12);
+        assert_eq!(binomial_upper_tail(5, 0, 0.2), 1.0);
+        assert_eq!(binomial_upper_tail(5, 6, 0.2), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_edge_probabilities() {
+        assert_eq!(binomial_upper_tail(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_upper_tail(10, 3, 1.0), 1.0);
+    }
+
+    #[test]
+    fn phase_len_omission_satisfies_bound() {
+        for n in [4usize, 16, 256, 4096] {
+            for p in [0.1, 0.5, 0.9] {
+                let m = phase_len_omission(n, p);
+                assert!(p.powi(m as i32) <= 1.0 / (n * n) as f64 + 1e-12);
+                // And m-1 would not suffice (minimality), unless m == 1.
+                if m > 1 {
+                    assert!(p.powi(m as i32 - 1) > 1.0 / (n * n) as f64 - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_len_omission_p_zero() {
+        assert_eq!(phase_len_omission(100, 0.0), 1);
+    }
+
+    #[test]
+    fn phase_len_malicious_mp_satisfies_bound() {
+        for n in [4usize, 64, 1024] {
+            for p in [0.1, 0.3, 0.45] {
+                let m = phase_len_malicious_mp(n, p);
+                assert!(m % 2 == 1);
+                assert!(hoeffding_majority_error(m as u64, p) <= 1.0 / (n * n) as f64 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p < 1/2")]
+    fn phase_len_malicious_mp_rejects_half() {
+        let _ = phase_len_malicious_mp(10, 0.5);
+    }
+
+    #[test]
+    fn phase_len_malicious_radio_grows_with_degree() {
+        let n = 64;
+        let p = 0.01;
+        let m2 = phase_len_malicious_radio(n, p, 2);
+        let m8 = phase_len_malicious_radio(n, p, 8);
+        assert!(m8 > m2, "larger Δ shrinks the gap q-p, needs more steps");
+        assert!(m2 % 2 == 1 && m8 % 2 == 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible only")]
+    fn phase_len_malicious_radio_rejects_infeasible() {
+        // Δ = 4: threshold p* ≈ 0.134; p = 0.3 is infeasible.
+        let _ = phase_len_malicious_radio(10, 0.3, 4);
+    }
+
+    #[test]
+    fn flood_horizon_monotone() {
+        assert_eq!(flood_horizon(0, 0.5, 2.0), 0);
+        let a = flood_horizon(10, 0.2, 4.0);
+        let b = flood_horizon(20, 0.2, 4.0);
+        let c = flood_horizon(20, 0.6, 4.0);
+        assert!(a < b && b < c);
+        // Fault-free: still at least the distance itself.
+        assert!(flood_horizon(10, 0.0, 0.0) >= 10);
+    }
+
+    #[test]
+    fn make_odd_works() {
+        assert_eq!(make_odd(4), 5);
+        assert_eq!(make_odd(5), 5);
+        assert_eq!(make_odd(1), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Success-rate estimation and almost-safety verdicts.
+//!
+//! The paper's acceptance criterion is *almost safety*: success probability
+//! at least `1 − 1/n`. Verifying that empirically needs confidence-interval
+//! care, especially near rate 1 where the normal approximation fails; we
+//! use Wilson score intervals and the rule of three.
+
+/// A binomial success-rate estimate with Wilson confidence bounds.
+///
+/// # Example
+///
+/// ```
+/// use randcast_stats::estimate::SuccessEstimate;
+///
+/// let est = SuccessEstimate::new(995, 1000);
+/// assert!(est.rate() > 0.99);
+/// let (lo, hi) = est.wilson_interval(1.96);
+/// assert!(lo < est.rate() && est.rate() < hi);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SuccessEstimate {
+    successes: usize,
+    trials: usize,
+}
+
+impl SuccessEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials` or `trials == 0`.
+    #[must_use]
+    pub fn new(successes: usize, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        assert!(successes <= trials, "successes exceed trials");
+        SuccessEstimate { successes, trials }
+    }
+
+    /// Creates an estimate from a vector of boolean outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[bool]) -> Self {
+        SuccessEstimate::new(outcomes.iter().filter(|&&b| b).count(), outcomes.len())
+    }
+
+    /// Number of successes.
+    #[must_use]
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Point estimate of the success probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Wilson score interval at the given z-value (e.g. `1.96` for 95%).
+    ///
+    /// Well-behaved at the boundary rates 0 and 1, unlike the Wald
+    /// interval.
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Rule-of-three upper bound on the failure probability when zero
+    /// failures were observed: `P(fail) ≤ 3/trials` at 95% confidence.
+    /// Returns `None` if failures were observed (use
+    /// [`wilson_interval`](Self::wilson_interval) instead).
+    #[must_use]
+    pub fn rule_of_three_failure_bound(&self) -> Option<f64> {
+        (self.successes == self.trials).then(|| 3.0 / self.trials as f64)
+    }
+
+    /// Almost-safety verdict against the paper's threshold `1 − 1/n`.
+    ///
+    /// Returns the comparison of the Wilson *lower* bound with `1 − 1/n`:
+    /// [`Verdict::Pass`] if even the pessimistic rate clears the bar,
+    /// [`Verdict::Fail`] if even the optimistic rate misses it, and
+    /// [`Verdict::Inconclusive`] otherwise (more trials needed).
+    #[must_use]
+    pub fn almost_safe_verdict(&self, n: usize, z: f64) -> Verdict {
+        let target = 1.0 - 1.0 / n as f64;
+        let (lo, hi) = self.wilson_interval(z);
+        if lo >= target {
+            Verdict::Pass
+        } else if hi < target {
+            Verdict::Fail
+        } else {
+            Verdict::Inconclusive
+        }
+    }
+}
+
+/// Outcome of comparing an estimated success rate with the almost-safety
+/// target `1 − 1/n`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Confidently at or above the target.
+    Pass,
+    /// Confidently below the target.
+    Fail,
+    /// The confidence interval straddles the target.
+    Inconclusive,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "FAIL",
+            Verdict::Inconclusive => "inconclusive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used for timing measurements (broadcast completion rounds, etc.).
+///
+/// # Example
+///
+/// ```
+/// use randcast_stats::estimate::Running;
+///
+/// let mut acc = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.sample_variance(), 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Running::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_ratio() {
+        let e = SuccessEstimate::new(3, 4);
+        assert!((e.rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn more_successes_than_trials_panics() {
+        let _ = SuccessEstimate::new(5, 4);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        for (s, t) in [(0, 10), (10, 10), (5, 10), (999, 1000)] {
+            let e = SuccessEstimate::new(s, t);
+            let (lo, hi) = e.wilson_interval(1.96);
+            assert!(lo <= e.rate() + 1e-12 && e.rate() - 1e-12 <= hi);
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let wide = SuccessEstimate::new(8, 10).wilson_interval(1.96);
+        let tight = SuccessEstimate::new(800, 1000).wilson_interval(1.96);
+        assert!((tight.1 - tight.0) < (wide.1 - wide.0));
+    }
+
+    #[test]
+    fn rule_of_three_only_when_perfect() {
+        assert!(SuccessEstimate::new(100, 100)
+            .rule_of_three_failure_bound()
+            .is_some());
+        assert!(SuccessEstimate::new(99, 100)
+            .rule_of_three_failure_bound()
+            .is_none());
+    }
+
+    #[test]
+    fn verdicts_make_sense() {
+        // 1000/1000 successes vs target 1 - 1/10 = 0.9: pass.
+        assert_eq!(
+            SuccessEstimate::new(1000, 1000).almost_safe_verdict(10, 1.96),
+            Verdict::Pass
+        );
+        // 500/1000 vs target 0.9: fail.
+        assert_eq!(
+            SuccessEstimate::new(500, 1000).almost_safe_verdict(10, 1.96),
+            Verdict::Fail
+        );
+        // 9/10 vs 0.9 with tiny sample: inconclusive.
+        assert_eq!(
+            SuccessEstimate::new(9, 10).almost_safe_verdict(10, 1.96),
+            Verdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn running_stats() {
+        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.sample_variance() - 4.571_428_571_428_571).abs() < 1e-9);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn running_empty_is_zeroish() {
+        let acc = Running::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.count(), 0);
+    }
+}

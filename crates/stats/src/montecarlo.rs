@@ -1,0 +1,132 @@
+//! Trial runners for Monte-Carlo experiments.
+//!
+//! Both runners guarantee that trial `i` observes the RNG stream
+//! `seeds.nth_rng(i)`, so sequential and parallel execution produce
+//! identical outcome vectors.
+
+use rand::rngs::SmallRng;
+
+use crate::seed::SeedSequence;
+
+/// Runs `trials` independent trials sequentially, collecting each outcome.
+///
+/// # Example
+///
+/// ```
+/// use randcast_stats::{montecarlo, seed::SeedSequence};
+/// use rand::Rng;
+///
+/// let outcomes = montecarlo::run_trials(100, SeedSequence::new(1), |rng| rng.gen_bool(0.5));
+/// assert_eq!(outcomes.len(), 100);
+/// ```
+pub fn run_trials<T, F>(trials: usize, seeds: SeedSequence, mut trial: F) -> Vec<T>
+where
+    F: FnMut(&mut SmallRng) -> T,
+{
+    (0..trials)
+        .map(|i| {
+            let mut rng = seeds.nth_rng(i as u64);
+            trial(&mut rng)
+        })
+        .collect()
+}
+
+/// Runs `trials` independent trials across `threads` worker threads.
+///
+/// Outcomes are returned in trial order and are identical to
+/// [`run_trials`] with the same seed sequence (determinism is preserved by
+/// indexing the RNG stream by trial id, not by thread).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn run_trials_parallel<T, F>(
+    trials: usize,
+    seeds: SeedSequence,
+    threads: usize,
+    trial: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut SmallRng) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || trials < 2 {
+        let f = &trial;
+        return run_trials(trials, seeds, |rng| f(rng));
+    }
+    let mut outcomes: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let chunk = trials.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slot) in outcomes.chunks_mut(chunk).enumerate() {
+            let trial = &trial;
+            scope.spawn(move |_| {
+                let base = t * chunk;
+                for (off, out) in slot.iter_mut().enumerate() {
+                    let mut rng = seeds.nth_rng((base + off) as u64);
+                    *out = Some(trial(&mut rng));
+                }
+            });
+        }
+    })
+    .expect("monte-carlo worker thread panicked");
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all trials filled"))
+        .collect()
+}
+
+/// Convenience: count of `true` outcomes over `trials` boolean trials.
+pub fn success_count<F>(trials: usize, seeds: SeedSequence, trial: F) -> usize
+where
+    F: FnMut(&mut SmallRng) -> bool,
+{
+    run_trials(trials, seeds, trial)
+        .into_iter()
+        .filter(|&b| b)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let a = run_trials(50, SeedSequence::new(3), |rng| rng.gen::<u64>());
+        let b = run_trials(50, SeedSequence::new(3), |rng| rng.gen::<u64>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = run_trials(101, SeedSequence::new(9), |rng| rng.gen::<u64>());
+        for threads in [1, 2, 3, 8] {
+            let par =
+                run_trials_parallel(101, SeedSequence::new(9), threads, |rng| rng.gen::<u64>());
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn success_count_tracks_probability() {
+        let c = success_count(2000, SeedSequence::new(17), |rng| rng.gen_bool(0.25));
+        let rate = c as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let v: Vec<bool> = run_trials(0, SeedSequence::new(0), |_| true);
+        assert!(v.is_empty());
+        let p: Vec<bool> = run_trials_parallel(0, SeedSequence::new(0), 4, |_| true);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_trials_parallel(1, SeedSequence::new(0), 0, |_| true);
+    }
+}

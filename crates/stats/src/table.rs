@@ -1,0 +1,154 @@
+//! Minimal plain-text table rendering for experiment reports.
+//!
+//! Experiments print aligned, pipe-delimited tables (valid Markdown) so
+//! the bench binaries' stdout can be pasted straight into
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Example
+///
+/// ```
+/// use randcast_stats::table::Table;
+///
+/// let mut t = Table::new(["n", "rate"]);
+/// t.row(["16", "0.994"]);
+/// t.row(["32", "0.998"]);
+/// let s = t.render();
+/// assert!(s.contains("| n  | rate  |"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned Markdown.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, " {c:<w$} |", w = width[i]);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        out.push('|');
+        for w in &width {
+            let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a probability with 4 decimal places (the precision at which the
+/// experiment tables are meaningful).
+#[must_use]
+pub fn fmt_prob(p: f64) -> String {
+    format!("{p:.4}")
+}
+
+/// Formats a float with 2 decimal places.
+#[must_use]
+pub fn fmt_f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["100", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| a"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines equal length (alignment).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_prob(0.12345), "0.1235");
+        assert_eq!(fmt_f2(2.34567), "2.35");
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: broadcast one bit across a lossy network, four ways.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the four scenarios of the paper on one small grid:
+//! message passing vs radio × omission vs malicious failures.
+
+use randcast::prelude::*;
+
+fn main() {
+    let g = generators::grid(4, 4);
+    let source = g.node(0);
+    let n = g.node_count();
+    let bit = true;
+
+    println!("network: 4x4 grid, n = {n}, Δ = {}", g.max_degree());
+    println!(
+        "radius from source D = {}\n",
+        traversal::radius_from(&g, source)
+    );
+
+    // --- 1. Message passing + omission (Theorem 2.1 / 3.1) -------------
+    let p = 0.4;
+    let flood = FloodPlan::new(&g, source, p);
+    let out = flood.run(&g, FaultConfig::omission(p), 1);
+    println!(
+        "MP + omission   (p = {p}): flooding informed {}/{} nodes in ≤ {} rounds \
+         (completed at round {:?})",
+        out.informed_count(),
+        n,
+        flood.horizon(),
+        out.completion_round()
+    );
+
+    // --- 2. Message passing + malicious (Theorem 2.2) ------------------
+    let p = 0.3; // feasible: p < 1/2
+    assert!(malicious_mp_feasible(p));
+    let plan = SimplePlan::malicious_mp(&g, source, p);
+    let out = plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, 2, bit);
+    println!(
+        "MP + malicious  (p = {p}): Simple-Malicious delivered the bit to {}/{} nodes \
+         in {} rounds (phase length m = {})",
+        out.correct_count(bit),
+        n,
+        out.rounds,
+        plan.phase_len()
+    );
+
+    // --- 3. Radio + omission (Theorem 3.4) -----------------------------
+    let p = 0.4;
+    let base = greedy_schedule(&g, source);
+    let expanded = ExpandedPlan::omission(&g, source, &base, p);
+    let out = expanded.run(&g, FaultConfig::omission(p), SilentRadioAdversary, 3, bit);
+    println!(
+        "radio + omission (p = {p}): Omission-Radio over a {}-round fault-free schedule, \
+         expanded ×{} -> {}/{} correct",
+        base.len(),
+        expanded.phase_len(),
+        out.correct_count(bit),
+        n
+    );
+
+    // --- 4. Radio + malicious (Theorem 2.4) ----------------------------
+    // Feasibility depends on the maximum degree: p must beat p*(Δ).
+    let p_star = radio_threshold(g.max_degree());
+    let p = (p_star * 0.4 * 100.0).round() / 100.0;
+    assert!(malicious_radio_feasible(p, g.max_degree()));
+    let plan = SimplePlan::malicious_radio(&g, source, p);
+    let out = plan.run_radio(
+        &g,
+        FaultConfig::malicious(p),
+        LieOrJamAdversary::new(bit),
+        4,
+        bit,
+    );
+    println!(
+        "radio + malicious (p = {p}, p*(Δ) = {p_star:.4}): Simple-Malicious under the \
+         lie-or-jam adversary -> {}/{} correct in {} rounds",
+        out.correct_count(bit),
+        n,
+        out.rounds
+    );
+}

@@ -1,0 +1,91 @@
+//! Scenario: firmware rollout over a wireless sensor grid.
+//!
+//! ```sh
+//! cargo run --release --example sensor_grid
+//! ```
+//!
+//! A 12×12 grid of radio sensors must learn a one-bit command from the
+//! gateway in the corner. Every sensor's transmitter glitches
+//! independently with probability `p` each slot (interference, duty
+//! cycling). This is exactly the paper's radio model; we compare
+//!
+//! * the naive `Simple-Omission` schedule (`n · m` slots, Theorem 2.1),
+//! * `Omission-Radio` over a greedy fault-free schedule
+//!   (`opt_greedy · m` slots, Theorem 3.4),
+//!
+//! and report measured success rates against the almost-safety target
+//! `1 − 1/n`.
+
+use randcast::core::experiment::{run_success_trials, AlmostSafeRow};
+use randcast::prelude::*;
+use randcast::stats::table::{fmt_prob, Table};
+
+fn main() {
+    let g = generators::grid(12, 12);
+    let source = g.node(0);
+    let n = g.node_count();
+    let trials = 300;
+    let bit = true;
+
+    println!(
+        "sensor grid: n = {n}, D = {}, Δ = {}, almost-safe target {:.4}\n",
+        traversal::radius_from(&g, source),
+        g.max_degree(),
+        1.0 - 1.0 / n as f64
+    );
+
+    let base = greedy_schedule(&g, source);
+    println!("greedy fault-free schedule: {} slots\n", base.len());
+
+    let mut table = Table::new(["p", "algorithm", "slots", "success", "target", "verdict"]);
+    for p in [0.2, 0.5, 0.8] {
+        let naive = SimplePlan::omission_with_p(&g, source, p);
+        let est = run_success_trials(trials, SeedSequence::new(100), |seed| {
+            naive
+                .run_radio(
+                    &g,
+                    FaultConfig::omission(p),
+                    SilentRadioAdversary,
+                    seed,
+                    bit,
+                )
+                .all_correct(bit)
+        });
+        let row = AlmostSafeRow::judge(est, n);
+        table.row([
+            format!("{p}"),
+            "Simple-Omission".into(),
+            naive.total_rounds().to_string(),
+            fmt_prob(est.rate()),
+            fmt_prob(row.target()),
+            row.label(),
+        ]);
+
+        let robust = ExpandedPlan::omission(&g, source, &base, p);
+        let est = run_success_trials(trials, SeedSequence::new(200), |seed| {
+            robust
+                .run(
+                    &g,
+                    FaultConfig::omission(p),
+                    SilentRadioAdversary,
+                    seed,
+                    bit,
+                )
+                .all_correct(bit)
+        });
+        let row = AlmostSafeRow::judge(est, n);
+        table.row([
+            format!("{p}"),
+            "Omission-Radio".into(),
+            robust.total_rounds().to_string(),
+            fmt_prob(est.rate()),
+            fmt_prob(row.target()),
+            row.label(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Omission-Radio reaches the same safety with a fraction of the slots —\n\
+         the O(opt·log n) vs O(n·log n) separation of Theorem 3.4."
+    );
+}

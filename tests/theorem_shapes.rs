@@ -1,0 +1,195 @@
+//! Integration tests asserting the *shapes* of the paper's quantitative
+//! claims — who wins, where thresholds fall — with fixed seeds and
+//! generous statistical tolerances so they are deterministic.
+
+use randcast::core::experiment::run_success_trials;
+use randcast::core::lower_bound::{min_reps_for_target, LayerSchedule};
+use randcast::core::radio_sched::optimal_broadcast_time;
+use randcast::prelude::*;
+
+/// Theorem 2.2 vs 2.3: success is high below p = 1/2 and pinned at 1/2
+/// at the threshold (the phase transition).
+#[test]
+fn mp_malicious_phase_transition_at_half() {
+    let g = generators::path(6);
+    let below = {
+        let p = 0.35;
+        let plan = SimplePlan::malicious_mp(&g, g.node(0), p);
+        run_success_trials(100, SeedSequence::new(1), |seed| {
+            plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, true)
+                .all_correct(true)
+        })
+        .rate()
+    };
+    let at = run_success_trials(400, SeedSequence::new(2), |seed| {
+        run_two_node_majority(101, 0.5, seed % 2 == 0, seed)
+    })
+    .rate();
+    assert!(below >= 0.95, "below threshold: {below}");
+    assert!((at - 0.5).abs() < 0.08, "at threshold: {at}");
+}
+
+/// Theorem 2.4: on the star, the same algorithm passes below p*(Δ) and
+/// collapses above it (run at matched round budgets).
+#[test]
+fn radio_malicious_phase_transition_at_p_star() {
+    let delta = 4usize;
+    let g = generators::star(delta);
+    let p_star = radio_threshold(delta);
+
+    let run_at = |p: f64, m: usize, seeds: u64| {
+        let plan = SimplePlan::with_phase_len(&g, g.node(0), m, VoteMode::Majority);
+        run_success_trials(100, SeedSequence::new(seeds), |seed| {
+            plan.run_radio(
+                &g,
+                FaultConfig::malicious(p),
+                LieOrJamAdversary::new(true),
+                seed,
+                true,
+            )
+            .all_correct(true)
+        })
+        .rate()
+    };
+
+    let below = run_at(p_star * 0.4, 101, 3);
+    let above = run_at((p_star * 1.8).min(0.9), 101, 4);
+    assert!(below >= 0.9, "below p*: {below}");
+    assert!(above <= 0.6, "above p*: {above}");
+}
+
+/// Theorem 3.1 shape: flooding time is close to D/(1-p) + O(log n), far
+/// below the naive n·m.
+#[test]
+fn flood_time_beats_naive_by_orders_of_magnitude() {
+    let p = 0.4;
+
+    // On a path (D = n) the separation is the log-n factor of the naive
+    // phase length.
+    let g = generators::path(100);
+    let flood = FloodPlan::new(&g, g.node(0), p);
+    let naive = SimplePlan::omission_with_p(&g, g.node(0), p);
+    assert!(flood.horizon() * 2 < naive.total_rounds());
+
+    // On a shallow graph (star: D = 1) the separation is nearly the full
+    // n factor: O(log n) vs O(n log n).
+    let star = generators::star(256);
+    let flood = FloodPlan::new(&star, star.node(0), p);
+    let naive = SimplePlan::omission_with_p(&star, star.node(0), p);
+    assert!(flood.horizon() * 10 < naive.total_rounds());
+
+    // And the O(D + log n) horizon suffices.
+    let est = run_success_trials(60, SeedSequence::new(5), |seed| {
+        flood.run(&star, FaultConfig::omission(p), seed).complete()
+    });
+    assert!(est.rate() >= 0.95, "rate {}", est.rate());
+}
+
+/// Theorem 3.1 lower-bound side: a horizon below D can never complete,
+/// and a horizon below ~log n fails with noticeable probability even on
+/// shallow graphs.
+#[test]
+fn flood_lower_bounds_bite() {
+    // D bound: deterministic.
+    let g = generators::path(30);
+    let short = FloodPlan::with_horizon(&g, g.node(0), 29, FloodVariant::Tree);
+    assert!(!short.run(&g, FaultConfig::fault_free(), 0).complete());
+
+    // log n bound: with only 3 rounds at p = 0.7, the source's
+    // transmitter silences everything with probability p³ ≈ 0.34 — far
+    // above the almost-safety budget 1/n. (Note the per-*transmitter*
+    // fault model: when the star center fails, all leaves miss together.)
+    let star = generators::star(64);
+    let tiny = FloodPlan::with_horizon(&star, star.node(0), 3, FloodVariant::Tree);
+    let est = run_success_trials(400, SeedSequence::new(6), |seed| {
+        tiny.run(&star, FaultConfig::omission(0.7), seed).complete()
+    });
+    let expected = 1.0 - 0.7f64.powi(3);
+    assert!(
+        (est.rate() - expected).abs() < 0.06,
+        "rate {} vs analytic {expected}",
+        est.rate()
+    );
+}
+
+/// Theorem 3.2 shape: Kučera time stays linear in the line length at
+/// fixed per-branch error.
+#[test]
+fn kucera_time_is_linear_in_length() {
+    let p = 0.3;
+    let t64 = KuceraPlan::for_line(64, p, 1e-6).time() as f64;
+    let t512 = KuceraPlan::for_line(512, p, 1e-6).time() as f64;
+    let ratio = (t512 / 512.0) / (t64 / 64.0);
+    assert!(ratio < 2.5, "per-hop time ratio {ratio}");
+}
+
+/// Lemma 3.3: opt(G(m)) = m + 1, certified exhaustively for m ≤ 3 and by
+/// the explicit schedule above.
+#[test]
+fn gm_optimum_is_m_plus_one() {
+    for m in 1..=3 {
+        let g = generators::lower_bound_graph(m);
+        assert_eq!(optimal_broadcast_time(&g, g.node(0), m), None, "m={m}");
+        assert_eq!(
+            optimal_broadcast_time(&g, g.node(0), m + 1),
+            Some(m + 1),
+            "m={m}"
+        );
+    }
+}
+
+/// Theorem 3.3 shape: the minimal almost-safe τ on G(m), relative to
+/// opt + log n, grows with m.
+#[test]
+fn gm_almost_safe_gap_grows() {
+    let p = 0.5;
+    let ratio = |m: usize| {
+        let n = (1usize << m) + m;
+        let (_, rounds) =
+            min_reps_for_target(|r| LayerSchedule::singletons(m, r), p, 1.0 / n as f64);
+        (rounds + 1) as f64 / ((m + 1) as f64 + (n as f64).log2())
+    };
+    let small = ratio(4);
+    let large = ratio(12);
+    assert!(
+        large > small * 1.2,
+        "gap must grow: small={small} large={large}"
+    );
+}
+
+/// Theorem 3.4 shape: expanded-schedule length is |A|·m = O(opt · log n),
+/// and it grows like log n for fixed topology class.
+#[test]
+fn expanded_schedule_length_scales_like_opt_log_n() {
+    let p = 0.5;
+    let small = {
+        let g = generators::path(16);
+        let base = path_schedule(16);
+        ExpandedPlan::omission(&g, g.node(0), &base, p).total_rounds() as f64 / 16.0
+    };
+    let large = {
+        let g = generators::path(256);
+        let base = path_schedule(256);
+        ExpandedPlan::omission(&g, g.node(0), &base, p).total_rounds() as f64 / 256.0
+    };
+    // Per-opt cost grows like log n: ratio ≈ log(256·?)/log(16·?) ≈ 2, not 16.
+    let ratio = large / small;
+    assert!((1.2..4.0).contains(&ratio), "ratio {ratio}");
+}
+
+/// E3 vs E4 contrast: at p = 0.75, full malicious two-node is pinned at
+/// 1/2 while the limited-malicious datalink protocol exceeds 0.95.
+#[test]
+fn limited_vs_full_malicious_separation() {
+    let p = 0.75;
+    let full = run_success_trials(400, SeedSequence::new(7), |seed| {
+        run_two_node_majority(101, p, seed % 2 == 0, seed)
+    })
+    .rate();
+    let limited = run_success_trials(400, SeedSequence::new(8), |seed| {
+        run_hello(150, p, seed % 2 == 0, seed)
+    })
+    .rate();
+    assert!((full - 0.5).abs() < 0.08, "full: {full}");
+    assert!(limited > 0.95, "limited: {limited}");
+}
