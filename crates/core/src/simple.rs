@@ -401,10 +401,12 @@ mod tests {
     fn omission_broadcast_usually_succeeds_at_high_p() {
         // p = 0.6 < 1: feasible (Theorem 2.1). With the prescribed m,
         // failure probability is at most 1/n per run.
+        // Empirical success rate is ~0.95 (matching the n·p^m union
+        // bound); 85/100 leaves ~5σ of slack so fixed seeds can't flake.
         let g = generators::path(15);
         let plan = SimplePlan::omission_with_p(&g, g.node(0), 0.6);
         let mut successes = 0;
-        for seed in 0..20 {
+        for seed in 0..100 {
             let out = plan.run_mp(
                 &g,
                 FaultConfig::omission(0.6),
@@ -414,7 +416,7 @@ mod tests {
             );
             successes += usize::from(out.all_correct(true));
         }
-        assert!(successes >= 18, "successes={successes}");
+        assert!(successes >= 85, "successes={successes}");
     }
 
     #[test]

@@ -57,10 +57,11 @@ where
     }
     let mut outcomes: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let chunk = trials.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in outcomes.chunks_mut(chunk).enumerate() {
             let trial = &trial;
-            scope.spawn(move |_| {
+            let seeds = &seeds;
+            scope.spawn(move || {
                 let base = t * chunk;
                 for (off, out) in slot.iter_mut().enumerate() {
                     let mut rng = seeds.nth_rng((base + off) as u64);
@@ -68,8 +69,7 @@ where
                 }
             });
         }
-    })
-    .expect("monte-carlo worker thread panicked");
+    });
     outcomes
         .into_iter()
         .map(|o| o.expect("all trials filled"))

@@ -37,7 +37,11 @@ fn main() {
         let rate = if malicious_mp_feasible(p) {
             let plan = SimplePlan::malicious_mp(&g, source, p);
             // Near-threshold phase lengths are huge; keep the demo quick.
-            let cell_trials = if plan.total_rounds() > 60_000 { 25 } else { trials };
+            let cell_trials = if plan.total_rounds() > 60_000 {
+                25
+            } else {
+                trials
+            };
             let est = run_success_trials(cell_trials, SeedSequence::new(7), |seed| {
                 plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, bit)
                     .all_correct(bit)

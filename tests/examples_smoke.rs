@@ -1,0 +1,62 @@
+//! Compile-and-run smoke coverage for every documented quickstart in
+//! `examples/`, so the examples can't silently rot.
+//!
+//! `cargo test` already compiles the examples; this suite additionally
+//! executes each one and checks it exits cleanly with real output. The
+//! examples are always run from the **release** profile: two of them do
+//! real Monte-Carlo sweeps and take minutes unoptimized but seconds
+//! optimized (and tier-1 builds release first, so the artifacts are
+//! warm).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "sensor_grid",
+    "noisy_datalink",
+    "hostile_backbone",
+    "radio_lower_bound",
+];
+
+/// `target/release/examples`, derived from the test binary's own path so
+/// CARGO_TARGET_DIR overrides are respected.
+fn release_examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <file>
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.pop(); // debug or release
+    dir.join("release").join("examples")
+}
+
+#[test]
+fn all_examples_run_cleanly() {
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--release", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("spawn cargo build --examples --release");
+    assert!(status.success(), "building the examples failed");
+
+    let dir = release_examples_dir();
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        let output = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("running example {name} ({}): {e}", bin.display()));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.lines().count() >= 3,
+            "example {name} produced implausibly little output:\n{stdout}"
+        );
+    }
+}

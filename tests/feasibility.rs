@@ -1,0 +1,83 @@
+//! Workspace-level coverage for the paper's feasibility predicates
+//! (Theorems 2.1–2.4), exercised through the `randcast::prelude`
+//! re-exports exactly as downstream users see them.
+
+use randcast::prelude::*;
+
+/// `radio_threshold(Δ)` must solve `p = (1 − p)^{Δ+1}` to 1e-9 across a
+/// wide degree sweep, including degenerate and large Δ.
+#[test]
+fn radio_threshold_solves_fixed_point_to_1e9() {
+    for delta in (0usize..=64).chain([100, 200, 500]) {
+        let t = radio_threshold(delta);
+        let residual = (t - (1.0 - t).powi(delta as i32 + 1)).abs();
+        assert!(residual < 1e-9, "Δ={delta}: residual {residual}");
+        assert!(
+            (0.0..=0.5).contains(&t),
+            "Δ={delta}: threshold {t} out of (0, 1/2]"
+        );
+    }
+}
+
+/// The threshold strictly decreases in Δ: denser neighborhoods give the
+/// jamming adversary strictly more leverage.
+#[test]
+fn radio_threshold_strictly_decreases_in_degree() {
+    let mut last = radio_threshold(0);
+    assert!((last - 0.5).abs() < 1e-9, "p*(0) must be exactly 1/2");
+    for delta in 1usize..=128 {
+        let t = radio_threshold(delta);
+        assert!(t < last, "Δ={delta}: {t} !< {last}");
+        last = t;
+    }
+    // And it vanishes asymptotically: well below 5% by Δ = 64.
+    assert!(radio_threshold(64) < 0.05);
+}
+
+/// Known closed forms anchor the bisection: p*(1) = (3 − √5)/2.
+#[test]
+fn radio_threshold_known_closed_form() {
+    let golden = (3.0 - 5.0f64.sqrt()) / 2.0;
+    assert!((radio_threshold(1) - golden).abs() < 1e-9);
+}
+
+/// Theorem 2.1 boundaries: omission broadcast is feasible for every
+/// p ∈ [0, 1) and at no other probability.
+#[test]
+fn omission_feasible_boundary_cases() {
+    assert!(omission_feasible(0.0));
+    assert!(omission_feasible(0.5));
+    assert!(omission_feasible(1.0 - 1e-12));
+    assert!(!omission_feasible(1.0));
+    assert!(!omission_feasible(1.5));
+    assert!(!omission_feasible(-1e-12));
+    assert!(!omission_feasible(f64::NAN));
+    assert!(!omission_feasible(f64::INFINITY));
+}
+
+/// Theorems 2.2–2.3 boundaries: malicious message-passing broadcast is
+/// feasible iff p < 1/2, with the boundary itself infeasible.
+#[test]
+fn malicious_mp_feasible_boundary_cases() {
+    assert!(malicious_mp_feasible(0.0));
+    assert!(malicious_mp_feasible(0.25));
+    assert!(malicious_mp_feasible(0.5 - 1e-12));
+    assert!(!malicious_mp_feasible(0.5));
+    assert!(!malicious_mp_feasible(0.75));
+    assert!(!malicious_mp_feasible(-0.1));
+    assert!(!malicious_mp_feasible(f64::NAN));
+}
+
+/// The radio predicate agrees with its own threshold on both sides, for
+/// every degree, and Δ = 0 coincides with the MP malicious threshold.
+#[test]
+fn malicious_radio_feasible_brackets_threshold() {
+    for delta in [0usize, 1, 2, 5, 10, 40] {
+        let t = radio_threshold(delta);
+        assert!(malicious_radio_feasible(t - 1e-6, delta), "Δ={delta}");
+        assert!(!malicious_radio_feasible(t + 1e-6, delta), "Δ={delta}");
+    }
+    assert!(malicious_radio_feasible(0.499, 0));
+    assert!(!malicious_radio_feasible(0.501, 0));
+    assert!(!malicious_radio_feasible(f64::NAN, 3));
+}

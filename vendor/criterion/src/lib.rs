@@ -1,0 +1,266 @@
+//! Offline, vendored stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Provides the API shape the workspace benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//! Benches compile and run under `cargo bench`, printing a mean
+//! time-per-iteration line per benchmark; there are no HTML reports,
+//! outlier analysis, or regression baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        run_one(&label, self.sample_size, None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Render to the display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive per-unit rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.criterion.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (report separator; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, once per configured sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warmup call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: sample_size as u64,
+        elapsed_nanos: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_nanos as f64 / bencher.iters.max(1) as f64;
+    let mut line = format!("{label:<50} {:>14.1} ns/iter", per_iter);
+    if let Some(tp) = throughput {
+        let (units, what) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if per_iter > 0.0 {
+            let rate = units as f64 / (per_iter / 1e9);
+            let _ = write!(line, "  ({rate:>12.0} {what}/s)");
+        }
+    }
+    println!("{line}");
+}
+
+/// Declare a group of benchmark functions, with optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warmup + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_run_every_registered_bench() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0u32;
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("a", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("b", 7), &7usize, |b, &x| {
+            b.iter(|| hits += x as u32)
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}
