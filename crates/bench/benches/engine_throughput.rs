@@ -31,6 +31,29 @@ impl MpNode for Flood {
     }
 }
 
+/// Directed-send gossip automaton: once informed, sends an individually
+/// addressed message to every neighbor each round. This exercises the
+/// engine's per-target delivery path (the hottest allocation site),
+/// whereas [`Flood`] exercises the broadcast path.
+struct DirectedGossip {
+    informed: bool,
+    neighbors: Vec<NodeId>,
+}
+
+impl MpNode for DirectedGossip {
+    type Msg = u64;
+    fn send(&mut self, round: usize) -> Outgoing<u64> {
+        if self.informed {
+            Outgoing::Directed(self.neighbors.iter().map(|&v| (v, round as u64)).collect())
+        } else {
+            Outgoing::Silent
+        }
+    }
+    fn recv(&mut self, _round: usize, _from: NodeId, _msg: u64) {
+        self.informed = true;
+    }
+}
+
 /// Round-robin radio beacon.
 struct Beacon {
     me: usize,
@@ -73,6 +96,33 @@ fn bench_mp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mp_directed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp_directed_rounds");
+    for side in [8usize, 16, 32] {
+        let g = generators::grid(side, side);
+        let rounds = 64usize;
+        group.throughput(Throughput::Elements((rounds * g.node_count()) as u64));
+        for p in [0.0, 0.3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid{side}x{side}"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut net =
+                            MpNetwork::new(&g, FaultConfig::omission(p), 7, |v| DirectedGossip {
+                                informed: v.index() == 0,
+                                neighbors: g.neighbors(v).to_vec(),
+                            });
+                        net.run(rounds);
+                        net.stats().deliveries
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_radio(c: &mut Criterion) {
     let mut group = c.benchmark_group("radio_rounds");
     for side in [8usize, 16, 32] {
@@ -101,6 +151,6 @@ fn bench_radio(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mp, bench_radio
+    targets = bench_mp, bench_mp_directed, bench_radio
 }
 criterion_main!(benches);

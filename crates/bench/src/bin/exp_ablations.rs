@@ -14,62 +14,60 @@
 //! (A1, any-vote vs majority under a flip adversary, is asserted as a
 //! unit test in `radio_robust`; its numbers appear in E10's module.)
 
-use randcast_bench::{banner, effort};
-use randcast_core::experiment::run_success_trials;
+use randcast_bench::{banner, cli, emit};
 use randcast_core::kucera::Plan;
 use randcast_core::lower_bound::{min_reps_for_target, LayerSchedule};
 use randcast_core::simple::{SimplePlan, VoteMode};
+use randcast_core::sweep::TrialOutcome;
 use randcast_engine::adversary::{FlipMpAdversary, RandomBitMpAdversary};
 use randcast_engine::fault::FaultConfig;
-use randcast_engine::mp::SilentMpAdversary;
+use randcast_engine::mp::{MpAdversary, SilentMpAdversary};
 use randcast_graph::generators;
 use randcast_stats::chernoff;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_f2, fmt_prob, Table};
+use randcast_stats::table::fmt_f2;
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "Ablations",
         "Knocking out the proofs' design choices one at a time.",
     );
+    let mut sweep = cli.sweep("ablations");
 
     // --- A2: the phase-length constant ---------------------------------
-    println!("A2. phase length m vs the Chernoff prescription (grid-6x6, omission p = 0.6):");
-    let g = generators::grid(6, 6);
-    let n = g.node_count();
-    let p = 0.6;
-    let m_star = chernoff::phase_len_omission(n, p);
-    let mut t = Table::new(["m / m*", "m", "rounds", "success", "target 1-1/n"]);
-    for factor in [0.25, 0.5, 1.0, 2.0] {
-        let m = ((m_star as f64 * factor).round() as usize).max(1);
-        let plan = SimplePlan::with_phase_len(&g, g.node(0), m, VoteMode::Any);
-        let est = run_success_trials(e.trials, SeedSequence::new(110), |seed| {
-            plan.run_mp(&g, FaultConfig::omission(p), SilentMpAdversary, seed, true)
-                .all_correct(true)
-        });
-        t.row([
-            format!("{factor}"),
-            m.to_string(),
-            plan.total_rounds().to_string(),
-            fmt_prob(est.rate()),
-            fmt_prob(1.0 - 1.0 / n as f64),
-        ]);
+    // (grid-6x6, omission p = 0.6, m vs the Chernoff prescription m*)
+    {
+        let g = generators::grid(6, 6);
+        let n = g.node_count();
+        let p = 0.6;
+        let m_star = chernoff::phase_len_omission(n, p);
+        for factor in [0.25, 0.5, 1.0, 2.0] {
+            let m = ((m_star as f64 * factor).round() as usize).max(1);
+            let plan = SimplePlan::with_phase_len(&g, g.node(0), m, VoteMode::Any);
+            let g = g.clone();
+            sweep.cell(
+                [
+                    ("section", "A2".to_string()),
+                    ("m / m*", format!("{factor}")),
+                    ("m", m.to_string()),
+                    ("rounds", plan.total_rounds().to_string()),
+                ],
+                cli.trials,
+                Some(n),
+                move |seed, _rng| {
+                    TrialOutcome::pass(
+                        plan.run_mp(&g, FaultConfig::omission(p), SilentMpAdversary, seed, true)
+                            .all_correct(true),
+                    )
+                },
+            );
+        }
     }
-    println!("{}", t.render());
 
-    // --- A3: composition structure --------------------------------------
-    println!("A3. Kučera composition structure (p = 0.3, target error 1e-6):");
-    let mut t = Table::new(["L", "construction", "time", "time/L", "error bound"]);
+    // --- A3: composition structure (analytic) ---------------------------
     for l in [64usize, 256, 1024] {
         let interleaved = Plan::for_line(l, 0.3, 1e-6);
-        t.row([
-            l.to_string(),
-            "CO1+CO2 interleaved (planner)".to_string(),
-            interleaved.time().to_string(),
-            fmt_f2(interleaved.time() as f64 / l as f64),
-            format!("{:.1e}", interleaved.error_bound()),
-        ]);
+        a3_cell(&mut sweep, l, "CO1+CO2 interleaved (planner)", &interleaved);
         // Flat structure: amplify each hop once at the bottom (to a
         // union-bound budget of 0.05 over the whole line), one serial
         // pass, one top-level majority. Costs Θ(L log L): the bottom
@@ -78,63 +76,45 @@ fn main() {
             .amplify_to(0.05 / l as f64)
             .serial(l)
             .amplify_to(1e-6);
-        t.row([
-            l.to_string(),
-            "CO2 bottom, CO1 once, CO2 top".to_string(),
-            bottom_top.time().to_string(),
-            fmt_f2(bottom_top.time() as f64 / l as f64),
-            format!("{:.1e}", bottom_top.error_bound()),
-        ]);
+        a3_cell(&mut sweep, l, "CO2 bottom, CO1 once, CO2 top", &bottom_top);
     }
     // Serial-first: raw hops drive the error past 1/2, where no amount
     // of repetition can recover (majority amplification diverges).
     let serial_first = Plan::basic(0.3).serial(64);
-    t.row([
-        "64".to_string(),
-        "CO1 only (raw hops)".to_string(),
-        serial_first.time().to_string(),
-        fmt_f2(1.0),
-        format!("{:.4} — unrecoverable (≥ 1/2)", serial_first.error_bound()),
+    sweep.analytic([
+        ("section", "A3".to_string()),
+        ("L", "64".to_string()),
+        ("construction", "CO1 only (raw hops)".to_string()),
+        ("time", serial_first.time().to_string()),
+        ("time/L", fmt_f2(1.0)),
+        (
+            "error bound",
+            format!("{:.4} — unrecoverable (≥ 1/2)", serial_first.error_bound()),
+        ),
     ]);
-    println!("{}", t.render());
 
     // --- A4: adversary strength -----------------------------------------
-    println!("A4. Simple-Malicious (MP) vs adversary strength (path-12, p = 0.45):");
-    let g = generators::path(12);
-    let p = 0.45;
-    let plan = SimplePlan::malicious_mp(&g, g.node(0), p);
-    let mut t = Table::new(["adversary", "success"]);
-    let silent = run_success_trials(e.trials, SeedSequence::new(111), |seed| {
-        plan.run_mp(&g, FaultConfig::malicious(p), SilentMpAdversary, seed, true)
-            .all_correct(true)
-    });
-    let random = run_success_trials(e.trials, SeedSequence::new(112), |seed| {
-        plan.run_mp(
-            &g,
-            FaultConfig::malicious(p),
-            RandomBitMpAdversary,
-            seed,
-            true,
-        )
-        .all_correct(true)
-    });
-    let flip = run_success_trials(e.trials, SeedSequence::new(113), |seed| {
-        plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, true)
-            .all_correct(true)
-    });
-    t.row(["silent (≡ omission)".to_string(), fmt_prob(silent.rate())]);
-    t.row(["random bit".to_string(), fmt_prob(random.rate())]);
-    t.row(["flip (worst case)".to_string(), fmt_prob(flip.rate())]);
-    println!("{}", t.render());
+    // Simple-Malicious (MP) on path-12 at p = 0.45.
+    {
+        let p = 0.45;
+        a4_cell(
+            &mut sweep,
+            &cli,
+            "silent (≡ omission)",
+            SilentMpAdversary,
+            p,
+        );
+        a4_cell(&mut sweep, &cli, "random bit", RandomBitMpAdversary, p);
+        a4_cell(&mut sweep, &cli, "flip (worst case)", FlipMpAdversary, p);
+    }
 
     // --- A5: schedule shape on G(m) --------------------------------------
-    println!("A5. G(m) schedule shape at p = 0.5 (union-bound target 1/n):");
-    let mut t = Table::new(["m", "singleton rounds", "scale rounds", "ratio"]);
+    // (p = 0.5, union-bound target 1/n; analytic search)
     for m in [6usize, 10, 14] {
         let n = (1usize << m) + m;
         let target = 1.0 / n as f64;
         let (_, single) = min_reps_for_target(|r| LayerSchedule::singletons(m, r), 0.5, target);
-        let mut seq = SeedSequence::new(114);
+        let mut seq = cli.seeds().child(0xA5).child(m as u64);
         let (_, scale) = min_reps_for_target(
             |r| {
                 let mut rng = seq.nth_rng(r as u64);
@@ -144,14 +124,17 @@ fn main() {
             0.5,
             target,
         );
-        t.row([
-            m.to_string(),
-            single.to_string(),
-            scale.to_string(),
-            fmt_f2(single as f64 / scale as f64),
+        sweep.analytic([
+            ("section", "A5".to_string()),
+            ("m", m.to_string()),
+            ("singleton rounds", single.to_string()),
+            ("scale rounds", scale.to_string()),
+            ("ratio", fmt_f2(single as f64 / scale as f64)),
         ]);
     }
-    println!("{}", t.render());
+
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: A2 — below m* the success cliff appears; A3 — raw serialization is\n\
          unrecoverable (error ≥ 1/2) so amplification structure is mandatory; the flat\n\
@@ -159,5 +142,43 @@ fn main() {
          interleaving holds a constant per-hop cost; A4 — flip is the binding adversary\n\
          near the threshold; A5 — multi-scale schedules beat singletons by a growing\n\
          factor (≈ m / log m)."
+    );
+}
+
+fn a3_cell(sweep: &mut randcast_core::sweep::Sweep<'_>, l: usize, construction: &str, plan: &Plan) {
+    sweep.analytic([
+        ("section", "A3".to_string()),
+        ("L", l.to_string()),
+        ("construction", construction.to_string()),
+        ("time", plan.time().to_string()),
+        ("time/L", fmt_f2(plan.time() as f64 / l as f64)),
+        ("error bound", format!("{:.1e}", plan.error_bound())),
+    ]);
+}
+
+fn a4_cell<'a, A>(
+    sweep: &mut randcast_core::sweep::Sweep<'a>,
+    cli: &randcast_bench::Cli,
+    name: &str,
+    adversary: A,
+    p: f64,
+) where
+    A: MpAdversary<bool> + Copy + Sync + 'a,
+{
+    let g = generators::path(12);
+    let plan = SimplePlan::malicious_mp(&g, g.node(0), p);
+    sweep.cell(
+        [
+            ("section", "A4".to_string()),
+            ("adversary", name.to_string()),
+        ],
+        cli.trials,
+        None,
+        move |seed, _rng| {
+            TrialOutcome::pass(
+                plan.run_mp(&g, FaultConfig::malicious(p), adversary, seed, true)
+                    .all_correct(true),
+            )
+        },
     );
 }

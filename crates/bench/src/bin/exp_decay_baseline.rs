@@ -7,64 +7,37 @@
 //! schedule but handles malicious faults too. The table shows rounds and
 //! success side by side.
 
-use randcast_bench::{banner, effort, standard_suite};
-use randcast_core::decay::{run_decay, DecayConfig};
-use randcast_core::experiment::run_success_trials;
-use randcast_core::radio_robust::ExpandedPlan;
-use randcast_core::radio_sched::greedy_schedule;
+use randcast_bench::{banner, cli, emit};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
 use randcast_engine::fault::FaultConfig;
-use randcast_engine::radio::SilentRadioAdversary;
-use randcast_graph::traversal;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "Extension (ref. [7])",
         "Randomized Decay vs deterministic Omission-Radio expansion, omission p = 0.4.",
     );
-    let p = 0.4;
-    let mut table = Table::new(["graph", "n", "algorithm", "rounds", "success"]);
-    for (name, g) in standard_suite() {
-        let n = g.node_count();
-        let source = g.node(0);
-        let d = traversal::radius_from(&g, source);
-
-        let mut cfg = DecayConfig::classical(n, d);
-        cfg.epochs *= 2; // compensate omission faults at p = 0.4
-        let est = run_success_trials(e.trials, SeedSequence::new(120), |seed| {
-            run_decay(&g, source, cfg, FaultConfig::omission(p), seed).complete()
-        });
-        table.row([
-            name.to_string(),
-            n.to_string(),
-            "decay (randomized)".into(),
-            cfg.total_rounds().to_string(),
-            fmt_prob(est.rate()),
-        ]);
-
-        let base = greedy_schedule(&g, source);
-        let plan = ExpandedPlan::omission(&g, source, &base, p);
-        let est = run_success_trials(e.trials, SeedSequence::new(121), |seed| {
-            plan.run(
-                &g,
-                FaultConfig::omission(p),
-                SilentRadioAdversary,
-                seed,
-                true,
-            )
-            .all_correct(true)
-        });
-        table.row([
-            name.to_string(),
-            n.to_string(),
-            "omission-radio (deterministic)".into(),
-            plan.total_rounds().to_string(),
-            fmt_prob(est.rate()),
-        ]);
+    let fault = FaultConfig::omission(0.4);
+    let mut sweep = cli.sweep("decay_baseline");
+    for family in standard_families() {
+        for algorithm in [
+            // Doubled epochs compensate omission faults at p = 0.4.
+            Algorithm::Decay { epoch_factor: 2 },
+            Algorithm::Expanded,
+        ] {
+            sweep.scenario(
+                Scenario {
+                    graph: family,
+                    algorithm,
+                    model: Model::Radio,
+                    fault,
+                },
+                cli.trials,
+            );
+        }
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: both reach high success; decay wins on shallow dense graphs (no\n\
          schedule needed), the expansion wins where greedy schedules are short —\n\

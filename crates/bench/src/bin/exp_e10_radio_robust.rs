@@ -9,109 +9,87 @@
 //! * malicious faults at `p = 0.4·p*(Δ)` with majority voting, against
 //!   both the jamming and the lie-or-jam adversary.
 
-use randcast_bench::{banner, effort, standard_suite};
-use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
+use randcast_bench::{banner, cli, emit};
 use randcast_core::feasibility::radio_threshold;
 use randcast_core::radio_robust::ExpandedPlan;
 use randcast_core::radio_sched::greedy_schedule;
-use randcast_engine::adversary::{JamRadioAdversary, LieOrJamAdversary};
+use randcast_core::scenario::{fmt_p, standard_families, Algorithm, Model, Scenario};
+use randcast_core::sweep::TrialOutcome;
+use randcast_engine::adversary::JamRadioAdversary;
 use randcast_engine::fault::FaultConfig;
-use randcast_engine::radio::SilentRadioAdversary;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E10 (Theorem 3.4)",
         "Omission-Radio / Malicious-Radio: almost-safe in |schedule| · ⌈c log n⌉ rounds.",
     );
-    let mut table = Table::new([
-        "graph",
-        "n",
-        "|A| (greedy)",
-        "variant",
-        "p",
-        "m",
-        "rounds",
-        "success",
-        "target",
-        "verdict",
-    ]);
     let bit = true;
-    for (name, g) in standard_suite() {
-        let n = g.node_count();
+    let mut sweep = cli.sweep("e10_radio_robust");
+    for family in standard_families() {
+        let g = family.build();
         let source = g.node(0);
         let base = greedy_schedule(&g, source);
+        let sched = vec![("|A| (greedy)".into(), base.len().to_string())];
 
-        // Omission at high p.
-        let p = 0.5;
-        let plan = ExpandedPlan::omission(&g, source, &base, p);
-        let est = run_success_trials(e.trials, SeedSequence::new(100), |seed| {
-            plan.run(
-                &g,
-                FaultConfig::omission(p),
-                SilentRadioAdversary,
-                seed,
-                bit,
-            )
-            .all_correct(bit)
-        });
-        let row = AlmostSafeRow::judge(est, n);
-        table.row([
-            name.to_string(),
-            n.to_string(),
-            base.len().to_string(),
-            "omission".into(),
-            format!("{p}"),
-            plan.phase_len().to_string(),
-            plan.total_rounds().to_string(),
-            fmt_prob(est.rate()),
-            fmt_prob(row.target()),
-            row.label(),
-        ]);
+        // Omission at high p (worst-case silent transmitters).
+        sweep.scenario_with(
+            Scenario {
+                graph: family,
+                algorithm: Algorithm::Expanded,
+                model: Model::Radio,
+                fault: FaultConfig::omission(0.5),
+            },
+            cli.trials,
+            [sched.clone(), vec![("adversary".into(), "silent".into())]].concat(),
+        );
 
-        // Malicious below the degree threshold.
-        let p_star = radio_threshold(g.max_degree());
-        let p = p_star * 0.4;
+        // Malicious below the degree threshold: the scenario's binding
+        // lie-or-jam adversary, plus the pure jammer as a custom cell.
+        let p = radio_threshold(g.max_degree()) * 0.4;
+        sweep.scenario_with(
+            Scenario {
+                graph: family,
+                algorithm: Algorithm::Expanded,
+                model: Model::Radio,
+                fault: FaultConfig::malicious(p),
+            },
+            cli.trials,
+            [
+                sched.clone(),
+                vec![("adversary".into(), "lie-or-jam".into())],
+            ]
+            .concat(),
+        );
+
         let plan = ExpandedPlan::malicious(&g, source, &base, p);
-        for (adv_name, jam) in [("jam", true), ("lie-or-jam", false)] {
-            let est = run_success_trials(e.trials, SeedSequence::new(101), |seed| {
-                let out = if jam {
-                    plan.run(
-                        &g,
-                        FaultConfig::malicious(p),
-                        JamRadioAdversary::new(!bit),
-                        seed,
-                        bit,
-                    )
-                } else {
-                    plan.run(
-                        &g,
-                        FaultConfig::malicious(p),
-                        LieOrJamAdversary::new(bit),
-                        seed,
-                        bit,
-                    )
-                };
-                out.all_correct(bit)
-            });
-            let row = AlmostSafeRow::judge(est, n);
-            table.row([
-                name.to_string(),
-                n.to_string(),
-                base.len().to_string(),
-                format!("malicious/{adv_name}"),
-                format!("{p:.4}"),
-                plan.phase_len().to_string(),
-                plan.total_rounds().to_string(),
-                fmt_prob(est.rate()),
-                fmt_prob(row.target()),
-                row.label(),
-            ]);
-        }
+        let n = g.node_count();
+        let mut params = vec![
+            ("graph".to_string(), family.label()),
+            ("n".to_string(), n.to_string()),
+            ("algorithm".to_string(), "expanded".to_string()),
+            ("model".to_string(), "radio".to_string()),
+            ("fault".to_string(), "malicious".to_string()),
+            ("p".to_string(), fmt_p(p)),
+            ("m".to_string(), plan.phase_len().to_string()),
+            ("rounds".to_string(), plan.total_rounds().to_string()),
+        ];
+        params.extend([sched.clone(), vec![("adversary".into(), "jam".into())]].concat());
+        sweep.cell(params, cli.trials, Some(n), move |seed, _rng| {
+            TrialOutcome::pass(
+                plan.run(
+                    &g,
+                    FaultConfig::malicious(p),
+                    JamRadioAdversary::new(!bit),
+                    seed,
+                    bit,
+                )
+                .all_correct(bit),
+            )
+        });
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: every row passes almost-safety; total rounds = |A| · m = O(opt·log n)\n\
          (compare E9: o(opt·log n) is not reachable in general — open problem 2 asks\n\

@@ -6,67 +6,33 @@
 //! `m = ⌈2 ln n / ln(1/p)⌉` and reports the measured success rate against
 //! the almost-safety target `1 − 1/n`.
 
-use randcast_bench::{banner, effort, standard_suite};
-use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
-use randcast_core::simple::SimplePlan;
+use randcast_bench::{banner, cli, emit};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
 use randcast_engine::fault::FaultConfig;
-use randcast_engine::mp::SilentMpAdversary;
-use randcast_engine::radio::SilentRadioAdversary;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E1 (Theorem 2.1)",
         "Simple-Omission: almost-safe for every p < 1 in both models; time n·m.",
     );
-    let mut table = Table::new([
-        "graph", "n", "p", "m", "rounds", "model", "success", "target", "verdict",
-    ]);
-    let bit = true;
-    for (name, g) in standard_suite() {
-        let n = g.node_count();
-        let source = g.node(0);
+    let mut sweep = cli.sweep("e1_simple_omission");
+    for family in standard_families() {
         for p in [0.3, 0.6, 0.9] {
-            let plan = SimplePlan::omission_with_p(&g, source, p);
-            let fault = FaultConfig::omission(p);
-
-            let mp = run_success_trials(e.trials, SeedSequence::new(10), |seed| {
-                plan.run_mp(&g, fault, SilentMpAdversary, seed, bit)
-                    .all_correct(bit)
-            });
-            let row = AlmostSafeRow::judge(mp, n);
-            table.row([
-                name.to_string(),
-                n.to_string(),
-                format!("{p}"),
-                plan.phase_len().to_string(),
-                plan.total_rounds().to_string(),
-                "mp".into(),
-                fmt_prob(mp.rate()),
-                fmt_prob(row.target()),
-                row.label(),
-            ]);
-
-            let radio = run_success_trials(e.trials, SeedSequence::new(20), |seed| {
-                plan.run_radio(&g, fault, SilentRadioAdversary, seed, bit)
-                    .all_correct(bit)
-            });
-            let row = AlmostSafeRow::judge(radio, n);
-            table.row([
-                name.to_string(),
-                n.to_string(),
-                format!("{p}"),
-                plan.phase_len().to_string(),
-                plan.total_rounds().to_string(),
-                "radio".into(),
-                fmt_prob(radio.rate()),
-                fmt_prob(row.target()),
-                row.label(),
-            ]);
+            for model in [Model::Mp, Model::Radio] {
+                sweep.scenario(
+                    Scenario {
+                        graph: family,
+                        algorithm: Algorithm::Simple,
+                        model,
+                        fault: FaultConfig::omission(p),
+                    },
+                    cli.trials,
+                );
+            }
         }
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!("expected: every row passes (success ≥ 1 − 1/n) — feasibility holds for all p < 1.");
 }

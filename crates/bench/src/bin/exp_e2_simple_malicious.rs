@@ -5,56 +5,43 @@
 //! Sweeps `p` toward the threshold and reports success against
 //! `1 − 1/n`. (The other side of the threshold is E3.)
 
-use randcast_bench::{banner, effort, standard_suite};
-use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
-use randcast_core::simple::SimplePlan;
-use randcast_engine::adversary::FlipMpAdversary;
+use randcast_bench::{banner, cli, emit};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
 use randcast_engine::fault::FaultConfig;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E2 (Theorem 2.2)",
         "Simple-Malicious (MP): almost-safe for p < 1/2 against the flip adversary.",
     );
-    let mut table = Table::new([
-        "graph", "n", "p", "m", "rounds", "success", "target", "verdict",
-    ]);
-    let bit = true;
-    for (name, g) in standard_suite() {
-        let n = g.node_count();
-        let source = g.node(0);
+    let mut sweep = cli.sweep("e2_simple_malicious");
+    for family in standard_families() {
         for p in [0.1, 0.25, 0.4, 0.45] {
-            let plan = SimplePlan::malicious_mp(&g, source, p);
+            let prepared = Scenario {
+                graph: family,
+                algorithm: Algorithm::Simple,
+                model: Model::Mp,
+                fault: FaultConfig::malicious(p),
+            }
+            .prepare();
             // Near the threshold the prescribed m (∝ 1/(1/2−p)²) makes
             // runs expensive; scale trials so each cell costs roughly the
             // same wall-clock (the success signal is strong regardless).
-            let trials = match plan.total_rounds() {
-                r if r > 150_000 => e.trials / 8,
-                r if r > 50_000 => e.trials / 4,
-                _ => e.trials,
-            }
-            .max(50);
-            let est = run_success_trials(trials, SeedSequence::new(30), |seed| {
-                plan.run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, bit)
-                    .all_correct(bit)
-            });
-            let row = AlmostSafeRow::judge(est, n);
-            table.row([
-                name.to_string(),
-                n.to_string(),
-                format!("{p}"),
-                plan.phase_len().to_string(),
-                plan.total_rounds().to_string(),
-                fmt_prob(est.rate()),
-                fmt_prob(row.target()),
-                row.label(),
-            ]);
+            // An explicit --trials wins over this adjustment.
+            let trials = cli.cell_trials(
+                match prepared.rounds() {
+                    r if r > 150_000 => cli.trials / 8,
+                    r if r > 50_000 => cli.trials / 4,
+                    _ => cli.trials,
+                }
+                .max(50),
+            );
+            sweep.prepared(prepared, trials, Vec::new());
         }
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: every row passes; m grows like 1/(1/2 − p)² as p approaches the threshold."
     );

@@ -10,34 +10,39 @@
 //! infeasibility, as opposed to the feasible regime where more rounds
 //! drive success toward 1.
 
-use randcast_bench::{banner, effort};
+use randcast_bench::{banner, cli, emit};
 use randcast_core::datalink::run_two_node_majority;
-use randcast_core::experiment::run_success_trials;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
+use randcast_core::sweep::TrialOutcome;
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E3 (Theorem 2.3)",
         "Two-node graph, malicious p >= 1/2: success pinned at 1/2 at every horizon.",
     );
-    let trials = e.trials.max(300); // the interesting signal is a rate near 0.5
-    let mut table = Table::new(["p", "rounds", "success", "note"]);
+    // The interesting signal is a rate near 0.5, so floor the default
+    // trial count (an explicit --trials still wins).
+    let trials = cli.cell_trials(cli.trials.max(300));
+    let mut sweep = cli.sweep("e3_mp_impossibility");
     for p in [0.5, 0.6, 0.75, 0.9] {
         for rounds in [11usize, 101, 1001] {
-            let est = run_success_trials(trials, SeedSequence::new(40), |seed| {
-                run_two_node_majority(rounds, p, seed % 2 == 0, seed)
-            });
-            table.row([
-                format!("{p}"),
-                rounds.to_string(),
-                fmt_prob(est.rate()),
-                if p > 0.5 { "throttled to 1/2" } else { "" }.to_string(),
-            ]);
+            let note = if p > 0.5 { "throttled to 1/2" } else { "" };
+            sweep.cell(
+                [
+                    ("p", format!("{p}")),
+                    ("rounds", rounds.to_string()),
+                    ("note", note.to_string()),
+                ],
+                trials,
+                None,
+                move |seed, _rng| {
+                    TrialOutcome::pass(run_two_node_majority(rounds, p, seed % 2 == 0, seed))
+                },
+            );
         }
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: every success rate ≈ 0.5 — spending 100x more rounds buys nothing,\n\
          matching the posterior argument P(M0 | σ) = 1/2 of Theorem 2.3.\n\

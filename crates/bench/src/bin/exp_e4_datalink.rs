@@ -6,43 +6,41 @@
 //! per bit value and the analytic error bound for bit 0 (bit 1 is
 //! decoded correctly deterministically).
 
-use randcast_bench::{banner, effort};
+use randcast_bench::{banner, cli, emit};
 use randcast_core::datalink::{hello_error_bound, run_hello};
-use randcast_core::experiment::run_success_trials;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
+use randcast_core::sweep::TrialOutcome;
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E4 (§2.2.2)",
         "Even/odd datalink protocol: limited malicious, any p < 1; error e^{-Θ(m)}.",
     );
-    let mut table = Table::new([
-        "p",
-        "m",
-        "success(bit=1)",
-        "success(bit=0)",
-        "analytic err(bit=0)",
-    ]);
+    let mut sweep = cli.sweep("e4_datalink");
     for p in [0.3, 0.5, 0.7, 0.9] {
         for m in [5usize, 20, 80, 320] {
-            let ones = run_success_trials(e.trials, SeedSequence::new(50), |seed| {
-                run_hello(m, p, true, seed)
-            });
-            let zeros = run_success_trials(e.trials, SeedSequence::new(51), |seed| {
-                run_hello(m, p, false, seed)
-            });
-            table.row([
-                format!("{p}"),
-                m.to_string(),
-                fmt_prob(ones.rate()),
-                fmt_prob(zeros.rate()),
-                format!("{:.3e}", hello_error_bound(m, p)),
-            ]);
+            for bit in [true, false] {
+                let analytic = if bit {
+                    "-".to_string() // bit 1 is decoded deterministically
+                } else {
+                    format!("{:.3e}", hello_error_bound(m, p))
+                };
+                sweep.cell(
+                    [
+                        ("p", format!("{p}")),
+                        ("m", m.to_string()),
+                        ("bit", u8::from(bit).to_string()),
+                        ("analytic err", analytic),
+                    ],
+                    cli.trials,
+                    None,
+                    move |seed, _rng| TrialOutcome::pass(run_hello(m, p, bit, seed)),
+                );
+            }
         }
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: bit 1 always correct; bit 0 error tracks the analytic bound and\n\
          decays exponentially in m at every p < 1 — no threshold, unlike Theorem 2.3."

@@ -1,27 +1,25 @@
 //! E5 — Theorem 2.4: malicious radio broadcast is feasible iff
 //! `p < p*(Δ)`, the fixed point of `p = (1 − p)^{Δ+1}`.
 //!
-//! Two directions:
+//! Three sections (one table each):
 //!
-//! * **Feasibility** (`p < p*`): `Simple-Malicious` with the prescribed
-//!   phase length passes the almost-safety bar on stars, against the
-//!   lie-or-jam adversary.
-//! * **Infeasibility** (`p ≥ p*`): on the paper's star (source = leaf,
-//!   receiver = center), the lie-or-jam adversary makes clean lies
+//! * the threshold table `p*(Δ)` and the clean-reception rate at it;
+//! * **infeasibility probes** on the paper's star (source = leaf,
+//!   receiver = center): the lie-or-jam adversary makes clean lies
 //!   arrive at rate `p` and clean truths at rate `q = (1 − p)^{Δ+1}`;
 //!   at and beyond the threshold, majority decoding degrades to a coin
-//!   flip or worse, and no horizon helps.
+//!   flip or worse, and no horizon helps;
+//! * the **feasible side** (`p = 0.5·p*`): `Simple-Malicious` with the
+//!   prescribed phase length passes the almost-safety bar on stars.
 
-use randcast_bench::{banner, effort};
-use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
+use randcast_bench::{banner, cli, emit};
 use randcast_core::feasibility::{radio_clean_reception_prob, radio_threshold};
-use randcast_core::simple::SimplePlan;
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::sweep::TrialOutcome;
 use randcast_engine::adversary::LieOrJamAdversary;
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
 use randcast_graph::generators;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_prob, Table};
 
 /// The Theorem 2.4 star experiment: leaf `1` repeats the source bit every
 /// round; everyone else listens; the center (node 0) majority-decodes.
@@ -68,76 +66,63 @@ fn center_decodes(delta: usize, p: f64, rounds: usize, seed: u64) -> bool {
 }
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E5 (Theorem 2.4)",
         "Radio malicious threshold p*(Δ): p = (1-p)^(Δ+1).",
     );
+    let mut sweep = cli.sweep("e5_radio_threshold");
 
-    println!("threshold table:");
-    let mut t = Table::new(["Δ", "p*(Δ)", "q(p*) = (1-p*)^(Δ+1)"]);
+    // Threshold table (analytic rows — no trials).
     for delta in [1usize, 2, 4, 8, 16, 32] {
         let p = radio_threshold(delta);
-        t.row([
-            delta.to_string(),
-            format!("{p:.6}"),
-            format!("{:.6}", radio_clean_reception_prob(p, delta)),
+        sweep.analytic([
+            ("Δ", delta.to_string()),
+            ("p*(Δ)", format!("{p:.6}")),
+            (
+                "q(p*) = (1-p*)^(Δ+1)",
+                format!("{:.6}", radio_clean_reception_prob(p, delta)),
+            ),
         ]);
     }
-    println!("{}", t.render());
 
-    println!("star K_{{1,Δ}}, source = leaf, receiver = center, lie-or-jam adversary:");
-    let mut t = Table::new(["Δ", "p/p*", "p", "rounds", "center success"]);
+    // Star K_{1,Δ}, source = leaf, receiver = center, lie-or-jam.
     for delta in [2usize, 4, 8] {
         let p_star = radio_threshold(delta);
         for factor in [0.5, 0.8, 1.0, 1.2, 1.5] {
             let p = (p_star * factor).min(0.95);
             for rounds in [201usize, 2001] {
-                let est = run_success_trials(e.trials, SeedSequence::new(60), |seed| {
-                    center_decodes(delta, p, rounds, seed)
-                });
-                t.row([
-                    delta.to_string(),
-                    format!("{factor:.1}"),
-                    format!("{p:.4}"),
-                    rounds.to_string(),
-                    fmt_prob(est.rate()),
-                ]);
+                sweep.cell(
+                    [
+                        ("Δ", delta.to_string()),
+                        ("p/p*", format!("{factor:.1}")),
+                        ("p", format!("{p:.4}")),
+                        ("rounds", rounds.to_string()),
+                    ],
+                    cli.trials,
+                    None,
+                    move |seed, _rng| TrialOutcome::pass(center_decodes(delta, p, rounds, seed)),
+                );
             }
         }
     }
-    println!("{}", t.render());
 
-    println!("feasible side, full broadcast: Simple-Malicious on stars, p = 0.5·p*(Δ):");
-    let mut t = Table::new(["Δ", "n", "p", "m", "success", "target", "verdict"]);
-    let bit = true;
+    // Feasible side, full broadcast: Simple-Malicious on stars.
     for delta in [2usize, 4, 8] {
-        let g = generators::star(delta);
-        let n = g.node_count();
         let p = radio_threshold(delta) * 0.5;
-        let plan = SimplePlan::malicious_radio(&g, g.node(0), p);
-        let est = run_success_trials(e.trials, SeedSequence::new(61), |seed| {
-            plan.run_radio(
-                &g,
-                FaultConfig::malicious(p),
-                LieOrJamAdversary::new(bit),
-                seed,
-                bit,
-            )
-            .all_correct(bit)
-        });
-        let row = AlmostSafeRow::judge(est, n);
-        t.row([
-            delta.to_string(),
-            n.to_string(),
-            format!("{p:.4}"),
-            plan.phase_len().to_string(),
-            fmt_prob(est.rate()),
-            fmt_prob(row.target()),
-            row.label(),
-        ]);
+        sweep.scenario(
+            Scenario {
+                graph: GraphFamily::Star(delta),
+                algorithm: Algorithm::Simple,
+                model: Model::Radio,
+                fault: FaultConfig::malicious(p),
+            },
+            cli.trials,
+        );
     }
-    println!("{}", t.render());
+
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: center success > 1/2 for p < p*, ≈ or < 1/2 at p ≥ p* (more rounds\n\
          do not help past the threshold); the feasible-side rows pass almost-safety."

@@ -7,37 +7,54 @@
 //! shape, and contrasts the naive `Simple-Omission` time `n·m` — the
 //! `Θ(D + log n)` vs `Θ(n log n)` separation.
 
-use randcast_bench::{banner, effort};
-use randcast_core::flood::{FloodPlan, FloodVariant};
+use randcast_bench::{banner, cli, write_json};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
 use randcast_core::simple::SimplePlan;
 use randcast_engine::fault::FaultConfig;
-use randcast_graph::{generators, traversal, Graph};
-use randcast_stats::estimate::Running;
-use randcast_stats::seed::SeedSequence;
+use randcast_graph::traversal;
 use randcast_stats::table::{fmt_f2, Table};
 
-fn measure(g: &Graph, p: f64, trials: usize, horizon: usize) -> (Running, usize) {
-    let plan = FloodPlan::with_horizon(g, g.node(0), horizon, FloodVariant::Tree);
-    let seeds = SeedSequence::new(70);
-    let mut acc = Running::new();
-    let mut incomplete = 0usize;
-    for i in 0..trials {
-        let out = plan.run(g, FaultConfig::omission(p), seeds.nth_seed(i as u64));
-        match out.completion_round() {
-            Some(r) => acc.push(r as f64),
-            None => incomplete += 1,
-        }
-    }
-    (acc, incomplete)
-}
-
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E6 (Theorem 3.1)",
         "Flood-Omission completes in Θ(D + log n); naive Simple-Omission needs n·m.",
     );
     let p = 0.4;
+    let mut families = Vec::new();
+    for len in [16usize, 32, 64, 128, 256] {
+        families.push(GraphFamily::Path(len));
+    }
+    for side in [6usize, 12, 18] {
+        families.push(GraphFamily::Grid(side, side));
+    }
+    families.push(GraphFamily::BalancedTree(2, 8));
+
+    let mut sweep = cli.sweep("e6_flood_time");
+    let mut analytics = Vec::new(); // (n, D, base, naive) per cell, sweep order
+    for family in &families {
+        let g = family.build();
+        let d = traversal::radius_from(&g, g.node(0));
+        let base = d as f64 / (1.0 - p);
+        let naive = SimplePlan::omission_with_p(&g, g.node(0), p).total_rounds();
+        analytics.push((g.node_count(), d, base, naive));
+        sweep.scenario_with(
+            Scenario {
+                graph: *family,
+                algorithm: Algorithm::Flood { horizon_scale: 2 }, // generous horizon
+                model: Model::Mp,
+                fault: FaultConfig::omission(p),
+            },
+            cli.trials,
+            vec![
+                ("D".into(), d.to_string()),
+                ("D/(1-p)".into(), fmt_f2(base)),
+                ("naive n·m".into(), naive.to_string()),
+            ],
+        );
+    }
+    let result = sweep.run();
+
     let mut table = Table::new([
         "graph",
         "n",
@@ -48,35 +65,33 @@ fn main() {
         "(T-D/(1-p))/ln n",
         "naive n·m",
     ]);
-    let mut graphs: Vec<(String, Graph)> = Vec::new();
-    for len in [16usize, 32, 64, 128, 256] {
-        graphs.push((format!("path-{len}"), generators::path(len)));
-    }
-    for side in [6usize, 12, 18] {
-        graphs.push((format!("grid-{side}x{side}"), generators::grid(side, side)));
-    }
-    graphs.push(("tree-2-8".into(), generators::balanced_tree(2, 8)));
-
-    for (name, g) in &graphs {
-        let n = g.node_count();
-        let d = traversal::radius_from(g, g.node(0));
-        let generous = FloodPlan::new(g, g.node(0), p).horizon() * 2;
-        let (acc, incomplete) = measure(g, p, e.trials, generous);
-        assert_eq!(incomplete, 0, "{name}: generous horizon must complete");
-        let base = d as f64 / (1.0 - p);
-        let naive = SimplePlan::omission_with_p(g, g.node(0), p).total_rounds();
+    for ((family, cell), &(n, d, base, naive)) in families.iter().zip(&result.cells).zip(&analytics)
+    {
+        assert_eq!(
+            cell.estimate.successes(),
+            cell.estimate.trials(),
+            "{}: generous horizon must complete",
+            family.label()
+        );
+        let mean = cell.mean_rounds.expect("completed trials report rounds");
+        let max = cell
+            .outcomes
+            .iter()
+            .filter_map(|o| o.rounds)
+            .fold(0.0f64, f64::max);
         table.row([
-            name.clone(),
+            family.label(),
             n.to_string(),
             d.to_string(),
-            fmt_f2(acc.mean()),
-            fmt_f2(acc.max()),
+            fmt_f2(mean),
+            fmt_f2(max),
             fmt_f2(base),
-            fmt_f2((acc.mean() - base) / (n as f64).ln()),
+            fmt_f2((mean - base) / (n as f64).ln()),
             naive.to_string(),
         ]);
     }
     println!("{}", table.render());
+    write_json(&cli, &result);
     println!(
         "expected: mean T tracks D/(1-p) plus a term bounded by a constant multiple of\n\
          ln n (the residual column stays small and roughly flat), while the naive\n\

@@ -12,78 +12,69 @@
 //! 3. **Trees, end-to-end**: success rate of the full broadcast against
 //!    the flip adversary on tree-shaped and grid networks.
 
-use randcast_bench::{banner, effort, standard_suite};
-use randcast_core::experiment::{run_success_trials, AlmostSafeRow};
-use randcast_core::kucera::{FailureBehavior, KuceraBroadcast, Plan};
+use randcast_bench::{banner, cli, emit};
+use randcast_core::kucera::Plan;
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
+use randcast_engine::fault::FaultConfig;
 use randcast_graph::traversal;
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_f2, fmt_prob, Table};
+use randcast_stats::table::fmt_f2;
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "E7 (Theorem 3.2)",
         "Kučera composition: limited-malicious MP broadcast in O(D + log^α n), p < 1/2.",
     );
+    let mut sweep = cli.sweep("e7_kucera");
 
-    println!("1. line time shape at per-branch error 1e-6:");
-    let mut t = Table::new(["L", "p", "τ", "τ/L", "plan error bound"]);
+    // 1. Line time shape at per-branch error 1e-6 (analytic rows).
     for p in [0.1, 0.25, 0.4] {
         for l in [16usize, 32, 64, 128, 256, 512] {
             let plan = Plan::for_line(l, p, 1e-6);
-            t.row([
-                l.to_string(),
-                format!("{p}"),
-                plan.time().to_string(),
-                fmt_f2(plan.time() as f64 / l as f64),
-                format!("{:.2e}", plan.error_bound()),
+            sweep.analytic([
+                ("L", l.to_string()),
+                ("p", format!("{p}")),
+                ("τ", plan.time().to_string()),
+                ("τ/L", fmt_f2(plan.time() as f64 / l as f64)),
+                ("plan error bound", format!("{:.2e}", plan.error_bound())),
             ]);
         }
     }
-    println!("{}", t.render());
 
-    println!("2. cost of the α knob (L = 128, p = 0.25, target exp(-L^(1/α))):");
-    let mut t = Table::new(["α", "target error", "τ", "τ/L"]);
+    // 2. Cost of the α knob (L = 128, p = 0.25, target exp(-L^(1/α))).
     for alpha in [1.2f64, 1.5, 2.0, 3.0] {
         let l = 128usize;
         let p = 0.25;
         let target = (-(l as f64).powf(1.0 / alpha)).exp();
         let plan = Plan::for_line(l, p, target);
-        t.row([
-            format!("{alpha}"),
-            format!("{target:.2e}"),
-            plan.time().to_string(),
-            fmt_f2(plan.time() as f64 / l as f64),
+        sweep.analytic([
+            ("α", format!("{alpha}")),
+            ("target error", format!("{target:.2e}")),
+            ("τ", plan.time().to_string()),
+            ("τ/L", fmt_f2(plan.time() as f64 / l as f64)),
         ]);
     }
-    println!("{}", t.render());
 
-    println!("3. end-to-end broadcast on the standard suite (flip adversary):");
-    let mut t = Table::new(["graph", "n", "D", "p", "τ", "success", "target", "verdict"]);
-    let bit = true;
-    for (name, g) in standard_suite() {
-        let n = g.node_count();
+    // 3. End-to-end broadcast on the standard suite (flip adversary).
+    for family in standard_families() {
+        let g = family.build();
         let d = traversal::radius_from(&g, g.node(0));
         for p in [0.2, 0.4] {
-            let kb = KuceraBroadcast::new(&g, g.node(0), p);
-            let est = run_success_trials(e.trials, SeedSequence::new(80), |seed| {
-                kb.run(&g, p, FailureBehavior::Flip, seed, bit)
-                    .all_correct(bit)
-            });
-            let row = AlmostSafeRow::judge(est, n);
-            t.row([
-                name.to_string(),
-                n.to_string(),
-                d.to_string(),
-                format!("{p}"),
-                kb.time().to_string(),
-                fmt_prob(est.rate()),
-                fmt_prob(row.target()),
-                row.label(),
-            ]);
+            sweep.scenario_with(
+                Scenario {
+                    graph: family,
+                    algorithm: Algorithm::Kucera,
+                    model: Model::Mp,
+                    fault: FaultConfig::limited_malicious(p),
+                },
+                cli.trials,
+                vec![("D".into(), d.to_string())],
+            );
         }
     }
-    println!("{}", t.render());
+
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
         "expected: τ/L flat in part 1 (time linear in the line length at fixed error);\n\
          smaller α buys stronger error at more time in part 2; all rows pass in part 3."

@@ -6,58 +6,68 @@
 //! * For small `m`, exhaustive search over *all* schedules certifies
 //!   that no `m`-round schedule exists.
 //! * The greedy scheduler is compared against the optimum.
+//!
+//! Every check is deterministic, so each cell runs a single "trial"
+//! whose success means all of the row's certifications held.
 
-use randcast_bench::banner;
+use randcast_bench::{banner, cli, emit};
 use randcast_core::lower_bound::lemma33_schedule;
 use randcast_core::radio_sched::{greedy_schedule, optimal_broadcast_time};
+use randcast_core::sweep::TrialOutcome;
 use randcast_graph::generators;
-use randcast_stats::table::Table;
 
 fn main() {
+    let cli = cli();
     banner(
         "E8 (Lemma 3.3)",
         "G(m): fault-free radio broadcast takes exactly m + 1 rounds.",
     );
-    let mut table = Table::new([
-        "m",
-        "n",
-        "explicit (m+1)",
-        "valid?",
-        "greedy len",
-        "brute-force opt",
-    ]);
+    let mut sweep = cli.sweep("e8_opt_gm");
     for m in 1..=10usize {
         let g = generators::lower_bound_graph(m);
         let explicit = lemma33_schedule(m).to_radio_schedule();
-        let valid = explicit.validate(&g, g.node(0)).is_ok();
         let greedy = greedy_schedule(&g, g.node(0));
-        let opt = if m <= 3 {
-            // Exhaustive certification: search up to m rounds fails, m+1
-            // succeeds.
-            assert_eq!(
-                optimal_broadcast_time(&g, g.node(0), m),
-                None,
-                "m={m}: an m-round schedule must not exist"
-            );
-            optimal_broadcast_time(&g, g.node(0), m + 1)
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into())
+        let explicit_len = explicit.len();
+        let greedy_len = greedy.len();
+        let n = g.node_count();
+        let opt_label = if m <= 3 {
+            (m + 1).to_string()
         } else {
             "(n/a)".into()
         };
-        table.row([
-            m.to_string(),
-            g.node_count().to_string(),
-            explicit.len().to_string(),
-            valid.to_string(),
-            greedy.len().to_string(),
-            opt,
-        ]);
+        sweep.cell(
+            [
+                ("m", m.to_string()),
+                ("n", n.to_string()),
+                ("explicit (m+1)", explicit_len.to_string()),
+                ("greedy len", greedy_len.to_string()),
+                ("brute-force opt", opt_label),
+            ],
+            1,
+            None,
+            move |_seed, _rng| {
+                let g = generators::lower_bound_graph(m);
+                let source = g.node(0);
+                let mut ok = explicit.validate(&g, source).is_ok() && explicit.len() == m + 1;
+                if m <= 3 {
+                    // Exhaustive certification: search up to m rounds
+                    // fails, m + 1 succeeds.
+                    ok &= optimal_broadcast_time(&g, source, m).is_none();
+                    ok &= optimal_broadcast_time(&g, source, m + 1) == Some(m + 1);
+                }
+                TrialOutcome::with_rounds(ok, explicit_len as f64)
+            },
+        );
     }
-    println!("{}", table.render());
+    let result = sweep.run();
+    assert!(
+        result.cells.iter().all(|c| c.estimate.rate() == 1.0),
+        "a Lemma 3.3 certification failed"
+    );
+    emit(&cli, &result);
     println!(
-        "expected: the explicit schedule is valid with m + 1 rounds for every m; for\n\
-         m ≤ 3 brute force proves no m-round schedule exists (so opt = m + 1 exactly);\n\
-         greedy matches or comes close."
+        "expected: the explicit schedule is valid with m + 1 rounds for every m (rate 1\n\
+         in every row); for m ≤ 3 brute force proves no m-round schedule exists (so\n\
+         opt = m + 1 exactly); greedy matches or comes close."
     );
 }

@@ -19,86 +19,69 @@
 //! counterexample family to tightness (the truth lies between the
 //! Theorem 3.3 lower bound and `opt · log n`).
 
-use randcast_bench::{banner, effort};
-use randcast_core::experiment::run_success_trials;
+use randcast_bench::{banner, cli, emit};
 use randcast_core::feasibility::radio_threshold;
 use randcast_core::kucera::KuceraBroadcast;
 use randcast_core::lower_bound::{min_reps_for_target, LayerSchedule};
 use randcast_core::radio_robust::ExpandedPlan;
+use randcast_core::scenario::GraphFamily;
 use randcast_core::selftimed::SelfTimedPlan;
+use randcast_core::sweep::TrialOutcome;
 use randcast_engine::adversary::FlipMpAdversary;
 use randcast_engine::fault::FaultConfig;
 use randcast_graph::{generators, traversal};
-use randcast_stats::seed::SeedSequence;
-use randcast_stats::table::{fmt_f2, fmt_prob, Table};
+use randcast_stats::table::fmt_f2;
 
 fn main() {
-    let e = effort();
+    let cli = cli();
     banner(
         "Open problems (Section 4)",
         "Empirical probes of the paper's two open questions.",
     );
+    let mut sweep = cli.sweep("open_problems");
 
     // --- OP1: malicious MP in O(D + log n)? ----------------------------
-    println!("OP1. distance of known upper bounds from D + ln n (p = 0.25, flip adversary):");
+    // Distance of known upper bounds from D + ln n (p = 0.25, flip).
     let p = 0.25;
-    let mut t = Table::new([
-        "graph",
-        "n",
-        "D",
-        "D+ln n",
-        "kučera τ",
-        "gap",
-        "self-timed τ",
-        "gap",
-        "st success",
-    ]);
-    let graphs: Vec<(&str, randcast_graph::Graph)> = vec![
-        ("path-64", generators::path(64)),
-        ("grid-10x10", generators::grid(10, 10)),
-        ("tree-2-7", generators::balanced_tree(2, 7)),
-    ];
-    for (name, g) in &graphs {
+    for family in [
+        GraphFamily::Path(64),
+        GraphFamily::Grid(10, 10),
+        GraphFamily::BalancedTree(2, 7),
+    ] {
+        let g = family.build();
         let n = g.node_count();
-        let d = traversal::radius_from(g, g.node(0));
+        let d = traversal::radius_from(&g, g.node(0));
         let target = d as f64 + (n as f64).ln();
 
-        let kb = KuceraBroadcast::new(g, g.node(0), p);
-        let st = SelfTimedPlan::malicious(g, g.node(0), p);
-        let est = run_success_trials(e.trials.min(120), SeedSequence::new(130), |seed| {
-            st.run(g, FaultConfig::malicious(p), FlipMpAdversary, seed, true)
-                .all_correct(true)
-        });
-        t.row([
-            name.to_string(),
-            n.to_string(),
-            d.to_string(),
-            fmt_f2(target),
-            kb.time().to_string(),
-            fmt_f2(kb.time() as f64 / target),
-            st.horizon().to_string(),
-            fmt_f2(st.horizon() as f64 / target),
-            fmt_prob(est.rate()),
-        ]);
+        let kb = KuceraBroadcast::new(&g, g.node(0), p);
+        let st = SelfTimedPlan::malicious(&g, g.node(0), p);
+        let st_horizon = st.horizon();
+        sweep.cell(
+            [
+                ("section", "OP1".to_string()),
+                ("graph", family.label()),
+                ("n", n.to_string()),
+                ("D", d.to_string()),
+                ("D+ln n", fmt_f2(target)),
+                ("kučera τ", kb.time().to_string()),
+                ("k gap", fmt_f2(kb.time() as f64 / target)),
+                ("self-timed τ", st_horizon.to_string()),
+                ("st gap", fmt_f2(st_horizon as f64 / target)),
+            ],
+            cli.cell_trials(cli.trials.min(120)),
+            None,
+            move |seed, _rng| {
+                TrialOutcome::pass(
+                    st.run(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, true)
+                        .all_correct(true),
+                )
+            },
+        );
     }
-    println!("{}", t.render());
-    println!(
-        "both constructions remain polylog factors above D + ln n; OP1 (whether the\n\
-         gap closes to O(1) under full malicious faults) remains open.\n"
-    );
 
     // --- OP2: is Θ(opt · log n) tight? ----------------------------------
-    println!("OP2. G(m) at p = 0.5: opt·log n (Theorem 3.4) vs the multi-scale schedule:");
+    // G(m) at p = 0.5: opt·log n (Thm 3.4) vs the multi-scale schedule.
     let p = 0.5;
-    let mut t = Table::new([
-        "m",
-        "n",
-        "opt",
-        "Thm 3.4 rounds (greedy·m)",
-        "scale-schedule rounds",
-        "ratio",
-        "scale MC success",
-    ]);
     for m in [4usize, 6, 8] {
         let g = generators::lower_bound_graph(m);
         let n = g.node_count();
@@ -108,8 +91,9 @@ fn main() {
         let base = randcast_core::radio_sched::greedy_schedule(&g, source);
         let expanded = ExpandedPlan::omission(&g, source, &base, p);
 
-        // Multi-scale schedule sized by the union bound.
-        let mut seq = SeedSequence::new(131);
+        // Multi-scale schedule sized by the union bound, seeded from the
+        // root --seed.
+        let mut seq = cli.seeds().child(0x0b2).child(m as u64);
         let (reps, scale_rounds) = min_reps_for_target(
             |r| {
                 let mut rng = seq.nth_rng(r as u64);
@@ -119,30 +103,41 @@ fn main() {
             p,
             1.0 / n as f64,
         );
-        let mut rng = SeedSequence::new(132).nth_rng(0);
+        let mut rng = cli.seeds().child(0x0b3).child(m as u64).nth_rng(0);
         let chosen = LayerSchedule::scales(m, reps, &mut rng);
-        let est = run_success_trials(e.trials.min(200), SeedSequence::new(133), |seed| {
-            let mut rng = SeedSequence::new(seed).nth_rng(0);
-            chosen.simulate_omission(p, &mut rng)
-        });
 
-        t.row([
-            m.to_string(),
-            n.to_string(),
-            (m + 1).to_string(),
-            expanded.total_rounds().to_string(),
-            (scale_rounds + 1).to_string(),
-            fmt_f2(expanded.total_rounds() as f64 / (scale_rounds + 1) as f64),
-            fmt_prob(est.rate()),
-        ]);
+        sweep.cell(
+            [
+                ("section", "OP2".to_string()),
+                ("m", m.to_string()),
+                ("n", n.to_string()),
+                ("opt", (m + 1).to_string()),
+                (
+                    "Thm 3.4 rounds (greedy·m)",
+                    expanded.total_rounds().to_string(),
+                ),
+                ("scale-schedule rounds", (scale_rounds + 1).to_string()),
+                (
+                    "ratio",
+                    fmt_f2(expanded.total_rounds() as f64 / (scale_rounds + 1) as f64),
+                ),
+            ],
+            cli.cell_trials(cli.trials.min(200)),
+            Some(n),
+            move |_seed, rng| TrialOutcome::pass(chosen.simulate_omission(p, rng)),
+        );
     }
-    println!("{}", t.render());
+
+    let result = sweep.run();
+    emit(&cli, &result);
     println!(
-        "the scale schedule is almost-safe in Θ(log n · log m) rounds — asymptotically\n\
-         below opt·log n = Θ(m·log n) on this family — so Θ(opt·log n) is NOT tight in\n\
-         general; the truth lies between Theorem 3.3's lower bound and Theorem 3.4.\n\
-         (Sanity: p*(Δ) here is {:.4} at Δ = {}, so the omission regime is the right\n\
-         one for large m.)",
+        "OP1: both constructions remain polylog factors above D + ln n; whether the\n\
+         gap closes to O(1) under full malicious faults remains open.\n\
+         OP2: the scale schedule is almost-safe in Θ(log n · log m) rounds —\n\
+         asymptotically below opt·log n = Θ(m·log n) on this family — so Θ(opt·log n)\n\
+         is NOT tight in general; the truth lies between Theorem 3.3's lower bound and\n\
+         Theorem 3.4. (Sanity: p*(Δ) here is {:.4} at Δ = {}, so the omission regime is\n\
+         the right one for large m.)",
         radio_threshold(generators::lower_bound_graph(6).max_degree()),
         generators::lower_bound_graph(6).max_degree(),
     );

@@ -1,0 +1,41 @@
+//! Validates sweep JSON reports produced by the experiment binaries'
+//! `--json` flag (used by CI before uploading them as artifacts).
+//!
+//! ```sh
+//! json_validate out/*.json
+//! ```
+//!
+//! Exits 0 iff every file parses against the report schema; prints one
+//! summary line per file.
+
+use randcast_stats::report::SweepReport;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: json_validate FILE.json...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| SweepReport::from_json(&text).map_err(|e| e.to_string()));
+        match outcome {
+            Ok(report) => {
+                println!(
+                    "{path}: ok — experiment `{}`, {} cells",
+                    report.experiment,
+                    report.cells.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

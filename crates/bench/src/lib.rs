@@ -3,55 +3,212 @@
 //!
 //! Each binary regenerates one result of Pelc & Peleg (PODC'05 / TCS'07);
 //! the mapping from binaries to theorems is the per-experiment index in
-//! `DESIGN.md`. All binaries accept `--quick` to shrink trial counts for
-//! smoke runs, and print Markdown tables compatible with
-//! `EXPERIMENTS.md`.
+//! `DESIGN.md`. Every binary accepts the shared sweep CLI parsed by
+//! [`Cli`]:
+//!
+//! ```text
+//! --quick        reduced trial counts and sweep extents (smoke runs)
+//! --trials N     Monte-Carlo trials per cell (overrides --quick's count)
+//! --threads N    worker threads (default: one per CPU)
+//! --seed S       root seed; all cell/trial randomness derives from it
+//! --json PATH    also write the structured JSON report to PATH
+//! ```
+//!
+//! Unknown flags are rejected with usage text — a typo like `--qiuck`
+//! aborts instead of silently running the full sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use randcast_graph::{generators, Graph};
+use std::path::PathBuf;
 
-/// Trial counts for an experiment, switchable by `--quick`.
-#[derive(Clone, Copy, Debug)]
-pub struct Effort {
+use randcast_core::sweep::{default_threads, Sweep, SweepResult};
+use randcast_stats::seed::SeedSequence;
+
+/// Root seed used when `--seed` is not given.
+pub const DEFAULT_SEED: u64 = 2005;
+
+/// Trials per cell without `--quick` / `--trials`.
+pub const DEFAULT_TRIALS: usize = 400;
+
+/// Trials per cell under `--quick`.
+pub const QUICK_TRIALS: usize = 60;
+
+/// CLI usage text shared by all experiment binaries.
+pub const USAGE: &str = "usage: exp_* [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+
+  --quick        reduced trial counts and sweep extents (smoke runs)
+  --trials N     Monte-Carlo trials per table cell (default 400; 60 with --quick)
+  --threads N    worker threads for the sweep driver (default: one per CPU)
+  --seed S       root seed; every cell and trial derives from it (default 2005)
+  --json PATH    also write the structured JSON report to PATH
+  --help         print this message";
+
+/// Parsed shared CLI for the experiment binaries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cli {
     /// Monte-Carlo trials per table cell.
     pub trials: usize,
-    /// Divisor for sweep extents (1 = full).
+    /// Whether `--trials` was given explicitly (an explicit count wins
+    /// over per-binary floors/caps — see [`cell_trials`](Self::cell_trials)).
+    pub trials_overridden: bool,
+    /// Divisor for sweep extents (1 = full, 2 under `--quick`).
     pub scale: usize,
+    /// Worker threads for the sweep driver.
+    pub threads: usize,
+    /// Root seed for all randomness.
+    pub seed: u64,
+    /// Where to write the JSON report, if requested.
+    pub json: Option<PathBuf>,
 }
 
-/// Parses CLI args: `--quick` selects the reduced effort.
-#[must_use]
-pub fn effort() -> Effort {
-    let quick = std::env::args().any(|a| a == "--quick");
-    if quick {
-        Effort {
-            trials: 60,
-            scale: 2,
-        }
-    } else {
-        Effort {
-            trials: 400,
+/// A rejected command line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CliError {
+    /// `--help` was requested.
+    Help,
+    /// The arguments were invalid; the payload explains why.
+    Bad(String),
+}
+
+impl Cli {
+    /// Parses the given arguments (program name already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Help`] for `--help`/`-h`, and
+    /// [`CliError::Bad`] for unknown flags, missing values, or
+    /// malformed numbers.
+    pub fn parse<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut cli = Cli {
+            trials: DEFAULT_TRIALS,
+            trials_overridden: false,
             scale: 1,
+            threads: default_threads(),
+            seed: DEFAULT_SEED,
+            json: None,
+        };
+        let mut explicit_trials = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help),
+                "--quick" => {
+                    cli.trials = QUICK_TRIALS;
+                    cli.scale = 2;
+                }
+                "--trials" => {
+                    let n = parse_value(&arg, args.next())?;
+                    if n == 0 {
+                        return Err(CliError::Bad("--trials must be positive".into()));
+                    }
+                    explicit_trials = Some(n);
+                }
+                "--threads" => {
+                    let n: usize = parse_value(&arg, args.next())?;
+                    if n == 0 {
+                        return Err(CliError::Bad("--threads must be positive".into()));
+                    }
+                    cli.threads = n;
+                }
+                "--seed" => cli.seed = parse_value(&arg, args.next())?,
+                "--json" => {
+                    let path = args
+                        .next()
+                        .ok_or_else(|| CliError::Bad("--json needs a path".into()))?;
+                    cli.json = Some(PathBuf::from(path));
+                }
+                other => {
+                    return Err(CliError::Bad(format!("unknown argument `{other}`")));
+                }
+            }
+        }
+        if let Some(n) = explicit_trials {
+            cli.trials = n;
+            cli.trials_overridden = true;
+        }
+        Ok(cli)
+    }
+
+    /// The trial count for one cell. Binaries pass their `preferred`
+    /// adjustment of [`trials`](Self::trials) (floors for
+    /// weak-signal experiments, caps for expensive cells); an explicit
+    /// `--trials N` on the command line wins over the adjustment, so
+    /// the flag's contract — N trials per cell — always holds.
+    #[must_use]
+    pub fn cell_trials(&self, preferred: usize) -> usize {
+        if self.trials_overridden {
+            self.trials
+        } else {
+            preferred
+        }
+    }
+
+    /// The root seed sequence all sweeps derive from.
+    #[must_use]
+    pub fn seeds(&self) -> SeedSequence {
+        SeedSequence::new(self.seed)
+    }
+
+    /// Creates a [`Sweep`] configured with this CLI's seed root and
+    /// thread count.
+    #[must_use]
+    pub fn sweep(&self, experiment: &str) -> Sweep<'static> {
+        Sweep::new(experiment, self.seeds()).with_threads(self.threads)
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
+    let raw = value.ok_or_else(|| CliError::Bad(format!("{flag} needs a value")))?;
+    raw.parse()
+        .map_err(|_| CliError::Bad(format!("invalid value `{raw}` for {flag}")))
+}
+
+/// Parses `std::env::args()`, printing usage and exiting on `--help` or
+/// bad arguments (exit code 2, matching conventional CLI behavior).
+#[must_use]
+pub fn cli() -> Cli {
+    match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(CliError::Help) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(CliError::Bad(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
         }
     }
 }
 
-/// The standard graph suite used by several experiments: name plus
-/// constructor, all with source node 0.
-#[must_use]
-pub fn standard_suite() -> Vec<(&'static str, Graph)> {
-    use rand::SeedableRng as _;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(12345);
-    vec![
-        ("path-32", generators::path(32)),
-        ("grid-8x8", generators::grid(8, 8)),
-        ("tree-2-6", generators::balanced_tree(2, 6)),
-        ("hypercube-6", generators::hypercube(6)),
-        ("rand-tree-64", generators::random_tree(64, &mut rng)),
-        ("G(5)", generators::lower_bound_graph(5)),
-    ]
+/// Prints the sweep's tables and writes the JSON report if `--json` was
+/// given.
+pub fn emit(cli: &Cli, result: &SweepResult) {
+    print!("{}", result.report().render_tables());
+    write_json(cli, result);
+}
+
+/// Writes the JSON report to the `--json` path (creating parent
+/// directories), if one was given.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — experiment output is the
+/// whole point of the run, so failures must be loud.
+pub fn write_json(cli: &Cli, result: &SweepResult) {
+    let Some(path) = &cli.json else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(path, result.report().to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
 }
 
 /// Prints the standard experiment header.
@@ -65,11 +222,102 @@ pub fn banner(id: &str, claim: &str) {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
     #[test]
-    fn suite_is_connected_and_nontrivial() {
-        for (name, g) in standard_suite() {
-            assert!(g.node_count() >= 33, "{name}");
-            assert!(randcast_graph::traversal::is_connected(&g), "{name}");
+    fn defaults_without_args() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.trials, DEFAULT_TRIALS);
+        assert_eq!(cli.scale, 1);
+        assert_eq!(cli.seed, DEFAULT_SEED);
+        assert!(cli.threads >= 1);
+        assert_eq!(cli.json, None);
+    }
+
+    #[test]
+    fn quick_shrinks_effort() {
+        let cli = parse(&["--quick"]).unwrap();
+        assert_eq!(cli.trials, QUICK_TRIALS);
+        assert_eq!(cli.scale, 2);
+    }
+
+    #[test]
+    fn explicit_trials_override_quick_in_any_order() {
+        let a = parse(&["--quick", "--trials", "17"]).unwrap();
+        let b = parse(&["--trials", "17", "--quick"]).unwrap();
+        assert_eq!(a.trials, 17);
+        assert_eq!(b.trials, 17);
+        assert_eq!(a.scale, 2);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = parse(&[
+            "--trials",
+            "99",
+            "--threads",
+            "3",
+            "--seed",
+            "7",
+            "--json",
+            "out/x.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.trials, 99);
+        assert_eq!(cli.threads, 3);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.json, Some(PathBuf::from("out/x.json")));
+    }
+
+    /// Regression: a typo like `--qiuck` must abort with usage, not
+    /// silently run the full 400-trial sweep.
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for bad in [&["--qiuck"][..], &["--quick", "--virbose"], &["extra"]] {
+            match parse(bad) {
+                Err(CliError::Bad(msg)) => assert!(msg.contains("unknown"), "{msg}"),
+                other => panic!("{bad:?} not rejected: {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_rejected() {
+        assert!(matches!(parse(&["--trials"]), Err(CliError::Bad(_))));
+        assert!(matches!(
+            parse(&["--trials", "zero"]),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(parse(&["--trials", "0"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--threads", "0"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--seed", "-1"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--json"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn help_is_distinguished() {
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+        assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn sweep_helper_uses_cli_settings() {
+        let cli = parse(&["--threads", "2", "--seed", "5"]).unwrap();
+        let sweep = cli.sweep("x");
+        assert_eq!(sweep.threads(), 2);
+        assert_eq!(cli.seeds(), SeedSequence::new(5));
+    }
+
+    /// An explicit `--trials` beats the floors/caps binaries apply to
+    /// the default count (e.g. E3's `.max(300)` signal floor).
+    #[test]
+    fn explicit_trials_win_over_binary_adjustments() {
+        let default_cli = parse(&["--quick"]).unwrap();
+        assert_eq!(default_cli.cell_trials(default_cli.trials.max(300)), 300);
+        let explicit = parse(&["--trials", "10"]).unwrap();
+        assert_eq!(explicit.cell_trials(explicit.trials.max(300)), 10);
+        assert_eq!(explicit.cell_trials(explicit.trials.min(5)), 10);
     }
 }

@@ -1,0 +1,90 @@
+//! Golden-file and CLI-contract tests against a real experiment binary.
+//!
+//! Runs `exp_e4_datalink --quick --threads 2 --seed 2005 --json …` as a
+//! subprocess and checks that the emitted JSON (with the one
+//! nondeterministic field, `wall_ms`, normalized to zero) is
+//! byte-identical to the committed golden file — locking in the schema,
+//! the writer's format, and the determinism of the sweep outcomes from
+//! the root seed. E4 is the cheapest Monte-Carlo binary, so this stays
+//! fast enough for `cargo test`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use randcast_stats::report::SweepReport;
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_exp_e4_datalink"))
+        .args(args)
+        .output()
+        .expect("spawn exp_e4_datalink")
+}
+
+fn normalized(mut report: SweepReport) -> SweepReport {
+    for cell in &mut report.cells {
+        cell.wall_ms = 0.0;
+    }
+    report
+}
+
+#[test]
+fn quick_json_output_matches_the_golden_file() {
+    let json_path =
+        std::env::temp_dir().join(format!("randcast_golden_{}.json", std::process::id()));
+    let out = run_binary(&[
+        "--quick",
+        "--threads",
+        "2",
+        "--seed",
+        "2005",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "binary failed: {out:?}");
+
+    let text = std::fs::read_to_string(&json_path).expect("read emitted json");
+    let _ = std::fs::remove_file(&json_path);
+    let report = SweepReport::from_json(&text).expect("emitted JSON parses");
+
+    // Schema sanity before byte comparison.
+    assert_eq!(report.experiment, "e4_datalink");
+    assert_eq!(report.cells.len(), 32, "4 p × 4 m × 2 bits");
+    for cell in &report.cells {
+        let keys: Vec<&str> = cell.params.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["p", "m", "bit", "analytic err"]);
+        assert_eq!(cell.trials, 60);
+        assert!(cell.successes <= cell.trials);
+    }
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exp_e4_quick.json");
+    let golden_text = std::fs::read_to_string(&golden_path).expect("read golden file");
+    let golden = SweepReport::from_json(&golden_text).expect("golden JSON parses");
+
+    assert_eq!(
+        normalized(report).to_json(),
+        normalized(golden).to_json(),
+        "emitted report diverged from tests/golden/exp_e4_quick.json \
+         (if the change is intentional, regenerate the golden file)"
+    );
+}
+
+#[test]
+fn unknown_flags_abort_with_usage_before_any_work() {
+    let out = run_binary(&["--qiuck"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).is_empty(),
+        "must abort before printing any experiment output"
+    );
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = run_binary(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

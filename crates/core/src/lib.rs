@@ -19,6 +19,8 @@
 //! | [`radio_robust`] | §3, Thm 3.4 | `Omission-Radio` / `Malicious-Radio`: `m`-fold expansion of a fault-free schedule (`O(opt · log n)`) |
 //! | [`lower_bound`] | §3, Thm 3.3 | hit-counting analysis on the three-layer graph `G(m)` |
 //! | [`experiment`] | — | Monte-Carlo experiment drivers shared by the reproduction binaries |
+//! | [`scenario`] | — | declarative experiment specs: graph family × algorithm × model × fault as data |
+//! | [`sweep`] | — | the unified sweep harness: parallel trials, structured results, one seed root |
 //!
 //! # Quickstart
 //!
@@ -48,5 +50,7 @@ pub mod kucera;
 pub mod lower_bound;
 pub mod radio_robust;
 pub mod radio_sched;
+pub mod scenario;
 pub mod selftimed;
 pub mod simple;
+pub mod sweep;

@@ -1,0 +1,553 @@
+//! Declarative experiment scenarios: graph family × algorithm × model ×
+//! fault, as plain data.
+//!
+//! A [`Scenario`] names everything needed to run one broadcast
+//! experiment cell — which graph to build, which algorithm to plan,
+//! which communication model to run it in, and which fault process (and
+//! hence which worst-case adversary) to apply. [`Scenario::prepare`]
+//! compiles it into a [`PreparedScenario`] holding the built graph and
+//! plan, whose [`trial`](PreparedScenario::trial) method runs one
+//! seeded execution. The sweep driver
+//! ([`Sweep::scenario`](crate::sweep::Sweep::scenario)) accepts
+//! scenarios directly, so experiment binaries reduce to data: a list of
+//! scenarios plus trial counts.
+//!
+//! Adversary selection is part of the spec: each (model, fault-kind)
+//! pair gets the binding worst case used throughout the paper's
+//! experiments — silent transmitters for omission faults, the flip
+//! adversary for (limited-)malicious message passing, and the
+//! lie-or-jam adversary for malicious radio.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+
+use randcast_engine::adversary::{FlipMpAdversary, LieOrJamAdversary};
+use randcast_engine::fault::{FaultConfig, FaultKind};
+use randcast_engine::mp::SilentMpAdversary;
+use randcast_engine::radio::SilentRadioAdversary;
+use randcast_graph::{generators, Graph};
+
+use crate::decay::{run_decay, DecayConfig};
+use crate::flood::{FloodPlan, FloodVariant};
+use crate::kucera::{FailureBehavior, KuceraBroadcast};
+use crate::radio_robust::ExpandedPlan;
+use crate::radio_sched::greedy_schedule;
+use crate::selftimed::SelfTimedPlan;
+use crate::simple::SimplePlan;
+use crate::sweep::TrialOutcome;
+
+/// The source bit broadcast in every scenario trial.
+pub const SOURCE_BIT: bool = true;
+
+/// A named graph constructor; the broadcast source is always node 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphFamily {
+    /// Path with `len` edges.
+    Path(usize),
+    /// Rows × columns grid.
+    Grid(usize, usize),
+    /// Balanced tree of the given arity and depth.
+    BalancedTree(usize, usize),
+    /// Hypercube of the given dimension.
+    Hypercube(usize),
+    /// Uniform random tree on `n` nodes, built from `seed`.
+    RandomTree {
+        /// Node count.
+        n: usize,
+        /// Construction seed (part of the spec, so labels are stable).
+        seed: u64,
+    },
+    /// Star with the given number of leaves (center is node 0).
+    Star(usize),
+    /// Complete graph on `n` nodes.
+    Complete(usize),
+    /// The paper's three-layer lower-bound graph `G(m)`.
+    LowerBound(usize),
+}
+
+impl GraphFamily {
+    /// The family's table label (e.g. `grid-8x8`, `G(5)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            GraphFamily::Path(len) => format!("path-{len}"),
+            GraphFamily::Grid(r, c) => format!("grid-{r}x{c}"),
+            GraphFamily::BalancedTree(a, d) => format!("tree-{a}-{d}"),
+            GraphFamily::Hypercube(dim) => format!("hypercube-{dim}"),
+            GraphFamily::RandomTree { n, .. } => format!("rand-tree-{n}"),
+            GraphFamily::Star(leaves) => format!("star-{leaves}"),
+            GraphFamily::Complete(n) => format!("complete-{n}"),
+            GraphFamily::LowerBound(m) => format!("G({m})"),
+        }
+    }
+
+    /// Builds the graph.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphFamily::Path(len) => generators::path(len),
+            GraphFamily::Grid(r, c) => generators::grid(r, c),
+            GraphFamily::BalancedTree(a, d) => generators::balanced_tree(a, d),
+            GraphFamily::Hypercube(dim) => generators::hypercube(dim),
+            GraphFamily::RandomTree { n, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                generators::random_tree(n, &mut rng)
+            }
+            GraphFamily::Star(leaves) => generators::star(leaves),
+            GraphFamily::Complete(n) => generators::complete(n),
+            GraphFamily::LowerBound(m) => generators::lower_bound_graph(m),
+        }
+    }
+}
+
+/// The standard six-graph suite shared by several experiments.
+#[must_use]
+pub fn standard_families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::Path(32),
+        GraphFamily::Grid(8, 8),
+        GraphFamily::BalancedTree(2, 6),
+        GraphFamily::Hypercube(6),
+        GraphFamily::RandomTree { n: 64, seed: 12345 },
+        GraphFamily::LowerBound(5),
+    ]
+}
+
+/// The communication model a scenario runs in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Model {
+    /// Synchronous message passing.
+    Mp,
+    /// Radio (single shared channel, collision = silence).
+    Radio,
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Model::Mp => "mp",
+            Model::Radio => "radio",
+        })
+    }
+}
+
+/// Which broadcast algorithm the scenario plans. The fault kind on the
+/// [`Scenario`] selects the omission or malicious variant where the
+/// paper distinguishes them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// `Simple-Omission` / `Simple-Malicious` (Theorems 2.1/2.2/2.4),
+    /// per the fault kind; runs in both models.
+    Simple,
+    /// BFS-tree flooding (Theorem 3.1, MP + omission). The horizon is
+    /// the Theorem 3.1 prescription scaled by `horizon_scale`.
+    Flood {
+        /// Multiplier on the prescribed horizon (1 = the theorem's).
+        horizon_scale: usize,
+    },
+    /// Kučera composition broadcasting (Theorem 3.2, MP).
+    Kucera,
+    /// The self-timed sliding-majority variant (§2 remarks, MP).
+    SelfTimed,
+    /// `Omission-Radio` / `Malicious-Radio`: the Theorem 3.4 expansion
+    /// of a greedy fault-free schedule (radio), per the fault kind.
+    Expanded,
+    /// The randomized Decay baseline (radio, omission only).
+    Decay {
+        /// Multiplier on the classical epoch count.
+        epoch_factor: usize,
+    },
+}
+
+impl Algorithm {
+    /// The algorithm's table label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Simple => "simple",
+            Algorithm::Flood { .. } => "flood",
+            Algorithm::Kucera => "kucera",
+            Algorithm::SelfTimed => "self-timed",
+            Algorithm::Expanded => "expanded",
+            Algorithm::Decay { .. } => "decay",
+        }
+    }
+}
+
+/// A full declarative experiment cell spec.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Scenario {
+    /// The graph family (source is node 0).
+    pub graph: GraphFamily,
+    /// The algorithm to plan.
+    pub algorithm: Algorithm,
+    /// The communication model.
+    pub model: Model,
+    /// The fault process (kind + probability).
+    pub fault: FaultConfig,
+}
+
+enum PlanKind {
+    Simple(SimplePlan),
+    Flood(FloodPlan),
+    Kucera(KuceraBroadcast),
+    SelfTimed(SelfTimedPlan),
+    Expanded(ExpandedPlan),
+    Decay(DecayConfig),
+}
+
+/// A compiled scenario: graph + plan, ready to run seeded trials.
+pub struct PreparedScenario {
+    scenario: Scenario,
+    graph: Graph,
+    plan: PlanKind,
+}
+
+impl Scenario {
+    /// Builds the graph and compiles the algorithm's plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations: MP-only algorithms in the radio
+    /// model (and vice versa), Decay under non-omission faults, or
+    /// parameters outside an algorithm's feasible range (e.g. Kučera at
+    /// `p ≥ 1/2`).
+    #[must_use]
+    pub fn prepare(self) -> PreparedScenario {
+        let graph = self.graph.build();
+        let source = graph.node(0);
+        let p = self.fault.p.get();
+        let malicious = self.fault.kind != FaultKind::Omission;
+        let plan = match (self.algorithm, self.model) {
+            (Algorithm::Simple, Model::Mp) => PlanKind::Simple(if malicious {
+                SimplePlan::malicious_mp(&graph, source, p)
+            } else {
+                SimplePlan::omission_with_p(&graph, source, p)
+            }),
+            (Algorithm::Simple, Model::Radio) => PlanKind::Simple(if malicious {
+                SimplePlan::malicious_radio(&graph, source, p)
+            } else {
+                SimplePlan::omission_with_p(&graph, source, p)
+            }),
+            (Algorithm::Flood { horizon_scale }, Model::Mp) => {
+                assert!(horizon_scale > 0, "horizon_scale must be positive");
+                let base = FloodPlan::new(&graph, source, p);
+                PlanKind::Flood(if horizon_scale == 1 {
+                    base
+                } else {
+                    FloodPlan::with_horizon(
+                        &graph,
+                        source,
+                        base.horizon() * horizon_scale,
+                        FloodVariant::Tree,
+                    )
+                })
+            }
+            (Algorithm::Kucera, Model::Mp) => {
+                PlanKind::Kucera(KuceraBroadcast::new(&graph, source, p))
+            }
+            (Algorithm::SelfTimed, Model::Mp) => PlanKind::SelfTimed(if malicious {
+                SelfTimedPlan::malicious(&graph, source, p)
+            } else {
+                SelfTimedPlan::omission(&graph, source, p)
+            }),
+            (Algorithm::Expanded, Model::Radio) => {
+                let base = greedy_schedule(&graph, source);
+                PlanKind::Expanded(if malicious {
+                    ExpandedPlan::malicious(&graph, source, &base, p)
+                } else {
+                    ExpandedPlan::omission(&graph, source, &base, p)
+                })
+            }
+            (Algorithm::Decay { epoch_factor }, Model::Radio) => {
+                assert!(
+                    !malicious,
+                    "Decay tolerates omission faults only (use Expanded for malicious)"
+                );
+                assert!(epoch_factor > 0, "epoch_factor must be positive");
+                let d = randcast_graph::traversal::radius_from(&graph, source);
+                let mut cfg = DecayConfig::classical(graph.node_count(), d);
+                cfg.epochs *= epoch_factor;
+                PlanKind::Decay(cfg)
+            }
+            (alg, model) => panic!("{} does not run in the {model} model", alg.name()),
+        };
+        PreparedScenario {
+            scenario: self,
+            graph,
+            plan,
+        }
+    }
+}
+
+impl PreparedScenario {
+    /// The built graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The scenario this was compiled from.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Node count (the almost-safety `n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Total rounds one trial executes.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        match &self.plan {
+            PlanKind::Simple(plan) => plan.total_rounds(),
+            PlanKind::Flood(plan) => plan.horizon(),
+            PlanKind::Kucera(kb) => kb.time(),
+            PlanKind::SelfTimed(plan) => plan.horizon(),
+            PlanKind::Expanded(plan) => plan.total_rounds(),
+            PlanKind::Decay(cfg) => cfg.total_rounds(),
+        }
+    }
+
+    /// The per-phase repetition length `m`, for algorithms that have
+    /// one.
+    #[must_use]
+    pub fn phase_len(&self) -> Option<usize> {
+        match &self.plan {
+            PlanKind::Simple(plan) => Some(plan.phase_len()),
+            PlanKind::SelfTimed(plan) => Some(plan.window()),
+            PlanKind::Expanded(plan) => Some(plan.phase_len()),
+            PlanKind::Flood(_) | PlanKind::Kucera(_) | PlanKind::Decay(_) => None,
+        }
+    }
+
+    /// The standard parameter columns: graph, n, algorithm, model,
+    /// fault, p, m, rounds.
+    #[must_use]
+    pub fn params(&self) -> Vec<(String, String)> {
+        let sc = &self.scenario;
+        vec![
+            ("graph".into(), sc.graph.label()),
+            ("n".into(), self.n().to_string()),
+            ("algorithm".into(), sc.algorithm.name().into()),
+            ("model".into(), sc.model.to_string()),
+            ("fault".into(), sc.fault.kind.to_string()),
+            ("p".into(), fmt_p(sc.fault.p.get())),
+            (
+                "m".into(),
+                self.phase_len()
+                    .map_or_else(|| "-".into(), |m| m.to_string()),
+            ),
+            ("rounds".into(), self.rounds().to_string()),
+        ]
+    }
+
+    /// Runs one trial from the given seed, against the binding
+    /// adversary for the scenario's (model, fault-kind) pair.
+    #[must_use]
+    pub fn trial(&self, seed: u64) -> TrialOutcome {
+        let g = &self.graph;
+        let fault = self.scenario.fault;
+        let malicious = fault.kind != FaultKind::Omission;
+        let bit = SOURCE_BIT;
+        match &self.plan {
+            PlanKind::Simple(plan) => match self.scenario.model {
+                Model::Mp => TrialOutcome::pass(if malicious {
+                    plan.run_mp(g, fault, FlipMpAdversary, seed, bit)
+                        .all_correct(bit)
+                } else {
+                    plan.run_mp(g, fault, SilentMpAdversary, seed, bit)
+                        .all_correct(bit)
+                }),
+                Model::Radio => TrialOutcome::pass(if malicious {
+                    plan.run_radio(g, fault, LieOrJamAdversary::new(bit), seed, bit)
+                        .all_correct(bit)
+                } else {
+                    plan.run_radio(g, fault, SilentRadioAdversary, seed, bit)
+                        .all_correct(bit)
+                }),
+            },
+            PlanKind::Flood(plan) => {
+                TrialOutcome::completed(plan.run(g, fault, seed).completion_round())
+            }
+            PlanKind::Kucera(kb) => {
+                let behavior = if malicious {
+                    FailureBehavior::Flip
+                } else {
+                    FailureBehavior::Drop
+                };
+                TrialOutcome::pass(
+                    kb.run(g, fault.p.get(), behavior, seed, bit)
+                        .all_correct(bit),
+                )
+            }
+            PlanKind::SelfTimed(plan) => TrialOutcome::pass(if malicious {
+                plan.run(g, fault, FlipMpAdversary, seed, bit)
+                    .all_correct(bit)
+            } else {
+                plan.run(g, fault, SilentMpAdversary, seed, bit)
+                    .all_correct(bit)
+            }),
+            PlanKind::Expanded(plan) => TrialOutcome::pass(if malicious {
+                plan.run(g, fault, LieOrJamAdversary::new(bit), seed, bit)
+                    .all_correct(bit)
+            } else {
+                plan.run(g, fault, SilentRadioAdversary, seed, bit)
+                    .all_correct(bit)
+            }),
+            PlanKind::Decay(cfg) => TrialOutcome::completed(
+                run_decay(g, g.node(0), *cfg, fault, seed).completion_round(),
+            ),
+        }
+    }
+}
+
+/// Formats a probability compactly (at most 4 decimal places, no
+/// trailing zeros beyond what `{}` prints for round values).
+#[must_use]
+pub fn fmt_p(p: f64) -> String {
+    let rounded = (p * 1e4).round() / 1e4;
+    format!("{rounded}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_is_connected_and_labelled() {
+        for family in standard_families() {
+            let g = family.build();
+            assert!(g.node_count() >= 33, "{}", family.label());
+            assert!(
+                randcast_graph::traversal::is_connected(&g),
+                "{}",
+                family.label()
+            );
+            assert!(!family.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn random_tree_build_is_deterministic() {
+        let f = GraphFamily::RandomTree { n: 20, seed: 9 };
+        let a = f.build();
+        let b = f.build();
+        assert_eq!(a.node_count(), b.node_count());
+        for v in a.nodes() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn simple_omission_scenario_runs_in_both_models() {
+        for model in [Model::Mp, Model::Radio] {
+            let prep = Scenario {
+                graph: GraphFamily::Star(4),
+                algorithm: Algorithm::Simple,
+                model,
+                fault: FaultConfig::omission(0.3),
+            }
+            .prepare();
+            assert!(prep.rounds() > 0);
+            assert!(prep.phase_len().is_some());
+            // Deterministic per seed.
+            assert_eq!(prep.trial(5), prep.trial(5));
+        }
+    }
+
+    #[test]
+    fn params_cover_the_spec() {
+        let prep = Scenario {
+            graph: GraphFamily::Grid(3, 3),
+            algorithm: Algorithm::Flood { horizon_scale: 2 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.4),
+        }
+        .prepare();
+        let params = prep.params();
+        let keys: Vec<&str> = params.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "graph",
+                "n",
+                "algorithm",
+                "model",
+                "fault",
+                "p",
+                "m",
+                "rounds"
+            ]
+        );
+        assert_eq!(params[0].1, "grid-3x3");
+        assert_eq!(params[5].1, "0.4");
+    }
+
+    #[test]
+    fn flood_horizon_scales() {
+        let base = Scenario {
+            graph: GraphFamily::Path(8),
+            algorithm: Algorithm::Flood { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.2),
+        };
+        let doubled = Scenario {
+            algorithm: Algorithm::Flood { horizon_scale: 2 },
+            ..base
+        };
+        assert_eq!(doubled.prepare().rounds(), 2 * base.prepare().rounds());
+    }
+
+    #[test]
+    fn malicious_radio_uses_lie_or_jam_and_stays_feasible_below_threshold() {
+        let delta = 4;
+        let p = crate::feasibility::radio_threshold(delta) * 0.4;
+        let prep = Scenario {
+            graph: GraphFamily::Star(delta),
+            algorithm: Algorithm::Simple,
+            model: Model::Radio,
+            fault: FaultConfig::malicious(p),
+        }
+        .prepare();
+        let ok = (0..30).filter(|&s| prep.trial(s).success).count();
+        assert!(
+            ok >= 25,
+            "feasible-side star should mostly succeed: {ok}/30"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not run in the radio model")]
+    fn invalid_model_combo_panics() {
+        let _ = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Kucera,
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.1),
+        }
+        .prepare();
+    }
+
+    #[test]
+    #[should_panic(expected = "omission faults only")]
+    fn decay_rejects_malicious() {
+        let _ = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Decay { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::malicious(0.1),
+        }
+        .prepare();
+    }
+
+    #[test]
+    fn fmt_p_truncates() {
+        assert_eq!(fmt_p(0.3), "0.3");
+        assert_eq!(fmt_p(0.123456), "0.1235");
+        assert_eq!(fmt_p(0.0), "0");
+    }
+}

@@ -1,0 +1,427 @@
+//! The unified sweep harness: declarative cells, parallel trials,
+//! structured results.
+//!
+//! A [`Sweep`] is an ordered list of *cells*. Each cell is one table row
+//! of an experiment: a set of labelled parameters, a trial count, an
+//! optional almost-safety target `n`, and a trial function. Running the
+//! sweep fans every cell's trials out over
+//! [`randcast_stats::montecarlo::run_trials_parallel`] and collects a
+//! [`SweepResult`] that renders both the Markdown tables and the JSON
+//! report from the same data.
+//!
+//! # Determinism
+//!
+//! All randomness derives from the sweep's root [`SeedSequence`]: cell
+//! `i` owns the child sequence `seeds.child(i)`, and trial `j` within it
+//! observes the RNG stream `child.nth_rng(j)` (plus a `u64` seed drawn
+//! from that stream for engine entry points that take a seed). Because
+//! the parallel runner indexes RNG streams by trial id, **outcome
+//! vectors are bit-identical for every thread count** — only `wall_ms`
+//! varies between runs.
+//!
+//! # Example
+//!
+//! ```
+//! use randcast_core::sweep::{Sweep, TrialOutcome};
+//! use randcast_stats::seed::SeedSequence;
+//!
+//! let mut sweep = Sweep::new("demo", SeedSequence::new(7));
+//! for p in [0.25, 0.75] {
+//!     sweep.cell([("p", format!("{p}"))], 200, None, move |_seed, rng| {
+//!         use rand::Rng;
+//!         TrialOutcome::pass(rng.gen_bool(p))
+//!     });
+//! }
+//! let result = sweep.run();
+//! assert_eq!(result.cells.len(), 2);
+//! assert!(result.cells[0].estimate.rate() < result.cells[1].estimate.rate());
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+use randcast_stats::estimate::SuccessEstimate;
+use randcast_stats::montecarlo;
+pub use randcast_stats::report::CellKind;
+use randcast_stats::report::{CellReport, SweepReport};
+use randcast_stats::seed::SeedSequence;
+
+use crate::experiment::AlmostSafeRow;
+use crate::scenario::{PreparedScenario, Scenario};
+
+/// The result of one Monte-Carlo trial.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TrialOutcome {
+    /// Whether the trial succeeded.
+    pub success: bool,
+    /// The completion round, for experiments that measure time.
+    pub rounds: Option<f64>,
+}
+
+impl TrialOutcome {
+    /// A success/failure outcome with no time measurement.
+    #[must_use]
+    pub fn pass(success: bool) -> Self {
+        TrialOutcome {
+            success,
+            rounds: None,
+        }
+    }
+
+    /// A timed outcome.
+    #[must_use]
+    pub fn with_rounds(success: bool, rounds: f64) -> Self {
+        TrialOutcome {
+            success,
+            rounds: Some(rounds),
+        }
+    }
+
+    /// An outcome from an optional completion round: success iff the
+    /// broadcast completed, with the round recorded when it did.
+    #[must_use]
+    pub fn completed(round: Option<usize>) -> Self {
+        TrialOutcome {
+            success: round.is_some(),
+            rounds: round.map(|r| r as f64),
+        }
+    }
+}
+
+impl From<bool> for TrialOutcome {
+    fn from(success: bool) -> Self {
+        TrialOutcome::pass(success)
+    }
+}
+
+type CellFn<'a> = Box<dyn Fn(u64, &mut SmallRng) -> TrialOutcome + Sync + 'a>;
+
+struct Cell<'a> {
+    kind: CellKind,
+    params: Vec<(String, String)>,
+    trials: usize,
+    n: Option<usize>,
+    run: CellFn<'a>,
+}
+
+/// A declarative experiment sweep (see the module docs).
+pub struct Sweep<'a> {
+    experiment: String,
+    seeds: SeedSequence,
+    threads: usize,
+    cells: Vec<Cell<'a>>,
+}
+
+impl<'a> Sweep<'a> {
+    /// Creates an empty sweep rooted at `seeds`, defaulting to one
+    /// worker thread per available CPU.
+    #[must_use]
+    pub fn new(experiment: &str, seeds: SeedSequence) -> Self {
+        Sweep {
+            experiment: experiment.to_owned(),
+            seeds,
+            threads: default_threads(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Overrides the worker-thread count (the outcome vectors do not
+    /// depend on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cells added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds one cell. `params` label the cell in tables and JSON; `n`,
+    /// when present, judges the measured rate against the almost-safety
+    /// target `1 − 1/n`. The trial function receives a derived `u64`
+    /// seed and the trial's RNG (both pure functions of the sweep root
+    /// seed, the cell index, and the trial index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn cell<P, K, V, F>(&mut self, params: P, trials: usize, n: Option<usize>, run: F)
+    where
+        P: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+        F: Fn(u64, &mut SmallRng) -> TrialOutcome + Sync + 'a,
+    {
+        assert!(trials > 0, "need at least one trial per cell");
+        self.cells.push(Cell {
+            kind: CellKind::MonteCarlo,
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+            trials,
+            n: n.map(|n| n.max(2)),
+            run: Box::new(run),
+        });
+    }
+
+    /// Adds a purely analytic table row: no trials run, and the cell is
+    /// marked [`CellKind::Analytic`] so report consumers can tell it
+    /// apart from a measured 100% success rate. All of its content
+    /// lives in `params` (thresholds, plan sizes, ratios, …).
+    pub fn analytic<P, K, V>(&mut self, params: P)
+    where
+        P: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        self.cells.push(Cell {
+            kind: CellKind::Analytic,
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+            trials: 1,
+            n: None,
+            run: Box::new(|_, _| TrialOutcome::pass(true)),
+        });
+    }
+
+    /// Adds a cell from a declarative [`Scenario`].
+    pub fn scenario(&mut self, scenario: Scenario, trials: usize) {
+        self.scenario_with(scenario, trials, Vec::new());
+    }
+
+    /// Adds a [`Scenario`] cell with extra parameter columns appended.
+    pub fn scenario_with(
+        &mut self,
+        scenario: Scenario,
+        trials: usize,
+        extra: Vec<(String, String)>,
+    ) {
+        self.prepared(scenario.prepare(), trials, extra);
+    }
+
+    /// Adds a cell from an already-prepared scenario (lets callers
+    /// inspect plan sizes — e.g. to scale trial counts — before
+    /// committing the cell).
+    pub fn prepared(
+        &mut self,
+        prepared: PreparedScenario,
+        trials: usize,
+        extra: Vec<(String, String)>,
+    ) {
+        let mut params = prepared.params();
+        params.extend(extra);
+        let n = prepared.n();
+        self.cell(params, trials, Some(n), move |seed, _rng| {
+            prepared.trial(seed)
+        });
+    }
+
+    /// Runs every cell, fanning trials across the worker threads.
+    #[must_use]
+    pub fn run(self) -> SweepResult {
+        let threads = self.threads;
+        let cells = self
+            .cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let seeds = self.seeds.child(i as u64);
+                let start = Instant::now();
+                let run = &cell.run;
+                let outcomes =
+                    montecarlo::run_trials_parallel(cell.trials, seeds, threads, |rng| {
+                        let seed = rng.gen::<u64>();
+                        run(seed, rng)
+                    });
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let estimate = SuccessEstimate::new(
+                    outcomes.iter().filter(|o| o.success).count(),
+                    outcomes.len(),
+                );
+                let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.rounds).collect();
+                CellResult {
+                    kind: cell.kind,
+                    params: cell.params,
+                    estimate,
+                    row: cell.n.map(|n| AlmostSafeRow::judge(estimate, n)),
+                    mean_rounds: (!rounds.is_empty())
+                        .then(|| rounds.iter().sum::<f64>() / rounds.len() as f64),
+                    wall_ms,
+                    outcomes,
+                }
+            })
+            .collect();
+        SweepResult {
+            experiment: self.experiment,
+            cells,
+        }
+    }
+}
+
+/// One worker per available CPU (the `Sweep` default).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The measured result of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Monte-Carlo measurement or analytic row.
+    pub kind: CellKind,
+    /// The cell's parameter labels, as given.
+    pub params: Vec<(String, String)>,
+    /// Success estimate over the cell's trials.
+    pub estimate: SuccessEstimate,
+    /// Almost-safety judgement, when the cell declared a target `n`.
+    pub row: Option<AlmostSafeRow>,
+    /// Mean completion round over trials that reported one.
+    pub mean_rounds: Option<f64>,
+    /// Wall-clock milliseconds spent on the cell.
+    pub wall_ms: f64,
+    /// The per-trial outcome vector (thread-count independent).
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl CellResult {
+    /// The table label of the almost-safety verdict, if judged.
+    #[must_use]
+    pub fn verdict_label(&self) -> Option<String> {
+        self.row.as_ref().map(AlmostSafeRow::label)
+    }
+}
+
+/// The measured result of a full sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Experiment identifier.
+    pub experiment: String,
+    /// Per-cell results, in sweep order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// Converts to the structured report (the single source for both
+    /// Markdown tables and JSON).
+    #[must_use]
+    pub fn report(&self) -> SweepReport {
+        SweepReport {
+            experiment: self.experiment.clone(),
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CellReport {
+                    kind: c.kind,
+                    params: c.params.clone(),
+                    successes: c.estimate.successes(),
+                    trials: c.estimate.trials(),
+                    rate: c.estimate.rate(),
+                    verdict: c.verdict_label(),
+                    mean_rounds: c.mean_rounds,
+                    wall_ms: c.wall_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_vectors(threads: usize) -> Vec<Vec<TrialOutcome>> {
+        let mut sweep = Sweep::new("t", SeedSequence::new(11)).with_threads(threads);
+        for p in [0.2, 0.5, 0.8] {
+            sweep.cell([("p", format!("{p}"))], 97, Some(16), move |seed, rng| {
+                use rand::Rng;
+                let flip = rng.gen_bool(p);
+                TrialOutcome::with_rounds(flip, (seed % 7) as f64)
+            });
+        }
+        sweep.run().cells.into_iter().map(|c| c.outcomes).collect()
+    }
+
+    #[test]
+    fn outcomes_are_thread_count_independent() {
+        let base = outcome_vectors(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(outcome_vectors(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cells_have_decorrelated_seed_streams() {
+        let mut sweep = Sweep::new("t", SeedSequence::new(3)).with_threads(1);
+        for _ in 0..2 {
+            sweep.cell([("k", "v")], 10, None, |seed, _| {
+                TrialOutcome::with_rounds(true, seed as f64)
+            });
+        }
+        let result = sweep.run();
+        assert_ne!(
+            result.cells[0].outcomes, result.cells[1].outcomes,
+            "identical cells must still draw distinct trial seeds"
+        );
+    }
+
+    #[test]
+    fn report_carries_measurements() {
+        let mut sweep = Sweep::new("exp", SeedSequence::new(0)).with_threads(2);
+        sweep.cell([("a", "1")], 50, Some(8), |_, _| TrialOutcome::pass(true));
+        sweep.cell([("a", "2")], 50, None, |_, _| {
+            TrialOutcome::with_rounds(false, 4.0)
+        });
+        let report = sweep.run().report();
+        assert_eq!(report.experiment, "exp");
+        assert_eq!(report.cells[0].successes, 50);
+        assert_eq!(report.cells[0].verdict.as_deref(), Some("pass"));
+        assert_eq!(report.cells[0].mean_rounds, None);
+        assert_eq!(report.cells[1].rate, 0.0);
+        assert_eq!(report.cells[1].verdict, None);
+        assert_eq!(report.cells[1].mean_rounds, Some(4.0));
+    }
+
+    #[test]
+    fn analytic_cells_are_marked() {
+        let mut sweep = Sweep::new("a", SeedSequence::new(0)).with_threads(1);
+        sweep.analytic([("p*", "0.276")]);
+        sweep.cell([("x", "1")], 5, None, |_, _| TrialOutcome::pass(true));
+        let report = sweep.run().report();
+        assert_eq!(report.cells[0].kind, CellKind::Analytic);
+        assert_eq!(report.cells[1].kind, CellKind::MonteCarlo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trial_cells_are_rejected() {
+        let mut sweep = Sweep::new("t", SeedSequence::new(0));
+        sweep.cell([("k", "v")], 0, None, |_, _| TrialOutcome::pass(true));
+    }
+}

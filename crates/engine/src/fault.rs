@@ -167,11 +167,22 @@ impl FaultConfig {
     /// is `true` iff node `v`'s transmitter fails. One independent coin
     /// per node, exactly as in the paper.
     pub fn sample_step(&self, nodes: usize, rng: &mut SmallRng) -> Vec<bool> {
+        let mut mask = Vec::with_capacity(nodes);
+        self.sample_step_into(nodes, rng, &mut mask);
+        mask
+    }
+
+    /// Allocation-free variant of [`sample_step`](Self::sample_step):
+    /// clears and refills `mask` so per-round engines can reuse one
+    /// buffer. Draws the same RNG stream as `sample_step`.
+    pub fn sample_step_into(&self, nodes: usize, rng: &mut SmallRng, mask: &mut Vec<bool>) {
+        mask.clear();
         let p = self.p.get();
         if p == 0.0 {
-            return vec![false; nodes];
+            mask.resize(nodes, false);
+            return;
         }
-        (0..nodes).map(|_| rng.gen_bool(p)).collect()
+        mask.extend((0..nodes).map(|_| rng.gen_bool(p)));
     }
 }
 

@@ -7,7 +7,6 @@
 //! for the step; (limited-)malicious faults hand control of the node's
 //! transmissions to an [`MpAdversary`].
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::rngs::SmallRng;
@@ -133,6 +132,13 @@ pub struct MpNetwork<'g, P: MpNode, A = SilentMpAdversary> {
     rng: SmallRng,
     round: usize,
     stats: MpStats,
+    // Reusable per-step scratch buffers. Cleared and refilled every
+    // round so the steady-state delivery path allocates nothing beyond
+    // what the automata themselves hand out.
+    intended: Vec<Outgoing<P::Msg>>,
+    fault_mask: Vec<bool>,
+    faulty: Vec<NodeId>,
+    overrides: Vec<(NodeId, Outgoing<P::Msg>)>,
 }
 
 impl<'g, P: MpNode> MpNetwork<'g, P, SilentMpAdversary> {
@@ -161,7 +167,8 @@ impl<'g, P: MpNode, A: MpAdversary<P::Msg>> MpNetwork<'g, P, A> {
     where
         F: FnMut(NodeId) -> P,
     {
-        let nodes = graph.nodes().map(&mut factory).collect();
+        let nodes: Vec<P> = graph.nodes().map(&mut factory).collect();
+        let n = nodes.len();
         MpNetwork {
             graph,
             nodes,
@@ -170,6 +177,10 @@ impl<'g, P: MpNode, A: MpAdversary<P::Msg>> MpNetwork<'g, P, A> {
             rng: SmallRng::seed_from_u64(seed),
             round: 0,
             stats: MpStats::default(),
+            intended: Vec::with_capacity(n),
+            fault_mask: Vec::with_capacity(n),
+            faulty: Vec::new(),
+            overrides: Vec::new(),
         }
     }
 
@@ -217,64 +228,97 @@ impl<'g, P: MpNode, A: MpAdversary<P::Msg>> MpNetwork<'g, P, A> {
         let n = self.graph.node_count();
         let round = self.round;
 
-        // 1. Collect intentions.
-        let intended: Vec<Outgoing<P::Msg>> =
-            self.nodes.iter_mut().map(|node| node.send(round)).collect();
+        // 1. Collect intentions (into the reusable buffer).
+        self.intended.clear();
+        for node in &mut self.nodes {
+            self.intended.push(node.send(round));
+        }
 
         // 2. Sample transmitter faults (one coin per node).
-        let fault_mask = self.fault.sample_step(n, &mut self.rng);
-        let faulty: Vec<NodeId> = (0..n).filter(|&i| fault_mask[i]).map(NodeId::new).collect();
-        self.stats.faults += faulty.len() as u64;
+        self.fault
+            .sample_step_into(n, &mut self.rng, &mut self.fault_mask);
+        self.faulty.clear();
+        self.faulty
+            .extend((0..n).filter(|&i| self.fault_mask[i]).map(NodeId::new));
+        self.stats.faults += self.faulty.len() as u64;
 
-        // 3. Resolve actual behavior of faulty transmitters.
-        let mut actual = intended.clone();
-        for &v in &faulty {
-            actual[v.index()] = Outgoing::Silent;
-        }
-        if self.fault.kind != FaultKind::Omission && !faulty.is_empty() {
+        // 3. Resolve actual behavior of faulty transmitters. Faulty
+        //    nodes are silent unless the adversary supplies a
+        //    replacement; replacements are kept in a sorted side table
+        //    (last one per node wins) instead of cloning the whole
+        //    intention vector.
+        self.overrides.clear();
+        if self.fault.kind != FaultKind::Omission && !self.faulty.is_empty() {
             let ctx = MpRoundCtx {
                 round,
                 graph: self.graph,
-                faulty: &faulty,
-                intended: &intended,
+                faulty: &self.faulty,
+                intended: &self.intended,
             };
-            let overrides = self.adversary.corrupt_round(ctx, &mut self.rng);
-            for (v, behavior) in overrides {
+            let replacements = self.adversary.corrupt_round(ctx, &mut self.rng);
+            for (v, behavior) in replacements {
                 assert!(
-                    fault_mask[v.index()],
+                    self.fault_mask[v.index()],
                     "adversary tried to control non-faulty node {v}"
                 );
-                actual[v.index()] = if self.fault.kind == FaultKind::LimitedMalicious {
-                    clamp_to_intended(self.graph, v, &intended[v.index()], behavior)
+                let behavior = if self.fault.kind == FaultKind::LimitedMalicious {
+                    clamp_to_intended(self.graph, v, &self.intended[v.index()], behavior)
                 } else {
                     behavior
                 };
+                self.overrides.push((v, behavior));
             }
+            self.overrides.sort_by_key(|&(v, _)| v);
+            self.overrides.dedup_by(|later, earlier| {
+                if later.0 == earlier.0 {
+                    // Keep the later replacement, matching sequential
+                    // overwrite semantics.
+                    std::mem::swap(later, earlier);
+                    true
+                } else {
+                    false
+                }
+            });
         }
 
         // 4. Deliver, in deterministic (sender, target) order.
-        for u in self.graph.nodes() {
-            let out = std::mem::replace(&mut actual[u.index()], Outgoing::Silent);
+        let graph = self.graph;
+        for u in graph.nodes() {
+            let out = if self.fault_mask[u.index()] {
+                match self.overrides.binary_search_by_key(&u, |&(v, _)| v) {
+                    Ok(i) => std::mem::replace(&mut self.overrides[i].1, Outgoing::Silent),
+                    Err(_) => Outgoing::Silent,
+                }
+            } else {
+                std::mem::replace(&mut self.intended[u.index()], Outgoing::Silent)
+            };
             match out {
                 Outgoing::Silent => {}
                 Outgoing::Broadcast(m) => {
                     self.stats.transmissions += 1;
-                    for &v in self.graph.neighbors(u) {
+                    for &v in graph.neighbors(u) {
                         self.stats.deliveries += 1;
                         self.nodes[v.index()].recv(round, u, m.clone());
                     }
                 }
-                Outgoing::Directed(list) => {
+                Outgoing::Directed(mut list) => {
                     if list.is_empty() {
                         continue;
                     }
                     self.stats.transmissions += 1;
-                    let map: BTreeMap<NodeId, P::Msg> = list.into_iter().collect();
-                    for (v, m) in map {
-                        assert!(
-                            self.graph.has_edge(u, v),
-                            "node {u} sent to non-neighbor {v}"
-                        );
+                    // Deliver in ascending-target order with last-wins
+                    // duplicate handling, in place (no per-node map).
+                    list.sort_by_key(|&(v, _)| v);
+                    list.dedup_by(|later, earlier| {
+                        if later.0 == earlier.0 {
+                            std::mem::swap(later, earlier);
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    for (v, m) in list {
+                        assert!(graph.has_edge(u, v), "node {u} sent to non-neighbor {v}");
                         self.stats.deliveries += 1;
                         self.nodes[v.index()].recv(round, u, m);
                     }
@@ -450,6 +494,40 @@ mod tests {
         assert_eq!(net.node(g.node(1)).inbox, vec![(g.node(0), 99)]);
         assert!(net.node(g.node(2)).inbox.is_empty());
         assert!(net.node(g.node(0)).inbox.is_empty());
+    }
+
+    #[test]
+    fn duplicate_directed_targets_keep_last_message() {
+        struct Dup {
+            me: NodeId,
+            inbox: Vec<(NodeId, u64)>,
+        }
+        impl MpNode for Dup {
+            type Msg = u64;
+            fn send(&mut self, round: usize) -> Outgoing<u64> {
+                if round == 0 && self.me.index() == 0 {
+                    Outgoing::Directed(vec![
+                        (NodeId::new(1), 1),
+                        (NodeId::new(1), 2),
+                        (NodeId::new(1), 3),
+                    ])
+                } else {
+                    Outgoing::Silent
+                }
+            }
+            fn recv(&mut self, _round: usize, from: NodeId, msg: u64) {
+                self.inbox.push((from, msg));
+            }
+        }
+        let g = generators::path(1);
+        let mut net = MpNetwork::new(&g, FaultConfig::fault_free(), 0, |v| Dup {
+            me: v,
+            inbox: Vec::new(),
+        });
+        net.step();
+        // Map semantics: one delivery per target, last message wins.
+        assert_eq!(net.node(g.node(1)).inbox, vec![(g.node(0), 3)]);
+        assert_eq!(net.stats().deliveries, 1);
     }
 
     /// Adversary that rebroadcasts `false` from every faulty node.

@@ -12,7 +12,9 @@
 //!   intervals and almost-safety verdicts,
 //! * [`chernoff`] — the paper's parameter formulas (`m = ⌈c log n⌉` with
 //!   the explicit constants from Sections 2 and 3),
-//! * [`table`] — plain-text table rendering for experiment reports.
+//! * [`table`] — plain-text table rendering for experiment reports,
+//! * [`report`] — the structured sweep-result schema with its
+//!   dependency-free JSON writer/parser and Markdown-table rendering.
 //!
 //! # Example
 //!
@@ -34,5 +36,6 @@
 pub mod chernoff;
 pub mod estimate;
 pub mod montecarlo;
+pub mod report;
 pub mod seed;
 pub mod table;

@@ -1,0 +1,738 @@
+//! Structured sweep results: one schema, two renderings.
+//!
+//! Every experiment run produces a [`SweepReport`] — the experiment id
+//! plus one [`CellReport`] per table cell. The same struct renders both
+//! the human-facing Markdown tables (via [`tables`](SweepReport::tables))
+//! and the machine-readable JSON (via [`to_json`](SweepReport::to_json)),
+//! so the two can never drift apart per binary. The JSON writer and the
+//! matching parser ([`from_json`](SweepReport::from_json)) are
+//! dependency-free; the parser exists so CI can validate emitted files
+//! and tests can round-trip reports.
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "experiment": "e1_simple_omission",
+//!   "cells": [
+//!     {
+//!       "kind": "montecarlo",
+//!       "params": {"graph": "path-32", "n": "32", "p": "0.3"},
+//!       "successes": 60,
+//!       "trials": 60,
+//!       "rate": 1.0,
+//!       "verdict": "pass",
+//!       "mean_rounds": null,
+//!       "wall_ms": 12.5
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `params` holds the cell's *inputs* (and any analytic columns) as
+//! ordered string key/value pairs; the remaining fields are *measured*
+//! by the sweep driver. `verdict` and `mean_rounds` are `null` when the
+//! cell has no almost-safety target / no per-trial round counts.
+//! `kind` is `"analytic"` for rows that are pure computation (threshold
+//! tables, plan-size sweeps) — consumers must ignore their vacuous
+//! success columns.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::table::Table;
+
+/// How a cell's numbers were obtained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CellKind {
+    /// Measured by Monte-Carlo trials (the default).
+    #[default]
+    MonteCarlo,
+    /// A purely analytic table row (threshold tables, plan-size
+    /// sweeps): no trials ran, and the success columns are vacuous.
+    Analytic,
+}
+
+impl CellKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            CellKind::MonteCarlo => "montecarlo",
+            CellKind::Analytic => "analytic",
+        }
+    }
+}
+
+/// One measured sweep cell: input parameters plus harness measurements.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellReport {
+    /// How the cell was obtained; consumers should ignore the success
+    /// columns of [`CellKind::Analytic`] cells.
+    pub kind: CellKind,
+    /// Ordered input parameters (and analytic columns) of the cell.
+    pub params: Vec<(String, String)>,
+    /// Successful trials.
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Point estimate `successes / trials`.
+    pub rate: f64,
+    /// Almost-safety verdict label, when the cell has a target.
+    pub verdict: Option<String>,
+    /// Mean completion round over trials that reported one.
+    pub mean_rounds: Option<f64>,
+    /// Wall-clock time spent on the cell, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A full experiment report: id plus all cells, in sweep order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// Experiment identifier (e.g. `e1_simple_omission`).
+    pub experiment: String,
+    /// All cells, in the order they were swept.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Serializes the report as JSON (schema in the module docs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"experiment\": ");
+        write_json_string(&mut out, &self.experiment);
+        out.push_str(",\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            cell.write_json(&mut out);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`to_json`](Self::to_json)
+    /// (or any JSON document matching the schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReportParseError`] describing the first syntax or
+    /// schema violation encountered.
+    pub fn from_json(text: &str) -> Result<Self, ReportParseError> {
+        let mut p = Parser::new(text);
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing characters after the top-level value"));
+        }
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &Json) -> Result<Self, ReportParseError> {
+        let top = value.as_object("top-level value")?;
+        let experiment = get(top, "experiment")?.as_string("experiment")?.to_owned();
+        let cells = get(top, "cells")?
+            .as_array("cells")?
+            .iter()
+            .map(CellReport::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepReport { experiment, cells })
+    }
+
+    /// Renders the report as Markdown tables, one per run of consecutive
+    /// cells sharing the same parameter keys (so experiments with
+    /// heterogeneous sections come out as several well-formed tables).
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut tables = Vec::new();
+        let mut i = 0;
+        while i < self.cells.len() {
+            let keys: Vec<&str> = self.cells[i]
+                .params
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect();
+            let mut header: Vec<String> = keys.iter().map(|&k| k.to_owned()).collect();
+            header.extend(
+                [
+                    "successes",
+                    "trials",
+                    "rate",
+                    "verdict",
+                    "mean rounds",
+                    "ms",
+                ]
+                .map(str::to_owned),
+            );
+            let mut table = Table::new(header);
+            while i < self.cells.len() {
+                let cell = &self.cells[i];
+                if cell
+                    .params
+                    .iter()
+                    .map(|(k, _)| k.as_str())
+                    .ne(keys.iter().copied())
+                {
+                    break;
+                }
+                let mut row: Vec<String> = cell.params.iter().map(|(_, v)| v.clone()).collect();
+                if cell.kind == CellKind::Analytic {
+                    // The success columns are vacuous for analytic rows.
+                    row.extend(["-".into(), "-".into(), "-".into()]);
+                } else {
+                    row.push(cell.successes.to_string());
+                    row.push(cell.trials.to_string());
+                    row.push(format!("{:.4}", cell.rate));
+                }
+                row.push(cell.verdict.clone().unwrap_or_else(|| "-".into()));
+                row.push(
+                    cell.mean_rounds
+                        .map(|r| format!("{r:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+                row.push(format!("{:.1}", cell.wall_ms));
+                table.row(row);
+                i += 1;
+            }
+            tables.push(table);
+        }
+        tables
+    }
+
+    /// All tables rendered back to back, separated by blank lines.
+    #[must_use]
+    pub fn render_tables(&self) -> String {
+        self.tables()
+            .iter()
+            .map(Table::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl CellReport {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"kind\": \"{}\", ", self.kind.as_str());
+        out.push_str("\"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(out, k);
+            out.push_str(": ");
+            write_json_string(out, v);
+        }
+        let _ = write!(
+            out,
+            "}}, \"successes\": {}, \"trials\": {}, \"rate\": ",
+            self.successes, self.trials
+        );
+        write_json_f64(out, self.rate);
+        out.push_str(", \"verdict\": ");
+        match &self.verdict {
+            Some(v) => write_json_string(out, v),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"mean_rounds\": ");
+        match self.mean_rounds {
+            Some(r) => write_json_f64(out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"wall_ms\": ");
+        write_json_f64(out, self.wall_ms);
+        out.push('}');
+    }
+
+    fn from_value(value: &Json) -> Result<Self, ReportParseError> {
+        let obj = value.as_object("cell")?;
+        // `kind` is optional for leniency toward pre-schema files.
+        let kind = match obj.iter().find(|(k, _)| k == "kind") {
+            None => CellKind::MonteCarlo,
+            Some((_, v)) => match v.as_string("kind")? {
+                "montecarlo" => CellKind::MonteCarlo,
+                "analytic" => CellKind::Analytic,
+                other => {
+                    return Err(ReportParseError(format!("unknown cell kind `{other}`")));
+                }
+            },
+        };
+        let params = get(obj, "params")?
+            .as_object("params")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), v.as_string("param value")?.to_owned())))
+            .collect::<Result<Vec<_>, ReportParseError>>()?;
+        let successes = get(obj, "successes")?.as_usize("successes")?;
+        let trials = get(obj, "trials")?.as_usize("trials")?;
+        let rate = get(obj, "rate")?.as_f64("rate")?;
+        let verdict = match get(obj, "verdict")? {
+            Json::Null => None,
+            v => Some(v.as_string("verdict")?.to_owned()),
+        };
+        let mean_rounds = match get(obj, "mean_rounds")? {
+            Json::Null => None,
+            v => Some(v.as_f64("mean_rounds")?),
+        };
+        let wall_ms = get(obj, "wall_ms")?.as_f64("wall_ms")?;
+        if successes > trials {
+            return Err(ReportParseError(format!(
+                "cell has successes = {successes} > trials = {trials}"
+            )));
+        }
+        Ok(CellReport {
+            kind,
+            params,
+            successes,
+            trials,
+            rate,
+            verdict,
+            mean_rounds,
+            wall_ms,
+        })
+    }
+}
+
+/// Writes `s` as a JSON string literal with full escaping.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f64` as a JSON number. Rust's `{:?}` formatting is the
+/// shortest representation that round-trips, and it is valid JSON for
+/// every finite value; non-finite values become `null`.
+fn write_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Error produced by [`SweepReport::from_json`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReportParseError(String);
+
+impl fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sweep report: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportParseError {}
+
+/// A parsed JSON value (internal; just enough for the report schema).
+#[derive(Clone, PartialEq, Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered, so `params` round-trip losslessly.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], ReportParseError> {
+        match self {
+            Json::Object(fields) => Ok(fields),
+            _ => Err(ReportParseError(format!("{what} must be an object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], ReportParseError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(ReportParseError(format!("{what} must be an array"))),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<&str, ReportParseError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(ReportParseError(format!("{what} must be a string"))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, ReportParseError> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            _ => Err(ReportParseError(format!("{what} must be a number"))),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, ReportParseError> {
+        let x = self.as_f64(what)?;
+        if x >= 0.0 && x.fract() == 0.0 && x <= usize::MAX as f64 {
+            Ok(x as usize)
+        } else {
+            Err(ReportParseError(format!(
+                "{what} must be a non-negative integer, got {x}"
+            )))
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, ReportParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ReportParseError(format!("missing field `{key}`")))
+}
+
+/// Minimal recursive-descent JSON parser over the full grammar.
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> ReportParseError {
+        ReportParseError(format!("{msg} (byte {})", self.pos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ReportParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ReportParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ReportParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ReportParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ReportParseError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not emitted by the
+                            // writer; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path (the overwhelmingly common case).
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // One multi-byte scalar. The input is a `&str`, and
+                    // the parser only ever advances by whole scalars, so
+                    // `pos` sits on a char boundary: decode in O(1)
+                    // instead of re-validating the whole remainder.
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ReportParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepReport {
+        SweepReport {
+            experiment: "e_test".into(),
+            cells: vec![
+                CellReport {
+                    kind: CellKind::MonteCarlo,
+                    params: vec![
+                        ("graph".into(), "path-8".into()),
+                        ("p".into(), "0.3".into()),
+                    ],
+                    successes: 59,
+                    trials: 60,
+                    rate: 59.0 / 60.0,
+                    verdict: Some("pass".into()),
+                    mean_rounds: Some(12.25),
+                    wall_ms: 3.5,
+                },
+                CellReport {
+                    kind: CellKind::Analytic,
+                    params: vec![("m".into(), "4".into())],
+                    successes: 1,
+                    trials: 1,
+                    rate: 1.0,
+                    verdict: None,
+                    mean_rounds: None,
+                    wall_ms: 0.1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = SweepReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        // And the writer is deterministic on the round-tripped value.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let report = SweepReport {
+            experiment: "quo\"te\\back\nnew\tline\u{1}és 🎲".into(),
+            cells: vec![CellReport {
+                kind: CellKind::MonteCarlo,
+                params: vec![("k\"ey".into(), "va\\lue\r".into())],
+                successes: 0,
+                trials: 1,
+                rate: 0.0,
+                verdict: Some("näh".into()),
+                mean_rounds: None,
+                wall_ms: 0.0,
+            }],
+        };
+        let json = report.to_json();
+        let parsed = SweepReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\u0001"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let mut report = sample();
+        report.cells[0].rate = 0.1 + 0.2; // 0.30000000000000004
+        report.cells[0].mean_rounds = Some(1e-7);
+        let parsed = SweepReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(
+            parsed.cells[0].rate.to_bits(),
+            report.cells[0].rate.to_bits()
+        );
+        assert_eq!(parsed.cells[0].mean_rounds, Some(1e-7));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            "{\"experiment\": \"x\"}",
+            "{\"experiment\": 3, \"cells\": []}",
+            "{\"experiment\": \"x\", \"cells\": [{}]}",
+            "{\"experiment\": \"x\", \"cells\": []} trailing",
+        ] {
+            assert!(SweepReport::from_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_counts() {
+        let json = r#"{"experiment": "x", "cells": [{"params": {}, "successes": 5,
+            "trials": 3, "rate": 1.0, "verdict": null, "mean_rounds": null,
+            "wall_ms": 0.0}]}"#;
+        assert!(SweepReport::from_json(json).is_err());
+    }
+
+    #[test]
+    fn tables_group_by_param_keys() {
+        let report = sample();
+        let tables = report.tables();
+        assert_eq!(tables.len(), 2, "two sections with different keys");
+        let first = tables[0].render();
+        assert!(first.contains("graph"));
+        assert!(first.contains("path-8"));
+        assert!(first.contains("0.9833"));
+        let second = tables[1].render();
+        assert!(second.contains("| m |"));
+        assert!(second.contains("-")); // null verdict / mean rounds
+    }
+
+    #[test]
+    fn kind_field_round_trips_and_is_lenient() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"analytic\""));
+        let parsed = SweepReport::from_json(&json).unwrap();
+        assert_eq!(parsed.cells[1].kind, CellKind::Analytic);
+        // Pre-schema files without `kind` default to MonteCarlo.
+        let legacy = r#"{"experiment": "x", "cells": [{"params": {}, "successes": 1,
+            "trials": 1, "rate": 1.0, "verdict": null, "mean_rounds": null,
+            "wall_ms": 0.0}]}"#;
+        assert_eq!(
+            SweepReport::from_json(legacy).unwrap().cells[0].kind,
+            CellKind::MonteCarlo
+        );
+        // Unknown kinds are rejected.
+        let bad = r#"{"experiment": "x", "cells": [{"kind": "vibes", "params": {},
+            "successes": 1, "trials": 1, "rate": 1.0, "verdict": null,
+            "mean_rounds": null, "wall_ms": 0.0}]}"#;
+        assert!(SweepReport::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_nesting() {
+        let json = "  {\n\t\"experiment\" : \"e\" , \"cells\" : [ ] }  ";
+        let parsed = SweepReport::from_json(json).unwrap();
+        assert_eq!(parsed.experiment, "e");
+        assert!(parsed.cells.is_empty());
+    }
+}
