@@ -40,7 +40,7 @@ fn bench_broadcasts(c: &mut Criterion) {
         b.iter(|| flood.run(&g, FaultConfig::omission(p), 3).informed_count())
     });
 
-    let kucera = KuceraBroadcast::new(&g, source, p);
+    let kucera = KuceraBroadcast::new(&g, source, p).expect("p < 1/2 is feasible");
     group.bench_function("kucera_tree", |b| {
         b.iter(|| {
             kucera
@@ -65,10 +65,10 @@ fn bench_planners(c: &mut Criterion) {
     let mut group = c.benchmark_group("planning");
     for len in [64usize, 256, 1024] {
         group.bench_with_input(BenchmarkId::new("kucera_plan", len), &len, |b, &len| {
-            b.iter(|| Plan::for_line(len, 0.3, 1e-9).time())
+            b.iter(|| Plan::for_line(len, 0.3, 1e-9).expect("feasible").time())
         });
         group.bench_with_input(BenchmarkId::new("kucera_compile", len), &len, |b, &len| {
-            let plan = Plan::for_line(len, 0.3, 1e-9);
+            let plan = Plan::for_line(len, 0.3, 1e-9).expect("feasible");
             b.iter(|| plan.compile().send_count())
         });
     }

@@ -6,10 +6,14 @@
 //! experiment sweeps can afford to be.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
 use randcast_engine::fault::FaultConfig;
+use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
-use randcast_graph::{generators, NodeId};
+use randcast_graph::{generators, Graph, NodeId};
 
 /// Flooding automaton (the engine stress case: every informed node sends
 /// every round).
@@ -123,6 +127,46 @@ fn bench_mp_directed(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fast-path vs general-engine flood: the same Theorem 3.1 workload
+/// (BFS-tree flooding to completion horizon) through `MpNetwork` and
+/// through the bitset `FastFlood` engine. The ratio between the two
+/// rows is the fast path's speedup.
+fn bench_flood_fast_vs_mp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_engines");
+    let graphs: Vec<(String, Graph)> = vec![
+        ("grid32x32".into(), generators::grid(32, 32)),
+        (
+            "gnp4096-d8".into(),
+            generators::gnp_connected(4096, 8.0 / 4095.0, &mut SmallRng::seed_from_u64(7)),
+        ),
+    ];
+    for (label, g) in &graphs {
+        let p = 0.3;
+        let source = g.node(0);
+        let horizon = theorem_horizon(g, source, p);
+        group.throughput(Throughput::Elements((horizon * g.node_count()) as u64));
+        let mp_plan = FloodPlan::with_horizon(g, source, horizon, FloodVariant::Tree);
+        group.bench_with_input(BenchmarkId::new("mp", label), &p, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                mp_plan
+                    .run(g, FaultConfig::omission(p), seed)
+                    .informed_count()
+            })
+        });
+        let fast_plan = FastFlood::new(g, source, horizon, FastFloodVariant::Tree);
+        group.bench_with_input(BenchmarkId::new("fast", label), &p, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast_plan.run(p, seed).informed_count()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_radio(c: &mut Criterion) {
     let mut group = c.benchmark_group("radio_rounds");
     for side in [8usize, 16, 32] {
@@ -151,6 +195,6 @@ fn bench_radio(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mp, bench_mp_directed, bench_radio
+    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio
 }
 criterion_main!(benches);

@@ -66,7 +66,7 @@ fn main() {
 
     // --- A3: composition structure (analytic) ---------------------------
     for l in [64usize, 256, 1024] {
-        let interleaved = Plan::for_line(l, 0.3, 1e-6);
+        let interleaved = Plan::for_line(l, 0.3, 1e-6).expect("p = 0.3 is feasible");
         a3_cell(&mut sweep, l, "CO1+CO2 interleaved (planner)", &interleaved);
         // Flat structure: amplify each hop once at the bottom (to a
         // union-bound budget of 0.05 over the whole line), one serial
@@ -74,8 +74,10 @@ fn main() {
         // repetition factor must grow with L.
         let bottom_top = Plan::basic(0.3)
             .amplify_to(0.05 / l as f64)
+            .expect("amplifying a basic hop is feasible")
             .serial(l)
-            .amplify_to(1e-6);
+            .amplify_to(1e-6)
+            .expect("amplifying the stitched line is feasible");
         a3_cell(&mut sweep, l, "CO2 bottom, CO1 once, CO2 top", &bottom_top);
     }
     // Serial-first: raw hops drive the error past 1/2, where no amount

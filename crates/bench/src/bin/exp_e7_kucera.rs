@@ -30,7 +30,7 @@ fn main() {
     // 1. Line time shape at per-branch error 1e-6 (analytic rows).
     for p in [0.1, 0.25, 0.4] {
         for l in [16usize, 32, 64, 128, 256, 512] {
-            let plan = Plan::for_line(l, p, 1e-6);
+            let plan = Plan::for_line(l, p, 1e-6).expect("p < 1/2 is feasible");
             sweep.analytic([
                 ("L", l.to_string()),
                 ("p", format!("{p}")),
@@ -46,7 +46,7 @@ fn main() {
         let l = 128usize;
         let p = 0.25;
         let target = (-(l as f64).powf(1.0 / alpha)).exp();
-        let plan = Plan::for_line(l, p, target);
+        let plan = Plan::for_line(l, p, target).expect("p < 1/2 is feasible");
         sweep.analytic([
             ("α", format!("{alpha}")),
             ("target error", format!("{target:.2e}")),

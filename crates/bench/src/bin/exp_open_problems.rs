@@ -53,7 +53,7 @@ fn main() {
         let d = traversal::radius_from(&g, g.node(0));
         let target = d as f64 + (n as f64).ln();
 
-        let kb = KuceraBroadcast::new(&g, g.node(0), p);
+        let kb = KuceraBroadcast::new(&g, g.node(0), p).expect("p < 1/2 is feasible");
         let st = SelfTimedPlan::malicious(&g, g.node(0), p);
         let st_horizon = st.horizon();
         sweep.cell(

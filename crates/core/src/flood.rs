@@ -64,6 +64,24 @@ impl FloodOutcome {
     }
 }
 
+/// The Theorem 3.1 horizon `τ = ⌈2(D + 4 ln n)/(1 − p)⌉ = O(D + log n)`
+/// for flooding `graph` from `source` under failure probability `p`:
+/// per-branch failure `≤ 1/n²`, hence overall failure `≤ 1/n`.
+///
+/// Defined on graphs disconnected from the source (`D` is the radius of
+/// the source's component) so the fast-path engine can use it in the
+/// almost-complete broadcast regime.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1)`.
+#[must_use]
+pub fn theorem_horizon(graph: &Graph, source: NodeId, p: f64) -> usize {
+    let d = traversal::reachable_radius(graph, source);
+    let n = graph.node_count().max(2);
+    chernoff::flood_horizon(d, p, 4.0 * (n as f64).ln()).max(1)
+}
+
 /// A compiled flooding plan: spanning tree plus horizon.
 #[derive(Clone, Debug)]
 pub struct FloodPlan {
@@ -84,10 +102,8 @@ impl FloodPlan {
     /// Panics if `p ∉ [0, 1)` or the graph is disconnected from `source`.
     #[must_use]
     pub fn new(graph: &Graph, source: NodeId, p: f64) -> Self {
-        let d = traversal::radius_from(graph, source);
-        let n = graph.node_count().max(2);
-        let horizon = chernoff::flood_horizon(d, p, 4.0 * (n as f64).ln());
-        Self::with_horizon(graph, source, horizon.max(1), FloodVariant::Tree)
+        let horizon = theorem_horizon(graph, source, p);
+        Self::with_horizon(graph, source, horizon, FloodVariant::Tree)
     }
 
     /// Plan with an explicit horizon and flood variant (ablations and
@@ -120,8 +136,10 @@ impl FloodPlan {
     }
 
     /// Executes the flood in the message-passing model with omission
-    /// faults. Runs the full horizon and reports per-node informing
-    /// times.
+    /// faults, reporting per-node informing times. Runs up to the
+    /// horizon, stopping early once every node is informed — further
+    /// rounds cannot change any `informed_at`, so the outcome is
+    /// identical to running the full horizon.
     #[must_use]
     pub fn run(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> FloodOutcome {
         let mut net = MpNetwork::new(graph, fault, seed, |v| FloodNode {
@@ -131,7 +149,12 @@ impl FloodPlan {
             },
             informed_at: (v == self.source).then_some(0),
         });
-        net.run(self.horizon);
+        for _ in 0..self.horizon {
+            net.step();
+            if net.nodes().all(|node| node.informed_at.is_some()) {
+                break;
+            }
+        }
         FloodOutcome {
             informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
             rounds: self.horizon,

@@ -31,10 +31,60 @@
 //! through the same majority votes as the endpoint.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use randcast_graph::{Graph, NodeId, SpanningTree};
 use randcast_stats::chernoff::binomial_upper_tail;
 use randcast_stats::seed::splitmix64;
+
+/// Why a Kučera plan could not be constructed. Planning failures are
+/// *configuration* errors (infeasible `p`, impossible amplification
+/// targets) — they surface as `Result`s so a sweep can reject the one
+/// bad cell instead of aborting mid-run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum KuceraError {
+    /// Majority amplification cannot converge: the error bound to
+    /// amplify is already `≥ 1/2` (in particular any failure
+    /// probability `p ≥ 1/2` — the Theorem 2.3 infeasible regime).
+    ErrorBoundTooHigh {
+        /// The offending per-repetition error bound.
+        q: f64,
+    },
+    /// The repetition count needed to reach `target` from `q` exceeds
+    /// the planner's cap — the target is unreachably strict for this
+    /// error level.
+    AmplificationCapExceeded {
+        /// Error bound being amplified.
+        q: f64,
+        /// Requested target error.
+        target: f64,
+        /// The repetition cap that was exhausted.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for KuceraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KuceraError::ErrorBoundTooHigh { q } => {
+                write!(
+                    f,
+                    "cannot amplify an error bound of {q} >= 1/2 \
+                     (majority voting requires p < 1/2)"
+                )
+            }
+            KuceraError::AmplificationCapExceeded { q, target, cap } => {
+                write!(
+                    f,
+                    "cannot amplify error {q} to {target} within {cap} repetitions"
+                )
+            }
+        }
+    }
+}
+
+impl Error for KuceraError {}
 
 /// What a failed (limited-malicious) transmission does — chosen by the
 /// adversary; [`FailureBehavior::Flip`] is the binding worst case for
@@ -189,32 +239,42 @@ impl Plan {
     /// growth (factor ≤ 8 per level) with \[CO2\] error resets, and a final
     /// amplification stage.
     ///
+    /// # Errors
+    ///
+    /// Returns [`KuceraError::ErrorBoundTooHigh`] when `p ≥ 1/2`
+    /// (majority voting cannot converge — Theorem 2.3's infeasible
+    /// regime) and propagates [`KuceraError::AmplificationCapExceeded`]
+    /// when an amplification stage would need an absurd repetition
+    /// count.
+    ///
     /// # Panics
     ///
-    /// Panics if `p ≥ 1/2` (majority voting cannot converge),
-    /// `len == 0`, or `target_q ≤ 0`.
-    #[must_use]
-    pub fn for_line(len: usize, p: f64, target_q: f64) -> Self {
-        assert!((0.0..0.5).contains(&p), "requires p < 1/2");
+    /// Panics if `p < 0`, `len == 0`, or `target_q ≤ 0` (programmer
+    /// errors rather than configuration ones).
+    pub fn for_line(len: usize, p: f64, target_q: f64) -> Result<Self, KuceraError> {
+        assert!(p >= 0.0, "failure probability must be nonnegative");
         assert!(len >= 1, "need at least one hop");
         assert!(target_q > 0.0, "target error must be positive");
+        if p >= 0.5 {
+            return Err(KuceraError::ErrorBoundTooHigh { q: p });
+        }
         const STAGE_Q: f64 = 1e-3;
         let mut plan = Plan::basic(p);
         if plan.error_bound() > STAGE_Q {
-            plan = plan.amplify_to(STAGE_Q);
+            plan = plan.amplify_to(STAGE_Q)?;
         }
         while plan.len() < len {
             let remaining = len.div_ceil(plan.len());
             let rho = remaining.clamp(2, 8);
             plan = plan.serial(rho);
             if plan.len() < len && plan.error_bound() > STAGE_Q {
-                plan = plan.amplify_to(STAGE_Q);
+                plan = plan.amplify_to(STAGE_Q)?;
             }
         }
         if plan.error_bound() > target_q {
-            plan = plan.amplify_to(target_q);
+            plan = plan.amplify_to(target_q)?;
         }
-        plan
+        Ok(plan)
     }
 
     /// Applies the smallest odd \[CO2\] factor bringing the error bound to
@@ -222,17 +282,20 @@ impl Plan {
     /// `ln(1/target) / (1/2 − Q)²` (Hoeffding), so it blows up — as the
     /// theory says it must — when the current error `Q` approaches 1/2.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `Q ≥ 1/2` (majority amplification cannot converge) or
-    /// the needed factor exceeds 2,000,001 repetitions.
-    #[must_use]
-    pub fn amplify_to(self, target: f64) -> Self {
+    /// Returns [`KuceraError::ErrorBoundTooHigh`] when the current
+    /// error bound is `≥ 1/2` and
+    /// [`KuceraError::AmplificationCapExceeded`] when more than
+    /// 2,000,001 repetitions would be needed.
+    pub fn amplify_to(self, target: f64) -> Result<Self, KuceraError> {
         let q = self.metrics.error_bound;
         if q <= target {
-            return self;
+            return Ok(self);
         }
-        assert!(q < 0.5, "cannot amplify an error bound of {q} >= 1/2");
+        if q >= 0.5 {
+            return Err(KuceraError::ErrorBoundTooHigh { q });
+        }
         // Hoeffding start: exp(-2κ(1/2-Q)²) = target; begin a bit below
         // and search upward for the exact binomial-tail crossing.
         let gap = 0.5 - q;
@@ -241,11 +304,15 @@ impl Plan {
         const CAP: u64 = 2_000_001;
         while kappa <= CAP {
             if binomial_upper_tail(kappa, kappa.div_ceil(2), q) <= target {
-                return self.repeat(kappa as usize);
+                return Ok(self.repeat(kappa as usize));
             }
             kappa += 2;
         }
-        panic!("cannot amplify error {q} to {target} within {CAP} repetitions");
+        Err(KuceraError::AmplificationCapExceeded {
+            q,
+            target,
+            cap: CAP,
+        })
     }
 
     /// Flattens the plan into an executable event schedule.
@@ -595,20 +662,24 @@ pub struct KuceraBroadcast {
 impl KuceraBroadcast {
     /// Plans for the BFS-tree depth of `(graph, source)`.
     ///
+    /// # Errors
+    ///
+    /// Returns the planning error when `p ≥ 1/2` or the prescribed
+    /// amplification is impossible (see [`Plan::for_line`]).
+    ///
     /// # Panics
     ///
-    /// Panics if `p ≥ 1/2` or the graph is disconnected from `source`.
-    #[must_use]
-    pub fn new(graph: &Graph, source: NodeId, p: f64) -> Self {
+    /// Panics if the graph is disconnected from `source`.
+    pub fn new(graph: &Graph, source: NodeId, p: f64) -> Result<Self, KuceraError> {
         let tree = SpanningTree::bfs(graph, source);
         let len = tree.depth().max(1);
         let n = graph.node_count().max(2);
         let target = 1.0 / (2.0 * (n * n) as f64);
-        let plan = Plan::for_line(len, p, target);
-        KuceraBroadcast {
+        let plan = Plan::for_line(len, p, target)?;
+        Ok(KuceraBroadcast {
             compiled: plan.compile(),
             source,
-        }
+        })
     }
 
     /// Total broadcast time `τ`.
@@ -673,7 +744,7 @@ mod tests {
     fn planner_reaches_length_and_error() {
         for len in [1usize, 5, 17, 100] {
             for p in [0.05, 0.2, 0.4] {
-                let plan = Plan::for_line(len, p, 1e-6);
+                let plan = Plan::for_line(len, p, 1e-6).expect("feasible");
                 assert!(plan.len() >= len, "len {len} p {p}");
                 assert!(plan.error_bound() <= 1e-6, "len {len} p {p}");
             }
@@ -685,8 +756,8 @@ mod tests {
         // Time per hop should not explode as the line grows (the point of
         // the composition rules).
         let p = 0.3;
-        let t50 = Plan::for_line(50, p, 1e-6).time() as f64;
-        let t400 = Plan::for_line(400, p, 1e-6).time() as f64;
+        let t50 = Plan::for_line(50, p, 1e-6).expect("feasible").time() as f64;
+        let t400 = Plan::for_line(400, p, 1e-6).expect("feasible").time() as f64;
         let per_hop_growth = (t400 / 400.0) / (t50 / 50.0);
         assert!(per_hop_growth < 3.0, "growth={per_hop_growth}");
     }
@@ -704,7 +775,7 @@ mod tests {
     #[test]
     fn fault_free_execution_delivers_everywhere() {
         let g = generators::path(9);
-        let plan = Plan::for_line(9, 0.3, 1e-4);
+        let plan = Plan::for_line(9, 0.3, 1e-4).expect("feasible");
         let c = plan.compile();
         for bit in [false, true] {
             let out = c.run_tree(&g, g.node(0), 0.0, FailureBehavior::Flip, 1, bit);
@@ -716,7 +787,7 @@ mod tests {
     fn flip_faults_mostly_corrected() {
         let g = generators::path(20);
         let p = 0.25;
-        let plan = Plan::for_line(20, p, 1e-6);
+        let plan = Plan::for_line(20, p, 1e-6).expect("feasible");
         let c = plan.compile();
         let mut ok = 0;
         for seed in 0..40 {
@@ -752,7 +823,7 @@ mod tests {
     fn works_on_trees_not_just_lines() {
         let g = generators::balanced_tree(3, 3);
         let p = 0.2;
-        let kb = KuceraBroadcast::new(&g, g.node(0), p);
+        let kb = KuceraBroadcast::new(&g, g.node(0), p).expect("feasible");
         let mut ok = 0;
         for seed in 0..30 {
             let out = kb.run(&g, p, FailureBehavior::Flip, seed, true);
@@ -767,7 +838,7 @@ mod tests {
         // (default is 0): success should be at least as high as with bit 1.
         let g = generators::path(10);
         let p = 0.3;
-        let plan = Plan::for_line(10, p, 1e-4).compile();
+        let plan = Plan::for_line(10, p, 1e-4).expect("feasible").compile();
         let mut ok0 = 0;
         let mut ok1 = 0;
         for seed in 0..50 {
@@ -808,7 +879,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = generators::path(8);
-        let plan = Plan::for_line(8, 0.3, 1e-4).compile();
+        let plan = Plan::for_line(8, 0.3, 1e-4).expect("feasible").compile();
         let a = plan.run_tree(&g, g.node(0), 0.3, FailureBehavior::Flip, 9, true);
         let b = plan.run_tree(&g, g.node(0), 0.3, FailureBehavior::Flip, 9, true);
         assert_eq!(a, b);
@@ -817,7 +888,7 @@ mod tests {
     #[test]
     fn single_node_graph() {
         let g = generators::path(0);
-        let kb = KuceraBroadcast::new(&g, g.node(0), 0.3);
+        let kb = KuceraBroadcast::new(&g, g.node(0), 0.3).expect("feasible");
         let out = kb.run(&g, 0.3, FailureBehavior::Flip, 0, true);
         assert!(out.all_correct(true));
     }
@@ -827,7 +898,7 @@ mod tests {
         // Every node, not just the endpoint, must end with the bit.
         let g = generators::path(15);
         let p = 0.2;
-        let plan = Plan::for_line(15, p, 1e-8).compile();
+        let plan = Plan::for_line(15, p, 1e-8).expect("feasible").compile();
         let out = plan.run_tree(&g, g.node(0), p, FailureBehavior::Flip, 3, true);
         assert_eq!(out.values.len(), 16);
         assert_eq!(out.correct_count(true), 16);

@@ -18,18 +18,22 @@
 //! adversary for (limited-)malicious message passing, and the
 //! lie-or-jam adversary for malicious radio.
 
+use std::error::Error;
+use std::fmt;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng as _;
 
 use randcast_engine::adversary::{FlipMpAdversary, LieOrJamAdversary};
 use randcast_engine::fault::{FaultConfig, FaultKind};
+use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
 use randcast_graph::{generators, Graph};
 
 use crate::decay::{run_decay, DecayConfig};
-use crate::flood::{FloodPlan, FloodVariant};
-use crate::kucera::{FailureBehavior, KuceraBroadcast};
+use crate::flood::{theorem_horizon, FloodPlan, FloodVariant};
+use crate::kucera::{FailureBehavior, KuceraBroadcast, KuceraError};
 use crate::radio_robust::ExpandedPlan;
 use crate::radio_sched::greedy_schedule;
 use crate::selftimed::SelfTimedPlan;
@@ -38,6 +42,15 @@ use crate::sweep::TrialOutcome;
 
 /// The source bit broadcast in every scenario trial.
 pub const SOURCE_BIT: bool = true;
+
+/// Node count at or above which [`Algorithm::Flood`] in the
+/// message-passing model is executed by the bitset fast path
+/// ([`randcast_engine::flood_fast`]) instead of the general `MpNetwork`
+/// engine. The two are statistically equivalent (pinned by
+/// `tests/flood_equivalence.rs`) but draw different RNG streams, so the
+/// threshold sits above every pre-existing experiment size to keep
+/// their per-seed outcomes byte-stable.
+pub const FLOOD_FAST_MIN_N: usize = 4096;
 
 /// A named graph constructor; the broadcast source is always node 0.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,6 +76,41 @@ pub enum GraphFamily {
     Complete(usize),
     /// The paper's three-layer lower-bound graph `G(m)`.
     LowerBound(usize),
+    /// Erdős–Rényi `G(n, q)` conditioned on connectivity, with
+    /// `q = avg_deg / (n − 1)` (a random recursive-tree skeleton adds
+    /// at most 2 to the realized average degree). Built by geometric
+    /// skip-sampling, so `n = 10⁶` is practical.
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Target average degree (before the connectivity skeleton).
+        avg_deg: usize,
+        /// Construction seed (part of the spec, so labels are stable).
+        seed: u64,
+    },
+    /// Random geometric (unit-disk) graph with radius chosen so the
+    /// expected degree is `deg` (`r = √(deg / (π(n−1)))`). **May be
+    /// disconnected** below `deg ≈ ln n` — the almost-complete
+    /// broadcast regime; only [`Algorithm::FloodFast`] accepts it.
+    RandomGeometric {
+        /// Node count.
+        n: usize,
+        /// Target expected degree.
+        deg: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// Preferential-attachment (Barabási–Albert) graph: node `v`
+    /// attaches to `min(m, v)` earlier nodes, degree-proportionally.
+    /// Connected, with scale-free hubs.
+    PreferentialAttachment {
+        /// Node count.
+        n: usize,
+        /// Edges attached per arriving node.
+        m: usize,
+        /// Construction seed.
+        seed: u64,
+    },
 }
 
 impl GraphFamily {
@@ -78,7 +126,19 @@ impl GraphFamily {
             GraphFamily::Star(leaves) => format!("star-{leaves}"),
             GraphFamily::Complete(n) => format!("complete-{n}"),
             GraphFamily::LowerBound(m) => format!("G({m})"),
+            GraphFamily::Gnp { n, avg_deg, .. } => format!("gnp-{n}-d{avg_deg}"),
+            GraphFamily::RandomGeometric { n, deg, .. } => format!("rgg-{n}-d{deg}"),
+            GraphFamily::PreferentialAttachment { n, m, .. } => format!("pa-{n}-m{m}"),
         }
+    }
+
+    /// Whether the built graph can be disconnected from the source —
+    /// such families are only valid with algorithms that measure the
+    /// informed fraction instead of assuming reachability
+    /// ([`Algorithm::FloodFast`]).
+    #[must_use]
+    pub fn may_be_disconnected(&self) -> bool {
+        matches!(self, GraphFamily::RandomGeometric { .. })
     }
 
     /// Builds the graph.
@@ -96,6 +156,20 @@ impl GraphFamily {
             GraphFamily::Star(leaves) => generators::star(leaves),
             GraphFamily::Complete(n) => generators::complete(n),
             GraphFamily::LowerBound(m) => generators::lower_bound_graph(m),
+            GraphFamily::Gnp { n, avg_deg, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let q = (avg_deg as f64 / (n.max(2) - 1) as f64).min(1.0);
+                generators::gnp_connected(n, q, &mut rng)
+            }
+            GraphFamily::RandomGeometric { n, deg, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let radius = (deg as f64 / (std::f64::consts::PI * (n.max(2) - 1) as f64)).sqrt();
+                generators::random_geometric(n, radius.min(1.0), &mut rng)
+            }
+            GraphFamily::PreferentialAttachment { n, m, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                generators::preferential_attachment(n, m, &mut rng)
+            }
         }
     }
 }
@@ -140,9 +214,20 @@ pub enum Algorithm {
     /// per the fault kind; runs in both models.
     Simple,
     /// BFS-tree flooding (Theorem 3.1, MP + omission). The horizon is
-    /// the Theorem 3.1 prescription scaled by `horizon_scale`.
+    /// the Theorem 3.1 prescription scaled by `horizon_scale`. At
+    /// `n ≥` [`FLOOD_FAST_MIN_N`] the harness transparently selects the
+    /// statistically equivalent bitset fast path.
     Flood {
         /// Multiplier on the prescribed horizon (1 = the theorem's).
+        horizon_scale: usize,
+    },
+    /// BFS-tree flooding forced onto the large-`n` fast path
+    /// ([`randcast_engine::flood_fast`]) regardless of size. The only
+    /// algorithm accepting possibly-disconnected families: trials
+    /// additionally report the informed fraction and the
+    /// almost-complete (`1 − 1/n`) time.
+    FloodFast {
+        /// Multiplier on the prescribed Theorem 3.1 horizon.
         horizon_scale: usize,
     },
     /// Kučera composition broadcasting (Theorem 3.2, MP).
@@ -166,11 +251,80 @@ impl Algorithm {
         match self {
             Algorithm::Simple => "simple",
             Algorithm::Flood { .. } => "flood",
+            Algorithm::FloodFast { .. } => "flood-fast",
             Algorithm::Kucera => "kucera",
             Algorithm::SelfTimed => "self-timed",
             Algorithm::Expanded => "expanded",
             Algorithm::Decay { .. } => "decay",
         }
+    }
+}
+
+/// Why a [`Scenario`] is invalid. Produced by [`Scenario::validate`] /
+/// [`Scenario::try_prepare`] **before any trial runs**, so a
+/// misconfigured sweep fails fast with a usable message instead of
+/// aborting mid-run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ScenarioError {
+    /// The algorithm does not run in the requested communication model.
+    ModelMismatch {
+        /// The algorithm's table name.
+        algorithm: &'static str,
+        /// The requested model.
+        model: Model,
+    },
+    /// The algorithm rejects the requested fault kind.
+    FaultMismatch {
+        /// The algorithm's table name.
+        algorithm: &'static str,
+        /// What the algorithm tolerates.
+        tolerates: &'static str,
+    },
+    /// The graph family may be disconnected from the source, which only
+    /// the informed-fraction-aware fast flood accepts.
+    RequiresConnectivity {
+        /// The algorithm's table name.
+        algorithm: &'static str,
+    },
+    /// An algorithm parameter is out of its meaningful range.
+    InvalidParameter(
+        /// What is wrong with it.
+        &'static str,
+    ),
+    /// Kučera planning failed (infeasible `p ≥ 1/2`, or amplification
+    /// beyond the repetition cap).
+    Kucera(
+        /// The underlying planner error.
+        KuceraError,
+    ),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScenarioError::ModelMismatch { algorithm, model } => {
+                write!(f, "{algorithm} does not run in the {model} model")
+            }
+            ScenarioError::FaultMismatch {
+                algorithm,
+                tolerates,
+            } => write!(f, "{algorithm} tolerates {tolerates}"),
+            ScenarioError::RequiresConnectivity { algorithm } => write!(
+                f,
+                "{algorithm} requires a graph connected to the source; \
+                 only flood-fast accepts possibly-disconnected families"
+            ),
+            ScenarioError::InvalidParameter(what) => f.write_str(what),
+            ScenarioError::Kucera(e) => write!(f, "kucera planning failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+impl From<KuceraError> for ScenarioError {
+    fn from(e: KuceraError) -> Self {
+        ScenarioError::Kucera(e)
     }
 }
 
@@ -190,6 +344,7 @@ pub struct Scenario {
 enum PlanKind {
     Simple(SimplePlan),
     Flood(FloodPlan),
+    FloodFast(FastFlood),
     Kucera(KuceraBroadcast),
     SelfTimed(SelfTimedPlan),
     Expanded(ExpandedPlan),
@@ -204,17 +359,97 @@ pub struct PreparedScenario {
 }
 
 impl Scenario {
+    /// Checks the Algorithm × Model × fault-kind × graph-family
+    /// combination *without building anything*, so sweeps can reject
+    /// misconfigured cells up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] describing the first violated
+    /// constraint. Kučera amplification limits that depend on the built
+    /// graph are only caught by [`try_prepare`](Self::try_prepare); the
+    /// parameter-level `p ≥ 1/2` infeasibility is caught here.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let name = self.algorithm.name();
+        let mismatch = |model| {
+            Err(ScenarioError::ModelMismatch {
+                algorithm: name,
+                model,
+            })
+        };
+        match (self.algorithm, self.model) {
+            (Algorithm::Simple, _) => {}
+            (
+                Algorithm::Flood { horizon_scale } | Algorithm::FloodFast { horizon_scale },
+                Model::Mp,
+            ) => {
+                if horizon_scale == 0 {
+                    return Err(ScenarioError::InvalidParameter(
+                        "horizon_scale must be positive",
+                    ));
+                }
+            }
+            (Algorithm::Kucera, Model::Mp) => {
+                if self.fault.p.get() >= 0.5 {
+                    return Err(ScenarioError::Kucera(KuceraError::ErrorBoundTooHigh {
+                        q: self.fault.p.get(),
+                    }));
+                }
+            }
+            (Algorithm::SelfTimed, Model::Mp) => {}
+            (Algorithm::Expanded, Model::Radio) => {}
+            (Algorithm::Decay { epoch_factor }, Model::Radio) => {
+                if self.fault.kind != FaultKind::Omission {
+                    return Err(ScenarioError::FaultMismatch {
+                        algorithm: name,
+                        tolerates: "omission faults only (use expanded for malicious)",
+                    });
+                }
+                if epoch_factor == 0 {
+                    return Err(ScenarioError::InvalidParameter(
+                        "epoch_factor must be positive",
+                    ));
+                }
+            }
+            (_, model) => return mismatch(model),
+        }
+        if self.graph.may_be_disconnected()
+            && !matches!(self.algorithm, Algorithm::FloodFast { .. })
+        {
+            return Err(ScenarioError::RequiresConnectivity { algorithm: name });
+        }
+        Ok(())
+    }
+
     /// Builds the graph and compiles the algorithm's plan.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on invalid combinations: MP-only algorithms in the radio
-    /// model (and vice versa), Decay under non-omission faults, or
-    /// parameters outside an algorithm's feasible range (e.g. Kučera at
-    /// `p ≥ 1/2`).
-    #[must_use]
-    pub fn prepare(self) -> PreparedScenario {
+    /// Returns a [`ScenarioError`] for invalid combinations: MP-only
+    /// algorithms in the radio model (and vice versa), Decay under
+    /// non-omission faults, possibly-disconnected families outside the
+    /// fast flood, or parameters outside an algorithm's feasible range
+    /// (e.g. Kučera at `p ≥ 1/2`).
+    pub fn try_prepare(self) -> Result<PreparedScenario, ScenarioError> {
         let graph = self.graph.build();
+        self.try_prepare_on(graph)
+    }
+
+    /// [`try_prepare`](Self::try_prepare) against an already-built copy
+    /// of this scenario's graph. Graph construction is deterministic per
+    /// family spec, so sweeps spanning several fault levels over the
+    /// same `(family, seed)` can call [`GraphFamily::build`] once and
+    /// hand each cell a clone instead of rebuilding — at `n = 10⁶` the
+    /// build (edge sampling + CSR sort) dominates sweep setup.
+    ///
+    /// `graph` must be the graph `self.graph.build()` would produce —
+    /// the structure is trusted, not re-derived.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_prepare`](Self::try_prepare).
+    pub fn try_prepare_on(self, graph: Graph) -> Result<PreparedScenario, ScenarioError> {
+        self.validate()?;
         let source = graph.node(0);
         let p = self.fault.p.get();
         let malicious = self.fault.kind != FaultKind::Omission;
@@ -230,21 +465,35 @@ impl Scenario {
                 SimplePlan::omission_with_p(&graph, source, p)
             }),
             (Algorithm::Flood { horizon_scale }, Model::Mp) => {
-                assert!(horizon_scale > 0, "horizon_scale must be positive");
-                let base = FloodPlan::new(&graph, source, p);
-                PlanKind::Flood(if horizon_scale == 1 {
-                    base
-                } else {
-                    FloodPlan::with_horizon(
+                let horizon = theorem_horizon(&graph, source, p) * horizon_scale;
+                if graph.node_count() >= FLOOD_FAST_MIN_N {
+                    // Statistically equivalent fast path for large n.
+                    PlanKind::FloodFast(FastFlood::new(
                         &graph,
                         source,
-                        base.horizon() * horizon_scale,
+                        horizon,
+                        FastFloodVariant::Tree,
+                    ))
+                } else {
+                    PlanKind::Flood(FloodPlan::with_horizon(
+                        &graph,
+                        source,
+                        horizon,
                         FloodVariant::Tree,
-                    )
-                })
+                    ))
+                }
+            }
+            (Algorithm::FloodFast { horizon_scale }, Model::Mp) => {
+                let horizon = theorem_horizon(&graph, source, p) * horizon_scale;
+                PlanKind::FloodFast(FastFlood::new(
+                    &graph,
+                    source,
+                    horizon,
+                    FastFloodVariant::Tree,
+                ))
             }
             (Algorithm::Kucera, Model::Mp) => {
-                PlanKind::Kucera(KuceraBroadcast::new(&graph, source, p))
+                PlanKind::Kucera(KuceraBroadcast::new(&graph, source, p)?)
             }
             (Algorithm::SelfTimed, Model::Mp) => PlanKind::SelfTimed(if malicious {
                 SelfTimedPlan::malicious(&graph, source, p)
@@ -260,23 +509,37 @@ impl Scenario {
                 })
             }
             (Algorithm::Decay { epoch_factor }, Model::Radio) => {
-                assert!(
-                    !malicious,
-                    "Decay tolerates omission faults only (use Expanded for malicious)"
-                );
-                assert!(epoch_factor > 0, "epoch_factor must be positive");
                 let d = randcast_graph::traversal::radius_from(&graph, source);
                 let mut cfg = DecayConfig::classical(graph.node_count(), d);
                 cfg.epochs *= epoch_factor;
                 PlanKind::Decay(cfg)
             }
-            (alg, model) => panic!("{} does not run in the {model} model", alg.name()),
+            (alg, model) => {
+                return Err(ScenarioError::ModelMismatch {
+                    algorithm: alg.name(),
+                    model,
+                })
+            }
         };
-        PreparedScenario {
+        Ok(PreparedScenario {
             scenario: self,
             graph,
             plan,
-        }
+        })
+    }
+
+    /// [`try_prepare`](Self::try_prepare), panicking on invalid
+    /// scenarios — the convenience entry point for experiment binaries
+    /// whose scenarios are static.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ScenarioError`] message on any invalid
+    /// combination.
+    #[must_use]
+    pub fn prepare(self) -> PreparedScenario {
+        self.try_prepare()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
     }
 }
 
@@ -305,11 +568,20 @@ impl PreparedScenario {
         match &self.plan {
             PlanKind::Simple(plan) => plan.total_rounds(),
             PlanKind::Flood(plan) => plan.horizon(),
+            PlanKind::FloodFast(plan) => plan.horizon(),
             PlanKind::Kucera(kb) => kb.time(),
             PlanKind::SelfTimed(plan) => plan.horizon(),
             PlanKind::Expanded(plan) => plan.total_rounds(),
             PlanKind::Decay(cfg) => cfg.total_rounds(),
         }
+    }
+
+    /// Whether trials execute on the bitset fast path (either forced
+    /// via [`Algorithm::FloodFast`] or auto-selected for
+    /// [`Algorithm::Flood`] at `n ≥` [`FLOOD_FAST_MIN_N`]).
+    #[must_use]
+    pub fn uses_fast_path(&self) -> bool {
+        matches!(self.plan, PlanKind::FloodFast(_))
     }
 
     /// The per-phase repetition length `m`, for algorithms that have
@@ -320,7 +592,10 @@ impl PreparedScenario {
             PlanKind::Simple(plan) => Some(plan.phase_len()),
             PlanKind::SelfTimed(plan) => Some(plan.window()),
             PlanKind::Expanded(plan) => Some(plan.phase_len()),
-            PlanKind::Flood(_) | PlanKind::Kucera(_) | PlanKind::Decay(_) => None,
+            PlanKind::Flood(_)
+            | PlanKind::FloodFast(_)
+            | PlanKind::Kucera(_)
+            | PlanKind::Decay(_) => None,
         }
     }
 
@@ -372,6 +647,16 @@ impl PreparedScenario {
             },
             PlanKind::Flood(plan) => {
                 TrialOutcome::completed(plan.run(g, fault, seed).completion_round())
+            }
+            PlanKind::FloodFast(plan) => {
+                // The fast path matches the silent-adversary semantics
+                // the general flood runs under for every fault kind.
+                let out = plan.run(fault.p.get(), seed);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.informed_fraction(),
+                    out.almost_complete_round(),
+                )
             }
             PlanKind::Kucera(kb) => {
                 let behavior = if malicious {
@@ -530,6 +815,261 @@ mod tests {
             fault: FaultConfig::omission(0.1),
         }
         .prepare();
+    }
+
+    /// Every Algorithm × Model pairing, checked against the validity
+    /// table — misconfigured sweeps must fail in `validate`, before any
+    /// graph is built or trial runs.
+    #[test]
+    fn validate_enumerates_all_algorithm_model_pairs() {
+        let algorithms = [
+            Algorithm::Simple,
+            Algorithm::Flood { horizon_scale: 1 },
+            Algorithm::FloodFast { horizon_scale: 1 },
+            Algorithm::Kucera,
+            Algorithm::SelfTimed,
+            Algorithm::Expanded,
+            Algorithm::Decay { epoch_factor: 1 },
+        ];
+        for algorithm in algorithms {
+            for model in [Model::Mp, Model::Radio] {
+                let scenario = Scenario {
+                    graph: GraphFamily::Path(4),
+                    algorithm,
+                    model,
+                    fault: FaultConfig::omission(0.1),
+                };
+                let valid = match (algorithm, model) {
+                    (Algorithm::Simple, _) => true,
+                    (
+                        Algorithm::Flood { .. }
+                        | Algorithm::FloodFast { .. }
+                        | Algorithm::Kucera
+                        | Algorithm::SelfTimed,
+                        m,
+                    ) => m == Model::Mp,
+                    (Algorithm::Expanded | Algorithm::Decay { .. }, m) => m == Model::Radio,
+                };
+                match scenario.validate() {
+                    Ok(()) => assert!(valid, "{}/{model} accepted", algorithm.name()),
+                    Err(e) => {
+                        assert!(!valid, "{}/{model} rejected: {e}", algorithm.name());
+                        assert_eq!(
+                            e,
+                            ScenarioError::ModelMismatch {
+                                algorithm: algorithm.name(),
+                                model
+                            }
+                        );
+                        // And try_prepare fails identically without
+                        // running a trial.
+                        assert_eq!(scenario.try_prepare().err(), Some(e));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_fault_and_parameter_misconfigurations() {
+        let base = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Decay { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::malicious(0.1),
+        };
+        assert!(matches!(
+            base.validate(),
+            Err(ScenarioError::FaultMismatch { .. })
+        ));
+        let kucera_infeasible = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Kucera,
+            model: Model::Mp,
+            fault: FaultConfig::limited_malicious(0.6),
+        };
+        assert!(matches!(
+            kucera_infeasible.validate(),
+            Err(ScenarioError::Kucera(KuceraError::ErrorBoundTooHigh { .. }))
+        ));
+        let zero_scale = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Flood { horizon_scale: 0 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.1),
+        };
+        assert!(matches!(
+            zero_scale.validate(),
+            Err(ScenarioError::InvalidParameter(_))
+        ));
+        // Disconnected-capable families are fast-flood only.
+        let rgg = GraphFamily::RandomGeometric {
+            n: 64,
+            deg: 4,
+            seed: 3,
+        };
+        assert!(rgg.may_be_disconnected());
+        let rgg_flood = Scenario {
+            graph: rgg,
+            algorithm: Algorithm::Flood { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.1),
+        };
+        assert!(matches!(
+            rgg_flood.validate(),
+            Err(ScenarioError::RequiresConnectivity { .. })
+        ));
+        let rgg_fast = Scenario {
+            algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+            ..rgg_flood
+        };
+        assert!(rgg_fast.validate().is_ok());
+        assert!(rgg_fast.try_prepare().is_ok());
+    }
+
+    #[test]
+    fn kucera_infeasible_p_is_an_error_not_a_panic() {
+        let err = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Kucera,
+            model: Model::Mp,
+            fault: FaultConfig::limited_malicious(0.5),
+        }
+        .try_prepare()
+        .err()
+        .expect("p = 0.5 is infeasible");
+        assert!(err.to_string().contains("1/2"), "{err}");
+    }
+
+    #[test]
+    fn new_families_build_and_label() {
+        let cases = [
+            (
+                GraphFamily::Gnp {
+                    n: 200,
+                    avg_deg: 6,
+                    seed: 1,
+                },
+                "gnp-200-d6",
+            ),
+            (
+                GraphFamily::RandomGeometric {
+                    n: 200,
+                    deg: 9,
+                    seed: 2,
+                },
+                "rgg-200-d9",
+            ),
+            (
+                GraphFamily::PreferentialAttachment {
+                    n: 200,
+                    m: 3,
+                    seed: 3,
+                },
+                "pa-200-m3",
+            ),
+        ];
+        for (family, label) in cases {
+            assert_eq!(family.label(), label);
+            let g = family.build();
+            assert_eq!(g.node_count(), 200);
+            // Deterministic per seed.
+            let h = family.build();
+            for v in g.nodes() {
+                assert_eq!(g.neighbors(v), h.neighbors(v), "{label}");
+            }
+        }
+        // Gnp and PA are connected by construction.
+        assert!(randcast_graph::traversal::is_connected(
+            &GraphFamily::Gnp {
+                n: 300,
+                avg_deg: 4,
+                seed: 9
+            }
+            .build()
+        ));
+        assert!(randcast_graph::traversal::is_connected(
+            &GraphFamily::PreferentialAttachment {
+                n: 300,
+                m: 2,
+                seed: 9
+            }
+            .build()
+        ));
+    }
+
+    #[test]
+    fn flood_selects_fast_path_only_at_scale() {
+        let small = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::Flood { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(!small.uses_fast_path());
+        let large = Scenario {
+            graph: GraphFamily::Gnp {
+                n: FLOOD_FAST_MIN_N,
+                avg_deg: 6,
+                seed: 4,
+            },
+            algorithm: Algorithm::Flood { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(large.uses_fast_path());
+        let forced = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(forced.uses_fast_path());
+    }
+
+    #[test]
+    fn prepare_on_prebuilt_graph_matches_prepare() {
+        let scenario = Scenario {
+            graph: GraphFamily::Gnp {
+                n: 120,
+                avg_deg: 5,
+                seed: 31,
+            },
+            algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        };
+        let direct = scenario.try_prepare().expect("valid");
+        let shared = scenario
+            .try_prepare_on(scenario.graph.build())
+            .expect("valid");
+        assert_eq!(direct.rounds(), shared.rounds());
+        for seed in 0..10 {
+            assert_eq!(direct.trial(seed), shared.trial(seed));
+        }
+    }
+
+    #[test]
+    fn fast_path_trial_reports_fraction_and_almost_time() {
+        let prep = Scenario {
+            graph: GraphFamily::Grid(6, 6),
+            algorithm: Algorithm::FloodFast { horizon_scale: 2 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        let out = prep.trial(17);
+        assert!(out.success);
+        let frac = out.informed_frac.expect("fast path reports fraction");
+        assert!((frac - 1.0).abs() < 1e-12);
+        let almost = out.almost_rounds.expect("almost-complete reached");
+        let full = out.rounds.expect("completed");
+        assert!(almost <= full);
+        // Deterministic per seed.
+        assert_eq!(prep.trial(17), out);
     }
 
     #[test]

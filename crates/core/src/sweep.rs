@@ -58,6 +58,12 @@ pub struct TrialOutcome {
     pub success: bool,
     /// The completion round, for experiments that measure time.
     pub rounds: Option<f64>,
+    /// The informed fraction at the end of the trial, for flood
+    /// experiments in the almost-complete regime (`None` elsewhere).
+    pub informed_frac: Option<f64>,
+    /// The round by which an almost-complete (`1 − 1/n`) informed set
+    /// was reached, when the trial measures it and it was reached.
+    pub almost_rounds: Option<f64>,
 }
 
 impl TrialOutcome {
@@ -67,6 +73,8 @@ impl TrialOutcome {
         TrialOutcome {
             success,
             rounds: None,
+            informed_frac: None,
+            almost_rounds: None,
         }
     }
 
@@ -76,6 +84,8 @@ impl TrialOutcome {
         TrialOutcome {
             success,
             rounds: Some(rounds),
+            informed_frac: None,
+            almost_rounds: None,
         }
     }
 
@@ -86,6 +96,25 @@ impl TrialOutcome {
         TrialOutcome {
             success: round.is_some(),
             rounds: round.map(|r| r as f64),
+            informed_frac: None,
+            almost_rounds: None,
+        }
+    }
+
+    /// A flood outcome carrying the almost-complete regime metrics:
+    /// success iff every node was informed, plus the informed fraction
+    /// and (when reached) the `1 − 1/n` almost-complete round.
+    #[must_use]
+    pub fn flooded(
+        completion: Option<usize>,
+        informed_frac: f64,
+        almost_round: Option<usize>,
+    ) -> Self {
+        TrialOutcome {
+            success: completion.is_some(),
+            rounds: completion.map(|r| r as f64),
+            informed_frac: Some(informed_frac),
+            almost_rounds: almost_round.map(|r| r as f64),
         }
     }
 }
@@ -264,6 +293,7 @@ impl<'a> Sweep<'a> {
                     outcomes.len(),
                 );
                 let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.rounds).collect();
+                let fracs: Vec<f64> = outcomes.iter().filter_map(|o| o.informed_frac).collect();
                 CellResult {
                     kind: cell.kind,
                     params: cell.params,
@@ -271,6 +301,8 @@ impl<'a> Sweep<'a> {
                     row: cell.n.map(|n| AlmostSafeRow::judge(estimate, n)),
                     mean_rounds: (!rounds.is_empty())
                         .then(|| rounds.iter().sum::<f64>() / rounds.len() as f64),
+                    mean_informed_frac: (!fracs.is_empty())
+                        .then(|| fracs.iter().sum::<f64>() / fracs.len() as f64),
                     wall_ms,
                     outcomes,
                 }
@@ -304,6 +336,9 @@ pub struct CellResult {
     pub row: Option<AlmostSafeRow>,
     /// Mean completion round over trials that reported one.
     pub mean_rounds: Option<f64>,
+    /// Mean informed fraction over trials that reported one (the
+    /// almost-complete broadcast metric).
+    pub mean_informed_frac: Option<f64>,
     /// Wall-clock milliseconds spent on the cell.
     pub wall_ms: f64,
     /// The per-trial outcome vector (thread-count independent).
@@ -345,6 +380,7 @@ impl SweepResult {
                     rate: c.estimate.rate(),
                     verdict: c.verdict_label(),
                     mean_rounds: c.mean_rounds,
+                    mean_informed_frac: c.mean_informed_frac,
                     wall_ms: c.wall_ms,
                 })
                 .collect(),

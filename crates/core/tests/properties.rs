@@ -118,7 +118,7 @@ proptest! {
 
     #[test]
     fn kucera_planner_meets_spec(len in 1usize..80, p in 0.01f64..0.45) {
-        let plan = Plan::for_line(len, p, 1e-4);
+        let plan = Plan::for_line(len, p, 1e-4).expect("p < 1/2 is feasible");
         prop_assert!(plan.len() >= len);
         prop_assert!(plan.error_bound() <= 1e-4);
     }

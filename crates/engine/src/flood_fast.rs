@@ -1,0 +1,522 @@
+//! A specialized large-`n` fast path for flooding under independent
+//! per-(node, step) transmitter faults.
+//!
+//! The general [`MpNetwork`](crate::mp::MpNetwork) engine pays for its
+//! generality on every round: per-node automaton dispatch, intention
+//! buffers, and one fault coin for *all* `n` nodes whether or not they
+//! have anything to say. Flooding needs none of that — a node's whole
+//! behavior is "once informed, transmit to my targets every round until
+//! they are all informed", and a round's outcome depends only on which
+//! *frontier* transmitters succeed. [`FastFlood`] exploits this:
+//!
+//! * the informed set is a **word-level bitmask** (one bit per node),
+//! * targets live in a flat CSR array of `u32`s (half the memory of the
+//!   general engine's per-node vectors),
+//! * fault sampling is **aggregate**: one Bernoulli coin per *frontier*
+//!   node per round — or, when `p` is large and successes are sparse, a
+//!   **geometric skip** that jumps directly between successful
+//!   transmitters so the per-round cost is proportional to successes,
+//!   not frontier size,
+//! * a transmitter leaves the frontier the moment it can no longer
+//!   inform anyone, and the run stops as soon as nothing can change.
+//!
+//! The sampled process is *statistically identical* to running the
+//! flooding automaton on `MpNetwork` with omission faults (or any fault
+//! kind under the silent adversary): each round, each informed node's
+//! transmitter works independently with probability `1 − p`, and a
+//! working transmitter informs all of its targets. Only the RNG stream
+//! differs, so per-seed outcomes differ while every distribution
+//! matches — `crates/core/tests/flood_equivalence.rs` pins this.
+//!
+//! Unlike the general engine, the fast path is **defined on graphs that
+//! are disconnected from the source**: it floods the source's component
+//! and reports the informed *fraction* and the time to reach an
+//! almost-complete (`1 − 1/n`) informed set, the regime of rapid
+//! almost-complete broadcasting. A single trial at `n = 10⁵`, average
+//! degree 8, `p = 0.3` runs in well under a second in release mode.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use randcast_graph::{Graph, NodeId};
+
+/// Which edges carry the fast flood (mirrors
+/// `randcast_core::flood::FloodVariant` without the crate dependency).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FastFloodVariant {
+    /// Transmit only to BFS-spanning-tree children (the paper's
+    /// analyzed algorithm; children are computed on the source's
+    /// component only, so disconnected graphs are fine).
+    Tree,
+    /// Transmit to all neighbors (dominates tree flooding).
+    Graph,
+}
+
+/// A compiled fast-path flooding plan: flat CSR target lists plus a
+/// horizon.
+#[derive(Clone, Debug)]
+pub struct FastFlood {
+    /// `targets[offsets[v]..offsets[v+1]]` are `v`'s transmission
+    /// targets.
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    source: u32,
+    horizon: usize,
+    n: usize,
+}
+
+impl FastFlood {
+    /// Compiles a plan transmitting along the given variant's edges for
+    /// `horizon` rounds. A `horizon` of 0 is allowed (the run reports
+    /// only the source informed); a graph disconnected from `source` is
+    /// allowed (the flood covers the source's component).
+    #[must_use]
+    pub fn new(graph: &Graph, source: NodeId, horizon: usize, variant: FastFloodVariant) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        match variant {
+            FastFloodVariant::Graph => {
+                offsets.push(0);
+                for v in graph.nodes() {
+                    targets.extend(graph.neighbors(v).iter().map(|&t| u32::from(t)));
+                    offsets.push(targets.len());
+                }
+            }
+            FastFloodVariant::Tree => {
+                // BFS over the source's component; children grouped per
+                // parent. parent[v] = u32::MAX marks "not reached".
+                const UNSET: u32 = u32::MAX;
+                let mut parent = vec![UNSET; n];
+                let mut order: Vec<u32> = Vec::with_capacity(n);
+                parent[source.index()] = u32::from(source);
+                order.push(u32::from(source));
+                let mut head = 0usize;
+                while head < order.len() {
+                    let u = order[head];
+                    head += 1;
+                    for &v in graph.neighbors(NodeId::new(u as usize)) {
+                        if parent[v.index()] == UNSET {
+                            parent[v.index()] = u;
+                            order.push(u32::from(v));
+                        }
+                    }
+                }
+                let mut degree = vec![0usize; n];
+                for (v, &p) in parent.iter().enumerate() {
+                    if p != UNSET && p as usize != v {
+                        degree[p as usize] += 1;
+                    }
+                }
+                offsets.push(0);
+                let mut acc = 0usize;
+                for &d in &degree {
+                    acc += d;
+                    offsets.push(acc);
+                }
+                targets = vec![0u32; acc];
+                let mut cursor = offsets.clone();
+                // Children in BFS-discovery order (== ascending node id
+                // per parent, since neighbor lists are sorted).
+                for &v in &order {
+                    let p = parent[v as usize];
+                    if p != v {
+                        targets[cursor[p as usize]] = v;
+                        cursor[p as usize] += 1;
+                    }
+                }
+            }
+        }
+        FastFlood {
+            offsets,
+            targets,
+            source: u32::from(source),
+            horizon,
+            n,
+        }
+    }
+
+    /// The horizon (maximum number of rounds executed).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn targets_of(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    fn has_uninformed_target(&self, v: usize, informed: &[u64]) -> bool {
+        self.targets_of(v)
+            .iter()
+            .any(|&t| informed[t as usize / 64] & (1u64 << (t % 64)) == 0)
+    }
+
+    /// Executes one seeded flood with per-(node, round) transmitter
+    /// failure probability `p`, running until the horizon or until no
+    /// further round can change anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run(&self, p: f64, seed: u64) -> FastFloodOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let n = self.n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut informed = vec![0u64; n.div_ceil(64)];
+        let src = self.source as usize;
+        informed[src / 64] |= 1u64 << (src % 64);
+        let mut informed_count = 1usize;
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut frontier: Vec<u32> = Vec::new();
+        if self.has_uninformed_target(src, &informed) {
+            frontier.push(self.source);
+        }
+        let mut next_frontier: Vec<u32> = Vec::new();
+        let mut successes: Vec<u32> = Vec::new();
+        // Geometric skips pay off once successes are sparse.
+        let sparse = p > 0.75;
+        let ln_p = if sparse { p.ln() } else { 0.0 };
+
+        for round in 1..=self.horizon {
+            if frontier.is_empty() {
+                break; // nothing can ever change again
+            }
+            successes.clear();
+            next_frontier.clear();
+            if p == 0.0 {
+                successes.extend_from_slice(&frontier);
+            } else if sparse {
+                // Jump between successful transmitters: the number of
+                // failures before the next success is Geometric(1 − p).
+                // Everything skipped over failed and stays frontier.
+                let mut prev = 0usize;
+                let mut idx = geometric_skip(&mut rng, ln_p);
+                while idx < frontier.len() {
+                    next_frontier.extend_from_slice(&frontier[prev..idx]);
+                    successes.push(frontier[idx]);
+                    prev = idx + 1;
+                    idx = prev.saturating_add(geometric_skip(&mut rng, ln_p));
+                }
+                next_frontier.extend_from_slice(&frontier[prev..]);
+            } else {
+                for &u in &frontier {
+                    if rng.gen_bool(p) {
+                        next_frontier.push(u); // transmitter failed
+                    } else {
+                        successes.push(u);
+                    }
+                }
+            }
+
+            for &u in &successes {
+                for &t in self.targets_of(u as usize) {
+                    let (w, b) = (t as usize / 64, 1u64 << (t % 64));
+                    if informed[w] & b == 0 {
+                        informed[w] |= b;
+                        informed_count += 1;
+                        // The newly informed node starts transmitting
+                        // next round if it can inform anyone.
+                        next_frontier.push(t);
+                    }
+                }
+            }
+
+            informed_by_round.push(informed_count);
+            if completion_round.is_none() && informed_count == n {
+                completion_round = Some(round);
+            }
+
+            // Keep only transmitters that can still inform someone; a
+            // successful node informed all of its targets this round,
+            // and a lingering failed node is dropped as soon as others
+            // have covered its targets.
+            frontier.clear();
+            frontier.extend(
+                next_frontier
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.has_uninformed_target(u as usize, &informed)),
+            );
+        }
+
+        FastFloodOutcome {
+            n,
+            horizon: self.horizon,
+            informed,
+            informed_count,
+            completion_round,
+            informed_by_round,
+        }
+    }
+}
+
+/// Number of failures before the next success when each trial fails
+/// with probability `p = exp(ln_p)`: `⌊ln(U) / ln(p)⌋` for uniform
+/// `U ∈ (0, 1]`.
+fn geometric_skip(rng: &mut SmallRng, ln_p: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // 1 − u ∈ (0, 1]: avoids ln(0).
+    let skip = (1.0 - u).ln() / ln_p;
+    if skip >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        skip as usize
+    }
+}
+
+/// Outcome of one fast-path flood: the informed set, its growth curve,
+/// and derived completion metrics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FastFloodOutcome {
+    n: usize,
+    horizon: usize,
+    informed: Vec<u64>,
+    informed_count: usize,
+    completion_round: Option<usize>,
+    /// `informed_by_round[r]` = nodes informed by the end of round `r`
+    /// (`[0] == 1`, the source). The run stops early once nothing can
+    /// change, so the vector may be shorter than `horizon + 1`; counts
+    /// are constant from its last entry onward.
+    informed_by_round: Vec<usize>,
+}
+
+impl FastFloodOutcome {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The horizon the plan was allowed to run.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Whether every node (not just the source's component) was
+    /// informed within the horizon.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.completion_round.is_some()
+    }
+
+    /// The round by which the last node was informed, `None` if the
+    /// broadcast never completed (too few rounds, or the graph is
+    /// disconnected from the source).
+    #[must_use]
+    pub fn completion_round(&self) -> Option<usize> {
+        self.completion_round
+    }
+
+    /// Number of informed nodes at the end of the run.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Informed fraction `informed / n` at the end of the run.
+    #[must_use]
+    pub fn informed_fraction(&self) -> f64 {
+        self.informed_count as f64 / self.n as f64
+    }
+
+    /// Whether node `v` ended the run informed.
+    #[must_use]
+    pub fn is_informed(&self, v: NodeId) -> bool {
+        let i = v.index();
+        self.informed[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The per-round cumulative informed counts (see the field docs).
+    #[must_use]
+    pub fn informed_by_round(&self) -> &[usize] {
+        &self.informed_by_round
+    }
+
+    /// The first round by which at least `count` nodes were informed.
+    #[must_use]
+    pub fn round_reaching(&self, count: usize) -> Option<usize> {
+        self.informed_by_round.iter().position(|&c| c >= count)
+    }
+
+    /// The first round by which an *almost-complete* set — at least
+    /// `⌈(1 − 1/n)·n⌉ = n − 1` nodes — was informed; the metric of the
+    /// rapid almost-complete broadcasting regime.
+    #[must_use]
+    pub fn almost_complete_round(&self) -> Option<usize> {
+        self.round_reaching(self.n.saturating_sub(1).max(1))
+    }
+
+    /// The first round by which at least `frac · n` nodes (rounded up)
+    /// were informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac ∉ [0, 1]`.
+    #[must_use]
+    pub fn time_to_fraction(&self, frac: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+        let target = (frac * self.n as f64).ceil() as usize;
+        self.round_reaching(target.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::{generators, traversal, GraphBuilder};
+
+    #[test]
+    fn fault_free_tree_flood_takes_exactly_the_radius() {
+        let g = generators::path(7);
+        let ff = FastFlood::new(&g, g.node(0), 32, FastFloodVariant::Tree);
+        let out = ff.run(0.0, 1);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(7));
+        assert_eq!(out.informed_by_round(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fault_free_graph_flood_matches_bfs_layers() {
+        let g = generators::grid(5, 7);
+        let d = traversal::radius_from(&g, g.node(0));
+        let ff = FastFlood::new(&g, g.node(0), 100, FastFloodVariant::Graph);
+        let out = ff.run(0.0, 3);
+        assert_eq!(out.completion_round(), Some(d));
+        // Each round informs exactly the next BFS layer.
+        let layers = traversal::bfs_layers(&g, g.node(0));
+        let mut cumulative = 0;
+        for (r, layer) in layers.iter().enumerate() {
+            cumulative += layer.len();
+            assert_eq!(out.informed_by_round()[r], cumulative, "round {r}");
+        }
+    }
+
+    #[test]
+    fn informed_counts_are_monotone_and_bounded() {
+        let g = generators::gnp_connected(300, 0.02, &mut rand::rngs::SmallRng::seed_from_u64(5));
+        for p in [0.1, 0.5, 0.9] {
+            let ff = FastFlood::new(&g, g.node(0), 400, FastFloodVariant::Graph);
+            let out = ff.run(p, 11);
+            let counts = out.informed_by_round();
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "p={p}");
+            assert!(*counts.last().unwrap() <= out.n());
+            assert_eq!(*counts.last().unwrap(), out.informed_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::grid(9, 9);
+        let ff = FastFlood::new(&g, g.node(0), 200, FastFloodVariant::Tree);
+        assert_eq!(ff.run(0.4, 7), ff.run(0.4, 7));
+        assert_ne!(
+            ff.run(0.4, 7).informed_by_round(),
+            ff.run(0.4, 8).informed_by_round(),
+            "different seeds should (generically) differ"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_samplers_agree_statistically() {
+        // p just below and above the 0.75 sampler switch must produce
+        // comparable completion-time distributions; calibrate both
+        // against the same graph and compare means loosely.
+        let g = generators::path(12);
+        let trials = 400u64;
+        let mean = |p: f64| {
+            let ff = FastFlood::new(&g, g.node(0), 2000, FastFloodVariant::Tree);
+            let total: usize = (0..trials)
+                .map(|s| ff.run(p, s).completion_round().expect("horizon ample"))
+                .sum();
+            total as f64 / trials as f64
+        };
+        // Expected completion ~ sum of 12 geometric(1-p) waits; the two
+        // sampling paths sit on either side of the switch.
+        let (m_dense, m_sparse) = (mean(0.74), mean(0.76));
+        let expected_dense = 12.0 / (1.0 - 0.74);
+        let expected_sparse = 12.0 / (1.0 - 0.76);
+        assert!(
+            (m_dense - expected_dense).abs() < 0.12 * expected_dense,
+            "dense mean {m_dense} vs {expected_dense}"
+        );
+        assert!(
+            (m_sparse - expected_sparse).abs() < 0.12 * expected_sparse,
+            "sparse mean {m_sparse} vs {expected_sparse}"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_reports_partial_fraction() {
+        // Two components: a triangle with the source and an isolated
+        // edge.
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let g = b.finish().unwrap();
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = FastFlood::new(&g, g.node(0), 50, variant);
+            let out = ff.run(0.0, 1);
+            assert!(!out.complete(), "{variant:?}");
+            assert_eq!(out.informed_count(), 3);
+            assert!((out.informed_fraction() - 0.6).abs() < 1e-12);
+            assert!(out.is_informed(g.node(2)));
+            assert!(!out.is_informed(g.node(3)));
+            // Almost-complete (n−1 = 4) is never reached either.
+            assert_eq!(out.almost_complete_round(), None);
+            // But 60% is reached at round 1.
+            assert_eq!(out.time_to_fraction(0.6), Some(1));
+        }
+    }
+
+    #[test]
+    fn short_horizon_leaves_fraction_partial() {
+        let g = generators::path(20);
+        let ff = FastFlood::new(&g, g.node(0), 5, FastFloodVariant::Tree);
+        let out = ff.run(0.0, 0);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 6);
+        assert_eq!(out.round_reaching(6), Some(5));
+        assert_eq!(out.round_reaching(7), None);
+    }
+
+    #[test]
+    fn single_node_graph_is_complete_at_round_zero() {
+        let g = generators::path(0);
+        let ff = FastFlood::new(&g, g.node(0), 4, FastFloodVariant::Graph);
+        let out = ff.run(0.3, 9);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(0));
+        assert_eq!(out.almost_complete_round(), Some(0));
+    }
+
+    #[test]
+    fn high_p_completes_eventually() {
+        let g = generators::star(8);
+        let ff = FastFlood::new(&g, g.node(1), 4000, FastFloodVariant::Graph);
+        let mut completed = 0;
+        for seed in 0..20 {
+            completed += usize::from(ff.run(0.95, seed).complete());
+        }
+        assert_eq!(completed, 20);
+    }
+
+    #[test]
+    fn tree_variant_from_non_source_root() {
+        // Source at a leaf: the BFS tree re-roots there.
+        let g = generators::star(5);
+        let ff = FastFlood::new(&g, g.node(3), 50, FastFloodVariant::Tree);
+        let out = ff.run(0.0, 0);
+        assert_eq!(out.completion_round(), Some(2));
+    }
+}

@@ -65,6 +65,7 @@
 
 pub mod adversary;
 pub mod fault;
+pub mod flood_fast;
 pub mod mp;
 pub mod radio;
 pub mod trace;

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 
 use randcast_engine::fault::FaultConfig;
+use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, MpRoundCtx, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode, RadioRoundCtx};
 use randcast_graph::{Graph, GraphBuilder, NodeId};
@@ -283,5 +284,54 @@ proptest! {
         let reference = run(FaultConfig::fault_free());
         prop_assert_eq!(run(FaultConfig::malicious(0.0)), reference.clone());
         prop_assert_eq!(run(FaultConfig::limited_malicious(0.0)), reference);
+    }
+
+    #[test]
+    fn fast_flood_informed_set_is_monotone(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+        tree in any::<bool>(),
+    ) {
+        let variant = if tree {
+            FastFloodVariant::Tree
+        } else {
+            FastFloodVariant::Graph
+        };
+        let ff = FastFlood::new(&g, g.node(0), 4 * g.node_count() + 40, variant);
+        let out = ff.run(p, seed);
+        let counts = out.informed_by_round();
+        prop_assert_eq!(counts[0], 1);
+        prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*counts.last().unwrap(), out.informed_count());
+        prop_assert!(out.informed_count() <= g.node_count());
+        // The informed bitset agrees with the count.
+        let set_bits = g.nodes().filter(|&v| out.is_informed(v)).count();
+        prop_assert_eq!(set_bits, out.informed_count());
+        prop_assert!(out.is_informed(g.node(0)));
+    }
+
+    #[test]
+    fn fast_flood_p_zero_completes_in_eccentricity_rounds(
+        g in connected_graph(),
+        seed in any::<u64>(),
+    ) {
+        let d = randcast_graph::traversal::radius_from(&g, g.node(0));
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = FastFlood::new(&g, g.node(0), g.node_count() + 1, variant);
+            let out = ff.run(0.0, seed);
+            prop_assert_eq!(out.completion_round(), Some(d));
+            prop_assert!((out.informed_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_flood_is_deterministic_per_seed(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let ff = FastFlood::new(&g, g.node(0), 50, FastFloodVariant::Graph);
+        prop_assert_eq!(ff.run(p, seed), ff.run(p, seed));
     }
 }

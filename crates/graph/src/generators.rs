@@ -9,6 +9,8 @@
 //! `opt = m + 1` rounds but almost-safe broadcast needs
 //! `Ω(log n · log log n / log log log n)` rounds.
 
+use std::collections::HashSet;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -268,10 +270,74 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     b.finish().expect("random tree construction is valid")
 }
 
-/// An Erdős–Rényi `G(n, q)` conditioned on connectivity: edges are sampled
-/// independently with probability `q`; if the result is disconnected, a
-/// uniformly random spanning-tree skeleton is added first and sampling adds
-/// extra edges on top (guaranteeing connectivity while preserving density).
+/// Appends each pair `{u, v}` (`u < v < n`) to `b` independently with
+/// probability `q`, in expected `O(n + q·n²)` time via the
+/// Batagelj–Brandes geometric skip: instead of flipping one coin per
+/// pair, the gap to the next sampled pair is drawn directly from the
+/// geometric distribution, so the cost is proportional to the number of
+/// edges *produced*, not the number of pairs *considered*.
+fn sample_gnp_edges<R: Rng + ?Sized>(b: &mut GraphBuilder, n: usize, q: f64, rng: &mut R) {
+    if q <= 0.0 || n < 2 {
+        return;
+    }
+    if q >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.edge(u, v);
+            }
+        }
+        return;
+    }
+    // Pairs enumerated as (w, v) with w < v, row-major in v: the skip
+    // walks a virtual triangular index without materializing it.
+    let log1q = (1.0 - q).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    let max_skip = (n as i64) * (n as i64); // beyond the last pair
+    while v < n {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        // Geometric gap: failures before the next success.
+        let skip = ((1.0 - r).ln() / log1q).min(max_skip as f64) as i64;
+        w += 1 + skip;
+        while v < n && w >= v as i64 {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            b.edge(w as usize, v);
+        }
+    }
+}
+
+/// An Erdős–Rényi `G(n, q)`: every pair is an edge independently with
+/// probability `q`. **May be disconnected** (that is the point — the
+/// almost-complete broadcast regime floods the giant component); use
+/// [`gnp_connected`] when an algorithm needs every node reachable.
+///
+/// Sampled with the Batagelj–Brandes geometric skip, so the cost is
+/// `O(n + m)` rather than `O(n²)` — `n = 10⁶` at average degree 8 is
+/// well within interactive range.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `q` is not in `[0, 1]`.
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
+    assert!(n >= 1, "gnp needs at least one node");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "edge probability must be in [0,1]"
+    );
+    let mut b = GraphBuilder::new(n);
+    sample_gnp_edges(&mut b, n, q, rng);
+    b.finish().expect("gnp construction is valid")
+}
+
+/// An Erdős–Rényi `G(n, q)` conditioned on connectivity: a uniformly
+/// random recursive-tree skeleton guarantees connectivity and `G(n, q)`
+/// skip-sampling adds density on top (duplicates with the skeleton
+/// merge). Runs in expected `O(n + m)` — the former per-pair double loop
+/// made `n = 10⁵` infeasible.
 ///
 /// # Panics
 ///
@@ -288,33 +354,181 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
     for v in 1..n {
         b.edge(rng.gen_range(0..v), v);
     }
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if rng.gen_bool(q) {
-                b.edge(u, v);
-            }
-        }
-    }
+    sample_gnp_edges(&mut b, n, q, rng);
     b.finish().expect("gnp construction is valid")
 }
 
-/// A random connected graph: random recursive tree plus `extra` uniformly
-/// random additional edges (duplicates merged).
+/// A random geometric (unit-disk) graph: `n` points uniform in the unit
+/// square, adjacent iff within Euclidean distance `radius`. **May be
+/// disconnected** below the connectivity threshold
+/// `radius ≈ √(ln n / (π n))` — the almost-complete broadcast regime.
+///
+/// Neighbor search uses a grid of buckets with cell width `≥ radius`,
+/// so only the 3×3 surrounding cells are scanned per node: expected
+/// `O(n + m)` overall instead of the all-pairs `O(n²)`.
 ///
 /// # Panics
 ///
-/// Panics if `n < 2`.
+/// Panics if `n == 0` or `radius` is not a positive finite number.
+#[must_use]
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    assert!(n >= 1, "random geometric graph needs at least one node");
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite"
+    );
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    // Square cells at least `radius` wide: all neighbors of a point lie
+    // in its own or the 8 adjacent cells. More than ~√n cells per side
+    // buys nothing (cells would be mostly empty), so the grid is capped
+    // there — wider cells only enlarge the scanned candidate set.
+    let max_side = ((n as f64).sqrt().ceil() as usize).max(1);
+    let side = ((1.0 / radius.min(1.0)).floor().max(1.0) as usize).min(max_side);
+    let cell_of = |coord: f64| ((coord * side as f64) as usize).min(side - 1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); side * side];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets[cell_of(y) * side + cell_of(x)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(side - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(side - 1) {
+                for &j in &buckets[ny * side + nx] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue; // each pair once, no self-loops
+                    }
+                    let (dx, dy) = (points[j].0 - x, points[j].1 - y);
+                    if dx * dx + dy * dy <= r2 {
+                        b.edge(i, j);
+                    }
+                }
+            }
+        }
+    }
+    b.finish().expect("random geometric construction is valid")
+}
+
+/// A preferential-attachment (Barabási–Albert) graph: node `v ≥ 1`
+/// attaches to `min(m, v)` *distinct* earlier nodes, each chosen with
+/// probability proportional to its current degree (uniform over earlier
+/// nodes while the graph has no edges yet). Connected by construction
+/// and scale-free in the degree tail — the heavy-hub stress case for
+/// broadcast frontiers.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+#[must_use]
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "preferential attachment needs at least one node");
+    assert!(m >= 1, "each node must attach at least one edge");
+    let mut b = GraphBuilder::new(n);
+    // Every edge endpoint appears once: sampling an index uniformly from
+    // this list is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n.saturating_sub(1));
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for v in 1..n {
+        let k = m.min(v);
+        chosen.clear();
+        // Rejection-sample distinct targets; duplicates are rare while
+        // k ≪ v, and the deterministic fallback below bounds the tail.
+        let mut attempts = 0usize;
+        while chosen.len() < k && attempts < 16 * (k + 4) {
+            attempts += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..v) as u32
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        // Fallback (only reachable when k is close to v): take the
+        // smallest not-yet-chosen earlier nodes.
+        let mut next = 0u32;
+        while chosen.len() < k {
+            if !chosen.contains(&next) {
+                chosen.push(next);
+            }
+            next += 1;
+        }
+        for &t in &chosen {
+            b.edge(t as usize, v);
+            endpoints.push(t);
+            endpoints.push(v as u32);
+        }
+    }
+    b.finish()
+        .expect("preferential attachment construction is valid")
+}
+
+/// A random connected graph: random recursive tree plus **exactly**
+/// `extra` additional distinct edges. Candidate extra edges that would
+/// duplicate an existing edge are resampled (they used to be silently
+/// merged, yielding fewer edges than requested); when rejection sampling
+/// stalls — only possible near saturation — the remaining edges are
+/// drawn directly from the explicit complement, so the edge count is
+/// always `n − 1 + extra`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `extra` exceeds the `n(n−1)/2 − (n−1)` free
+/// slots left by the spanning tree.
 #[must_use]
 pub fn random_connected<R: Rng + ?Sized>(n: usize, extra: usize, rng: &mut R) -> Graph {
     assert!(n >= 2, "random connected graph needs at least two nodes");
+    let capacity = n * (n - 1) / 2 - (n - 1);
+    assert!(
+        extra <= capacity,
+        "requested {extra} extra edges but only {capacity} fit"
+    );
     let mut b = GraphBuilder::new(n);
+    let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n - 1 + extra);
     for v in 1..n {
-        b.edge(rng.gen_range(0..v), v);
+        let u = rng.gen_range(0..v);
+        b.edge(u, v);
+        present.insert((u, v));
     }
-    let mut all: Vec<usize> = (0..n).collect();
-    for _ in 0..extra {
-        all.shuffle(rng);
-        b.edge(all[0], all[1]);
+    // Rejection sampling with a retry cap: each attempt succeeds with
+    // probability (free slots / all pairs), so the cap is generous for
+    // every non-saturated graph.
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let cap = 64 * extra + 256;
+    while placed < extra && attempts < cap {
+        attempts += 1;
+        // A uniform unordered pair of distinct nodes.
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n - 1);
+        if v >= u {
+            v += 1;
+        }
+        let pair = (u.min(v), u.max(v));
+        if present.insert(pair) {
+            b.edge(pair.0, pair.1);
+            placed += 1;
+        }
+    }
+    if placed < extra {
+        // Near saturation: enumerate the complement and draw uniformly.
+        let mut free: Vec<(usize, usize)> = Vec::with_capacity(capacity - placed);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !present.contains(&(u, v)) {
+                    free.push((u, v));
+                }
+            }
+        }
+        free.shuffle(rng);
+        for &(u, v) in free.iter().take(extra - placed) {
+            b.edge(u, v);
+        }
     }
     b.finish().expect("random connected construction is valid")
 }
@@ -617,11 +831,127 @@ mod tests {
     }
 
     #[test]
-    fn random_connected_has_extra_edges() {
-        let mut rng = SmallRng::seed_from_u64(13);
-        let g = random_connected(30, 20, &mut rng);
-        assert!(g.edge_count() >= 29);
+    fn gnp_edge_count_tracks_density() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = 600;
+        let q = 8.0 / (n - 1) as f64; // average degree ~8
+        let g = gnp(n, q, &mut rng);
+        let expected = q * (n * (n - 1) / 2) as f64;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 5.0 * expected.sqrt(),
+            "m={m} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        assert_eq!(gnp(25, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(25, 1.0, &mut rng).edge_count(), 25 * 24 / 2);
+        assert_eq!(gnp(1, 0.7, &mut rng).node_count(), 1);
+    }
+
+    #[test]
+    fn gnp_matches_per_pair_sampling_statistically() {
+        // The skip-sampler must produce the same edge-count distribution
+        // as per-pair coins; compare means over many seeds.
+        let (n, q, reps) = (40usize, 0.1f64, 200);
+        let mut total = 0usize;
+        for seed in 0..reps {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            total += gnp(n, q, &mut rng).edge_count();
+        }
+        let mean = total as f64 / reps as f64;
+        let expected = q * (n * (n - 1) / 2) as f64;
+        let se = (expected * (1.0 - q) / reps as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 4.0 * se,
+            "mean={mean} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_radius_extremes() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        // Radius covering the whole square: complete graph.
+        let g = random_geometric(20, 1.5, &mut rng);
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+        // Vanishing radius: virtually surely no edges.
+        let g = random_geometric(50, 1e-9, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_geometric_matches_naive_neighborhoods() {
+        // Grid-bucket adjacency must equal the all-pairs definition; the
+        // same seed re-derives the same points.
+        let (n, radius) = (120usize, 0.18);
+        let mut rng = SmallRng::seed_from_u64(37);
+        let g = random_geometric(n, radius, &mut rng);
+        let mut rng2 = SmallRng::seed_from_u64(37);
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng2.gen_range(0.0..1.0), rng2.gen_range(0.0..1.0)))
+            .collect();
+        let mut expected = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (dx, dy) = (points[j].0 - points[i].0, points[j].1 - points[i].1);
+                let adjacent = dx * dx + dy * dy <= radius * radius;
+                expected += usize::from(adjacent);
+                assert_eq!(g.has_edge(g.node(i), g.node(j)), adjacent, "pair {i},{j}");
+            }
+        }
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let (n, m) = (300usize, 3usize);
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = preferential_attachment(n, m, &mut rng);
         assert!(traversal::is_connected(&g));
+        // Node v contributes exactly min(m, v) distinct new edges.
+        let expected: usize = (1..n).map(|v| m.min(v)).sum();
+        assert_eq!(g.edge_count(), expected);
+        for v in 1..n {
+            assert!(g.degree(g.node(v)) >= m.min(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_grows_hubs() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = preferential_attachment(2000, 2, &mut rng);
+        // Scale-free tail: the max degree should far exceed the mean (4).
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn random_connected_has_exactly_requested_edges() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for (n, extra) in [(30usize, 20usize), (10, 0), (12, 7)] {
+            let g = random_connected(n, extra, &mut rng);
+            assert_eq!(g.edge_count(), n - 1 + extra, "n={n} extra={extra}");
+            assert!(traversal::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_connected_saturates_exactly() {
+        // extra = every free slot: the result is the complete graph.
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 9;
+        let capacity = n * (n - 1) / 2 - (n - 1);
+        let g = random_connected(n, capacity, &mut rng);
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra edges")]
+    fn random_connected_rejects_oversaturation() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let _ = random_connected(5, 100, &mut rng);
     }
 
     #[test]

@@ -61,6 +61,29 @@ pub fn radius_from(graph: &Graph, source: NodeId) -> usize {
         .expect("graph has at least one node")
 }
 
+/// The largest distance from `source` to any node *reachable* from it.
+///
+/// Unlike [`radius_from`], this is defined on disconnected graphs (the
+/// almost-complete broadcast regime runs on the source's component and
+/// measures the informed fraction); on connected graphs the two agree.
+#[must_use]
+pub fn reachable_radius(graph: &Graph, source: NodeId) -> usize {
+    bfs_distances(graph, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .expect("graph has at least one node")
+}
+
+/// Number of nodes reachable from `source` (including `source` itself).
+#[must_use]
+pub fn reachable_count(graph: &Graph, source: NodeId) -> usize {
+    bfs_distances(graph, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .count()
+}
+
 /// Whether every node is reachable from node 0 (and hence, by symmetry of
 /// undirected graphs, the graph is connected).
 #[must_use]
@@ -157,6 +180,21 @@ mod tests {
         b.edge(0, 1);
         let g = b.finish().unwrap();
         let _ = radius_from(&g, g.node(0));
+    }
+
+    #[test]
+    fn reachable_radius_on_disconnected_graph() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(3, 4);
+        let g = b.finish().unwrap();
+        assert_eq!(reachable_radius(&g, g.node(0)), 2);
+        assert_eq!(reachable_count(&g, g.node(0)), 3);
+        assert_eq!(reachable_radius(&g, g.node(3)), 1);
+        assert_eq!(reachable_count(&g, g.node(3)), 2);
+        // Agrees with radius_from on connected graphs.
+        let p = generators::path(6);
+        assert_eq!(reachable_radius(&p, p.node(0)), radius_from(&p, p.node(0)));
+        assert_eq!(reachable_count(&p, p.node(0)), 7);
     }
 
     #[test]

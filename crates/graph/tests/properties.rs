@@ -160,4 +160,83 @@ proptest! {
             prop_assert_eq!(g.degree(node), value.count_ones() as usize);
         }
     }
+
+    #[test]
+    fn gnp_is_deterministic_and_bounded(n in 1usize..80, q in 0.0f64..=1.0, seed in any::<u64>()) {
+        use rand::SeedableRng as _;
+        let build = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            generators::gnp(n, q, &mut rng)
+        };
+        let g = build();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+        // Determinism per seed: identical adjacency.
+        let h = build();
+        for v in g.nodes() {
+            prop_assert_eq!(g.neighbors(v), h.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_and_simple(
+        n in 1usize..80,
+        radius in 0.01f64..0.7,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng as _;
+        let build = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            generators::random_geometric(n, radius, &mut rng)
+        };
+        let g = build();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.max_degree() < n);
+        let h = build();
+        for v in g.nodes() {
+            prop_assert_eq!(g.neighbors(v), h.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_invariants(
+        n in 1usize..150,
+        m in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng as _;
+        let build = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            generators::preferential_attachment(n, m, &mut rng)
+        };
+        let g = build();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(traversal::is_connected(&g));
+        // Node v contributes exactly min(m, v) distinct edges, so both
+        // the total and the per-node degree floor are exact.
+        let expected: usize = (1..n).map(|v| m.min(v)).sum();
+        prop_assert_eq!(g.edge_count(), expected);
+        for v in 1..n {
+            prop_assert!(g.degree(g.node(v)) >= m.min(v));
+        }
+        let h = build();
+        for v in g.nodes() {
+            prop_assert_eq!(g.neighbors(v), h.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn random_connected_edge_count_is_exact(
+        n in 2usize..40,
+        extra_frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng as _;
+        let capacity = n * (n - 1) / 2 - (n - 1);
+        let extra = (extra_frac * capacity as f64) as usize;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng);
+        prop_assert_eq!(g.edge_count(), n - 1 + extra);
+        prop_assert!(traversal::is_connected(&g));
+    }
 }

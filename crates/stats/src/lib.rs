@@ -12,6 +12,8 @@
 //!   intervals and almost-safety verdicts,
 //! * [`chernoff`] — the paper's parameter formulas (`m = ⌈c log n⌉` with
 //!   the explicit constants from Sections 2 and 3),
+//! * [`quantile`] — distribution summaries (median, upper quantiles) for
+//!   per-trial broadcast times,
 //! * [`table`] — plain-text table rendering for experiment reports,
 //! * [`report`] — the structured sweep-result schema with its
 //!   dependency-free JSON writer/parser and Markdown-table rendering.
@@ -36,6 +38,7 @@
 pub mod chernoff;
 pub mod estimate;
 pub mod montecarlo;
+pub mod quantile;
 pub mod report;
 pub mod seed;
 pub mod table;

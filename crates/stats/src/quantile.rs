@@ -1,0 +1,128 @@
+//! Quantile estimation for trial-level measurements.
+//!
+//! Mean completion rounds hide the tail the paper's bounds actually
+//! speak about (`O(D + log n)` *with probability* `1 − 1/n`), so the
+//! large-`n` sweeps report distribution summaries: medians, upper
+//! quantiles, and extremes of per-trial broadcast times.
+
+/// The `q`-quantile of an **ascending-sorted** sample, with linear
+/// interpolation between adjacent order statistics (type-7 estimator,
+/// the R/NumPy default): `quantile(s, 0.0)` is the minimum,
+/// `quantile(s, 1.0)` the maximum, `quantile(s, 0.5)` the median.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q ∉ [0, 1]`; debug-asserts that the
+/// input really is sorted.
+#[must_use]
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile order out of range");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be ascending"
+    );
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A five-point-plus-tail summary of a sample's distribution.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct QuantileSummary {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// 90th percentile (the paper-relevant "all but a small tail").
+    pub p90: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl QuantileSummary {
+    /// Summarizes an unsorted sample; `None` when it is empty.
+    #[must_use]
+    pub fn from_unsorted(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(QuantileSummary {
+            min: sorted[0],
+            p25: quantile(&sorted, 0.25),
+            p50: quantile(&sorted, 0.50),
+            p75: quantile(&sorted, 0.75),
+            p90: quantile(&sorted, 0.90),
+            max: *sorted.last().expect("non-empty"),
+            count: sorted.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 5.0);
+        assert_eq!(quantile(&s, 0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly() {
+        let s = [0.0, 10.0];
+        assert!((quantile(&s, 0.25) - 2.5).abs() < 1e-12);
+        assert!((quantile(&s, 0.9) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let s = [7.0];
+        for q in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(quantile(&s, q), 7.0);
+        }
+    }
+
+    #[test]
+    fn summary_orders_its_fields() {
+        let samples: Vec<f64> = (0..101).rev().map(f64::from).collect();
+        let s = QuantileSummary::from_unsorted(&samples).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.count, 101);
+        assert!(s.min <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75);
+        assert!(s.p75 <= s.p90 && s.p90 <= s.max);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert_eq!(QuantileSummary::from_unsorted(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_order() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

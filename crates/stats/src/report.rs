@@ -23,6 +23,7 @@
 //!       "rate": 1.0,
 //!       "verdict": "pass",
 //!       "mean_rounds": null,
+//!       "mean_informed_frac": null,
 //!       "wall_ms": 12.5
 //!     }
 //!   ]
@@ -31,8 +32,12 @@
 //!
 //! `params` holds the cell's *inputs* (and any analytic columns) as
 //! ordered string key/value pairs; the remaining fields are *measured*
-//! by the sweep driver. `verdict` and `mean_rounds` are `null` when the
-//! cell has no almost-safety target / no per-trial round counts.
+//! by the sweep driver. `verdict`, `mean_rounds` and
+//! `mean_informed_frac` are `null` when the cell has no almost-safety
+//! target / no per-trial round counts / no informed-fraction
+//! measurements (`mean_informed_frac` is the almost-complete broadcast
+//! metric of the large-`n` flood sweeps, and may be absent entirely in
+//! pre-schema files).
 //! `kind` is `"analytic"` for rows that are pure computation (threshold
 //! tables, plan-size sweeps) — consumers must ignore their vacuous
 //! success columns.
@@ -80,6 +85,10 @@ pub struct CellReport {
     pub verdict: Option<String>,
     /// Mean completion round over trials that reported one.
     pub mean_rounds: Option<f64>,
+    /// Mean informed fraction over trials that reported one (the
+    /// almost-complete broadcast metric; `None` for cells whose trials
+    /// don't measure it).
+    pub mean_informed_frac: Option<f64>,
     /// Wall-clock time spent on the cell, in milliseconds.
     pub wall_ms: f64,
 }
@@ -158,6 +167,7 @@ impl SweepReport {
                     "rate",
                     "verdict",
                     "mean rounds",
+                    "informed",
                     "ms",
                 ]
                 .map(str::to_owned),
@@ -186,6 +196,11 @@ impl SweepReport {
                 row.push(
                     cell.mean_rounds
                         .map(|r| format!("{r:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+                row.push(
+                    cell.mean_informed_frac
+                        .map(|f| format!("{f:.4}"))
                         .unwrap_or_else(|| "-".into()),
                 );
                 row.push(format!("{:.1}", cell.wall_ms));
@@ -236,6 +251,11 @@ impl CellReport {
             Some(r) => write_json_f64(out, r),
             None => out.push_str("null"),
         }
+        out.push_str(", \"mean_informed_frac\": ");
+        match self.mean_informed_frac {
+            Some(f) => write_json_f64(out, f),
+            None => out.push_str("null"),
+        }
         out.push_str(", \"wall_ms\": ");
         write_json_f64(out, self.wall_ms);
         out.push('}');
@@ -270,6 +290,12 @@ impl CellReport {
             Json::Null => None,
             v => Some(v.as_f64("mean_rounds")?),
         };
+        // Optional for leniency toward pre-schema files.
+        let mean_informed_frac = match obj.iter().find(|(k, _)| k == "mean_informed_frac") {
+            None => None,
+            Some((_, Json::Null)) => None,
+            Some((_, v)) => Some(v.as_f64("mean_informed_frac")?),
+        };
         let wall_ms = get(obj, "wall_ms")?.as_f64("wall_ms")?;
         if successes > trials {
             return Err(ReportParseError(format!(
@@ -284,6 +310,7 @@ impl CellReport {
             rate,
             verdict,
             mean_rounds,
+            mean_informed_frac,
             wall_ms,
         })
     }
@@ -607,6 +634,7 @@ mod tests {
                     rate: 59.0 / 60.0,
                     verdict: Some("pass".into()),
                     mean_rounds: Some(12.25),
+                    mean_informed_frac: Some(0.9975),
                     wall_ms: 3.5,
                 },
                 CellReport {
@@ -617,6 +645,7 @@ mod tests {
                     rate: 1.0,
                     verdict: None,
                     mean_rounds: None,
+                    mean_informed_frac: None,
                     wall_ms: 0.1,
                 },
             ],
@@ -645,6 +674,7 @@ mod tests {
                 rate: 0.0,
                 verdict: Some("näh".into()),
                 mean_rounds: None,
+                mean_informed_frac: None,
                 wall_ms: 0.0,
             }],
         };

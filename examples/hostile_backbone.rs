@@ -67,7 +67,7 @@ fn main() {
     // --- Fast vs naive in the feasible regime ---------------------------
     let p = 0.35;
     let naive = SimplePlan::malicious_mp(&g, source, p);
-    let fast = KuceraBroadcast::new(&g, source, p);
+    let fast = KuceraBroadcast::new(&g, source, p).expect("p < 1/2 is feasible");
     let naive_est = run_success_trials(trials, SeedSequence::new(9), |seed| {
         naive
             .run_mp(&g, FaultConfig::malicious(p), FlipMpAdversary, seed, bit)

@@ -61,12 +61,15 @@ pub mod prelude {
     pub use randcast_core::feasibility::{
         malicious_mp_feasible, malicious_radio_feasible, omission_feasible, radio_threshold,
     };
-    pub use randcast_core::flood::{FloodPlan, FloodVariant};
+    pub use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
     pub use randcast_core::gossip::{GossipOutcome, GossipPlan};
     pub use randcast_core::kucera::{FailureBehavior, KuceraBroadcast, Plan as KuceraPlan};
     pub use randcast_core::lower_bound::LayerSchedule;
     pub use randcast_core::radio_robust::ExpandedPlan;
     pub use randcast_core::radio_sched::{greedy_schedule, path_schedule, RadioSchedule};
+    pub use randcast_core::scenario::{
+        Algorithm, GraphFamily, Model, Scenario, ScenarioError, FLOOD_FAST_MIN_N,
+    };
     pub use randcast_core::selftimed::{SelfTimedMode, SelfTimedPlan};
     pub use randcast_core::simple::{BroadcastOutcome, SimplePlan, VoteMode};
     pub use randcast_engine::adversary::{
@@ -74,10 +77,12 @@ pub mod prelude {
         LieOrJamAdversary, RandomBitMpAdversary, Throttled,
     };
     pub use randcast_engine::fault::{FailureProb, FaultConfig, FaultKind};
+    pub use randcast_engine::flood_fast::{FastFlood, FastFloodOutcome, FastFloodVariant};
     pub use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
     pub use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode, SilentRadioAdversary};
     pub use randcast_engine::trace::{TraceEvent, TraceLog, Traced};
     pub use randcast_graph::{generators, traversal, Graph, GraphBuilder, NodeId, SpanningTree};
     pub use randcast_stats::estimate::{SuccessEstimate, Verdict};
+    pub use randcast_stats::quantile::{quantile, QuantileSummary};
     pub use randcast_stats::seed::SeedSequence;
 }

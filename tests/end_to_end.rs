@@ -97,7 +97,7 @@ fn flood_completes_within_horizon_on_all_families() {
 fn kucera_broadcast_succeeds_on_all_families() {
     for (name, g) in zoo() {
         let p = 0.35;
-        let kb = KuceraBroadcast::new(&g, g.node(0), p);
+        let kb = KuceraBroadcast::new(&g, g.node(0), p).expect("p < 1/2 is feasible");
         let est = run_success_trials(40, SeedSequence::new(5), |seed| {
             kb.run(&g, p, FailureBehavior::Flip, seed, true)
                 .all_correct(true)

@@ -117,8 +117,8 @@ fn flood_lower_bounds_bite() {
 #[test]
 fn kucera_time_is_linear_in_length() {
     let p = 0.3;
-    let t64 = KuceraPlan::for_line(64, p, 1e-6).time() as f64;
-    let t512 = KuceraPlan::for_line(512, p, 1e-6).time() as f64;
+    let t64 = KuceraPlan::for_line(64, p, 1e-6).expect("feasible").time() as f64;
+    let t512 = KuceraPlan::for_line(512, p, 1e-6).expect("feasible").time() as f64;
     let ratio = (t512 / 512.0) / (t64 / 64.0);
     assert!(ratio < 2.5, "per-hop time ratio {ratio}");
 }
