@@ -8,12 +8,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use randcast_core::decay::{run_decay, DecayConfig};
 use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
-use randcast_graph::{generators, Graph, NodeId};
+use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
+use randcast_graph::{generators, traversal, Graph, NodeId};
 
 /// Flooding automaton (the engine stress case: every informed node sends
 /// every round).
@@ -167,6 +169,60 @@ fn bench_flood_fast_vs_mp(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fast-path vs trait-object radio: the same Decay workload (classical
+/// parameterization, omission p = 0.3) through `RadioNetwork` per-node
+/// automata and through the bitset collision-counting `FastRadio`
+/// kernel. The ratio between the two rows is the fast path's speedup;
+/// the acceptance bar is ≥ 50× at n = 4096.
+fn bench_radio_fast_vs_trait(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radio_engines");
+    // The trait engine needs tens of milliseconds per trial here; keep
+    // the sample count low so `cargo bench` stays CI-sized.
+    group.sample_size(10);
+    let graphs: Vec<(String, Graph)> = vec![
+        ("grid32x32".into(), generators::grid(32, 32)),
+        (
+            "gnp4096-d8".into(),
+            generators::gnp_connected(4096, 8.0 / 4095.0, &mut SmallRng::seed_from_u64(7)),
+        ),
+    ];
+    for (label, g) in &graphs {
+        let p = 0.3;
+        let source = g.node(0);
+        let cfg = DecayConfig::classical(g.node_count(), traversal::radius_from(g, source));
+        group.throughput(Throughput::Elements(
+            (cfg.total_rounds() * g.node_count()) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::new("trait", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_decay(g, source, cfg, FaultConfig::omission(p), seed)
+                    .informed_at
+                    .iter()
+                    .filter(|i| i.is_some())
+                    .count()
+            })
+        });
+        let fast_plan = FastRadio::new(
+            g,
+            source,
+            cfg.total_rounds(),
+            FastRadioSchedule::Decay {
+                epoch_len: cfg.epoch_len,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fast", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast_plan.run(p, seed).informed_count()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_radio(c: &mut Criterion) {
     let mut group = c.benchmark_group("radio_rounds");
     for side in [8usize, 16, 32] {
@@ -195,6 +251,6 @@ fn bench_radio(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio
+    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio, bench_radio_fast_vs_trait
 }
 criterion_main!(benches);

@@ -12,11 +12,8 @@
 //! broadcast while the informed fraction stays near 1: that gap is the
 //! almost-complete story, not a bug.
 
-use randcast_bench::{banner, cli, write_json};
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
-use randcast_engine::fault::FaultConfig;
-use randcast_stats::quantile::QuantileSummary;
-use randcast_stats::table::{fmt_f2, Table};
+use randcast_bench::{banner, cli, scale_sweep, scale_table, write_json};
+use randcast_core::scenario::{Algorithm, Model};
 
 fn main() {
     let cli = cli();
@@ -34,94 +31,26 @@ fn main() {
     let ps: &[f64] = if quick { &[0.3] } else { &[0.1, 0.3, 0.6] };
 
     let mut sweep = cli.sweep("scale_flood");
-    let mut specs = Vec::new();
-    for &n in sizes {
-        let families = [
-            GraphFamily::Gnp {
-                n,
-                avg_deg: 8,
-                seed: 97,
-            },
-            GraphFamily::RandomGeometric {
-                n,
-                deg: 12,
-                seed: 98,
-            },
-            GraphFamily::PreferentialAttachment { n, m: 4, seed: 99 },
-        ];
+    let specs = scale_sweep(
+        &mut sweep,
+        sizes,
+        ps,
+        [97, 98, 99],
+        Algorithm::FloodFast { horizon_scale: 1 },
+        Model::Mp,
         // Trials scale down with n so full sweeps stay tractable; an
         // explicit --trials wins as everywhere.
-        let trials = cli.cell_trials(if quick {
-            cli.trials.min(8)
-        } else {
-            (2_000_000 / n).clamp(4, 48)
-        });
-        for family in families {
-            // One build per (family, n): the same fixed-seed graph
-            // serves every p cell (at n = 10⁶ the build dominates).
-            let built = family.build();
-            for &p in ps {
-                let scenario = Scenario {
-                    graph: family,
-                    algorithm: Algorithm::FloodFast { horizon_scale: 1 },
-                    model: Model::Mp,
-                    fault: FaultConfig::omission(p),
-                };
-                specs.push(scenario);
-                let prepared = scenario
-                    .try_prepare_on(built.clone())
-                    .expect("static scale-flood scenarios are valid");
-                sweep.prepared(prepared, trials, Vec::new());
-            }
-        }
-    }
+        |n| {
+            cli.cell_trials(if quick {
+                cli.trials.min(8)
+            } else {
+                (2_000_000 / n).clamp(4, 48)
+            })
+        },
+    );
     let result = sweep.run();
 
-    let mut table = Table::new([
-        "graph",
-        "n",
-        "p",
-        "horizon",
-        "T p50",
-        "T p90",
-        "T max",
-        "informed frac",
-        "almost-T p50",
-    ]);
-    for (scenario, cell) in specs.iter().zip(&result.cells) {
-        let rounds: Vec<f64> = cell.outcomes.iter().filter_map(|o| o.rounds).collect();
-        let almost: Vec<f64> = cell
-            .outcomes
-            .iter()
-            .filter_map(|o| o.almost_rounds)
-            .collect();
-        let rq = QuantileSummary::from_unsorted(&rounds);
-        let aq = QuantileSummary::from_unsorted(&almost);
-        let fmt_q = |q: Option<QuantileSummary>, pick: fn(QuantileSummary) -> f64| {
-            q.map_or_else(|| "-".into(), |s| fmt_f2(pick(s)))
-        };
-        let horizon = cell
-            .params
-            .iter()
-            .find(|(k, _)| k == "rounds")
-            .map_or_else(|| "-".into(), |(_, v)| v.clone());
-        table.row([
-            scenario.graph.label(),
-            cell.params
-                .iter()
-                .find(|(k, _)| k == "n")
-                .map_or_else(|| "-".into(), |(_, v)| v.clone()),
-            format!("{}", scenario.fault.p),
-            horizon,
-            fmt_q(rq, |s| s.p50),
-            fmt_q(rq, |s| s.p90),
-            fmt_q(rq, |s| s.max),
-            cell.mean_informed_frac
-                .map_or_else(|| "-".into(), |f| format!("{f:.5}")),
-            fmt_q(aq, |s| s.p50),
-        ]);
-    }
-    println!("{}", table.render());
+    println!("{}", scale_table(&specs, &result.cells).render());
     write_json(&cli, &result);
     println!(
         "expected: completion time tracks D/(1-p) + O(log n) on every family; the\n\

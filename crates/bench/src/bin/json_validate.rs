@@ -2,31 +2,64 @@
 //! `--json` flag (used by CI before uploading them as artifacts).
 //!
 //! ```sh
-//! json_validate out/*.json
+//! json_validate out/*.json              # schema check only
+//! json_validate --normalize a.json b.json
 //! ```
 //!
 //! Exits 0 iff every file parses against the report schema; prints one
-//! summary line per file.
+//! summary line per file. With `--normalize`, each valid file is
+//! rewritten in place with the one nondeterministic field (`wall_ms`)
+//! zeroed: two normalized reports from the same binary, seed, and
+//! sweep extents are **byte-identical regardless of `--threads`** —
+//! CI's determinism gate runs a sweep twice and `diff`s the results.
 
 use randcast_stats::report::SweepReport;
 
+const USAGE: &str = "usage: json_validate [--normalize] FILE.json...";
+
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: json_validate FILE.json...");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--normalize` is accepted anywhere; any other flag-like argument
+    // is rejected with usage (the workspace-wide unknown-flag contract)
+    // rather than mistaken for a file path.
+    let normalize = raw.iter().any(|a| a == "--normalize");
+    let mut args = Vec::new();
+    for arg in raw {
+        if arg == "--normalize" {
+            continue;
+        }
+        if arg.starts_with("--") {
+            eprintln!("error: unknown argument `{arg}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        args.push(arg);
+    }
+    if args.is_empty() {
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let mut failed = false;
-    for path in &paths {
+    for path in &args {
         let outcome = std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|text| SweepReport::from_json(&text).map_err(|e| e.to_string()));
         match outcome {
-            Ok(report) => {
+            Ok(mut report) => {
+                if normalize {
+                    for cell in &mut report.cells {
+                        cell.wall_ms = 0.0;
+                    }
+                    if let Err(e) = std::fs::write(path, report.to_json()) {
+                        eprintln!("{path}: cannot rewrite — {e}");
+                        failed = true;
+                        continue;
+                    }
+                }
                 println!(
-                    "{path}: ok — experiment `{}`, {} cells",
+                    "{path}: ok — experiment `{}`, {} cells{}",
                     report.experiment,
-                    report.cells.len()
+                    report.cells.len(),
+                    if normalize { ", normalized" } else { "" }
                 );
             }
             Err(e) => {

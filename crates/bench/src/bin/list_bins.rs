@@ -1,0 +1,59 @@
+//! Prints the name of every experiment binary (`exp_*`) in this
+//! package, one per line — generated from the `src/bin` directory at
+//! run time, so CI's sweep loop can never silently drop a new binary
+//! from the JSON-artifact matrix the way a hand-maintained shell list
+//! could.
+//!
+//! ```sh
+//! for bin in $(cargo run --release -p randcast_bench --bin list_bins); do
+//!     cargo run --release --bin "$bin" -- --quick --json "out/$bin.json"
+//! done
+//! ```
+
+fn main() {
+    for name in experiment_bins(concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin")) {
+        println!("{name}");
+    }
+}
+
+/// The sorted `exp_*` binary names under `bin_dir` (every `.rs` file in
+/// `src/bin` is a binary target under Cargo's auto-discovery).
+fn experiment_bins(bin_dir: &str) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(bin_dir)
+        .unwrap_or_else(|e| panic!("cannot read {bin_dir}: {e}"))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            let stem = path.file_stem()?.to_str()?;
+            (path.extension()?.to_str()? == "rs" && stem.starts_with("exp_"))
+                .then(|| stem.to_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_every_experiment_binary() {
+        let names = experiment_bins(concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin"));
+        // Sorted, exp_-prefixed, and covering the known suite.
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "{names:?}");
+        assert!(names.iter().all(|n| n.starts_with("exp_")));
+        for required in [
+            "exp_e1_simple_omission",
+            "exp_e10_radio_robust",
+            "exp_decay_baseline",
+            "exp_scale_flood",
+            "exp_scale_radio",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
+        // Helpers must not leak into the sweep matrix.
+        for helper in ["json_validate", "list_bins", "bench_gate"] {
+            assert!(!names.iter().any(|n| n == helper));
+        }
+    }
+}

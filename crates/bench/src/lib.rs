@@ -22,8 +22,12 @@
 
 use std::path::PathBuf;
 
-use randcast_core::sweep::{default_threads, Sweep, SweepResult};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::sweep::{default_threads, CellResult, Sweep, SweepResult};
+use randcast_engine::fault::FaultConfig;
+use randcast_stats::quantile::QuantileSummary;
 use randcast_stats::seed::SeedSequence;
+use randcast_stats::table::{fmt_f2, Table};
 
 /// Root seed used when `--seed` is not given.
 pub const DEFAULT_SEED: u64 = 2005;
@@ -209,6 +213,128 @@ pub fn write_json(cli: &Cli, result: &SweepResult) {
     std::fs::write(path, result.report().to_json())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
+}
+
+/// Populates `sweep` with the shared large-`n` scale grid: for every
+/// `n` in `sizes`, the three scalable families — `Gnp` (avg. degree 8),
+/// `RandomGeometric` (degree 12, possibly disconnected), and
+/// `PreferentialAttachment` (m = 4), construction-seeded from `seeds`
+/// — each swept over every `p` in `ps` as omission faults under
+/// `algorithm` in `model`. Each (family, n) graph is built **once**
+/// and shared across its `p` cells (at `n = 10⁶` the build dominates
+/// sweep setup); `trials_for(n)` gives the per-cell trial count.
+/// Returns the scenario list parallel to the sweep's cells, for
+/// [`scale_table`].
+///
+/// Used by `exp_scale_flood` and `exp_scale_radio`, which differ only
+/// in the algorithm/model, construction seeds, trial scaling, and
+/// prose.
+///
+/// # Panics
+///
+/// Panics if the (algorithm, model, fault) combination is invalid for
+/// the scale families (see `Scenario::validate`).
+pub fn scale_sweep(
+    sweep: &mut Sweep<'static>,
+    sizes: &[usize],
+    ps: &[f64],
+    seeds: [u64; 3],
+    algorithm: Algorithm,
+    model: Model,
+    trials_for: impl Fn(usize) -> usize,
+) -> Vec<Scenario> {
+    let mut specs = Vec::new();
+    for &n in sizes {
+        let families = [
+            GraphFamily::Gnp {
+                n,
+                avg_deg: 8,
+                seed: seeds[0],
+            },
+            GraphFamily::RandomGeometric {
+                n,
+                deg: 12,
+                seed: seeds[1],
+            },
+            GraphFamily::PreferentialAttachment {
+                n,
+                m: 4,
+                seed: seeds[2],
+            },
+        ];
+        let trials = trials_for(n);
+        for family in families {
+            let built = family.build();
+            for &p in ps {
+                let scenario = Scenario {
+                    graph: family,
+                    algorithm,
+                    model,
+                    fault: FaultConfig::omission(p),
+                };
+                specs.push(scenario);
+                let prepared = scenario
+                    .try_prepare_on(built.clone())
+                    .unwrap_or_else(|e| panic!("invalid scale-sweep scenario: {e}"));
+                sweep.prepared(prepared, trials, Vec::new());
+            }
+        }
+    }
+    specs
+}
+
+/// Renders the shared large-`n` scale-sweep table (one row per cell):
+/// completion-time quantiles, mean informed fraction, and the median
+/// almost-complete (`1 − 1/n`) time. Used by `exp_scale_flood` and
+/// `exp_scale_radio`, whose cells differ only in the algorithm swept.
+///
+/// `specs` must parallel `cells` (one scenario per swept cell, in
+/// order).
+#[must_use]
+pub fn scale_table(specs: &[Scenario], cells: &[CellResult]) -> Table {
+    let mut table = Table::new([
+        "graph",
+        "n",
+        "p",
+        "horizon",
+        "T p50",
+        "T p90",
+        "T max",
+        "informed frac",
+        "almost-T p50",
+    ]);
+    for (scenario, cell) in specs.iter().zip(cells) {
+        let rounds: Vec<f64> = cell.outcomes.iter().filter_map(|o| o.rounds).collect();
+        let almost: Vec<f64> = cell
+            .outcomes
+            .iter()
+            .filter_map(|o| o.almost_rounds)
+            .collect();
+        let rq = QuantileSummary::from_unsorted(&rounds);
+        let aq = QuantileSummary::from_unsorted(&almost);
+        let fmt_q = |q: Option<QuantileSummary>, pick: fn(QuantileSummary) -> f64| {
+            q.map_or_else(|| "-".into(), |s| fmt_f2(pick(s)))
+        };
+        let param = |key: &str| {
+            cell.params
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or_else(|| "-".into(), |(_, v)| v.clone())
+        };
+        table.row([
+            scenario.graph.label(),
+            param("n"),
+            format!("{}", scenario.fault.p),
+            param("rounds"),
+            fmt_q(rq, |s| s.p50),
+            fmt_q(rq, |s| s.p90),
+            fmt_q(rq, |s| s.max),
+            cell.mean_informed_frac
+                .map_or_else(|| "-".into(), |f| format!("{f:.5}")),
+            fmt_q(aq, |s| s.p50),
+        ]);
+    }
+    table
 }
 
 /// Prints the standard experiment header.

@@ -1,8 +1,9 @@
-//! Large-`n` scaling smoke test: one fast-path flood trial at
-//! `n = 10⁵` must stay comfortably inside a wall-clock budget, so
-//! scaling regressions in the generators or the flood engine are caught
-//! by CI (the budget is asserted in release mode only; debug builds
-//! still run the trial for correctness).
+//! Large-`n` scaling smoke tests: one fast-path flood trial and one
+//! fast-path radio (Decay) trial at `n = 10⁵` must each stay
+//! comfortably inside a wall-clock budget, so scaling regressions in
+//! the generators or either fast engine are caught by CI (the budgets
+//! are asserted in release mode only; debug builds still run the
+//! trials for correctness).
 
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,67 @@ fn single_trial_at_n_1e5_is_fast() {
             "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
         );
     }
+}
+
+#[test]
+fn single_radio_trial_at_n_1e5_is_fast() {
+    let scenario = Scenario {
+        graph: GraphFamily::Gnp {
+            n: 100_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::DecayFast { epoch_factor: 2 },
+        model: Model::Radio,
+        fault: FaultConfig::omission(0.3),
+    };
+    let build_start = Instant::now();
+    let prep = scenario.try_prepare().expect("valid scenario");
+    let build_time = build_start.elapsed();
+    assert!(prep.uses_fast_path());
+
+    let trial_start = Instant::now();
+    let out = prep.trial(42);
+    let trial_time = trial_start.elapsed();
+
+    assert!(out.success, "gnp-connected decay must complete");
+    let frac = out.informed_frac.expect("fast path reports the fraction");
+    assert!((frac - 1.0).abs() < 1e-12);
+    assert!(out.almost_rounds.unwrap() <= out.rounds.unwrap());
+
+    // The acceptance budget: a single n = 10⁵ radio trial in under a
+    // second (release). Build includes a BFS for the classical Decay
+    // parameterization on top of graph generation.
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            trial_time < Duration::from_secs(1),
+            "n=1e5 radio trial took {trial_time:?} (budget 1s)"
+        );
+        assert!(
+            build_time < Duration::from_secs(5),
+            "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
+        );
+    }
+}
+
+#[test]
+fn auto_fast_path_engages_for_large_radio_scenarios() {
+    // Plain Decay must transparently select the fast path at scale —
+    // the harness-side contract DESIGN.md documents.
+    let prep = Scenario {
+        graph: GraphFamily::PreferentialAttachment {
+            n: 8192,
+            m: 3,
+            seed: 11,
+        },
+        algorithm: Algorithm::Decay { epoch_factor: 2 },
+        model: Model::Radio,
+        fault: FaultConfig::omission(0.3),
+    }
+    .try_prepare()
+    .expect("valid scenario");
+    assert!(prep.uses_fast_path());
+    assert!(prep.trial(7).success);
 }
 
 #[test]

@@ -25,8 +25,8 @@
 
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
+use randcast_engine::radio_fast::{decay_coin, decay_tapes};
 use randcast_graph::{Graph, NodeId};
-use randcast_stats::seed::{splitmix64, SeedSequence};
 
 /// Outcome of one Decay execution.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -100,13 +100,11 @@ struct DecayNode {
 
 impl DecayNode {
     fn coin(&self, epoch: usize, j: usize) -> bool {
-        // One fair coin per (node-tape, epoch, round-in-epoch).
-        splitmix64(
-            self.tape
-                ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407)
-                ^ (j as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
-        ) & 1
-            == 1
+        // One fair coin per (node-tape, epoch, round-in-epoch) — the
+        // *same* pure coin function the fast kernel evaluates
+        // (`randcast_engine::radio_fast`), so the two engines' Decay
+        // participation schedules are identical per seed.
+        decay_coin(self.tape, epoch, j)
     }
 }
 
@@ -152,7 +150,7 @@ pub fn run_decay(
     fault: FaultConfig,
     seed: u64,
 ) -> DecayOutcome {
-    let tapes = SeedSequence::new(seed).child(0xDECA);
+    let tapes = decay_tapes(seed);
     let mut net = RadioNetwork::new(graph, fault, seed, |v| DecayNode {
         informed_at: (v == source).then_some(0),
         epoch_len: config.epoch_len,

@@ -29,6 +29,7 @@ use randcast_engine::fault::{FaultConfig, FaultKind};
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
+use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
 use randcast_graph::{generators, Graph};
 
 use crate::decay::{run_decay, DecayConfig};
@@ -51,6 +52,17 @@ pub const SOURCE_BIT: bool = true;
 /// threshold sits above every pre-existing experiment size to keep
 /// their per-seed outcomes byte-stable.
 pub const FLOOD_FAST_MIN_N: usize = 4096;
+
+/// Node count at or above which [`Algorithm::Decay`] in the radio
+/// model is executed by the bitset collision-counting fast path
+/// ([`randcast_engine::radio_fast`]) instead of the per-node
+/// `RadioNetwork` automata. The two engines share the Decay coin tapes
+/// and are statistically equivalent (pinned by
+/// `tests/radio_equivalence.rs`, exactly equal at `p = 0`), but their
+/// fault coins come from different RNG streams, so the threshold sits
+/// above every pre-existing experiment size to keep per-seed outcomes
+/// byte-stable.
+pub const RADIO_FAST_MIN_N: usize = 4096;
 
 /// A named graph constructor; the broadcast source is always node 0.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -237,8 +249,20 @@ pub enum Algorithm {
     /// `Omission-Radio` / `Malicious-Radio`: the Theorem 3.4 expansion
     /// of a greedy fault-free schedule (radio), per the fault kind.
     Expanded,
-    /// The randomized Decay baseline (radio, omission only).
+    /// The randomized Decay baseline (radio, omission only). At
+    /// `n ≥` [`RADIO_FAST_MIN_N`] the harness transparently selects
+    /// the statistically equivalent collision-counting fast path.
     Decay {
+        /// Multiplier on the classical epoch count.
+        epoch_factor: usize,
+    },
+    /// Decay forced onto the large-`n` radio fast path
+    /// ([`randcast_engine::radio_fast`]) regardless of size. Together
+    /// with [`Algorithm::FloodFast`] this is the only algorithm
+    /// accepting possibly-disconnected families: trials additionally
+    /// report the informed fraction and the almost-complete
+    /// (`1 − 1/n`) time.
+    DecayFast {
         /// Multiplier on the classical epoch count.
         epoch_factor: usize,
     },
@@ -256,6 +280,7 @@ impl Algorithm {
             Algorithm::SelfTimed => "self-timed",
             Algorithm::Expanded => "expanded",
             Algorithm::Decay { .. } => "decay",
+            Algorithm::DecayFast { .. } => "decay-fast",
         }
     }
 }
@@ -349,6 +374,7 @@ enum PlanKind {
     SelfTimed(SelfTimedPlan),
     Expanded(ExpandedPlan),
     Decay(DecayConfig),
+    DecayFast(FastRadio),
 }
 
 /// A compiled scenario: graph + plan, ready to run seeded trials.
@@ -398,7 +424,15 @@ impl Scenario {
             }
             (Algorithm::SelfTimed, Model::Mp) => {}
             (Algorithm::Expanded, Model::Radio) => {}
-            (Algorithm::Decay { epoch_factor }, Model::Radio) => {
+            (
+                Algorithm::Decay { epoch_factor } | Algorithm::DecayFast { epoch_factor },
+                Model::Radio,
+            ) => {
+                // The fast kernel models omission only ((limited-)
+                // malicious radio faults need the adversary hooks of
+                // the general engine), and the auto-selected fast path
+                // for plain Decay must reject the same configurations
+                // at every size.
                 if self.fault.kind != FaultKind::Omission {
                     return Err(ScenarioError::FaultMismatch {
                         algorithm: name,
@@ -414,7 +448,10 @@ impl Scenario {
             (_, model) => return mismatch(model),
         }
         if self.graph.may_be_disconnected()
-            && !matches!(self.algorithm, Algorithm::FloodFast { .. })
+            && !matches!(
+                self.algorithm,
+                Algorithm::FloodFast { .. } | Algorithm::DecayFast { .. }
+            )
         {
             return Err(ScenarioError::RequiresConnectivity { algorithm: name });
         }
@@ -512,7 +549,21 @@ impl Scenario {
                 let d = randcast_graph::traversal::radius_from(&graph, source);
                 let mut cfg = DecayConfig::classical(graph.node_count(), d);
                 cfg.epochs *= epoch_factor;
-                PlanKind::Decay(cfg)
+                if graph.node_count() >= RADIO_FAST_MIN_N {
+                    // Statistically equivalent fast path for large n.
+                    PlanKind::DecayFast(decay_fast_plan(&graph, cfg))
+                } else {
+                    PlanKind::Decay(cfg)
+                }
+            }
+            (Algorithm::DecayFast { epoch_factor }, Model::Radio) => {
+                // Defined on disconnected graphs: parameterize by the
+                // source component's radius (equal to the paper's `D`
+                // on connected graphs).
+                let d = randcast_graph::traversal::reachable_radius(&graph, source);
+                let mut cfg = DecayConfig::classical(graph.node_count(), d);
+                cfg.epochs *= epoch_factor;
+                PlanKind::DecayFast(decay_fast_plan(&graph, cfg))
             }
             (alg, model) => {
                 return Err(ScenarioError::ModelMismatch {
@@ -541,6 +592,19 @@ impl Scenario {
         self.try_prepare()
             .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
     }
+}
+
+/// Compiles the fast-path Decay kernel for a scenario graph (the
+/// source is always node 0).
+fn decay_fast_plan(graph: &Graph, cfg: DecayConfig) -> FastRadio {
+    FastRadio::new(
+        graph,
+        graph.node(0),
+        cfg.total_rounds(),
+        FastRadioSchedule::Decay {
+            epoch_len: cfg.epoch_len,
+        },
+    )
 }
 
 impl PreparedScenario {
@@ -573,15 +637,18 @@ impl PreparedScenario {
             PlanKind::SelfTimed(plan) => plan.horizon(),
             PlanKind::Expanded(plan) => plan.total_rounds(),
             PlanKind::Decay(cfg) => cfg.total_rounds(),
+            PlanKind::DecayFast(plan) => plan.horizon(),
         }
     }
 
-    /// Whether trials execute on the bitset fast path (either forced
-    /// via [`Algorithm::FloodFast`] or auto-selected for
-    /// [`Algorithm::Flood`] at `n ≥` [`FLOOD_FAST_MIN_N`]).
+    /// Whether trials execute on a bitset fast path — forced via
+    /// [`Algorithm::FloodFast`] / [`Algorithm::DecayFast`], or
+    /// auto-selected for [`Algorithm::Flood`] at `n ≥`
+    /// [`FLOOD_FAST_MIN_N`] and [`Algorithm::Decay`] at `n ≥`
+    /// [`RADIO_FAST_MIN_N`].
     #[must_use]
     pub fn uses_fast_path(&self) -> bool {
-        matches!(self.plan, PlanKind::FloodFast(_))
+        matches!(self.plan, PlanKind::FloodFast(_) | PlanKind::DecayFast(_))
     }
 
     /// The per-phase repetition length `m`, for algorithms that have
@@ -595,7 +662,8 @@ impl PreparedScenario {
             PlanKind::Flood(_)
             | PlanKind::FloodFast(_)
             | PlanKind::Kucera(_)
-            | PlanKind::Decay(_) => None,
+            | PlanKind::Decay(_)
+            | PlanKind::DecayFast(_) => None,
         }
     }
 
@@ -686,6 +754,16 @@ impl PreparedScenario {
             PlanKind::Decay(cfg) => TrialOutcome::completed(
                 run_decay(g, g.node(0), *cfg, fault, seed).completion_round(),
             ),
+            PlanKind::DecayFast(plan) => {
+                // Omission-only by validation, so the silent-adversary
+                // semantics of the general engine apply directly.
+                let out = plan.run(fault.p.get(), seed);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.informed_fraction(),
+                    out.almost_complete_round(),
+                )
+            }
         }
     }
 }
@@ -830,6 +908,7 @@ mod tests {
             Algorithm::SelfTimed,
             Algorithm::Expanded,
             Algorithm::Decay { epoch_factor: 1 },
+            Algorithm::DecayFast { epoch_factor: 1 },
         ];
         for algorithm in algorithms {
             for model in [Model::Mp, Model::Radio] {
@@ -848,7 +927,10 @@ mod tests {
                         | Algorithm::SelfTimed,
                         m,
                     ) => m == Model::Mp,
-                    (Algorithm::Expanded | Algorithm::Decay { .. }, m) => m == Model::Radio,
+                    (
+                        Algorithm::Expanded | Algorithm::Decay { .. } | Algorithm::DecayFast { .. },
+                        m,
+                    ) => m == Model::Radio,
                 };
                 match scenario.validate() {
                     Ok(()) => assert!(valid, "{}/{model} accepted", algorithm.name()),
@@ -1082,6 +1164,117 @@ mod tests {
             fault: FaultConfig::malicious(0.1),
         }
         .prepare();
+    }
+
+    /// The fast radio kernel only models omission: `decay-fast` (and
+    /// the auto-fast `decay` path, at every size) must reject
+    /// (limited-)malicious faults with the typed error, before any
+    /// graph is built.
+    #[test]
+    fn decay_fast_rejects_malicious_with_typed_error() {
+        for algorithm in [
+            Algorithm::DecayFast { epoch_factor: 1 },
+            Algorithm::Decay { epoch_factor: 1 },
+        ] {
+            for fault in [
+                FaultConfig::malicious(0.1),
+                FaultConfig::limited_malicious(0.1),
+            ] {
+                // Both below and above the auto-fast threshold.
+                for graph in [
+                    GraphFamily::Path(4),
+                    GraphFamily::Gnp {
+                        n: RADIO_FAST_MIN_N,
+                        avg_deg: 6,
+                        seed: 2,
+                    },
+                ] {
+                    let err = Scenario {
+                        graph,
+                        algorithm,
+                        model: Model::Radio,
+                        fault,
+                    }
+                    .validate()
+                    .expect_err("fast kernel models omission only");
+                    assert_eq!(
+                        err,
+                        ScenarioError::FaultMismatch {
+                            algorithm: algorithm.name(),
+                            tolerates: "omission faults only (use expanded for malicious)",
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decay_selects_fast_path_only_at_scale() {
+        let small = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::Decay { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(!small.uses_fast_path());
+        let large = Scenario {
+            graph: GraphFamily::Gnp {
+                n: RADIO_FAST_MIN_N,
+                avg_deg: 6,
+                seed: 4,
+            },
+            algorithm: Algorithm::Decay { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(large.uses_fast_path());
+        let forced = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::DecayFast { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(forced.uses_fast_path());
+        // Same classical parameterization on either path.
+        assert_eq!(small.rounds(), forced.rounds());
+    }
+
+    #[test]
+    fn decay_fast_accepts_disconnected_families_and_reports_fraction() {
+        let rgg = GraphFamily::RandomGeometric {
+            n: 64,
+            deg: 4,
+            seed: 3,
+        };
+        assert!(rgg.may_be_disconnected());
+        // Plain decay must keep rejecting it…
+        let decay = Scenario {
+            graph: rgg,
+            algorithm: Algorithm::Decay { epoch_factor: 1 },
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.2),
+        };
+        assert!(matches!(
+            decay.validate(),
+            Err(ScenarioError::RequiresConnectivity { .. })
+        ));
+        // …while decay-fast measures the informed fraction.
+        let prep = Scenario {
+            algorithm: Algorithm::DecayFast { epoch_factor: 2 },
+            ..decay
+        }
+        .try_prepare()
+        .expect("valid");
+        assert!(prep.uses_fast_path());
+        let out = prep.trial(5);
+        let frac = out.informed_frac.expect("fast path reports fraction");
+        assert!(frac > 0.0 && frac <= 1.0);
+        assert_eq!(out.success, (frac - 1.0).abs() < 1e-12);
+        assert_eq!(prep.trial(5), out, "deterministic per seed");
     }
 
     #[test]

@@ -40,6 +40,8 @@ use rand::{Rng, SeedableRng};
 
 use randcast_graph::{Graph, NodeId};
 
+use crate::sampling::geometric_skip;
+
 /// Which edges carry the fast flood (mirrors
 /// `randcast_core::flood::FloodVariant` without the crate dependency).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -258,20 +260,6 @@ impl FastFlood {
             completion_round,
             informed_by_round,
         }
-    }
-}
-
-/// Number of failures before the next success when each trial fails
-/// with probability `p = exp(ln_p)`: `⌊ln(U) / ln(p)⌋` for uniform
-/// `U ∈ (0, 1]`.
-fn geometric_skip(rng: &mut SmallRng, ln_p: f64) -> usize {
-    let u: f64 = rng.gen_range(0.0..1.0);
-    // 1 − u ∈ (0, 1]: avoids ln(0).
-    let skip = (1.0 - u).ln() / ln_p;
-    if skip >= usize::MAX as f64 {
-        usize::MAX
-    } else {
-        skip as usize
     }
 }
 

@@ -68,6 +68,8 @@ pub mod fault;
 pub mod flood_fast;
 pub mod mp;
 pub mod radio;
+pub mod radio_fast;
+mod sampling;
 pub mod trace;
 
 pub use fault::{FailureProb, FaultConfig, FaultKind};

@@ -1,0 +1,587 @@
+//! A specialized large-`n` fast path for the radio model: Decay (and
+//! the all-informed-transmit baseline) under omission faults, without
+//! per-node automata.
+//!
+//! The general [`RadioNetwork`](crate::radio::RadioNetwork) pays for
+//! its generality every round: one `act` dispatch per node, an
+//! intention vector of `n` enum values, a fault coin for all `n` nodes,
+//! and a full reception scan of every listener's neighborhood.
+//! Informed-set dynamics need none of that. An uninformed node hears
+//! iff **exactly one** of its neighbors transmits, and the only nodes
+//! whose transmissions an uninformed node can hear are informed nodes
+//! with at least one uninformed neighbor — the *frontier*. [`FastRadio`]
+//! therefore simulates only the frontier:
+//!
+//! * the informed set is a **word-level bitmask** (one bit per node),
+//! * adjacency lives in a flat CSR array of `u32`s,
+//! * per-round collision resolution **counts transmitting neighbors**
+//!   into a saturating `u8` array touched only at frontier
+//!   neighborhoods (hear iff the count is exactly one), so a round
+//!   costs `O(m_frontier)`, not `O(n + m)`,
+//! * omission faults are sampled **aggregately** over the round's
+//!   participants — one Bernoulli coin each, or a **geometric skip**
+//!   between successful transmitters when `p > 0.75`,
+//! * the run stops as soon as no informed node can ever inform anyone
+//!   again (source component exhausted) or the broadcast completes.
+//!
+//! The [Decay schedule](FastRadioSchedule::Decay) draws its
+//! participation coins from the **same per-node tapes** as the
+//! trait-object protocol in `randcast_core::decay` ([`decay_tapes`] /
+//! [`decay_coin`] are shared with it), so at `p = 0` — where fault
+//! randomness vanishes — the two engines agree **exactly, per seed**,
+//! not just in distribution. At `p > 0` only the fault coins come from
+//! a different stream, so per-seed outcomes differ while every
+//! distribution matches; `crates/core/tests/radio_equivalence.rs` pins
+//! this with a 250-seed Welch-tolerance suite.
+//!
+//! Like [`flood_fast`](crate::flood_fast), the kernel is defined on
+//! graphs disconnected from the source: it broadcasts over the source's
+//! component and reports the informed *fraction* and the
+//! almost-complete (`1 − 1/n`) time. The kernel models **omission
+//! faults only** — malicious radio faults need the adversary hooks of
+//! the general engine (`Scenario::validate` enforces this).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use randcast_graph::{Graph, NodeId};
+use randcast_stats::seed::{splitmix64, SeedSequence};
+
+use crate::sampling::geometric_skip;
+
+/// Seed-sequence label under which the Decay protocol derives its
+/// per-node coin tapes (shared between the trait-object protocol and
+/// the fast kernel so the two stay in lockstep).
+pub const DECAY_TAPE_LABEL: u64 = 0xDECA;
+
+/// The per-node tape sequence for a Decay execution rooted at `seed`:
+/// node `v`'s tape is `decay_tapes(seed).nth_seed(v)`.
+#[must_use]
+pub fn decay_tapes(seed: u64) -> SeedSequence {
+    SeedSequence::new(seed).child(DECAY_TAPE_LABEL)
+}
+
+/// One fair Decay coin for `(tape, epoch, round-in-epoch)`: a node that
+/// was active in round `j` of an epoch stays active for round `j + 1`
+/// iff this coin is heads. A pure function, so both engines can
+/// evaluate it in any order and still agree.
+#[must_use]
+pub fn decay_coin(tape: u64, epoch: usize, j: usize) -> bool {
+    splitmix64(
+        tape ^ (epoch as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ (j as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    ) & 1
+        == 1
+}
+
+/// Which transmission schedule the fast radio kernel executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FastRadioSchedule {
+    /// Bar-Yehuda–Goldreich–Itai *Decay*: epochs of `epoch_len` rounds;
+    /// every informed node starts each epoch transmitting and halves
+    /// its participation probability each round (transmit in round `j`
+    /// with probability `2^{−j}`). Nodes informed mid-epoch join at the
+    /// next epoch boundary.
+    Decay {
+        /// Rounds per epoch (the classical choice is `⌈log₂ n⌉ + 1`).
+        epoch_len: usize,
+    },
+    /// The degenerate baseline: every informed node transmits every
+    /// round (newly informed nodes join the next round). On any node
+    /// with two or more informed neighbors this collides until omission
+    /// faults happen to silence all but one transmitter — the
+    /// contention pathology Decay exists to break.
+    AllInformed,
+}
+
+/// A compiled fast-path radio plan: flat CSR adjacency plus a schedule
+/// and horizon.
+#[derive(Clone, Debug)]
+pub struct FastRadio {
+    /// `neighbors[offsets[v]..offsets[v+1]]` are `v`'s neighbors.
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    source: u32,
+    horizon: usize,
+    n: usize,
+    schedule: FastRadioSchedule,
+}
+
+impl FastRadio {
+    /// Compiles a plan broadcasting from `source` for at most `horizon`
+    /// rounds under `schedule`. A `horizon` of 0 is allowed (the run
+    /// reports only the source informed); a graph disconnected from
+    /// `source` is allowed (the broadcast covers the source's
+    /// component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is [`FastRadioSchedule::Decay`] with
+    /// `epoch_len == 0`.
+    #[must_use]
+    pub fn new(graph: &Graph, source: NodeId, horizon: usize, schedule: FastRadioSchedule) -> Self {
+        if let FastRadioSchedule::Decay { epoch_len } = schedule {
+            assert!(epoch_len > 0, "decay epochs need at least one round");
+        }
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for v in graph.nodes() {
+            neighbors.extend(graph.neighbors(v).iter().map(|&t| u32::from(t)));
+            offsets.push(neighbors.len());
+        }
+        FastRadio {
+            offsets,
+            neighbors,
+            source: u32::from(source),
+            horizon,
+            n,
+            schedule,
+        }
+    }
+
+    /// The horizon (maximum number of rounds executed).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The schedule this plan executes.
+    #[must_use]
+    pub fn schedule(&self) -> FastRadioSchedule {
+        self.schedule
+    }
+
+    fn neighbors_of(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    fn has_uninformed_neighbor(&self, v: usize, informed: &[u64]) -> bool {
+        self.neighbors_of(v)
+            .iter()
+            .any(|&t| informed[t as usize / 64] & (1u64 << (t % 64)) == 0)
+    }
+
+    /// Executes one seeded broadcast with per-(node, round) transmitter
+    /// omission probability `p`, running until the horizon or until no
+    /// further round can change anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run(&self, p: f64, seed: u64) -> FastRadioOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let n = self.n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tapes = decay_tapes(seed);
+        let mut informed = vec![0u64; n.div_ceil(64)];
+        let src = self.source as usize;
+        informed[src / 64] |= 1u64 << (src % 64);
+        let mut informed_count = 1usize;
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        // Informed nodes that may still have uninformed neighbors;
+        // re-filtered at every epoch boundary, and the only nodes the
+        // kernel ever simulates (an informed node all of whose
+        // neighbors are informed can neither inform nor collide at an
+        // uninformed listener).
+        let mut participants: Vec<u32> = vec![self.source];
+        let mut active: Vec<u32> = Vec::new();
+        let mut transmitters: Vec<u32> = Vec::new();
+        // Saturating per-listener transmitter counts (2 already means
+        // "collision"), cleared through `touched` so a round costs only
+        // its frontier neighborhoods.
+        let mut counts = vec![0u8; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            // Every round is its own epoch: everyone re-activates.
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+        // Geometric skips pay off once fault successes are sparse.
+        let sparse = p > 0.75;
+        let ln_p = if sparse { p.ln() } else { 0.0 };
+
+        for round in 1..=self.horizon {
+            if completion_round.is_some() {
+                break; // everyone informed: nothing can change
+            }
+            // `r0` is the trait-object engine's 0-based round index.
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                participants.retain(|&u| self.has_uninformed_neighbor(u as usize, &informed));
+                if participants.is_empty() {
+                    break; // the source component is exhausted
+                }
+                active.clear();
+                active.extend_from_slice(&participants);
+            }
+
+            // Omission faults: each active node's transmitter works
+            // with probability 1 − p this round.
+            transmitters.clear();
+            if p == 0.0 {
+                transmitters.extend_from_slice(&active);
+            } else if sparse {
+                let mut idx = geometric_skip(&mut rng, ln_p);
+                while idx < active.len() {
+                    transmitters.push(active[idx]);
+                    idx = (idx + 1).saturating_add(geometric_skip(&mut rng, ln_p));
+                }
+            } else {
+                transmitters.extend(active.iter().copied().filter(|_| !rng.gen_bool(p)));
+            }
+
+            // Collision resolution: an uninformed listener hears iff
+            // exactly one neighbor transmits.
+            for &u in &transmitters {
+                for &v in self.neighbors_of(u as usize) {
+                    let vi = v as usize;
+                    if informed[vi / 64] & (1u64 << (vi % 64)) == 0 {
+                        if counts[vi] == 0 {
+                            touched.push(v);
+                        }
+                        counts[vi] = counts[vi].saturating_add(1);
+                    }
+                }
+            }
+            for &v in &touched {
+                let vi = v as usize;
+                if counts[vi] == 1 {
+                    informed[vi / 64] |= 1u64 << (vi % 64);
+                    informed_count += 1;
+                    // Joins the transmitters at the next epoch start.
+                    participants.push(v);
+                }
+                counts[vi] = 0;
+            }
+            touched.clear();
+
+            informed_by_round.push(informed_count);
+            if informed_count == n {
+                completion_round = Some(round);
+            }
+
+            // Decay: a node active in round `j` stays active for round
+            // `j + 1` iff its tape coin is heads (faults never touch
+            // the coin stream — a failed transmitter still decays).
+            if decay && j + 1 < epoch_len {
+                let epoch = r0 / epoch_len;
+                active.retain(|&u| decay_coin(tapes.nth_seed(u64::from(u)), epoch, j));
+            }
+        }
+
+        FastRadioOutcome {
+            n,
+            horizon: self.horizon,
+            informed,
+            informed_count,
+            completion_round,
+            informed_by_round,
+        }
+    }
+}
+
+/// Outcome of one fast-path radio broadcast: the informed set, its
+/// growth curve, and derived completion metrics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FastRadioOutcome {
+    n: usize,
+    horizon: usize,
+    informed: Vec<u64>,
+    informed_count: usize,
+    completion_round: Option<usize>,
+    /// `informed_by_round[r]` = nodes informed by the end of round `r`
+    /// (`[0] == 1`, the source). The run stops early once nothing can
+    /// change, so the vector may be shorter than `horizon + 1`; counts
+    /// are constant from its last entry onward.
+    informed_by_round: Vec<usize>,
+}
+
+impl FastRadioOutcome {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The horizon the plan was allowed to run.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Whether every node (not just the source's component) was
+    /// informed within the horizon.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.completion_round.is_some()
+    }
+
+    /// The round by which the last node was informed, `None` if the
+    /// broadcast never completed (too few rounds, or the graph is
+    /// disconnected from the source).
+    #[must_use]
+    pub fn completion_round(&self) -> Option<usize> {
+        self.completion_round
+    }
+
+    /// Number of informed nodes at the end of the run.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Informed fraction `informed / n` at the end of the run.
+    #[must_use]
+    pub fn informed_fraction(&self) -> f64 {
+        self.informed_count as f64 / self.n as f64
+    }
+
+    /// Whether node `v` ended the run informed.
+    #[must_use]
+    pub fn is_informed(&self, v: NodeId) -> bool {
+        let i = v.index();
+        self.informed[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The per-round cumulative informed counts (see the field docs).
+    #[must_use]
+    pub fn informed_by_round(&self) -> &[usize] {
+        &self.informed_by_round
+    }
+
+    /// The first round by which at least `count` nodes were informed.
+    #[must_use]
+    pub fn round_reaching(&self, count: usize) -> Option<usize> {
+        self.informed_by_round.iter().position(|&c| c >= count)
+    }
+
+    /// The first round by which an *almost-complete* set — at least
+    /// `⌈(1 − 1/n)·n⌉ = n − 1` nodes — was informed; the metric of the
+    /// rapid almost-complete broadcasting regime.
+    #[must_use]
+    pub fn almost_complete_round(&self) -> Option<usize> {
+        self.round_reaching(self.n.saturating_sub(1).max(1))
+    }
+
+    /// The first round by which at least `frac · n` nodes (rounded up)
+    /// were informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac ∉ [0, 1]`.
+    #[must_use]
+    pub fn time_to_fraction(&self, frac: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+        let target = (frac * self.n as f64).ceil() as usize;
+        self.round_reaching(target.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::{generators, GraphBuilder};
+
+    fn decay_plan(g: &Graph, horizon: usize) -> FastRadio {
+        let epoch_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
+        FastRadio::new(
+            g,
+            g.node(0),
+            horizon,
+            FastRadioSchedule::Decay { epoch_len },
+        )
+    }
+
+    #[test]
+    fn fault_free_decay_completes_on_families() {
+        for g in [
+            generators::path(12),
+            generators::star(16),
+            generators::grid(5, 5),
+            generators::complete(12),
+        ] {
+            let plan = decay_plan(&g, 4000);
+            let mut ok = 0;
+            for seed in 0..10 {
+                ok += usize::from(plan.run(0.0, seed).complete());
+            }
+            assert!(ok >= 9, "n={} ok={ok}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn decay_survives_omission_faults() {
+        let g = generators::grid(5, 5);
+        let plan = decay_plan(&g, 8000);
+        let mut ok = 0;
+        for seed in 0..20 {
+            ok += usize::from(plan.run(0.5, seed).complete());
+        }
+        assert!(ok >= 18, "ok={ok}");
+    }
+
+    #[test]
+    fn decay_breaks_high_contention() {
+        // Complete bipartite: after one step all of side A is informed;
+        // all-informed transmission then collides essentially forever,
+        // while decay's back-off resolves it.
+        let g = generators::complete_bipartite(8, 8);
+        let decay = decay_plan(&g, 2000);
+        let naive = FastRadio::new(&g, g.node(0), 2000, FastRadioSchedule::AllInformed);
+        let mut decay_ok = 0;
+        let mut naive_ok = 0;
+        for seed in 0..10 {
+            decay_ok += usize::from(decay.run(0.0, seed).complete());
+            naive_ok += usize::from(naive.run(0.0, seed).complete());
+        }
+        assert!(decay_ok >= 9, "decay_ok={decay_ok}");
+        assert_eq!(naive_ok, 0, "fault-free collisions never resolve");
+    }
+
+    #[test]
+    fn all_informed_on_a_path_is_plain_flooding() {
+        // Along a path each uninformed node has exactly one informed
+        // neighbor, so there are no collisions and the fault-free
+        // all-informed schedule is BFS flooding.
+        let g = generators::path(9);
+        let plan = FastRadio::new(&g, g.node(0), 100, FastRadioSchedule::AllInformed);
+        let out = plan.run(0.0, 1);
+        assert_eq!(out.completion_round(), Some(9));
+        assert_eq!(out.informed_by_round(), &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn interior_collisions_block_on_a_cycle_start() {
+        // Cycle: round 1 informs both neighbors of the source; their
+        // two transmissions then collide at nobody (each has a distinct
+        // uninformed neighbor), so all-informed completes fault-free…
+        // except the final node, which hears both ends of the cycle
+        // simultaneously and collides forever on even cycles.
+        let g = generators::cycle(6);
+        let plan = FastRadio::new(&g, g.node(0), 500, FastRadioSchedule::AllInformed);
+        let out = plan.run(0.0, 2);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 5, "the antipode is blocked");
+        // With faults the tie eventually breaks.
+        let out = plan.run(0.3, 2);
+        assert!(out.complete());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::grid(6, 6);
+        let plan = decay_plan(&g, 2000);
+        assert_eq!(plan.run(0.4, 7), plan.run(0.4, 7));
+        assert_ne!(
+            plan.run(0.4, 7).informed_by_round(),
+            plan.run(0.4, 8).informed_by_round(),
+            "different seeds should (generically) differ"
+        );
+    }
+
+    #[test]
+    fn counts_are_monotone_and_bounded() {
+        let g = generators::grid(7, 5);
+        for p in [0.0, 0.3, 0.9] {
+            let plan = decay_plan(&g, 3000);
+            let out = plan.run(p, 11);
+            let counts = out.informed_by_round();
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "p={p}");
+            assert!(*counts.last().unwrap() <= out.n());
+            assert_eq!(*counts.last().unwrap(), out.informed_count());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reports_partial_fraction() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let g = b.finish().unwrap();
+        let plan = decay_plan(&g, 2000);
+        let out = plan.run(0.0, 1);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 3);
+        assert!((out.informed_fraction() - 0.6).abs() < 1e-12);
+        assert!(out.is_informed(g.node(2)));
+        assert!(!out.is_informed(g.node(3)));
+        assert_eq!(out.almost_complete_round(), None);
+        assert!(out.time_to_fraction(0.6).is_some());
+        // And the run stopped long before the horizon: once the
+        // component is saturated an epoch boundary breaks the loop.
+        assert!(out.informed_by_round().len() < 100);
+    }
+
+    #[test]
+    fn single_node_graph_is_complete_at_round_zero() {
+        let g = generators::path(0);
+        let plan = decay_plan(&g, 50);
+        let out = plan.run(0.3, 9);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(0));
+        assert_eq!(out.almost_complete_round(), Some(0));
+    }
+
+    #[test]
+    fn zero_horizon_reports_only_the_source() {
+        let g = generators::path(5);
+        let plan = decay_plan(&g, 0);
+        let out = plan.run(0.2, 3);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 1);
+        assert_eq!(out.informed_by_round(), &[1]);
+    }
+
+    #[test]
+    fn high_p_star_completes_eventually() {
+        // Star from the center: leaves have a single informed neighbor,
+        // so every successful center transmission informs them all.
+        let g = generators::star(8);
+        let plan = FastRadio::new(&g, g.node(0), 4000, FastRadioSchedule::AllInformed);
+        for seed in 0..20 {
+            assert!(plan.run(0.95, seed).complete(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_epoch_len_is_rejected() {
+        let g = generators::path(3);
+        let _ = FastRadio::new(&g, g.node(0), 10, FastRadioSchedule::Decay { epoch_len: 0 });
+    }
+
+    #[test]
+    fn sparse_and_dense_fault_samplers_agree_statistically() {
+        // p on either side of the 0.75 sampler switch must produce
+        // comparable completion-time distributions. Star center →
+        // leaves under AllInformed: every successful center
+        // transmission informs all leaves at once, so completion is the
+        // first success — a Geometric(1 − p) wait with mean 1/(1 − p).
+        let g = generators::star(8);
+        let plan = FastRadio::new(&g, g.node(0), 6000, FastRadioSchedule::AllInformed);
+        let trials = 600u64;
+        let mean = |p: f64| {
+            let total: usize = (0..trials)
+                .map(|s| plan.run(p, s).completion_round().expect("horizon ample"))
+                .sum();
+            total as f64 / trials as f64
+        };
+        for p in [0.74, 0.76] {
+            let (m, e) = (mean(p), 1.0 / (1.0 - p));
+            assert!((m - e).abs() < 0.08 * e, "p={p}: mean {m} vs {e}");
+        }
+    }
+}

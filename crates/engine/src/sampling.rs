@@ -1,0 +1,48 @@
+//! Aggregate fault-sampling helpers shared by the large-`n` fast-path
+//! engines ([`crate::flood_fast`], [`crate::radio_fast`]).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Number of failures before the next success when each trial fails
+/// with probability `p = exp(ln_p)`: `⌊ln(U) / ln(p)⌋` for uniform
+/// `U ∈ (0, 1]`.
+///
+/// At high `p` (sparse successes) this lets a sampler jump directly
+/// between successful trials instead of flipping one coin per trial,
+/// making the per-round cost proportional to the number of successes.
+pub(crate) fn geometric_skip(rng: &mut SmallRng, ln_p: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // 1 − u ∈ (0, 1]: avoids ln(0).
+    let skip = (1.0 - u).ln() / ln_p;
+    if skip >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        skip as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skip_mean_matches_geometric_expectation() {
+        // E[failures before a success] = p / (1 − p).
+        let mut rng = SmallRng::seed_from_u64(3);
+        for p in [0.8, 0.9, 0.97] {
+            let ln_p = f64::ln(p);
+            let trials = 20_000;
+            let total: f64 = (0..trials)
+                .map(|_| geometric_skip(&mut rng, ln_p) as f64)
+                .sum();
+            let mean = total / f64::from(trials);
+            let expected = p / (1.0 - p);
+            assert!(
+                (mean - expected).abs() < 0.08 * expected,
+                "p={p}: mean {mean} vs {expected}"
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@ use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, MpRoundCtx, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode, RadioRoundCtx};
+use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
 use randcast_graph::{Graph, GraphBuilder, NodeId};
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
@@ -333,5 +334,51 @@ proptest! {
     ) {
         let ff = FastFlood::new(&g, g.node(0), 50, FastFloodVariant::Graph);
         prop_assert_eq!(ff.run(p, seed), ff.run(p, seed));
+    }
+
+    #[test]
+    fn fast_radio_informed_set_is_monotone(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+        decay in any::<bool>(),
+    ) {
+        let schedule = if decay {
+            let epoch_len = (g.node_count() as f64).log2().ceil() as usize + 1;
+            FastRadioSchedule::Decay { epoch_len }
+        } else {
+            FastRadioSchedule::AllInformed
+        };
+        let plan = FastRadio::new(&g, g.node(0), 30 * g.node_count() + 60, schedule);
+        let out = plan.run(p, seed);
+        let counts = out.informed_by_round();
+        prop_assert_eq!(counts[0], 1);
+        prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*counts.last().unwrap(), out.informed_count());
+        prop_assert!(out.informed_count() <= g.node_count());
+        // The informed bitset agrees with the count, and a completion
+        // claim agrees with the curve.
+        let set_bits = g.nodes().filter(|&v| out.is_informed(v)).count();
+        prop_assert_eq!(set_bits, out.informed_count());
+        prop_assert!(out.is_informed(g.node(0)));
+        if let Some(t) = out.completion_round() {
+            prop_assert_eq!(out.round_reaching(g.node_count()), Some(t));
+        }
+    }
+
+    #[test]
+    fn fast_radio_is_deterministic_per_seed(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+        decay in any::<bool>(),
+    ) {
+        let schedule = if decay {
+            FastRadioSchedule::Decay { epoch_len: 5 }
+        } else {
+            FastRadioSchedule::AllInformed
+        };
+        let plan = FastRadio::new(&g, g.node(0), 60, schedule);
+        prop_assert_eq!(plan.run(p, seed), plan.run(p, seed));
     }
 }

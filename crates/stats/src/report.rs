@@ -316,6 +316,155 @@ impl CellReport {
     }
 }
 
+/// One measured benchmark sample: stable label plus mean wall-clock
+/// nanoseconds per iteration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchRecord {
+    /// The benchmark's label (`group/function/param`), as printed by
+    /// `cargo bench`.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// A distilled benchmark report — the perf-trajectory artifact CI
+/// uploads (`BENCH_PR4.json` and successors) and gates against a
+/// committed baseline.
+///
+/// Schema:
+///
+/// ```json
+/// {
+///   "benches": [
+///     {"name": "flood_engines/fast/grid32x32", "ns_per_iter": 23700.0}
+///   ]
+/// }
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BenchReport {
+    /// All distilled benchmarks, in bench-output order.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Distills raw `cargo bench` output (the vendored criterion stub
+    /// prints one `<label> <mean> ns/iter …` line per benchmark) into a
+    /// report. Lines that do not match the pattern are ignored, so the
+    /// full build-plus-bench transcript can be piped in unfiltered.
+    #[must_use]
+    pub fn from_bench_lines(text: &str) -> Self {
+        let mut benches = Vec::new();
+        for line in text.lines() {
+            let mut tok = line.split_whitespace();
+            let (Some(name), Some(value), Some(unit)) = (tok.next(), tok.next(), tok.next()) else {
+                continue;
+            };
+            if unit != "ns/iter" {
+                continue;
+            }
+            let Ok(ns_per_iter) = value.parse::<f64>() else {
+                continue;
+            };
+            benches.push(BenchRecord {
+                name: name.to_owned(),
+                ns_per_iter,
+            });
+        }
+        BenchReport { benches }
+    }
+
+    /// Keeps only benchmarks whose criterion group (the label segment
+    /// before the first `/`) is in `groups`.
+    pub fn retain_groups(&mut self, groups: &[&str]) {
+        self.benches
+            .retain(|b| groups.contains(&b.name.split('/').next().unwrap_or("")));
+    }
+
+    /// The mean ns/iter recorded under `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.ns_per_iter)
+    }
+
+    /// Compares this (current) report against a committed `baseline`:
+    /// every baseline benchmark must still exist and must not have
+    /// slowed down by more than `max_ratio`×. Returns one human-readable
+    /// violation per failure (empty = gate passes). Benchmarks new in
+    /// the current report are fine — the trajectory grows.
+    #[must_use]
+    pub fn gate_against(&self, baseline: &BenchReport, max_ratio: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        for base in &baseline.benches {
+            match self.get(&base.name) {
+                None => violations.push(format!(
+                    "{}: present in the baseline but missing from this run",
+                    base.name
+                )),
+                Some(current) if base.ns_per_iter > 0.0 => {
+                    let ratio = current / base.ns_per_iter;
+                    if ratio > max_ratio {
+                        violations.push(format!(
+                            "{}: {current:.0} ns/iter is {ratio:.2}x the baseline \
+                             {:.0} ns/iter (limit {max_ratio}x)",
+                            base.name, base.ns_per_iter
+                        ));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+
+    /// Serializes the report as JSON (schema in the type docs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"benches\": [");
+        for (i, b) in self.benches.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"name\": ");
+            write_json_string(&mut out, &b.name);
+            out.push_str(", \"ns_per_iter\": ");
+            write_json_f64(&mut out, b.ns_per_iter);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReportParseError`] describing the first syntax or
+    /// schema violation encountered.
+    pub fn from_json(text: &str) -> Result<Self, ReportParseError> {
+        let mut p = Parser::new(text);
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing characters after the top-level value"));
+        }
+        let top = value.as_object("top-level value")?;
+        let benches = get(top, "benches")?
+            .as_array("benches")?
+            .iter()
+            .map(|v| {
+                let obj = v.as_object("bench")?;
+                Ok(BenchRecord {
+                    name: get(obj, "name")?.as_string("name")?.to_owned(),
+                    ns_per_iter: get(obj, "ns_per_iter")?.as_f64("ns_per_iter")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ReportParseError>>()?;
+        Ok(BenchReport { benches })
+    }
+}
+
 /// Writes `s` as a JSON string literal with full escaping.
 fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
@@ -756,6 +905,95 @@ mod tests {
             "successes": 1, "trials": 1, "rate": 1.0, "verdict": null,
             "mean_rounds": null, "wall_ms": 0.0}]}"#;
         assert!(SweepReport::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn bench_report_distills_bench_output() {
+        let transcript = "\
+   Compiling randcast_bench v0.1.0
+    Finished `release` profile
+flood_engines/mp/grid32x32                          10500000.0 ns/iter  (    6236190 elem/s)
+flood_engines/fast/grid32x32                           23700.0 ns/iter
+radio_engines/trait/gnp4096-d8                      52000000.0 ns/iter
+not a bench line at all
+mp_directed_rounds/grid8x8/0                          597000.0 ns/iter\n";
+        let mut report = BenchReport::from_bench_lines(transcript);
+        assert_eq!(report.benches.len(), 4);
+        assert_eq!(report.get("flood_engines/fast/grid32x32"), Some(23700.0));
+        report.retain_groups(&["flood_engines", "radio_engines"]);
+        assert_eq!(report.benches.len(), 3);
+        assert_eq!(report.get("mp_directed_rounds/grid8x8/0"), None);
+    }
+
+    #[test]
+    fn bench_report_json_round_trips() {
+        let report = BenchReport {
+            benches: vec![
+                BenchRecord {
+                    name: "g/a/1".into(),
+                    ns_per_iter: 1234.5,
+                },
+                BenchRecord {
+                    name: "g/b/2".into(),
+                    ns_per_iter: 0.25,
+                },
+            ],
+        };
+        let json = report.to_json();
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json(), json);
+        assert!(BenchReport::from_json("{\"benches\": [{}]}").is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("{\"benches\": []}")
+            .unwrap()
+            .benches
+            .is_empty());
+    }
+
+    #[test]
+    fn bench_gate_flags_regressions_and_missing_benches() {
+        let baseline = BenchReport {
+            benches: vec![
+                BenchRecord {
+                    name: "g/stable".into(),
+                    ns_per_iter: 100.0,
+                },
+                BenchRecord {
+                    name: "g/regressed".into(),
+                    ns_per_iter: 100.0,
+                },
+                BenchRecord {
+                    name: "g/dropped".into(),
+                    ns_per_iter: 100.0,
+                },
+            ],
+        };
+        let current = BenchReport {
+            benches: vec![
+                BenchRecord {
+                    name: "g/stable".into(),
+                    ns_per_iter: 180.0, // 1.8x: inside the 2x budget
+                },
+                BenchRecord {
+                    name: "g/regressed".into(),
+                    ns_per_iter: 250.0, // 2.5x: regression
+                },
+                BenchRecord {
+                    name: "g/brand-new".into(), // growth is fine
+                    ns_per_iter: 1.0,
+                },
+            ],
+        };
+        let violations = current.gate_against(&baseline, 2.0);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("g/regressed")));
+        assert!(violations.iter().any(|v| v.contains("g/dropped")));
+        assert!(current.gate_against(&baseline, 3.0).len() == 1); // only the missing one
+        assert!(
+            current.gate_against(&current, 1.0).is_empty(),
+            "identical runs always pass"
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use randcast_core::radio_robust::ExpandedPlan;
     pub use randcast_core::radio_sched::{greedy_schedule, path_schedule, RadioSchedule};
     pub use randcast_core::scenario::{
-        Algorithm, GraphFamily, Model, Scenario, ScenarioError, FLOOD_FAST_MIN_N,
+        Algorithm, GraphFamily, Model, Scenario, ScenarioError, FLOOD_FAST_MIN_N, RADIO_FAST_MIN_N,
     };
     pub use randcast_core::selftimed::{SelfTimedMode, SelfTimedPlan};
     pub use randcast_core::simple::{BroadcastOutcome, SimplePlan, VoteMode};
@@ -80,6 +80,7 @@ pub mod prelude {
     pub use randcast_engine::flood_fast::{FastFlood, FastFloodOutcome, FastFloodVariant};
     pub use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
     pub use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode, SilentRadioAdversary};
+    pub use randcast_engine::radio_fast::{FastRadio, FastRadioOutcome, FastRadioSchedule};
     pub use randcast_engine::trace::{TraceEvent, TraceLog, Traced};
     pub use randcast_graph::{generators, traversal, Graph, GraphBuilder, NodeId, SpanningTree};
     pub use randcast_stats::estimate::{SuccessEstimate, Verdict};
