@@ -10,12 +10,14 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use randcast_core::decay::{run_decay, DecayConfig};
 use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
+use randcast_core::simple::SimplePlan;
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
-use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
+use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
-use randcast_graph::{generators, traversal, Graph, NodeId};
+use randcast_engine::simple_fast::FastSimple;
+use randcast_graph::{generators, traversal, CsrGraph, Graph, NodeId};
 
 /// Flooding automaton (the engine stress case: every informed node sends
 /// every round).
@@ -157,12 +159,58 @@ fn bench_flood_fast_vs_mp(c: &mut Criterion) {
                     .informed_count()
             })
         });
-        let fast_plan = FastFlood::new(g, source, horizon, FastFloodVariant::Tree);
+        let fast_plan = FastFlood::new(CsrGraph::from(g), source, horizon, FastFloodVariant::Tree);
         group.bench_with_input(BenchmarkId::new("fast", label), &p, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
                 fast_plan.run(p, seed).informed_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fast-path vs trait-object Simple: the same Theorem 2.1 workload
+/// (`Simple-Omission` with the prescribed phase length, omission
+/// p = 0.3) through `MpNetwork` per-node automata and through the
+/// geometric-draw `FastSimple` kernel. The ratio between the two rows
+/// is the fast path's speedup; the acceptance bar is ≥ 50× at
+/// n = 4096.
+fn bench_simple_fast_vs_trait(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_engines");
+    // The trait engine executes the full n·m schedule (~10⁸ node-steps
+    // at n = 4096); keep the sample count minimal so `cargo bench`
+    // stays CI-sized.
+    group.sample_size(5);
+    let graphs: Vec<(String, Graph)> = vec![
+        ("grid32x32".into(), generators::grid(32, 32)),
+        (
+            "gnp4096-d8".into(),
+            generators::gnp_connected(4096, 8.0 / 4095.0, &mut SmallRng::seed_from_u64(7)),
+        ),
+    ];
+    for (label, g) in &graphs {
+        let p = 0.3;
+        let source = g.node(0);
+        let plan = SimplePlan::omission_with_p(g, source, p);
+        group.throughput(Throughput::Elements(
+            (plan.total_rounds() * g.node_count()) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::new("trait", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                plan.run_mp(g, FaultConfig::omission(p), SilentMpAdversary, seed, true)
+                    .correct_count(true)
+            })
+        });
+        let fast = FastSimple::new(&CsrGraph::from(g), source, plan.phase_len());
+        group.bench_with_input(BenchmarkId::new("fast", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast.run(p, seed).correct_count()
             })
         });
     }
@@ -205,7 +253,7 @@ fn bench_radio_fast_vs_trait(c: &mut Criterion) {
             })
         });
         let fast_plan = FastRadio::new(
-            g,
+            CsrGraph::from(g),
             source,
             cfg.total_rounds(),
             FastRadioSchedule::Decay {
@@ -251,6 +299,6 @@ fn bench_radio(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio, bench_radio_fast_vs_trait
+    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio, bench_radio_fast_vs_trait, bench_simple_fast_vs_trait
 }
 criterion_main!(benches);

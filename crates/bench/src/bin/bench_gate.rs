@@ -3,9 +3,9 @@
 //!
 //! ```sh
 //! cargo bench -p randcast_bench --bench engine_throughput | \
-//!     bench_gate --groups flood_engines,radio_engines,mp_directed_rounds \
-//!                --baseline crates/bench/baseline/BENCH_PR4.json \
-//!                --out out/BENCH_PR4.json
+//!     bench_gate --groups flood_engines,radio_engines,mp_directed_rounds,simple_engines \
+//!                --baseline crates/bench/baseline/BENCH_PR5.json \
+//!                --out out/BENCH_PR5.json
 //! ```
 //!
 //! Reads the bench transcript from stdin, keeps the benchmarks of the

@@ -1,0 +1,140 @@
+//! SCALE — large-`n` Simple broadcast (the paper's headline protocol)
+//! on scalable random-graph families, through the geometric-draw
+//! fast-path kernel.
+//!
+//! Sweeps `Simple-Omission` completion under omission faults over
+//! Erdős–Rényi, random-geometric, and preferential-attachment graphs
+//! up to `n = 10⁶` (`--quick` caps at `n = 10⁴` for CI) with the
+//! Theorem 2.1 phase length `m = ⌈2 ln n / ln(1/p)⌉`, reporting the
+//! success rate, the correct fraction, and the schedule length
+//! `n · m` — the `Θ(n log n)` complexity the paper trades against
+//! flooding's `Θ(D + log n)`. The random-geometric cells sit *below*
+//! their connectivity threshold: the verdict column honestly reads
+//! `FAIL` for full broadcast while the correct fraction stays near 1 —
+//! the almost-complete regime, not a bug.
+//!
+//! A second section brackets the **feasibility threshold**: with the
+//! phase length *fixed* at `m` instead of scaled with `p`, per-node
+//! relay failure is `p^m` and the union bound collapses at
+//! `p* = n^{−1/m}` — cells at `p*·{0.85, 0.95, 1, 1.05, 1.15}` walk
+//! the success rate from ≈1 to ≈0 around it.
+
+use randcast_bench::{banner, cli, scale_sweep, scale_table, write_json};
+use randcast_core::scenario::{fmt_p, Algorithm, GraphFamily, Model, Scenario};
+use randcast_engine::fault::FaultConfig;
+use randcast_stats::quantile::QuantileSummary;
+use randcast_stats::table::{fmt_f2, Table};
+
+fn main() {
+    let cli = cli();
+    banner(
+        "SCALE (fast-path simple)",
+        "Geometric-draw Simple-Omission broadcast on gnp / random-geometric / \
+         preferential-attachment graphs up to n = 10^6, plus feasibility-threshold \
+         cells bracketing the fixed-m collapse at p* = n^(-1/m).",
+    );
+    let quick = cli.scale > 1;
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let ps: &[f64] = if quick { &[0.3] } else { &[0.1, 0.3, 0.6] };
+
+    let mut sweep = cli.sweep("scale_simple");
+    let specs = scale_sweep(
+        &mut sweep,
+        sizes,
+        ps,
+        [97, 98, 99],
+        Algorithm::SimpleFast { phase_len: None },
+        Model::Mp,
+        // A Simple trial costs one geometric draw per internal node —
+        // O(n) — so counts can stay flood-like; an explicit --trials
+        // wins as everywhere.
+        |n| {
+            cli.cell_trials(if quick {
+                cli.trials.min(8)
+            } else {
+                (1_000_000 / n).clamp(4, 24)
+            })
+        },
+    );
+
+    // Feasibility-threshold bracket: fix m, sweep p across the collapse
+    // point p* = n^(-1/m) (Theorem 2.1 run *without* rescaling m).
+    let bracket_n = if quick { 10_000 } else { 1_000_000 };
+    let m = 20usize;
+    let p_star = (bracket_n as f64).powf(-1.0 / m as f64);
+    let bracket_family = GraphFamily::Gnp {
+        n: bracket_n,
+        avg_deg: 8,
+        seed: 97, // shares the main grid's built graph via the cache
+    };
+    let bracket_trials = cli.cell_trials(if quick { cli.trials.min(8) } else { 12 });
+    let mut bracket_specs = Vec::new();
+    for factor in [0.85, 0.95, 1.0, 1.05, 1.15] {
+        let p = (p_star * factor).min(0.999);
+        let scenario = Scenario {
+            graph: bracket_family,
+            algorithm: Algorithm::SimpleFast { phase_len: Some(m) },
+            model: Model::Mp,
+            fault: FaultConfig::omission(p),
+        };
+        bracket_specs.push(scenario);
+        sweep
+            .try_scenario_with(
+                scenario,
+                bracket_trials,
+                vec![
+                    ("p*".into(), format!("{p_star:.4}")),
+                    ("p/p*".into(), format!("{factor}")),
+                ],
+            )
+            .unwrap_or_else(|e| panic!("invalid bracket scenario: {e}"));
+    }
+
+    let result = sweep.run();
+    let (grid_cells, bracket_cells) = result.cells.split_at(specs.len());
+
+    println!("{}", scale_table(&specs, grid_cells).render());
+
+    let mut bracket = Table::new(["p/p*", "p", "m", "successes", "trials", "rate", "frac"]);
+    for (scenario, cell) in bracket_specs.iter().zip(bracket_cells) {
+        let param = |key: &str| {
+            cell.params
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or_else(|| "-".into(), |(_, v)| v.clone())
+        };
+        bracket.row([
+            param("p/p*"),
+            fmt_p(scenario.fault.p.get()),
+            param("m"),
+            cell.estimate.successes().to_string(),
+            cell.estimate.trials().to_string(),
+            fmt_f2(cell.estimate.rate()),
+            cell.mean_informed_frac
+                .map_or_else(|| "-".into(), |f| format!("{f:.5}")),
+        ]);
+    }
+    println!("{}", bracket.render());
+    // Keep the completion-time quantiles honest: Simple's schedule is
+    // fixed-length, so T collapses to n·m on success — report it once.
+    let t: Vec<f64> = grid_cells
+        .iter()
+        .flat_map(|c| c.outcomes.iter().filter_map(|o| o.rounds))
+        .collect();
+    if let Some(q) = QuantileSummary::from_unsorted(&t) {
+        println!("schedule lengths across successful cells: p50 {}\n", q.p50);
+    }
+
+    write_json(&cli, &result);
+    println!(
+        "expected: with the prescribed m = ceil(2 ln n / ln(1/p)) every connected cell\n\
+         is almost-safe at every size (the n·m schedule is the price); the\n\
+         random-geometric cells below their connectivity threshold never finish the\n\
+         full broadcast (verdict FAIL) yet hold correct fractions near 1; and with m\n\
+         fixed at 20 the success rate collapses from ~1 to ~0 across p* = n^(-1/m)."
+    );
+}

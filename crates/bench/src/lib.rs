@@ -220,15 +220,17 @@ pub fn write_json(cli: &Cli, result: &SweepResult) {
 /// `RandomGeometric` (degree 12, possibly disconnected), and
 /// `PreferentialAttachment` (m = 4), construction-seeded from `seeds`
 /// — each swept over every `p` in `ps` as omission faults under
-/// `algorithm` in `model`. Each (family, n) graph is built **once**
-/// and shared across its `p` cells (at `n = 10⁶` the build dominates
+/// `algorithm` in `model`. Cells are added declaratively
+/// ([`Sweep::try_scenario`]), so the sweep driver's per-`(family,
+/// seed)` cache builds each graph **once**, in parallel, and shares it
+/// across the family's `p` cells (at `n = 10⁶` the build dominates
 /// sweep setup); `trials_for(n)` gives the per-cell trial count.
 /// Returns the scenario list parallel to the sweep's cells, for
 /// [`scale_table`].
 ///
-/// Used by `exp_scale_flood` and `exp_scale_radio`, which differ only
-/// in the algorithm/model, construction seeds, trial scaling, and
-/// prose.
+/// Used by `exp_scale_flood`, `exp_scale_radio`, and
+/// `exp_scale_simple`, which differ only in the algorithm/model,
+/// construction seeds, trial scaling, and prose.
 ///
 /// # Panics
 ///
@@ -264,7 +266,6 @@ pub fn scale_sweep(
         ];
         let trials = trials_for(n);
         for family in families {
-            let built = family.build();
             for &p in ps {
                 let scenario = Scenario {
                     graph: family,
@@ -273,10 +274,9 @@ pub fn scale_sweep(
                     fault: FaultConfig::omission(p),
                 };
                 specs.push(scenario);
-                let prepared = scenario
-                    .try_prepare_on(built.clone())
+                sweep
+                    .try_scenario(scenario, trials)
                     .unwrap_or_else(|e| panic!("invalid scale-sweep scenario: {e}"));
-                sweep.prepared(prepared, trials, Vec::new());
             }
         }
     }

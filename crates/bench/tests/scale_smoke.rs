@@ -1,13 +1,13 @@
-//! Large-`n` scaling smoke tests: one fast-path flood trial and one
-//! fast-path radio (Decay) trial at `n = 10⁵` must each stay
-//! comfortably inside a wall-clock budget, so scaling regressions in
-//! the generators or either fast engine are caught by CI (the budgets
-//! are asserted in release mode only; debug builds still run the
-//! trials for correctness).
+//! Large-`n` scaling smoke tests: one fast-path flood trial, one
+//! fast-path radio (Decay) trial, and one fast-path Simple trial at
+//! `n = 10⁵` must each stay comfortably inside a wall-clock budget, so
+//! scaling regressions in the generators or any fast engine are caught
+//! by CI (the budgets are asserted in release mode only; debug builds
+//! still run the trials for correctness).
 
 use std::time::{Duration, Instant};
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, SIMPLE_FAST_MIN_N};
 use randcast_engine::fault::FaultConfig;
 
 #[test]
@@ -90,6 +90,87 @@ fn single_radio_trial_at_n_1e5_is_fast() {
             "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
         );
     }
+}
+
+#[test]
+fn single_simple_trial_at_n_1e5_is_fast() {
+    // Plain Simple: at this size the harness must auto-select the
+    // geometric-draw fast path, and one trial (plus the n·m-schedule
+    // bookkeeping) must fit the same 1 s release budget as the other
+    // kernels.
+    let scenario = Scenario {
+        graph: GraphFamily::Gnp {
+            n: 100_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::Simple,
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+    };
+    let build_start = Instant::now();
+    let prep = scenario.try_prepare().expect("valid scenario");
+    let build_time = build_start.elapsed();
+    assert!(prep.uses_fast_path());
+
+    let trial_start = Instant::now();
+    let out = prep.trial(42);
+    let trial_time = trial_start.elapsed();
+
+    assert!(out.success, "gnp-connected simple must broadcast correctly");
+    let frac = out.informed_frac.expect("fast path reports the fraction");
+    assert!((frac - 1.0).abs() < 1e-12);
+    // Simple's schedule is fixed-length: the completion round is n·m.
+    assert_eq!(out.rounds, Some(prep.rounds() as f64));
+    assert!(out.almost_rounds.unwrap() <= out.rounds.unwrap());
+
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            trial_time < Duration::from_secs(1),
+            "n=1e5 simple trial took {trial_time:?} (budget 1s)"
+        );
+        assert!(
+            build_time < Duration::from_secs(5),
+            "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
+        );
+    }
+}
+
+#[test]
+fn auto_fast_path_engages_at_the_simple_threshold() {
+    // Plain Simple under omission must transparently select the fast
+    // path exactly from SIMPLE_FAST_MIN_N upward — the harness-side
+    // contract DESIGN.md documents (mirroring the flood/radio checks).
+    let at = Scenario {
+        graph: GraphFamily::PreferentialAttachment {
+            n: SIMPLE_FAST_MIN_N,
+            m: 3,
+            seed: 11,
+        },
+        algorithm: Algorithm::Simple,
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+    }
+    .try_prepare()
+    .expect("valid scenario");
+    assert!(at.uses_fast_path());
+    assert!(at.trial(7).success);
+    let below = Scenario {
+        graph: GraphFamily::PreferentialAttachment {
+            n: SIMPLE_FAST_MIN_N - 1,
+            m: 3,
+            seed: 11,
+        },
+        algorithm: Algorithm::Simple,
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+    }
+    .try_prepare()
+    .expect("valid scenario");
+    assert!(
+        !below.uses_fast_path(),
+        "below the threshold: general engine"
+    );
 }
 
 #[test]

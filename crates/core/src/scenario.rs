@@ -20,6 +20,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng as _;
@@ -30,7 +31,9 @@ use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
-use randcast_graph::{generators, Graph};
+use randcast_engine::simple_fast::FastSimple;
+use randcast_graph::{generators, CsrGraph, Graph};
+use randcast_stats::chernoff;
 
 use crate::decay::{run_decay, DecayConfig};
 use crate::flood::{theorem_horizon, FloodPlan, FloodVariant};
@@ -64,8 +67,20 @@ pub const FLOOD_FAST_MIN_N: usize = 4096;
 /// byte-stable.
 pub const RADIO_FAST_MIN_N: usize = 4096;
 
+/// Node count at or above which [`Algorithm::Simple`] under **omission
+/// faults** (either model) is executed by the geometric-draw fast path
+/// ([`randcast_engine::simple_fast`]) instead of the per-node automata.
+/// The two are statistically equivalent (pinned by
+/// `tests/simple_equivalence.rs`) but draw different RNG streams, so
+/// the threshold sits above every pre-existing experiment size to keep
+/// their per-seed outcomes byte-stable. Malicious Simple always runs on
+/// the general engines — the fast kernel models omission only.
+pub const SIMPLE_FAST_MIN_N: usize = 4096;
+
 /// A named graph constructor; the broadcast source is always node 0.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// `Hash`/`Eq` cover the full spec (including construction seeds), so a
+/// family value is a usable cache key for its built graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GraphFamily {
     /// Path with `len` edges.
     Path(usize),
@@ -103,7 +118,9 @@ pub enum GraphFamily {
     /// Random geometric (unit-disk) graph with radius chosen so the
     /// expected degree is `deg` (`r = √(deg / (π(n−1)))`). **May be
     /// disconnected** below `deg ≈ ln n` — the almost-complete
-    /// broadcast regime; only [`Algorithm::FloodFast`] accepts it.
+    /// broadcast regime; only the fast kernels
+    /// ([`Algorithm::FloodFast`], [`Algorithm::DecayFast`],
+    /// [`Algorithm::SimpleFast`]) accept it.
     RandomGeometric {
         /// Node count.
         n: usize,
@@ -147,7 +164,8 @@ impl GraphFamily {
     /// Whether the built graph can be disconnected from the source —
     /// such families are only valid with algorithms that measure the
     /// informed fraction instead of assuming reachability
-    /// ([`Algorithm::FloodFast`]).
+    /// ([`Algorithm::FloodFast`], [`Algorithm::DecayFast`],
+    /// [`Algorithm::SimpleFast`]).
     #[must_use]
     pub fn may_be_disconnected(&self) -> bool {
         matches!(self, GraphFamily::RandomGeometric { .. })
@@ -223,8 +241,23 @@ impl std::fmt::Display for Model {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Algorithm {
     /// `Simple-Omission` / `Simple-Malicious` (Theorems 2.1/2.2/2.4),
-    /// per the fault kind; runs in both models.
+    /// per the fault kind; runs in both models. Under omission faults
+    /// at `n ≥` [`SIMPLE_FAST_MIN_N`] the harness transparently selects
+    /// the statistically equivalent geometric-draw fast path.
     Simple,
+    /// The paper's Simple protocol forced onto the large-`n` fast path
+    /// ([`randcast_engine::simple_fast`]) regardless of size — omission
+    /// faults only, both models (under the Simple schedule the two
+    /// models are the same process). Accepts possibly-disconnected
+    /// families: trials additionally report the correct fraction and
+    /// the almost-complete (`1 − 1/n`) time.
+    SimpleFast {
+        /// Explicit phase length `m`, or `None` for the Theorem 2.1
+        /// prescription `⌈2 ln n / ln(1/p)⌉`. Fixing `m` while sweeping
+        /// `p` exposes the completion collapse at `p* = n^{−1/m}` —
+        /// the feasibility-threshold bracketing of `exp_scale_simple`.
+        phase_len: Option<usize>,
+    },
     /// BFS-tree flooding (Theorem 3.1, MP + omission). The horizon is
     /// the Theorem 3.1 prescription scaled by `horizon_scale`. At
     /// `n ≥` [`FLOOD_FAST_MIN_N`] the harness transparently selects the
@@ -274,6 +307,7 @@ impl Algorithm {
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::Simple => "simple",
+            Algorithm::SimpleFast { .. } => "simple-fast",
             Algorithm::Flood { .. } => "flood",
             Algorithm::FloodFast { .. } => "flood-fast",
             Algorithm::Kucera => "kucera",
@@ -336,8 +370,9 @@ impl fmt::Display for ScenarioError {
             } => write!(f, "{algorithm} tolerates {tolerates}"),
             ScenarioError::RequiresConnectivity { algorithm } => write!(
                 f,
-                "{algorithm} requires a graph connected to the source; \
-                 only flood-fast accepts possibly-disconnected families"
+                "{algorithm} requires a graph connected to the source; only the \
+                 fast kernels (flood-fast, decay-fast, simple-fast) accept \
+                 possibly-disconnected families"
             ),
             ScenarioError::InvalidParameter(what) => f.write_str(what),
             ScenarioError::Kucera(e) => write!(f, "kucera planning failed: {e}"),
@@ -368,6 +403,7 @@ pub struct Scenario {
 
 enum PlanKind {
     Simple(SimplePlan),
+    SimpleFast(FastSimple),
     Flood(FloodPlan),
     FloodFast(FastFlood),
     Kucera(KuceraBroadcast),
@@ -377,10 +413,12 @@ enum PlanKind {
     DecayFast(FastRadio),
 }
 
-/// A compiled scenario: graph + plan, ready to run seeded trials.
+/// A compiled scenario: graph + plan, ready to run seeded trials. The
+/// graph is held behind an [`Arc`] so sweeps spanning several cells
+/// over the same `(family, seed)` share one built copy.
 pub struct PreparedScenario {
     scenario: Scenario,
-    graph: Graph,
+    graph: Arc<Graph>,
     plan: PlanKind,
 }
 
@@ -405,6 +443,24 @@ impl Scenario {
         };
         match (self.algorithm, self.model) {
             (Algorithm::Simple, _) => {}
+            (Algorithm::SimpleFast { phase_len }, _) => {
+                // The fast kernel models omission only — malicious
+                // Simple needs the adversary hooks of the general
+                // engines. (The auto-fast path for plain Simple applies
+                // the same restriction by construction: it only engages
+                // for omission faults.)
+                if self.fault.kind != FaultKind::Omission {
+                    return Err(ScenarioError::FaultMismatch {
+                        algorithm: name,
+                        tolerates: "omission faults only (use simple for malicious)",
+                    });
+                }
+                if phase_len == Some(0) {
+                    return Err(ScenarioError::InvalidParameter(
+                        "phase_len must be positive",
+                    ));
+                }
+            }
             (
                 Algorithm::Flood { horizon_scale } | Algorithm::FloodFast { horizon_scale },
                 Model::Mp,
@@ -450,7 +506,9 @@ impl Scenario {
         if self.graph.may_be_disconnected()
             && !matches!(
                 self.algorithm,
-                Algorithm::FloodFast { .. } | Algorithm::DecayFast { .. }
+                Algorithm::FloodFast { .. }
+                    | Algorithm::DecayFast { .. }
+                    | Algorithm::SimpleFast { .. }
             )
         {
             return Err(ScenarioError::RequiresConnectivity { algorithm: name });
@@ -472,12 +530,11 @@ impl Scenario {
         self.try_prepare_on(graph)
     }
 
-    /// [`try_prepare`](Self::try_prepare) against an already-built copy
-    /// of this scenario's graph. Graph construction is deterministic per
-    /// family spec, so sweeps spanning several fault levels over the
-    /// same `(family, seed)` can call [`GraphFamily::build`] once and
-    /// hand each cell a clone instead of rebuilding — at `n = 10⁶` the
-    /// build (edge sampling + CSR sort) dominates sweep setup.
+    /// [`try_prepare_on`](Self::try_prepare_on) against a shared,
+    /// already-built copy of this scenario's graph — the zero-copy
+    /// entry point of the sweep driver's per-`(family, seed)` graph
+    /// cache: every cell over the same family clones only the [`Arc`],
+    /// not the graph.
     ///
     /// `graph` must be the graph `self.graph.build()` would produce —
     /// the structure is trusted, not re-derived.
@@ -485,28 +542,38 @@ impl Scenario {
     /// # Errors
     ///
     /// As [`try_prepare`](Self::try_prepare).
-    pub fn try_prepare_on(self, graph: Graph) -> Result<PreparedScenario, ScenarioError> {
+    pub fn try_prepare_shared(self, graph: Arc<Graph>) -> Result<PreparedScenario, ScenarioError> {
         self.validate()?;
         let source = graph.node(0);
         let p = self.fault.p.get();
         let malicious = self.fault.kind != FaultKind::Omission;
         let plan = match (self.algorithm, self.model) {
-            (Algorithm::Simple, Model::Mp) => PlanKind::Simple(if malicious {
-                SimplePlan::malicious_mp(&graph, source, p)
-            } else {
-                SimplePlan::omission_with_p(&graph, source, p)
-            }),
-            (Algorithm::Simple, Model::Radio) => PlanKind::Simple(if malicious {
-                SimplePlan::malicious_radio(&graph, source, p)
-            } else {
-                SimplePlan::omission_with_p(&graph, source, p)
-            }),
+            (Algorithm::Simple, model) => {
+                if malicious {
+                    PlanKind::Simple(match model {
+                        Model::Mp => SimplePlan::malicious_mp(&graph, source, p),
+                        Model::Radio => SimplePlan::malicious_radio(&graph, source, p),
+                    })
+                } else if graph.node_count() >= SIMPLE_FAST_MIN_N {
+                    // Statistically equivalent fast path for large n
+                    // (omission only; both models are the same process
+                    // under the Simple schedule).
+                    PlanKind::SimpleFast(simple_fast_plan(&graph, p, None))
+                } else {
+                    PlanKind::Simple(SimplePlan::omission_with_p(&graph, source, p))
+                }
+            }
+            (Algorithm::SimpleFast { phase_len }, _) => {
+                // Omission-only by validation; defined on disconnected
+                // graphs (unreachable nodes never adopt).
+                PlanKind::SimpleFast(simple_fast_plan(&graph, p, phase_len))
+            }
             (Algorithm::Flood { horizon_scale }, Model::Mp) => {
                 let horizon = theorem_horizon(&graph, source, p) * horizon_scale;
                 if graph.node_count() >= FLOOD_FAST_MIN_N {
                     // Statistically equivalent fast path for large n.
                     PlanKind::FloodFast(FastFlood::new(
-                        &graph,
+                        CsrGraph::from(graph.as_ref()),
                         source,
                         horizon,
                         FastFloodVariant::Tree,
@@ -523,7 +590,7 @@ impl Scenario {
             (Algorithm::FloodFast { horizon_scale }, Model::Mp) => {
                 let horizon = theorem_horizon(&graph, source, p) * horizon_scale;
                 PlanKind::FloodFast(FastFlood::new(
-                    &graph,
+                    CsrGraph::from(graph.as_ref()),
                     source,
                     horizon,
                     FastFloodVariant::Tree,
@@ -579,6 +646,23 @@ impl Scenario {
         })
     }
 
+    /// [`try_prepare`](Self::try_prepare) against an already-built copy
+    /// of this scenario's graph. Graph construction is deterministic per
+    /// family spec, so sweeps spanning several fault levels over the
+    /// same `(family, seed)` can call [`GraphFamily::build`] once and
+    /// hand each cell a clone instead of rebuilding — at `n = 10⁶` the
+    /// build (edge sampling + CSR sort) dominates sweep setup.
+    ///
+    /// `graph` must be the graph `self.graph.build()` would produce —
+    /// the structure is trusted, not re-derived.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_prepare`](Self::try_prepare).
+    pub fn try_prepare_on(self, graph: Graph) -> Result<PreparedScenario, ScenarioError> {
+        self.try_prepare_shared(Arc::new(graph))
+    }
+
     /// [`try_prepare`](Self::try_prepare), panicking on invalid
     /// scenarios — the convenience entry point for experiment binaries
     /// whose scenarios are static.
@@ -598,7 +682,7 @@ impl Scenario {
 /// source is always node 0).
 fn decay_fast_plan(graph: &Graph, cfg: DecayConfig) -> FastRadio {
     FastRadio::new(
-        graph,
+        CsrGraph::from(graph),
         graph.node(0),
         cfg.total_rounds(),
         FastRadioSchedule::Decay {
@@ -607,11 +691,19 @@ fn decay_fast_plan(graph: &Graph, cfg: DecayConfig) -> FastRadio {
     )
 }
 
+/// Compiles the fast-path Simple kernel for a scenario graph (the
+/// source is always node 0), with the Theorem 2.1 phase length unless
+/// an explicit `m` is given.
+fn simple_fast_plan(graph: &Graph, p: f64, phase_len: Option<usize>) -> FastSimple {
+    let m = phase_len.unwrap_or_else(|| chernoff::phase_len_omission(graph.node_count().max(2), p));
+    FastSimple::new(&CsrGraph::from(graph), graph.node(0), m)
+}
+
 impl PreparedScenario {
     /// The built graph.
     #[must_use]
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.graph.as_ref()
     }
 
     /// The scenario this was compiled from.
@@ -631,6 +723,7 @@ impl PreparedScenario {
     pub fn rounds(&self) -> usize {
         match &self.plan {
             PlanKind::Simple(plan) => plan.total_rounds(),
+            PlanKind::SimpleFast(plan) => plan.total_rounds(),
             PlanKind::Flood(plan) => plan.horizon(),
             PlanKind::FloodFast(plan) => plan.horizon(),
             PlanKind::Kucera(kb) => kb.time(),
@@ -642,13 +735,17 @@ impl PreparedScenario {
     }
 
     /// Whether trials execute on a bitset fast path — forced via
-    /// [`Algorithm::FloodFast`] / [`Algorithm::DecayFast`], or
-    /// auto-selected for [`Algorithm::Flood`] at `n ≥`
-    /// [`FLOOD_FAST_MIN_N`] and [`Algorithm::Decay`] at `n ≥`
-    /// [`RADIO_FAST_MIN_N`].
+    /// [`Algorithm::FloodFast`] / [`Algorithm::DecayFast`] /
+    /// [`Algorithm::SimpleFast`], or auto-selected for
+    /// [`Algorithm::Flood`] at `n ≥` [`FLOOD_FAST_MIN_N`],
+    /// [`Algorithm::Decay`] at `n ≥` [`RADIO_FAST_MIN_N`], and
+    /// omission [`Algorithm::Simple`] at `n ≥` [`SIMPLE_FAST_MIN_N`].
     #[must_use]
     pub fn uses_fast_path(&self) -> bool {
-        matches!(self.plan, PlanKind::FloodFast(_) | PlanKind::DecayFast(_))
+        matches!(
+            self.plan,
+            PlanKind::FloodFast(_) | PlanKind::DecayFast(_) | PlanKind::SimpleFast(_)
+        )
     }
 
     /// The per-phase repetition length `m`, for algorithms that have
@@ -657,6 +754,7 @@ impl PreparedScenario {
     pub fn phase_len(&self) -> Option<usize> {
         match &self.plan {
             PlanKind::Simple(plan) => Some(plan.phase_len()),
+            PlanKind::SimpleFast(plan) => Some(plan.phase_len()),
             PlanKind::SelfTimed(plan) => Some(plan.window()),
             PlanKind::Expanded(plan) => Some(plan.phase_len()),
             PlanKind::Flood(_)
@@ -692,7 +790,7 @@ impl PreparedScenario {
     /// adversary for the scenario's (model, fault-kind) pair.
     #[must_use]
     pub fn trial(&self, seed: u64) -> TrialOutcome {
-        let g = &self.graph;
+        let g = self.graph.as_ref();
         let fault = self.scenario.fault;
         let malicious = fault.kind != FaultKind::Omission;
         let bit = SOURCE_BIT;
@@ -713,6 +811,18 @@ impl PreparedScenario {
                         .all_correct(bit)
                 }),
             },
+            PlanKind::SimpleFast(plan) => {
+                // Omission-only by construction; both models are the
+                // same process under the Simple schedule. Success iff
+                // every node holds the source bit; the fraction and
+                // almost-complete round mirror the flood metrics.
+                let out = plan.run(fault.p.get(), seed);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.correct_fraction(),
+                    out.almost_complete_round(),
+                )
+            }
             PlanKind::Flood(plan) => {
                 TrialOutcome::completed(plan.run(g, fault, seed).completion_round())
             }
@@ -902,6 +1012,7 @@ mod tests {
     fn validate_enumerates_all_algorithm_model_pairs() {
         let algorithms = [
             Algorithm::Simple,
+            Algorithm::SimpleFast { phase_len: None },
             Algorithm::Flood { horizon_scale: 1 },
             Algorithm::FloodFast { horizon_scale: 1 },
             Algorithm::Kucera,
@@ -919,7 +1030,7 @@ mod tests {
                     fault: FaultConfig::omission(0.1),
                 };
                 let valid = match (algorithm, model) {
-                    (Algorithm::Simple, _) => true,
+                    (Algorithm::Simple | Algorithm::SimpleFast { .. }, _) => true,
                     (
                         Algorithm::Flood { .. }
                         | Algorithm::FloodFast { .. }
@@ -1275,6 +1386,171 @@ mod tests {
         assert!(frac > 0.0 && frac <= 1.0);
         assert_eq!(out.success, (frac - 1.0).abs() < 1e-12);
         assert_eq!(prep.trial(5), out, "deterministic per seed");
+    }
+
+    #[test]
+    fn simple_selects_fast_path_only_at_scale_and_only_for_omission() {
+        let small = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::Simple,
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+        .prepare();
+        assert!(!small.uses_fast_path());
+        for model in [Model::Mp, Model::Radio] {
+            let large = Scenario {
+                graph: GraphFamily::Gnp {
+                    n: SIMPLE_FAST_MIN_N,
+                    avg_deg: 6,
+                    seed: 4,
+                },
+                algorithm: Algorithm::Simple,
+                model,
+                fault: FaultConfig::omission(0.3),
+            }
+            .prepare();
+            assert!(large.uses_fast_path(), "{model}");
+            // The fast plan keeps the Theorem 2.1 phase length.
+            let m = randcast_stats::chernoff::phase_len_omission(SIMPLE_FAST_MIN_N, 0.3);
+            assert_eq!(large.phase_len(), Some(m));
+            assert_eq!(large.rounds(), SIMPLE_FAST_MIN_N * m);
+        }
+        // Malicious Simple stays on the general engines at every size.
+        let malicious = Scenario {
+            graph: GraphFamily::Gnp {
+                n: SIMPLE_FAST_MIN_N,
+                avg_deg: 6,
+                seed: 4,
+            },
+            algorithm: Algorithm::Simple,
+            model: Model::Mp,
+            fault: FaultConfig::malicious(0.2),
+        }
+        .prepare();
+        assert!(!malicious.uses_fast_path());
+    }
+
+    #[test]
+    fn simple_fast_forced_path_matches_simple_parameterization() {
+        let base = Scenario {
+            graph: GraphFamily::Grid(6, 6),
+            algorithm: Algorithm::Simple,
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.4),
+        };
+        let forced = Scenario {
+            algorithm: Algorithm::SimpleFast { phase_len: None },
+            ..base
+        }
+        .prepare();
+        assert!(forced.uses_fast_path());
+        assert_eq!(forced.phase_len(), base.prepare().phase_len());
+        assert_eq!(forced.rounds(), base.prepare().rounds());
+        // An explicit phase length overrides the prescription.
+        let fixed = Scenario {
+            algorithm: Algorithm::SimpleFast { phase_len: Some(7) },
+            ..base
+        }
+        .prepare();
+        assert_eq!(fixed.phase_len(), Some(7));
+        assert_eq!(fixed.rounds(), 36 * 7);
+        // Trials report the correct fraction and are deterministic.
+        let out = fixed.trial(3);
+        assert_eq!(out, fixed.trial(3));
+        let frac = out.informed_frac.expect("fast path reports fraction");
+        assert!(frac > 0.0 && frac <= 1.0);
+        assert_eq!(out.success, (frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_fast_rejects_malicious_and_zero_phase_len() {
+        for fault in [
+            FaultConfig::malicious(0.1),
+            FaultConfig::limited_malicious(0.1),
+        ] {
+            let err = Scenario {
+                graph: GraphFamily::Path(4),
+                algorithm: Algorithm::SimpleFast { phase_len: None },
+                model: Model::Radio,
+                fault,
+            }
+            .validate()
+            .expect_err("fast kernel models omission only");
+            assert_eq!(
+                err,
+                ScenarioError::FaultMismatch {
+                    algorithm: "simple-fast",
+                    tolerates: "omission faults only (use simple for malicious)",
+                }
+            );
+        }
+        assert!(matches!(
+            Scenario {
+                graph: GraphFamily::Path(4),
+                algorithm: Algorithm::SimpleFast { phase_len: Some(0) },
+                model: Model::Mp,
+                fault: FaultConfig::omission(0.1),
+            }
+            .validate(),
+            Err(ScenarioError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn simple_fast_accepts_disconnected_families_and_reports_fraction() {
+        let rgg = GraphFamily::RandomGeometric {
+            n: 64,
+            deg: 4,
+            seed: 3,
+        };
+        assert!(rgg.may_be_disconnected());
+        // Plain simple must keep rejecting it…
+        let simple = Scenario {
+            graph: rgg,
+            algorithm: Algorithm::Simple,
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.2),
+        };
+        assert!(matches!(
+            simple.validate(),
+            Err(ScenarioError::RequiresConnectivity { .. })
+        ));
+        // …while simple-fast measures the correct fraction.
+        let prep = Scenario {
+            algorithm: Algorithm::SimpleFast { phase_len: None },
+            ..simple
+        }
+        .try_prepare()
+        .expect("valid");
+        assert!(prep.uses_fast_path());
+        let out = prep.trial(5);
+        let frac = out.informed_frac.expect("fast path reports fraction");
+        assert!(frac > 0.0 && frac < 1.0, "this rgg is disconnected");
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn prepare_shared_matches_prepare() {
+        let scenario = Scenario {
+            graph: GraphFamily::Gnp {
+                n: 120,
+                avg_deg: 5,
+                seed: 31,
+            },
+            algorithm: Algorithm::SimpleFast { phase_len: None },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        };
+        let direct = scenario.try_prepare().expect("valid");
+        let graph = std::sync::Arc::new(scenario.graph.build());
+        let shared = scenario
+            .try_prepare_shared(std::sync::Arc::clone(&graph))
+            .expect("valid");
+        assert_eq!(direct.rounds(), shared.rounds());
+        for seed in 0..10 {
+            assert_eq!(direct.trial(seed), shared.trial(seed));
+        }
     }
 
     #[test]

@@ -1,13 +1,29 @@
-//! The unified sweep harness: declarative cells, parallel trials,
-//! structured results.
+//! The unified sweep harness: declarative cells, a cell-*and*-trial
+//! parallel worker pool, structured results.
 //!
 //! A [`Sweep`] is an ordered list of *cells*. Each cell is one table row
 //! of an experiment: a set of labelled parameters, a trial count, an
-//! optional almost-safety target `n`, and a trial function. Running the
-//! sweep fans every cell's trials out over
-//! [`randcast_stats::montecarlo::run_trials_parallel`] and collects a
-//! [`SweepResult`] that renders both the Markdown tables and the JSON
-//! report from the same data.
+//! optional almost-safety target `n`, and a trial function — or, for
+//! declarative [`Scenario`] cells, just the scenario spec itself, which
+//! the driver compiles at run time. Running the sweep fans work across
+//! one worker pool in three phases:
+//!
+//! 1. **graph cache** — each distinct [`GraphFamily`]
+//!    (`(family, seed)` spec, which pins the built graph exactly) is
+//!    built **once**, in parallel, and shared across all of its cells
+//!    behind an `Arc` via
+//!    [`Scenario::try_prepare_shared`] — at `n = 10⁶` the build
+//!    dominates sweep setup, and a `p`-sweep would otherwise rebuild it
+//!    per cell;
+//! 2. **prepare** — scenario cells compile their plans in parallel;
+//! 3. **execute** — every cell's trials are split into chunks and all
+//!    `(cell, chunk)` tasks are fed to the pool, so the sweep
+//!    parallelizes across cells *and* within them (a sweep of many
+//!    small cells no longer serializes on the per-cell barrier, and a
+//!    single huge cell still uses every worker).
+//!
+//! The collected [`SweepResult`] renders both the Markdown tables and
+//! the JSON report from the same data.
 //!
 //! # Determinism
 //!
@@ -15,9 +31,11 @@
 //! `i` owns the child sequence `seeds.child(i)`, and trial `j` within it
 //! observes the RNG stream `child.nth_rng(j)` (plus a `u64` seed drawn
 //! from that stream for engine entry points that take a seed). Because
-//! the parallel runner indexes RNG streams by trial id, **outcome
-//! vectors are bit-identical for every thread count** — only `wall_ms`
-//! varies between runs.
+//! RNG streams are indexed by `(cell, trial)` — never by worker or
+//! chunk — **outcome vectors are bit-identical for every thread
+//! count**; only `wall_ms` varies between runs. The property test in
+//! `crates/core/tests/sweep_equivalence.rs` pins this across closure
+//! and scenario cells.
 //!
 //! # Example
 //!
@@ -37,19 +55,23 @@
 //! assert!(result.cells[0].estimate.rate() < result.cells[1].estimate.rate());
 //! ```
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::Rng as _;
 
+use randcast_graph::Graph;
+use randcast_stats::aggregate::OutcomeSummary;
 use randcast_stats::estimate::SuccessEstimate;
-use randcast_stats::montecarlo;
 pub use randcast_stats::report::CellKind;
 use randcast_stats::report::{CellReport, SweepReport};
 use randcast_stats::seed::SeedSequence;
 
 use crate::experiment::AlmostSafeRow;
-use crate::scenario::{PreparedScenario, Scenario};
+use crate::scenario::{GraphFamily, PreparedScenario, Scenario, ScenarioError};
 
 /// The result of one Monte-Carlo trial.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -127,12 +149,25 @@ impl From<bool> for TrialOutcome {
 
 type CellFn<'a> = Box<dyn Fn(u64, &mut SmallRng) -> TrialOutcome + Sync + 'a>;
 
+/// What a cell executes: a closure with fixed labels, or a declarative
+/// scenario compiled by the driver at run time (so its graph can come
+/// from the shared cache).
+enum CellWork<'a> {
+    Closure {
+        params: Vec<(String, String)>,
+        n: Option<usize>,
+        run: CellFn<'a>,
+    },
+    Scenario {
+        scenario: Scenario,
+        extra: Vec<(String, String)>,
+    },
+}
+
 struct Cell<'a> {
     kind: CellKind,
-    params: Vec<(String, String)>,
     trials: usize,
-    n: Option<usize>,
-    run: CellFn<'a>,
+    work: CellWork<'a>,
 }
 
 /// A declarative experiment sweep (see the module docs).
@@ -206,13 +241,15 @@ impl<'a> Sweep<'a> {
         assert!(trials > 0, "need at least one trial per cell");
         self.cells.push(Cell {
             kind: CellKind::MonteCarlo,
-            params: params
-                .into_iter()
-                .map(|(k, v)| (k.into(), v.into()))
-                .collect(),
             trials,
-            n: n.map(|n| n.max(2)),
-            run: Box::new(run),
+            work: CellWork::Closure {
+                params: params
+                    .into_iter()
+                    .map(|(k, v)| (k.into(), v.into()))
+                    .collect(),
+                n: n.map(|n| n.max(2)),
+                run: Box::new(run),
+            },
         });
     }
 
@@ -228,34 +265,89 @@ impl<'a> Sweep<'a> {
     {
         self.cells.push(Cell {
             kind: CellKind::Analytic,
-            params: params
-                .into_iter()
-                .map(|(k, v)| (k.into(), v.into()))
-                .collect(),
             trials: 1,
-            n: None,
-            run: Box::new(|_, _| TrialOutcome::pass(true)),
+            work: CellWork::Closure {
+                params: params
+                    .into_iter()
+                    .map(|(k, v)| (k.into(), v.into()))
+                    .collect(),
+                n: None,
+                run: Box::new(|_, _| TrialOutcome::pass(true)),
+            },
         });
     }
 
     /// Adds a cell from a declarative [`Scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid (see
+    /// [`try_scenario`](Self::try_scenario) for the non-panicking
+    /// entry point).
     pub fn scenario(&mut self, scenario: Scenario, trials: usize) {
         self.scenario_with(scenario, trials, Vec::new());
     }
 
     /// Adds a [`Scenario`] cell with extra parameter columns appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid.
     pub fn scenario_with(
         &mut self,
         scenario: Scenario,
         trials: usize,
         extra: Vec<(String, String)>,
     ) {
-        self.prepared(scenario.prepare(), trials, extra);
+        self.try_scenario_with(scenario, trials, extra)
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+    }
+
+    /// Adds a cell from a declarative [`Scenario`], rejecting invalid
+    /// specs instead of panicking — the entry point for sweep builders
+    /// whose scenarios are data (config files, CLI input).
+    ///
+    /// The cell's graph comes from the driver's per-`(family, seed)`
+    /// build cache at run time, so sweeps spanning several fault levels
+    /// over one family build its graph once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] of [`Scenario::validate`].
+    /// Graph-dependent planning failures (e.g. Kučera amplification
+    /// beyond the cap on the *built* graph) are not detectable without
+    /// building, and still abort the run itself.
+    pub fn try_scenario(&mut self, scenario: Scenario, trials: usize) -> Result<(), ScenarioError> {
+        self.try_scenario_with(scenario, trials, Vec::new())
+    }
+
+    /// [`try_scenario`](Self::try_scenario) with extra parameter
+    /// columns appended.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_scenario`](Self::try_scenario).
+    pub fn try_scenario_with(
+        &mut self,
+        scenario: Scenario,
+        trials: usize,
+        extra: Vec<(String, String)>,
+    ) -> Result<(), ScenarioError> {
+        assert!(trials > 0, "need at least one trial per cell");
+        scenario.validate()?;
+        self.cells.push(Cell {
+            kind: CellKind::MonteCarlo,
+            trials,
+            work: CellWork::Scenario { scenario, extra },
+        });
+        Ok(())
     }
 
     /// Adds a cell from an already-prepared scenario (lets callers
     /// inspect plan sizes — e.g. to scale trial counts — before
-    /// committing the cell).
+    /// committing the cell). Cells added this way hold their own
+    /// prepared graph; use [`try_scenario`](Self::try_scenario) to
+    /// share builds through the run-time cache instead.
     pub fn prepared(
         &mut self,
         prepared: PreparedScenario,
@@ -270,39 +362,156 @@ impl<'a> Sweep<'a> {
         });
     }
 
-    /// Runs every cell, fanning trials across the worker threads.
+    /// Runs every cell, fanning the graph builds, the scenario
+    /// compiles, and all `(cell, trial-chunk)` tasks across the worker
+    /// pool.
     #[must_use]
     pub fn run(self) -> SweepResult {
         let threads = self.threads;
-        let cells = self
-            .cells
-            .into_iter()
+        let seeds = self.seeds;
+        let cells = self.cells;
+
+        // Phase 1: build each distinct scenario graph once, in
+        // parallel, keyed by the full family spec (which includes the
+        // construction seed).
+        let mut families: Vec<GraphFamily> = Vec::new();
+        for cell in &cells {
+            if let CellWork::Scenario { scenario, .. } = &cell.work {
+                if !families.contains(&scenario.graph) {
+                    families.push(scenario.graph);
+                }
+            }
+        }
+        let graph_slots: Vec<OnceLock<Arc<Graph>>> =
+            (0..families.len()).map(|_| OnceLock::new()).collect();
+        parallel_for_each(families.len(), threads, |i| {
+            let built = Arc::new(families[i].build());
+            graph_slots[i].set(built).expect("each family built once");
+        });
+        let graphs: HashMap<GraphFamily, Arc<Graph>> = families
+            .iter()
+            .zip(&graph_slots)
+            .map(|(family, slot)| {
+                (
+                    *family,
+                    Arc::clone(slot.get().expect("family build completed")),
+                )
+            })
+            .collect();
+
+        // Phase 2: compile scenario cells into runnable form, in
+        // parallel (plan compilation does BFS and Chernoff sizing).
+        let resolved_slots: Vec<OnceLock<ResolvedCell<'_, 'a>>> =
+            (0..cells.len()).map(|_| OnceLock::new()).collect();
+        parallel_for_each(cells.len(), threads, |i| {
+            let resolved = match &cells[i].work {
+                CellWork::Closure { params, n, run } => ResolvedCell {
+                    params: params.clone(),
+                    n: *n,
+                    exec: CellExec::Closure(run),
+                },
+                CellWork::Scenario { scenario, extra } => {
+                    let graph = Arc::clone(&graphs[&scenario.graph]);
+                    let prepared = scenario
+                        .try_prepare_shared(graph)
+                        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+                    let mut params = prepared.params();
+                    params.extend(extra.iter().cloned());
+                    ResolvedCell {
+                        // Same clamp as `cell()`: a 1-node target would
+                        // make the almost-safety bar 1 − 1/n = 0.
+                        n: Some(prepared.n().max(2)),
+                        params,
+                        exec: CellExec::Scenario(prepared),
+                    }
+                }
+            };
+            let _ = resolved_slots[i].set(resolved);
+        });
+
+        // Phase 3: execute all (cell, chunk) tasks on the pool. Chunks
+        // only partition work — trial RNG streams are indexed by
+        // (cell, trial), so outcomes cannot depend on scheduling.
+        struct Task {
+            cell: usize,
+            start: usize,
+            len: usize,
+        }
+        let mut tasks: Vec<Task> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let chunk = cell.trials.div_ceil(threads).max(1);
+            let mut start = 0;
+            while start < cell.trials {
+                let len = chunk.min(cell.trials - start);
+                tasks.push(Task {
+                    cell: i,
+                    start,
+                    len,
+                });
+                start += len;
+            }
+        }
+        let outcomes: Vec<Mutex<Vec<Option<TrialOutcome>>>> = cells
+            .iter()
+            .map(|c| Mutex::new(vec![None; c.trials]))
+            .collect();
+        let spans: Vec<Mutex<Option<(Instant, Instant)>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        parallel_for_each(tasks.len(), threads, |t| {
+            let task = &tasks[t];
+            let resolved = resolved_slots[task.cell]
+                .get()
+                .expect("phase 2 resolved every cell");
+            let cell_seeds = seeds.child(task.cell as u64);
+            let started = Instant::now();
+            let mut local = Vec::with_capacity(task.len);
+            for j in task.start..task.start + task.len {
+                let mut rng = cell_seeds.nth_rng(j as u64);
+                let seed = rng.gen::<u64>();
+                local.push(Some(match &resolved.exec {
+                    CellExec::Closure(run) => run(seed, &mut rng),
+                    CellExec::Scenario(prepared) => prepared.trial(seed),
+                }));
+            }
+            let ended = Instant::now();
+            outcomes[task.cell].lock().expect("outcome lock")[task.start..task.start + task.len]
+                .clone_from_slice(&local);
+            let mut span = spans[task.cell].lock().expect("span lock");
+            *span = match *span {
+                None => Some((started, ended)),
+                Some((s, e)) => Some((s.min(started), e.max(ended))),
+            };
+        });
+
+        // Collect, in cell order.
+        let results = cells
+            .iter()
             .enumerate()
             .map(|(i, cell)| {
-                let seeds = self.seeds.child(i as u64);
-                let start = Instant::now();
-                let run = &cell.run;
-                let outcomes =
-                    montecarlo::run_trials_parallel(cell.trials, seeds, threads, |rng| {
-                        let seed = rng.gen::<u64>();
-                        run(seed, rng)
-                    });
-                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-                let estimate = SuccessEstimate::new(
-                    outcomes.iter().filter(|o| o.success).count(),
-                    outcomes.len(),
+                let resolved = resolved_slots[i].get().expect("resolved");
+                let outcomes: Vec<TrialOutcome> = outcomes[i]
+                    .lock()
+                    .expect("outcome lock")
+                    .iter()
+                    .map(|o| o.expect("all trials filled"))
+                    .collect();
+                let summary = OutcomeSummary::collect(
+                    outcomes
+                        .iter()
+                        .map(|o| (o.success, o.rounds, o.informed_frac)),
                 );
-                let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.rounds).collect();
-                let fracs: Vec<f64> = outcomes.iter().filter_map(|o| o.informed_frac).collect();
+                let estimate = SuccessEstimate::new(summary.successes, summary.trials);
+                let wall_ms = spans[i]
+                    .lock()
+                    .expect("span lock")
+                    .map_or(0.0, |(s, e)| e.duration_since(s).as_secs_f64() * 1e3);
                 CellResult {
                     kind: cell.kind,
-                    params: cell.params,
+                    params: resolved.params.clone(),
                     estimate,
-                    row: cell.n.map(|n| AlmostSafeRow::judge(estimate, n)),
-                    mean_rounds: (!rounds.is_empty())
-                        .then(|| rounds.iter().sum::<f64>() / rounds.len() as f64),
-                    mean_informed_frac: (!fracs.is_empty())
-                        .then(|| fracs.iter().sum::<f64>() / fracs.len() as f64),
+                    row: resolved.n.map(|n| AlmostSafeRow::judge(estimate, n)),
+                    mean_rounds: summary.mean_rounds,
+                    mean_informed_frac: summary.mean_informed_frac,
                     wall_ms,
                     outcomes,
                 }
@@ -310,9 +519,47 @@ impl<'a> Sweep<'a> {
             .collect();
         SweepResult {
             experiment: self.experiment,
-            cells,
+            cells: results,
         }
     }
+}
+
+/// How a resolved cell executes its trials.
+enum CellExec<'c, 'a> {
+    Closure(&'c CellFn<'a>),
+    Scenario(PreparedScenario),
+}
+
+/// A cell after phase 2: labels, target `n`, and an executable.
+struct ResolvedCell<'c, 'a> {
+    params: Vec<(String, String)>,
+    n: Option<usize>,
+    exec: CellExec<'c, 'a>,
+}
+
+/// Runs `f(0..count)` across at most `threads` workers pulling from a
+/// shared index — the sweep's one parallelism primitive. Results must
+/// flow through `Sync` state owned by the caller; panics in `f`
+/// propagate.
+fn parallel_for_each(count: usize, threads: usize, f: impl Fn(usize) + Sync) {
+    if threads <= 1 || count <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
 }
 
 /// One worker per available CPU (the `Sweep` default).
@@ -339,7 +586,9 @@ pub struct CellResult {
     /// Mean informed fraction over trials that reported one (the
     /// almost-complete broadcast metric).
     pub mean_informed_frac: Option<f64>,
-    /// Wall-clock milliseconds spent on the cell.
+    /// Wall-clock milliseconds spanned by the cell's trial tasks
+    /// (first task start to last task end; tasks of other cells may
+    /// interleave).
     pub wall_ms: f64,
     /// The per-trial outcome vector (thread-count independent).
     pub outcomes: Vec<TrialOutcome>,
@@ -391,6 +640,8 @@ impl SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{Algorithm, Model};
+    use randcast_engine::fault::FaultConfig;
 
     fn outcome_vectors(threads: usize) -> Vec<Vec<TrialOutcome>> {
         let mut sweep = Sweep::new("t", SeedSequence::new(11)).with_threads(threads);
@@ -459,5 +710,105 @@ mod tests {
     fn zero_trial_cells_are_rejected() {
         let mut sweep = Sweep::new("t", SeedSequence::new(0));
         sweep.cell([("k", "v")], 0, None, |_, _| TrialOutcome::pass(true));
+    }
+
+    #[test]
+    fn try_scenario_rejects_invalid_cells_without_panicking() {
+        let mut sweep = Sweep::new("t", SeedSequence::new(1));
+        let bad = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::Kucera,
+            model: Model::Radio,
+            fault: FaultConfig::omission(0.1),
+        };
+        let err = sweep.try_scenario(bad, 5).expect_err("invalid model combo");
+        assert!(err.to_string().contains("radio"), "{err}");
+        assert!(sweep.is_empty(), "rejected cells must not be added");
+        // A valid scenario is accepted and runs.
+        sweep
+            .try_scenario(
+                Scenario {
+                    graph: GraphFamily::Path(4),
+                    algorithm: Algorithm::Simple,
+                    model: Model::Mp,
+                    fault: FaultConfig::omission(0.1),
+                },
+                5,
+            )
+            .expect("valid scenario");
+        assert_eq!(sweep.len(), 1);
+        let result = sweep.run();
+        assert_eq!(result.cells[0].outcomes.len(), 5);
+        assert_eq!(result.cells[0].params[0].1, "path-4");
+    }
+
+    #[test]
+    fn scenario_cells_share_one_graph_build_per_family() {
+        // Two p-cells over the same (family, seed) spec plus one over a
+        // different seed: the cache must key on the full spec, and the
+        // shared build must produce the same outcomes as independent
+        // prepares.
+        let family = GraphFamily::Gnp {
+            n: 60,
+            avg_deg: 4,
+            seed: 9,
+        };
+        let other = GraphFamily::Gnp {
+            n: 60,
+            avg_deg: 4,
+            seed: 10,
+        };
+        let mut sweep = Sweep::new("cache", SeedSequence::new(5)).with_threads(4);
+        for (i, graph) in [family, family, other].into_iter().enumerate() {
+            sweep.scenario_with(
+                Scenario {
+                    graph,
+                    algorithm: Algorithm::FloodFast { horizon_scale: 2 },
+                    model: Model::Mp,
+                    fault: FaultConfig::omission(0.2),
+                },
+                7,
+                vec![("cell".into(), i.to_string())],
+            );
+        }
+        let shared = sweep.run();
+        // Reference: each cell prepared independently.
+        let mut reference = Sweep::new("cache", SeedSequence::new(5)).with_threads(1);
+        for (i, graph) in [family, family, other].into_iter().enumerate() {
+            reference.prepared(
+                Scenario {
+                    graph,
+                    algorithm: Algorithm::FloodFast { horizon_scale: 2 },
+                    model: Model::Mp,
+                    fault: FaultConfig::omission(0.2),
+                }
+                .try_prepare()
+                .expect("valid"),
+                7,
+                vec![("cell".into(), i.to_string())],
+            );
+        }
+        let independent = reference.run();
+        for (a, b) in shared.cells.iter().zip(&independent.cells) {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.params, b.params);
+        }
+    }
+
+    #[test]
+    fn single_heavy_cell_still_parallelizes_deterministically() {
+        // One cell, many trials: chunking must not affect outcomes.
+        let run = |threads| {
+            let mut sweep = Sweep::new("one", SeedSequence::new(2)).with_threads(threads);
+            sweep.cell([("k", "v")], 503, None, |seed, rng| {
+                use rand::Rng;
+                TrialOutcome::with_rounds(rng.gen_bool(0.5), (seed % 13) as f64)
+            });
+            sweep.run().cells.remove(0).outcomes
+        };
+        let base = run(1);
+        for threads in [2, 5, 16] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
     }
 }

@@ -23,7 +23,7 @@ use randcast_core::decay::{run_decay, DecayConfig};
 use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, RADIO_FAST_MIN_N};
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
-use randcast_graph::{generators, traversal, Graph};
+use randcast_graph::{generators, traversal, CsrGraph, Graph};
 
 const TRIALS: u64 = 250;
 
@@ -62,7 +62,7 @@ fn classical_scaled(g: &Graph, factor: usize) -> DecayConfig {
 
 fn fast_plan(g: &Graph, cfg: DecayConfig) -> FastRadio {
     FastRadio::new(
-        g,
+        CsrGraph::from(g),
         g.node(0),
         cfg.total_rounds(),
         FastRadioSchedule::Decay {

@@ -11,8 +11,10 @@ use randcast_engine::fault::FaultConfig;
 use randcast_stats::seed::SeedSequence;
 
 /// Builds the fixed scenario sweep used by the equivalence property:
-/// one Simple-Omission cell per model plus a timed Flood cell, all on a
-/// small graph so a single case stays cheap.
+/// one Simple-Omission cell per model, a timed Flood cell, and two
+/// fast-path cells sharing one cached graph build — so the property
+/// exercises cell-level parallelism, the per-family graph cache, and
+/// the per-cell trial chunking all at once.
 fn build_sweep(seed: u64, p: f64, trials: usize, threads: usize) -> Sweep<'static> {
     let mut sweep = Sweep::new("equivalence", SeedSequence::new(seed)).with_threads(threads);
     for model in [Model::Mp, Model::Radio] {
@@ -35,6 +37,28 @@ fn build_sweep(seed: u64, p: f64, trials: usize, threads: usize) -> Sweep<'stati
         },
         trials,
     );
+    // Two cells over the same (family, seed): one shared graph build.
+    let family = GraphFamily::Gnp {
+        n: 40,
+        avg_deg: 4,
+        seed: 77,
+    };
+    for algorithm in [
+        Algorithm::SimpleFast { phase_len: Some(3) },
+        Algorithm::FloodFast { horizon_scale: 2 },
+    ] {
+        sweep
+            .try_scenario(
+                Scenario {
+                    graph: family,
+                    algorithm,
+                    model: Model::Mp,
+                    fault: FaultConfig::omission(p),
+                },
+                trials,
+            )
+            .expect("valid scenario");
+    }
     sweep
 }
 

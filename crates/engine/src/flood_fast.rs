@@ -7,16 +7,20 @@
 //! have anything to say. Flooding needs none of that — a node's whole
 //! behavior is "once informed, transmit to my targets every round until
 //! they are all informed", and a round's outcome depends only on which
-//! *frontier* transmitters succeed. [`FastFlood`] exploits this:
+//! *frontier* transmitters succeed. [`FastFlood`] exploits this on the
+//! shared [`kernel`](crate::kernel) substrate:
 //!
-//! * the informed set is a **word-level bitmask** (one bit per node),
-//! * targets live in a flat CSR array of `u32`s (half the memory of the
-//!   general engine's per-node vectors),
-//! * fault sampling is **aggregate**: one Bernoulli coin per *frontier*
-//!   node per round — or, when `p` is large and successes are sparse, a
-//!   **geometric skip** that jumps directly between successful
-//!   transmitters so the per-round cost is proportional to successes,
-//!   not frontier size,
+//! * the informed set is a word-level
+//!   [`InformedSet`](crate::kernel::InformedSet) bitmask,
+//! * transmission targets are the flat `u32` CSR arrays of a
+//!   [`CsrGraph`] (the graph's adjacency, or its
+//!   [`bfs_tree`](CsrGraph::bfs_tree) child lists for the paper's
+//!   tree-flooding variant) — the engine builds no adjacency of its
+//!   own,
+//! * fault sampling is the aggregate
+//!   [`FaultSampler`](crate::kernel::FaultSampler): one Bernoulli coin
+//!   per *frontier* node per round, or a geometric skip between
+//!   successful transmitters when `p > 0.75`,
 //! * a transmitter leaves the frontier the moment it can no longer
 //!   inform anyone, and the run stops as soon as nothing can change.
 //!
@@ -36,11 +40,11 @@
 //! degree 8, `p = 0.3` runs in well under a second in release mode.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use randcast_graph::{Graph, NodeId};
+use randcast_graph::{CsrGraph, NodeId};
 
-use crate::sampling::geometric_skip;
+use crate::kernel::{FaultSampler, InformedSet};
 
 /// Which edges carry the fast flood (mirrors
 /// `randcast_core::flood::FloodVariant` without the crate dependency).
@@ -55,12 +59,13 @@ pub enum FastFloodVariant {
 }
 
 /// A compiled fast-path flooding plan: flat CSR target lists plus a
-/// horizon.
+/// horizon. The target arrays come straight from the
+/// [`CsrGraph`] / [`CsrTree`](randcast_graph::CsrTree) substrate.
 #[derive(Clone, Debug)]
 pub struct FastFlood {
     /// `targets[offsets[v]..offsets[v+1]]` are `v`'s transmission
     /// targets.
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     targets: Vec<u32>,
     source: u32,
     horizon: usize,
@@ -71,64 +76,17 @@ impl FastFlood {
     /// Compiles a plan transmitting along the given variant's edges for
     /// `horizon` rounds. A `horizon` of 0 is allowed (the run reports
     /// only the source informed); a graph disconnected from `source` is
-    /// allowed (the flood covers the source's component).
+    /// allowed (the flood covers the source's component). Takes the
+    /// graph by value: the [`FastFloodVariant::Graph`] plan *is* the
+    /// CSR arrays, moved in without a copy (clone at the call site to
+    /// keep the graph).
     #[must_use]
-    pub fn new(graph: &Graph, source: NodeId, horizon: usize, variant: FastFloodVariant) -> Self {
-        let n = graph.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::new();
-        match variant {
-            FastFloodVariant::Graph => {
-                offsets.push(0);
-                for v in graph.nodes() {
-                    targets.extend(graph.neighbors(v).iter().map(|&t| u32::from(t)));
-                    offsets.push(targets.len());
-                }
-            }
-            FastFloodVariant::Tree => {
-                // BFS over the source's component; children grouped per
-                // parent. parent[v] = u32::MAX marks "not reached".
-                const UNSET: u32 = u32::MAX;
-                let mut parent = vec![UNSET; n];
-                let mut order: Vec<u32> = Vec::with_capacity(n);
-                parent[source.index()] = u32::from(source);
-                order.push(u32::from(source));
-                let mut head = 0usize;
-                while head < order.len() {
-                    let u = order[head];
-                    head += 1;
-                    for &v in graph.neighbors(NodeId::new(u as usize)) {
-                        if parent[v.index()] == UNSET {
-                            parent[v.index()] = u;
-                            order.push(u32::from(v));
-                        }
-                    }
-                }
-                let mut degree = vec![0usize; n];
-                for (v, &p) in parent.iter().enumerate() {
-                    if p != UNSET && p as usize != v {
-                        degree[p as usize] += 1;
-                    }
-                }
-                offsets.push(0);
-                let mut acc = 0usize;
-                for &d in &degree {
-                    acc += d;
-                    offsets.push(acc);
-                }
-                targets = vec![0u32; acc];
-                let mut cursor = offsets.clone();
-                // Children in BFS-discovery order (== ascending node id
-                // per parent, since neighbor lists are sorted).
-                for &v in &order {
-                    let p = parent[v as usize];
-                    if p != v {
-                        targets[cursor[p as usize]] = v;
-                        cursor[p as usize] += 1;
-                    }
-                }
-            }
-        }
+    pub fn new(csr: CsrGraph, source: NodeId, horizon: usize, variant: FastFloodVariant) -> Self {
+        let n = csr.node_count();
+        let (offsets, targets) = match variant {
+            FastFloodVariant::Graph => csr.into_raw_parts(),
+            FastFloodVariant::Tree => csr.bfs_tree(u32::from(source)).into_children_csr(),
+        };
         FastFlood {
             offsets,
             targets,
@@ -151,13 +109,11 @@ impl FastFlood {
     }
 
     fn targets_of(&self, v: usize) -> &[u32] {
-        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
-    fn has_uninformed_target(&self, v: usize, informed: &[u64]) -> bool {
-        self.targets_of(v)
-            .iter()
-            .any(|&t| informed[t as usize / 64] & (1u64 << (t % 64)) == 0)
+    fn has_uninformed_target(&self, v: usize, informed: &InformedSet) -> bool {
+        self.targets_of(v).iter().any(|&t| !informed.contains(t))
     }
 
     /// Executes one seeded flood with per-(node, round) transmitter
@@ -169,26 +125,21 @@ impl FastFlood {
     /// Panics if `p ∉ [0, 1)`.
     #[must_use]
     pub fn run(&self, p: f64, seed: u64) -> FastFloodOutcome {
-        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let sampler = FaultSampler::new(p);
         let n = self.n;
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut informed = vec![0u64; n.div_ceil(64)];
-        let src = self.source as usize;
-        informed[src / 64] |= 1u64 << (src % 64);
-        let mut informed_count = 1usize;
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
         let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
         informed_by_round.push(1);
         let mut completion_round = (n == 1).then_some(0);
 
         let mut frontier: Vec<u32> = Vec::new();
-        if self.has_uninformed_target(src, &informed) {
+        if self.has_uninformed_target(self.source as usize, &informed) {
             frontier.push(self.source);
         }
         let mut next_frontier: Vec<u32> = Vec::new();
         let mut successes: Vec<u32> = Vec::new();
-        // Geometric skips pay off once successes are sparse.
-        let sparse = p > 0.75;
-        let ln_p = if sparse { p.ln() } else { 0.0 };
 
         for round in 1..=self.horizon {
             if frontier.is_empty() {
@@ -196,37 +147,12 @@ impl FastFlood {
             }
             successes.clear();
             next_frontier.clear();
-            if p == 0.0 {
-                successes.extend_from_slice(&frontier);
-            } else if sparse {
-                // Jump between successful transmitters: the number of
-                // failures before the next success is Geometric(1 − p).
-                // Everything skipped over failed and stays frontier.
-                let mut prev = 0usize;
-                let mut idx = geometric_skip(&mut rng, ln_p);
-                while idx < frontier.len() {
-                    next_frontier.extend_from_slice(&frontier[prev..idx]);
-                    successes.push(frontier[idx]);
-                    prev = idx + 1;
-                    idx = prev.saturating_add(geometric_skip(&mut rng, ln_p));
-                }
-                next_frontier.extend_from_slice(&frontier[prev..]);
-            } else {
-                for &u in &frontier {
-                    if rng.gen_bool(p) {
-                        next_frontier.push(u); // transmitter failed
-                    } else {
-                        successes.push(u);
-                    }
-                }
-            }
+            // Failed transmitters stay in the frontier for next round.
+            sampler.partition_into(&mut rng, &frontier, &mut successes, &mut next_frontier);
 
             for &u in &successes {
                 for &t in self.targets_of(u as usize) {
-                    let (w, b) = (t as usize / 64, 1u64 << (t % 64));
-                    if informed[w] & b == 0 {
-                        informed[w] |= b;
-                        informed_count += 1;
+                    if informed.insert(t) {
                         // The newly informed node starts transmitting
                         // next round if it can inform anyone.
                         next_frontier.push(t);
@@ -234,8 +160,8 @@ impl FastFlood {
                 }
             }
 
-            informed_by_round.push(informed_count);
-            if completion_round.is_none() && informed_count == n {
+            informed_by_round.push(informed.count());
+            if completion_round.is_none() && informed.count() == n {
                 completion_round = Some(round);
             }
 
@@ -255,10 +181,9 @@ impl FastFlood {
         FastFloodOutcome {
             n,
             horizon: self.horizon,
-            informed,
-            informed_count,
             completion_round,
             informed_by_round,
+            informed,
         }
     }
 }
@@ -269,8 +194,7 @@ impl FastFlood {
 pub struct FastFloodOutcome {
     n: usize,
     horizon: usize,
-    informed: Vec<u64>,
-    informed_count: usize,
+    informed: InformedSet,
     completion_round: Option<usize>,
     /// `informed_by_round[r]` = nodes informed by the end of round `r`
     /// (`[0] == 1`, the source). The run stops early once nothing can
@@ -310,20 +234,19 @@ impl FastFloodOutcome {
     /// Number of informed nodes at the end of the run.
     #[must_use]
     pub fn informed_count(&self) -> usize {
-        self.informed_count
+        self.informed.count()
     }
 
     /// Informed fraction `informed / n` at the end of the run.
     #[must_use]
     pub fn informed_fraction(&self) -> f64 {
-        self.informed_count as f64 / self.n as f64
+        self.informed.count() as f64 / self.n as f64
     }
 
     /// Whether node `v` ended the run informed.
     #[must_use]
     pub fn is_informed(&self, v: NodeId) -> bool {
-        let i = v.index();
-        self.informed[i / 64] & (1u64 << (i % 64)) != 0
+        self.informed.contains(u32::from(v))
     }
 
     /// The per-round cumulative informed counts (see the field docs).
@@ -363,12 +286,16 @@ impl FastFloodOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use randcast_graph::{generators, traversal, GraphBuilder};
+    use randcast_graph::{generators, traversal, Graph, GraphBuilder};
+
+    fn plan(g: &Graph, horizon: usize, variant: FastFloodVariant) -> FastFlood {
+        FastFlood::new(CsrGraph::from(g), g.node(0), horizon, variant)
+    }
 
     #[test]
     fn fault_free_tree_flood_takes_exactly_the_radius() {
         let g = generators::path(7);
-        let ff = FastFlood::new(&g, g.node(0), 32, FastFloodVariant::Tree);
+        let ff = plan(&g, 32, FastFloodVariant::Tree);
         let out = ff.run(0.0, 1);
         assert!(out.complete());
         assert_eq!(out.completion_round(), Some(7));
@@ -379,7 +306,7 @@ mod tests {
     fn fault_free_graph_flood_matches_bfs_layers() {
         let g = generators::grid(5, 7);
         let d = traversal::radius_from(&g, g.node(0));
-        let ff = FastFlood::new(&g, g.node(0), 100, FastFloodVariant::Graph);
+        let ff = plan(&g, 100, FastFloodVariant::Graph);
         let out = ff.run(0.0, 3);
         assert_eq!(out.completion_round(), Some(d));
         // Each round informs exactly the next BFS layer.
@@ -395,7 +322,7 @@ mod tests {
     fn informed_counts_are_monotone_and_bounded() {
         let g = generators::gnp_connected(300, 0.02, &mut rand::rngs::SmallRng::seed_from_u64(5));
         for p in [0.1, 0.5, 0.9] {
-            let ff = FastFlood::new(&g, g.node(0), 400, FastFloodVariant::Graph);
+            let ff = plan(&g, 400, FastFloodVariant::Graph);
             let out = ff.run(p, 11);
             let counts = out.informed_by_round();
             assert!(counts.windows(2).all(|w| w[0] <= w[1]), "p={p}");
@@ -407,13 +334,29 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::grid(9, 9);
-        let ff = FastFlood::new(&g, g.node(0), 200, FastFloodVariant::Tree);
+        let ff = plan(&g, 200, FastFloodVariant::Tree);
         assert_eq!(ff.run(0.4, 7), ff.run(0.4, 7));
         assert_ne!(
             ff.run(0.4, 7).informed_by_round(),
             ff.run(0.4, 8).informed_by_round(),
             "different seeds should (generically) differ"
         );
+    }
+
+    #[test]
+    fn csr_and_graph_construction_agree() {
+        // The CSR-direct generator path must compile to the same plan
+        // (and hence bit-identical runs) as Graph conversion.
+        let csr =
+            generators::gnp_connected_csr(200, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(9));
+        let g = Graph::from(&csr);
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let a = FastFlood::new(csr.clone(), g.node(0), 300, variant);
+            let b = plan(&g, 300, variant);
+            for seed in 0..5 {
+                assert_eq!(a.run(0.4, seed), b.run(0.4, seed), "{variant:?}");
+            }
+        }
     }
 
     #[test]
@@ -424,7 +367,7 @@ mod tests {
         let g = generators::path(12);
         let trials = 400u64;
         let mean = |p: f64| {
-            let ff = FastFlood::new(&g, g.node(0), 2000, FastFloodVariant::Tree);
+            let ff = plan(&g, 2000, FastFloodVariant::Tree);
             let total: usize = (0..trials)
                 .map(|s| ff.run(p, s).completion_round().expect("horizon ample"))
                 .sum();
@@ -453,7 +396,7 @@ mod tests {
         b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
         let g = b.finish().unwrap();
         for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
-            let ff = FastFlood::new(&g, g.node(0), 50, variant);
+            let ff = plan(&g, 50, variant);
             let out = ff.run(0.0, 1);
             assert!(!out.complete(), "{variant:?}");
             assert_eq!(out.informed_count(), 3);
@@ -470,7 +413,7 @@ mod tests {
     #[test]
     fn short_horizon_leaves_fraction_partial() {
         let g = generators::path(20);
-        let ff = FastFlood::new(&g, g.node(0), 5, FastFloodVariant::Tree);
+        let ff = plan(&g, 5, FastFloodVariant::Tree);
         let out = ff.run(0.0, 0);
         assert!(!out.complete());
         assert_eq!(out.informed_count(), 6);
@@ -481,7 +424,7 @@ mod tests {
     #[test]
     fn single_node_graph_is_complete_at_round_zero() {
         let g = generators::path(0);
-        let ff = FastFlood::new(&g, g.node(0), 4, FastFloodVariant::Graph);
+        let ff = plan(&g, 4, FastFloodVariant::Graph);
         let out = ff.run(0.3, 9);
         assert!(out.complete());
         assert_eq!(out.completion_round(), Some(0));
@@ -491,7 +434,7 @@ mod tests {
     #[test]
     fn high_p_completes_eventually() {
         let g = generators::star(8);
-        let ff = FastFlood::new(&g, g.node(1), 4000, FastFloodVariant::Graph);
+        let ff = FastFlood::new(CsrGraph::from(&g), g.node(1), 4000, FastFloodVariant::Graph);
         let mut completed = 0;
         for seed in 0..20 {
             completed += usize::from(ff.run(0.95, seed).complete());
@@ -503,7 +446,7 @@ mod tests {
     fn tree_variant_from_non_source_root() {
         // Source at a leaf: the BFS tree re-roots there.
         let g = generators::star(5);
-        let ff = FastFlood::new(&g, g.node(3), 50, FastFloodVariant::Tree);
+        let ff = FastFlood::new(CsrGraph::from(&g), g.node(3), 50, FastFloodVariant::Tree);
         let out = ff.run(0.0, 0);
         assert_eq!(out.completion_round(), Some(2));
     }

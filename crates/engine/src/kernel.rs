@@ -1,0 +1,376 @@
+//! The shared large-`n` simulation kernel: the informed bitmask,
+//! aggregate fault samplers, and collision-counting scratch that the
+//! fast-path engines ([`crate::flood_fast`], [`crate::radio_fast`],
+//! [`crate::simple_fast`]) are built from.
+//!
+//! Before this module each fast engine owned a private copy of the same
+//! machinery (bitmask words, the `p > 0.75` geometric-skip switch, the
+//! touched-list counter). Centralizing it means one implementation to
+//! audit for the sampling invariants below — and one place where the
+//! RNG draw order is defined, which the per-seed reproducibility
+//! guarantees of the engines depend on.
+//!
+//! # Sampling invariants
+//!
+//! [`FaultSampler`] draws **exactly one** `f64`/`bool` per input element
+//! in the dense regime and one `f64` per *success* (plus one trailing
+//! miss) in the sparse regime, in input order. The dense/sparse switch
+//! is a pure function of `p` (`p > 0.75`), so two runs with the same
+//! seed and `p` observe identical RNG streams regardless of which
+//! engine drives the sampler.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A word-level node bitmask with a running popcount — the informed
+/// (or correct) set of a broadcast kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InformedSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl InformedSet {
+    /// An empty set over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        InformedSet {
+            words: vec![0u64; n.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Inserts node `v`; returns whether it was newly inserted.
+    pub fn insert(&mut self, v: u32) -> bool {
+        let (w, b) = (v as usize / 64, 1u64 << (v % 64));
+        if self.words[w] & b == 0 {
+            self.words[w] |= b;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether node `v` is in the set.
+    #[must_use]
+    pub fn contains(&self, v: u32) -> bool {
+        self.words[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Aggregate per-round Bernoulli fault sampling over a participant
+/// list: each element independently *succeeds* (transmitter works) with
+/// probability `1 − p`.
+///
+/// Dense regime (`p ≤ 0.75`): one coin per element. Sparse regime
+/// (`p > 0.75`): successes are rare, so the sampler jumps directly
+/// between them with geometric skips and the cost is proportional to
+/// the number of successes, not the participant count.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSampler {
+    p: f64,
+    /// `ln p`, precomputed for the sparse regime (0 when unused).
+    ln_p: f64,
+    sparse: bool,
+}
+
+impl FaultSampler {
+    /// A sampler for per-(node, round) failure probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        FaultSampler {
+            p,
+            ln_p: if p > 0.0 { p.ln() } else { 0.0 },
+            sparse: p > 0.75,
+        }
+    }
+
+    /// The failure probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples one round over `input`, appending successful elements to
+    /// `successes` and failed ones to `failures` (relative order
+    /// preserved in both). Neither vector is cleared.
+    pub fn partition_into(
+        &self,
+        rng: &mut SmallRng,
+        input: &[u32],
+        successes: &mut Vec<u32>,
+        failures: &mut Vec<u32>,
+    ) {
+        if self.p == 0.0 {
+            successes.extend_from_slice(input);
+        } else if self.sparse {
+            // Jump between successful elements: the number of failures
+            // before the next success is Geometric(1 − p). Everything
+            // skipped over failed.
+            let mut prev = 0usize;
+            let mut idx = geometric_skip(rng, self.ln_p);
+            while idx < input.len() {
+                failures.extend_from_slice(&input[prev..idx]);
+                successes.push(input[idx]);
+                prev = idx + 1;
+                idx = prev.saturating_add(geometric_skip(rng, self.ln_p));
+            }
+            failures.extend_from_slice(&input[prev..]);
+        } else {
+            for &u in input {
+                if rng.gen_bool(self.p) {
+                    failures.push(u);
+                } else {
+                    successes.push(u);
+                }
+            }
+        }
+    }
+
+    /// Samples one round over `input`, appending only the successful
+    /// elements to `successes` (failures are discarded). Draws the same
+    /// RNG stream as [`partition_into`](Self::partition_into).
+    pub fn successes_into(&self, rng: &mut SmallRng, input: &[u32], successes: &mut Vec<u32>) {
+        if self.p == 0.0 {
+            successes.extend_from_slice(input);
+        } else if self.sparse {
+            let mut idx = geometric_skip(rng, self.ln_p);
+            while idx < input.len() {
+                successes.push(input[idx]);
+                idx = (idx + 1).saturating_add(geometric_skip(rng, self.ln_p));
+            }
+        } else {
+            successes.extend(input.iter().copied().filter(|_| !rng.gen_bool(self.p)));
+        }
+    }
+
+    /// The number of failures before the first success when each trial
+    /// independently fails with probability `p` — the index of the
+    /// first working transmission in a phase, `usize::MAX`-saturated.
+    /// One uniform drives the draw, so for a fixed RNG stream the
+    /// result is monotone nondecreasing in `p` (the coupling the
+    /// monotonicity property tests rely on).
+    pub fn first_success(&self, rng: &mut SmallRng) -> usize {
+        if self.p == 0.0 {
+            0
+        } else {
+            geometric_skip(rng, self.ln_p)
+        }
+    }
+}
+
+/// Number of failures before the next success when each trial fails
+/// with probability `p = exp(ln_p)`: `⌊ln(U) / ln(p)⌋` for uniform
+/// `U ∈ (0, 1]`.
+fn geometric_skip(rng: &mut SmallRng, ln_p: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // 1 − u ∈ (0, 1]: avoids ln(0).
+    let skip = (1.0 - u).ln() / ln_p;
+    if skip >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        skip as usize
+    }
+}
+
+/// Saturating per-listener transmitter counts with a touched list, so a
+/// radio round's collision resolution costs only its frontier
+/// neighborhoods (2 already means "collision").
+#[derive(Clone, Debug)]
+pub struct CollisionCounter {
+    counts: Vec<u8>,
+    touched: Vec<u32>,
+}
+
+impl CollisionCounter {
+    /// A zeroed counter over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        CollisionCounter {
+            counts: vec![0u8; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Records one transmission reaching listener `v`.
+    pub fn add(&mut self, v: u32) {
+        let vi = v as usize;
+        if self.counts[vi] == 0 {
+            self.touched.push(v);
+        }
+        self.counts[vi] = self.counts[vi].saturating_add(1);
+    }
+
+    /// Visits every listener that heard **exactly one** transmitter (in
+    /// touch order), then resets the counter for the next round.
+    pub fn drain_sole_receivers(&mut self, mut hear: impl FnMut(u32)) {
+        for i in 0..self.touched.len() {
+            let v = self.touched[i];
+            if self.counts[v as usize] == 1 {
+                hear(v);
+            }
+            self.counts[v as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn informed_set_tracks_membership_and_count() {
+        let mut s = InformedSet::new(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "double insert reports false");
+        assert!(s.insert(129));
+        assert!(s.insert(64));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(129));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn skip_mean_matches_geometric_expectation() {
+        // E[failures before a success] = p / (1 − p).
+        let mut rng = SmallRng::seed_from_u64(3);
+        for p in [0.8, 0.9, 0.97] {
+            let ln_p = f64::ln(p);
+            let trials = 20_000;
+            let total: f64 = (0..trials)
+                .map(|_| geometric_skip(&mut rng, ln_p) as f64)
+                .sum();
+            let mean = total / f64::from(trials);
+            let expected = p / (1.0 - p);
+            assert!(
+                (mean - expected).abs() < 0.08 * expected,
+                "p={p}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_preserves_order_and_covers_input() {
+        let input: Vec<u32> = (0..500).collect();
+        for p in [0.0, 0.3, 0.9] {
+            let sampler = FaultSampler::new(p);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let (mut ok, mut fail) = (Vec::new(), Vec::new());
+            sampler.partition_into(&mut rng, &input, &mut ok, &mut fail);
+            assert_eq!(ok.len() + fail.len(), input.len(), "p={p}");
+            assert!(ok.windows(2).all(|w| w[0] < w[1]));
+            assert!(fail.windows(2).all(|w| w[0] < w[1]));
+            let mut merged = [ok.clone(), fail.clone()].concat();
+            merged.sort_unstable();
+            assert_eq!(merged, input, "p={p}");
+        }
+    }
+
+    #[test]
+    fn successes_match_partition_successes_exactly() {
+        // Same seed ⇒ the two entry points must agree on the success
+        // set (they share one draw order by construction).
+        let input: Vec<u32> = (0..300).map(|i| i * 3).collect();
+        for p in [0.1, 0.5, 0.76, 0.95] {
+            let sampler = FaultSampler::new(p);
+            let mut a = SmallRng::seed_from_u64(11);
+            let mut b = SmallRng::seed_from_u64(11);
+            let (mut ok1, mut fail) = (Vec::new(), Vec::new());
+            let mut ok2 = Vec::new();
+            sampler.partition_into(&mut a, &input, &mut ok1, &mut fail);
+            sampler.successes_into(&mut b, &input, &mut ok2);
+            assert_eq!(ok1, ok2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn success_rate_tracks_one_minus_p_across_the_switch() {
+        let input: Vec<u32> = (0..2000).collect();
+        for p in [0.74, 0.76] {
+            let sampler = FaultSampler::new(p);
+            let mut total = 0usize;
+            let reps = 50;
+            for seed in 0..reps {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut ok = Vec::new();
+                sampler.successes_into(&mut rng, &input, &mut ok);
+                total += ok.len();
+            }
+            let rate = total as f64 / (reps as usize * input.len()) as f64;
+            assert!((rate - (1.0 - p)).abs() < 0.01, "p={p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn first_success_is_monotone_in_p_per_seed() {
+        for seed in 0..50u64 {
+            let mut prev = 0usize;
+            for p in [0.0, 0.2, 0.5, 0.8, 0.95] {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let t = FaultSampler::new(p).first_success(&mut rng);
+                assert!(t >= prev, "seed={seed} p={p}: {t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn first_success_mean_matches_geometric() {
+        let sampler = FaultSampler::new(0.6);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trials = 20_000;
+        let total: usize = (0..trials).map(|_| sampler.first_success(&mut rng)).sum();
+        let mean = total as f64 / trials as f64;
+        let expected = 0.6 / 0.4;
+        assert!((mean - expected).abs() < 0.05 * expected, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sampler_rejects_p_one() {
+        let _ = FaultSampler::new(1.0);
+    }
+
+    #[test]
+    fn collision_counter_finds_sole_receivers() {
+        let mut c = CollisionCounter::new(10);
+        c.add(3);
+        c.add(5);
+        c.add(5); // collision
+        c.add(7);
+        let mut heard = Vec::new();
+        c.drain_sole_receivers(|v| heard.push(v));
+        assert_eq!(heard, vec![3, 7]);
+        // Counter resets fully between rounds.
+        c.add(5);
+        let mut heard2 = Vec::new();
+        c.drain_sole_receivers(|v| heard2.push(v));
+        assert_eq!(heard2, vec![5]);
+    }
+
+    #[test]
+    fn collision_counter_saturates_instead_of_wrapping() {
+        let mut c = CollisionCounter::new(2);
+        for _ in 0..300 {
+            c.add(1);
+        }
+        let mut heard = Vec::new();
+        c.drain_sole_receivers(|v| heard.push(v));
+        assert!(heard.is_empty(), "255+ transmitters is still a collision");
+    }
+}

@@ -66,10 +66,11 @@
 pub mod adversary;
 pub mod fault;
 pub mod flood_fast;
+pub mod kernel;
 pub mod mp;
 pub mod radio;
 pub mod radio_fast;
-mod sampling;
+pub mod simple_fast;
 pub mod trace;
 
 pub use fault::{FailureProb, FaultConfig, FaultKind};

@@ -10,17 +10,22 @@
 //! iff **exactly one** of its neighbors transmits, and the only nodes
 //! whose transmissions an uninformed node can hear are informed nodes
 //! with at least one uninformed neighbor — the *frontier*. [`FastRadio`]
-//! therefore simulates only the frontier:
+//! therefore simulates only the frontier, on the shared
+//! [`kernel`](crate::kernel) substrate:
 //!
-//! * the informed set is a **word-level bitmask** (one bit per node),
-//! * adjacency lives in a flat CSR array of `u32`s,
-//! * per-round collision resolution **counts transmitting neighbors**
-//!   into a saturating `u8` array touched only at frontier
-//!   neighborhoods (hear iff the count is exactly one), so a round
-//!   costs `O(m_frontier)`, not `O(n + m)`,
-//! * omission faults are sampled **aggregately** over the round's
-//!   participants — one Bernoulli coin each, or a **geometric skip**
-//!   between successful transmitters when `p > 0.75`,
+//! * the informed set is a word-level
+//!   [`InformedSet`](crate::kernel::InformedSet) bitmask,
+//! * adjacency is the flat `u32` CSR of a [`CsrGraph`] — the engine
+//!   builds no adjacency of its own,
+//! * per-round collision resolution is the
+//!   [`CollisionCounter`](crate::kernel::CollisionCounter): saturating
+//!   transmitter counts touched only at frontier neighborhoods (hear
+//!   iff the count is exactly one), so a round costs `O(m_frontier)`,
+//!   not `O(n + m)`,
+//! * omission faults are sampled by the aggregate
+//!   [`FaultSampler`](crate::kernel::FaultSampler) — one Bernoulli coin
+//!   per participant, or a geometric skip between successful
+//!   transmitters when `p > 0.75`,
 //! * the run stops as soon as no informed node can ever inform anyone
 //!   again (source component exhausted) or the broadcast completes.
 //!
@@ -42,12 +47,12 @@
 //! the general engine (`Scenario::validate` enforces this).
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use randcast_graph::{Graph, NodeId};
+use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
-use crate::sampling::geometric_skip;
+use crate::kernel::{CollisionCounter, FaultSampler, InformedSet};
 
 /// Seed-sequence label under which the Decay protocol derives its
 /// per-node coin tapes (shared between the trait-object protocol and
@@ -95,11 +100,12 @@ pub enum FastRadioSchedule {
 }
 
 /// A compiled fast-path radio plan: flat CSR adjacency plus a schedule
-/// and horizon.
+/// and horizon. The adjacency arrays come straight from the
+/// [`CsrGraph`] substrate.
 #[derive(Clone, Debug)]
 pub struct FastRadio {
     /// `neighbors[offsets[v]..offsets[v+1]]` are `v`'s neighbors.
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     neighbors: Vec<u32>,
     source: u32,
     horizon: usize,
@@ -112,25 +118,21 @@ impl FastRadio {
     /// rounds under `schedule`. A `horizon` of 0 is allowed (the run
     /// reports only the source informed); a graph disconnected from
     /// `source` is allowed (the broadcast covers the source's
-    /// component).
+    /// component). Takes the graph by value: the plan *is* the CSR
+    /// arrays, moved in without a copy (clone at the call site to keep
+    /// the graph).
     ///
     /// # Panics
     ///
     /// Panics if the schedule is [`FastRadioSchedule::Decay`] with
     /// `epoch_len == 0`.
     #[must_use]
-    pub fn new(graph: &Graph, source: NodeId, horizon: usize, schedule: FastRadioSchedule) -> Self {
+    pub fn new(csr: CsrGraph, source: NodeId, horizon: usize, schedule: FastRadioSchedule) -> Self {
         if let FastRadioSchedule::Decay { epoch_len } = schedule {
             assert!(epoch_len > 0, "decay epochs need at least one round");
         }
-        let n = graph.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
-        offsets.push(0);
-        for v in graph.nodes() {
-            neighbors.extend(graph.neighbors(v).iter().map(|&t| u32::from(t)));
-            offsets.push(neighbors.len());
-        }
+        let n = csr.node_count();
+        let (offsets, neighbors) = csr.into_raw_parts();
         FastRadio {
             offsets,
             neighbors,
@@ -160,13 +162,11 @@ impl FastRadio {
     }
 
     fn neighbors_of(&self, v: usize) -> &[u32] {
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
-    fn has_uninformed_neighbor(&self, v: usize, informed: &[u64]) -> bool {
-        self.neighbors_of(v)
-            .iter()
-            .any(|&t| informed[t as usize / 64] & (1u64 << (t % 64)) == 0)
+    fn has_uninformed_neighbor(&self, v: usize, informed: &InformedSet) -> bool {
+        self.neighbors_of(v).iter().any(|&t| !informed.contains(t))
     }
 
     /// Executes one seeded broadcast with per-(node, round) transmitter
@@ -178,14 +178,12 @@ impl FastRadio {
     /// Panics if `p ∉ [0, 1)`.
     #[must_use]
     pub fn run(&self, p: f64, seed: u64) -> FastRadioOutcome {
-        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let sampler = FaultSampler::new(p);
         let n = self.n;
         let mut rng = SmallRng::seed_from_u64(seed);
         let tapes = decay_tapes(seed);
-        let mut informed = vec![0u64; n.div_ceil(64)];
-        let src = self.source as usize;
-        informed[src / 64] |= 1u64 << (src % 64);
-        let mut informed_count = 1usize;
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
         let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
         informed_by_round.push(1);
         let mut completion_round = (n == 1).then_some(0);
@@ -198,20 +196,13 @@ impl FastRadio {
         let mut participants: Vec<u32> = vec![self.source];
         let mut active: Vec<u32> = Vec::new();
         let mut transmitters: Vec<u32> = Vec::new();
-        // Saturating per-listener transmitter counts (2 already means
-        // "collision"), cleared through `touched` so a round costs only
-        // its frontier neighborhoods.
-        let mut counts = vec![0u8; n];
-        let mut touched: Vec<u32> = Vec::new();
+        let mut counter = CollisionCounter::new(n);
 
         let (decay, epoch_len) = match self.schedule {
             FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
             // Every round is its own epoch: everyone re-activates.
             FastRadioSchedule::AllInformed => (false, 1),
         };
-        // Geometric skips pay off once fault successes are sparse.
-        let sparse = p > 0.75;
-        let ln_p = if sparse { p.ln() } else { 0.0 };
 
         for round in 1..=self.horizon {
             if completion_round.is_some() {
@@ -232,45 +223,25 @@ impl FastRadio {
             // Omission faults: each active node's transmitter works
             // with probability 1 − p this round.
             transmitters.clear();
-            if p == 0.0 {
-                transmitters.extend_from_slice(&active);
-            } else if sparse {
-                let mut idx = geometric_skip(&mut rng, ln_p);
-                while idx < active.len() {
-                    transmitters.push(active[idx]);
-                    idx = (idx + 1).saturating_add(geometric_skip(&mut rng, ln_p));
-                }
-            } else {
-                transmitters.extend(active.iter().copied().filter(|_| !rng.gen_bool(p)));
-            }
+            sampler.successes_into(&mut rng, &active, &mut transmitters);
 
             // Collision resolution: an uninformed listener hears iff
             // exactly one neighbor transmits.
             for &u in &transmitters {
                 for &v in self.neighbors_of(u as usize) {
-                    let vi = v as usize;
-                    if informed[vi / 64] & (1u64 << (vi % 64)) == 0 {
-                        if counts[vi] == 0 {
-                            touched.push(v);
-                        }
-                        counts[vi] = counts[vi].saturating_add(1);
+                    if !informed.contains(v) {
+                        counter.add(v);
                     }
                 }
             }
-            for &v in &touched {
-                let vi = v as usize;
-                if counts[vi] == 1 {
-                    informed[vi / 64] |= 1u64 << (vi % 64);
-                    informed_count += 1;
-                    // Joins the transmitters at the next epoch start.
-                    participants.push(v);
-                }
-                counts[vi] = 0;
-            }
-            touched.clear();
+            counter.drain_sole_receivers(|v| {
+                informed.insert(v);
+                // Joins the transmitters at the next epoch start.
+                participants.push(v);
+            });
 
-            informed_by_round.push(informed_count);
-            if informed_count == n {
+            informed_by_round.push(informed.count());
+            if informed.count() == n {
                 completion_round = Some(round);
             }
 
@@ -286,10 +257,9 @@ impl FastRadio {
         FastRadioOutcome {
             n,
             horizon: self.horizon,
-            informed,
-            informed_count,
             completion_round,
             informed_by_round,
+            informed,
         }
     }
 }
@@ -300,8 +270,7 @@ impl FastRadio {
 pub struct FastRadioOutcome {
     n: usize,
     horizon: usize,
-    informed: Vec<u64>,
-    informed_count: usize,
+    informed: InformedSet,
     completion_round: Option<usize>,
     /// `informed_by_round[r]` = nodes informed by the end of round `r`
     /// (`[0] == 1`, the source). The run stops early once nothing can
@@ -341,20 +310,19 @@ impl FastRadioOutcome {
     /// Number of informed nodes at the end of the run.
     #[must_use]
     pub fn informed_count(&self) -> usize {
-        self.informed_count
+        self.informed.count()
     }
 
     /// Informed fraction `informed / n` at the end of the run.
     #[must_use]
     pub fn informed_fraction(&self) -> f64 {
-        self.informed_count as f64 / self.n as f64
+        self.informed.count() as f64 / self.n as f64
     }
 
     /// Whether node `v` ended the run informed.
     #[must_use]
     pub fn is_informed(&self, v: NodeId) -> bool {
-        let i = v.index();
-        self.informed[i / 64] & (1u64 << (i % 64)) != 0
+        self.informed.contains(u32::from(v))
     }
 
     /// The per-round cumulative informed counts (see the field docs).
@@ -394,16 +362,15 @@ impl FastRadioOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use randcast_graph::{generators, GraphBuilder};
+    use randcast_graph::{generators, Graph, GraphBuilder};
+
+    fn plan(g: &Graph, horizon: usize, schedule: FastRadioSchedule) -> FastRadio {
+        FastRadio::new(CsrGraph::from(g), g.node(0), horizon, schedule)
+    }
 
     fn decay_plan(g: &Graph, horizon: usize) -> FastRadio {
         let epoch_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
-        FastRadio::new(
-            g,
-            g.node(0),
-            horizon,
-            FastRadioSchedule::Decay { epoch_len },
-        )
+        plan(g, horizon, FastRadioSchedule::Decay { epoch_len })
     }
 
     #[test]
@@ -441,7 +408,7 @@ mod tests {
         // while decay's back-off resolves it.
         let g = generators::complete_bipartite(8, 8);
         let decay = decay_plan(&g, 2000);
-        let naive = FastRadio::new(&g, g.node(0), 2000, FastRadioSchedule::AllInformed);
+        let naive = plan(&g, 2000, FastRadioSchedule::AllInformed);
         let mut decay_ok = 0;
         let mut naive_ok = 0;
         for seed in 0..10 {
@@ -458,7 +425,7 @@ mod tests {
         // neighbor, so there are no collisions and the fault-free
         // all-informed schedule is BFS flooding.
         let g = generators::path(9);
-        let plan = FastRadio::new(&g, g.node(0), 100, FastRadioSchedule::AllInformed);
+        let plan = plan(&g, 100, FastRadioSchedule::AllInformed);
         let out = plan.run(0.0, 1);
         assert_eq!(out.completion_round(), Some(9));
         assert_eq!(out.informed_by_round(), &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
@@ -472,7 +439,7 @@ mod tests {
         // except the final node, which hears both ends of the cycle
         // simultaneously and collides forever on even cycles.
         let g = generators::cycle(6);
-        let plan = FastRadio::new(&g, g.node(0), 500, FastRadioSchedule::AllInformed);
+        let plan = plan(&g, 500, FastRadioSchedule::AllInformed);
         let out = plan.run(0.0, 2);
         assert!(!out.complete());
         assert_eq!(out.informed_count(), 5, "the antipode is blocked");
@@ -491,6 +458,27 @@ mod tests {
             plan.run(0.4, 8).informed_by_round(),
             "different seeds should (generically) differ"
         );
+    }
+
+    #[test]
+    fn csr_and_graph_construction_agree() {
+        let csr = generators::preferential_attachment_csr(
+            180,
+            3,
+            &mut rand::rngs::SmallRng::seed_from_u64(4),
+        );
+        let g = Graph::from(&csr);
+        let epoch_len = 9;
+        let a = FastRadio::new(
+            csr.clone(),
+            g.node(0),
+            900,
+            FastRadioSchedule::Decay { epoch_len },
+        );
+        let b = plan(&g, 900, FastRadioSchedule::Decay { epoch_len });
+        for seed in 0..5 {
+            assert_eq!(a.run(0.3, seed), b.run(0.3, seed));
+        }
     }
 
     #[test]
@@ -550,7 +538,7 @@ mod tests {
         // Star from the center: leaves have a single informed neighbor,
         // so every successful center transmission informs them all.
         let g = generators::star(8);
-        let plan = FastRadio::new(&g, g.node(0), 4000, FastRadioSchedule::AllInformed);
+        let plan = plan(&g, 4000, FastRadioSchedule::AllInformed);
         for seed in 0..20 {
             assert!(plan.run(0.95, seed).complete(), "seed {seed}");
         }
@@ -560,7 +548,7 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_epoch_len_is_rejected() {
         let g = generators::path(3);
-        let _ = FastRadio::new(&g, g.node(0), 10, FastRadioSchedule::Decay { epoch_len: 0 });
+        let _ = plan(&g, 10, FastRadioSchedule::Decay { epoch_len: 0 });
     }
 
     #[test]
@@ -571,7 +559,7 @@ mod tests {
         // transmission informs all leaves at once, so completion is the
         // first success — a Geometric(1 − p) wait with mean 1/(1 − p).
         let g = generators::star(8);
-        let plan = FastRadio::new(&g, g.node(0), 6000, FastRadioSchedule::AllInformed);
+        let plan = plan(&g, 6000, FastRadioSchedule::AllInformed);
         let trials = 600u64;
         let mean = |p: f64| {
             let total: usize = (0..trials)

@@ -1,0 +1,417 @@
+//! A specialized large-`n` fast path for the paper's *Simple* broadcast
+//! (`Simple-Omission`, Theorem 2.1) under omission faults, in both the
+//! message-passing and radio models at once.
+//!
+//! The trait-object `SimplePlan` executes the full `n · m`-round
+//! schedule on a general network engine: `n` automaton dispatches plus
+//! `n` fault coins per round, `Θ(n² m)` work per trial. But under
+//! omission faults the protocol's dynamics collapse to one draw per
+//! *internal tree node*:
+//!
+//! * Only `v_i` transmits during phase `i` (rounds `[i·m, (i+1)·m)`),
+//!   so there are never collisions among correct nodes — the radio and
+//!   message-passing executions are **the same process**.
+//! * Fault coins are per-(node, round) — a failed step silences *all*
+//!   of a node's transmissions at once (`Outgoing::Directed` in MP, the
+//!   single broadcast in radio). All children of `v_i` therefore hear
+//!   in exactly the same rounds, and what they hear is `v_i`'s value,
+//!   fixed before its phase starts (parents are enumerated first).
+//! * A child adopts its parent's value iff at least one of the `m`
+//!   transmissions works — the index of the first working one is
+//!   Geometric(`1 − p`) truncated at `m`.
+//!
+//! [`FastSimple`] draws exactly that: one uniform per internal node of
+//! the BFS spanning tree, in the paper's `v1..vn` enumeration order,
+//! mapped through the inverse geometric CDF by the shared
+//! [`FaultSampler`](crate::kernel::FaultSampler). A node ends *correct*
+//! iff its whole ancestor chain relayed successfully. The outcome
+//! distribution (correct set, success indicator) is exactly that of
+//! `SimplePlan` under the silent omission adversary in either model —
+//! `crates/core/tests/simple_equivalence.rs` pins this with a 250-seed
+//! Welch-tolerance suite plus exact `p = 0` agreement.
+//!
+//! Because the draw for node `v` is a *fixed* uniform per (seed,
+//! position) mapped monotonically through `p`, the correct set for a
+//! fixed seed **shrinks monotonically in `p`** — a coupling the
+//! property tests exploit.
+//!
+//! Like the other fast kernels, `FastSimple` is defined on graphs
+//! disconnected from the source: unreachable nodes simply never adopt,
+//! and the outcome reports the correct *fraction*. The schedule keeps
+//! the trait engine's fixed length `n · m` (Simple has no early
+//! termination — a node cannot know the broadcast is done), so the
+//! completion round of a successful trial is `total_rounds` by
+//! definition; [`last_adoption_round`](FastSimpleOutcome::last_adoption_round)
+//! exposes the transient instead.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use randcast_graph::{CsrGraph, NodeId};
+
+use crate::kernel::{FaultSampler, InformedSet};
+
+/// A compiled fast-path Simple plan: the BFS spanning structure of the
+/// source component (from [`CsrGraph::bfs_tree`]) plus the phase length
+/// `m`.
+#[derive(Clone, Debug)]
+pub struct FastSimple {
+    /// The paper's `v1..vn` enumeration of the source component.
+    order: Vec<u32>,
+    /// `children[child_offsets[v]..child_offsets[v+1]]` are `v`'s tree
+    /// children.
+    child_offsets: Vec<u32>,
+    children: Vec<u32>,
+    source: u32,
+    n: usize,
+    m: usize,
+}
+
+impl FastSimple {
+    /// Compiles a plan broadcasting from `source` with phase length
+    /// `m`. A graph disconnected from `source` is allowed (unreachable
+    /// nodes never adopt; the outcome reports the correct fraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(csr: &CsrGraph, source: NodeId, m: usize) -> Self {
+        assert!(m > 0, "phase length must be positive");
+        let tree = csr.bfs_tree(u32::from(source));
+        let order = tree.order().to_vec();
+        let (child_offsets, children) = tree.into_children_csr();
+        FastSimple {
+            order,
+            child_offsets,
+            children,
+            source: u32::from(source),
+            n: csr.node_count(),
+            m,
+        }
+    }
+
+    /// The phase length `m`.
+    #[must_use]
+    pub fn phase_len(&self) -> usize {
+        self.m
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Total rounds one execution takes: `n · m`, exactly as the
+    /// trait-object `SimplePlan` (phases are scheduled for every node,
+    /// reachable or not).
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.n * self.m
+    }
+
+    fn children_of(&self, v: usize) -> &[u32] {
+        &self.children[self.child_offsets[v] as usize..self.child_offsets[v + 1] as usize]
+    }
+
+    /// Executes one seeded broadcast with per-(node, round) transmitter
+    /// omission probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run(&self, p: f64, seed: u64) -> FastSimpleOutcome {
+        let sampler = FaultSampler::new(p);
+        let n = self.n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut correct = InformedSet::new(n);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        for (phase, &u) in self.order.iter().enumerate() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            // One draw per internal node, whether or not its subtree is
+            // still in play: the draw count must not depend on `p` or
+            // on earlier outcomes, or the per-seed monotone coupling
+            // (and determinism of the stream) would break.
+            let t = sampler.first_success(&mut rng);
+            if t >= self.m || !correct.contains(u) {
+                continue;
+            }
+            // All children hear the first working transmission of u's
+            // phase simultaneously (rounds are 1-based).
+            let round = phase * self.m + t + 1;
+            for &c in kids {
+                correct.insert(c);
+            }
+            last_adoption = round;
+            if almost_round.is_none() && correct.count() >= almost_target {
+                almost_round = Some(round);
+            }
+        }
+
+        FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        }
+    }
+}
+
+/// Outcome of one fast-path Simple broadcast: the correct set plus
+/// derived metrics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FastSimpleOutcome {
+    n: usize,
+    m: usize,
+    correct: InformedSet,
+    almost_round: Option<usize>,
+    last_adoption: usize,
+}
+
+impl FastSimpleOutcome {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The phase length the plan ran with.
+    #[must_use]
+    pub fn phase_len(&self) -> usize {
+        self.m
+    }
+
+    /// Rounds the fixed schedule executes: `n · m`.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Whether every node ended holding the source bit — the paper's
+    /// success criterion.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.correct.count() == self.n
+    }
+
+    /// The round by which the broadcast was (knowably) complete. Simple
+    /// is a fixed-length protocol with no early termination, so this is
+    /// exactly [`total_rounds`](Self::total_rounds) for successful
+    /// trials and `None` otherwise; the last actual adoption happens at
+    /// [`last_adoption_round`](Self::last_adoption_round).
+    #[must_use]
+    pub fn completion_round(&self) -> Option<usize> {
+        self.complete().then(|| self.total_rounds())
+    }
+
+    /// The round of the last successful adoption along a correct chain
+    /// (0 when only the source is correct) — the transient behind the
+    /// fixed schedule.
+    #[must_use]
+    pub fn last_adoption_round(&self) -> usize {
+        self.last_adoption
+    }
+
+    /// Number of nodes holding the source bit at the end.
+    #[must_use]
+    pub fn correct_count(&self) -> usize {
+        self.correct.count()
+    }
+
+    /// Correct fraction `correct / n` — the Simple sibling of the
+    /// flood kernels' informed fraction.
+    #[must_use]
+    pub fn correct_fraction(&self) -> f64 {
+        self.correct.count() as f64 / self.n as f64
+    }
+
+    /// Whether node `v` ended holding the source bit.
+    #[must_use]
+    pub fn is_correct(&self, v: NodeId) -> bool {
+        self.correct.contains(u32::from(v))
+    }
+
+    /// The first round by which at least `n − 1` nodes held the source
+    /// bit — the almost-complete (`1 − 1/n`) metric.
+    #[must_use]
+    pub fn almost_complete_round(&self) -> Option<usize> {
+        self.almost_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randcast_graph::{generators, Graph, GraphBuilder};
+
+    fn plan(g: &Graph, m: usize) -> FastSimple {
+        FastSimple::new(&CsrGraph::from(g), g.node(0), m)
+    }
+
+    #[test]
+    fn fault_free_broadcast_is_fully_correct() {
+        for g in [
+            generators::path(9),
+            generators::grid(4, 5),
+            generators::star(7),
+            generators::lower_bound_graph(3),
+        ] {
+            let fs = plan(&g, 3);
+            let out = fs.run(0.0, 1);
+            assert!(out.complete());
+            assert_eq!(out.correct_count(), g.node_count());
+            assert_eq!(out.completion_round(), Some(3 * g.node_count()));
+            assert_eq!(out.total_rounds(), 3 * g.node_count());
+            // Every adoption happens in the first round of its parent's
+            // phase at p = 0.
+            assert_eq!(out.last_adoption_round() % 3, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::grid(6, 6);
+        let fs = plan(&g, 4);
+        assert_eq!(fs.run(0.6, 9), fs.run(0.6, 9));
+        let reference = fs.run(0.9, 0);
+        assert!(
+            (1..20).any(|seed| fs.run(0.9, seed) != reference),
+            "different seeds should (generically) differ"
+        );
+    }
+
+    #[test]
+    fn star_success_rate_matches_analytic() {
+        // Star from the center: one internal node, so
+        // P(all correct) = 1 − p^m exactly.
+        let g = generators::star(6);
+        let (p, m) = (0.5, 3);
+        let fs = plan(&g, m);
+        let trials = 4000u64;
+        let ok = (0..trials).filter(|&s| fs.run(p, s).complete()).count();
+        let rate = ok as f64 / trials as f64;
+        let expected = 1.0 - p.powi(m as i32);
+        assert!((rate - expected).abs() < 0.02, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn path_success_rate_matches_analytic() {
+        // On a path every non-final node is internal:
+        // P(all correct) = (1 − p^m)^(n−1).
+        let (len, p, m) = (8usize, 0.4f64, 2usize);
+        let g = generators::path(len);
+        let fs = plan(&g, m);
+        let trials = 4000u64;
+        let ok = (0..trials).filter(|&s| fs.run(p, s).complete()).count();
+        let rate = ok as f64 / trials as f64;
+        let expected = (1.0 - p.powi(m as i32)).powi(len as i32);
+        assert!((rate - expected).abs() < 0.03, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn correct_count_is_monotone_in_p_per_seed() {
+        let g = generators::grid(7, 7);
+        let fs = plan(&g, 2);
+        for seed in 0..40 {
+            let mut prev = usize::MAX;
+            for p in [0.0, 0.3, 0.6, 0.9, 0.99] {
+                let c = fs.run(p, seed).correct_count();
+                assert!(c <= prev, "seed={seed} p={p}: {c} > {prev}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reports_partial_fraction() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let g = b.finish().unwrap();
+        let fs = plan(&g, 4);
+        let out = fs.run(0.0, 1);
+        assert!(!out.complete());
+        assert_eq!(out.completion_round(), None);
+        assert_eq!(out.correct_count(), 3);
+        assert!((out.correct_fraction() - 0.6).abs() < 1e-12);
+        assert!(out.is_correct(g.node(2)));
+        assert!(!out.is_correct(g.node(4)));
+        assert_eq!(out.almost_complete_round(), None);
+        // The schedule length still covers all n nodes.
+        assert_eq!(out.total_rounds(), 20);
+    }
+
+    #[test]
+    fn single_node_graph_is_trivially_complete() {
+        let g = generators::path(0);
+        let fs = plan(&g, 5);
+        let out = fs.run(0.3, 2);
+        assert!(out.complete());
+        assert_eq!(out.completion_round(), Some(5));
+        assert_eq!(out.almost_complete_round(), Some(0));
+        assert_eq!(out.last_adoption_round(), 0);
+    }
+
+    #[test]
+    fn almost_complete_precedes_last_adoption_on_success() {
+        let g = generators::balanced_tree(2, 4);
+        let fs = plan(&g, 6);
+        for seed in 0..20 {
+            let out = fs.run(0.3, seed);
+            if out.complete() {
+                let almost = out
+                    .almost_complete_round()
+                    .expect("complete implies almost");
+                assert!(almost <= out.last_adoption_round());
+                assert!(out.last_adoption_round() <= out.total_rounds());
+            }
+        }
+    }
+
+    #[test]
+    fn adoption_rounds_sit_inside_the_parent_phase() {
+        // With m = 1 the first working transmission must be round
+        // phase·m + 1 — i.e. fault-free timing — whenever it works.
+        let g = generators::path(10);
+        let fs = plan(&g, 1);
+        let out = fs.run(0.0, 0);
+        assert!(out.complete());
+        // Last internal node of the path is v9 (phase 9): adoption at
+        // round 10 of the 11-round schedule.
+        assert_eq!(out.last_adoption_round(), 10);
+    }
+
+    #[test]
+    fn csr_and_graph_construction_agree() {
+        let csr = generators::gnp_connected_csr(150, 0.03, &mut SmallRng::seed_from_u64(3));
+        let g = Graph::from(&csr);
+        let a = FastSimple::new(&csr, g.node(0), 3);
+        let b = plan(&g, 3);
+        for seed in 0..5 {
+            assert_eq!(a.run(0.5, seed), b.run(0.5, seed));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase length must be positive")]
+    fn zero_phase_len_is_rejected() {
+        let g = generators::path(3);
+        let _ = plan(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn p_one_is_rejected() {
+        let g = generators::path(3);
+        let _ = plan(&g, 2).run(1.0, 0);
+    }
+}

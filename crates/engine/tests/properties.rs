@@ -9,7 +9,8 @@ use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, MpRoundCtx, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode, RadioRoundCtx};
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
-use randcast_graph::{Graph, GraphBuilder, NodeId};
+use randcast_engine::simple_fast::FastSimple;
+use randcast_graph::{CsrGraph, Graph, GraphBuilder, NodeId};
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
     (
@@ -299,7 +300,7 @@ proptest! {
         } else {
             FastFloodVariant::Graph
         };
-        let ff = FastFlood::new(&g, g.node(0), 4 * g.node_count() + 40, variant);
+        let ff = FastFlood::new(CsrGraph::from(&g), g.node(0), 4 * g.node_count() + 40, variant);
         let out = ff.run(p, seed);
         let counts = out.informed_by_round();
         prop_assert_eq!(counts[0], 1);
@@ -319,7 +320,7 @@ proptest! {
     ) {
         let d = randcast_graph::traversal::radius_from(&g, g.node(0));
         for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
-            let ff = FastFlood::new(&g, g.node(0), g.node_count() + 1, variant);
+            let ff = FastFlood::new(CsrGraph::from(&g), g.node(0), g.node_count() + 1, variant);
             let out = ff.run(0.0, seed);
             prop_assert_eq!(out.completion_round(), Some(d));
             prop_assert!((out.informed_fraction() - 1.0).abs() < 1e-12);
@@ -332,7 +333,7 @@ proptest! {
         p in 0.0f64..0.95,
         seed in any::<u64>(),
     ) {
-        let ff = FastFlood::new(&g, g.node(0), 50, FastFloodVariant::Graph);
+        let ff = FastFlood::new(CsrGraph::from(&g), g.node(0), 50, FastFloodVariant::Graph);
         prop_assert_eq!(ff.run(p, seed), ff.run(p, seed));
     }
 
@@ -349,7 +350,7 @@ proptest! {
         } else {
             FastRadioSchedule::AllInformed
         };
-        let plan = FastRadio::new(&g, g.node(0), 30 * g.node_count() + 60, schedule);
+        let plan = FastRadio::new(CsrGraph::from(&g), g.node(0), 30 * g.node_count() + 60, schedule);
         let out = plan.run(p, seed);
         let counts = out.informed_by_round();
         prop_assert_eq!(counts[0], 1);
@@ -378,7 +379,58 @@ proptest! {
         } else {
             FastRadioSchedule::AllInformed
         };
-        let plan = FastRadio::new(&g, g.node(0), 60, schedule);
+        let plan = FastRadio::new(CsrGraph::from(&g), g.node(0), 60, schedule);
         prop_assert_eq!(plan.run(p, seed), plan.run(p, seed));
+    }
+
+    #[test]
+    fn fast_simple_is_deterministic_per_seed(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        seed in any::<u64>(),
+        m in 1usize..6,
+    ) {
+        let fs = FastSimple::new(&CsrGraph::from(&g), g.node(0), m);
+        let out = fs.run(p, seed);
+        prop_assert_eq!(&out, &fs.run(p, seed));
+        // The correct bitset always agrees with the count, and the
+        // source is always correct.
+        let set_bits = g.nodes().filter(|&v| out.is_correct(v)).count();
+        prop_assert_eq!(set_bits, out.correct_count());
+        prop_assert!(out.is_correct(g.node(0)));
+    }
+
+    #[test]
+    fn fast_simple_p_zero_completes_in_exactly_total_rounds(
+        g in connected_graph(),
+        seed in any::<u64>(),
+        m in 1usize..6,
+    ) {
+        // Simple is a fixed-length schedule: at p = 0 the broadcast is
+        // fully correct and completes in exactly n · m rounds.
+        let fs = FastSimple::new(&CsrGraph::from(&g), g.node(0), m);
+        let out = fs.run(0.0, seed);
+        prop_assert!(out.complete());
+        prop_assert_eq!(out.total_rounds(), g.node_count() * m);
+        prop_assert_eq!(out.completion_round(), Some(g.node_count() * m));
+        prop_assert!((out.correct_fraction() - 1.0).abs() < 1e-12);
+        prop_assert!(out.last_adoption_round() <= out.total_rounds());
+    }
+
+    #[test]
+    fn fast_simple_correct_count_is_monotone_in_p(
+        g in connected_graph(),
+        seed in any::<u64>(),
+        m in 1usize..5,
+    ) {
+        // The per-(seed, node) uniform is mapped monotonically through
+        // p, so the correct set can only shrink as p grows.
+        let fs = FastSimple::new(&CsrGraph::from(&g), g.node(0), m);
+        let mut prev = usize::MAX;
+        for p in [0.0, 0.15, 0.35, 0.55, 0.75, 0.9, 0.99] {
+            let c = fs.run(p, seed).correct_count();
+            prop_assert!(c <= prev, "p={}: {} > {}", p, c, prev);
+            prev = c;
+        }
     }
 }

@@ -1,0 +1,381 @@
+//! Flat `u32` compressed-sparse-row adjacency — the shared simulation
+//! substrate of the large-`n` fast-path engines.
+//!
+//! [`Graph`] already stores CSR internally, but with `usize` offsets and
+//! a validating, edge-list-buffering builder that was designed for
+//! correctness at experiment sizes, not for `n = 10⁶` construction.
+//! [`CsrGraph`] is the lean sibling: `u32` offsets and targets, built
+//! either losslessly from a [`Graph`] (both directions preserve
+//! adjacency exactly) or *directly* from a `(u32, u32)` edge list by
+//! counting-sort — the path the scalable generators
+//! ([`crate::generators::gnp_csr`] and friends) use to skip the
+//! 16-byte-per-edge builder buffer and roughly halve peak build memory.
+//!
+//! [`CsrTree`] is the BFS spanning structure the kernels share: the
+//! level order of the source's component plus per-parent child lists in
+//! one flat CSR, computed without touching nodes outside the component
+//! (so disconnected graphs are fine — the almost-complete broadcast
+//! regime).
+
+use crate::{Graph, NodeId};
+
+/// An undirected simple graph as flat `u32` CSR arrays.
+///
+/// Node ids are dense `0..n`; `targets[offsets[v]..offsets[v+1]]` are
+/// `v`'s neighbors in ascending order. Graphs are bounded by `u32`
+/// node ids and `u32::MAX` adjacency entries (4 × 10⁹ directed edges —
+/// far beyond every workload here).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CsrGraph {
+    /// `n + 1` row boundaries into `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists (each undirected edge appears
+    /// twice).
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR adjacency for the undirected simple graph on `n`
+    /// nodes with the given edges, by counting sort: degree pass,
+    /// prefix sums, scatter, then per-row sort + dedup. Duplicate edges
+    /// merge; peak memory is the 8-byte edge list plus the arrays
+    /// themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or doesn't fit `u32`, on self-loops, or on
+    /// endpoints `>= n`.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(n >= 1, "graph must have at least one node");
+        let n32 = u32::try_from(n).expect("node count exceeds u32::MAX");
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            assert!(u != v, "self-loop at node {u}");
+            assert!(u < n32 && v < n32, "edge endpoint out of range");
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc = acc.checked_add(d).expect("adjacency exceeds u32::MAX");
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc as usize];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each row, drop duplicate edges, and compact in place.
+        let mut write = 0usize;
+        let mut compact_offsets = Vec::with_capacity(n + 1);
+        compact_offsets.push(0u32);
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[start..end].sort_unstable();
+            let mut prev: Option<u32> = None;
+            for i in start..end {
+                let t = targets[i];
+                if prev != Some(t) {
+                    targets[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            compact_offsets.push(write as u32);
+        }
+        targets.truncate(write);
+        CsrGraph {
+            offsets: compact_offsets,
+            targets,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbor list of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbors_of(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The degree of node `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors_of(v).len()
+    }
+
+    /// The row-boundary array (`n + 1` entries).
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The concatenated neighbor lists.
+    #[must_use]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Consumes the graph into its `(offsets, targets)` CSR arrays, so
+    /// engines that own their adjacency can take it without copying.
+    #[must_use]
+    pub fn into_raw_parts(self) -> (Vec<u32>, Vec<u32>) {
+        (self.offsets, self.targets)
+    }
+
+    /// The BFS spanning structure rooted at `source`: level order and
+    /// per-parent child lists over the source's component only, so the
+    /// graph may be disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    #[must_use]
+    pub fn bfs_tree(&self, source: u32) -> CsrTree {
+        let n = self.node_count();
+        assert!((source as usize) < n, "source out of range");
+        const UNSET: u32 = u32::MAX;
+        let mut parent = vec![UNSET; n];
+        let mut level = vec![0u32; n];
+        let mut order: Vec<u32> = Vec::new();
+        parent[source as usize] = source;
+        order.push(source);
+        let mut head = 0usize;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &v in self.neighbors_of(u as usize) {
+                if parent[v as usize] == UNSET {
+                    parent[v as usize] = u;
+                    level[v as usize] = level[u as usize] + 1;
+                    order.push(v);
+                }
+            }
+        }
+        // The paper's enumeration `v1..vn`: nondecreasing level, ties
+        // broken by node id (matching `SpanningTree::level_order`).
+        order.sort_unstable_by_key(|&v| (level[v as usize], v));
+        let mut degree = vec![0u32; n];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != UNSET && p as usize != v {
+                degree[p as usize] += 1;
+            }
+        }
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            child_offsets.push(acc);
+        }
+        let mut children = vec![0u32; acc as usize];
+        let mut cursor = child_offsets.clone();
+        // Children in BFS-discovery order (== ascending node id per
+        // parent, since neighbor rows are sorted).
+        for &v in &order {
+            let p = parent[v as usize];
+            if p != v {
+                children[cursor[p as usize] as usize] = v;
+                cursor[p as usize] += 1;
+            }
+        }
+        CsrTree {
+            order,
+            child_offsets,
+            children,
+        }
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    /// Lossless structural copy — [`Graph`] is CSR internally with the
+    /// same sorted-row invariant, so no re-sorting happens.
+    fn from(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            targets.extend(graph.neighbors(v).iter().map(|&t| u32::from(t)));
+            let len = u32::try_from(targets.len()).expect("adjacency exceeds u32::MAX");
+            offsets.push(len);
+        }
+        CsrGraph { offsets, targets }
+    }
+}
+
+impl From<&CsrGraph> for Graph {
+    /// Lossless widening copy: adjacency rows are already sorted and
+    /// deduplicated, so the conversion is two linear passes.
+    fn from(csr: &CsrGraph) -> Self {
+        let offsets: Vec<usize> = csr.offsets.iter().map(|&o| o as usize).collect();
+        let adjacency: Vec<NodeId> = csr.targets.iter().map(|&t| NodeId::from(t)).collect();
+        let edge_count = csr.edge_count();
+        Graph::from_csr_parts(offsets, adjacency, edge_count)
+    }
+}
+
+/// The BFS spanning structure of one source component: the paper's
+/// `v1..vn` level-order enumeration plus flat per-parent child lists —
+/// everything the fast broadcast kernels need from a spanning tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CsrTree {
+    /// The source component in the paper's enumeration order:
+    /// nondecreasing BFS level, ties broken by node id (`order[0]` is
+    /// the source). Nodes outside the component do not appear.
+    order: Vec<u32>,
+    /// `n + 1` row boundaries into `children`, indexed by graph node id.
+    child_offsets: Vec<u32>,
+    /// Concatenated child lists, ascending per parent.
+    children: Vec<u32>,
+}
+
+impl CsrTree {
+    /// The source component in nondecreasing-level order (ties by node
+    /// id) — the paper's `v1..vn` enumeration restricted to reachable
+    /// nodes.
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of nodes reachable from the source (component size).
+    #[must_use]
+    pub fn component_size(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The children of node `v` (empty for leaves and for nodes outside
+    /// the source's component).
+    #[must_use]
+    pub fn children_of(&self, v: usize) -> &[u32] {
+        &self.children[self.child_offsets[v] as usize..self.child_offsets[v + 1] as usize]
+    }
+
+    /// Consumes the tree into its `(child_offsets, children)` CSR
+    /// arrays — the transmission-target structure of tree-based
+    /// broadcast kernels.
+    #[must_use]
+    pub fn into_children_csr(self) -> (Vec<u32>, Vec<u32>) {
+        (self.child_offsets, self.children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, SpanningTree};
+
+    #[test]
+    fn from_edges_sorts_and_merges_duplicates() {
+        let csr = CsrGraph::from_edges(4, &[(2, 0), (0, 1), (1, 0), (3, 1), (0, 2)]);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.neighbors_of(0), &[1, 2]);
+        assert_eq!(csr.neighbors_of(1), &[0, 3]);
+        assert_eq!(csr.neighbors_of(2), &[0]);
+        assert_eq!(csr.neighbors_of(3), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_edges_rejects_self_loops() {
+        let _ = CsrGraph::from_edges(3, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = CsrGraph::from_edges(3, &[(0, 3)]);
+    }
+
+    #[test]
+    fn graph_round_trip_preserves_adjacency() {
+        for g in [
+            generators::grid(5, 7),
+            generators::star(9),
+            generators::lower_bound_graph(4),
+            generators::path(0),
+        ] {
+            let csr = CsrGraph::from(&g);
+            assert_eq!(csr.node_count(), g.node_count());
+            assert_eq!(csr.edge_count(), g.edge_count());
+            for v in g.nodes() {
+                let expect: Vec<u32> = g.neighbors(v).iter().map(|&t| u32::from(t)).collect();
+                assert_eq!(csr.neighbors_of(v.index()), expect.as_slice());
+            }
+            let back = Graph::from(&csr);
+            assert_eq!(back, g, "round trip must be lossless");
+        }
+    }
+
+    #[test]
+    fn bfs_tree_matches_spanning_tree() {
+        let g = generators::grid(4, 6);
+        let csr = CsrGraph::from(&g);
+        let tree = csr.bfs_tree(0);
+        let reference = SpanningTree::bfs(&g, g.node(0));
+        let ref_order: Vec<u32> = reference
+            .level_order()
+            .iter()
+            .map(|&v| u32::from(v))
+            .collect();
+        assert_eq!(tree.order(), ref_order.as_slice());
+        assert_eq!(tree.component_size(), g.node_count());
+        for v in g.nodes() {
+            let expect: Vec<u32> = reference
+                .children(v)
+                .iter()
+                .map(|&c| u32::from(c))
+                .collect();
+            assert_eq!(tree.children_of(v.index()), expect.as_slice(), "{v}");
+        }
+    }
+
+    #[test]
+    fn bfs_tree_covers_only_the_source_component() {
+        // Triangle {0,1,2} plus the far edge {3,4}.
+        let csr = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let tree = csr.bfs_tree(0);
+        assert_eq!(tree.component_size(), 3);
+        assert_eq!(tree.order(), &[0, 1, 2]);
+        assert_eq!(tree.children_of(0), &[1, 2]);
+        assert!(tree.children_of(3).is_empty());
+        let far = csr.bfs_tree(3);
+        assert_eq!(far.order(), &[3, 4]);
+        assert_eq!(far.children_of(3), &[4]);
+        let (offsets, children) = far.into_children_csr();
+        assert_eq!(offsets.len(), 6);
+        assert_eq!(children, vec![4]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let csr = CsrGraph::from_edges(1, &[]);
+        assert_eq!(csr.node_count(), 1);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.neighbors_of(0).is_empty());
+        let tree = csr.bfs_tree(0);
+        assert_eq!(tree.component_size(), 1);
+    }
+}

@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, NodeId};
+use crate::{CsrGraph, Graph, GraphBuilder, NodeId};
 
 /// A path (the paper's "line") with `len` edges and `len + 1` nodes
 /// `v0 - v1 - … - v_len`. The broadcast source is conventionally `v0`.
@@ -270,20 +270,20 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     b.finish().expect("random tree construction is valid")
 }
 
-/// Appends each pair `{u, v}` (`u < v < n`) to `b` independently with
-/// probability `q`, in expected `O(n + q·n²)` time via the
+/// Appends each pair `{u, v}` (`u < v < n`) to `edges` independently
+/// with probability `q`, in expected `O(n + q·n²)` time via the
 /// Batagelj–Brandes geometric skip: instead of flipping one coin per
 /// pair, the gap to the next sampled pair is drawn directly from the
 /// geometric distribution, so the cost is proportional to the number of
 /// edges *produced*, not the number of pairs *considered*.
-fn sample_gnp_edges<R: Rng + ?Sized>(b: &mut GraphBuilder, n: usize, q: f64, rng: &mut R) {
+fn sample_gnp_edges<R: Rng + ?Sized>(edges: &mut Vec<(u32, u32)>, n: usize, q: f64, rng: &mut R) {
     if q <= 0.0 || n < 2 {
         return;
     }
     if q >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                b.edge(u, v);
+                edges.push((u as u32, v as u32));
             }
         }
         return;
@@ -304,7 +304,7 @@ fn sample_gnp_edges<R: Rng + ?Sized>(b: &mut GraphBuilder, n: usize, q: f64, rng
             v += 1;
         }
         if v < n {
-            b.edge(w as usize, v);
+            edges.push((w as u32, v as u32));
         }
     }
 }
@@ -323,14 +323,27 @@ fn sample_gnp_edges<R: Rng + ?Sized>(b: &mut GraphBuilder, n: usize, q: f64, rng
 /// Panics if `n == 0` or `q` is not in `[0, 1]`.
 #[must_use]
 pub fn gnp<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
+    Graph::from(&gnp_csr(n, q, rng))
+}
+
+/// [`gnp`], built directly as a [`CsrGraph`] — no `Graph` conversion,
+/// so peak build memory is the 8-byte-per-edge sample list plus the
+/// `u32` CSR arrays (roughly half the validating-builder path). Draws
+/// the same RNG stream as [`gnp`] and produces the identical graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `q` is not in `[0, 1]`.
+#[must_use]
+pub fn gnp_csr<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> CsrGraph {
     assert!(n >= 1, "gnp needs at least one node");
     assert!(
         (0.0..=1.0).contains(&q),
         "edge probability must be in [0,1]"
     );
-    let mut b = GraphBuilder::new(n);
-    sample_gnp_edges(&mut b, n, q, rng);
-    b.finish().expect("gnp construction is valid")
+    let mut edges = Vec::new();
+    sample_gnp_edges(&mut edges, n, q, rng);
+    CsrGraph::from_edges(n, &edges)
 }
 
 /// An Erdős–Rényi `G(n, q)` conditioned on connectivity: a uniformly
@@ -344,18 +357,30 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
 /// Panics if `n == 0` or `q` is not in `[0, 1]`.
 #[must_use]
 pub fn gnp_connected<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
+    Graph::from(&gnp_connected_csr(n, q, rng))
+}
+
+/// [`gnp_connected`], built directly as a [`CsrGraph`] (see
+/// [`gnp_csr`] for the memory story). Draws the same RNG stream as
+/// [`gnp_connected`] and produces the identical graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `q` is not in `[0, 1]`.
+#[must_use]
+pub fn gnp_connected_csr<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> CsrGraph {
     assert!(n >= 1, "gnp needs at least one node");
     assert!(
         (0.0..=1.0).contains(&q),
         "edge probability must be in [0,1]"
     );
-    let mut b = GraphBuilder::new(n);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
     // Random recursive-tree skeleton keeps it connected.
     for v in 1..n {
-        b.edge(rng.gen_range(0..v), v);
+        edges.push((rng.gen_range(0..v) as u32, v as u32));
     }
-    sample_gnp_edges(&mut b, n, q, rng);
-    b.finish().expect("gnp construction is valid")
+    sample_gnp_edges(&mut edges, n, q, rng);
+    CsrGraph::from_edges(n, &edges)
 }
 
 /// A random geometric (unit-disk) graph: `n` points uniform in the unit
@@ -372,6 +397,18 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
 /// Panics if `n == 0` or `radius` is not a positive finite number.
 #[must_use]
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    Graph::from(&random_geometric_csr(n, radius, rng))
+}
+
+/// [`random_geometric`], built directly as a [`CsrGraph`] (see
+/// [`gnp_csr`] for the memory story). Draws the same RNG stream as
+/// [`random_geometric`] and produces the identical graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius` is not a positive finite number.
+#[must_use]
+pub fn random_geometric_csr<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> CsrGraph {
     assert!(n >= 1, "random geometric graph needs at least one node");
     assert!(
         radius > 0.0 && radius.is_finite(),
@@ -392,25 +429,24 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
         buckets[cell_of(y) * side + cell_of(x)].push(i as u32);
     }
     let r2 = radius * radius;
-    let mut b = GraphBuilder::new(n);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
     for (i, &(x, y)) in points.iter().enumerate() {
         let (cx, cy) = (cell_of(x), cell_of(y));
         for ny in cy.saturating_sub(1)..=(cy + 1).min(side - 1) {
             for nx in cx.saturating_sub(1)..=(cx + 1).min(side - 1) {
                 for &j in &buckets[ny * side + nx] {
-                    let j = j as usize;
-                    if j <= i {
+                    if (j as usize) <= i {
                         continue; // each pair once, no self-loops
                     }
-                    let (dx, dy) = (points[j].0 - x, points[j].1 - y);
+                    let (dx, dy) = (points[j as usize].0 - x, points[j as usize].1 - y);
                     if dx * dx + dy * dy <= r2 {
-                        b.edge(i, j);
+                        edges.push((i as u32, j));
                     }
                 }
             }
         }
     }
-    b.finish().expect("random geometric construction is valid")
+    CsrGraph::from_edges(n, &edges)
 }
 
 /// A preferential-attachment (Barabási–Albert) graph: node `v ≥ 1`
@@ -425,9 +461,21 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
 /// Panics if `n == 0` or `m == 0`.
 #[must_use]
 pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    Graph::from(&preferential_attachment_csr(n, m, rng))
+}
+
+/// [`preferential_attachment`], built directly as a [`CsrGraph`] (see
+/// [`gnp_csr`] for the memory story). Draws the same RNG stream as
+/// [`preferential_attachment`] and produces the identical graph.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+#[must_use]
+pub fn preferential_attachment_csr<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     assert!(n >= 1, "preferential attachment needs at least one node");
     assert!(m >= 1, "each node must attach at least one edge");
-    let mut b = GraphBuilder::new(n);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m * n.saturating_sub(1));
     // Every edge endpoint appears once: sampling an index uniformly from
     // this list is degree-proportional sampling.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n.saturating_sub(1));
@@ -459,13 +507,12 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
             next += 1;
         }
         for &t in &chosen {
-            b.edge(t as usize, v);
+            edges.push((t, v as u32));
             endpoints.push(t);
             endpoints.push(v as u32);
         }
     }
-    b.finish()
-        .expect("preferential attachment construction is valid")
+    CsrGraph::from_edges(n, &edges)
 }
 
 /// A random connected graph: random recursive tree plus **exactly**
@@ -903,6 +950,34 @@ mod tests {
             }
         }
         assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn csr_generators_match_their_graph_twins() {
+        // Each `_csr` generator must draw the same RNG stream and
+        // produce the identical graph as the `Graph`-returning wrapper.
+        let cases: Vec<(Graph, CsrGraph)> = vec![
+            (
+                gnp(250, 0.03, &mut SmallRng::seed_from_u64(51)),
+                gnp_csr(250, 0.03, &mut SmallRng::seed_from_u64(51)),
+            ),
+            (
+                gnp_connected(250, 0.02, &mut SmallRng::seed_from_u64(52)),
+                gnp_connected_csr(250, 0.02, &mut SmallRng::seed_from_u64(52)),
+            ),
+            (
+                random_geometric(250, 0.12, &mut SmallRng::seed_from_u64(53)),
+                random_geometric_csr(250, 0.12, &mut SmallRng::seed_from_u64(53)),
+            ),
+            (
+                preferential_attachment(250, 3, &mut SmallRng::seed_from_u64(54)),
+                preferential_attachment_csr(250, 3, &mut SmallRng::seed_from_u64(54)),
+            ),
+        ];
+        for (g, csr) in cases {
+            assert_eq!(Graph::from(&csr), g);
+            assert_eq!(CsrGraph::from(&g), csr);
+        }
     }
 
     #[test]

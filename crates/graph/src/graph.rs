@@ -172,6 +172,25 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Assembles a graph from already-validated CSR parts: `offsets`
+    /// has `n + 1` entries, `adjacency` rows are sorted, deduplicated,
+    /// self-loop free and symmetric, and `edge_count` is the undirected
+    /// edge count. Used by the lossless [`CsrGraph`](crate::CsrGraph)
+    /// conversion, which upholds those invariants by construction.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<NodeId>,
+        edge_count: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), adjacency.len());
+        Graph {
+            offsets,
+            adjacency,
+            edge_count,
+        }
+    }
+
     /// Number of nodes `n`.
     #[must_use]
     pub fn node_count(&self) -> usize {

@@ -7,6 +7,10 @@
 //!
 //! * [`Graph`] — a compact adjacency-list representation with a validating
 //!   [`GraphBuilder`],
+//! * [`CsrGraph`] / [`CsrTree`] — the flat `u32` CSR substrate shared by
+//!   the large-`n` fast-path engines, with lossless `Graph ↔ CsrGraph`
+//!   conversion and direct construction from `(u32, u32)` edge lists
+//!   (the memory-lean path the scalable generators use),
 //! * [`generators`] — the graph families used throughout the paper's analysis
 //!   (paths, stars, grids, hypercubes, random trees, …) including the
 //!   three-layer lower-bound construction of Theorem 3.3
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod graph;
 mod node;
 mod tree;
@@ -45,6 +50,7 @@ pub mod dot;
 pub mod generators;
 pub mod traversal;
 
+pub use csr::{CsrGraph, CsrTree};
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use node::NodeId;
 pub use tree::SpanningTree;

@@ -1,7 +1,7 @@
 //! Property-based tests for graph invariants.
 
 use proptest::prelude::*;
-use randcast_graph::{generators, traversal, GraphBuilder, NodeId, SpanningTree};
+use randcast_graph::{generators, traversal, CsrGraph, Graph, GraphBuilder, NodeId, SpanningTree};
 
 /// Strategy: a random connected graph as (n, extra edge pairs).
 fn connected_graph() -> impl Strategy<Value = randcast_graph::Graph> {
@@ -222,6 +222,35 @@ proptest! {
         let h = build();
         for v in g.nodes() {
             prop_assert_eq!(g.neighbors(v), h.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_adjacency(g in connected_graph()) {
+        // Graph → CsrGraph → Graph must be lossless on arbitrary graphs.
+        let csr = CsrGraph::from(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            let expect: Vec<u32> = g.neighbors(v).iter().map(|&t| u32::from(t)).collect();
+            prop_assert_eq!(csr.neighbors_of(v.index()), expect.as_slice());
+        }
+        let back = Graph::from(&csr);
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn csr_bfs_tree_matches_spanning_tree(g in connected_graph()) {
+        let csr = CsrGraph::from(&g);
+        let tree = csr.bfs_tree(0);
+        let reference = SpanningTree::bfs(&g, g.node(0));
+        let ref_order: Vec<u32> =
+            reference.level_order().iter().map(|&v| u32::from(v)).collect();
+        prop_assert_eq!(tree.order(), ref_order.as_slice());
+        for v in g.nodes() {
+            let expect: Vec<u32> =
+                reference.children(v).iter().map(|&c| u32::from(c)).collect();
+            prop_assert_eq!(tree.children_of(v.index()), expect.as_slice());
         }
     }
 

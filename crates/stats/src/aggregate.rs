@@ -1,0 +1,111 @@
+//! Per-cell outcome aggregation shared by sweep drivers.
+//!
+//! Every Monte-Carlo sweep cell reduces its per-trial outcomes to the
+//! same handful of numbers: the success count, the mean completion
+//! round over trials that reported one, and the mean informed fraction
+//! over trials that measured one. [`OutcomeSummary`] is that reduction,
+//! factored out of the sweep driver so the `CellResult` construction in
+//! `randcast_core` is not hand-rolled and the numerics are unit-tested
+//! where they live.
+
+/// The reduced statistics of one cell's trial outcomes.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OutcomeSummary {
+    /// Trials that succeeded.
+    pub successes: usize,
+    /// Total trials observed.
+    pub trials: usize,
+    /// Mean completion round over trials that reported one (`None` when
+    /// no trial did).
+    pub mean_rounds: Option<f64>,
+    /// Mean informed fraction over trials that measured one (`None`
+    /// when no trial did) — the almost-complete broadcast metric.
+    pub mean_informed_frac: Option<f64>,
+}
+
+impl OutcomeSummary {
+    /// Reduces an iterator of `(success, rounds, informed_frac)`
+    /// triples — the measurement surface of a sweep `TrialOutcome`.
+    pub fn collect<I>(outcomes: I) -> Self
+    where
+        I: IntoIterator<Item = (bool, Option<f64>, Option<f64>)>,
+    {
+        let mut summary = OutcomeSummary::default();
+        let (mut round_sum, mut round_n) = (0.0f64, 0usize);
+        let (mut frac_sum, mut frac_n) = (0.0f64, 0usize);
+        for (success, rounds, frac) in outcomes {
+            summary.trials += 1;
+            summary.successes += usize::from(success);
+            if let Some(r) = rounds {
+                round_sum += r;
+                round_n += 1;
+            }
+            if let Some(f) = frac {
+                frac_sum += f;
+                frac_n += 1;
+            }
+        }
+        summary.mean_rounds = (round_n > 0).then(|| round_sum / round_n as f64);
+        summary.mean_informed_frac = (frac_n > 0).then(|| frac_sum / frac_n as f64);
+        summary
+    }
+
+    /// Point estimate `successes / trials` (0 on an empty summary).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_none() {
+        let s = OutcomeSummary::collect(std::iter::empty());
+        assert_eq!(s.successes, 0);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.mean_rounds, None);
+        assert_eq!(s.mean_informed_frac, None);
+        assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn counts_and_means_are_exact() {
+        let s = OutcomeSummary::collect([
+            (true, Some(10.0), Some(1.0)),
+            (false, None, Some(0.5)),
+            (true, Some(20.0), None),
+            (false, None, None),
+        ]);
+        assert_eq!(s.successes, 2);
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.rate(), 0.5);
+        assert_eq!(s.mean_rounds, Some(15.0));
+        assert_eq!(s.mean_informed_frac, Some(0.75));
+    }
+
+    #[test]
+    fn means_ignore_missing_measurements() {
+        // Only trials that measured a quantity enter its denominator.
+        let s = OutcomeSummary::collect([
+            (true, Some(4.0), None),
+            (true, None, None),
+            (true, None, None),
+        ]);
+        assert_eq!(s.mean_rounds, Some(4.0));
+        assert_eq!(s.mean_informed_frac, None);
+    }
+
+    #[test]
+    fn all_success_rate_is_one() {
+        let s = OutcomeSummary::collect((0..7).map(|_| (true, None, None)));
+        assert_eq!(s.successes, 7);
+        assert_eq!(s.rate(), 1.0);
+    }
+}

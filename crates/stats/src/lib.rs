@@ -7,6 +7,8 @@
 //!
 //! * [`seed`] — SplitMix64 seed derivation so that every trial of every
 //!   experiment is deterministic from a single master seed,
+//! * [`aggregate`] — per-cell outcome reduction (success counts, mean
+//!   rounds, mean informed fraction) shared by the sweep driver,
 //! * [`montecarlo`] — sequential and parallel trial runners,
 //! * [`estimate`] — success-rate estimation with Wilson confidence
 //!   intervals and almost-safety verdicts,
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod chernoff;
 pub mod estimate;
 pub mod montecarlo;
