@@ -167,6 +167,15 @@ fn bench_flood_fast_vs_mp(c: &mut Criterion) {
                 fast_plan.run(p, seed).informed_count()
             })
         });
+        // One iteration = one 64-trial bit-sliced block; the per-trial
+        // speedup over the `fast` row is gated by bench_gate --bar.
+        group.bench_with_input(BenchmarkId::new("batch", label), &p, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast_plan.run_batch(p, seed).informed_count(0)
+            })
+        });
     }
     group.finish();
 }
@@ -211,6 +220,14 @@ fn bench_simple_fast_vs_trait(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 fast.run(p, seed).correct_count()
+            })
+        });
+        // One iteration = one 64-trial bit-sliced block (see --bar).
+        group.bench_with_input(BenchmarkId::new("batch", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast.run_batch(p, seed).correct_count(0)
             })
         });
     }
@@ -265,6 +282,14 @@ fn bench_radio_fast_vs_trait(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 fast_plan.run(p, seed).informed_count()
+            })
+        });
+        // One iteration = one 64-trial bit-sliced block (see --bar).
+        group.bench_with_input(BenchmarkId::new("batch", label), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fast_plan.run_batch(p, seed).informed_count(0)
             })
         });
     }

@@ -15,19 +15,49 @@
 //! benchmark is missing or slower than `--max-ratio` (default 2×)**.
 //! New benchmarks are allowed; the trajectory grows. Without
 //! `--baseline` (seeding a fresh trajectory) the gate always passes.
+//!
+//! `--bar SCALAR:BATCH:SCALE:MIN` (repeatable) additionally enforces a
+//! **same-run** per-trial speedup bar: the `BATCH` benchmark runs
+//! `SCALE` trials per iteration, and `SCALAR·SCALE/BATCH ≥ MIN` must
+//! hold *within this transcript*. Both rows come from one run, so the
+//! bar is immune to the machine-wide throughput drift that cross-run
+//! baseline ratios absorb into `--max-ratio`. Bars apply even on
+//! seeding runs (no `--baseline`).
 
 use std::io::Read as _;
 
 use randcast_stats::report::BenchReport;
 
 const USAGE: &str = "usage: bench_gate [--groups a,b,c] [--baseline FILE.json] \
-[--out FILE.json] [--max-ratio R]  <  cargo-bench-output";
+[--out FILE.json] [--max-ratio R] [--bar SCALAR:BATCH:SCALE:MIN]...  <  cargo-bench-output";
+
+/// One `--bar SCALAR:BATCH:SCALE:MIN` same-run speedup requirement.
+struct Bar {
+    scalar: String,
+    batch: String,
+    scale: f64,
+    min_ratio: f64,
+}
+
+fn parse_bar(raw: &str) -> Option<Bar> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    let [scalar, batch, scale, min_ratio] = parts.as_slice() else {
+        return None;
+    };
+    Some(Bar {
+        scalar: (*scalar).to_owned(),
+        batch: (*batch).to_owned(),
+        scale: scale.parse().ok()?,
+        min_ratio: min_ratio.parse().ok()?,
+    })
+}
 
 fn main() {
     let mut groups: Option<Vec<String>> = None;
     let mut baseline_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut max_ratio = 2.0f64;
+    let mut bars: Vec<Bar> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -48,6 +78,15 @@ fn main() {
                     eprintln!("error: invalid --max-ratio `{raw}`\n\n{USAGE}");
                     std::process::exit(2);
                 });
+            }
+            "--bar" => {
+                let raw = value("--bar");
+                bars.push(parse_bar(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: invalid --bar `{raw}` (want SCALAR:BATCH:SCALE:MIN)\n\n{USAGE}"
+                    );
+                    std::process::exit(2);
+                }));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -89,24 +128,41 @@ fn main() {
         eprintln!("wrote {path} ({} benches)", current.benches.len());
     }
 
-    let Some(path) = &baseline_path else {
-        eprintln!("no --baseline given: seeding run, gate passes vacuously");
-        return;
-    };
-    let baseline_text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let baseline = BenchReport::from_json(&baseline_text)
-        .unwrap_or_else(|e| panic!("invalid baseline {path}: {e}"));
-    let violations = current.gate_against(&baseline, max_ratio);
-    if violations.is_empty() {
-        println!(
-            "gate OK: {} baseline benches within {max_ratio}x",
-            baseline.benches.len()
-        );
-    } else {
-        for v in &violations {
-            eprintln!("REGRESSION: {v}");
+    let mut failed = false;
+    for bar in &bars {
+        match current.check_bar(&bar.scalar, &bar.batch, bar.scale, bar.min_ratio) {
+            Ok(ratio) => println!(
+                "bar OK: {} is {ratio:.1}x per trial vs {} (min {}x)",
+                bar.batch, bar.scalar, bar.min_ratio
+            ),
+            Err(v) => {
+                eprintln!("BAR MISSED: {v}");
+                failed = true;
+            }
         }
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline_text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = BenchReport::from_json(&baseline_text)
+            .unwrap_or_else(|e| panic!("invalid baseline {path}: {e}"));
+        let violations = current.gate_against(&baseline, max_ratio);
+        if violations.is_empty() {
+            println!(
+                "gate OK: {} baseline benches within {max_ratio}x",
+                baseline.benches.len()
+            );
+        } else {
+            for v in &violations {
+                eprintln!("REGRESSION: {v}");
+            }
+            failed = true;
+        }
+    } else {
+        eprintln!("no --baseline given: seeding run, baseline gate passes vacuously");
+    }
+    if failed {
         std::process::exit(1);
     }
 }

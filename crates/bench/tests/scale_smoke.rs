@@ -8,6 +8,7 @@
 use std::time::{Duration, Instant};
 
 use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, SIMPLE_FAST_MIN_N};
+use randcast_core::sweep::BATCH_LANES;
 use randcast_engine::fault::FaultConfig;
 
 #[test]
@@ -132,6 +133,48 @@ fn single_simple_trial_at_n_1e5_is_fast() {
         assert!(
             build_time < Duration::from_secs(5),
             "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
+        );
+    }
+}
+
+#[test]
+fn batched_block_at_n_1e5_fits_the_block_budget() {
+    // One bit-sliced block = 64 coupled trials in a single frontier
+    // pass per round. At the ≥10x per-trial throughput the batch path
+    // targets, a whole block at n = 10⁵ must land well under 64 scalar
+    // budgets — 8 s covers the bar with slack while still catching a
+    // batch kernel that silently degrades toward scalar speed.
+    let scenario = Scenario {
+        graph: GraphFamily::Gnp {
+            n: 100_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+    };
+    let prep = scenario.try_prepare().expect("valid scenario");
+    assert!(prep.supports_batch());
+
+    let block_start = Instant::now();
+    let block = prep.trial_block(42);
+    let block_time = block_start.elapsed();
+
+    assert_eq!(block.len(), BATCH_LANES);
+    for (lane, out) in block.iter().enumerate() {
+        assert!(out.success, "lane {lane}: gnp-connected flood completes");
+        let frac = out.informed_frac.expect("fast path reports the fraction");
+        assert!((frac - 1.0).abs() < 1e-12);
+    }
+    // Spot-check the lane coupling at scale (the full 250-seed sweep
+    // lives in crates/core/tests/batch_equivalence.rs).
+    assert_eq!(block[0], prep.trial_lane(42, 0));
+
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            block_time < Duration::from_secs(8),
+            "n=1e5 64-trial block took {block_time:?} (budget 8s)"
         );
     }
 }

@@ -28,6 +28,7 @@ use rand::SeedableRng as _;
 use randcast_engine::adversary::{FlipMpAdversary, LieOrJamAdversary};
 use randcast_engine::fault::{FaultConfig, FaultKind};
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
+use randcast_engine::kernel::LANES;
 use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
@@ -876,6 +877,114 @@ impl PreparedScenario {
             }
         }
     }
+
+    /// Whether trials can execute in bit-sliced blocks of [`LANES`]
+    /// coupled trials via [`trial_block`](Self::trial_block) — exactly
+    /// the plans on a bitset fast path
+    /// ([`uses_fast_path`](Self::uses_fast_path)).
+    #[must_use]
+    pub fn supports_batch(&self) -> bool {
+        self.uses_fast_path()
+    }
+
+    /// Runs one bit-sliced block of [`LANES`] trials rooted at
+    /// `block_seed` and returns the outcomes in lane order. Element
+    /// `k` is byte-identical to
+    /// [`trial_lane`](Self::trial_lane)`(block_seed, k)` — the
+    /// engines' lane-coupling guarantee — and each lane is distributed
+    /// exactly like a scalar [`trial`](Self::trial) from an
+    /// independent seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan is not batch-capable
+    /// ([`supports_batch`](Self::supports_batch)).
+    #[must_use]
+    pub fn trial_block(&self, block_seed: u64) -> Vec<TrialOutcome> {
+        let p = self.scenario.fault.p.get();
+        let lanes = 0..LANES as u32;
+        match &self.plan {
+            PlanKind::SimpleFast(plan) => {
+                let out = plan.run_batch(p, block_seed);
+                lanes
+                    .map(|lane| {
+                        TrialOutcome::flooded(
+                            out.completion_round(lane),
+                            out.correct_fraction(lane),
+                            out.almost_complete_round(lane),
+                        )
+                    })
+                    .collect()
+            }
+            PlanKind::FloodFast(plan) => {
+                let out = plan.run_batch(p, block_seed);
+                lanes
+                    .map(|lane| {
+                        TrialOutcome::flooded(
+                            out.completion_round(lane),
+                            out.informed_fraction(lane),
+                            out.almost_complete_round(lane),
+                        )
+                    })
+                    .collect()
+            }
+            PlanKind::DecayFast(plan) => {
+                let out = plan.run_batch(p, block_seed);
+                lanes
+                    .map(|lane| {
+                        TrialOutcome::flooded(
+                            out.completion_round(lane),
+                            out.informed_fraction(lane),
+                            out.almost_complete_round(lane),
+                        )
+                    })
+                    .collect()
+            }
+            _ => panic!("trial_block requires a batch-capable fast-path plan"),
+        }
+    }
+
+    /// Runs lane `lane` of block `block_seed` as one scalar trial —
+    /// the reference semantics [`trial_block`](Self::trial_block)
+    /// reproduces bit-for-bit, and the entry point for the tail of a
+    /// partial block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan is not batch-capable or
+    /// `lane ≥ `[`LANES`].
+    #[must_use]
+    pub fn trial_lane(&self, block_seed: u64, lane: u32) -> TrialOutcome {
+        assert!((lane as usize) < LANES, "lane {lane} out of range");
+        let p = self.scenario.fault.p.get();
+        match &self.plan {
+            PlanKind::SimpleFast(plan) => {
+                let out = plan.run_lane(p, block_seed, lane);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.correct_fraction(),
+                    out.almost_complete_round(),
+                )
+            }
+            PlanKind::FloodFast(plan) => {
+                let out = plan.run_lane(p, block_seed, lane);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.informed_fraction(),
+                    out.almost_complete_round(),
+                )
+            }
+            PlanKind::DecayFast(plan) => {
+                let out = plan.run_lane(p, block_seed, lane);
+                TrialOutcome::flooded(
+                    out.completion_round(),
+                    out.informed_fraction(),
+                    out.almost_complete_round(),
+                )
+            }
+            _ => panic!("trial_lane requires a batch-capable fast-path plan"),
+        }
+    }
 }
 
 /// Formats a probability compactly (at most 4 decimal places, no
@@ -1263,6 +1372,140 @@ mod tests {
         assert!(almost <= full);
         // Deterministic per seed.
         assert_eq!(prep.trial(17), out);
+    }
+
+    /// Batched execution rides the fast-path plans, so its fault-model
+    /// surface is exactly theirs: the omission-only kernels reject
+    /// (limited-)malicious with the same typed [`FaultMismatch`] at
+    /// validate time — a sweep can never schedule a malicious batch.
+    /// (`flood-fast` is the one batch-capable plan that accepts
+    /// malicious faults, because the flood's silent-adversary
+    /// semantics coincide with omission for every fault kind.)
+    ///
+    /// [`FaultMismatch`]: ScenarioError::FaultMismatch
+    #[test]
+    fn batch_capable_plans_reject_malicious_like_their_scalar_twins() {
+        for (algorithm, model, tolerates) in [
+            (
+                Algorithm::SimpleFast { phase_len: None },
+                Model::Mp,
+                "omission faults only (use simple for malicious)",
+            ),
+            (
+                Algorithm::DecayFast { epoch_factor: 1 },
+                Model::Radio,
+                "omission faults only (use expanded for malicious)",
+            ),
+        ] {
+            for fault in [
+                FaultConfig::malicious(0.1),
+                FaultConfig::limited_malicious(0.1),
+            ] {
+                let err = Scenario {
+                    graph: GraphFamily::Path(4),
+                    algorithm,
+                    model,
+                    fault,
+                }
+                .validate()
+                .expect_err("batch-capable kernels model omission only");
+                assert_eq!(
+                    err,
+                    ScenarioError::FaultMismatch {
+                        algorithm: algorithm.name(),
+                        tolerates,
+                    }
+                );
+            }
+        }
+        let flood_malicious = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+            model: Model::Mp,
+            fault: FaultConfig::malicious(0.1),
+        }
+        .prepare();
+        assert!(flood_malicious.supports_batch());
+    }
+
+    /// `supports_batch` must track the fast path exactly: plain
+    /// algorithms become batch-capable at the same `n ≥ 4096`
+    /// threshold where the auto-fast selection engages, forced fast
+    /// variants are batch-capable at every size, and general-engine
+    /// plans never are.
+    #[test]
+    fn supports_batch_mirrors_the_auto_fast_threshold() {
+        let omission = FaultConfig::omission(0.3);
+        for (algorithm, model) in [
+            (Algorithm::Flood { horizon_scale: 1 }, Model::Mp),
+            (Algorithm::Decay { epoch_factor: 2 }, Model::Radio),
+            (Algorithm::Simple, Model::Mp),
+        ] {
+            let small = Scenario {
+                graph: GraphFamily::Grid(8, 8),
+                algorithm,
+                model,
+                fault: omission,
+            }
+            .prepare();
+            assert!(
+                !small.supports_batch(),
+                "{} below the threshold",
+                algorithm.name()
+            );
+            let large = Scenario {
+                graph: GraphFamily::Gnp {
+                    n: FLOOD_FAST_MIN_N,
+                    avg_deg: 6,
+                    seed: 4,
+                },
+                algorithm,
+                model,
+                fault: omission,
+            }
+            .prepare();
+            assert!(
+                large.supports_batch(),
+                "{} at the threshold",
+                algorithm.name()
+            );
+            assert_eq!(large.supports_batch(), large.uses_fast_path());
+        }
+        for (algorithm, model) in [
+            (Algorithm::FloodFast { horizon_scale: 1 }, Model::Mp),
+            (Algorithm::DecayFast { epoch_factor: 1 }, Model::Radio),
+            (Algorithm::SimpleFast { phase_len: None }, Model::Mp),
+        ] {
+            let forced = Scenario {
+                graph: GraphFamily::Grid(4, 4),
+                algorithm,
+                model,
+                fault: omission,
+            }
+            .prepare();
+            assert!(forced.supports_batch(), "forced {}", algorithm.name());
+        }
+        let general = Scenario {
+            graph: GraphFamily::Path(6),
+            algorithm: Algorithm::SelfTimed,
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.1),
+        }
+        .prepare();
+        assert!(!general.supports_batch());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch-capable")]
+    fn trial_block_panics_off_the_fast_path() {
+        let prep = Scenario {
+            graph: GraphFamily::Path(6),
+            algorithm: Algorithm::SelfTimed,
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.1),
+        }
+        .prepare();
+        let _ = prep.trial_block(1);
     }
 
     #[test]

@@ -37,6 +37,18 @@
 //! `crates/core/tests/sweep_equivalence.rs` pins this across closure
 //! and scenario cells.
 //!
+//! Batch-capable scenario cells (fast-path plans, see
+//! [`PreparedScenario::supports_batch`]) with at least
+//! [`BATCH_MIN_TRIALS`] trials execute bit-sliced: trial `j` is lane
+//! `j % `[`BATCH_LANES`] of block `j / `[`BATCH_LANES`], whose seed is
+//! the pure function `child.child(BATCH_LABEL).nth_seed(block)` of the
+//! root seed, the cell index, and the block index. Chunks are aligned
+//! to block boundaries and the engines pin
+//! `run_batch` ≡ `run_lane` per lane, so the batched outcome vector is
+//! also thread-count independent (`crates/core/tests/batch_equivalence.rs`
+//! pins the lane-exact agreement; the sweep property test covers the
+//! scheduling).
+//!
 //! # Example
 //!
 //! ```
@@ -72,6 +84,22 @@ use randcast_stats::seed::SeedSequence;
 
 use crate::experiment::AlmostSafeRow;
 use crate::scenario::{GraphFamily, PreparedScenario, Scenario, ScenarioError};
+
+/// Lanes per bit-sliced trial block (re-exported from the engine
+/// kernel so sweep consumers can size trial counts).
+pub const BATCH_LANES: usize = randcast_engine::kernel::LANES;
+
+/// Minimum trial count at which a batch-capable scenario cell runs in
+/// bit-sliced blocks of [`BATCH_LANES`] trials instead of scalar
+/// trials. One block is the smallest batched unit of work, so below a
+/// full block the scalar path is never slower.
+pub const BATCH_MIN_TRIALS: usize = BATCH_LANES;
+
+/// Seed-tree label under which a cell derives its block seeds: block
+/// `b` of cell `i` is rooted at
+/// `seeds.child(i).child(BATCH_LABEL).nth_seed(b)`, a pure function of
+/// `(root, cell, block)` — never of worker or chunk.
+const BATCH_LABEL: u64 = 0xB10C;
 
 /// The result of one Monte-Carlo trial.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -431,15 +459,33 @@ impl<'a> Sweep<'a> {
 
         // Phase 3: execute all (cell, chunk) tasks on the pool. Chunks
         // only partition work — trial RNG streams are indexed by
-        // (cell, trial), so outcomes cannot depend on scheduling.
+        // (cell, trial) and block seeds by (cell, block), so outcomes
+        // cannot depend on scheduling. Batch-capable scenario cells
+        // with at least one full block run bit-sliced: trial j is lane
+        // j % BATCH_LANES of block j / BATCH_LANES, chunks are aligned
+        // to block boundaries so whole blocks go to one worker, and a
+        // partial tail block replays its occupied lanes scalar-style
+        // (the engines pin lane-exact agreement between the two).
         struct Task {
             cell: usize,
             start: usize,
             len: usize,
+            batched: bool,
         }
         let mut tasks: Vec<Task> = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
-            let chunk = cell.trials.div_ceil(threads).max(1);
+            let resolved = resolved_slots[i]
+                .get()
+                .expect("phase 2 resolved every cell");
+            let batched = cell.trials >= BATCH_MIN_TRIALS
+                && match &resolved.exec {
+                    CellExec::Scenario(prepared) => prepared.supports_batch(),
+                    CellExec::Closure(_) => false,
+                };
+            let mut chunk = cell.trials.div_ceil(threads).max(1);
+            if batched {
+                chunk = chunk.next_multiple_of(BATCH_LANES);
+            }
             let mut start = 0;
             while start < cell.trials {
                 let len = chunk.min(cell.trials - start);
@@ -447,6 +493,7 @@ impl<'a> Sweep<'a> {
                     cell: i,
                     start,
                     len,
+                    batched,
                 });
                 start += len;
             }
@@ -465,13 +512,39 @@ impl<'a> Sweep<'a> {
             let cell_seeds = seeds.child(task.cell as u64);
             let started = Instant::now();
             let mut local = Vec::with_capacity(task.len);
-            for j in task.start..task.start + task.len {
-                let mut rng = cell_seeds.nth_rng(j as u64);
-                let seed = rng.gen::<u64>();
-                local.push(Some(match &resolved.exec {
-                    CellExec::Closure(run) => run(seed, &mut rng),
-                    CellExec::Scenario(prepared) => prepared.trial(seed),
-                }));
+            match &resolved.exec {
+                CellExec::Scenario(prepared) if task.batched => {
+                    // Whole blocks in one bit-sliced pass; the tail
+                    // block (when trials % BATCH_LANES != 0) replays
+                    // its occupied lanes through the scalar lane path,
+                    // which the engines pin to agree lane-for-lane.
+                    let block_seeds = cell_seeds.child(BATCH_LABEL);
+                    let mut j = task.start;
+                    while j < task.start + task.len {
+                        debug_assert_eq!(j % BATCH_LANES, 0, "tasks are block-aligned");
+                        let block_seed = block_seeds.nth_seed((j / BATCH_LANES) as u64);
+                        let remaining = task.start + task.len - j;
+                        if remaining >= BATCH_LANES {
+                            local.extend(prepared.trial_block(block_seed).into_iter().map(Some));
+                            j += BATCH_LANES;
+                        } else {
+                            for lane in 0..remaining {
+                                local.push(Some(prepared.trial_lane(block_seed, lane as u32)));
+                            }
+                            j += remaining;
+                        }
+                    }
+                }
+                _ => {
+                    for j in task.start..task.start + task.len {
+                        let mut rng = cell_seeds.nth_rng(j as u64);
+                        let seed = rng.gen::<u64>();
+                        local.push(Some(match &resolved.exec {
+                            CellExec::Closure(run) => run(seed, &mut rng),
+                            CellExec::Scenario(prepared) => prepared.trial(seed),
+                        }));
+                    }
+                }
             }
             let ended = Instant::now();
             outcomes[task.cell].lock().expect("outcome lock")[task.start..task.start + task.len]
@@ -793,6 +866,69 @@ mod tests {
             assert_eq!(a.outcomes, b.outcomes);
             assert_eq!(a.params, b.params);
         }
+    }
+
+    /// A forced-fast-path cell: batch-capable at any size.
+    fn batch_scenario() -> Scenario {
+        Scenario {
+            graph: GraphFamily::Grid(6, 6),
+            algorithm: Algorithm::FloodFast { horizon_scale: 2 },
+            model: Model::Mp,
+            fault: FaultConfig::omission(0.3),
+        }
+    }
+
+    fn batch_cell_outcomes(trials: usize, threads: usize) -> Vec<TrialOutcome> {
+        let mut sweep = Sweep::new("b", SeedSequence::new(21)).with_threads(threads);
+        sweep.scenario(batch_scenario(), trials);
+        sweep.run().cells.remove(0).outcomes
+    }
+
+    #[test]
+    fn batched_scenario_outcomes_are_thread_count_independent() {
+        // 130 trials = two full blocks plus a two-lane tail, so this
+        // exercises block-aligned chunking and the tail replay.
+        let base = batch_cell_outcomes(130, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(batch_cell_outcomes(130, threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_cells_follow_the_block_lane_seed_contract() {
+        // Trial j of a batched cell must be lane j % BATCH_LANES of
+        // block j / BATCH_LANES under the cell's BATCH_LABEL child
+        // sequence — the documented addressing, pinned against the
+        // scalar lane replay.
+        let trials = 130;
+        let outcomes = batch_cell_outcomes(trials, 4);
+        let prepared = batch_scenario().try_prepare().expect("valid scenario");
+        assert!(prepared.supports_batch());
+        let block_seeds = SeedSequence::new(21).child(0).child(BATCH_LABEL);
+        for (j, out) in outcomes.iter().enumerate() {
+            let block_seed = block_seeds.nth_seed((j / BATCH_LANES) as u64);
+            let expected = prepared.trial_lane(block_seed, (j % BATCH_LANES) as u32);
+            assert_eq!(*out, expected, "trial {j}");
+        }
+    }
+
+    #[test]
+    fn batching_engages_exactly_at_one_full_block() {
+        use rand::Rng;
+        let prepared = batch_scenario().try_prepare().expect("valid scenario");
+        let cell_seeds = SeedSequence::new(21).child(0);
+        // Below a full block the cell runs the scalar (cell, trial)
+        // RNG stream unchanged.
+        let below = batch_cell_outcomes(BATCH_MIN_TRIALS - 1, 2);
+        for (j, out) in below.iter().enumerate() {
+            let mut rng = cell_seeds.nth_rng(j as u64);
+            let seed = rng.gen::<u64>();
+            assert_eq!(*out, prepared.trial(seed), "scalar trial {j}");
+        }
+        // From one full block on, the bit-sliced lane stream.
+        let at = batch_cell_outcomes(BATCH_MIN_TRIALS, 2);
+        let block_seed = cell_seeds.child(BATCH_LABEL).nth_seed(0);
+        assert_eq!(at, prepared.trial_block(block_seed));
     }
 
     #[test]

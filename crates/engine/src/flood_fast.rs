@@ -44,7 +44,19 @@ use rand::SeedableRng;
 
 use randcast_graph::{CsrGraph, NodeId};
 
-use crate::kernel::{FaultSampler, InformedSet};
+use crate::kernel::{
+    lane_popcounts, planes_add_one_masked, planes_assign, planes_eq_mask, planes_gt_mask,
+    planes_le_mask, record_crossings, BatchBernoulli, BatchTape, BatchedInformedSet, FaultSampler,
+    InformedSet, LaneCounter, LaneMask, FAULT_STREAM, LANES,
+};
+
+/// The fault-coin site of `(node, index)`: the index (a 1-based round
+/// for the graph-variant batch, a 0-based attempt number for the
+/// tree-variant batch) and a `u32` node id pack losslessly into one
+/// `u64`.
+fn fault_site(index: usize, v: u32) -> u64 {
+    (index as u64) << 32 | u64::from(v)
+}
 
 /// Which edges carry the fast flood (mirrors
 /// `randcast_core::flood::FloodVariant` without the crate dependency).
@@ -70,6 +82,11 @@ pub struct FastFlood {
     source: u32,
     horizon: usize,
     n: usize,
+    variant: FastFloodVariant,
+    /// Nodes reachable from the source along transmission targets, in
+    /// BFS order (parents before children) — computed once at plan
+    /// build so every batched block reuses it.
+    order: Vec<u32>,
 }
 
 impl FastFlood {
@@ -87,13 +104,17 @@ impl FastFlood {
             FastFloodVariant::Graph => csr.into_raw_parts(),
             FastFloodVariant::Tree => csr.bfs_tree(u32::from(source)).into_children_csr(),
         };
-        FastFlood {
+        let mut plan = FastFlood {
             offsets,
             targets,
             source: u32::from(source),
             horizon,
             n,
-        }
+            variant,
+            order: Vec::new(),
+        };
+        plan.order = plan.compute_bfs_order();
+        plan
     }
 
     /// The horizon (maximum number of rounds executed).
@@ -182,6 +203,677 @@ impl FastFlood {
             n,
             horizon: self.horizon,
             completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// Scalar replay of lane `lane` of batched block `block_seed`: the
+    /// same frontier algorithm as [`run`](Self::run), but every fault
+    /// coin is bit `lane` of the site-addressed batch tape instead of a
+    /// draw from a sequential RNG. Sites are per-(node, round) for the
+    /// graph variant and per-(node, attempt) for the tree variant — the
+    /// coins are i.i.d. Bernoulli(`p`) either way, so the sampled
+    /// process is statistically identical to [`run`](Self::run), and
+    /// the site addressing is what lets
+    /// [`run_batch`](Self::run_batch) reproduce this outcome
+    /// *exactly*, lane for lane — see
+    /// [`FastFloodBatch::lane_outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane(&self, p: f64, block_seed: u64, lane: u32) -> FastFloodOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let n = self.n;
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_round = vec![0u32; n];
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut frontier: Vec<u32> = Vec::new();
+        if self.has_uninformed_target(self.source as usize, &informed) {
+            frontier.push(self.source);
+        }
+        let mut next_frontier: Vec<u32> = Vec::new();
+
+        for round in 1..=self.horizon {
+            if frontier.is_empty() {
+                break;
+            }
+            next_frontier.clear();
+            for &u in &frontier {
+                let site = match self.variant {
+                    FastFloodVariant::Graph => fault_site(round, u),
+                    // u's first attempt happens the round after it was
+                    // informed; index attempts from 0.
+                    FastFloodVariant::Tree => {
+                        fault_site(round - 1 - informed_round[u as usize] as usize, u)
+                    }
+                };
+                if faults.lane(&tape, site, lane) {
+                    // Failed transmitter: stays in the frontier.
+                    next_frontier.push(u);
+                } else {
+                    for &t in self.targets_of(u as usize) {
+                        if informed.insert(t) {
+                            informed_round[t as usize] = round as u32;
+                            next_frontier.push(t);
+                        }
+                    }
+                }
+            }
+            informed_by_round.push(informed.count());
+            if completion_round.is_none() && informed.count() == n {
+                completion_round = Some(round);
+            }
+            frontier.clear();
+            frontier.extend(
+                next_frontier
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.has_uninformed_target(u as usize, &informed)),
+            );
+        }
+
+        FastFloodOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// The nodes reachable from the source along transmission targets,
+    /// in BFS order (parents before children for the tree variant).
+    /// A lane's frontier is empty exactly when its informed count has
+    /// reached this closure's size — the bit-sliced liveness test the
+    /// graph-variant batch uses in place of per-lane frontier tracking.
+    fn bfs_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    fn compute_bfs_order(&self) -> Vec<u32> {
+        let mut seen = InformedSet::new(self.n);
+        seen.insert(self.source);
+        let mut order = vec![self.source];
+        let mut i = 0;
+        while i < order.len() {
+            let v = order[i];
+            i += 1;
+            for &t in self.targets_of(v as usize) {
+                if seen.insert(t) {
+                    order.push(t);
+                }
+            }
+        }
+        order
+    }
+
+    /// Runs all 64 trial lanes of block `block_seed` at once: the
+    /// informed set is a lane word per node and every fault coin is a
+    /// bit-sliced Bernoulli mask covering all lanes that draw it. Lane
+    /// `k` of the result is byte-identical to
+    /// [`run_lane`](Self::run_lane)`(p, block_seed, k)` — coins are
+    /// site-addressed pure functions of the block seed, so the batched
+    /// evolution reads exactly the bits the scalar replay reads.
+    ///
+    /// The tree variant runs round-free: each node's inform round obeys
+    /// `s(child) = s(parent) + 1 + Geom(1 − p)`, so one topological
+    /// pass resolves the whole block with the per-(node, attempt)
+    /// geometric waits drawn as bit-sliced masks. The graph variant
+    /// advances the 64-lane union frontier round by round, retiring
+    /// lanes whose informed count has reached the source component's
+    /// closure size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run_batch(&self, p: f64, block_seed: u64) -> FastFloodBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        match self.variant {
+            FastFloodVariant::Tree => self.run_batch_tree(&faults, &tape),
+            FastFloodVariant::Graph => self.run_batch_graph(&faults, &tape),
+        }
+    }
+
+    /// Tree-variant batch backend: one pass over the BFS order,
+    /// resolving every node's 64 inform rounds in bit-plane form.
+    ///
+    /// Because tree edges have unique parents, all of a node's children
+    /// share its success round, so every per-node statistic (informed
+    /// counts, max / second-max inform round, uninformed tally)
+    /// collapses to one group-level update per *internal* node —
+    /// leaves cost a plane copy and nothing else.
+    fn run_batch_tree(&self, faults: &BatchBernoulli, tape: &BatchTape) -> FastFloodBatch {
+        let n = self.n;
+        let h = self.horizon;
+        let order = self.bfs_order();
+        let reach = order.len();
+        // Sentinel inform round for "not informed within the horizon".
+        let never = h as u64 + 1;
+        let w = (64 - never.leading_zeros()) as usize;
+        let never_template: Vec<u64> = (0..w)
+            .map(|i| if never >> i & 1 == 1 { !0u64 } else { 0 })
+            .collect();
+
+        // Per-node inform rounds (bit planes), initialized to `never`;
+        // the source is informed at round 0.
+        let mut s_planes = Vec::with_capacity(n * w);
+        for _ in 0..n {
+            s_planes.extend_from_slice(&never_template);
+        }
+        let src = self.source as usize;
+        s_planes[src * w..(src + 1) * w].fill(0);
+
+        // Lanes in which each node is informed (within the horizon):
+        // exactly its parent's success mask, so it is free to maintain
+        // and replaces every `≤ horizon` plane comparison downstream.
+        let mut informed_masks = vec![0u64; n];
+        informed_masks[src] = !0;
+        // Lanes where some eligible node attempted through the horizon
+        // without success: their frontier stayed occupied to the end.
+        let mut unfinished: LaneMask = 0;
+
+        let mut su_buf = vec![0u64; w];
+        // Per-lane success attempt index, accumulated plane-wise inside
+        // the attempt loop; re-zeroed (used planes only) after each node.
+        let mut a_planes = vec![0u64; w];
+        // Internal nodes in BFS order: the reverse stats pass walks
+        // exactly these (leaves are accounted through their parents).
+        let mut groups: Vec<u32> = Vec::new();
+        // Plane index such that values below `2^tight_plane` are at
+        // least 65 attempt rounds short of the horizon.
+        let tight_plane = if (h as u64) < 65 {
+            0
+        } else {
+            (h as u64 - 64).ilog2() as usize
+        };
+        // Attempt-accumulator planes updated branch-free each attempt.
+        let a_unroll = w.min(3);
+
+        // Forward pass: resolve every internal node's 64 success rounds.
+        for &u in order {
+            let ui = u as usize;
+            let kids = self.targets_of(ui);
+            if kids.is_empty() {
+                continue;
+            }
+            groups.push(u);
+            if h == 0 || informed_masks[ui] == 0 {
+                continue;
+            }
+            su_buf.copy_from_slice(&s_planes[ui * w..(ui + 1) * w]);
+            // `elig`: lanes whose first attempt round s(u) + 1 is
+            // within the horizon — informed lanes minus those informed
+            // at exactly the last round. `tight`: the eligible lanes
+            // that could hit the horizon within the next 64 attempts —
+            // while none survive, the per-attempt retirement comparison
+            // below is skipped. Both derive from `hi`, the informed
+            // lanes with any plane `≥ tight_plane` set: lanes outside
+            // it sit at least 65 attempt rounds short of the horizon,
+            // so when `hi` is empty (the common case once the horizon
+            // comfortably exceeds the inform rounds) the exact
+            // equality scan is provably zero and is skipped.
+            let informed_u = informed_masks[ui];
+            let (elig, tight);
+            if (h as u64) < 65 {
+                elig = informed_u & !planes_eq_mask(&su_buf, h as u64);
+                tight = elig;
+            } else {
+                let mut hi = 0u64;
+                for &pl in &su_buf[tight_plane..] {
+                    hi |= pl;
+                }
+                hi &= informed_u;
+                if hi == 0 {
+                    elig = informed_u;
+                    tight = 0;
+                } else {
+                    elig = informed_u & !planes_eq_mask(&su_buf, h as u64);
+                    tight = elig & hi;
+                }
+            }
+            if elig == 0 {
+                continue;
+            }
+            let mut surviving = elig;
+            let mut succeeded: LaneMask = 0;
+            let mut a = 0u64;
+            while surviving != 0 {
+                let fail = faults.mask(tape, fault_site(a as usize, u), surviving);
+                let succ = surviving & !fail;
+                succeeded |= succ;
+                // Success sets are disjoint across attempts: OR the set
+                // bits of `a` into the attempt accumulator and resolve
+                // `s + 1 + a` in one ripple add afterwards. The low
+                // planes are accumulated branch-free (a zero `succ` or
+                // a clear bit of `a` just ORs in zero); eight or more
+                // failed attempts at one node are rare enough to branch.
+                for (i, pl) in a_planes.iter_mut().enumerate().take(a_unroll) {
+                    *pl |= succ & 0u64.wrapping_sub(a >> i & 1);
+                }
+                if a >> a_unroll != 0 && succ != 0 {
+                    let mut bits = a >> a_unroll;
+                    while bits != 0 {
+                        a_planes[a_unroll + bits.trailing_zeros() as usize] |= succ;
+                        bits &= bits - 1;
+                    }
+                }
+                a += 1;
+                surviving = fail;
+                // Retire lanes whose next attempt round s(u) + 1 + a
+                // would pass the horizon. Exact only when needed: lanes
+                // outside `tight` cannot retire for at least 64 attempts.
+                if surviving != 0 && (a >= 64 || surviving & tight != 0) {
+                    surviving = if a as usize > h - 1 {
+                        0
+                    } else {
+                        surviving & planes_le_mask(&su_buf, h as u64 - 1 - a)
+                    };
+                }
+            }
+            unfinished |= elig & !succeeded;
+            // Children inherit u's success round (only u can inform
+            // them: tree edges have unique parents): resolve straight
+            // into the first child's planes, siblings copy from it.
+            let c0 = kids[0] as usize;
+            planes_add_one_masked(
+                &mut s_planes[c0 * w..(c0 + 1) * w],
+                &su_buf,
+                &a_planes,
+                succeeded,
+                &never_template,
+            );
+            informed_masks[c0] = succeeded;
+            if a > 1 {
+                let wa = (64 - (a - 1).leading_zeros()) as usize;
+                a_planes[..wa.min(w)].fill(0);
+            }
+            for &c in &kids[1..] {
+                let ci = c as usize * w;
+                s_planes.copy_within(c0 * w..(c0 + 1) * w, ci);
+                informed_masks[c as usize] = succeeded;
+            }
+        }
+
+        // Reverse stats pass over the groups. Deep groups carry the
+        // largest inform rounds, so visiting them first lets the
+        // quick-reject comparison retire almost every later group in a
+        // single plane scan.
+        // Per-lane reach: lane-wise popcounts over the membership masks
+        // (the source's all-ones mask included).
+        let counts = LaneCounter::from_counts(&lane_popcounts(&informed_masks));
+        // Max / second max (with multiplicity) of the per-lane inform
+        // rounds over informed nodes, plus ≥1 / ≥2 uninformed tallies.
+        let mut max_r = vec![0u64; w];
+        let mut max_r2 = vec![0u64; w];
+        let mut uninf1: LaneMask = 0;
+        let mut uninf2: LaneMask = 0;
+        for &u in groups.iter().rev() {
+            let kids = self.targets_of(u as usize);
+            let c0 = kids[0] as usize;
+            let succ = informed_masks[c0];
+            let miss = !succ;
+            uninf2 |= if kids.len() >= 2 { miss } else { uninf1 & miss };
+            uninf1 |= miss;
+            if succ == 0 {
+                continue;
+            }
+            let done_s = &s_planes[c0 * w..(c0 + 1) * w];
+            let act = planes_gt_mask(done_s, &max_r2) & succ;
+            if act == 0 {
+                // done ≤ max2 ≤ max1 in every informed lane: even a
+                // multi-child group cannot move either running max.
+                continue;
+            }
+            let ge1 = !planes_gt_mask(&max_r, done_s) & succ;
+            if kids.len() >= 2 {
+                // A group of ≥ 2 children at or above the max occupies
+                // both slots.
+                planes_assign(&mut max_r2, done_s, ge1);
+            } else {
+                planes_assign(&mut max_r2, &max_r, ge1);
+            }
+            // `done > max2` but below the max: new second max.
+            planes_assign(&mut max_r2, done_s, act & !ge1);
+            planes_assign(&mut max_r, done_s, ge1);
+        }
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let almost_target = n.saturating_sub(1).max(1);
+        for lane in 0..LANES as u32 {
+            let li = lane as usize;
+            let uninformed1 = uninf1 >> lane & 1 == 1;
+            let uninformed2 = uninf2 >> lane & 1 == 1;
+            if reach == n && !uninformed1 {
+                completion_round[li] = Some(LaneCounter::get_in(&max_r, lane) as usize);
+            }
+            almost_round[li] = if 1 >= almost_target {
+                // n ≤ 2: the source alone is already almost-complete.
+                Some(0)
+            } else if reach == n {
+                if !uninformed1 {
+                    // Count hits n − 1 when the second-slowest learns.
+                    Some(LaneCounter::get_in(&max_r2, lane) as usize)
+                } else if !uninformed2 {
+                    // Exactly one node missed: count peaks at n − 1
+                    // when the slowest informed node learns.
+                    Some(LaneCounter::get_in(&max_r, lane) as usize)
+                } else {
+                    None
+                }
+            } else if reach == almost_target && !uninformed1 {
+                // Exactly n − 1 reachable: all of them must learn.
+                Some(LaneCounter::get_in(&max_r, lane) as usize)
+            } else {
+                None
+            };
+        }
+
+        FastFloodBatch {
+            n,
+            horizon: h,
+            informed: BatchedInformedSet::from_parts(informed_masks, counts),
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Schedule {
+                s_width: w,
+                s_planes,
+                max_round: max_r,
+                unfinished,
+            },
+        }
+    }
+
+    /// Graph-variant batch backend: the 64-lane union frontier advances
+    /// round by round; lanes whose informed count has reached the
+    /// source component's closure size stop contributing work, and a
+    /// stale frontier entry (a lane whose targets were covered by
+    /// someone else) only ever performs no-op transmissions before
+    /// washing out.
+    fn run_batch_graph(&self, faults: &BatchBernoulli, tape: &BatchTape) -> FastFloodBatch {
+        let n = self.n;
+        let reach = self.bfs_order().len();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        // Per-round snapshots of the count planes, in one flat arena.
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        // The union frontier: a list of nodes whose `frontier_mask` has
+        // at least one live lane in which the node may still transmit.
+        // Masks are supersets of the exact per-lane frontiers: a lane
+        // stays set after a failed round even if other transmitters
+        // informed all the node's targets meanwhile (a pure no-op), and
+        // is cleared on success, on lane death, or when the node drains.
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut frontier_mask = vec![0u64; n];
+        let mut in_frontier = vec![false; n];
+        if !self.targets_of(self.source as usize).is_empty() {
+            frontier.push(self.source);
+            frontier_mask[self.source as usize] = !0;
+            in_frontier[self.source as usize] = true;
+        }
+        // Lanes newly informed this round join the frontier only for
+        // the *next* round; stage them here.
+        let mut pending = vec![0u64; n];
+        let mut pending_nodes: Vec<u32> = Vec::new();
+
+        // A lane is live (its replay still executes rounds) while its
+        // informed count is below the closure size.
+        let mut live: LaneMask = if reach > 1 { !0 } else { 0 };
+
+        for round in 1..=self.horizon {
+            if live == 0 {
+                break;
+            }
+            executed += 1;
+            pending_nodes.clear();
+            let mut changed = false;
+
+            let mut write = 0usize;
+            for i in 0..frontier.len() {
+                let v = frontier[i];
+                let fm = frontier_mask[v as usize] & live;
+                if fm == 0 {
+                    frontier_mask[v as usize] = 0;
+                    in_frontier[v as usize] = false;
+                    continue;
+                }
+                let fail = faults.mask(tape, fault_site(round, v), fm);
+                let succ = fm & !fail;
+                if succ != 0 {
+                    for &t in self.targets_of(v as usize) {
+                        let newly = informed.insert_masked(t, succ);
+                        if newly != 0 {
+                            changed = true;
+                            if pending[t as usize] == 0 {
+                                pending_nodes.push(t);
+                            }
+                            pending[t as usize] |= newly;
+                        }
+                    }
+                }
+                // A successful lane informed all of v's targets: v
+                // leaves that lane's frontier. Failed lanes stay.
+                let keep = fm & fail;
+                frontier_mask[v as usize] = keep;
+                if keep != 0 {
+                    frontier[write] = v;
+                    write += 1;
+                } else {
+                    in_frontier[v as usize] = false;
+                }
+            }
+            frontier.truncate(write);
+            for &t in &pending_nodes {
+                frontier_mask[t as usize] |= pending[t as usize];
+                pending[t as usize] = 0;
+                if !in_frontier[t as usize] {
+                    in_frontier[t as usize] = true;
+                    frontier.push(t);
+                }
+            }
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+                live &= !informed.counts().ge_mask(reach as u64);
+            }
+        }
+
+        FastFloodBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed,
+            },
+        }
+    }
+}
+
+/// Backend-specific data for reconstructing per-lane growth curves.
+#[derive(Clone, PartialEq, Debug)]
+enum BatchCurve {
+    /// Graph-variant backend: per-round count-plane snapshots.
+    Rounds {
+        /// Size of the source's targets-closure component: a lane's
+        /// replay stops recording once its count reaches this.
+        reach: usize,
+        plane_width: usize,
+        /// `executed × plane_width` words: the per-lane informed counts
+        /// after each executed round.
+        count_arena: Vec<u64>,
+        executed: usize,
+    },
+    /// Tree-variant backend: per-node inform rounds in bit-plane form.
+    Schedule {
+        s_width: usize,
+        /// `n × s_width` words: node `v`'s per-lane inform round
+        /// (`horizon + 1` = never informed).
+        s_planes: Vec<u64>,
+        /// Per-lane max inform round over informed nodes: the last
+        /// executed round in lanes whose frontier drained in time.
+        max_round: Vec<u64>,
+        /// Lanes where some node attempted through the horizon without
+        /// success: their last executed round is the horizon itself.
+        unfinished: LaneMask,
+    },
+}
+
+/// Outcome of one batched 64-lane flood block; per-lane views are
+/// byte-identical to the corresponding [`FastFlood::run_lane`] replay.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FastFloodBatch {
+    n: usize,
+    horizon: usize,
+    informed: BatchedInformedSet,
+    completion_round: Vec<Option<usize>>,
+    almost_round: Vec<Option<usize>>,
+    curve: BatchCurve,
+}
+
+impl FastFloodBatch {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane `k`'s completion round (`None` if that trial never
+    /// completed).
+    #[must_use]
+    pub fn completion_round(&self, lane: u32) -> Option<usize> {
+        self.completion_round[lane as usize]
+    }
+
+    /// Lane `k`'s first round with an almost-complete (`≥ n − 1`)
+    /// informed set.
+    #[must_use]
+    pub fn almost_complete_round(&self, lane: u32) -> Option<usize> {
+        self.almost_round[lane as usize]
+    }
+
+    /// Lane `k`'s final informed count.
+    #[must_use]
+    pub fn informed_count(&self, lane: u32) -> usize {
+        self.informed.count(lane)
+    }
+
+    /// Lane `k`'s final informed fraction.
+    #[must_use]
+    pub fn informed_fraction(&self, lane: u32) -> f64 {
+        self.informed.count(lane) as f64 / self.n as f64
+    }
+
+    /// Reconstructs lane `k`'s full scalar outcome — equal to
+    /// [`FastFlood::run_lane`] with the same block seed and lane.
+    #[must_use]
+    pub fn lane_outcome(&self, lane: u32) -> FastFloodOutcome {
+        let mut informed = InformedSet::new(self.n);
+        for v in 0..self.n as u32 {
+            if self.informed.lane_contains(v, lane) {
+                informed.insert(v);
+            }
+        }
+        let informed_by_round = match &self.curve {
+            BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed,
+            } => {
+                let mut curve = vec![1usize];
+                let mut prev = 1usize;
+                for r in 0..*executed {
+                    if prev >= *reach {
+                        // An empty frontier never refills: once the
+                        // count hits the closure size, the lane's
+                        // replay stopped here.
+                        break;
+                    }
+                    let planes = &count_arena[r * plane_width..(r + 1) * plane_width];
+                    let count = LaneCounter::get_in(planes, lane) as usize;
+                    curve.push(count);
+                    prev = count;
+                }
+                curve
+            }
+            BatchCurve::Schedule {
+                s_width,
+                s_planes,
+                max_round,
+                unfinished,
+            } => {
+                // Counting sort of the lane's inform rounds: every
+                // informed node's round is ≤ the lane's last executed
+                // round, so the prefix sums are the growth curve.
+                let w = *s_width;
+                let last = if unfinished >> lane & 1 == 1 {
+                    self.horizon
+                } else {
+                    LaneCounter::get_in(max_round, lane) as usize
+                };
+                let mut curve = vec![0usize; last + 1];
+                for v in 0..self.n {
+                    let s = LaneCounter::get_in(&s_planes[v * w..(v + 1) * w], lane) as usize;
+                    if s <= last {
+                        curve[s] += 1;
+                    }
+                }
+                for r in 1..=last {
+                    curve[r] += curve[r - 1];
+                }
+                curve
+            }
+        };
+        FastFloodOutcome {
+            n: self.n,
+            horizon: self.horizon,
+            completion_round: self.completion_round[lane as usize],
             informed_by_round,
             informed,
         }
@@ -449,5 +1141,78 @@ mod tests {
         let ff = FastFlood::new(CsrGraph::from(&g), g.node(3), 50, FastFloodVariant::Tree);
         let out = ff.run(0.0, 0);
         assert_eq!(out.completion_round(), Some(2));
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_lane_replay_exactly() {
+        let g = generators::gnp_connected(120, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(2));
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = plan(&g, 300, variant);
+            for p in [0.0, 0.3, 0.76, 0.9] {
+                for block_seed in [0u64, 1, 0xDEAD_BEEF] {
+                    let batch = ff.run_batch(p, block_seed);
+                    for lane in 0..64u32 {
+                        assert_eq!(
+                            batch.lane_outcome(lane),
+                            ff.run_lane(p, block_seed, lane),
+                            "{variant:?} p={p} seed={block_seed} lane={lane}"
+                        );
+                        assert_eq!(
+                            batch.completion_round(lane),
+                            batch.lane_outcome(lane).completion_round()
+                        );
+                        assert_eq!(
+                            batch.almost_complete_round(lane),
+                            batch.lane_outcome(lane).almost_complete_round(),
+                            "{variant:?} p={p} seed={block_seed} lane={lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_disconnection_short_horizons_and_single_nodes() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let g = b.finish().unwrap();
+        let ff = plan(&g, 50, FastFloodVariant::Graph);
+        let batch = ff.run_batch(0.3, 9);
+        for lane in 0..64u32 {
+            assert_eq!(batch.lane_outcome(lane), ff.run_lane(0.3, 9, lane));
+            assert_eq!(batch.informed_count(lane), 3);
+            assert!(!batch.lane_outcome(lane).complete());
+        }
+
+        let short = plan(&generators::path(20), 5, FastFloodVariant::Tree);
+        let batch = short.run_batch(0.5, 4);
+        for lane in 0..64u32 {
+            assert_eq!(batch.lane_outcome(lane), short.run_lane(0.5, 4, lane));
+        }
+
+        let single = plan(&generators::path(0), 4, FastFloodVariant::Graph);
+        let batch = single.run_batch(0.3, 1);
+        for lane in 0..64u32 {
+            assert_eq!(batch.lane_outcome(lane), single.run_lane(0.3, 1, lane));
+            assert_eq!(batch.completion_round(lane), Some(0));
+            assert_eq!(batch.almost_complete_round(lane), Some(0));
+        }
+    }
+
+    #[test]
+    fn batch_lane_outcomes_are_independent_of_sibling_lanes() {
+        // A lane's coins are site-addressed, so its outcome cannot
+        // depend on how many other lanes run or what they do. Compare
+        // lane k across two *different* plans' batches sharing the same
+        // block seed — the lane replay only depends on (plan, p, seed,
+        // lane), which is the same thing run_lane computes.
+        let g = generators::grid(6, 6);
+        let ff = plan(&g, 120, FastFloodVariant::Graph);
+        for lane in [0u32, 13, 63] {
+            let a = ff.run_batch(0.4, 77).lane_outcome(lane);
+            let b = ff.run_lane(0.4, 77, lane);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -18,9 +18,24 @@
 //! is a pure function of `p` (`p > 0.75`), so two runs with the same
 //! seed and `p` observe identical RNG streams regardless of which
 //! engine drives the sampler.
+//!
+//! # The batched (bit-sliced) trial mode
+//!
+//! The batch primitives ([`BatchTape`], [`BatchBernoulli`],
+//! [`BatchedInformedSet`], [`LaneCounter`]) run [`LANES`] = 64
+//! Monte-Carlo trials per machine word: lane `k` of every `u64` is
+//! trial `k` of the block. All batch randomness is *site-addressed*: a
+//! coin is a pure function of `(block seed, stream, site, lane)` rather
+//! than a position in a sequential stream, so the order in which an
+//! engine happens to evaluate coins cannot change any lane's outcome.
+//! That purity is what makes per-lane EXACT equivalence between a
+//! batched run and a scalar lane replay testable — both read the very
+//! same words (`crates/core/tests/batch_equivalence.rs` pins it).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+use randcast_stats::seed::{splitmix64, SeedSequence};
 
 /// A word-level node bitmask with a running popcount — the informed
 /// (or correct) set of a broadcast kernel.
@@ -227,6 +242,616 @@ impl CollisionCounter {
     }
 }
 
+/// Number of Monte-Carlo trial lanes in one batched block: one per bit
+/// of a `u64`.
+pub const LANES: usize = 64;
+
+/// A set of trial lanes, bit `k` = lane `k` of the block.
+pub type LaneMask = u64;
+
+/// The lane mask selecting lanes `0..count` (all 64 when `count ≥ 64`).
+#[must_use]
+pub fn lane_mask_first(count: usize) -> LaneMask {
+    if count >= LANES {
+        !0
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// Seed-tree stream label for per-(site) fault coins of a batched
+/// block.
+pub const FAULT_STREAM: u64 = 0xFA01;
+
+/// Seed-tree stream label for per-(site) Decay participation coins of a
+/// batched block.
+pub const DECAY_STREAM: u64 = 0xDEC0;
+
+/// Odd multiplier decorrelating sites before the SplitMix64 finisher.
+const SITE_MUL: u64 = 0xD6E8_FEB8_6659_FD93;
+/// Odd multiplier decorrelating bit planes of one site.
+const PLANE_MUL: u64 = 0xCA5A_8268_83CA_B8F9;
+
+/// `plane · PLANE_MUL` for every plane of a 53-bit draw, precomputed so
+/// the hot mask loop spends its multiplier ports on the SplitMix
+/// finisher alone.
+const PLANE_MIX: [u64; 53] = {
+    let mut t = [0u64; 53];
+    let mut i = 0;
+    while i < 53 {
+        t[i] = (i as u64).wrapping_mul(PLANE_MUL);
+        i += 1;
+    }
+    t
+};
+
+/// A pure random-word tape for one batched 64-trial block: every word
+/// is a function of `(block seed, stream, site, plane)` and nothing
+/// else.
+///
+/// The base is derived through the existing seed tree
+/// ([`SeedSequence::child`]), so batched blocks hang off the same
+/// derivation structure as scalar trial seeds. Lane `k`'s conceptual
+/// "derived seed" is the pair `(block_seed, k)`: the lane reads bit `k`
+/// of exactly the words a batched run over the whole block reads.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchTape {
+    base: u64,
+}
+
+impl BatchTape {
+    /// The tape for `stream` (e.g. [`FAULT_STREAM`]) of a block.
+    #[must_use]
+    pub fn new(block_seed: u64, stream: u64) -> Self {
+        BatchTape {
+            base: SeedSequence::new(block_seed).child(stream).master(),
+        }
+    }
+
+    /// The `plane`-th random word of `site`: bit `k` is one unbiased
+    /// random bit of lane `k`.
+    #[must_use]
+    pub fn word(&self, site: u64, plane: u32) -> u64 {
+        splitmix64(
+            self.base ^ site.wrapping_mul(SITE_MUL) ^ u64::from(plane).wrapping_mul(PLANE_MUL),
+        )
+    }
+
+    /// All 64 lanes' fair coins at `site` (probability 1/2 each), as
+    /// one word: bit `k` is lane `k`'s coin.
+    #[must_use]
+    pub fn fair_mask(&self, site: u64) -> LaneMask {
+        self.word(site, 0)
+    }
+
+    /// Lane `k`'s fair coin at `site` — bit `k` of
+    /// [`fair_mask`](Self::fair_mask), exactly.
+    #[must_use]
+    pub fn fair_lane(&self, site: u64, lane: u32) -> bool {
+        self.fair_mask(site) >> lane & 1 == 1
+    }
+
+    /// Lane `k`'s 53-bit uniform at `site`, assembled MSB-first from the
+    /// same plane words the bit-sliced threshold compare reads:
+    /// `uniform53 / 2^53` is the lane's unit uniform.
+    #[must_use]
+    pub fn uniform53(&self, site: u64, lane: u32) -> u64 {
+        let mut m = 0u64;
+        for plane in 0..53 {
+            m = m << 1 | (self.word(site, plane) >> lane & 1);
+        }
+        m
+    }
+}
+
+/// A bit-sliced Bernoulli(`p`) sampler over a [`BatchTape`]: one call
+/// draws 64 independent coins (one per lane) from one site.
+///
+/// Exactness: the vendored `rand` evaluates `gen_bool(p)` as
+/// `(bits >> 11) as f64 / 2^53 < p`, i.e. a 53-bit uniform integer `M`
+/// compared against `p`. That comparison is equivalent to the *integer*
+/// comparison `M < ⌈p · 2^53⌉` (scaling by a power of two is exact in
+/// `f64`), so the threshold compare here hits the same acceptance set —
+/// per-lane probabilities match the scalar sampler bit-for-bit in
+/// distribution. The compare runs lexicographically over the plane
+/// words, MSB first, and stops as soon as every undecided lane is
+/// resolved (~`log2(lanes) + 2` words in expectation), which is where
+/// the batch speedup comes from.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchBernoulli {
+    /// `⌈p · 2^53⌉`; the coin is `M < tint`. `tint = 2^53` means the
+    /// coin is always true.
+    tint: u64,
+}
+
+impl BatchBernoulli {
+    /// A sampler with per-lane success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        BatchBernoulli {
+            tint: (p * (1u64 << 53) as f64).ceil() as u64,
+        }
+    }
+
+    /// Draws all lanes of `active` at `site`: the returned mask has bit
+    /// `k` set iff lane `k` is in `active` and its coin came up true.
+    /// Lanes outside `active` are reported false (their underlying coin
+    /// value is unaffected — restricting `active` never changes an
+    /// included lane's bit).
+    #[must_use]
+    #[inline]
+    pub fn mask(&self, tape: &BatchTape, site: u64, active: LaneMask) -> LaneMask {
+        if self.tint >= 1 << 53 {
+            return active;
+        }
+        if self.tint == 0 {
+            return 0;
+        }
+        // Hoist the site mix out of the plane loop; each word is then
+        // one multiply plus the SplitMix64 finisher.
+        let site_base = tape.base ^ site.wrapping_mul(SITE_MUL);
+        let mut hit = 0u64;
+        let mut undecided = active;
+        let mut plane = 0usize;
+        // Four planes per check: the SplitMix finishers are independent
+        // (pipelined multiplies) and the exit branch runs once per
+        // quad instead of once per word. The per-plane update is
+        // identical to a word-at-a-time scan, so lane semantics are
+        // unchanged. 53 = 4 · 13 + 1; the last plane is handled below.
+        while undecided != 0 && plane < 52 {
+            let w0 = splitmix64(site_base ^ PLANE_MIX[plane]);
+            let w1 = splitmix64(site_base ^ PLANE_MIX[plane + 1]);
+            let w2 = splitmix64(site_base ^ PLANE_MIX[plane + 2]);
+            let w3 = splitmix64(site_base ^ PLANE_MIX[plane + 3]);
+            // Branch-free select on the threshold bit: a 1-bit accepts
+            // lanes with a 0 word bit, a 0-bit rejects lanes with a 1.
+            let tb0 = 0u64.wrapping_sub(self.tint >> (52 - plane) & 1);
+            let tb1 = 0u64.wrapping_sub(self.tint >> (51 - plane) & 1);
+            let tb2 = 0u64.wrapping_sub(self.tint >> (50 - plane) & 1);
+            let tb3 = 0u64.wrapping_sub(self.tint >> (49 - plane) & 1);
+            hit |= undecided & !w0 & tb0;
+            undecided &= w0 ^ !tb0;
+            hit |= undecided & !w1 & tb1;
+            undecided &= w1 ^ !tb1;
+            hit |= undecided & !w2 & tb2;
+            undecided &= w2 ^ !tb2;
+            hit |= undecided & !w3 & tb3;
+            undecided &= w3 ^ !tb3;
+            plane += 4;
+        }
+        if undecided != 0 {
+            let w = splitmix64(site_base ^ 52u64.wrapping_mul(PLANE_MUL));
+            let tb = 0u64.wrapping_sub(self.tint & 1);
+            hit |= undecided & !w & tb;
+        }
+        // Lanes still undecided have M == tint exactly: not less.
+        hit
+    }
+
+    /// Lane `k`'s coin at `site` — bit `k` of [`mask`](Self::mask),
+    /// exactly, evaluated by reading single bits of the same plane
+    /// words.
+    #[must_use]
+    pub fn lane(&self, tape: &BatchTape, site: u64, lane: u32) -> bool {
+        if self.tint >= 1 << 53 {
+            return true;
+        }
+        for plane in 0..53 {
+            let t = self.tint >> (52 - plane) & 1;
+            let m = tape.word(site, plane) >> lane & 1;
+            if m != t {
+                return t == 1;
+            }
+        }
+        false
+    }
+}
+
+/// Per-lane unsigned counters stored bit-plane-wise: `planes[j]` holds
+/// bit `j` of all 64 lane counts. Masked increments are ripple-carry
+/// word operations (amortized O(1) per `+1`), and order comparisons
+/// against a scalar threshold come out as lane masks without ever
+/// materializing the 64 counts.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LaneCounter {
+    planes: Vec<u64>,
+}
+
+impl LaneCounter {
+    /// A counter with every lane at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneCounter { planes: Vec::new() }
+    }
+
+    /// A counter holding the given per-lane values (the bit-plane
+    /// transpose of `counts`).
+    #[must_use]
+    pub fn from_counts(counts: &[u32; LANES]) -> Self {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let width = if max == 0 {
+            0
+        } else {
+            max.ilog2() as usize + 1
+        };
+        let mut planes = vec![0u64; width];
+        for (lane, &c) in counts.iter().enumerate() {
+            let mut bits = u64::from(c);
+            while bits != 0 {
+                planes[bits.trailing_zeros() as usize] |= 1u64 << lane;
+                bits &= bits - 1;
+            }
+        }
+        LaneCounter { planes }
+    }
+
+    /// Adds `amount` to every lane selected by `mask`.
+    pub fn add_masked(&mut self, mask: LaneMask, amount: u64) {
+        if mask == 0 || amount == 0 {
+            return;
+        }
+        let mut carry = 0u64;
+        let mut bit = 0usize;
+        while carry != 0 || (bit < 64 && amount >> bit != 0) {
+            if self.planes.len() == bit {
+                self.planes.push(0);
+            }
+            let a = self.planes[bit];
+            let b = if bit < 64 && amount >> bit & 1 == 1 {
+                mask
+            } else {
+                0
+            };
+            let partial = a ^ b;
+            self.planes[bit] = partial ^ carry;
+            carry = (a & b) | (partial & carry);
+            bit += 1;
+        }
+    }
+
+    /// Lane `k`'s current count.
+    #[must_use]
+    pub fn get(&self, lane: u32) -> u64 {
+        Self::get_in(&self.planes, lane)
+    }
+
+    /// Lane `k`'s count in a plane snapshot previously taken from
+    /// [`planes`](Self::planes).
+    #[must_use]
+    pub fn get_in(planes: &[u64], lane: u32) -> u64 {
+        planes
+            .iter()
+            .enumerate()
+            .map(|(bit, &w)| (w >> lane & 1) << bit)
+            .sum()
+    }
+
+    /// The raw bit planes (for cheap per-round snapshots).
+    #[must_use]
+    pub fn planes(&self) -> &[u64] {
+        &self.planes
+    }
+
+    /// The mask of lanes whose count is `≥ threshold`, via one
+    /// bit-sliced MSB-first comparison.
+    #[must_use]
+    pub fn ge_mask(&self, threshold: u64) -> LaneMask {
+        let bits = self
+            .planes
+            .len()
+            .max(64 - threshold.leading_zeros() as usize);
+        let mut gt = 0u64;
+        let mut eq = !0u64;
+        for bit in (0..bits).rev() {
+            let a = self.planes.get(bit).copied().unwrap_or(0);
+            if bit < 64 && threshold >> bit & 1 == 1 {
+                eq &= a;
+            } else {
+                gt |= eq & a;
+                eq &= !a;
+            }
+        }
+        gt | eq
+    }
+
+    /// The mask of lanes whose count is exactly `value`.
+    #[must_use]
+    pub fn eq_mask(&self, value: u64) -> LaneMask {
+        let bits = self.planes.len().max(64 - value.leading_zeros() as usize);
+        let mut eq = !0u64;
+        for bit in 0..bits {
+            let a = self.planes.get(bit).copied().unwrap_or(0);
+            eq &= if bit < 64 && value >> bit & 1 == 1 {
+                a
+            } else {
+                !a
+            };
+        }
+        eq
+    }
+}
+
+/// Records `round` as the crossing round for every lane set in `mask`
+/// (a shared helper of the batched engines' completion/almost
+/// bookkeeping).
+pub(crate) fn record_crossings(mask: LaneMask, round: usize, rounds: &mut [Option<usize>]) {
+    let mut m = mask;
+    while m != 0 {
+        let lane = m.trailing_zeros() as usize;
+        rounds[lane] = Some(round);
+        m &= m - 1;
+    }
+}
+
+/// Per-lane popcounts over a slice of lane masks: `out[k]` is the
+/// number of masks with bit `k` set. Runs as 64×64 bit-matrix
+/// transposes plus one hardware popcount per lane — ~7 word ops per
+/// mask, an order of magnitude cheaper than 64 ripple-carry adds.
+#[must_use]
+pub fn lane_popcounts(masks: &[LaneMask]) -> [u32; LANES] {
+    let mut counts = [0u32; LANES];
+    let mut block = [0u64; LANES];
+    for chunk in masks.chunks(LANES) {
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()..].fill(0);
+        transpose64(&mut block);
+        for (lane, &col) in block.iter().enumerate() {
+            counts[lane] += col.count_ones();
+        }
+    }
+    counts
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3): after
+/// the call, bit `i` of `a[k]` equals bit `k` of the original `a[i]`.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] >> j ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// The mask of lanes whose bit-plane value (little-endian: `planes[i]`
+/// holds bit `i` of every lane) is `≤ k`, via one MSB-first bit-sliced
+/// comparison.
+#[must_use]
+pub fn planes_le_mask(planes: &[u64], k: u64) -> LaneMask {
+    if planes.len() < 64 && k >> planes.len() != 0 {
+        // Every representable value fits under k.
+        return !0;
+    }
+    let mut gt = 0u64;
+    let mut und = !0u64;
+    for (i, &pl) in planes.iter().enumerate().rev() {
+        let kb = 0u64.wrapping_sub(if i < 64 { k >> i & 1 } else { 0 });
+        gt |= und & pl & !kb;
+        und &= !(pl ^ kb);
+    }
+    !gt
+}
+
+/// The mask of lanes whose bit-plane value equals `k` exactly.
+#[must_use]
+pub fn planes_eq_mask(planes: &[u64], k: u64) -> LaneMask {
+    if planes.len() < 64 && k >> planes.len() != 0 {
+        // k is not representable in this width.
+        return 0;
+    }
+    let mut eq = !0u64;
+    for (i, &pl) in planes.iter().enumerate().rev() {
+        let kb = 0u64.wrapping_sub(if i < 64 { k >> i & 1 } else { 0 });
+        eq &= !(pl ^ kb);
+    }
+    eq
+}
+
+/// Both [`planes_le_mask`]`(planes, k_lo)` and
+/// [`planes_le_mask`]`(planes, k_hi)` in one scan over the planes
+/// (`k_lo ≤ k_hi`). Batched engines use this for the paired
+/// "eligible before the horizon" / "safe from the horizon for a while"
+/// thresholds drawn from the same value.
+#[must_use]
+pub fn planes_le2_mask(planes: &[u64], k_lo: u64, k_hi: u64) -> (LaneMask, LaneMask) {
+    debug_assert!(k_lo <= k_hi);
+    if planes.len() < 64 && k_lo >> planes.len() != 0 {
+        return (!0, !0);
+    }
+    if planes.len() < 64 && k_hi >> planes.len() != 0 {
+        return (planes_le_mask(planes, k_lo), !0);
+    }
+    let mut gt_lo = 0u64;
+    let mut und_lo = !0u64;
+    let mut gt_hi = 0u64;
+    let mut und_hi = !0u64;
+    for (i, &pl) in planes.iter().enumerate().rev() {
+        let (lo_bit, hi_bit) = if i < 64 {
+            (k_lo >> i & 1, k_hi >> i & 1)
+        } else {
+            (0, 0)
+        };
+        let lb = 0u64.wrapping_sub(lo_bit);
+        let hb = 0u64.wrapping_sub(hi_bit);
+        gt_lo |= und_lo & pl & !lb;
+        und_lo &= !(pl ^ lb);
+        gt_hi |= und_hi & pl & !hb;
+        und_hi &= !(pl ^ hb);
+    }
+    (!gt_lo, !gt_hi)
+}
+
+/// The mask of lanes where `a`'s bit-plane value exceeds `b`'s. The two
+/// slices must have equal width.
+#[must_use]
+pub fn planes_gt_mask(a: &[u64], b: &[u64]) -> LaneMask {
+    debug_assert_eq!(a.len(), b.len());
+    let mut gt = 0u64;
+    let mut und = !0u64;
+    for (&ai, &bi) in a.iter().zip(b).rev() {
+        gt |= und & ai & !bi;
+        und &= !(ai ^ bi);
+    }
+    gt
+}
+
+/// Overwrites `dst`'s value with `src`'s in every lane of `m` (both in
+/// little-endian bit-plane form, equal widths).
+pub fn planes_assign(dst: &mut [u64], src: &[u64], m: LaneMask) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (*d & !m) | (s & m);
+    }
+}
+
+/// Sets `dst`'s value to `base + c` in every lane of `m` (bit-plane
+/// form, equal widths); other lanes of `dst` are untouched. The sum
+/// must fit the plane width for every selected lane.
+pub fn planes_add_const(dst: &mut [u64], base: &[u64], c: u64, m: LaneMask) {
+    debug_assert_eq!(dst.len(), base.len());
+    let mut carry = 0u64;
+    for (i, (d, &a)) in dst.iter_mut().zip(base).enumerate() {
+        let cb = 0u64.wrapping_sub(if i < 64 { c >> i & 1 } else { 0 });
+        let sum = a ^ cb ^ carry;
+        *d = (*d & !m) | (sum & m);
+        carry = (a & cb) | (a & carry) | (cb & carry);
+    }
+    debug_assert_eq!(carry & m, 0, "bit-plane addition overflowed");
+}
+
+/// Sets `dst`'s value to `base + addend + 1` in every lane of `m` and
+/// to `default`'s value in every other lane (bit-plane form; `addend`
+/// may be narrower than `base` and is zero-extended). The sum must fit
+/// the plane width for every selected lane.
+///
+/// This is the batched engines' schedule finisher: a node's per-lane
+/// success rounds are `s + 1 + attempt`, with the attempt indices
+/// accumulated plane-wise across loop iterations (success sets are
+/// disjoint, so accumulation is a plain OR) and added here in one
+/// ripple pass instead of one masked add per iteration; failed lanes
+/// take the `never` sentinel in the same pass.
+pub fn planes_add_one_masked(
+    dst: &mut [u64],
+    base: &[u64],
+    addend: &[u64],
+    m: LaneMask,
+    default: &[u64],
+) {
+    debug_assert_eq!(dst.len(), base.len());
+    debug_assert_eq!(dst.len(), default.len());
+    debug_assert!(addend.len() <= base.len());
+    let mut carry = m; // the `+ 1`
+    if m == !0 {
+        // Every lane selected (the common case in a batched engine's
+        // hot loop): no default select, and once the carry dies past
+        // the addend the remaining planes are a straight copy.
+        for (i, d) in dst.iter_mut().enumerate() {
+            let a = base[i];
+            if carry == 0 && i >= addend.len() {
+                *d = a;
+                continue;
+            }
+            let b = if i < addend.len() { addend[i] } else { 0 };
+            *d = a ^ b ^ carry;
+            carry = (a & b) | (a & carry) | (b & carry);
+        }
+    } else {
+        for (i, d) in dst.iter_mut().enumerate() {
+            let a = base[i];
+            let b = if i < addend.len() { addend[i] } else { 0 };
+            let sum = a ^ b ^ carry;
+            *d = (default[i] & !m) | (sum & m);
+            carry = (a & b) | (a & carry) | (b & carry);
+        }
+    }
+    debug_assert_eq!(carry & m, 0, "bit-plane addition overflowed");
+}
+
+/// The batched counterpart of [`InformedSet`]: one lane word per node
+/// (bit `k` = "node is informed in trial `k`") plus a [`LaneCounter`]
+/// of per-lane set sizes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchedInformedSet {
+    masks: Vec<u64>,
+    counts: LaneCounter,
+    n: usize,
+}
+
+impl BatchedInformedSet {
+    /// An empty set over `n` nodes (all lanes).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        BatchedInformedSet {
+            masks: vec![0u64; n],
+            counts: LaneCounter::new(),
+            n,
+        }
+    }
+
+    /// Assembles a set from externally computed parts (a batched
+    /// engine's group-level accounting). `counts` must equal the
+    /// per-lane popcounts over `masks`.
+    pub(crate) fn from_parts(masks: Vec<u64>, counts: LaneCounter) -> Self {
+        let n = masks.len();
+        BatchedInformedSet { masks, counts, n }
+    }
+
+    /// Inserts node `v` into every lane of `lanes`; returns the lanes
+    /// where it was newly inserted.
+    pub fn insert_masked(&mut self, v: u32, lanes: LaneMask) -> LaneMask {
+        let m = &mut self.masks[v as usize];
+        let newly = lanes & !*m;
+        if newly != 0 {
+            *m |= newly;
+            self.counts.add_masked(newly, 1);
+        }
+        newly
+    }
+
+    /// The lanes containing node `v`.
+    #[must_use]
+    pub fn lanes(&self, v: u32) -> LaneMask {
+        self.masks[v as usize]
+    }
+
+    /// Whether lane `k` contains node `v`.
+    #[must_use]
+    pub fn lane_contains(&self, v: u32, lane: u32) -> bool {
+        self.masks[v as usize] >> lane & 1 == 1
+    }
+
+    /// Lane `k`'s set size.
+    #[must_use]
+    pub fn count(&self, lane: u32) -> usize {
+        self.counts.get(lane) as usize
+    }
+
+    /// The per-lane size counter (for snapshots and bit-sliced
+    /// threshold masks).
+    #[must_use]
+    pub fn counts(&self) -> &LaneCounter {
+        &self.counts
+    }
+
+    /// Number of nodes the set ranges over.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +997,251 @@ mod tests {
         let mut heard = Vec::new();
         c.drain_sole_receivers(|v| heard.push(v));
         assert!(heard.is_empty(), "255+ transmitters is still a collision");
+    }
+
+    #[test]
+    fn lane_mask_first_selects_a_prefix() {
+        assert_eq!(lane_mask_first(0), 0);
+        assert_eq!(lane_mask_first(1), 1);
+        assert_eq!(lane_mask_first(5), 0b11111);
+        assert_eq!(lane_mask_first(64), !0);
+        assert_eq!(lane_mask_first(1000), !0);
+    }
+
+    #[test]
+    fn batch_mask_and_lane_view_agree_bit_for_bit() {
+        let tape = BatchTape::new(42, FAULT_STREAM);
+        for p in [0.0, 0.3, 0.5, 0.76, 0.9, 1.0] {
+            let bern = BatchBernoulli::new(p);
+            for site in 0..200u64 {
+                let full = bern.mask(&tape, site, !0);
+                for lane in 0..64 {
+                    assert_eq!(
+                        full >> lane & 1 == 1,
+                        bern.lane(&tape, site, lane),
+                        "p={p} site={site} lane={lane}"
+                    );
+                }
+                // Restricting the active mask never changes an
+                // included lane's coin.
+                let half = bern.mask(&tape, site, 0xAAAA_AAAA_AAAA_AAAA);
+                assert_eq!(half, full & 0xAAAA_AAAA_AAAA_AAAA, "p={p} site={site}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lane_matches_uniform53_threshold() {
+        // The lane view is exactly `uniform53 < ⌈p·2^53⌉` — the same
+        // acceptance set as the vendored rand's `gen_bool`.
+        let tape = BatchTape::new(7, FAULT_STREAM);
+        for p in [0.25, 0.76] {
+            let bern = BatchBernoulli::new(p);
+            let tint = (p * (1u64 << 53) as f64).ceil() as u64;
+            for site in 0..50u64 {
+                for lane in [0u32, 17, 63] {
+                    let m = tape.uniform53(site, lane);
+                    assert!(m < 1 << 53);
+                    assert_eq!(bern.lane(&tape, site, lane), m < tint);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_coin_rate_tracks_p_in_both_regimes() {
+        // Across the scalar sampler's dense/sparse boundary the batch
+        // coins must hit probability p; 64 lanes × 4000 sites gives a
+        // standard error ≈ 0.001.
+        let tape = BatchTape::new(99, FAULT_STREAM);
+        for p in [0.3, 0.76, 0.9] {
+            let bern = BatchBernoulli::new(p);
+            let total: u32 = (0..4000u64)
+                .map(|site| bern.mask(&tape, site, !0).count_ones())
+                .sum();
+            let rate = f64::from(total) / (4000.0 * 64.0);
+            assert!((rate - p).abs() < 0.005, "p={p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn fair_mask_is_unbiased_and_matches_lane_view() {
+        let tape = BatchTape::new(3, DECAY_STREAM);
+        let mut ones = 0u32;
+        for site in 0..2000u64 {
+            let w = tape.fair_mask(site);
+            ones += w.count_ones();
+            for lane in [0u32, 31, 63] {
+                assert_eq!(tape.fair_lane(site, lane), w >> lane & 1 == 1);
+            }
+        }
+        let rate = f64::from(ones) / (2000.0 * 64.0);
+        assert!((rate - 0.5).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn tape_streams_are_decorrelated() {
+        let fault = BatchTape::new(5, FAULT_STREAM);
+        let decay = BatchTape::new(5, DECAY_STREAM);
+        let same = (0..64u64)
+            .filter(|&s| fault.word(s, 0) == decay.word(s, 0))
+            .count();
+        assert_eq!(same, 0, "streams must not share words");
+    }
+
+    #[test]
+    fn lane_counter_add_and_compare_match_scalar_counts() {
+        let mut c = LaneCounter::new();
+        let mut reference = [0u64; 64];
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let mask: u64 = rng.gen();
+            let amount = rng.gen_range(0u64..5);
+            c.add_masked(mask, amount);
+            for (lane, r) in reference.iter_mut().enumerate() {
+                if mask >> lane & 1 == 1 {
+                    *r += amount;
+                }
+            }
+        }
+        for lane in 0..64u32 {
+            assert_eq!(c.get(lane), reference[lane as usize], "lane {lane}");
+            assert_eq!(
+                LaneCounter::get_in(c.planes(), lane),
+                reference[lane as usize]
+            );
+        }
+        for threshold in [0u64, 1, 17, 250, 300, 1000] {
+            let ge = c.ge_mask(threshold);
+            let eq = c.eq_mask(threshold);
+            for lane in 0..64u32 {
+                let count = reference[lane as usize];
+                assert_eq!(ge >> lane & 1 == 1, count >= threshold, "ge {threshold}");
+                assert_eq!(eq >> lane & 1 == 1, count == threshold, "eq {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_informed_set_tracks_lanes_and_counts() {
+        let mut s = BatchedInformedSet::new(10);
+        assert_eq!(s.insert_masked(3, 0b101), 0b101);
+        assert_eq!(s.insert_masked(3, 0b111), 0b010, "only the new lane");
+        assert_eq!(s.insert_masked(3, 0b111), 0, "no-op reinsert");
+        assert!(s.lane_contains(3, 0));
+        assert!(!s.lane_contains(4, 0));
+        assert_eq!(s.lanes(3), 0b111);
+        s.insert_masked(7, 0b001);
+        assert_eq!(s.count(0), 2);
+        assert_eq!(s.count(1), 1);
+        assert_eq!(s.count(63), 0);
+        assert_eq!(s.counts().eq_mask(2), 0b001);
+        assert_eq!(s.counts().ge_mask(1), 0b111);
+        assert_eq!(s.n(), 10);
+    }
+
+    #[test]
+    fn lane_popcounts_matches_naive_and_counter_construction() {
+        // A non-multiple-of-64 length exercises the zero-padded tail.
+        let masks: Vec<u64> = (0..157u64)
+            .map(|i| splitmix64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let counts = lane_popcounts(&masks);
+        let mut reference = LaneCounter::new();
+        for &m in &masks {
+            reference.add_masked(m, 1);
+        }
+        for lane in 0..LANES as u32 {
+            let naive = masks.iter().filter(|&&m| m >> lane & 1 == 1).count() as u64;
+            assert_eq!(u64::from(counts[lane as usize]), naive, "lane {lane}");
+            assert_eq!(reference.get(lane), naive);
+        }
+        let rebuilt = LaneCounter::from_counts(&counts);
+        assert_eq!(rebuilt.planes(), reference.planes());
+    }
+
+    /// Packs 64 per-lane values into little-endian bit planes.
+    fn to_planes(values: &[u64; 64], width: usize) -> Vec<u64> {
+        let mut planes = vec![0u64; width];
+        for (lane, &v) in values.iter().enumerate() {
+            for (i, plane) in planes.iter_mut().enumerate() {
+                *plane |= (v >> i & 1) << lane;
+            }
+        }
+        planes
+    }
+
+    #[test]
+    fn plane_compare_assign_and_add_match_scalar_lanes() {
+        let mut a = [0u64; 64];
+        let mut b = [0u64; 64];
+        let mut state = 41u64;
+        for lane in 0..64 {
+            state = splitmix64(state);
+            a[lane] = state % 200;
+            state = splitmix64(state);
+            b[lane] = state % 200;
+        }
+        let width = 8;
+        let pa = to_planes(&a, width);
+        let pb = to_planes(&b, width);
+
+        for k in [0u64, 1, 63, 128, 199, 255, 256, 1000] {
+            let le = planes_le_mask(&pa, k);
+            for (lane, &av) in a.iter().enumerate() {
+                assert_eq!(le >> lane & 1 == 1, av <= k, "k={k} lane={lane}");
+            }
+        }
+        let gt = planes_gt_mask(&pa, &pb);
+        for lane in 0..64 {
+            assert_eq!(gt >> lane & 1 == 1, a[lane] > b[lane], "lane={lane}");
+        }
+        for k in [0u64, 7, 42, 199, 255, 300] {
+            let eq = planes_eq_mask(&pa, k);
+            for (lane, &av) in a.iter().enumerate() {
+                assert_eq!(eq >> lane & 1 == 1, av == k, "k={k} lane={lane}");
+            }
+        }
+        for (lo, hi) in [(0u64, 5u64), (17, 42), (199, 255), (250, 300)] {
+            let (le_lo, le_hi) = planes_le2_mask(&pa, lo, hi);
+            assert_eq!(le_lo, planes_le_mask(&pa, lo), "lo={lo}");
+            assert_eq!(le_hi, planes_le_mask(&pa, hi), "hi={hi}");
+        }
+
+        let m = 0xAAAA_5555_0F0F_F0F0u64;
+        let mut dst = pb.clone();
+        planes_assign(&mut dst, &pa, m);
+        for lane in 0..64u32 {
+            let expect = if m >> lane & 1 == 1 { a } else { b };
+            assert_eq!(LaneCounter::get_in(&dst, lane), expect[lane as usize]);
+        }
+
+        let mut sum = pb.clone();
+        planes_add_const(&mut sum, &pa, 37, m);
+        for lane in 0..64u32 {
+            let expect = if m >> lane & 1 == 1 {
+                a[lane as usize] + 37
+            } else {
+                b[lane as usize]
+            };
+            assert_eq!(LaneCounter::get_in(&sum, lane), expect, "lane={lane}");
+        }
+
+        // base + addend + 1, with a narrower addend (top planes zero).
+        let mut addend = [0u64; 64];
+        for lane in 0..64 {
+            addend[lane] = b[lane] % 32;
+        }
+        let p_add = to_planes(&addend, 5);
+        let mut sum1 = vec![0u64; width];
+        planes_add_one_masked(&mut sum1, &pa, &p_add, m, &pb);
+        for lane in 0..64u32 {
+            let expect = if m >> lane & 1 == 1 {
+                a[lane as usize] + addend[lane as usize] + 1
+            } else {
+                b[lane as usize]
+            };
+            assert_eq!(LaneCounter::get_in(&sum1, lane), expect, "lane={lane}");
+        }
     }
 }

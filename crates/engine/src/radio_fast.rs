@@ -52,7 +52,17 @@ use rand::SeedableRng;
 use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
-use crate::kernel::{CollisionCounter, FaultSampler, InformedSet};
+use crate::kernel::{
+    record_crossings, BatchBernoulli, BatchTape, BatchedInformedSet, CollisionCounter,
+    FaultSampler, InformedSet, LaneCounter, LaneMask, DECAY_STREAM, FAULT_STREAM, LANES,
+};
+
+/// The coin site of `(0-based round, node)`: both the fault coin and
+/// the batched Decay participation coin of a node are per-round, so the
+/// pair packs losslessly into one `u64` site.
+fn radio_site(r0: usize, v: u32) -> u64 {
+    (r0 as u64) << 32 | u64::from(v)
+}
 
 /// Seed-sequence label under which the Decay protocol derives its
 /// per-node coin tapes (shared between the trait-object protocol and
@@ -258,6 +268,415 @@ impl FastRadio {
             n,
             horizon: self.horizon,
             completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// Scalar replay of lane `lane` of batched block `block_seed`: the
+    /// same frontier algorithm as [`run`](Self::run), but every fault
+    /// coin is bit `lane` of the site-addressed batch tape (site =
+    /// per-(round, node)) and every Decay participation coin is bit
+    /// `lane` of the [`DECAY_STREAM`] tape at the same site. Coins are
+    /// i.i.d. with the same marginals as [`run`](Self::run), so the
+    /// sampled process is statistically identical; the site addressing
+    /// is what lets [`run_batch`](Self::run_batch) reproduce this
+    /// outcome *exactly*, lane for lane — see
+    /// [`FastRadioBatch::lane_outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane(&self, p: f64, block_seed: u64, lane: u32) -> FastRadioOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let n = self.n;
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut participants: Vec<u32> = vec![self.source];
+        let mut active: Vec<u32> = Vec::new();
+        let mut counter = CollisionCounter::new(n);
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            if completion_round.is_some() {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                participants.retain(|&u| self.has_uninformed_neighbor(u as usize, &informed));
+                if participants.is_empty() {
+                    break;
+                }
+                active.clear();
+                active.extend_from_slice(&participants);
+            }
+
+            for &u in &active {
+                // The coin is an omission: `true` silences `u`.
+                if faults.lane(&tape, radio_site(r0, u), lane) {
+                    continue;
+                }
+                for &v in self.neighbors_of(u as usize) {
+                    if !informed.contains(v) {
+                        counter.add(v);
+                    }
+                }
+            }
+            counter.drain_sole_receivers(|v| {
+                informed.insert(v);
+                participants.push(v);
+            });
+
+            informed_by_round.push(informed.count());
+            if informed.count() == n {
+                completion_round = Some(round);
+            }
+
+            if decay && j + 1 < epoch_len {
+                active.retain(|&u| decay_tape.fair_lane(radio_site(r0, u), lane));
+            }
+        }
+
+        FastRadioOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// Runs all 64 trial lanes of block `block_seed` at once: the
+    /// informed set is a lane word per node, fault coins are bit-sliced
+    /// Bernoulli masks, Decay participation coins are raw fair-coin
+    /// tape words, and collision resolution is a pair of saturating
+    /// lane masks (`≥ 1` / `≥ 2` transmitting neighbors) per touched
+    /// listener. Lane `k` of the result is byte-identical to
+    /// [`run_lane`](Self::run_lane)`(p, block_seed, k)` — coins are
+    /// site-addressed pure functions of the block seed, so the batched
+    /// evolution reads exactly the bits the scalar replay reads.
+    ///
+    /// A lane's replay stops executing rounds once it completes or once
+    /// an epoch boundary finds it without participants; the batch keeps
+    /// looping while *any* lane is live and records each lane's stop
+    /// round so per-lane growth curves cut off exactly where the scalar
+    /// replay's do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run_batch(&self, p: f64, block_seed: u64) -> FastRadioBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let n = self.n;
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        // Per-round snapshots of the count planes, in one flat arena.
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        // Lanes whose replay broke at an epoch boundary with no
+        // participants left, and the number of rounds each had executed.
+        let mut exhausted: LaneMask = 0;
+        let mut exhaust_end = vec![0usize; LANES];
+
+        // Union participant list: nodes with a nonzero per-lane
+        // participation mask in some lane. `act` is the per-node lane
+        // mask of *currently transmitting* participants — rebuilt at
+        // every epoch boundary, thinned by Decay coins within an epoch.
+        // Nodes informed mid-epoch join the list with an empty mask and
+        // pick up their lanes at the next boundary, exactly as the
+        // scalar kernel's `participants` / `active` split.
+        let mut plist: Vec<u32> = vec![self.source];
+        let mut in_plist = vec![false; n];
+        in_plist[self.source as usize] = true;
+        let mut act: Vec<LaneMask> = vec![0; n];
+
+        // Collision accumulators per listener: lanes with ≥ 1 and ≥ 2
+        // transmitting neighbors this round, reset via the touched list.
+        let mut once: Vec<LaneMask> = vec![0; n];
+        let mut twice: Vec<LaneMask> = vec![0; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            let live = !(completed | exhausted);
+            if live == 0 {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any: LaneMask = 0;
+                plist.retain(|&v| {
+                    let vi = v as usize;
+                    let inf_v = informed.lanes(v);
+                    let mut un: LaneMask = 0;
+                    for &t in self.neighbors_of(vi) {
+                        un |= !informed.lanes(t);
+                        // Once every lane `v` knows the message in has
+                        // an uninformed neighbor, more neighbors cannot
+                        // widen the participation mask.
+                        if un & inf_v == inf_v {
+                            break;
+                        }
+                    }
+                    let m = inf_v & un;
+                    act[vi] = m;
+                    any |= m;
+                    if m == 0 {
+                        in_plist[vi] = false;
+                    }
+                    m != 0
+                });
+                // Lanes with no participants anywhere break *before*
+                // executing this round, exactly like the scalar replay.
+                let newly_exhausted = live & !any;
+                if newly_exhausted != 0 {
+                    exhausted |= newly_exhausted;
+                    let mut bits = newly_exhausted;
+                    while bits != 0 {
+                        exhaust_end[bits.trailing_zeros() as usize] = executed;
+                        bits &= bits - 1;
+                    }
+                    if live & any == 0 {
+                        break;
+                    }
+                }
+            }
+            executed += 1;
+
+            for &v in &plist {
+                let a = act[v as usize];
+                if a == 0 {
+                    continue;
+                }
+                // Coins are site-addressed pure functions, so skipping
+                // the draw for a transmission no listener can use
+                // leaves every other lane read untouched. `useful`
+                // restricts the draw to lanes where some neighbor is
+                // still uninformed; the excluded lanes would contribute
+                // `need == 0` at every listener below.
+                let mut un_v: LaneMask = 0;
+                for &t in self.neighbors_of(v as usize) {
+                    un_v |= !informed.lanes(t);
+                    if un_v & a == a {
+                        break;
+                    }
+                }
+                let useful = a & un_v;
+                if useful == 0 {
+                    continue;
+                }
+                let tx = useful & !faults.mask(&tape, radio_site(r0, v), useful);
+                if tx == 0 {
+                    continue;
+                }
+                for &t in self.neighbors_of(v as usize) {
+                    let ti = t as usize;
+                    // Restrict collision tracking to the lanes where `t`
+                    // is still uninformed — the scalar replay's
+                    // `!informed.contains(v)` guard, lane-sliced. Lanes
+                    // where `t` already knows the message can neither
+                    // hear nor collide usefully, and the informed words
+                    // are frozen until the drain, so dropping them here
+                    // leaves `hear` identical on every lane that counts.
+                    let need = tx & !informed.lanes(t);
+                    if need == 0 {
+                        continue;
+                    }
+                    if once[ti] | twice[ti] == 0 {
+                        touched.push(t);
+                    }
+                    twice[ti] |= once[ti] & need;
+                    once[ti] |= need;
+                }
+            }
+
+            let mut changed = false;
+            for &t in &touched {
+                let ti = t as usize;
+                let hear = once[ti] & !twice[ti];
+                once[ti] = 0;
+                twice[ti] = 0;
+                if hear == 0 {
+                    continue;
+                }
+                let newly = informed.insert_masked(t, hear);
+                if newly != 0 {
+                    changed = true;
+                    if !in_plist[ti] {
+                        in_plist[ti] = true;
+                        act[ti] = 0;
+                        plist.push(t);
+                    }
+                }
+            }
+            touched.clear();
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+            }
+
+            if decay && j + 1 < epoch_len {
+                for &v in &plist {
+                    let vi = v as usize;
+                    if act[vi] != 0 {
+                        act[vi] &= decay_tape.fair_mask(radio_site(r0, v));
+                    }
+                }
+            }
+        }
+
+        FastRadioBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            exhausted,
+            exhaust_end,
+            plane_width,
+            count_arena,
+            executed,
+        }
+    }
+}
+
+/// Outcome of one batched 64-lane radio block; per-lane views are
+/// byte-identical to the corresponding [`FastRadio::run_lane`] replay.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FastRadioBatch {
+    n: usize,
+    horizon: usize,
+    informed: BatchedInformedSet,
+    completion_round: Vec<Option<usize>>,
+    almost_round: Vec<Option<usize>>,
+    /// Lanes whose replay broke at an epoch boundary (participants
+    /// exhausted before the horizon).
+    exhausted: LaneMask,
+    /// Rounds executed by each exhausted lane before its break.
+    exhaust_end: Vec<usize>,
+    plane_width: usize,
+    /// `executed × plane_width` words: the per-lane informed counts
+    /// after each executed round.
+    count_arena: Vec<u64>,
+    executed: usize,
+}
+
+impl FastRadioBatch {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane `k`'s completion round (`None` if that trial never
+    /// completed).
+    #[must_use]
+    pub fn completion_round(&self, lane: u32) -> Option<usize> {
+        self.completion_round[lane as usize]
+    }
+
+    /// Lane `k`'s first round with an almost-complete (`≥ n − 1`)
+    /// informed set.
+    #[must_use]
+    pub fn almost_complete_round(&self, lane: u32) -> Option<usize> {
+        self.almost_round[lane as usize]
+    }
+
+    /// Lane `k`'s final informed count.
+    #[must_use]
+    pub fn informed_count(&self, lane: u32) -> usize {
+        self.informed.count(lane)
+    }
+
+    /// Lane `k`'s final informed fraction.
+    #[must_use]
+    pub fn informed_fraction(&self, lane: u32) -> f64 {
+        self.informed.count(lane) as f64 / self.n as f64
+    }
+
+    /// The number of rounds lane `k`'s replay executed before stopping
+    /// (completion, participant exhaustion, or the horizon).
+    fn lane_end(&self, lane: u32) -> usize {
+        if let Some(c) = self.completion_round[lane as usize] {
+            c
+        } else if self.exhausted >> lane & 1 == 1 {
+            self.exhaust_end[lane as usize]
+        } else {
+            self.executed
+        }
+    }
+
+    /// Reconstructs lane `k`'s full scalar outcome — equal to
+    /// [`FastRadio::run_lane`] with the same block seed and lane.
+    #[must_use]
+    pub fn lane_outcome(&self, lane: u32) -> FastRadioOutcome {
+        let mut informed = InformedSet::new(self.n);
+        for v in 0..self.n as u32 {
+            if self.informed.lane_contains(v, lane) {
+                informed.insert(v);
+            }
+        }
+        let end = self.lane_end(lane);
+        let mut informed_by_round = Vec::with_capacity(end + 1);
+        informed_by_round.push(1);
+        for r in 0..end {
+            let planes = &self.count_arena[r * self.plane_width..(r + 1) * self.plane_width];
+            informed_by_round.push(LaneCounter::get_in(planes, lane) as usize);
+        }
+        FastRadioOutcome {
+            n: self.n,
+            horizon: self.horizon,
+            completion_round: self.completion_round[lane as usize],
             informed_by_round,
             informed,
         }
@@ -549,6 +968,83 @@ mod tests {
     fn zero_epoch_len_is_rejected() {
         let g = generators::path(3);
         let _ = plan(&g, 10, FastRadioSchedule::Decay { epoch_len: 0 });
+    }
+
+    #[test]
+    fn batch_lanes_reproduce_scalar_lane_replays() {
+        let graphs = [
+            generators::grid(5, 5),
+            generators::star(9),
+            generators::cycle(6),
+            generators::complete_bipartite(4, 5),
+        ];
+        for g in &graphs {
+            let epoch_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
+            for schedule in [
+                FastRadioSchedule::Decay { epoch_len },
+                FastRadioSchedule::AllInformed,
+            ] {
+                let plan = plan(g, 700, schedule);
+                for p in [0.0, 0.3, 0.76, 0.9] {
+                    let seed = 1000 + (p * 100.0) as u64;
+                    let batch = plan.run_batch(p, seed);
+                    for lane in [0u32, 1, 17, 40, 63] {
+                        let scalar = plan.run_lane(p, seed, lane);
+                        assert_eq!(
+                            batch.lane_outcome(lane),
+                            scalar,
+                            "n={} schedule={schedule:?} p={p} lane={lane}",
+                            g.node_count()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_summary_accessors_match_lane_outcomes() {
+        let g = generators::grid(6, 5);
+        let plan = decay_plan(&g, 2000);
+        let batch = plan.run_batch(0.4, 99);
+        for lane in 0..LANES as u32 {
+            let out = batch.lane_outcome(lane);
+            assert_eq!(batch.completion_round(lane), out.completion_round());
+            assert_eq!(
+                batch.almost_complete_round(lane),
+                out.almost_complete_round(),
+                "lane {lane}"
+            );
+            assert_eq!(batch.informed_count(lane), out.informed_count());
+        }
+    }
+
+    #[test]
+    fn batch_handles_edge_case_graphs() {
+        // Disconnected component, single node, and a zero horizon: the
+        // per-lane replays stop early and so must the batch curves.
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let disconnected = b.finish().unwrap();
+        for (g, horizon) in [
+            (disconnected, 2000),
+            (generators::path(0), 50),
+            (generators::path(5), 0),
+            (generators::path(1), 40),
+        ] {
+            let plan = decay_plan(&g, horizon);
+            for p in [0.0, 0.5] {
+                let batch = plan.run_batch(p, 7);
+                for lane in [0u32, 31, 63] {
+                    assert_eq!(
+                        batch.lane_outcome(lane),
+                        plan.run_lane(p, 7, lane),
+                        "n={} horizon={horizon} p={p} lane={lane}",
+                        plan.node_count()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,31 @@ use rand::SeedableRng;
 
 use randcast_graph::{CsrGraph, NodeId};
 
-use crate::kernel::{FaultSampler, InformedSet};
+use crate::kernel::{
+    BatchBernoulli, BatchTape, BatchedInformedSet, FaultSampler, InformedSet, LaneCounter,
+    LaneMask, FAULT_STREAM, LANES,
+};
+
+/// The first-success index of one lane's phase draw, shared by
+/// [`FastSimple::run_lane`] and the batch extraction so both read the
+/// identical value.
+///
+/// The draw couples two stages to one 53-bit uniform `U` at site
+/// `phase`: the *adoption* coin is the bit-sliced threshold compare
+/// `U < ⌈(1 − p^m)·2^53⌉` ([`BatchBernoulli`] over the same planes),
+/// and conditional on adoption the first working transmission index is
+/// the inverse geometric CDF `⌊ln(1 − U)/ln p⌋` — given `U < 1 − p^m`
+/// that is exactly the truncated Geometric(1 − p) the scalar sampler
+/// draws. The clamp to `m − 1` guards the boundary where the float
+/// evaluation lands on the far side of the integer threshold compare.
+fn phase_t(tape: &BatchTape, site: u64, lane: u32, ln_p: f64, m: usize) -> usize {
+    if ln_p == f64::NEG_INFINITY {
+        // p = 0: the first transmission works.
+        return 0;
+    }
+    let u = tape.uniform53(site, lane) as f64 / (1u64 << 53) as f64;
+    (((1.0 - u).ln() / ln_p) as usize).min(m - 1)
+}
 
 /// A compiled fast-path Simple plan: the BFS spanning structure of the
 /// source component (from [`CsrGraph::bfs_tree`]) plus the phase length
@@ -162,6 +186,260 @@ impl FastSimple {
             m: self.m,
             almost_round,
             last_adoption,
+            correct,
+        }
+    }
+
+    /// Scalar replay of lane `lane` of batched block `block_seed`: the
+    /// same per-internal-node resolution as [`run`](Self::run), but the
+    /// phase draw is lane `lane` of the site-addressed batch tape (site
+    /// = phase index) instead of a draw from a sequential RNG — see
+    /// [`phase_t`] for the two-stage coupling. The sampled process is
+    /// statistically identical to [`run`](Self::run), and the site
+    /// addressing is what lets [`run_batch`](Self::run_batch) reproduce
+    /// this outcome *exactly*, lane for lane — see
+    /// [`FastSimpleBatch::lane_outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane(&self, p: f64, block_seed: u64, lane: u32) -> FastSimpleOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let mut correct = InformedSet::new(n);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        for (phase, &u) in self.order.iter().enumerate() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            // Coins are pure functions of (site, lane): no draw-count
+            // discipline needed, skipping a dead subtree reads nothing.
+            if !correct.contains(u) || !adopt.lane(&tape, phase as u64, lane) {
+                continue;
+            }
+            let t = phase_t(&tape, phase as u64, lane, ln_p, self.m);
+            let round = phase * self.m + t + 1;
+            for &c in kids {
+                correct.insert(c);
+            }
+            last_adoption = round;
+            if almost_round.is_none() && correct.count() >= almost_target {
+                almost_round = Some(round);
+            }
+        }
+
+        FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        }
+    }
+
+    /// Runs all 64 trial lanes of block `block_seed` at once: the
+    /// correct set is a lane word per node and each internal node's
+    /// phase resolves as one bit-sliced adoption mask
+    /// (Bernoulli(`1 − p^m`), restricted to lanes whose parent is
+    /// correct). Lane `k` of the result is byte-identical to
+    /// [`run_lane`](Self::run_lane)`(p, block_seed, k)`.
+    ///
+    /// Round *numbers* (the almost-complete crossing and the last
+    /// adoption) need the within-phase transmission index `t`, which
+    /// only matters for at most two phases per lane; those lanes'
+    /// 53-bit uniforms are extracted lazily after the single forward
+    /// pass instead of being resolved for every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn run_batch(&self, p: f64, block_seed: u64) -> FastSimpleBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let mut correct_masks: Vec<LaneMask> = vec![0; n];
+        correct_masks[self.source as usize] = !0;
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut almost_done: LaneMask = 0;
+        let mut almost_phase = [0u32; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        // Forward pass: resolve every internal node's 64 adoption coins.
+        for (phase, &u) in self.order.iter().enumerate() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            let eff = adopt.mask(&tape, phase as u64, correct_masks[u as usize]);
+            if eff == 0 {
+                continue;
+            }
+            // Tree children have unique parents: each child's mask is
+            // written exactly once, by its own parent's phase.
+            for &c in kids {
+                correct_masks[c as usize] = eff;
+            }
+            counts.add_masked(eff, kids.len() as u64);
+            if almost_done != !0 {
+                let crossed = counts.ge_mask(almost_target) & !almost_done;
+                if crossed != 0 {
+                    let mut bits = crossed;
+                    while bits != 0 {
+                        almost_phase[bits.trailing_zeros() as usize] = phase as u32;
+                        bits &= bits - 1;
+                    }
+                    almost_done |= crossed;
+                }
+            }
+        }
+
+        // Backward scan: each lane's last effective phase (adoption
+        // rounds grow with the phase, so the last effective phase holds
+        // the last adoption).
+        let mut last_phase = [0u32; LANES];
+        let mut adopted: LaneMask = 0;
+        for (phase, &u) in self.order.iter().enumerate().rev() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            let hit = correct_masks[kids[0] as usize] & !adopted;
+            if hit != 0 {
+                let mut bits = hit;
+                while bits != 0 {
+                    last_phase[bits.trailing_zeros() as usize] = phase as u32;
+                    bits &= bits - 1;
+                }
+                adopted |= hit;
+                if adopted == !0 {
+                    break;
+                }
+            }
+        }
+
+        // Lazy `t` extraction for the at most two stat-relevant phases
+        // per lane.
+        let mut last_adoption = vec![0usize; LANES];
+        for lane in 0..LANES as u32 {
+            let li = lane as usize;
+            if adopted >> lane & 1 == 1 {
+                let ph = last_phase[li] as usize;
+                last_adoption[li] = ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1;
+            }
+            if almost_done >> lane & 1 == 1 && almost_round[li].is_none() {
+                let ph = almost_phase[li] as usize;
+                almost_round[li] =
+                    Some(ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1);
+            }
+        }
+
+        FastSimpleBatch {
+            n,
+            m: self.m,
+            correct: BatchedInformedSet::from_parts(correct_masks, counts),
+            almost_round,
+            last_adoption,
+        }
+    }
+}
+
+/// Outcome of one batched 64-lane Simple block; per-lane views are
+/// byte-identical to the corresponding [`FastSimple::run_lane`] replay.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FastSimpleBatch {
+    n: usize,
+    m: usize,
+    correct: BatchedInformedSet,
+    almost_round: Vec<Option<usize>>,
+    last_adoption: Vec<usize>,
+}
+
+impl FastSimpleBatch {
+    /// Number of nodes in the graph.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds the fixed schedule executes: `n · m`.
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Whether lane `k`'s trial ended with every node correct.
+    #[must_use]
+    pub fn complete(&self, lane: u32) -> bool {
+        self.correct.count(lane) == self.n
+    }
+
+    /// Lane `k`'s completion round: `total_rounds` for successful
+    /// trials (Simple has no early termination), `None` otherwise.
+    #[must_use]
+    pub fn completion_round(&self, lane: u32) -> Option<usize> {
+        self.complete(lane).then(|| self.total_rounds())
+    }
+
+    /// Lane `k`'s first round with an almost-complete (`≥ n − 1`)
+    /// correct set.
+    #[must_use]
+    pub fn almost_complete_round(&self, lane: u32) -> Option<usize> {
+        self.almost_round[lane as usize]
+    }
+
+    /// Lane `k`'s last successful adoption round (0 when only the
+    /// source is correct).
+    #[must_use]
+    pub fn last_adoption_round(&self, lane: u32) -> usize {
+        self.last_adoption[lane as usize]
+    }
+
+    /// Lane `k`'s final correct count.
+    #[must_use]
+    pub fn correct_count(&self, lane: u32) -> usize {
+        self.correct.count(lane)
+    }
+
+    /// Lane `k`'s final correct fraction.
+    #[must_use]
+    pub fn correct_fraction(&self, lane: u32) -> f64 {
+        self.correct.count(lane) as f64 / self.n as f64
+    }
+
+    /// Reconstructs lane `k`'s full scalar outcome — equal to
+    /// [`FastSimple::run_lane`] with the same block seed and lane.
+    #[must_use]
+    pub fn lane_outcome(&self, lane: u32) -> FastSimpleOutcome {
+        let mut correct = InformedSet::new(self.n);
+        for v in 0..self.n as u32 {
+            if self.correct.lane_contains(v, lane) {
+                correct.insert(v);
+            }
+        }
+        FastSimpleOutcome {
+            n: self.n,
+            m: self.m,
+            almost_round: self.almost_round[lane as usize],
+            last_adoption: self.last_adoption[lane as usize],
             correct,
         }
     }
@@ -399,6 +677,92 @@ mod tests {
         for seed in 0..5 {
             assert_eq!(a.run(0.5, seed), b.run(0.5, seed));
         }
+    }
+
+    #[test]
+    fn batch_lanes_reproduce_scalar_lane_replays() {
+        let graphs = [
+            generators::grid(5, 5),
+            generators::star(9),
+            generators::path(11),
+            generators::balanced_tree(3, 3),
+        ];
+        for g in &graphs {
+            for m in [1usize, 3] {
+                let fs = plan(g, m);
+                for p in [0.0, 0.3, 0.76, 0.9] {
+                    let seed = 2000 + (p * 100.0) as u64 + m as u64;
+                    let batch = fs.run_batch(p, seed);
+                    for lane in [0u32, 1, 17, 40, 63] {
+                        let scalar = fs.run_lane(p, seed, lane);
+                        assert_eq!(
+                            batch.lane_outcome(lane),
+                            scalar,
+                            "n={} m={m} p={p} lane={lane}",
+                            g.node_count()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_summary_accessors_match_lane_outcomes() {
+        let g = generators::grid(6, 5);
+        let fs = plan(&g, 2);
+        let batch = fs.run_batch(0.55, 42);
+        for lane in 0..LANES as u32 {
+            let out = batch.lane_outcome(lane);
+            assert_eq!(batch.complete(lane), out.complete());
+            assert_eq!(batch.completion_round(lane), out.completion_round());
+            assert_eq!(
+                batch.almost_complete_round(lane),
+                out.almost_complete_round()
+            );
+            assert_eq!(batch.last_adoption_round(lane), out.last_adoption_round());
+            assert_eq!(batch.correct_count(lane), out.correct_count());
+        }
+    }
+
+    #[test]
+    fn batch_handles_edge_case_graphs() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2).edge(0, 2).edge(3, 4);
+        let disconnected = b.finish().unwrap();
+        for g in [disconnected, generators::path(0), generators::path(1)] {
+            let fs = plan(&g, 4);
+            for p in [0.0, 0.5] {
+                let batch = fs.run_batch(p, 7);
+                for lane in [0u32, 31, 63] {
+                    assert_eq!(
+                        batch.lane_outcome(lane),
+                        fs.run_lane(p, 7, lane),
+                        "n={} p={p} lane={lane}",
+                        g.node_count()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_replay_success_rate_matches_analytic() {
+        // The star's single internal node makes P(complete) = 1 − p^m
+        // exactly; the lane replays must hit it too (the batch draw is
+        // a different but identically distributed coin stream).
+        let g = generators::star(6);
+        let (p, m) = (0.5, 3);
+        let fs = plan(&g, m);
+        let blocks = 64u64;
+        let mut ok = 0usize;
+        for b in 0..blocks {
+            let batch = fs.run_batch(p, b);
+            ok += (0..LANES as u32).filter(|&l| batch.complete(l)).count();
+        }
+        let rate = ok as f64 / (blocks as f64 * LANES as f64);
+        let expected = 1.0 - p.powi(m as i32);
+        assert!((rate - expected).abs() < 0.02, "rate {rate} vs {expected}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use rand::rngs::SmallRng;
 
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
+use randcast_engine::kernel::{BatchBernoulli, BatchTape, FAULT_STREAM, LANES};
 use randcast_engine::mp::{MpAdversary, MpNetwork, MpNode, MpRoundCtx, Outgoing};
 use randcast_engine::radio::{RadioAction, RadioAdversary, RadioNetwork, RadioNode, RadioRoundCtx};
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
@@ -431,6 +432,121 @@ proptest! {
             let c = fs.run(p, seed).correct_count();
             prop_assert!(c <= prev, "p={}: {} > {}", p, c, prev);
             prev = c;
+        }
+    }
+
+    #[test]
+    fn batch_fault_masks_match_lane_draws_bit_for_bit(
+        block_seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        sites in proptest::collection::vec(any::<u64>(), 1..16),
+    ) {
+        // The whole-word coin draws and the per-lane scalar draws read
+        // the same tape words, so bit k of every mask must equal lane
+        // k's stream draw — the coupling the equivalence suite builds
+        // on, checked draw-for-draw at the kernel level.
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let bern = BatchBernoulli::new(p);
+        for &site in &sites {
+            let mask = bern.mask(&tape, site, !0u64);
+            let fair = tape.fair_mask(site);
+            for lane in 0..LANES as u32 {
+                prop_assert_eq!(mask >> lane & 1 == 1, bern.lane(&tape, site, lane));
+                prop_assert_eq!(fair >> lane & 1 == 1, tape.fair_lane(site, lane));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_flood_lanes_are_monotone_per_round(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        block_seed in any::<u64>(),
+        tree in any::<bool>(),
+    ) {
+        let variant = if tree {
+            FastFloodVariant::Tree
+        } else {
+            FastFloodVariant::Graph
+        };
+        let ff = FastFlood::new(CsrGraph::from(&g), g.node(0), 4 * g.node_count() + 40, variant);
+        let batch = ff.run_batch(p, block_seed);
+        for lane in [0u32, 1, 17, 40, 63] {
+            let out = batch.lane_outcome(lane);
+            let counts = out.informed_by_round();
+            prop_assert_eq!(counts[0], 1);
+            prop_assert!(counts.windows(2).all(|w| w[0] <= w[1]), "lane {}", lane);
+            prop_assert_eq!(*counts.last().unwrap(), batch.informed_count(lane));
+        }
+    }
+
+    #[test]
+    fn batch_popcounts_equal_scalar_lane_count_sums(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        block_seed in any::<u64>(),
+    ) {
+        // The batched per-node lane words aggregate by popcount: the
+        // informed total over all 64 lanes must equal the sum of the 64
+        // independent scalar lane replays, for every engine.
+        let csr = CsrGraph::from(&g);
+        let src = g.node(0);
+        let ff = FastFlood::new(csr.clone(), src, 2 * g.node_count() + 20, FastFloodVariant::Graph);
+        let fb = ff.run_batch(p, block_seed);
+        let batched: usize = (0..LANES as u32).map(|l| fb.informed_count(l)).sum();
+        let scalar: usize = (0..LANES as u32)
+            .map(|l| ff.run_lane(p, block_seed, l).informed_count())
+            .sum();
+        prop_assert_eq!(batched, scalar, "flood");
+        let fr = FastRadio::new(csr.clone(), src, 8 * g.node_count() + 30, FastRadioSchedule::Decay { epoch_len: 4 });
+        let rb = fr.run_batch(p, block_seed);
+        let batched: usize = (0..LANES as u32).map(|l| rb.informed_count(l)).sum();
+        let scalar: usize = (0..LANES as u32)
+            .map(|l| fr.run_lane(p, block_seed, l).informed_count())
+            .sum();
+        prop_assert_eq!(batched, scalar, "radio");
+        let fs = FastSimple::new(&csr, src, 2);
+        let sb = fs.run_batch(p, block_seed);
+        let batched: usize = (0..LANES as u32).map(|l| sb.correct_count(l)).sum();
+        let scalar: usize = (0..LANES as u32)
+            .map(|l| fs.run_lane(p, block_seed, l).correct_count())
+            .sum();
+        prop_assert_eq!(batched, scalar, "simple");
+    }
+
+    #[test]
+    fn batch_early_stop_never_changes_outcomes(
+        g in connected_graph(),
+        p in 0.0f64..0.95,
+        block_seed in any::<u64>(),
+    ) {
+        // Per-lane early-stop (and the global break once every lane is
+        // done) must be outcome-neutral: a lane that completes within a
+        // short horizon reports identical metrics under a horizon three
+        // times as long, because coin sites are addressed by (round,
+        // node), never by horizon or by which lanes are still live.
+        let csr = CsrGraph::from(&g);
+        let src = g.node(0);
+        let h = 2 * g.node_count() + 20;
+        let short = FastFlood::new(csr.clone(), src, h, FastFloodVariant::Graph).run_batch(p, block_seed);
+        let long = FastFlood::new(csr.clone(), src, 3 * h, FastFloodVariant::Graph).run_batch(p, block_seed);
+        for lane in 0..LANES as u32 {
+            if short.completion_round(lane).is_some() {
+                prop_assert_eq!(short.completion_round(lane), long.completion_round(lane));
+                prop_assert_eq!(short.almost_complete_round(lane), long.almost_complete_round(lane));
+                prop_assert_eq!(short.informed_count(lane), long.informed_count(lane));
+            }
+        }
+        let hr = 6 * g.node_count() + 24;
+        let schedule = FastRadioSchedule::Decay { epoch_len: 4 };
+        let short = FastRadio::new(csr.clone(), src, hr, schedule).run_batch(p, block_seed);
+        let long = FastRadio::new(csr, src, 3 * hr, schedule).run_batch(p, block_seed);
+        for lane in 0..LANES as u32 {
+            if short.completion_round(lane).is_some() {
+                prop_assert_eq!(short.completion_round(lane), long.completion_round(lane));
+                prop_assert_eq!(short.almost_complete_round(lane), long.almost_complete_round(lane));
+                prop_assert_eq!(short.informed_count(lane), long.informed_count(lane));
+            }
         }
     }
 }

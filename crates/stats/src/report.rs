@@ -419,6 +419,46 @@ impl BenchReport {
         violations
     }
 
+    /// Checks one same-run throughput bar: the `batch` benchmark runs
+    /// `scale` trials per iteration, so its per-trial speedup over the
+    /// `scalar` benchmark is `scalar_ns · scale / batch_ns`, and that
+    /// ratio must reach `min_ratio`. Both rows come from *this* report
+    /// — the same bench run — so the ratio is immune to machine-wide
+    /// throughput drift between runs (which a cross-run baseline ratio
+    /// is not).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable violation when either benchmark is
+    /// missing, the batch time is non-positive, or the bar is missed;
+    /// otherwise the achieved per-trial speedup.
+    pub fn check_bar(
+        &self,
+        scalar: &str,
+        batch: &str,
+        scale: f64,
+        min_ratio: f64,
+    ) -> Result<f64, String> {
+        let s = self
+            .get(scalar)
+            .ok_or_else(|| format!("bar {scalar} vs {batch}: scalar bench missing"))?;
+        let b = self
+            .get(batch)
+            .ok_or_else(|| format!("bar {scalar} vs {batch}: batch bench missing"))?;
+        if b <= 0.0 {
+            return Err(format!("bar {scalar} vs {batch}: non-positive batch time"));
+        }
+        let ratio = s * scale / b;
+        if ratio < min_ratio {
+            Err(format!(
+                "{batch}: {ratio:.2}x per-trial speedup over {scalar} \
+                 is below the {min_ratio}x bar"
+            ))
+        } else {
+            Ok(ratio)
+        }
+    }
+
     /// Serializes the report as JSON (schema in the type docs).
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -994,6 +1034,39 @@ mp_directed_rounds/grid8x8/0                          597000.0 ns/iter\n";
             current.gate_against(&current, 1.0).is_empty(),
             "identical runs always pass"
         );
+    }
+
+    #[test]
+    fn bench_bar_checks_same_run_per_trial_speedups() {
+        let report = BenchReport {
+            benches: vec![
+                BenchRecord {
+                    name: "g/fast/x".into(),
+                    ns_per_iter: 1000.0,
+                },
+                BenchRecord {
+                    name: "g/batch/x".into(),
+                    // 64 trials in 5000 ns: 78.1 ns/trial = 12.8x.
+                    ns_per_iter: 5000.0,
+                },
+            ],
+        };
+        let ratio = report
+            .check_bar("g/fast/x", "g/batch/x", 64.0, 10.0)
+            .expect("12.8x clears the 10x bar");
+        assert!((ratio - 12.8).abs() < 1e-9, "{ratio}");
+        let miss = report
+            .check_bar("g/fast/x", "g/batch/x", 64.0, 20.0)
+            .expect_err("12.8x misses the 20x bar");
+        assert!(miss.contains("below the 20x bar"), "{miss}");
+        assert!(report
+            .check_bar("g/fast/x", "g/absent", 64.0, 1.0)
+            .expect_err("missing batch bench")
+            .contains("missing"));
+        assert!(report
+            .check_bar("g/absent", "g/batch/x", 64.0, 1.0)
+            .expect_err("missing scalar bench")
+            .contains("missing"));
     }
 
     #[test]
