@@ -8,7 +8,7 @@
 //! success side by side.
 
 use randcast_bench::{banner, cli, emit};
-use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario, ShardSpec};
 use randcast_engine::fault::FaultConfig;
 
 fn main() {
@@ -31,6 +31,7 @@ fn main() {
                     algorithm,
                     model: Model::Radio,
                     fault,
+                    shards: ShardSpec::Auto,
                 },
                 cli.trials,
             );

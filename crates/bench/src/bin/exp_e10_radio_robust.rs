@@ -13,7 +13,7 @@ use randcast_bench::{banner, cli, emit};
 use randcast_core::feasibility::radio_threshold;
 use randcast_core::radio_robust::ExpandedPlan;
 use randcast_core::radio_sched::greedy_schedule;
-use randcast_core::scenario::{fmt_p, standard_families, Algorithm, Model, Scenario};
+use randcast_core::scenario::{fmt_p, standard_families, Algorithm, Model, Scenario, ShardSpec};
 use randcast_core::sweep::TrialOutcome;
 use randcast_engine::adversary::JamRadioAdversary;
 use randcast_engine::fault::FaultConfig;
@@ -39,6 +39,7 @@ fn main() {
                 algorithm: Algorithm::Expanded,
                 model: Model::Radio,
                 fault: FaultConfig::omission(0.5),
+                shards: ShardSpec::Auto,
             },
             cli.trials,
             [sched.clone(), vec![("adversary".into(), "silent".into())]].concat(),
@@ -53,6 +54,7 @@ fn main() {
                 algorithm: Algorithm::Expanded,
                 model: Model::Radio,
                 fault: FaultConfig::malicious(p),
+                shards: ShardSpec::Auto,
             },
             cli.trials,
             [

@@ -7,7 +7,7 @@
 //! the almost-safety target `1 − 1/n`.
 
 use randcast_bench::{banner, cli, emit};
-use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario, ShardSpec};
 use randcast_engine::fault::FaultConfig;
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
                         algorithm: Algorithm::Simple,
                         model,
                         fault: FaultConfig::omission(p),
+                        shards: ShardSpec::Auto,
                     },
                     cli.trials,
                 );

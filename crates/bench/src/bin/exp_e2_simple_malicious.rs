@@ -6,7 +6,7 @@
 //! `1 − 1/n`. (The other side of the threshold is E3.)
 
 use randcast_bench::{banner, cli, emit};
-use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario, ShardSpec};
 use randcast_engine::fault::FaultConfig;
 
 fn main() {
@@ -23,6 +23,7 @@ fn main() {
                 algorithm: Algorithm::Simple,
                 model: Model::Mp,
                 fault: FaultConfig::malicious(p),
+                shards: ShardSpec::Auto,
             }
             .prepare();
             // Near the threshold the prescribed m (∝ 1/(1/2−p)²) makes

@@ -14,7 +14,7 @@
 
 use randcast_bench::{banner, cli, emit};
 use randcast_core::feasibility::{radio_clean_reception_prob, radio_threshold};
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_core::sweep::TrialOutcome;
 use randcast_engine::adversary::LieOrJamAdversary;
 use randcast_engine::fault::FaultConfig;
@@ -116,6 +116,7 @@ fn main() {
                 algorithm: Algorithm::Simple,
                 model: Model::Radio,
                 fault: FaultConfig::malicious(p),
+                shards: ShardSpec::Auto,
             },
             cli.trials,
         );

@@ -8,7 +8,7 @@
 //! `Θ(D + log n)` vs `Θ(n log n)` separation.
 
 use randcast_bench::{banner, cli, write_json};
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_core::simple::SimplePlan;
 use randcast_engine::fault::FaultConfig;
 use randcast_graph::traversal;
@@ -44,6 +44,7 @@ fn main() {
                 algorithm: Algorithm::Flood { horizon_scale: 2 }, // generous horizon
                 model: Model::Mp,
                 fault: FaultConfig::omission(p),
+                shards: ShardSpec::Auto,
             },
             cli.trials,
             vec![

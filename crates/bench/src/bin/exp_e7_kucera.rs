@@ -14,7 +14,7 @@
 
 use randcast_bench::{banner, cli, emit};
 use randcast_core::kucera::Plan;
-use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario};
+use randcast_core::scenario::{standard_families, Algorithm, Model, Scenario, ShardSpec};
 use randcast_engine::fault::FaultConfig;
 use randcast_graph::traversal;
 use randcast_stats::table::fmt_f2;
@@ -66,6 +66,7 @@ fn main() {
                     algorithm: Algorithm::Kucera,
                     model: Model::Mp,
                     fault: FaultConfig::limited_malicious(p),
+                    shards: ShardSpec::Auto,
                 },
                 cli.trials,
                 vec![("D".into(), d.to_string())],

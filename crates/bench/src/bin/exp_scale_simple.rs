@@ -20,7 +20,7 @@
 //! the success rate from ≈1 to ≈0 around it.
 
 use randcast_bench::{banner, cli, scale_sweep, scale_table, write_json};
-use randcast_core::scenario::{fmt_p, Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{fmt_p, Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_engine::fault::FaultConfig;
 use randcast_stats::quantile::QuantileSummary;
 use randcast_stats::table::{fmt_f2, Table};
@@ -80,6 +80,7 @@ fn main() {
             algorithm: Algorithm::SimpleFast { phase_len: Some(m) },
             model: Model::Mp,
             fault: FaultConfig::omission(p),
+            shards: ShardSpec::Auto,
         };
         bracket_specs.push(scenario);
         sweep

@@ -10,6 +10,7 @@
 //! --quick        reduced trial counts and sweep extents (smoke runs)
 //! --trials N     Monte-Carlo trials per cell (overrides --quick's count)
 //! --threads N    worker threads (default: one per CPU)
+//! --shards K     frontier shards per trial (default: auto by graph size)
 //! --seed S       root seed; all cell/trial randomness derives from it
 //! --json PATH    also write the structured JSON report to PATH
 //! ```
@@ -22,7 +23,7 @@
 
 use std::path::PathBuf;
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_core::sweep::{default_threads, CellResult, Sweep, SweepResult};
 use randcast_engine::fault::FaultConfig;
 use randcast_stats::quantile::QuantileSummary;
@@ -39,11 +40,14 @@ pub const DEFAULT_TRIALS: usize = 400;
 pub const QUICK_TRIALS: usize = 60;
 
 /// CLI usage text shared by all experiment binaries.
-pub const USAGE: &str = "usage: exp_* [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+pub const USAGE: &str =
+    "usage: exp_* [--quick] [--trials N] [--threads N] [--shards K] [--seed S] [--json PATH]
 
   --quick        reduced trial counts and sweep extents (smoke runs)
   --trials N     Monte-Carlo trials per table cell (default 400; 60 with --quick)
   --threads N    worker threads for the sweep driver (default: one per CPU)
+  --shards K     frontier shards per batched trial; outcome-neutral
+                 (default: auto — monolithic below ~8M nodes)
   --seed S       root seed; every cell and trial derives from it (default 2005)
   --json PATH    also write the structured JSON report to PATH
   --help         print this message";
@@ -60,6 +64,10 @@ pub struct Cli {
     pub scale: usize,
     /// Worker threads for the sweep driver.
     pub threads: usize,
+    /// Frontier shards per batched trial (`None` = auto by graph
+    /// size). Sharding is outcome-neutral, so this only moves the
+    /// peak-RSS/wall trade-off.
+    pub shards: Option<usize>,
     /// Root seed for all randomness.
     pub seed: u64,
     /// Where to write the JSON report, if requested.
@@ -92,6 +100,7 @@ impl Cli {
             trials_overridden: false,
             scale: 1,
             threads: default_threads(),
+            shards: None,
             seed: DEFAULT_SEED,
             json: None,
         };
@@ -117,6 +126,13 @@ impl Cli {
                         return Err(CliError::Bad("--threads must be positive".into()));
                     }
                     cli.threads = n;
+                }
+                "--shards" => {
+                    let k: usize = parse_value(&arg, args.next())?;
+                    if k == 0 {
+                        return Err(CliError::Bad("--shards must be positive".into()));
+                    }
+                    cli.shards = Some(k);
                 }
                 "--seed" => cli.seed = parse_value(&arg, args.next())?,
                 "--json" => {
@@ -157,12 +173,55 @@ impl Cli {
         SeedSequence::new(self.seed)
     }
 
-    /// Creates a [`Sweep`] configured with this CLI's seed root and
-    /// thread count.
+    /// Creates a [`Sweep`] configured with this CLI's seed root,
+    /// thread count, and (if `--shards` was given) a fixed shard
+    /// count for every cell's batched trials.
     #[must_use]
     pub fn sweep(&self, experiment: &str) -> Sweep<'static> {
-        Sweep::new(experiment, self.seeds()).with_threads(self.threads)
+        let mut sweep = Sweep::new(experiment, self.seeds()).with_threads(self.threads);
+        if let Some(k) = self.shards {
+            sweep = sweep.with_shards(ShardSpec::Fixed(k));
+        }
+        sweep
     }
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the probe is unavailable
+/// (non-Linux platforms, or an unreadable/unparsable status file).
+///
+/// `VmHWM` is the kernel's high-water mark for resident pages, which
+/// is exactly the number the scale experiments budget: it captures the
+/// worst moment of the run (graph construction or the widest frontier
+/// pass), not the instantaneous RSS at sample time.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kib * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Formats a byte count as GiB with two decimals, or `"-"` when the
+/// probe was unavailable.
+#[must_use]
+pub fn fmt_gib(bytes: Option<u64>) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    bytes.map_or_else(
+        || "-".into(),
+        |b| format!("{:.2} GiB", b as f64 / f64::from(1u32 << 30)),
+    )
 }
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -272,6 +331,7 @@ pub fn scale_sweep(
                     algorithm,
                     model,
                     fault: FaultConfig::omission(p),
+                    shards: ShardSpec::Auto,
                 };
                 specs.push(scenario);
                 sweep
@@ -426,6 +486,31 @@ mod tests {
     fn help_is_distinguished() {
         assert_eq!(parse(&["--help"]), Err(CliError::Help));
         assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().shards, None);
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, Some(4));
+        assert!(matches!(parse(&["--shards", "0"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--shards"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn rss_probe_reports_a_sane_high_water_mark() {
+        let Some(bytes) = peak_rss_bytes() else {
+            return; // non-Linux: the probe is an explicit no-op
+        };
+        // A running test binary resides in at least a mebibyte and
+        // (here) well under a terabyte.
+        assert!(bytes > 1 << 20, "VmHWM {bytes} implausibly small");
+        assert!(bytes < 1 << 40, "VmHWM {bytes} implausibly large");
+    }
+
+    #[test]
+    fn gib_formatting_handles_missing_probe() {
+        assert_eq!(fmt_gib(None), "-");
+        assert_eq!(fmt_gib(Some(3 << 29)), "1.50 GiB");
     }
 
     #[test]

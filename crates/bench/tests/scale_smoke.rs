@@ -4,10 +4,19 @@
 //! scaling regressions in the generators or any fast engine are caught
 //! by CI (the budgets are asserted in release mode only; debug builds
 //! still run the trials for correctness).
+//!
+//! The `1e6`/`1e7` tests additionally budget **peak RSS** (`VmHWM` via
+//! [`randcast_bench::peak_rss_bytes`]; the assert is skipped where the
+//! probe is unavailable). Budgets bound the whole test process —
+//! graph build high-water plus the trial — so a memory regression in
+//! any layer trips them.
 
 use std::time::{Duration, Instant};
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, SIMPLE_FAST_MIN_N};
+use randcast_bench::peak_rss_bytes;
+use randcast_core::scenario::{
+    Algorithm, GraphFamily, Model, Scenario, ShardSpec, SIMPLE_FAST_MIN_N,
+};
 use randcast_core::sweep::BATCH_LANES;
 use randcast_engine::fault::FaultConfig;
 
@@ -22,6 +31,7 @@ fn single_trial_at_n_1e5_is_fast() {
         algorithm: Algorithm::FloodFast { horizon_scale: 1 },
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     };
     let build_start = Instant::now();
     let prep = scenario.try_prepare().expect("valid scenario");
@@ -63,6 +73,7 @@ fn single_radio_trial_at_n_1e5_is_fast() {
         algorithm: Algorithm::DecayFast { epoch_factor: 2 },
         model: Model::Radio,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     };
     let build_start = Instant::now();
     let prep = scenario.try_prepare().expect("valid scenario");
@@ -108,6 +119,7 @@ fn single_simple_trial_at_n_1e5_is_fast() {
         algorithm: Algorithm::Simple,
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     };
     let build_start = Instant::now();
     let prep = scenario.try_prepare().expect("valid scenario");
@@ -153,6 +165,7 @@ fn batched_block_at_n_1e5_fits_the_block_budget() {
         algorithm: Algorithm::FloodFast { horizon_scale: 1 },
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     };
     let prep = scenario.try_prepare().expect("valid scenario");
     assert!(prep.supports_batch());
@@ -180,6 +193,109 @@ fn batched_block_at_n_1e5_fits_the_block_budget() {
 }
 
 #[test]
+fn sharded_flood_trial_at_n_1e6_fits_wall_and_rss_budgets() {
+    // The 10⁶ acceptance cell: one scalar fast-flood trial, run both
+    // monolithic and through the 4-shard frontier passes. The sharded
+    // replay must be byte-identical (the 250-seed sweep lives in
+    // crates/core/tests/shard_equivalence.rs; this is the at-scale
+    // spot check), and the whole process must respect the documented
+    // budgets: 60 s build + 5 s trial (release), 4 GiB peak RSS.
+    let scenario = |shards| Scenario {
+        graph: GraphFamily::Gnp {
+            n: 1_000_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+        shards,
+    };
+    let build_start = Instant::now();
+    let mono = scenario(ShardSpec::Auto).try_prepare().expect("valid");
+    let sharded = scenario(ShardSpec::Fixed(4)).try_prepare().expect("valid");
+    let build_time = build_start.elapsed();
+    assert!(mono.shard_plan().is_none(), "auto stays monolithic at 1e6");
+    assert!(sharded.shard_plan().is_some());
+
+    let trial_start = Instant::now();
+    let out = mono.trial_lane(42, 7);
+    let trial_time = trial_start.elapsed();
+    assert!(out.success, "gnp-connected flood must complete");
+    assert_eq!(
+        sharded.trial_lane(42, 7),
+        out,
+        "sharding is outcome-neutral"
+    );
+
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            trial_time < Duration::from_secs(5),
+            "n=1e6 flood trial took {trial_time:?} (budget 5s)"
+        );
+        assert!(
+            build_time < Duration::from_secs(60),
+            "n=1e6 double graph+plan build took {build_time:?} (budget 60s)"
+        );
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(
+                rss < 4 << 30,
+                "n=1e6 smoke peaked at {rss} bytes RSS (budget 4 GiB)"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "10^7-scale release gate: minutes of wall; run via CI's dedicated step or --include-ignored"]
+fn sharded_flood_trial_at_n_1e7_fits_wall_and_rss_budgets() {
+    // The 10⁷ acceptance cell (CI runs this in its own release step).
+    // Auto-sharding must engage on its own above SHARD_AUTO_MIN_N, and
+    // the documented budgets are 10 min build + 30 s trial wall with
+    // 16 GiB peak RSS — the adjacency-list build dominates both.
+    let prep = Scenario {
+        graph: GraphFamily::Gnp {
+            n: 10_000_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::FloodFast { horizon_scale: 1 },
+        model: Model::Mp,
+        fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
+    };
+    let build_start = Instant::now();
+    let prep = prep.try_prepare().expect("valid scenario");
+    let build_time = build_start.elapsed();
+    assert!(
+        prep.shard_plan().is_some(),
+        "auto-sharding must engage at 1e7"
+    );
+
+    let trial_start = Instant::now();
+    let out = prep.trial_lane(42, 0);
+    let trial_time = trial_start.elapsed();
+    assert!(out.success, "gnp-connected flood must complete");
+
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            trial_time < Duration::from_secs(30),
+            "n=1e7 flood trial took {trial_time:?} (budget 30s)"
+        );
+        assert!(
+            build_time < Duration::from_secs(600),
+            "n=1e7 graph+plan build took {build_time:?} (budget 600s)"
+        );
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(
+                rss < 16 << 30,
+                "n=1e7 smoke peaked at {rss} bytes RSS (budget 16 GiB)"
+            );
+        }
+    }
+}
+
+#[test]
 fn auto_fast_path_engages_at_the_simple_threshold() {
     // Plain Simple under omission must transparently select the fast
     // path exactly from SIMPLE_FAST_MIN_N upward — the harness-side
@@ -193,6 +309,7 @@ fn auto_fast_path_engages_at_the_simple_threshold() {
         algorithm: Algorithm::Simple,
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid scenario");
@@ -207,6 +324,7 @@ fn auto_fast_path_engages_at_the_simple_threshold() {
         algorithm: Algorithm::Simple,
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid scenario");
@@ -229,6 +347,7 @@ fn auto_fast_path_engages_for_large_radio_scenarios() {
         algorithm: Algorithm::Decay { epoch_factor: 2 },
         model: Model::Radio,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid scenario");
@@ -249,6 +368,7 @@ fn auto_fast_path_engages_for_large_flood_scenarios() {
         algorithm: Algorithm::Flood { horizon_scale: 1 },
         model: Model::Mp,
         fault: FaultConfig::omission(0.3),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid scenario");

@@ -33,6 +33,7 @@ use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
 use randcast_engine::simple_fast::FastSimple;
+use randcast_graph::shard::ShardPlan;
 use randcast_graph::{generators, CsrGraph, Graph};
 use randcast_stats::chernoff;
 
@@ -77,6 +78,46 @@ pub const RADIO_FAST_MIN_N: usize = 4096;
 /// their per-seed outcomes byte-stable. Malicious Simple always runs on
 /// the general engines — the fast kernel models omission only.
 pub const SIMPLE_FAST_MIN_N: usize = 4096;
+
+/// Node count at or above which [`ShardSpec::Auto`] starts running
+/// batched fast-path trials shard-at-a-time. Below it one frontier pass
+/// touches at most a few hundred MB of CSR, so sharding only adds view
+/// bookkeeping; above it the per-shard working set is what keeps peak
+/// RSS inside [`SHARD_AUTO_BUDGET_BYTES`]. Sharded passes are
+/// **bit-identical** to monolithic ones (the engines pin this), so the
+/// threshold is a pure performance knob — crossing it never changes an
+/// outcome vector.
+pub const SHARD_AUTO_MIN_N: usize = 8 << 20;
+
+/// Per-shard adjacency budget (bytes) that [`ShardSpec::Auto`] targets
+/// when it engages: shards are sized so one shard's offsets + targets
+/// stay under this, keeping the hot working set cache- and RSS-friendly
+/// at `n = 10⁷`–`10⁸`.
+pub const SHARD_AUTO_BUDGET_BYTES: usize = 1 << 30;
+
+/// How a fast-path plan partitions its node range for shard-at-a-time
+/// frontier passes. Sharding never changes outcomes — sharded and
+/// monolithic passes are bit-identical for every plan
+/// (`crates/core/tests/shard_equivalence.rs`) — so this knob tunes
+/// locality and peak RSS only. It applies to the batched entry points
+/// ([`PreparedScenario::trial_block`] /
+/// [`PreparedScenario::trial_lane`]); scalar
+/// [`trial`](PreparedScenario::trial) keeps its sequential RNG stream,
+/// whose draw order cannot be sharded without changing it. Deliberately
+/// **not** part of [`PreparedScenario::params`]: two runs differing
+/// only in sharding must produce identical reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ShardSpec {
+    /// One shard below [`SHARD_AUTO_MIN_N`] nodes; above it, enough
+    /// shards to keep one shard's adjacency under
+    /// [`SHARD_AUTO_BUDGET_BYTES`].
+    #[default]
+    Auto,
+    /// Exactly this many node-range shards (clamped to the node count;
+    /// `1` means monolithic). `Fixed(0)` is rejected by
+    /// [`Scenario::validate`].
+    Fixed(usize),
+}
 
 /// A named graph constructor; the broadcast source is always node 0.
 /// `Hash`/`Eq` cover the full spec (including construction seeds), so a
@@ -400,6 +441,9 @@ pub struct Scenario {
     pub model: Model,
     /// The fault process (kind + probability).
     pub fault: FaultConfig,
+    /// Shard-at-a-time execution of batched fast-path trials
+    /// (outcome-neutral; see [`ShardSpec`]).
+    pub shards: ShardSpec,
 }
 
 enum PlanKind {
@@ -421,6 +465,9 @@ pub struct PreparedScenario {
     scenario: Scenario,
     graph: Arc<Graph>,
     plan: PlanKind,
+    /// Resolved from the scenario's [`ShardSpec`] at prepare time;
+    /// `None` means monolithic passes.
+    shard_plan: Option<ShardPlan>,
 }
 
 impl Scenario {
@@ -503,6 +550,11 @@ impl Scenario {
                 }
             }
             (_, model) => return mismatch(model),
+        }
+        if self.shards == ShardSpec::Fixed(0) {
+            return Err(ScenarioError::InvalidParameter(
+                "shards must be positive (use ShardSpec::Auto or Fixed(k ≥ 1))",
+            ));
         }
         if self.graph.may_be_disconnected()
             && !matches!(
@@ -640,10 +692,32 @@ impl Scenario {
                 })
             }
         };
+        // Resolve the shard plan once, at prepare time. Only the
+        // batch-capable fast-path plans consume it; the general
+        // engines never shard.
+        let shard_plan = if matches!(
+            plan,
+            PlanKind::FloodFast(_) | PlanKind::DecayFast(_) | PlanKind::SimpleFast(_)
+        ) {
+            let n = graph.node_count();
+            match self.shards {
+                ShardSpec::Fixed(k) => (k > 1 && n > 0).then(|| ShardPlan::uniform(n, k)),
+                ShardSpec::Auto => (n >= SHARD_AUTO_MIN_N).then(|| {
+                    ShardPlan::for_budget(
+                        n,
+                        2 * graph.edge_count() as u64,
+                        SHARD_AUTO_BUDGET_BYTES as u64,
+                    )
+                }),
+            }
+        } else {
+            None
+        };
         Ok(PreparedScenario {
             scenario: self,
             graph,
             plan,
+            shard_plan,
         })
     }
 
@@ -878,6 +952,15 @@ impl PreparedScenario {
         }
     }
 
+    /// The shard plan resolved from the scenario's [`ShardSpec`]:
+    /// `None` when batched trials run monolithic passes. Sharding is
+    /// outcome-neutral, so this is diagnostic only (e.g. for benches
+    /// reporting their shard-pass geometry).
+    #[must_use]
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard_plan.as_ref()
+    }
+
     /// Whether trials can execute in bit-sliced blocks of [`LANES`]
     /// coupled trials via [`trial_block`](Self::trial_block) — exactly
     /// the plans on a bitset fast path
@@ -903,9 +986,13 @@ impl PreparedScenario {
     pub fn trial_block(&self, block_seed: u64) -> Vec<TrialOutcome> {
         let p = self.scenario.fault.p.get();
         let lanes = 0..LANES as u32;
+        let sp = self.shard_plan.as_ref();
         match &self.plan {
             PlanKind::SimpleFast(plan) => {
-                let out = plan.run_batch(p, block_seed);
+                let out = match sp {
+                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
+                    None => plan.run_batch(p, block_seed),
+                };
                 lanes
                     .map(|lane| {
                         TrialOutcome::flooded(
@@ -917,7 +1004,10 @@ impl PreparedScenario {
                     .collect()
             }
             PlanKind::FloodFast(plan) => {
-                let out = plan.run_batch(p, block_seed);
+                let out = match sp {
+                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
+                    None => plan.run_batch(p, block_seed),
+                };
                 lanes
                     .map(|lane| {
                         TrialOutcome::flooded(
@@ -929,7 +1019,10 @@ impl PreparedScenario {
                     .collect()
             }
             PlanKind::DecayFast(plan) => {
-                let out = plan.run_batch(p, block_seed);
+                let out = match sp {
+                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
+                    None => plan.run_batch(p, block_seed),
+                };
                 lanes
                     .map(|lane| {
                         TrialOutcome::flooded(
@@ -957,9 +1050,13 @@ impl PreparedScenario {
     pub fn trial_lane(&self, block_seed: u64, lane: u32) -> TrialOutcome {
         assert!((lane as usize) < LANES, "lane {lane} out of range");
         let p = self.scenario.fault.p.get();
+        let sp = self.shard_plan.as_ref();
         match &self.plan {
             PlanKind::SimpleFast(plan) => {
-                let out = plan.run_lane(p, block_seed, lane);
+                let out = match sp {
+                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    None => plan.run_lane(p, block_seed, lane),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.correct_fraction(),
@@ -967,7 +1064,10 @@ impl PreparedScenario {
                 )
             }
             PlanKind::FloodFast(plan) => {
-                let out = plan.run_lane(p, block_seed, lane);
+                let out = match sp {
+                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    None => plan.run_lane(p, block_seed, lane),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.informed_fraction(),
@@ -975,7 +1075,10 @@ impl PreparedScenario {
                 )
             }
             PlanKind::DecayFast(plan) => {
-                let out = plan.run_lane(p, block_seed, lane);
+                let out = match sp {
+                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    None => plan.run_lane(p, block_seed, lane),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.informed_fraction(),
@@ -1032,6 +1135,7 @@ mod tests {
                 algorithm: Algorithm::Simple,
                 model,
                 fault: FaultConfig::omission(0.3),
+                shards: ShardSpec::Auto,
             }
             .prepare();
             assert!(prep.rounds() > 0);
@@ -1048,6 +1152,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 2 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.4),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         let params = prep.params();
@@ -1076,6 +1181,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.2),
+            shards: ShardSpec::Auto,
         };
         let doubled = Scenario {
             algorithm: Algorithm::Flood { horizon_scale: 2 },
@@ -1093,6 +1199,7 @@ mod tests {
             algorithm: Algorithm::Simple,
             model: Model::Radio,
             fault: FaultConfig::malicious(p),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         let ok = (0..30).filter(|&s| prep.trial(s).success).count();
@@ -1110,6 +1217,7 @@ mod tests {
             algorithm: Algorithm::Kucera,
             model: Model::Radio,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         }
         .prepare();
     }
@@ -1137,6 +1245,7 @@ mod tests {
                     algorithm,
                     model,
                     fault: FaultConfig::omission(0.1),
+                    shards: ShardSpec::Auto,
                 };
                 let valid = match (algorithm, model) {
                     (Algorithm::Simple | Algorithm::SimpleFast { .. }, _) => true,
@@ -1179,6 +1288,7 @@ mod tests {
             algorithm: Algorithm::Decay { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::malicious(0.1),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             base.validate(),
@@ -1189,6 +1299,7 @@ mod tests {
             algorithm: Algorithm::Kucera,
             model: Model::Mp,
             fault: FaultConfig::limited_malicious(0.6),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             kucera_infeasible.validate(),
@@ -1199,6 +1310,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 0 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             zero_scale.validate(),
@@ -1216,6 +1328,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             rgg_flood.validate(),
@@ -1236,6 +1349,7 @@ mod tests {
             algorithm: Algorithm::Kucera,
             model: Model::Mp,
             fault: FaultConfig::limited_malicious(0.5),
+            shards: ShardSpec::Auto,
         }
         .try_prepare()
         .err()
@@ -1307,6 +1421,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(!small.uses_fast_path());
@@ -1319,6 +1434,7 @@ mod tests {
             algorithm: Algorithm::Flood { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(large.uses_fast_path());
@@ -1327,6 +1443,7 @@ mod tests {
             algorithm: Algorithm::FloodFast { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(forced.uses_fast_path());
@@ -1343,6 +1460,7 @@ mod tests {
             algorithm: Algorithm::FloodFast { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         };
         let direct = scenario.try_prepare().expect("valid");
         let shared = scenario
@@ -1361,6 +1479,7 @@ mod tests {
             algorithm: Algorithm::FloodFast { horizon_scale: 2 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         let out = prep.trial(17);
@@ -1406,6 +1525,7 @@ mod tests {
                     algorithm,
                     model,
                     fault,
+                    shards: ShardSpec::Auto,
                 }
                 .validate()
                 .expect_err("batch-capable kernels model omission only");
@@ -1423,6 +1543,7 @@ mod tests {
             algorithm: Algorithm::FloodFast { horizon_scale: 1 },
             model: Model::Mp,
             fault: FaultConfig::malicious(0.1),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(flood_malicious.supports_batch());
@@ -1446,6 +1567,7 @@ mod tests {
                 algorithm,
                 model,
                 fault: omission,
+                shards: ShardSpec::Auto,
             }
             .prepare();
             assert!(
@@ -1462,6 +1584,7 @@ mod tests {
                 algorithm,
                 model,
                 fault: omission,
+                shards: ShardSpec::Auto,
             }
             .prepare();
             assert!(
@@ -1481,6 +1604,7 @@ mod tests {
                 algorithm,
                 model,
                 fault: omission,
+                shards: ShardSpec::Auto,
             }
             .prepare();
             assert!(forced.supports_batch(), "forced {}", algorithm.name());
@@ -1490,6 +1614,7 @@ mod tests {
             algorithm: Algorithm::SelfTimed,
             model: Model::Mp,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(!general.supports_batch());
@@ -1503,6 +1628,7 @@ mod tests {
             algorithm: Algorithm::SelfTimed,
             model: Model::Mp,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         let _ = prep.trial_block(1);
@@ -1516,6 +1642,7 @@ mod tests {
             algorithm: Algorithm::Decay { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::malicious(0.1),
+            shards: ShardSpec::Auto,
         }
         .prepare();
     }
@@ -1548,6 +1675,7 @@ mod tests {
                         algorithm,
                         model: Model::Radio,
                         fault,
+                        shards: ShardSpec::Auto,
                     }
                     .validate()
                     .expect_err("fast kernel models omission only");
@@ -1570,6 +1698,7 @@ mod tests {
             algorithm: Algorithm::Decay { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(!small.uses_fast_path());
@@ -1582,6 +1711,7 @@ mod tests {
             algorithm: Algorithm::Decay { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(large.uses_fast_path());
@@ -1590,6 +1720,7 @@ mod tests {
             algorithm: Algorithm::DecayFast { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(forced.uses_fast_path());
@@ -1611,6 +1742,7 @@ mod tests {
             algorithm: Algorithm::Decay { epoch_factor: 1 },
             model: Model::Radio,
             fault: FaultConfig::omission(0.2),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             decay.validate(),
@@ -1638,6 +1770,7 @@ mod tests {
             algorithm: Algorithm::Simple,
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(!small.uses_fast_path());
@@ -1651,6 +1784,7 @@ mod tests {
                 algorithm: Algorithm::Simple,
                 model,
                 fault: FaultConfig::omission(0.3),
+                shards: ShardSpec::Auto,
             }
             .prepare();
             assert!(large.uses_fast_path(), "{model}");
@@ -1669,6 +1803,7 @@ mod tests {
             algorithm: Algorithm::Simple,
             model: Model::Mp,
             fault: FaultConfig::malicious(0.2),
+            shards: ShardSpec::Auto,
         }
         .prepare();
         assert!(!malicious.uses_fast_path());
@@ -1681,6 +1816,7 @@ mod tests {
             algorithm: Algorithm::Simple,
             model: Model::Mp,
             fault: FaultConfig::omission(0.4),
+            shards: ShardSpec::Auto,
         };
         let forced = Scenario {
             algorithm: Algorithm::SimpleFast { phase_len: None },
@@ -1717,6 +1853,7 @@ mod tests {
                 algorithm: Algorithm::SimpleFast { phase_len: None },
                 model: Model::Radio,
                 fault,
+                shards: ShardSpec::Auto,
             }
             .validate()
             .expect_err("fast kernel models omission only");
@@ -1734,6 +1871,7 @@ mod tests {
                 algorithm: Algorithm::SimpleFast { phase_len: Some(0) },
                 model: Model::Mp,
                 fault: FaultConfig::omission(0.1),
+                shards: ShardSpec::Auto,
             }
             .validate(),
             Err(ScenarioError::InvalidParameter(_))
@@ -1754,6 +1892,7 @@ mod tests {
             algorithm: Algorithm::Simple,
             model: Model::Mp,
             fault: FaultConfig::omission(0.2),
+            shards: ShardSpec::Auto,
         };
         assert!(matches!(
             simple.validate(),
@@ -1784,6 +1923,7 @@ mod tests {
             algorithm: Algorithm::SimpleFast { phase_len: None },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         };
         let direct = scenario.try_prepare().expect("valid");
         let graph = std::sync::Arc::new(scenario.graph.build());

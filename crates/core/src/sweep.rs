@@ -83,7 +83,7 @@ use randcast_stats::report::{CellReport, SweepReport};
 use randcast_stats::seed::SeedSequence;
 
 use crate::experiment::AlmostSafeRow;
-use crate::scenario::{GraphFamily, PreparedScenario, Scenario, ScenarioError};
+use crate::scenario::{GraphFamily, PreparedScenario, Scenario, ScenarioError, ShardSpec};
 
 /// Lanes per bit-sliced trial block (re-exported from the engine
 /// kernel so sweep consumers can size trial counts).
@@ -203,6 +203,7 @@ pub struct Sweep<'a> {
     experiment: String,
     seeds: SeedSequence,
     threads: usize,
+    shards: Option<ShardSpec>,
     cells: Vec<Cell<'a>>,
 }
 
@@ -215,6 +216,7 @@ impl<'a> Sweep<'a> {
             experiment: experiment.to_owned(),
             seeds,
             threads: default_threads(),
+            shards: None,
             cells: Vec::new(),
         }
     }
@@ -229,6 +231,19 @@ impl<'a> Sweep<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Overrides every scenario cell's [`ShardSpec`] at prepare time —
+    /// the sweep-level shard knob (e.g. a `--shards` CLI flag).
+    /// Sharded and monolithic passes are bit-identical, so the outcome
+    /// vectors do not depend on this either; shard passes are simply
+    /// scheduled inside the existing `(cell, chunk)` tasks on the
+    /// worker pool. Cells added via [`prepared`](Self::prepared) are
+    /// compiled before the sweep runs and keep their own spec.
+    #[must_use]
+    pub fn with_shards(mut self, shards: ShardSpec) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -397,6 +412,7 @@ impl<'a> Sweep<'a> {
     pub fn run(self) -> SweepResult {
         let threads = self.threads;
         let seeds = self.seeds;
+        let shards = self.shards;
         let cells = self.cells;
 
         // Phase 1: build each distinct scenario graph once, in
@@ -440,6 +456,10 @@ impl<'a> Sweep<'a> {
                 },
                 CellWork::Scenario { scenario, extra } => {
                     let graph = Arc::clone(&graphs[&scenario.graph]);
+                    let mut scenario = *scenario;
+                    if let Some(spec) = shards {
+                        scenario.shards = spec;
+                    }
                     let prepared = scenario
                         .try_prepare_shared(graph)
                         .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
@@ -450,7 +470,7 @@ impl<'a> Sweep<'a> {
                         // make the almost-safety bar 1 − 1/n = 0.
                         n: Some(prepared.n().max(2)),
                         params,
-                        exec: CellExec::Scenario(prepared),
+                        exec: CellExec::Scenario(Box::new(prepared)),
                     }
                 }
             };
@@ -600,7 +620,9 @@ impl<'a> Sweep<'a> {
 /// How a resolved cell executes its trials.
 enum CellExec<'c, 'a> {
     Closure(&'c CellFn<'a>),
-    Scenario(PreparedScenario),
+    // Boxed: a prepared scenario (engine plan + optional shard plan)
+    // dwarfs the closure variant.
+    Scenario(Box<PreparedScenario>),
 }
 
 /// A cell after phase 2: labels, target `n`, and an executable.
@@ -793,6 +815,7 @@ mod tests {
             algorithm: Algorithm::Kucera,
             model: Model::Radio,
             fault: FaultConfig::omission(0.1),
+            shards: ShardSpec::Auto,
         };
         let err = sweep.try_scenario(bad, 5).expect_err("invalid model combo");
         assert!(err.to_string().contains("radio"), "{err}");
@@ -805,6 +828,7 @@ mod tests {
                     algorithm: Algorithm::Simple,
                     model: Model::Mp,
                     fault: FaultConfig::omission(0.1),
+                    shards: ShardSpec::Auto,
                 },
                 5,
             )
@@ -839,6 +863,7 @@ mod tests {
                     algorithm: Algorithm::FloodFast { horizon_scale: 2 },
                     model: Model::Mp,
                     fault: FaultConfig::omission(0.2),
+                    shards: ShardSpec::Auto,
                 },
                 7,
                 vec![("cell".into(), i.to_string())],
@@ -854,6 +879,7 @@ mod tests {
                     algorithm: Algorithm::FloodFast { horizon_scale: 2 },
                     model: Model::Mp,
                     fault: FaultConfig::omission(0.2),
+                    shards: ShardSpec::Auto,
                 }
                 .try_prepare()
                 .expect("valid"),
@@ -875,6 +901,7 @@ mod tests {
             algorithm: Algorithm::FloodFast { horizon_scale: 2 },
             model: Model::Mp,
             fault: FaultConfig::omission(0.3),
+            shards: ShardSpec::Auto,
         }
     }
 

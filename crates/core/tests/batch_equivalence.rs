@@ -14,7 +14,7 @@
 //! [`PreparedScenario::trial_block`]: randcast_core::scenario::PreparedScenario::trial_block
 //! [`PreparedScenario::trial_lane`]: randcast_core::scenario::PreparedScenario::trial_lane
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_core::sweep::BATCH_LANES;
 use randcast_engine::fault::FaultConfig;
 use randcast_stats::seed::SeedSequence;
@@ -48,6 +48,7 @@ fn check_engine(name: &str, algorithm: Algorithm, model: Model) {
                 algorithm,
                 model,
                 fault: FaultConfig::omission(p),
+                shards: ShardSpec::Auto,
             };
             let prepared = scenario.try_prepare().expect("valid scenario");
             assert!(prepared.supports_batch(), "{name} must be batch-capable");

@@ -15,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, FLOOD_FAST_MIN_N};
+use randcast_core::scenario::{
+    Algorithm, GraphFamily, Model, Scenario, ShardSpec, FLOOD_FAST_MIN_N,
+};
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
 use randcast_graph::{generators, CsrGraph, Graph};
@@ -146,6 +148,7 @@ fn scenario_level_fast_and_general_floods_agree() {
         algorithm: Algorithm::Flood { horizon_scale: 3 },
         model: Model::Mp,
         fault: FaultConfig::omission(p),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid");
@@ -155,6 +158,7 @@ fn scenario_level_fast_and_general_floods_agree() {
         algorithm: Algorithm::FloodFast { horizon_scale: 3 },
         model: Model::Mp,
         fault: FaultConfig::omission(p),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid");

@@ -20,7 +20,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use randcast_core::decay::{run_decay, DecayConfig};
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, RADIO_FAST_MIN_N};
+use randcast_core::scenario::{
+    Algorithm, GraphFamily, Model, Scenario, ShardSpec, RADIO_FAST_MIN_N,
+};
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
 use randcast_graph::{generators, traversal, CsrGraph, Graph};
@@ -214,6 +216,7 @@ fn scenario_level_decay_paths_agree() {
         algorithm: Algorithm::Decay { epoch_factor: 3 },
         model: Model::Radio,
         fault: FaultConfig::omission(p),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid");
@@ -223,6 +226,7 @@ fn scenario_level_decay_paths_agree() {
         algorithm: Algorithm::DecayFast { epoch_factor: 3 },
         model: Model::Radio,
         fault: FaultConfig::omission(p),
+        shards: ShardSpec::Auto,
     }
     .try_prepare()
     .expect("valid");

@@ -1,0 +1,165 @@
+//! Sharded-vs-monolithic equivalence suite for the shard-at-a-time
+//! fast paths.
+//!
+//! For 250 fixed block seeds per engine, a [`PreparedScenario`] with
+//! `shards: ShardSpec::Fixed(k)` (k ∈ {2, 3, 7}) must agree
+//! **element-wise, byte-for-byte** with the monolithic
+//! `ShardSpec::Fixed(1)` prepare of the same scenario — for both the
+//! batched [`trial_block`] entry point and the scalar [`trial_lane`]
+//! replay. This is the outcome-neutrality contract of the shard knob:
+//! coins are site-addressed pure functions and each round's evolution
+//! is set-based, so partitioning the frontier passes by node range can
+//! never change a bit (see `DESIGN.md`, *Shard-view substrate*).
+//!
+//! The seeds cycle over graph family × failure probability × shard
+//! count cells (grid / G(n,p) / random-geometric × p ∈ {0, 0.3, 0.76,
+//! 0.9} × k ∈ {2, 3, 7}), so the suite covers the p = 0 exact curve,
+//! the heavy-failure corner, and a possibly-disconnected
+//! random-geometric cell whose source component stops short of the
+//! shard bounds.
+//!
+//! [`PreparedScenario`]: randcast_core::scenario::PreparedScenario
+//! [`trial_block`]: randcast_core::scenario::PreparedScenario::trial_block
+//! [`trial_lane`]: randcast_core::scenario::PreparedScenario::trial_lane
+
+use randcast_core::scenario::{
+    Algorithm, GraphFamily, Model, PreparedScenario, Scenario, ShardSpec,
+};
+use randcast_core::sweep::BATCH_LANES;
+use randcast_engine::fault::FaultConfig;
+use randcast_stats::seed::SeedSequence;
+
+const SEEDS: usize = 250;
+const PS: [f64; 4] = [0.0, 0.3, 0.76, 0.9];
+const SHARDS: [usize; 3] = [2, 3, 7];
+
+fn families() -> [GraphFamily; 3] {
+    [
+        GraphFamily::Grid(5, 6),
+        GraphFamily::Gnp {
+            n: 40,
+            avg_deg: 6,
+            seed: 3,
+        },
+        // Sparse enough to be disconnected: exercises shards whose
+        // node range the broadcast never reaches.
+        GraphFamily::RandomGeometric {
+            n: 40,
+            deg: 6,
+            seed: 3,
+        },
+    ]
+}
+
+fn prepare(
+    family: GraphFamily,
+    algorithm: Algorithm,
+    model: Model,
+    p: f64,
+    k: usize,
+) -> PreparedScenario {
+    let prepared = Scenario {
+        graph: family,
+        algorithm,
+        model,
+        fault: FaultConfig::omission(p),
+        shards: ShardSpec::Fixed(k),
+    }
+    .try_prepare()
+    .expect("valid scenario");
+    assert_eq!(
+        prepared.shard_plan().is_some(),
+        k > 1,
+        "Fixed({k}) must shard exactly when k > 1"
+    );
+    prepared
+}
+
+fn check_engine(name: &str, algorithm: Algorithm, model: Model) {
+    let seeds = SeedSequence::new(0x07AD_0250);
+    let mut cells = Vec::new();
+    for family in families() {
+        for p in PS {
+            for k in SHARDS {
+                let mono = prepare(family, algorithm, model, p, 1);
+                let sharded = prepare(family, algorithm, model, p, k);
+                cells.push((family.label(), p, k, mono, sharded));
+            }
+        }
+    }
+    for s in 0..SEEDS {
+        let (label, p, k, mono, sharded) = &cells[s % cells.len()];
+        let block_seed = seeds.nth_seed(s as u64);
+        let reference = mono.trial_block(block_seed);
+        let block = sharded.trial_block(block_seed);
+        assert_eq!(block.len(), BATCH_LANES);
+        assert_eq!(
+            block, reference,
+            "{name} on {label} at p={p}, {k} shards: seed #{s} batch diverged"
+        );
+        for lane in [0usize, 21, BATCH_LANES - 1] {
+            assert_eq!(
+                sharded.trial_lane(block_seed, lane as u32),
+                mono.trial_lane(block_seed, lane as u32),
+                "{name} on {label} at p={p}, {k} shards: seed #{s} lane {lane} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_flood_blocks_match_monolithic_element_wise() {
+    check_engine(
+        "flood",
+        Algorithm::FloodFast { horizon_scale: 1 },
+        Model::Mp,
+    );
+}
+
+#[test]
+fn sharded_decay_blocks_match_monolithic_element_wise() {
+    check_engine(
+        "decay",
+        Algorithm::DecayFast { epoch_factor: 2 },
+        Model::Radio,
+    );
+}
+
+#[test]
+fn sharded_simple_blocks_match_monolithic_element_wise() {
+    check_engine(
+        "simple",
+        Algorithm::SimpleFast { phase_len: None },
+        Model::Mp,
+    );
+}
+
+#[test]
+fn p_zero_sharded_curves_are_exact() {
+    // At p = 0 every transmission works, so the per-round informed
+    // counts are a deterministic function of the graph: sharding must
+    // reproduce the exact fault-free curve, not merely match another
+    // stochastic run.
+    let family = GraphFamily::Grid(5, 6);
+    let mono = prepare(
+        family,
+        Algorithm::FloodFast { horizon_scale: 1 },
+        Model::Mp,
+        0.0,
+        1,
+    );
+    let reference = mono.trial_block(12345);
+    for out in &reference {
+        assert!(out.success, "p = 0 flood must complete");
+    }
+    for k in SHARDS {
+        let sharded = prepare(
+            family,
+            Algorithm::FloodFast { horizon_scale: 1 },
+            Model::Mp,
+            0.0,
+            k,
+        );
+        assert_eq!(sharded.trial_block(12345), reference, "{k} shards");
+    }
+}

@@ -21,7 +21,9 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, SIMPLE_FAST_MIN_N};
+use randcast_core::scenario::{
+    Algorithm, GraphFamily, Model, Scenario, ShardSpec, SIMPLE_FAST_MIN_N,
+};
 use randcast_core::simple::SimplePlan;
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::mp::SilentMpAdversary;
@@ -195,6 +197,7 @@ fn scenario_level_simple_paths_agree() {
             algorithm: Algorithm::Simple,
             model,
             fault: FaultConfig::omission(p),
+            shards: ShardSpec::Auto,
         }
         .try_prepare()
         .expect("valid");
@@ -204,6 +207,7 @@ fn scenario_level_simple_paths_agree() {
             algorithm: Algorithm::SimpleFast { phase_len: None },
             model,
             fault: FaultConfig::omission(p),
+            shards: ShardSpec::Auto,
         }
         .try_prepare()
         .expect("valid");

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario};
+use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
 use randcast_core::sweep::{Sweep, TrialOutcome};
 use randcast_engine::fault::FaultConfig;
 use randcast_stats::seed::SeedSequence;
@@ -24,6 +24,7 @@ fn build_sweep(seed: u64, p: f64, trials: usize, threads: usize) -> Sweep<'stati
                 algorithm: Algorithm::Simple,
                 model,
                 fault: FaultConfig::omission(p),
+                shards: ShardSpec::Auto,
             },
             trials,
         );
@@ -34,6 +35,7 @@ fn build_sweep(seed: u64, p: f64, trials: usize, threads: usize) -> Sweep<'stati
             algorithm: Algorithm::Flood { horizon_scale: 2 },
             model: Model::Mp,
             fault: FaultConfig::omission(p),
+            shards: ShardSpec::Auto,
         },
         trials,
     );
@@ -54,6 +56,7 @@ fn build_sweep(seed: u64, p: f64, trials: usize, threads: usize) -> Sweep<'stati
                     algorithm,
                     model: Model::Mp,
                     fault: FaultConfig::omission(p),
+                    shards: ShardSpec::Auto,
                 },
                 trials,
             )

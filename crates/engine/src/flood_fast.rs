@@ -42,12 +42,13 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
     lane_popcounts, planes_add_one_masked, planes_assign, planes_eq_mask, planes_gt_mask,
     planes_le_mask, record_crossings, BatchBernoulli, BatchTape, BatchedInformedSet, FaultSampler,
-    InformedSet, LaneCounter, LaneMask, FAULT_STREAM, LANES,
+    InformedSet, LaneCounter, LaneMask, ShardFrontier, FAULT_STREAM, LANES,
 };
 
 /// The fault-coin site of `(node, index)`: the index (a 1-based round
@@ -342,23 +343,31 @@ impl FastFlood {
         let faults = BatchBernoulli::new(p);
         let tape = BatchTape::new(block_seed, FAULT_STREAM);
         match self.variant {
-            FastFloodVariant::Tree => self.run_batch_tree(&faults, &tape),
+            FastFloodVariant::Tree => self.run_batch_tree(&faults, &tape, self.bfs_order()),
             FastFloodVariant::Graph => self.run_batch_graph(&faults, &tape),
         }
     }
 
-    /// Tree-variant batch backend: one pass over the BFS order,
+    /// Tree-variant batch backend: one pass over `order` (any
+    /// enumeration of the source component with parents before
+    /// children — the BFS order, or its shard-grouped permutation),
     /// resolving every node's 64 inform rounds in bit-plane form.
+    /// Every output is a per-node value or a multiset statistic, so any
+    /// admissible `order` produces bit-identical results.
     ///
     /// Because tree edges have unique parents, all of a node's children
     /// share its success round, so every per-node statistic (informed
     /// counts, max / second-max inform round, uninformed tally)
     /// collapses to one group-level update per *internal* node —
     /// leaves cost a plane copy and nothing else.
-    fn run_batch_tree(&self, faults: &BatchBernoulli, tape: &BatchTape) -> FastFloodBatch {
+    fn run_batch_tree(
+        &self,
+        faults: &BatchBernoulli,
+        tape: &BatchTape,
+        order: &[u32],
+    ) -> FastFloodBatch {
         let n = self.n;
         let h = self.horizon;
-        let order = self.bfs_order();
         let reach = order.len();
         // Sentinel inform round for "not informed within the horizon".
         let never = h as u64 + 1;
@@ -732,6 +741,449 @@ impl FastFlood {
                 executed,
             },
         }
+    }
+
+    /// Scalar lane replay executed shard-at-a-time: the algorithm of
+    /// [`run_lane`](Self::run_lane), with the frontier kept as one list
+    /// per shard of `plan` so each round touches one shard's CSR rows
+    /// at a time (through a [`ShardView`]), merging cross-shard
+    /// discoveries into the destination shard's staging list. Coins are
+    /// site-addressed pure functions, the round evolution is set-based,
+    /// and the round-boundary frontier filter runs against the same
+    /// end-of-round informed set — so the outcome is **bit-identical**
+    /// to [`run_lane`](Self::run_lane) for every plan
+    /// (`crates/core/tests/shard_equivalence.rs` pins it). The
+    /// sequential-RNG [`run`](Self::run) has no sharded sibling: its
+    /// draws are stream-positional, so any frontier reorder would
+    /// change them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`, `lane ≥ 64`, or the plan covers a
+    /// different node count.
+    #[must_use]
+    pub fn run_lane_sharded(
+        &self,
+        plan: &ShardPlan,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastFloodOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_round = vec![0u32; n];
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut frontier = ShardFrontier::new(k);
+        let mut staged = ShardFrontier::new(k);
+        if self.has_uninformed_target(self.source as usize, &informed) {
+            frontier.push(plan.shard_of(self.source), self.source);
+        }
+
+        for round in 1..=self.horizon {
+            if frontier.is_empty() {
+                break;
+            }
+            for s in 0..k {
+                if frontier.shard(s).is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.targets, start, end);
+                for &u in frontier.shard(s) {
+                    let site = match self.variant {
+                        FastFloodVariant::Graph => fault_site(round, u),
+                        FastFloodVariant::Tree => {
+                            fault_site(round - 1 - informed_round[u as usize] as usize, u)
+                        }
+                    };
+                    if faults.lane(&tape, site, lane) {
+                        staged.push(s, u);
+                    } else {
+                        for &t in view.targets_of(u) {
+                            if informed.insert(t) {
+                                informed_round[t as usize] = round as u32;
+                                staged.push(plan.shard_of(t), t);
+                            }
+                        }
+                    }
+                }
+            }
+            informed_by_round.push(informed.count());
+            if completion_round.is_none() && informed.count() == n {
+                completion_round = Some(round);
+            }
+            // The monolithic end-of-round filter, shard by shard, using
+            // the identical end-of-round informed set.
+            for s in 0..k {
+                if staged.shard(s).is_empty() {
+                    frontier.refill_from(&mut staged, s, |_| true);
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.targets, start, end);
+                frontier.refill_from(&mut staged, s, |u| {
+                    view.targets_of(u).iter().any(|&t| !informed.contains(t))
+                });
+            }
+        }
+
+        FastFloodOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// The 64-lane batch executed shard-at-a-time; **bit-identical** to
+    /// [`run_batch`](Self::run_batch) for every plan. The graph variant
+    /// keeps the union frontier as one list per shard and merges the
+    /// staged cross-shard lane masks after each round's shard passes;
+    /// the tree variant replays the topological resolution over the
+    /// (BFS level, shard)-grouped order — parents still precede
+    /// children, and every batch output is a per-node value or multiset
+    /// statistic, so the grouping cannot change any bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the plan covers a different node
+    /// count.
+    #[must_use]
+    pub fn run_batch_sharded(&self, plan: &ShardPlan, p: f64, block_seed: u64) -> FastFloodBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        match self.variant {
+            FastFloodVariant::Tree => {
+                self.run_batch_tree(&faults, &tape, &self.sharded_order(plan))
+            }
+            FastFloodVariant::Graph => self.run_batch_graph_sharded(plan, &faults, &tape),
+        }
+    }
+
+    /// The BFS order re-grouped by (level, shard): a stable re-sort
+    /// that keeps parents ahead of children (levels ascend) while
+    /// making each level's slice contiguous per shard — the
+    /// shard-at-a-time iteration of the sharded tree batch.
+    fn sharded_order(&self, plan: &ShardPlan) -> Vec<u32> {
+        let mut level = vec![0u32; self.n];
+        // BFS discovery order: a parent's level is assigned before its
+        // children are visited (tree edges have unique parents).
+        for &v in &self.order {
+            for &t in self.targets_of(v as usize) {
+                level[t as usize] = level[v as usize] + 1;
+            }
+        }
+        let mut order = self.order.clone();
+        order.sort_by_key(|&v| (level[v as usize], plan.shard_of(v)));
+        order
+    }
+
+    /// Graph-variant sharded batch backend: the
+    /// [`run_batch_graph`](Self::run_batch_graph) evolution with the
+    /// union frontier kept per shard. Lane-mask accumulation
+    /// (`insert_masked`, pending unions, count planes) is value-based,
+    /// so replaying a round's frontier shard-by-shard instead of in
+    /// push order leaves every word identical.
+    fn run_batch_graph_sharded(
+        &self,
+        plan: &ShardPlan,
+        faults: &BatchBernoulli,
+        tape: &BatchTape,
+    ) -> FastFloodBatch {
+        let n = self.n;
+        let k = plan.shard_count();
+        let reach = self.bfs_order().len();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        // The union frontier of the monolithic backend, as one list per
+        // shard; masks carry the same superset discipline.
+        let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut frontier_mask = vec![0u64; n];
+        let mut in_frontier = vec![false; n];
+        if !self.targets_of(self.source as usize).is_empty() {
+            frontier[plan.shard_of(self.source)].push(self.source);
+            frontier_mask[self.source as usize] = !0;
+            in_frontier[self.source as usize] = true;
+        }
+        let mut pending = vec![0u64; n];
+        let mut pending_nodes: Vec<u32> = Vec::new();
+
+        let mut live: LaneMask = if reach > 1 { !0 } else { 0 };
+
+        for round in 1..=self.horizon {
+            if live == 0 {
+                break;
+            }
+            executed += 1;
+            pending_nodes.clear();
+            let mut changed = false;
+
+            for (s, list) in frontier.iter_mut().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.targets, start, end);
+                let mut write = 0usize;
+                for i in 0..list.len() {
+                    let v = list[i];
+                    let fm = frontier_mask[v as usize] & live;
+                    if fm == 0 {
+                        frontier_mask[v as usize] = 0;
+                        in_frontier[v as usize] = false;
+                        continue;
+                    }
+                    let fail = faults.mask(tape, fault_site(round, v), fm);
+                    let succ = fm & !fail;
+                    if succ != 0 {
+                        for &t in view.targets_of(v) {
+                            let newly = informed.insert_masked(t, succ);
+                            if newly != 0 {
+                                changed = true;
+                                if pending[t as usize] == 0 {
+                                    pending_nodes.push(t);
+                                }
+                                pending[t as usize] |= newly;
+                            }
+                        }
+                    }
+                    let keep = fm & fail;
+                    frontier_mask[v as usize] = keep;
+                    if keep != 0 {
+                        list[write] = v;
+                        write += 1;
+                    } else {
+                        in_frontier[v as usize] = false;
+                    }
+                }
+                list.truncate(write);
+            }
+            // Merge the staged cross-shard frontier masks after all of
+            // the round's shard passes, exactly as the monolithic
+            // backend merges after its single pass.
+            for &t in &pending_nodes {
+                frontier_mask[t as usize] |= pending[t as usize];
+                pending[t as usize] = 0;
+                if !in_frontier[t as usize] {
+                    in_frontier[t as usize] = true;
+                    frontier[plan.shard_of(t)].push(t);
+                }
+            }
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+                live &= !informed.counts().ge_mask(reach as u64);
+            }
+        }
+
+        FastFloodBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed,
+            },
+        }
+    }
+}
+
+/// Out-of-core graph-variant flooding: the [`FastFlood::run_lane`]
+/// algorithm executed against a [`ShardStore`], loading one shard's
+/// CSR rows at a time through a reusable [`ShardScratch`] so peak RSS
+/// stays near one shard plus the node-level state — the `n = 10⁸`
+/// path. Outcomes are **bit-identical** to [`FastFlood::run_lane`]
+/// with [`FastFloodVariant::Graph`] on the same adjacency: the coin
+/// tape and sites are the same, and the round evolution is set-based.
+///
+/// Only the graph variant is offered out of core: the tree variant
+/// would first need a whole-graph BFS-tree construction, which defeats
+/// the bounded-memory point.
+pub struct ShardedFlood {
+    store: ShardStore,
+    source: u32,
+    horizon: usize,
+}
+
+impl ShardedFlood {
+    /// Wraps a shard store for flooding from `source` over at most
+    /// `horizon` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn new(store: ShardStore, source: u32, horizon: usize) -> Self {
+        assert!(
+            (source as usize) < store.node_count(),
+            "source out of range"
+        );
+        ShardedFlood {
+            store,
+            source,
+            horizon,
+        }
+    }
+
+    /// The underlying shard store.
+    #[must_use]
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    /// The horizon (maximum number of rounds executed).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Scalar lane replay over the shard store; bit-identical to
+    /// [`FastFlood::run_lane`] with [`FastFloodVariant::Graph`] on the
+    /// same adjacency. Each round makes two shard-at-a-time passes:
+    /// one transmitting from the frontier, one re-filtering the staged
+    /// frontier against the end-of-round informed set (the monolithic
+    /// round-boundary filter, shard by shard). Disk-backed stores
+    /// re-read each touched segment per pass; the OS page cache makes
+    /// reloads cheap while the *resident* footprint stays near one
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    pub fn run_lane(
+        &self,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> Result<FastFloodOutcome, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        let plan = self.store.plan();
+        let n = plan.node_count();
+        let k = plan.shard_count();
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let mut scratch = ShardScratch::new();
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut frontier = ShardFrontier::new(k);
+        let mut staged = ShardFrontier::new(k);
+        {
+            let src_shard = plan.shard_of(self.source);
+            let view = self.store.view(src_shard, &mut scratch)?;
+            if view
+                .targets_of(self.source)
+                .iter()
+                .any(|&t| !informed.contains(t))
+            {
+                frontier.push(src_shard, self.source);
+            }
+        }
+
+        for round in 1..=self.horizon {
+            if frontier.is_empty() {
+                break;
+            }
+            for s in 0..k {
+                if frontier.shard(s).is_empty() {
+                    continue;
+                }
+                let view = self.store.view(s, &mut scratch)?;
+                for &u in frontier.shard(s) {
+                    if faults.lane(&tape, fault_site(round, u), lane) {
+                        staged.push(s, u);
+                    } else {
+                        for &t in view.targets_of(u) {
+                            if informed.insert(t) {
+                                staged.push(plan.shard_of(t), t);
+                            }
+                        }
+                    }
+                }
+            }
+            informed_by_round.push(informed.count());
+            if completion_round.is_none() && informed.count() == n {
+                completion_round = Some(round);
+            }
+            for s in 0..k {
+                if staged.shard(s).is_empty() {
+                    frontier.refill_from(&mut staged, s, |_| true);
+                    continue;
+                }
+                let view = self.store.view(s, &mut scratch)?;
+                frontier.refill_from(&mut staged, s, |u| {
+                    view.targets_of(u).iter().any(|&t| !informed.contains(t))
+                });
+            }
+        }
+
+        Ok(FastFloodOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        })
     }
 }
 
@@ -1213,6 +1665,65 @@ mod tests {
             let a = ff.run_batch(0.4, 77).lane_outcome(lane);
             let b = ff.run_lane(0.4, 77, lane);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharded_lane_and_batch_match_monolithic_exactly() {
+        let g = generators::gnp_connected(140, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(6));
+        let csr = CsrGraph::from(&g);
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = FastFlood::new(csr.clone(), g.node(0), 300, variant);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::uniform(csr.node_count(), shards);
+                for p in [0.0, 0.4, 0.9] {
+                    let seed = 31 + shards as u64;
+                    assert_eq!(
+                        ff.run_batch_sharded(&plan, p, seed),
+                        ff.run_batch(p, seed),
+                        "batch diverged: {variant:?} shards={shards} p={p}"
+                    );
+                    for lane in [0u32, 19, 63] {
+                        assert_eq!(
+                            ff.run_lane_sharded(&plan, p, seed, lane),
+                            ff.run_lane(p, seed, lane),
+                            "lane diverged: {variant:?} shards={shards} p={p} lane={lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_flood_matches_the_monolithic_lane_replay() {
+        use randcast_graph::shard::{default_scratch_dir, ShardStore, ShardedCsr, SpillSink};
+        let g = generators::gnp_connected(130, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(8));
+        let csr = CsrGraph::from(&g);
+        let ff = FastFlood::new(csr.clone(), g.node(0), 400, FastFloodVariant::Graph);
+        let plan = ShardPlan::uniform(csr.node_count(), 3);
+
+        let ram = ShardedFlood::new(
+            ShardStore::Ram(ShardedCsr::split(&csr, plan.clone())),
+            0,
+            400,
+        );
+        let mut sink = SpillSink::create(default_scratch_dir(), plan).unwrap();
+        for v in 0..csr.node_count() {
+            for &t in csr.neighbors_of(v) {
+                if (v as u32) < t {
+                    sink.push(v as u64, u64::from(t)).unwrap();
+                }
+            }
+        }
+        let disk = ShardedFlood::new(ShardStore::Disk(sink.finalize().unwrap()), 0, 400);
+
+        for p in [0.0, 0.5] {
+            for lane in [0u32, 7, 63] {
+                let reference = ff.run_lane(p, 77, lane);
+                assert_eq!(ram.run_lane(p, 77, lane).unwrap(), reference);
+                assert_eq!(disk.run_lane(p, 77, lane).unwrap(), reference);
+            }
         }
     }
 }

@@ -78,6 +78,115 @@ impl InformedSet {
     pub fn count(&self) -> usize {
         self.count
     }
+
+    /// Number of set nodes inside the node range `start..end` — the
+    /// per-shard informed count of a sharded pass (one popcount per
+    /// word, edge words masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end` exceeds the set's node range.
+    #[must_use]
+    pub fn count_range(&self, start: u32, end: u32) -> usize {
+        assert!(start <= end, "inverted range");
+        let (start, end) = (start as usize, end as usize);
+        if start == end {
+            return 0;
+        }
+        let (w0, w1) = (start / 64, (end - 1) / 64);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+        if w0 == w1 {
+            return (self.words[w0] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[w0] & lo_mask).count_ones() as usize;
+        for &w in &self.words[w0 + 1..w1] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[w1] & hi_mask).count_ones() as usize
+    }
+}
+
+/// Per-shard frontier (or participant) lists: the node queue of a
+/// sharded pass, kept as one list per shard so a round can be replayed
+/// shard-at-a-time against one resident [`ShardView`] at a time
+/// (`randcast_graph::shard::ShardView`). Routing is the caller's
+/// (`ShardPlan::shard_of`); this type only owns the lists, so the
+/// kernel stays independent of the graph crate.
+///
+/// Engines typically hold two — the current round's frontier and the
+/// next round's staging lists — and swap per-shard contents through
+/// [`refill_from`](Self::refill_from) at each round boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardFrontier {
+    lists: Vec<Vec<u32>>,
+}
+
+impl ShardFrontier {
+    /// Empty frontier lists for `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        ShardFrontier {
+            lists: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Appends node `v` to shard `s`'s list.
+    pub fn push(&mut self, s: usize, v: u32) {
+        self.lists[s].push(v);
+    }
+
+    /// Shard `s`'s list, in push order.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &[u32] {
+        &self.lists[s]
+    }
+
+    /// Whether every shard's list is empty — the sharded form of the
+    /// monolithic frontier-drained check.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lists.iter().all(Vec::is_empty)
+    }
+
+    /// Total nodes across all shards.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Clears every shard's list (capacity retained).
+    pub fn clear(&mut self) {
+        for l in &mut self.lists {
+            l.clear();
+        }
+    }
+
+    /// Replaces shard `s`'s list with the nodes of `staged`'s shard `s`
+    /// that pass `keep`, draining the staged list — the round-boundary
+    /// filter of a sharded frontier pass (`keep` is the monolithic
+    /// has-uninformed-target predicate, evaluated against one shard
+    /// view).
+    pub fn refill_from(
+        &mut self,
+        staged: &mut ShardFrontier,
+        s: usize,
+        mut keep: impl FnMut(u32) -> bool,
+    ) {
+        self.lists[s].clear();
+        self.lists[s].extend(staged.lists[s].drain(..).filter(|&v| keep(v)));
+    }
 }
 
 /// Aggregate per-round Bernoulli fault sampling over a participant
@@ -850,6 +959,21 @@ impl BatchedInformedSet {
     pub fn n(&self) -> usize {
         self.n
     }
+
+    /// Lane `k`'s set size inside the node range `start..end` — the
+    /// batched sibling of [`InformedSet::count_range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or out of bounds.
+    #[must_use]
+    pub fn count_range(&self, lane: u32, start: u32, end: u32) -> usize {
+        assert!(start <= end, "inverted range");
+        self.masks[start as usize..end as usize]
+            .iter()
+            .filter(|&&m| m >> lane & 1 == 1)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -868,6 +992,55 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert!(s.contains(129));
         assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn count_range_sums_to_the_total_over_any_partition() {
+        let mut s = InformedSet::new(300);
+        for v in [0u32, 1, 63, 64, 65, 128, 199, 200, 255, 299] {
+            s.insert(v);
+        }
+        for bounds in [
+            vec![0u32, 300],
+            vec![0, 100, 200, 300],
+            vec![0, 7, 64, 65, 130, 300],
+        ] {
+            let total: usize = bounds.windows(2).map(|w| s.count_range(w[0], w[1])).sum();
+            assert_eq!(total, s.count(), "bounds {bounds:?}");
+        }
+        assert_eq!(s.count_range(0, 0), 0);
+        assert_eq!(s.count_range(64, 66), 2);
+        assert_eq!(s.count_range(65, 128), 1);
+        // Batched sibling: lane-sliced range counts partition the same way.
+        let mut b = BatchedInformedSet::new(300);
+        b.insert_masked(3, 0b101);
+        b.insert_masked(299, 0b001);
+        assert_eq!(b.count_range(0, 0, 300), 2);
+        assert_eq!(b.count_range(2, 0, 300), 1);
+        assert_eq!(b.count_range(0, 4, 300), 1);
+        assert_eq!(b.count_range(1, 0, 300), 0);
+    }
+
+    #[test]
+    fn shard_frontier_routes_and_refills() {
+        let mut cur = ShardFrontier::new(3);
+        let mut nxt = ShardFrontier::new(3);
+        assert!(cur.is_empty());
+        cur.push(0, 5);
+        cur.push(2, 9);
+        cur.push(2, 11);
+        assert_eq!(cur.total_len(), 3);
+        assert_eq!(cur.shard(2), &[9, 11]);
+        nxt.push(1, 7);
+        nxt.push(1, 8);
+        cur.refill_from(&mut nxt, 1, |v| v != 7);
+        assert_eq!(cur.shard(1), &[8]);
+        assert!(nxt.shard(1).is_empty(), "staged list drained");
+        // Refilling from an empty staged shard clears the target list.
+        cur.refill_from(&mut nxt, 2, |_| true);
+        assert!(cur.shard(2).is_empty());
+        cur.clear();
+        assert!(cur.is_empty());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use randcast_graph::shard::{ShardPlan, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
@@ -588,6 +589,340 @@ impl FastRadio {
             executed,
         }
     }
+
+    /// Scalar lane replay executed shard-at-a-time: the algorithm of
+    /// [`run_lane`](Self::run_lane) with the participant and active
+    /// lists kept per shard of `plan`, so the epoch-boundary refilter,
+    /// the transmit pass, and the Decay thinning each touch one shard's
+    /// CSR rows at a time through a [`ShardView`]. Collision counts
+    /// accumulate in the *global* [`CollisionCounter`] across all of a
+    /// round's shard passes before the sole-receiver drain — exactly
+    /// one drain per round, as in the monolithic pass — and the
+    /// saturating per-listener counts are order-independent for a fixed
+    /// transmitter set, so the outcome is **bit-identical** to
+    /// [`run_lane`](Self::run_lane) for every plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`, `lane ≥ 64`, or the plan covers a
+    /// different node count.
+    #[must_use]
+    pub fn run_lane_sharded(
+        &self,
+        plan: &ShardPlan,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastRadioOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut participants: Vec<Vec<u32>> = vec![Vec::new(); k];
+        participants[plan.shard_of(self.source)].push(self.source);
+        let mut active: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut counter = CollisionCounter::new(n);
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            if completion_round.is_some() {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any = false;
+                for (s, (parts, act_list)) in
+                    participants.iter_mut().zip(active.iter_mut()).enumerate()
+                {
+                    act_list.clear();
+                    if parts.is_empty() {
+                        continue;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                    parts.retain(|&u| view.targets_of(u).iter().any(|&t| !informed.contains(t)));
+                    act_list.extend_from_slice(parts);
+                    any |= !parts.is_empty();
+                }
+                if !any {
+                    break;
+                }
+            }
+
+            for (s, act_list) in active.iter().enumerate() {
+                if act_list.is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                for &u in act_list {
+                    if faults.lane(&tape, radio_site(r0, u), lane) {
+                        continue;
+                    }
+                    for &v in view.targets_of(u) {
+                        if !informed.contains(v) {
+                            counter.add(v);
+                        }
+                    }
+                }
+            }
+            counter.drain_sole_receivers(|v| {
+                informed.insert(v);
+                participants[plan.shard_of(v)].push(v);
+            });
+
+            informed_by_round.push(informed.count());
+            if informed.count() == n {
+                completion_round = Some(round);
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &mut active {
+                    list.retain(|&u| decay_tape.fair_lane(radio_site(r0, u), lane));
+                }
+            }
+        }
+
+        FastRadioOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// The 64-lane batch executed shard-at-a-time; **bit-identical** to
+    /// [`run_batch`](Self::run_batch) for every plan. The union
+    /// participant list is kept per shard; per-node lane state (`act`,
+    /// informed words, collision accumulators) stays global. Each round
+    /// runs the epoch refilter and the transmit pass one shard at a
+    /// time, accumulating the `≥ 1` / `≥ 2` collision masks across all
+    /// shards before the single sole-receiver drain, and the
+    /// lane-exhaustion bookkeeping fires only after *every* shard's
+    /// refilter has contributed to the round's participation union —
+    /// the same points in the round where the monolithic batch reads
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the plan covers a different node
+    /// count.
+    #[must_use]
+    pub fn run_batch_sharded(&self, plan: &ShardPlan, p: f64, block_seed: u64) -> FastRadioBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let faults = BatchBernoulli::new(p);
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut exhausted: LaneMask = 0;
+        let mut exhaust_end = vec![0usize; LANES];
+
+        let mut plist: Vec<Vec<u32>> = vec![Vec::new(); k];
+        plist[plan.shard_of(self.source)].push(self.source);
+        let mut in_plist = vec![false; n];
+        in_plist[self.source as usize] = true;
+        let mut act: Vec<LaneMask> = vec![0; n];
+
+        let mut once: Vec<LaneMask> = vec![0; n];
+        let mut twice: Vec<LaneMask> = vec![0; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            let live = !(completed | exhausted);
+            if live == 0 {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any: LaneMask = 0;
+                for (s, list) in plist.iter_mut().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                    list.retain(|&v| {
+                        let vi = v as usize;
+                        let inf_v = informed.lanes(v);
+                        let mut un: LaneMask = 0;
+                        for &t in view.targets_of(v) {
+                            un |= !informed.lanes(t);
+                            if un & inf_v == inf_v {
+                                break;
+                            }
+                        }
+                        let m = inf_v & un;
+                        act[vi] = m;
+                        any |= m;
+                        if m == 0 {
+                            in_plist[vi] = false;
+                        }
+                        m != 0
+                    });
+                }
+                // Exhaustion is a whole-round property: read it only
+                // after every shard's refilter has been folded in.
+                let newly_exhausted = live & !any;
+                if newly_exhausted != 0 {
+                    exhausted |= newly_exhausted;
+                    let mut bits = newly_exhausted;
+                    while bits != 0 {
+                        exhaust_end[bits.trailing_zeros() as usize] = executed;
+                        bits &= bits - 1;
+                    }
+                    if live & any == 0 {
+                        break;
+                    }
+                }
+            }
+            executed += 1;
+
+            for (s, list) in plist.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                for &v in list {
+                    let a = act[v as usize];
+                    if a == 0 {
+                        continue;
+                    }
+                    let mut un_v: LaneMask = 0;
+                    for &t in view.targets_of(v) {
+                        un_v |= !informed.lanes(t);
+                        if un_v & a == a {
+                            break;
+                        }
+                    }
+                    let useful = a & un_v;
+                    if useful == 0 {
+                        continue;
+                    }
+                    let tx = useful & !faults.mask(&tape, radio_site(r0, v), useful);
+                    if tx == 0 {
+                        continue;
+                    }
+                    for &t in view.targets_of(v) {
+                        let ti = t as usize;
+                        let need = tx & !informed.lanes(t);
+                        if need == 0 {
+                            continue;
+                        }
+                        if once[ti] | twice[ti] == 0 {
+                            touched.push(t);
+                        }
+                        twice[ti] |= once[ti] & need;
+                        once[ti] |= need;
+                    }
+                }
+            }
+
+            let mut changed = false;
+            for &t in &touched {
+                let ti = t as usize;
+                let hear = once[ti] & !twice[ti];
+                once[ti] = 0;
+                twice[ti] = 0;
+                if hear == 0 {
+                    continue;
+                }
+                let newly = informed.insert_masked(t, hear);
+                if newly != 0 {
+                    changed = true;
+                    if !in_plist[ti] {
+                        in_plist[ti] = true;
+                        act[ti] = 0;
+                        plist[plan.shard_of(t)].push(t);
+                    }
+                }
+            }
+            touched.clear();
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &plist {
+                    for &v in list {
+                        let vi = v as usize;
+                        if act[vi] != 0 {
+                            act[vi] &= decay_tape.fair_mask(radio_site(r0, v));
+                        }
+                    }
+                }
+            }
+        }
+
+        FastRadioBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            exhausted,
+            exhaust_end,
+            plane_width,
+            count_arena,
+            executed,
+        }
+    }
 }
 
 /// Outcome of one batched 64-lane radio block; per-lane views are
@@ -1066,6 +1401,36 @@ mod tests {
         for p in [0.74, 0.76] {
             let (m, e) = (mean(p), 1.0 / (1.0 - p));
             assert!((m - e).abs() < 0.08 * e, "p={p}: mean {m} vs {e}");
+        }
+    }
+
+    #[test]
+    fn sharded_lane_and_batch_match_monolithic_exactly() {
+        let g = generators::gnp_connected(120, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(11));
+        let csr = CsrGraph::from(&g);
+        for schedule in [
+            FastRadioSchedule::Decay { epoch_len: 8 },
+            FastRadioSchedule::AllInformed,
+        ] {
+            let fr = FastRadio::new(csr.clone(), g.node(0), 600, schedule);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::uniform(csr.node_count(), shards);
+                for p in [0.0, 0.3, 0.8] {
+                    let seed = 53 + shards as u64;
+                    assert_eq!(
+                        fr.run_batch_sharded(&plan, p, seed),
+                        fr.run_batch(p, seed),
+                        "batch diverged: {schedule:?} shards={shards} p={p}"
+                    );
+                    for lane in [0u32, 19, 63] {
+                        assert_eq!(
+                            fr.run_lane_sharded(&plan, p, seed, lane),
+                            fr.run_lane(p, seed, lane),
+                            "lane diverged: {schedule:?} shards={shards} p={p} lane={lane}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

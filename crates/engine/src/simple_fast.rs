@@ -47,6 +47,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use randcast_graph::shard::{ShardPlan, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
@@ -338,6 +339,187 @@ impl FastSimple {
 
         // Lazy `t` extraction for the at most two stat-relevant phases
         // per lane.
+        let mut last_adoption = vec![0usize; LANES];
+        for lane in 0..LANES as u32 {
+            let li = lane as usize;
+            if adopted >> lane & 1 == 1 {
+                let ph = last_phase[li] as usize;
+                last_adoption[li] = ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1;
+            }
+            if almost_done >> lane & 1 == 1 && almost_round[li].is_none() {
+                let ph = almost_phase[li] as usize;
+                almost_round[li] =
+                    Some(ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1);
+            }
+        }
+
+        FastSimpleBatch {
+            n,
+            m: self.m,
+            correct: BatchedInformedSet::from_parts(correct_masks, counts),
+            almost_round,
+            last_adoption,
+        }
+    }
+
+    /// Scalar lane replay executed shard-at-a-time. The enumeration
+    /// `order` is (BFS level, id)-sorted, so walking it in maximal
+    /// same-shard runs — acquiring one [`ShardView`] of the
+    /// children CSR per run — visits *exactly the monolithic phase
+    /// sequence*: sharding the Simple algorithm is a pure access-path
+    /// change, and the outcome is trivially **bit-identical** to
+    /// [`run_lane`](Self::run_lane) (each phase index stays the node's
+    /// global position in `order`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`, `lane ≥ 64`, or the plan covers a
+    /// different node count.
+    #[must_use]
+    pub fn run_lane_sharded(
+        &self,
+        plan: &ShardPlan,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastSimpleOutcome {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let mut correct = InformedSet::new(n);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let (start, end) = plan.range(s);
+            let view = ShardView::over(&self.child_offsets, &self.children, start, end);
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if !kids.is_empty() && correct.contains(u) && adopt.lane(&tape, phase as u64, lane)
+                {
+                    let t = phase_t(&tape, phase as u64, lane, ln_p, self.m);
+                    let round = phase * self.m + t + 1;
+                    for &c in kids {
+                        correct.insert(c);
+                    }
+                    last_adoption = round;
+                    if almost_round.is_none() && correct.count() >= almost_target {
+                        almost_round = Some(round);
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        }
+    }
+
+    /// The 64-lane batch with its forward pass executed shard-at-a-time
+    /// (same maximal same-shard run walk as
+    /// [`run_lane_sharded`](Self::run_lane_sharded)); **bit-identical**
+    /// to [`run_batch`](Self::run_batch) for every plan. The backward
+    /// last-phase scan and the lazy `t` extraction read only per-node
+    /// values already in memory, so they stay monolithic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the plan covers a different node
+    /// count.
+    #[must_use]
+    pub fn run_batch_sharded(&self, plan: &ShardPlan, p: f64, block_seed: u64) -> FastSimpleBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let mut correct_masks: Vec<LaneMask> = vec![0; n];
+        correct_masks[self.source as usize] = !0;
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut almost_done: LaneMask = 0;
+        let mut almost_phase = [0u32; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let (start, end) = plan.range(s);
+            let view = ShardView::over(&self.child_offsets, &self.children, start, end);
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if kids.is_empty() {
+                    phase += 1;
+                    continue;
+                }
+                let eff = adopt.mask(&tape, phase as u64, correct_masks[u as usize]);
+                if eff == 0 {
+                    phase += 1;
+                    continue;
+                }
+                for &c in kids {
+                    correct_masks[c as usize] = eff;
+                }
+                counts.add_masked(eff, kids.len() as u64);
+                if almost_done != !0 {
+                    let crossed = counts.ge_mask(almost_target) & !almost_done;
+                    if crossed != 0 {
+                        let mut bits = crossed;
+                        while bits != 0 {
+                            almost_phase[bits.trailing_zeros() as usize] = phase as u32;
+                            bits &= bits - 1;
+                        }
+                        almost_done |= crossed;
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        let mut last_phase = [0u32; LANES];
+        let mut adopted: LaneMask = 0;
+        for (phase, &u) in self.order.iter().enumerate().rev() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            let hit = correct_masks[kids[0] as usize] & !adopted;
+            if hit != 0 {
+                let mut bits = hit;
+                while bits != 0 {
+                    last_phase[bits.trailing_zeros() as usize] = phase as u32;
+                    bits &= bits - 1;
+                }
+                adopted |= hit;
+                if adopted == !0 {
+                    break;
+                }
+            }
+        }
+
         let mut last_adoption = vec![0usize; LANES];
         for lane in 0..LANES as u32 {
             let li = lane as usize;
@@ -777,5 +959,32 @@ mod tests {
     fn p_one_is_rejected() {
         let g = generators::path(3);
         let _ = plan(&g, 2).run(1.0, 0);
+    }
+
+    #[test]
+    fn sharded_lane_and_batch_match_monolithic_exactly() {
+        let g = generators::gnp_connected(150, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(13));
+        let csr = CsrGraph::from(&g);
+        for m in [1usize, 3] {
+            let fs = FastSimple::new(&csr, g.node(0), m);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::uniform(csr.node_count(), shards);
+                for p in [0.0, 0.4, 0.9] {
+                    let seed = 17 + shards as u64;
+                    assert_eq!(
+                        fs.run_batch_sharded(&plan, p, seed),
+                        fs.run_batch(p, seed),
+                        "batch diverged: m={m} shards={shards} p={p}"
+                    );
+                    for lane in [0u32, 19, 63] {
+                        assert_eq!(
+                            fs.run_lane_sharded(&plan, p, seed, lane),
+                            fs.run_lane(p, seed, lane),
+                            "lane diverged: m={m} shards={shards} p={p} lane={lane}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

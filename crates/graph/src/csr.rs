@@ -1,15 +1,24 @@
-//! Flat `u32` compressed-sparse-row adjacency — the shared simulation
+//! Flat compressed-sparse-row adjacency — the shared simulation
 //! substrate of the large-`n` fast-path engines.
 //!
 //! [`Graph`] already stores CSR internally, but with `usize` offsets and
 //! a validating, edge-list-buffering builder that was designed for
 //! correctness at experiment sizes, not for `n = 10⁶` construction.
-//! [`CsrGraph`] is the lean sibling: `u32` offsets and targets, built
-//! either losslessly from a [`Graph`] (both directions preserve
-//! adjacency exactly) or *directly* from a `(u32, u32)` edge list by
-//! counting-sort — the path the scalable generators
+//! [`Csr`] is the lean sibling, parameterized by the target word width
+//! [`CsrWidth`]: [`CsrGraph`] (`Csr<u32>`) is the default every engine
+//! consumes — `u32` ids address 4 × 10⁹ nodes, which covers the 10⁸
+//! scale tier with room to spare — while [`CsrGraph64`] (`Csr<u64>`)
+//! exists for adjacency volumes past `u32`. Both are built either
+//! losslessly from a [`Graph`] (both directions preserve adjacency
+//! exactly, `u32` only) or *directly* from an edge list by counting
+//! sort — the path the scalable generators
 //! ([`crate::generators::gnp_csr`] and friends) use to skip the
 //! 16-byte-per-edge builder buffer and roughly halve peak build memory.
+//!
+//! Edge endpoints wider than the target word are a **typed error**
+//! ([`CsrError::EndpointOverflow`]), never a silent truncation: the
+//! width check runs before the range check, so a `u64` endpoint that
+//! cannot fit the word is reported as exactly that.
 //!
 //! [`CsrTree`] is the BFS spanning structure the kernels share: the
 //! level order of the source's component plus per-parent child lists in
@@ -17,68 +26,264 @@
 //! (so disconnected graphs are fine — the almost-complete broadcast
 //! regime).
 
+use std::fmt;
+use std::hash::Hash;
+
 use crate::{Graph, NodeId};
 
-/// An undirected simple graph as flat `u32` CSR arrays.
+/// The target word of a [`Csr`]: the integer type storing node ids and
+/// row offsets. Implemented for `u32` (the default, via [`CsrGraph`])
+/// and `u64` ([`CsrGraph64`]).
 ///
-/// Node ids are dense `0..n`; `targets[offsets[v]..offsets[v+1]]` are
-/// `v`'s neighbors in ascending order. Graphs are bounded by `u32`
-/// node ids and `u32::MAX` adjacency entries (4 × 10⁹ directed edges —
-/// far beyond every workload here).
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct CsrGraph {
-    /// `n + 1` row boundaries into `targets`.
-    offsets: Vec<u32>,
-    /// Concatenated sorted neighbor lists (each undirected edge appears
-    /// twice).
-    targets: Vec<u32>,
+/// The all-ones value (`u32::MAX` / `u64::MAX`) is reserved as a
+/// sentinel by the traversal kernels, so the largest usable node id or
+/// adjacency length is `MAX_INDEX`.
+pub trait CsrWidth: Copy + Ord + Eq + Hash + fmt::Debug + Send + Sync + 'static {
+    /// Human-readable word name for error messages (`"u32"`).
+    const NAME: &'static str;
+    /// Largest usable index: one below the all-ones sentinel.
+    const MAX_INDEX: u64;
+    /// The zero word.
+    const ZERO: Self;
+    /// Converts from `u64`, `None` when the value doesn't fit the word.
+    fn from_u64(x: u64) -> Option<Self>;
+    /// Widens to `u64` (always exact).
+    fn to_u64(self) -> u64;
+    /// Narrow to `usize` for indexing (always exact on 64-bit hosts).
+    fn to_usize(self) -> usize;
 }
 
-impl CsrGraph {
+impl CsrWidth for u32 {
+    const NAME: &'static str = "u32";
+    const MAX_INDEX: u64 = (u32::MAX as u64) - 1;
+    const ZERO: Self = 0;
+    fn from_u64(x: u64) -> Option<Self> {
+        u32::try_from(x).ok()
+    }
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl CsrWidth for u64 {
+    const NAME: &'static str = "u64";
+    const MAX_INDEX: u64 = u64::MAX - 1;
+    const ZERO: Self = 0;
+    fn from_u64(x: u64) -> Option<Self> {
+        Some(x)
+    }
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn to_usize(self) -> usize {
+        usize::try_from(self).expect("index exceeds usize")
+    }
+}
+
+/// A typed rejection from the CSR builders.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CsrError {
+    /// The graph would have no nodes.
+    EmptyGraph,
+    /// `n` does not fit the target word (ids `0..n` must be usable).
+    TooManyNodes {
+        /// Requested node count.
+        n: u64,
+        /// Largest usable index for the word.
+        max: u64,
+    },
+    /// An edge endpoint does not fit the target word — the silent
+    /// `u64 → u32` truncation this variant exists to prevent.
+    EndpointOverflow {
+        /// The offending endpoint value.
+        endpoint: u64,
+        /// Largest usable index for the word.
+        max: u64,
+    },
+    /// An edge joins a node to itself.
+    SelfLoop {
+        /// The offending node.
+        node: u64,
+    },
+    /// An edge endpoint is `>= n`.
+    OutOfRange {
+        /// The offending endpoint value.
+        endpoint: u64,
+        /// The node count it must stay below.
+        n: u64,
+    },
+    /// The directed adjacency (2 entries per undirected edge) does not
+    /// fit the target word's offset range.
+    AdjacencyOverflow {
+        /// Largest usable index for the word.
+        max: u64,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CsrError::EmptyGraph => write!(f, "graph must have at least one node"),
+            CsrError::TooManyNodes { n, max } => {
+                write!(f, "node count {n} exceeds the width's usable range ({max})")
+            }
+            CsrError::EndpointOverflow { endpoint, max } => write!(
+                f,
+                "edge endpoint {endpoint} exceeds the target word (max usable index {max})"
+            ),
+            CsrError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            CsrError::OutOfRange { endpoint, n } => {
+                write!(f, "edge endpoint {endpoint} out of range (n = {n})")
+            }
+            CsrError::AdjacencyOverflow { max } => {
+                write!(f, "adjacency exceeds the width's offset range ({max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// An undirected simple graph as flat CSR arrays over the word `W`.
+///
+/// Node ids are dense `0..n`; `targets[offsets[v]..offsets[v+1]]` are
+/// `v`'s neighbors in ascending order. [`CsrGraph`] (`W = u32`) is the
+/// width every engine consumes; see [`CsrWidth`] for the bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Csr<W: CsrWidth> {
+    /// `n + 1` row boundaries into `targets`.
+    offsets: Vec<W>,
+    /// Concatenated sorted neighbor lists (each undirected edge appears
+    /// twice).
+    targets: Vec<W>,
+}
+
+/// The default `u32` CSR graph — the substrate of the fast-path
+/// engines. `u32` ids and offsets bound it at ~4 × 10⁹ nodes and
+/// adjacency entries, far beyond the 10⁸ scale tier.
+pub type CsrGraph = Csr<u32>;
+
+/// A `u64`-word CSR graph for adjacency volumes past `u32`.
+pub type CsrGraph64 = Csr<u64>;
+
+impl<W: CsrWidth> Csr<W> {
     /// Builds the CSR adjacency for the undirected simple graph on `n`
     /// nodes with the given edges, by counting sort: degree pass,
     /// prefix sums, scatter, then per-row sort + dedup. Duplicate edges
-    /// merge; peak memory is the 8-byte edge list plus the arrays
-    /// themselves.
+    /// merge; peak memory is the edge list plus the arrays themselves.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or doesn't fit `u32`, on self-loops, or on
-    /// endpoints `>= n`.
+    /// Panics on any [`CsrError`] (see [`try_from_edges`](Self::try_from_edges)
+    /// for the non-panicking entry point).
     #[must_use]
-    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        assert!(n >= 1, "graph must have at least one node");
-        let n32 = u32::try_from(n).expect("node count exceeds u32::MAX");
-        let mut degree = vec![0u32; n];
-        for &(u, v) in edges {
-            assert!(u != v, "self-loop at node {u}");
-            assert!(u < n32 && v < n32, "edge endpoint out of range");
+    pub fn from_edges(n: usize, edges: &[(W, W)]) -> Self {
+        Self::try_from_edges(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`from_edges`](Self::from_edges), rejecting invalid input with a
+    /// typed [`CsrError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError`] on an empty graph, a node count or
+    /// adjacency volume beyond the word, self-loops, or out-of-range
+    /// endpoints.
+    pub fn try_from_edges(n: usize, edges: &[(W, W)]) -> Result<Self, CsrError> {
+        Self::build(n, || edges.iter().map(|&(u, v)| (u.to_u64(), v.to_u64())))
+    }
+
+    /// Builds from `(u64, u64)` edge runs — the streaming-generator
+    /// format — rejecting endpoints that don't fit the target word with
+    /// the typed [`CsrError::EndpointOverflow`] (**never** silently
+    /// truncating). The width check runs before the range check, so an
+    /// endpoint `>= u32::MAX` on a `u32` CSR reports as overflow even
+    /// when it is also `>= n`.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_from_edges`](Self::try_from_edges), plus
+    /// [`CsrError::EndpointOverflow`].
+    pub fn try_from_edges64(n: usize, edges: &[(u64, u64)]) -> Result<Self, CsrError> {
+        Self::build(n, || edges.iter().copied())
+    }
+
+    /// The shared counting-sort builder: `runs()` must yield the same
+    /// edge sequence on both passes (degree count, then scatter).
+    fn build<I, F>(n: usize, runs: F) -> Result<Self, CsrError>
+    where
+        F: Fn() -> I,
+        I: Iterator<Item = (u64, u64)>,
+    {
+        if n == 0 {
+            return Err(CsrError::EmptyGraph);
+        }
+        let n64 = n as u64;
+        if n64 > W::MAX_INDEX {
+            return Err(CsrError::TooManyNodes {
+                n: n64,
+                max: W::MAX_INDEX,
+            });
+        }
+        let check = |e: u64| -> Result<(), CsrError> {
+            if e > W::MAX_INDEX {
+                return Err(CsrError::EndpointOverflow {
+                    endpoint: e,
+                    max: W::MAX_INDEX,
+                });
+            }
+            if e >= n64 {
+                return Err(CsrError::OutOfRange {
+                    endpoint: e,
+                    n: n64,
+                });
+            }
+            Ok(())
+        };
+        let mut degree = vec![0u64; n];
+        for (u, v) in runs() {
+            check(u)?;
+            check(v)?;
+            if u == v {
+                return Err(CsrError::SelfLoop { node: u });
+            }
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
+        let mut offsets: Vec<W> = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(W::ZERO);
         for &d in &degree {
-            acc = acc.checked_add(d).expect("adjacency exceeds u32::MAX");
-            offsets.push(acc);
+            acc += d;
+            if acc > W::MAX_INDEX {
+                return Err(CsrError::AdjacencyOverflow { max: W::MAX_INDEX });
+            }
+            offsets.push(W::from_u64(acc).expect("checked against MAX_INDEX"));
         }
-        let mut targets = vec![0u32; acc as usize];
-        let mut cursor = offsets.clone();
-        for &(u, v) in edges {
-            targets[cursor[u as usize] as usize] = v;
-            cursor[u as usize] += 1;
-            targets[cursor[v as usize] as usize] = u;
-            cursor[v as usize] += 1;
+        drop(degree);
+        let mut targets = vec![W::ZERO; acc as usize];
+        let mut cursor: Vec<W> = offsets.clone();
+        for (u, v) in runs() {
+            let (u, v) = (u as usize, v as usize);
+            let cu = cursor[u].to_usize();
+            targets[cu] = W::from_u64(v as u64).expect("endpoint checked");
+            cursor[u] = W::from_u64(cu as u64 + 1).expect("within adjacency");
+            let cv = cursor[v].to_usize();
+            targets[cv] = W::from_u64(u as u64).expect("endpoint checked");
+            cursor[v] = W::from_u64(cv as u64 + 1).expect("within adjacency");
         }
+        drop(cursor);
         // Sort each row, drop duplicate edges, and compact in place.
         let mut write = 0usize;
-        let mut compact_offsets = Vec::with_capacity(n + 1);
-        compact_offsets.push(0u32);
+        let mut compact_offsets: Vec<W> = Vec::with_capacity(n + 1);
+        compact_offsets.push(W::ZERO);
         for v in 0..n {
-            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let (start, end) = (offsets[v].to_usize(), offsets[v + 1].to_usize());
             targets[start..end].sort_unstable();
-            let mut prev: Option<u32> = None;
+            let mut prev: Option<W> = None;
             for i in start..end {
                 let t = targets[i];
                 if prev != Some(t) {
@@ -87,13 +292,13 @@ impl CsrGraph {
                     prev = Some(t);
                 }
             }
-            compact_offsets.push(write as u32);
+            compact_offsets.push(W::from_u64(write as u64).expect("within adjacency"));
         }
         targets.truncate(write);
-        CsrGraph {
+        Ok(Csr {
             offsets: compact_offsets,
             targets,
-        }
+        })
     }
 
     /// Number of nodes `n`.
@@ -114,8 +319,8 @@ impl CsrGraph {
     ///
     /// Panics if `v >= n`.
     #[must_use]
-    pub fn neighbors_of(&self, v: usize) -> &[u32] {
-        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    pub fn neighbors_of(&self, v: usize) -> &[W] {
+        &self.targets[self.offsets[v].to_usize()..self.offsets[v + 1].to_usize()]
     }
 
     /// The degree of node `v`.
@@ -126,23 +331,25 @@ impl CsrGraph {
 
     /// The row-boundary array (`n + 1` entries).
     #[must_use]
-    pub fn offsets(&self) -> &[u32] {
+    pub fn offsets(&self) -> &[W] {
         &self.offsets
     }
 
     /// The concatenated neighbor lists.
     #[must_use]
-    pub fn targets(&self) -> &[u32] {
+    pub fn targets(&self) -> &[W] {
         &self.targets
     }
 
     /// Consumes the graph into its `(offsets, targets)` CSR arrays, so
     /// engines that own their adjacency can take it without copying.
     #[must_use]
-    pub fn into_raw_parts(self) -> (Vec<u32>, Vec<u32>) {
+    pub fn into_raw_parts(self) -> (Vec<W>, Vec<W>) {
         (self.offsets, self.targets)
     }
+}
 
+impl Csr<u32> {
     /// The BFS spanning structure rooted at `source`: level order and
     /// per-parent child lists over the source's component only, so the
     /// graph may be disconnected.
@@ -307,6 +514,81 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_edges_rejects_out_of_range() {
         let _ = CsrGraph::from_edges(3, &[(0, 3)]);
+    }
+
+    #[test]
+    fn try_from_edges_reports_typed_errors() {
+        assert_eq!(CsrGraph::try_from_edges(0, &[]), Err(CsrError::EmptyGraph));
+        assert_eq!(
+            CsrGraph::try_from_edges(3, &[(2, 2)]),
+            Err(CsrError::SelfLoop { node: 2 })
+        );
+        assert_eq!(
+            CsrGraph::try_from_edges(3, &[(0, 7)]),
+            Err(CsrError::OutOfRange { endpoint: 7, n: 3 })
+        );
+    }
+
+    /// The satellite boundary: a `u64` endpoint at or past the `u32`
+    /// sentinel must come back as the typed overflow — checked *before*
+    /// the range check, so it can never be mistaken for (or silently
+    /// truncated into) an in-range id.
+    #[test]
+    fn u64_endpoints_past_the_u32_word_are_typed_overflow() {
+        let max = (u32::MAX as u64) - 1;
+        for endpoint in [u32::MAX as u64, u32::MAX as u64 + 1, 1u64 << 40, u64::MAX] {
+            assert_eq!(
+                CsrGraph::try_from_edges64(10, &[(0, endpoint)]),
+                Err(CsrError::EndpointOverflow { endpoint, max }),
+                "endpoint {endpoint}"
+            );
+            // Symmetric in the first endpoint.
+            assert_eq!(
+                CsrGraph::try_from_edges64(10, &[(endpoint, 0)]),
+                Err(CsrError::EndpointOverflow { endpoint, max }),
+            );
+        }
+        // One below the sentinel fits the word, so the *range* check
+        // fires instead — proving the width gate sits in front.
+        let below = (u32::MAX as u64) - 1;
+        assert_eq!(
+            CsrGraph::try_from_edges64(10, &[(0, below)]),
+            Err(CsrError::OutOfRange {
+                endpoint: below,
+                n: 10
+            })
+        );
+        // The same endpoints are fine for the u64 word (range aside).
+        assert_eq!(
+            CsrGraph64::try_from_edges64(10, &[(0, u32::MAX as u64)]),
+            Err(CsrError::OutOfRange {
+                endpoint: u32::MAX as u64,
+                n: 10
+            })
+        );
+    }
+
+    #[test]
+    fn u64_runs_match_u32_from_edges() {
+        let edges32: Vec<(u32, u32)> = vec![(2, 0), (0, 1), (1, 0), (3, 1), (0, 2)];
+        let edges64: Vec<(u64, u64)> = edges32.iter().map(|&(u, v)| (u as u64, v as u64)).collect();
+        assert_eq!(
+            CsrGraph::from_edges(4, &edges32),
+            CsrGraph::try_from_edges64(4, &edges64).expect("in range")
+        );
+    }
+
+    #[test]
+    fn u64_width_builds_and_reads_back() {
+        let csr =
+            CsrGraph64::try_from_edges64(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).expect("valid");
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.neighbors_of(0), &[1, 3]);
+        assert_eq!(csr.neighbors_of(3), &[0, 2]);
+        let (offsets, targets) = csr.into_raw_parts();
+        assert_eq!(offsets.len(), 5);
+        assert_eq!(targets.len(), 8);
     }
 
     #[test]

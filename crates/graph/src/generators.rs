@@ -14,7 +14,28 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::shard::{EdgeSink, ShardError};
 use crate::{CsrGraph, Graph, GraphBuilder, NodeId};
+
+/// The in-RAM [`EdgeSink`]: collects into a `(u32, u32)` edge list for
+/// the buffered `_csr` build path. Infallible — the streamed cores
+/// never emit endpoints `>= n`, and the `_csr` entry points already
+/// bound `n` to the `u32` word.
+struct VecSink<'a>(&'a mut Vec<(u32, u32)>);
+
+impl EdgeSink for VecSink<'_> {
+    fn edge(&mut self, u: u64, v: u64) -> Result<(), ShardError> {
+        debug_assert!(u < u64::from(u32::MAX) && v < u64::from(u32::MAX));
+        self.0.push((u as u32, v as u32));
+        Ok(())
+    }
+}
+
+/// Unwraps a streamed-core result for the in-RAM path, where the sink
+/// cannot fail.
+fn infallible(result: Result<(), ShardError>) {
+    result.expect("in-memory edge sink cannot fail");
+}
 
 /// A path (the paper's "line") with `len` edges and `len + 1` nodes
 /// `v0 - v1 - … - v_len`. The broadcast source is conventionally `v0`.
@@ -270,23 +291,28 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     b.finish().expect("random tree construction is valid")
 }
 
-/// Appends each pair `{u, v}` (`u < v < n`) to `edges` independently
+/// Streams each pair `{u, v}` (`u < v < n`) into `sink` independently
 /// with probability `q`, in expected `O(n + q·n²)` time via the
 /// Batagelj–Brandes geometric skip: instead of flipping one coin per
 /// pair, the gap to the next sampled pair is drawn directly from the
 /// geometric distribution, so the cost is proportional to the number of
 /// edges *produced*, not the number of pairs *considered*.
-fn sample_gnp_edges<R: Rng + ?Sized>(edges: &mut Vec<(u32, u32)>, n: usize, q: f64, rng: &mut R) {
+fn sample_gnp_edges_into<S: EdgeSink, R: Rng + ?Sized>(
+    sink: &mut S,
+    n: usize,
+    q: f64,
+    rng: &mut R,
+) -> Result<(), ShardError> {
     if q <= 0.0 || n < 2 {
-        return;
+        return Ok(());
     }
     if q >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                edges.push((u as u32, v as u32));
+                sink.edge(u as u64, v as u64)?;
             }
         }
-        return;
+        return Ok(());
     }
     // Pairs enumerated as (w, v) with w < v, row-major in v: the skip
     // walks a virtual triangular index without materializing it.
@@ -304,9 +330,10 @@ fn sample_gnp_edges<R: Rng + ?Sized>(edges: &mut Vec<(u32, u32)>, n: usize, q: f
             v += 1;
         }
         if v < n {
-            edges.push((w as u32, v as u32));
+            sink.edge(w as u64, v as u64)?;
         }
     }
+    Ok(())
 }
 
 /// An Erdős–Rényi `G(n, q)`: every pair is an edge independently with
@@ -336,14 +363,35 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
 /// Panics if `n == 0` or `q` is not in `[0, 1]`.
 #[must_use]
 pub fn gnp_csr<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> CsrGraph {
+    let mut edges = Vec::new();
+    infallible(gnp_edges(&mut VecSink(&mut edges), n, q, rng));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Streams the `G(n, q)` edge run of [`gnp_csr`] into `sink` — the
+/// identical RNG stream and edge sequence, without ever materializing
+/// the edge list. With a [`crate::shard::SpillSink`] this is the
+/// out-of-core build path: bounded RAM regardless of `m`.
+///
+/// # Errors
+///
+/// Propagates the sink's [`ShardError`]s (in-RAM sinks are infallible).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `q` is not in `[0, 1]`.
+pub fn gnp_edges<S: EdgeSink, R: Rng + ?Sized>(
+    sink: &mut S,
+    n: usize,
+    q: f64,
+    rng: &mut R,
+) -> Result<(), ShardError> {
     assert!(n >= 1, "gnp needs at least one node");
     assert!(
         (0.0..=1.0).contains(&q),
         "edge probability must be in [0,1]"
     );
-    let mut edges = Vec::new();
-    sample_gnp_edges(&mut edges, n, q, rng);
-    CsrGraph::from_edges(n, &edges)
+    sample_gnp_edges_into(sink, n, q, rng)
 }
 
 /// An Erdős–Rényi `G(n, q)` conditioned on connectivity: a uniformly
@@ -369,18 +417,39 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> Graph {
 /// Panics if `n == 0` or `q` is not in `[0, 1]`.
 #[must_use]
 pub fn gnp_connected_csr<R: Rng + ?Sized>(n: usize, q: f64, rng: &mut R) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    infallible(gnp_connected_edges(&mut VecSink(&mut edges), n, q, rng));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Streams the edge run of [`gnp_connected_csr`] into `sink` —
+/// identical RNG stream and edge sequence (skeleton first, then the
+/// `G(n, q)` overlay; duplicates merge downstream), without
+/// materializing the edge list.
+///
+/// # Errors
+///
+/// Propagates the sink's [`ShardError`]s (in-RAM sinks are infallible).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `q` is not in `[0, 1]`.
+pub fn gnp_connected_edges<S: EdgeSink, R: Rng + ?Sized>(
+    sink: &mut S,
+    n: usize,
+    q: f64,
+    rng: &mut R,
+) -> Result<(), ShardError> {
     assert!(n >= 1, "gnp needs at least one node");
     assert!(
         (0.0..=1.0).contains(&q),
         "edge probability must be in [0,1]"
     );
-    let mut edges = Vec::with_capacity(n.saturating_sub(1));
     // Random recursive-tree skeleton keeps it connected.
     for v in 1..n {
-        edges.push((rng.gen_range(0..v) as u32, v as u32));
+        sink.edge(rng.gen_range(0..v) as u64, v as u64)?;
     }
-    sample_gnp_edges(&mut edges, n, q, rng);
-    CsrGraph::from_edges(n, &edges)
+    sample_gnp_edges_into(sink, n, q, rng)
 }
 
 /// A random geometric (unit-disk) graph: `n` points uniform in the unit
@@ -409,6 +478,34 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> 
 /// Panics if `n == 0` or `radius` is not a positive finite number.
 #[must_use]
 pub fn random_geometric_csr<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> CsrGraph {
+    let mut edges = Vec::new();
+    infallible(random_geometric_edges(
+        &mut VecSink(&mut edges),
+        n,
+        radius,
+        rng,
+    ));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Streams the edge run of [`random_geometric_csr`] into `sink` —
+/// identical RNG stream and edge sequence. Retains the `O(n)` point
+/// and bucket state (16 bytes per node) but never the edge list, so the
+/// out-of-core build is bounded by nodes, not edges.
+///
+/// # Errors
+///
+/// Propagates the sink's [`ShardError`]s (in-RAM sinks are infallible).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius` is not a positive finite number.
+pub fn random_geometric_edges<S: EdgeSink, R: Rng + ?Sized>(
+    sink: &mut S,
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<(), ShardError> {
     assert!(n >= 1, "random geometric graph needs at least one node");
     assert!(
         radius > 0.0 && radius.is_finite(),
@@ -429,7 +526,6 @@ pub fn random_geometric_csr<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R)
         buckets[cell_of(y) * side + cell_of(x)].push(i as u32);
     }
     let r2 = radius * radius;
-    let mut edges: Vec<(u32, u32)> = Vec::new();
     for (i, &(x, y)) in points.iter().enumerate() {
         let (cx, cy) = (cell_of(x), cell_of(y));
         for ny in cy.saturating_sub(1)..=(cy + 1).min(side - 1) {
@@ -440,13 +536,13 @@ pub fn random_geometric_csr<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R)
                     }
                     let (dx, dy) = (points[j as usize].0 - x, points[j as usize].1 - y);
                     if dx * dx + dy * dy <= r2 {
-                        edges.push((i as u32, j));
+                        sink.edge(i as u64, j as u64)?;
                     }
                 }
             }
         }
     }
-    CsrGraph::from_edges(n, &edges)
+    Ok(())
 }
 
 /// A preferential-attachment (Barabási–Albert) graph: node `v ≥ 1`
@@ -473,9 +569,36 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
 /// Panics if `n == 0` or `m == 0`.
 #[must_use]
 pub fn preferential_attachment_csr<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m * n.saturating_sub(1));
+    infallible(preferential_attachment_edges(
+        &mut VecSink(&mut edges),
+        n,
+        m,
+        rng,
+    ));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Streams the edge run of [`preferential_attachment_csr`] into `sink`
+/// — identical RNG stream and edge sequence. The degree-proportional
+/// endpoint list (`2m` entries per node) is inherent to the model and
+/// stays resident, but the edge list itself is never buffered.
+///
+/// # Errors
+///
+/// Propagates the sink's [`ShardError`]s (in-RAM sinks are infallible).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+pub fn preferential_attachment_edges<S: EdgeSink, R: Rng + ?Sized>(
+    sink: &mut S,
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<(), ShardError> {
     assert!(n >= 1, "preferential attachment needs at least one node");
     assert!(m >= 1, "each node must attach at least one edge");
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m * n.saturating_sub(1));
     // Every edge endpoint appears once: sampling an index uniformly from
     // this list is degree-proportional sampling.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n.saturating_sub(1));
@@ -507,12 +630,12 @@ pub fn preferential_attachment_csr<R: Rng + ?Sized>(n: usize, m: usize, rng: &mu
             next += 1;
         }
         for &t in &chosen {
-            edges.push((t, v as u32));
+            sink.edge(t as u64, v as u64)?;
             endpoints.push(t);
             endpoints.push(v as u32);
         }
     }
-    CsrGraph::from_edges(n, &edges)
+    Ok(())
 }
 
 /// A random connected graph: random recursive tree plus **exactly**
@@ -950,6 +1073,61 @@ mod tests {
             }
         }
         assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn streamed_generators_match_their_csr_twins_through_the_spill() {
+        use crate::shard::{ShardPlan, ShardScratch, SpillSink};
+        let n = 220usize;
+        type StreamFn = Box<dyn Fn(&mut SpillSink, &mut SmallRng) -> Result<(), ShardError>>;
+        let cases: Vec<(&str, u64, CsrGraph, StreamFn)> = vec![
+            (
+                "gnp",
+                61,
+                gnp_csr(n, 0.03, &mut SmallRng::seed_from_u64(61)),
+                Box::new(move |sink, rng| gnp_edges(sink, n, 0.03, rng)),
+            ),
+            (
+                "gnp_connected",
+                62,
+                gnp_connected_csr(n, 0.02, &mut SmallRng::seed_from_u64(62)),
+                Box::new(move |sink, rng| gnp_connected_edges(sink, n, 0.02, rng)),
+            ),
+            (
+                "rgg",
+                63,
+                random_geometric_csr(n, 0.12, &mut SmallRng::seed_from_u64(63)),
+                Box::new(move |sink, rng| random_geometric_edges(sink, n, 0.12, rng)),
+            ),
+            (
+                "pa",
+                64,
+                preferential_attachment_csr(n, 3, &mut SmallRng::seed_from_u64(64)),
+                Box::new(move |sink, rng| preferential_attachment_edges(sink, n, 3, rng)),
+            ),
+        ];
+        for (name, seed, expect, stream) in cases {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sink = SpillSink::create(
+                crate::shard::default_scratch_dir(),
+                ShardPlan::uniform(n, 3),
+            )
+            .expect("create sink");
+            stream(&mut sink, &mut rng).expect("stream");
+            let disk = sink.finalize().expect("finalize");
+            assert_eq!(disk.edge_count() as usize, expect.edge_count(), "{name}");
+            let mut scratch = ShardScratch::new();
+            for s in 0..disk.plan().shard_count() {
+                let view = disk.load(s, &mut scratch).expect("load");
+                for v in view.start()..view.end() {
+                    assert_eq!(
+                        view.targets_of(v),
+                        expect.neighbors_of(v as usize),
+                        "{name} node {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

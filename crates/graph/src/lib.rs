@@ -8,9 +8,13 @@
 //! * [`Graph`] — a compact adjacency-list representation with a validating
 //!   [`GraphBuilder`],
 //! * [`CsrGraph`] / [`CsrTree`] — the flat `u32` CSR substrate shared by
-//!   the large-`n` fast-path engines, with lossless `Graph ↔ CsrGraph`
-//!   conversion and direct construction from `(u32, u32)` edge lists
-//!   (the memory-lean path the scalable generators use),
+//!   the large-`n` fast-path engines (width-parameterized as [`Csr`] over
+//!   a [`CsrWidth`] word), with lossless `Graph ↔ CsrGraph` conversion
+//!   and direct construction from edge lists (the memory-lean path the
+//!   scalable generators use),
+//! * [`shard`] — node-range shard plans, views, and the out-of-core
+//!   spill/segment store that carry one trial to `n = 10⁸` under a fixed
+//!   RAM budget,
 //! * [`generators`] — the graph families used throughout the paper's analysis
 //!   (paths, stars, grids, hypercubes, random trees, …) including the
 //!   three-layer lower-bound construction of Theorem 3.3
@@ -48,9 +52,10 @@ mod tree;
 
 pub mod dot;
 pub mod generators;
+pub mod shard;
 pub mod traversal;
 
-pub use csr::{CsrGraph, CsrTree};
+pub use csr::{Csr, CsrError, CsrGraph, CsrGraph64, CsrTree, CsrWidth};
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use node::NodeId;
 pub use tree::SpanningTree;

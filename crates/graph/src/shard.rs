@@ -1,0 +1,1063 @@
+//! Node-range sharding of the CSR substrate, in RAM and out of core.
+//!
+//! A [`ShardPlan`] cuts the node range `0..n` into contiguous shards.
+//! Three consumers build on it:
+//!
+//! * [`ShardView`] — a borrowed window over one shard's CSR rows. The
+//!   same view type serves slices of a monolithic in-RAM [`CsrGraph`]
+//!   (offsets kept absolute, `base = offsets[start]`) and rebased
+//!   segments streamed back from disk (`base = 0`), so the engine
+//!   frontier passes are written once against it.
+//! * [`ShardedCsr`] — an owned in-RAM split of a [`CsrGraph`]: each
+//!   shard owns its rebased offsets/targets slice plus the cut-edge
+//!   lists into every other shard (edges whose source is in the shard
+//!   and whose target is not, bucketed by destination shard).
+//! * [`SpillSink`] / [`DiskShards`] — the out-of-core path. Generators
+//!   stream `(u64, u64)` edge runs into per-shard spill files under a
+//!   scratch directory (each undirected edge written once per endpoint
+//!   shard, so cross-shard edges appear in both buckets — the on-disk
+//!   cut-edge lists); `finalize` counting-sorts each bucket into a
+//!   rebased CSR segment file, shard by shard in ascending index order,
+//!   and [`DiskShards::load`] reads one segment at a time into a
+//!   reusable [`ShardScratch`] so peak RSS stays near one shard.
+//!
+//! Sharding never changes outcomes: the engines' coin tapes address
+//! coins by `(site, lane)` — pure functions of the trial seed — so the
+//! order in which shards replay a round's frontier cannot change any
+//! draw. See DESIGN.md for the full argument.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::csr::{CsrError, CsrGraph, CsrWidth};
+
+/// A failure while building or reading sharded adjacency: either the
+/// edge stream was invalid (typed [`CsrError`]) or the spill/segment IO
+/// failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The edge stream violated the CSR invariants.
+    Graph(CsrError),
+    /// Spill or segment file IO failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Graph(e) => write!(f, "{e}"),
+            ShardError::Io(e) => write!(f, "shard spill IO: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<CsrError> for ShardError {
+    fn from(e: CsrError) -> Self {
+        ShardError::Graph(e)
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// A contiguous partition of the node range `0..n` into shards.
+///
+/// Shard `s` owns nodes `bounds[s]..bounds[s + 1]`; ranges are balanced
+/// to within one node. The plan is tiny (one `u32` per shard) and is
+/// shared by every sharded structure and pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardPlan {
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Cuts `0..n` into `shards` balanced contiguous ranges. `shards`
+    /// is clamped to `1..=n`, so every shard is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the usable `u32` range.
+    #[must_use]
+    pub fn uniform(n: usize, shards: usize) -> Self {
+        assert!(n > 0, "graph must have at least one node");
+        assert!(
+            n as u64 <= <u32 as CsrWidth>::MAX_INDEX,
+            "node count exceeds u32"
+        );
+        let k = shards.clamp(1, n);
+        let mut bounds = Vec::with_capacity(k + 1);
+        for s in 0..=k {
+            bounds.push((s as u64 * n as u64 / k as u64) as u32);
+        }
+        ShardPlan { bounds }
+    }
+
+    /// The smallest uniform plan whose largest shard fits
+    /// `budget_bytes` of resident CSR data (`4` bytes per adjacency
+    /// entry plus `4` per row offset), given an estimate of the total
+    /// directed adjacency volume. Capped at 1024 shards.
+    #[must_use]
+    pub fn for_budget(n: usize, adjacency_entries: u64, budget_bytes: u64) -> Self {
+        let mut k = 1usize;
+        while k < 1024 {
+            let rows = (n as u64).div_ceil(k as u64);
+            let entries = adjacency_entries.div_ceil(k as u64);
+            if entries * 4 + (rows + 1) * 4 <= budget_bytes {
+                break;
+            }
+            k *= 2;
+        }
+        ShardPlan::uniform(n, k)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of nodes `n` covered by the plan.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.bounds[self.bounds.len() - 1] as usize
+    }
+
+    /// The `[start, end)` node range of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shard_count()`.
+    #[must_use]
+    pub fn range(&self, s: usize) -> (u32, u32) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn shard_of(&self, v: u32) -> usize {
+        assert!((v as usize) < self.node_count(), "node out of range");
+        self.bounds.partition_point(|&b| b <= v) - 1
+    }
+
+    /// The shard boundaries (`shard_count() + 1` entries, first `0`,
+    /// last `n`).
+    #[must_use]
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+}
+
+/// A borrowed window over one shard's CSR rows.
+///
+/// `offsets` has one entry per row plus one; entry values are absolute
+/// positions minus `base`, so the same accessor body serves a slice of
+/// a monolithic graph (`base = offsets[start]`, targets sliced to the
+/// shard) and a rebased disk segment (`base = 0`). Target ids remain
+/// **global**: a row may name nodes in other shards (the cut edges).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardView<'a> {
+    start: u32,
+    end: u32,
+    offsets: &'a [u32],
+    base: u32,
+    targets: &'a [u32],
+}
+
+impl<'a> ShardView<'a> {
+    /// A view of rows `start..end` from explicit parts. `offsets` must
+    /// hold `end - start + 1` entries; `targets` must span exactly the
+    /// shard's adjacency (`offsets[last] - base` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent.
+    #[must_use]
+    pub fn from_parts(
+        start: u32,
+        end: u32,
+        offsets: &'a [u32],
+        base: u32,
+        targets: &'a [u32],
+    ) -> Self {
+        assert_eq!(offsets.len(), (end - start) as usize + 1, "offsets length");
+        assert_eq!(offsets[0], base, "first offset must equal the base");
+        assert_eq!(
+            (offsets[offsets.len() - 1] - base) as usize,
+            targets.len(),
+            "targets length"
+        );
+        ShardView {
+            start,
+            end,
+            offsets,
+            base,
+            targets,
+        }
+    }
+
+    /// A view of rows `start..end` of a monolithic CSR array pair — the
+    /// in-RAM sharding path, no copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn over(offsets: &'a [u32], targets: &'a [u32], start: u32, end: u32) -> Self {
+        let base = offsets[start as usize];
+        ShardView::from_parts(
+            start,
+            end,
+            &offsets[start as usize..=end as usize],
+            base,
+            &targets[base as usize..offsets[end as usize] as usize],
+        )
+    }
+
+    /// First node id in the shard (inclusive).
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One past the last node id in the shard.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// Number of rows in the shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the shard holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether node `v` belongs to this shard.
+    #[must_use]
+    pub fn contains(&self, v: u32) -> bool {
+        self.start <= v && v < self.end
+    }
+
+    /// The sorted neighbor list of node `v` (global ids — may leave the
+    /// shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the shard.
+    #[must_use]
+    pub fn targets_of(&self, v: u32) -> &'a [u32] {
+        let local = (v - self.start) as usize;
+        let lo = (self.offsets[local] - self.base) as usize;
+        let hi = (self.offsets[local + 1] - self.base) as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the shard.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        self.targets_of(v).len()
+    }
+
+    /// Total adjacency entries in the shard.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// One owned shard of a [`ShardedCsr`]: rebased CSR rows plus the
+/// cut-edge lists into every other shard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Segment {
+    /// Rebased row boundaries (`rows + 1` entries, first `0`).
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists (global ids).
+    targets: Vec<u32>,
+    /// `shard_count + 1` boundaries into `cut_edges`, bucketing by
+    /// destination shard (own-shard bucket is empty).
+    cut_offsets: Vec<usize>,
+    /// `(source, target)` pairs with the source in this shard and the
+    /// target elsewhere, grouped by the target's shard.
+    cut_edges: Vec<(u32, u32)>,
+}
+
+/// An owned in-RAM node-range split of a [`CsrGraph`]: each shard owns
+/// its rebased offsets/targets slice plus the cut-edge lists into the
+/// other shards. Views are handed out as [`ShardView`]s, identical in
+/// shape to what the out-of-core path streams from disk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardedCsr {
+    plan: ShardPlan,
+    segments: Vec<Segment>,
+    edge_count: usize,
+}
+
+impl ShardedCsr {
+    /// Splits a monolithic CSR graph along `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn split(csr: &CsrGraph, plan: ShardPlan) -> Self {
+        assert_eq!(plan.node_count(), csr.node_count(), "plan/graph mismatch");
+        let k = plan.shard_count();
+        let mut segments = Vec::with_capacity(k);
+        for s in 0..k {
+            let (start, end) = plan.range(s);
+            let base = csr.offsets()[start as usize];
+            let offsets: Vec<u32> = csr.offsets()[start as usize..=end as usize]
+                .iter()
+                .map(|&o| o - base)
+                .collect();
+            let targets: Vec<u32> =
+                csr.targets()[base as usize..csr.offsets()[end as usize] as usize].to_vec();
+            // Bucket the out-going cut edges by destination shard.
+            let mut counts = vec![0usize; k];
+            for v in start..end {
+                for &t in csr.neighbors_of(v as usize) {
+                    let d = plan.shard_of(t);
+                    if d != s {
+                        counts[d] += 1;
+                    }
+                }
+            }
+            let mut cut_offsets = Vec::with_capacity(k + 1);
+            let mut acc = 0usize;
+            cut_offsets.push(0);
+            for &c in &counts {
+                acc += c;
+                cut_offsets.push(acc);
+            }
+            let mut cut_edges = vec![(0u32, 0u32); acc];
+            let mut cursor = cut_offsets.clone();
+            for v in start..end {
+                for &t in csr.neighbors_of(v as usize) {
+                    let d = plan.shard_of(t);
+                    if d != s {
+                        cut_edges[cursor[d]] = (v, t);
+                        cursor[d] += 1;
+                    }
+                }
+            }
+            segments.push(Segment {
+                offsets,
+                targets,
+                cut_offsets,
+                cut_edges,
+            });
+        }
+        ShardedCsr {
+            plan,
+            segments,
+            edge_count: csr.edge_count(),
+        }
+    }
+
+    /// The shard plan this split follows.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of nodes across all shards.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.plan.node_count()
+    }
+
+    /// Number of undirected edges across all shards.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// A borrowed view of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shard_count()`.
+    #[must_use]
+    pub fn view(&self, s: usize) -> ShardView<'_> {
+        let (start, end) = self.plan.range(s);
+        let seg = &self.segments[s];
+        ShardView::from_parts(start, end, &seg.offsets, 0, &seg.targets)
+    }
+
+    /// The cut edges leaving shard `s` for shard `dest`: `(source,
+    /// target)` pairs, source in `s`, target in `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn cut_edges(&self, s: usize, dest: usize) -> &[(u32, u32)] {
+        let seg = &self.segments[s];
+        &seg.cut_edges[seg.cut_offsets[dest]..seg.cut_offsets[dest + 1]]
+    }
+
+    /// Total cut edges leaving shard `s` (both directions of an
+    /// undirected cross-shard edge count once from each side).
+    #[must_use]
+    pub fn cut_degree(&self, s: usize) -> usize {
+        self.segments[s].cut_edges.len()
+    }
+}
+
+/// Reusable buffers for streaming one disk segment at a time: one
+/// shard's rebased offsets and targets plus a bounded byte buffer for
+/// IO decoding. Reusing the scratch across shard loads keeps peak RSS
+/// at roughly the largest shard.
+#[derive(Default)]
+pub struct ShardScratch {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    buf: Vec<u8>,
+}
+
+impl ShardScratch {
+    /// An empty scratch; buffers grow to the largest shard loaded.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardScratch::default()
+    }
+}
+
+/// Bounded decode buffer: stream `words` little-endian `u32`s from
+/// `reader` into `out` without buffering the whole payload.
+fn read_words(
+    reader: &mut impl Read,
+    out: &mut Vec<u32>,
+    words: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    const CHUNK: usize = 1 << 20;
+    out.clear();
+    out.reserve(words);
+    let mut left = words;
+    while left > 0 {
+        let take = left.min(CHUNK / 4);
+        buf.resize(take * 4, 0);
+        reader.read_exact(buf)?;
+        out.extend(
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        left -= take;
+    }
+    Ok(())
+}
+
+fn read_u64(reader: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// A consumer of streamed undirected edges — the seam between the
+/// random-graph generators and whatever holds the edges: an in-RAM
+/// `(u32, u32)` list for the buffered `_csr` path, or a [`SpillSink`]
+/// for the out-of-core path. Generators emit each unordered pair
+/// exactly once (duplicates from overlaying families are allowed and
+/// merge downstream).
+pub trait EdgeSink {
+    /// Consumes one undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the edge is invalid for the sink or
+    /// spilling it fails; in-RAM sinks are infallible.
+    fn edge(&mut self, u: u64, v: u64) -> Result<(), ShardError>;
+}
+
+impl EdgeSink for SpillSink {
+    fn edge(&mut self, u: u64, v: u64) -> Result<(), ShardError> {
+        self.push(u, v)
+    }
+}
+
+/// Monotonic suffix so concurrent sinks in one process never share a
+/// scratch directory.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique scratch directory under `out/` for spill and
+/// segment files (not created yet). Spill artifacts are transient: the
+/// whole `out/` tree is gitignored.
+#[must_use]
+pub fn default_scratch_dir() -> PathBuf {
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    PathBuf::from(format!(
+        "out/shard-scratch/pid{}-{}",
+        std::process::id(),
+        seq
+    ))
+}
+
+/// The streaming edge collector of the out-of-core path.
+///
+/// `push(u, v)` validates each endpoint against the `u32` word (typed
+/// [`CsrError`]s — never a silent truncation) and appends the directed
+/// half-edge to the spill bucket of each endpoint's shard, so a
+/// cross-shard edge lands in both buckets: the buckets *are* the
+/// cut-edge lists of the on-disk format. `finalize` then counting-sorts
+/// each bucket into a rebased CSR segment file, in ascending shard
+/// order, holding only one shard's adjacency in RAM at a time.
+pub struct SpillSink {
+    plan: ShardPlan,
+    dir: PathBuf,
+    writers: Vec<BufWriter<File>>,
+    half_edges: Vec<u64>,
+}
+
+impl SpillSink {
+    /// Opens one spill bucket per shard under `dir` (created if
+    /// missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if the directory or bucket files
+    /// cannot be created.
+    pub fn create(dir: impl AsRef<Path>, plan: ShardPlan) -> Result<Self, ShardError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let k = plan.shard_count();
+        let mut writers = Vec::with_capacity(k);
+        for s in 0..k {
+            let file = File::create(dir.join(format!("spill_{s}.bin")))?;
+            writers.push(BufWriter::new(file));
+        }
+        Ok(SpillSink {
+            plan,
+            dir,
+            writers,
+            half_edges: vec![0; k],
+        })
+    }
+
+    /// The shard plan the sink spills along.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Streams one undirected edge into the spill buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CsrError`] for endpoints past the `u32` word,
+    /// out-of-range endpoints, or self-loops; [`ShardError::Io`] if a
+    /// bucket write fails.
+    pub fn push(&mut self, u: u64, v: u64) -> Result<(), ShardError> {
+        let n = self.plan.node_count() as u64;
+        for e in [u, v] {
+            if e > <u32 as CsrWidth>::MAX_INDEX {
+                return Err(CsrError::EndpointOverflow {
+                    endpoint: e,
+                    max: <u32 as CsrWidth>::MAX_INDEX,
+                }
+                .into());
+            }
+            if e >= n {
+                return Err(CsrError::OutOfRange { endpoint: e, n }.into());
+            }
+        }
+        if u == v {
+            return Err(CsrError::SelfLoop { node: u }.into());
+        }
+        let (u, v) = (u as u32, v as u32);
+        for (src, dst) in [(u, v), (v, u)] {
+            let s = self.plan.shard_of(src);
+            let mut rec = [0u8; 8];
+            rec[..4].copy_from_slice(&src.to_le_bytes());
+            rec[4..].copy_from_slice(&dst.to_le_bytes());
+            self.writers[s].write_all(&rec)?;
+            self.half_edges[s] += 1;
+        }
+        Ok(())
+    }
+
+    /// Counting-sorts every spill bucket into its rebased CSR segment
+    /// file (ascending shard order — the fixed merge order the readers
+    /// rely on), deleting each bucket once consumed. Duplicate pushed
+    /// edges merge, exactly like [`CsrGraph::from_edges`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] on IO failure or if a shard's adjacency
+    /// overflows the `u32` offset range.
+    pub fn finalize(self) -> Result<DiskShards, ShardError> {
+        let SpillSink {
+            plan,
+            dir,
+            writers,
+            half_edges,
+        } = self;
+        for w in writers {
+            w.into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?
+                .sync_all()?;
+        }
+        let k = plan.shard_count();
+        let mut metas = Vec::with_capacity(k);
+        let mut scratch = ShardScratch::new();
+        let mut total_entries = 0u64;
+        for (s, &shard_half_edges) in half_edges.iter().enumerate().take(k) {
+            let (start, end) = plan.range(s);
+            let rows = (end - start) as usize;
+            let spill = dir.join(format!("spill_{s}.bin"));
+            if shard_half_edges > <u32 as CsrWidth>::MAX_INDEX {
+                return Err(CsrError::AdjacencyOverflow {
+                    max: <u32 as CsrWidth>::MAX_INDEX,
+                }
+                .into());
+            }
+            // Pass 1: per-row degree from the bucket stream.
+            let mut degree = vec![0u32; rows];
+            stream_records(&spill, &mut scratch.buf, |src, _| {
+                degree[(src - start) as usize] += 1;
+            })?;
+            let mut offsets = Vec::with_capacity(rows + 1);
+            let mut acc = 0u32;
+            offsets.push(0u32);
+            for &d in &degree {
+                acc += d;
+                offsets.push(acc);
+            }
+            drop(degree);
+            // Pass 2: scatter targets, then sort + dedup per row.
+            let mut targets = vec![0u32; acc as usize];
+            let mut cursor = offsets.clone();
+            stream_records(&spill, &mut scratch.buf, |src, dst| {
+                let c = &mut cursor[(src - start) as usize];
+                targets[*c as usize] = dst;
+                *c += 1;
+            })?;
+            drop(cursor);
+            let mut write = 0usize;
+            let mut compact = Vec::with_capacity(rows + 1);
+            compact.push(0u32);
+            for r in 0..rows {
+                let (lo, hi) = (offsets[r] as usize, offsets[r + 1] as usize);
+                targets[lo..hi].sort_unstable();
+                let mut prev = None;
+                for i in lo..hi {
+                    let t = targets[i];
+                    if prev != Some(t) {
+                        targets[write] = t;
+                        write += 1;
+                        prev = Some(t);
+                    }
+                }
+                compact.push(write as u32);
+            }
+            targets.truncate(write);
+            total_entries += write as u64;
+            // Segment file: [rows u64][entries u64][offsets][targets].
+            let seg_path = dir.join(format!("segment_{s}.bin"));
+            let mut out = BufWriter::new(File::create(&seg_path)?);
+            out.write_all(&(rows as u64).to_le_bytes())?;
+            out.write_all(&(write as u64).to_le_bytes())?;
+            for &o in &compact {
+                out.write_all(&o.to_le_bytes())?;
+            }
+            for &t in &targets {
+                out.write_all(&t.to_le_bytes())?;
+            }
+            out.into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?
+                .sync_all()?;
+            metas.push(SegmentMeta {
+                rows: rows as u64,
+                entries: write as u64,
+            });
+            fs::remove_file(&spill)?;
+        }
+        Ok(DiskShards {
+            plan,
+            dir,
+            metas,
+            entry_count: total_entries,
+        })
+    }
+}
+
+/// Streams the 8-byte `(src, dst)` records of one spill bucket through
+/// `f`, using `buf` as the bounded decode buffer.
+fn stream_records(
+    path: &Path,
+    buf: &mut Vec<u8>,
+    mut f: impl FnMut(u32, u32),
+) -> Result<(), ShardError> {
+    const CHUNK: usize = 1 << 20;
+    let mut file = File::open(path)?;
+    buf.resize(CHUNK, 0);
+    loop {
+        let mut filled = 0usize;
+        while filled < CHUNK {
+            let got = file.read(&mut buf[filled..])?;
+            if got == 0 {
+                break;
+            }
+            filled += got;
+        }
+        if filled == 0 {
+            return Ok(());
+        }
+        assert_eq!(filled % 8, 0, "torn spill record");
+        for rec in buf[..filled].chunks_exact(8) {
+            let src = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+            let dst = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+            f(src, dst);
+        }
+        if filled < CHUNK {
+            return Ok(());
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SegmentMeta {
+    rows: u64,
+    entries: u64,
+}
+
+/// The finalized out-of-core CSR: one rebased segment file per shard
+/// under the scratch directory. Segments are loaded one at a time into
+/// a caller-owned [`ShardScratch`]; the whole directory is removed on
+/// drop.
+pub struct DiskShards {
+    plan: ShardPlan,
+    dir: PathBuf,
+    metas: Vec<SegmentMeta>,
+    entry_count: u64,
+}
+
+impl DiskShards {
+    /// The shard plan the segments follow.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of nodes across all shards.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.plan.node_count()
+    }
+
+    /// Number of undirected edges after dedup.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.entry_count / 2
+    }
+
+    /// Adjacency entries of the largest shard — the resident-set
+    /// high-water contribution of shard streaming.
+    #[must_use]
+    pub fn max_shard_entries(&self) -> u64 {
+        self.metas.iter().map(|m| m.entries).max().unwrap_or(0)
+    }
+
+    /// Reads segment `s` into `scratch` and returns its view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if the segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shard_count()` or the segment file disagrees
+    /// with the plan.
+    pub fn load<'a>(
+        &self,
+        s: usize,
+        scratch: &'a mut ShardScratch,
+    ) -> Result<ShardView<'a>, ShardError> {
+        let (start, end) = self.plan.range(s);
+        let mut file = File::open(self.dir.join(format!("segment_{s}.bin")))?;
+        let rows = read_u64(&mut file)?;
+        let entries = read_u64(&mut file)?;
+        assert_eq!(rows, (end - start) as u64, "segment/plan row mismatch");
+        assert_eq!(rows, self.metas[s].rows, "segment/meta row mismatch");
+        assert_eq!(entries, self.metas[s].entries, "segment/meta mismatch");
+        read_words(
+            &mut file,
+            &mut scratch.offsets,
+            rows as usize + 1,
+            &mut scratch.buf,
+        )?;
+        read_words(
+            &mut file,
+            &mut scratch.targets,
+            entries as usize,
+            &mut scratch.buf,
+        )?;
+        Ok(ShardView::from_parts(
+            start,
+            end,
+            &scratch.offsets,
+            0,
+            &scratch.targets,
+        ))
+    }
+}
+
+impl Drop for DiskShards {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Where sharded adjacency lives: split in RAM or streamed from disk.
+/// One accessor serves both, so the out-of-core flood runner is written
+/// once.
+pub enum ShardStore {
+    /// All segments resident (mid-scale and equivalence testing).
+    Ram(ShardedCsr),
+    /// Segments streamed one at a time (the 10⁸ tier).
+    Disk(DiskShards),
+}
+
+impl ShardStore {
+    /// The shard plan of the underlying store.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        match self {
+            ShardStore::Ram(s) => s.plan(),
+            ShardStore::Disk(d) => d.plan(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.plan().node_count()
+    }
+
+    /// A view of shard `s`, loading through `scratch` when the store is
+    /// on disk (the RAM store ignores the scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    pub fn view<'a>(
+        &'a self,
+        s: usize,
+        scratch: &'a mut ShardScratch,
+    ) -> Result<ShardView<'a>, ShardError> {
+        match self {
+            ShardStore::Ram(store) => Ok(store.view(s)),
+            ShardStore::Disk(d) => d.load(s, scratch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_edges(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|v| (v, (v + 1) % n)).collect()
+    }
+
+    #[test]
+    fn uniform_plan_covers_and_balances() {
+        for (n, k) in [(10, 3), (7, 7), (1, 4), (100, 1), (31, 8)] {
+            let plan = ShardPlan::uniform(n, k);
+            assert_eq!(plan.node_count(), n);
+            assert_eq!(plan.shard_count(), k.min(n));
+            let mut seen = 0usize;
+            for s in 0..plan.shard_count() {
+                let (start, end) = plan.range(s);
+                assert!(start < end, "empty shard {s} for n={n} k={k}");
+                for v in start..end {
+                    assert_eq!(plan.shard_of(v), s);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, n);
+        }
+    }
+
+    #[test]
+    fn budget_plan_shrinks_the_largest_shard() {
+        let plan = ShardPlan::for_budget(1000, 8000, 4 * 1200);
+        assert!(plan.shard_count() > 1);
+        let one = ShardPlan::for_budget(1000, 8000, u64::MAX);
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn split_views_reproduce_the_monolith() {
+        let n = 100u32;
+        let csr = CsrGraph::from_edges(n as usize, &ring_edges(n));
+        for k in [1, 2, 3, 7] {
+            let sharded = ShardedCsr::split(&csr, ShardPlan::uniform(n as usize, k));
+            assert_eq!(sharded.edge_count(), csr.edge_count());
+            for s in 0..sharded.plan().shard_count() {
+                let view = sharded.view(s);
+                for v in view.start()..view.end() {
+                    assert!(view.contains(v));
+                    assert_eq!(view.targets_of(v), csr.neighbors_of(v as usize));
+                    assert_eq!(view.degree(v), csr.degree(v as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn over_and_split_views_agree() {
+        let n = 64u32;
+        let csr = CsrGraph::from_edges(n as usize, &ring_edges(n));
+        let plan = ShardPlan::uniform(n as usize, 5);
+        let sharded = ShardedCsr::split(&csr, plan.clone());
+        for s in 0..plan.shard_count() {
+            let (start, end) = plan.range(s);
+            let direct = ShardView::over(csr.offsets(), csr.targets(), start, end);
+            let owned = sharded.view(s);
+            assert_eq!(direct.entry_count(), owned.entry_count());
+            for v in start..end {
+                assert_eq!(direct.targets_of(v), owned.targets_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_are_exactly_the_cross_shard_adjacency() {
+        let n = 60u32;
+        let csr = CsrGraph::from_edges(n as usize, &ring_edges(n));
+        let plan = ShardPlan::uniform(n as usize, 4);
+        let sharded = ShardedCsr::split(&csr, plan.clone());
+        let mut listed = 0usize;
+        for s in 0..4 {
+            for d in 0..4 {
+                for &(u, v) in sharded.cut_edges(s, d) {
+                    assert_eq!(plan.shard_of(u), s);
+                    assert_eq!(plan.shard_of(v), d);
+                    assert_ne!(s, d, "own-shard cut bucket must be empty");
+                    assert!(csr.neighbors_of(u as usize).contains(&v));
+                    listed += 1;
+                }
+            }
+            assert_eq!(
+                sharded.cut_degree(s),
+                (0..4).map(|d| sharded.cut_edges(s, d).len()).sum::<usize>()
+            );
+        }
+        let expect: usize = (0..n)
+            .map(|v| {
+                csr.neighbors_of(v as usize)
+                    .iter()
+                    .filter(|&&t| plan.shard_of(t) != plan.shard_of(v))
+                    .count()
+            })
+            .sum();
+        assert_eq!(listed, expect);
+    }
+
+    #[test]
+    fn spill_pipeline_matches_from_edges() {
+        let n = 120usize;
+        // Ring plus chords, with duplicates and both orientations.
+        let mut edges: Vec<(u32, u32)> = ring_edges(n as u32);
+        for v in 0..(n as u32) / 2 {
+            edges.push((v, v + (n as u32) / 2));
+            edges.push((v + (n as u32) / 2, v));
+        }
+        let reference = CsrGraph::from_edges(n, &edges);
+        let dir = default_scratch_dir();
+        let plan = ShardPlan::uniform(n, 3);
+        let mut sink = SpillSink::create(&dir, plan).expect("create sink");
+        for &(u, v) in &edges {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        let disk = sink.finalize().expect("finalize");
+        assert_eq!(disk.node_count(), n);
+        assert_eq!(disk.edge_count() as usize, reference.edge_count());
+        assert!(disk.max_shard_entries() > 0);
+        let mut scratch = ShardScratch::new();
+        for s in 0..disk.plan().shard_count() {
+            let view = disk.load(s, &mut scratch).expect("load");
+            for v in view.start()..view.end() {
+                assert_eq!(view.targets_of(v), reference.neighbors_of(v as usize));
+            }
+        }
+        let kept = disk.dir.clone();
+        drop(disk);
+        assert!(!kept.exists(), "scratch dir must be removed on drop");
+    }
+
+    #[test]
+    fn spill_sink_rejects_bad_edges_with_typed_errors() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(10, 2)).expect("create sink");
+        match sink.push(0, 1u64 << 40) {
+            Err(ShardError::Graph(CsrError::EndpointOverflow { endpoint, .. })) => {
+                assert_eq!(endpoint, 1u64 << 40);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        assert!(matches!(
+            sink.push(0, 10),
+            Err(ShardError::Graph(CsrError::OutOfRange { .. }))
+        ));
+        assert!(matches!(
+            sink.push(3, 3),
+            Err(ShardError::Graph(CsrError::SelfLoop { node: 3 }))
+        ));
+        sink.push(0, 1).expect("valid edge");
+        let disk = sink.finalize().expect("finalize");
+        let mut scratch = ShardScratch::new();
+        let store = ShardStore::Disk(disk);
+        let view = store.view(0, &mut scratch).expect("view");
+        assert_eq!(view.targets_of(0), &[1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ram_store_views_match_disk_store_views() {
+        let n = 80usize;
+        let edges = ring_edges(n as u32);
+        let csr = CsrGraph::from_edges(n, &edges);
+        let plan = ShardPlan::uniform(n, 4);
+        let ram = ShardStore::Ram(ShardedCsr::split(&csr, plan.clone()));
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, plan).expect("create sink");
+        for &(u, v) in &edges {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        let disk = ShardStore::Disk(sink.finalize().expect("finalize"));
+        let mut s1 = ShardScratch::new();
+        let mut s2 = ShardScratch::new();
+        for s in 0..4 {
+            let a = ram.view(s, &mut s1).expect("ram view");
+            let b = disk.view(s, &mut s2).expect("disk view");
+            assert_eq!(a.start(), b.start());
+            assert_eq!(a.end(), b.end());
+            for v in a.start()..a.end() {
+                assert_eq!(a.targets_of(v), b.targets_of(v));
+            }
+        }
+    }
+}
