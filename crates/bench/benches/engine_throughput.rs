@@ -11,8 +11,10 @@ use rand::SeedableRng;
 use randcast_core::decay::{run_decay, DecayConfig};
 use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
 use randcast_core::simple::SimplePlan;
+use randcast_engine::adversary::FlipMpAdversary;
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
+use randcast_engine::kernel::{FaultTapes, FlipFault};
 use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
@@ -176,6 +178,30 @@ fn bench_flood_fast_vs_mp(c: &mut Criterion) {
                 fast_plan.run_batch(p, seed).informed_count(0)
             })
         });
+        // Malicious rows: the flip adversary through `MpNetwork` vs the
+        // FlipFault instance through the FaultModel drivers; their ratio
+        // is the malicious fast path's speedup (bench_gate --bar floor).
+        if label == "grid32x32" {
+            group.bench_with_input(BenchmarkId::new("mp-mal", label), &p, |b, &p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    mp_plan
+                        .run(g, FaultConfig::malicious(p), seed)
+                        .informed_count()
+                })
+            });
+            let model = FlipFault::new(p);
+            group.bench_with_input(BenchmarkId::new("fast-mal", label), &p, |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    fast_plan
+                        .run_lane_model(&model, &FaultTapes::new(seed), 0)
+                        .informed_count()
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -230,6 +256,35 @@ fn bench_simple_fast_vs_trait(c: &mut Criterion) {
                 fast.run_batch(p, seed).correct_count(0)
             })
         });
+        // Malicious rows: the same Theorem 2.2 majority-vote workload
+        // through the flip-adversary trait engine and through the
+        // FlipFault fast path (bench_gate --bar floors the ratio). The
+        // Theorem 2.2 phase length is much larger than Theorem 2.1's, so
+        // only the smaller graph keeps the trait row CI-sized.
+        if label == "grid32x32" {
+            let mal_plan = SimplePlan::malicious_mp(g, source, p);
+            group.throughput(Throughput::Elements(
+                (mal_plan.total_rounds() * g.node_count()) as u64,
+            ));
+            group.bench_with_input(BenchmarkId::new("trait-mal", label), &p, |b, &p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    mal_plan
+                        .run_mp(g, FaultConfig::malicious(p), FlipMpAdversary, seed, true)
+                        .correct_count(true)
+                })
+            });
+            let fast_mal = FastSimple::new(&CsrGraph::from(g), source, mal_plan.phase_len());
+            let model = FlipFault::new(p);
+            group.bench_with_input(BenchmarkId::new("fast-mal", label), &p, |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    fast_mal.run_lane_model(&model, seed, 0).correct_count()
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -292,6 +347,30 @@ fn bench_radio_fast_vs_trait(c: &mut Criterion) {
                 fast_plan.run_batch(p, seed).informed_count(0)
             })
         });
+        // Malicious rows: limited-malicious Decay through the
+        // trait-object engine (flip radio adversary) and through the
+        // FlipFault fast path (bench_gate --bar floors the ratio).
+        if label == "grid32x32" {
+            group.bench_with_input(BenchmarkId::new("trait-mal", label), &p, |b, &p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_decay(g, source, cfg, FaultConfig::limited_malicious(p), seed)
+                        .informed_at
+                        .iter()
+                        .filter(|i| i.is_some())
+                        .count()
+                })
+            });
+            let model = FlipFault::new(p);
+            group.bench_with_input(BenchmarkId::new("fast-mal", label), &p, |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    fast_plan.run_lane_model(&model, seed, 0).informed_count()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -150,6 +150,52 @@ fn single_simple_trial_at_n_1e5_is_fast() {
 }
 
 #[test]
+fn single_malicious_simple_trial_at_n_1e5_is_fast() {
+    // PR 8's acceptance cell one decade below the 10⁶ headline: a
+    // *malicious* Simple trial must auto-select the fast path (the
+    // FaultModel layer behind simple_fast) and complete the Theorem 2.2
+    // majority-vote schedule inside a release wall budget. The
+    // malicious phase length is an order of magnitude above the
+    // omission one (~n·m ≈ 3·10⁷ model coins here), so the trial budget
+    // is wider than the omission tests' 1 s.
+    let scenario = Scenario {
+        graph: GraphFamily::Gnp {
+            n: 100_000,
+            avg_deg: 8,
+            seed: 5,
+        },
+        algorithm: Algorithm::Simple,
+        model: Model::Mp,
+        fault: FaultConfig::malicious(0.3),
+        shards: ShardSpec::Auto,
+    };
+    let build_start = Instant::now();
+    let prep = scenario.try_prepare().expect("valid scenario");
+    let build_time = build_start.elapsed();
+    assert!(prep.uses_fast_path(), "malicious Simple must auto-dispatch");
+
+    let trial_start = Instant::now();
+    let out = prep.trial(42);
+    let trial_time = trial_start.elapsed();
+
+    assert!(out.success, "Theorem 2.2 schedule broadcasts correctly");
+    let frac = out.informed_frac.expect("fast path reports the fraction");
+    assert!((frac - 1.0).abs() < 1e-12);
+    assert_eq!(out.rounds, Some(prep.rounds() as f64));
+
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            trial_time < Duration::from_secs(3),
+            "n=1e5 malicious simple trial took {trial_time:?} (budget 3s)"
+        );
+        assert!(
+            build_time < Duration::from_secs(5),
+            "n=1e5 graph+plan build took {build_time:?} (budget 5s)"
+        );
+    }
+}
+
+#[test]
 fn batched_block_at_n_1e5_fits_the_block_budget() {
     // One bit-sliced block = 64 coupled trials in a single frontier
     // pass per round. At the ≥10x per-trial throughput the batch path

@@ -23,7 +23,8 @@
 //! comparison is therefore between different algorithm classes — see the
 //! discussion in `EXPERIMENTS.md`.
 
-use randcast_engine::fault::FaultConfig;
+use randcast_engine::adversary::FlipRadioAdversary;
+use randcast_engine::fault::{FaultConfig, FaultKind};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
 use randcast_engine::radio_fast::{decay_coin, decay_tapes};
 use randcast_graph::{Graph, NodeId};
@@ -89,8 +90,15 @@ impl DecayConfig {
 /// Decay automaton: in each epoch, an informed node transmits in round
 /// `j` iff all of its first `j` private coins came up heads — i.e. it
 /// participates with probability `2^{−j}`, halving each round.
+///
+/// The automaton relays the bit it adopted when it first heard a sole
+/// transmitter. Under omission faults that bit is always the truth;
+/// under the flip adversary a corrupted transmission poisons the sole
+/// listener, which then relays the poisoned bit onward.
 struct DecayNode {
     informed_at: Option<usize>,
+    /// The bit adopted at informing time (`true` at the source).
+    value: bool,
     epoch_len: usize,
     /// Per-node random tape (deterministic from the network seed).
     tape: u64,
@@ -125,23 +133,36 @@ impl RadioNode for DecayNode {
             if !self.coin(epoch, j) {
                 self.active = false;
             }
-            RadioAction::Transmit(true)
+            RadioAction::Transmit(self.value)
         } else {
             RadioAction::Listen
         }
     }
 
     fn recv(&mut self, round: usize, heard: Option<bool>) {
-        if heard.is_some() && self.informed_at.is_none() {
-            self.informed_at = Some(round + 1);
+        if let Some(bit) = heard {
+            if self.informed_at.is_none() {
+                self.informed_at = Some(round + 1);
+                self.value = bit;
+            }
         }
     }
 }
 
 /// Runs the Decay protocol on `graph` from `source` under the given fault
-/// configuration (omission faults compose naturally; the protocol carries
-/// no content to corrupt beyond the single bit, so it is *not* hardened
-/// against malicious faults — use [`crate::radio_robust`] for those).
+/// configuration.
+///
+/// Omission faults compose naturally: a transmitter-failed node simply
+/// loses its transmission that round. Under the malicious kinds the
+/// protocol faces the flip adversary ([`FlipRadioAdversary`]): a faulty
+/// scheduled transmitter still transmits — colliding like any other —
+/// but delivers the complement of its adopted bit, so the participation
+/// (and hence collision) schedule is exactly the fault-free one while
+/// values are poisoned. `informed_at` then records *correct* informing
+/// times: a node that adopted a corrupted bit is reported as never
+/// informed, matching the correct-set semantics of the fast kernels.
+/// Full-malicious jamming strategies are out of scope here — use
+/// [`crate::radio_robust`] for those.
 #[must_use]
 pub fn run_decay(
     graph: &Graph,
@@ -151,16 +172,33 @@ pub fn run_decay(
     seed: u64,
 ) -> DecayOutcome {
     let tapes = decay_tapes(seed);
-    let mut net = RadioNetwork::new(graph, fault, seed, |v| DecayNode {
+    let factory = |v: NodeId| DecayNode {
         informed_at: (v == source).then_some(0),
+        value: v == source,
         epoch_len: config.epoch_len,
         tape: tapes.nth_seed(v.index() as u64),
         active: false,
-    });
-    net.run(config.total_rounds());
-    DecayOutcome {
-        informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
-        rounds: config.total_rounds(),
+    };
+    if fault.kind == FaultKind::Omission {
+        let mut net = RadioNetwork::new(graph, fault, seed, factory);
+        net.run(config.total_rounds());
+        DecayOutcome {
+            informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
+            rounds: config.total_rounds(),
+        }
+    } else {
+        let mut net = RadioNetwork::with_adversary(graph, fault, FlipRadioAdversary, seed, factory);
+        net.run(config.total_rounds());
+        DecayOutcome {
+            informed_at: graph
+                .nodes()
+                .map(|v| {
+                    let node = net.node(v);
+                    node.informed_at.filter(|_| node.value)
+                })
+                .collect(),
+            rounds: config.total_rounds(),
+        }
     }
 }
 
@@ -236,6 +274,51 @@ mod tests {
             );
         }
         assert!(ok >= 9, "ok={ok}");
+    }
+
+    #[test]
+    fn malicious_decay_at_p_zero_matches_fault_free_exactly() {
+        // With no faults the flip adversary never fires; the correct-set
+        // outcome coincides with the omission outcome per seed.
+        let g = generators::grid(4, 4);
+        let cfg = classical_for(&g);
+        for seed in 0..5 {
+            let ff = run_decay(&g, g.node(0), cfg, FaultConfig::fault_free(), seed);
+            let mal = run_decay(&g, g.node(0), cfg, FaultConfig::malicious(0.0), seed);
+            assert_eq!(ff, mal, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn flip_adversary_preserves_the_fault_free_hearing_schedule() {
+        // A flipped transmitter still transmits, so collisions — and
+        // hence who hears in which round — are exactly as in the
+        // fault-free run at the same seed. Only values are poisoned:
+        // each reported informing time either matches the fault-free one
+        // or becomes None (corrupted bit adopted). The Decay
+        // participation coins come from a pure seed-derived tape, so the
+        // fault-sampling RNG draws cannot perturb the schedule.
+        let g = generators::grid(5, 5);
+        let mut cfg = classical_for(&g);
+        cfg.epochs *= 2;
+        let mut poisoned = 0usize;
+        for seed in 0..10 {
+            let ff = run_decay(&g, g.node(0), cfg, FaultConfig::fault_free(), seed);
+            let mal = run_decay(
+                &g,
+                g.node(0),
+                cfg,
+                FaultConfig::limited_malicious(0.4),
+                seed,
+            );
+            for (i, (a, b)) in ff.informed_at.iter().zip(&mal.informed_at).enumerate() {
+                match b {
+                    Some(_) => assert_eq!(a, b, "seed {seed} node {i}"),
+                    None => poisoned += usize::from(a.is_some()),
+                }
+            }
+        }
+        assert!(poisoned > 0, "p = 0.4 never corrupted an adoption");
     }
 
     #[test]

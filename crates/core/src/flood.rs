@@ -14,7 +14,8 @@
 //! which dominates tree flooding (more disjoint paths) — an ablation, not
 //! part of the paper's analysis.
 
-use randcast_engine::fault::FaultConfig;
+use randcast_engine::adversary::FlipMpAdversary;
+use randcast_engine::fault::{FaultConfig, FaultKind};
 use randcast_engine::mp::{MpNetwork, MpNode, Outgoing};
 use randcast_graph::{traversal, Graph, NodeId, SpanningTree};
 use randcast_stats::chernoff;
@@ -135,18 +136,39 @@ impl FloodPlan {
         self.horizon
     }
 
-    /// Executes the flood in the message-passing model with omission
-    /// faults, reporting per-node informing times. Runs up to the
-    /// horizon, stopping early once every node is informed — further
-    /// rounds cannot change any `informed_at`, so the outcome is
-    /// identical to running the full horizon.
+    /// Executes the flood in the message-passing model, reporting per-node
+    /// informing times. Runs up to the horizon, stopping early once every
+    /// node is informed — further rounds cannot change any `informed_at`,
+    /// so the outcome is identical to running the full horizon.
+    ///
+    /// Under [`FaultKind::Omission`] a faulty transmitter is silent for
+    /// the step. Under the malicious kinds the flood faces the Theorem
+    /// 2.3 flip adversary ([`FlipMpAdversary`]): deliveries always happen
+    /// on the fault-free schedule, but a faulty transmitter sends the
+    /// complement of its adopted bit, and a node conjoins every bit
+    /// delivered in its informing round. `informed_at` then records
+    /// *correct* informing times — a node that adopted a corrupted bit is
+    /// reported as never informed, matching the correct-set semantics of
+    /// the fast kernels.
     #[must_use]
     pub fn run(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> FloodOutcome {
+        if fault.kind == FaultKind::Omission {
+            self.run_omission(graph, fault, seed)
+        } else {
+            self.run_malicious(graph, fault, seed)
+        }
+    }
+
+    fn targets_of(&self, v: NodeId) -> Vec<NodeId> {
+        match self.variant {
+            FloodVariant::Tree => self.children[v.index()].clone(),
+            FloodVariant::Graph => self.neighbors[v.index()].clone(),
+        }
+    }
+
+    fn run_omission(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> FloodOutcome {
         let mut net = MpNetwork::new(graph, fault, seed, |v| FloodNode {
-            targets: match self.variant {
-                FloodVariant::Tree => self.children[v.index()].clone(),
-                FloodVariant::Graph => self.neighbors[v.index()].clone(),
-            },
+            targets: self.targets_of(v),
             informed_at: (v == self.source).then_some(0),
         });
         for _ in 0..self.horizon {
@@ -157,6 +179,31 @@ impl FloodPlan {
         }
         FloodOutcome {
             informed_at: graph.nodes().map(|v| net.node(v).informed_at).collect(),
+            rounds: self.horizon,
+        }
+    }
+
+    fn run_malicious(&self, graph: &Graph, fault: FaultConfig, seed: u64) -> FloodOutcome {
+        let mut net =
+            MpNetwork::with_adversary(graph, fault, FlipMpAdversary, seed, |v| FloodValueNode {
+                targets: self.targets_of(v),
+                informed_at: (v == self.source).then_some(0),
+                value: true,
+            });
+        for _ in 0..self.horizon {
+            net.step();
+            if net.nodes().all(|node| node.informed_at.is_some()) {
+                break;
+            }
+        }
+        FloodOutcome {
+            informed_at: graph
+                .nodes()
+                .map(|v| {
+                    let node = net.node(v);
+                    node.informed_at.filter(|_| node.value)
+                })
+                .collect(),
             rounds: self.horizon,
         }
     }
@@ -183,6 +230,41 @@ impl MpNode for FloodNode {
     fn recv(&mut self, round: usize, _from: NodeId, _msg: bool) {
         if self.informed_at.is_none() {
             self.informed_at = Some(round + 1);
+        }
+    }
+}
+
+/// Value-carrying flooding automaton for the malicious kinds: once
+/// informed, relay the adopted bit to targets every round. All bits
+/// delivered in the informing round are conjoined, so one corrupted
+/// parent-level transmitter poisons the node; bits delivered after the
+/// informing round are ignored (the adopted value is final).
+#[derive(Clone, Debug)]
+struct FloodValueNode {
+    targets: Vec<NodeId>,
+    informed_at: Option<usize>,
+    value: bool,
+}
+
+impl MpNode for FloodValueNode {
+    type Msg = bool;
+
+    fn send(&mut self, _round: usize) -> Outgoing<bool> {
+        if self.informed_at.is_some() && !self.targets.is_empty() {
+            Outgoing::Directed(self.targets.iter().map(|&c| (c, self.value)).collect())
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn recv(&mut self, round: usize, _from: NodeId, msg: bool) {
+        match self.informed_at {
+            None => {
+                self.informed_at = Some(round + 1);
+                self.value = msg;
+            }
+            Some(at) if at == round + 1 => self.value &= msg,
+            Some(_) => {}
         }
     }
 }
@@ -261,6 +343,53 @@ mod tests {
         let h2 = FloodPlan::new(&g2, g2.node(0), 0.2).horizon();
         assert!(h2 > h1);
         assert!((h2 as f64) < 2.5 * h1 as f64);
+    }
+
+    #[test]
+    fn malicious_at_p_zero_matches_omission_exactly() {
+        // With no faults the flip adversary never fires, and every node
+        // adopts the true bit — the correct-set outcome coincides with
+        // the omission outcome per seed.
+        let g = generators::grid(4, 4);
+        for variant in [FloodVariant::Tree, FloodVariant::Graph] {
+            let plan = FloodPlan::with_horizon(&g, g.node(0), 30, variant);
+            for seed in 0..5 {
+                let omission = plan.run(&g, FaultConfig::fault_free(), seed);
+                let malicious = plan.run(&g, FaultConfig::malicious(0.0), seed);
+                assert_eq!(omission, malicious, "variant {variant:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_adversary_poisons_but_never_slows() {
+        // Under the flip adversary deliveries always succeed, so every
+        // node hears *something* on the fault-free BFS schedule: each
+        // reported informing time is exactly the node's BFS depth, with
+        // poisoned nodes reported as never (correctly) informed.
+        let g = generators::path(6);
+        let plan = FloodPlan::with_horizon(&g, g.node(0), 20, FloodVariant::Tree);
+        let mut poisoned = 0usize;
+        for seed in 0..20 {
+            let out = plan.run(&g, FaultConfig::malicious(0.5), seed);
+            assert_eq!(out.informed_at[0], Some(0));
+            for (i, at) in out.informed_at.iter().enumerate() {
+                match at {
+                    Some(r) => assert_eq!(*r, i, "seed {seed}"),
+                    None => poisoned += 1,
+                }
+            }
+        }
+        assert!(poisoned > 0, "p = 0.5 never corrupted a relay");
+    }
+
+    #[test]
+    fn malicious_flood_is_deterministic_given_seed() {
+        let g = generators::grid(4, 4);
+        let plan = FloodPlan::with_horizon(&g, g.node(0), 30, FloodVariant::Graph);
+        let a = plan.run(&g, FaultConfig::limited_malicious(0.3), 7);
+        let b = plan.run(&g, FaultConfig::limited_malicious(0.3), 7);
+        assert_eq!(a, b);
     }
 
     #[test]

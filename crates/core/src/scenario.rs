@@ -28,7 +28,7 @@ use rand::SeedableRng as _;
 use randcast_engine::adversary::{FlipMpAdversary, LieOrJamAdversary};
 use randcast_engine::fault::{FaultConfig, FaultKind};
 use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
-use randcast_engine::kernel::LANES;
+use randcast_engine::kernel::{FaultModel, FaultTapes, FlipFault, LieOrJamFault, LANES};
 use randcast_engine::mp::SilentMpAdversary;
 use randcast_engine::radio::SilentRadioAdversary;
 use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
@@ -66,17 +66,23 @@ pub const FLOOD_FAST_MIN_N: usize = 4096;
 /// `tests/radio_equivalence.rs`, exactly equal at `p = 0`), but their
 /// fault coins come from different RNG streams, so the threshold sits
 /// above every pre-existing experiment size to keep per-seed outcomes
-/// byte-stable.
+/// byte-stable. Omission and limited-malicious (the flip rule) both
+/// cross to the fast path; full-malicious Decay is rejected at every
+/// size — jamming strategies need [`Algorithm::Expanded`].
 pub const RADIO_FAST_MIN_N: usize = 4096;
 
-/// Node count at or above which [`Algorithm::Simple`] under **omission
-/// faults** (either model) is executed by the geometric-draw fast path
+/// Node count at or above which [`Algorithm::Simple`] is executed by
+/// the geometric-draw / vote-counting fast path
 /// ([`randcast_engine::simple_fast`]) instead of the per-node automata.
 /// The two are statistically equivalent (pinned by
-/// `tests/simple_equivalence.rs`) but draw different RNG streams, so
-/// the threshold sits above every pre-existing experiment size to keep
-/// their per-seed outcomes byte-stable. Malicious Simple always runs on
-/// the general engines — the fast kernel models omission only.
+/// `tests/simple_equivalence.rs` and `tests/malicious_equivalence.rs`)
+/// but draw different RNG streams, so the threshold sits above every
+/// pre-existing experiment size to keep their per-seed outcomes
+/// byte-stable. The fast kernel realizes omission (both models),
+/// (limited-)malicious MP (the flip rule), and limited-malicious radio
+/// (the clamped lie-or-jam speaker rule); only full-malicious radio
+/// Simple stays on the general engine at every size — the jamming half
+/// of the lie-or-jam adversary needs per-round adjacency scans.
 pub const SIMPLE_FAST_MIN_N: usize = 4096;
 
 /// Node count at or above which [`ShardSpec::Auto`] starts running
@@ -380,6 +386,10 @@ pub enum ScenarioError {
         algorithm: &'static str,
         /// What the algorithm tolerates.
         tolerates: &'static str,
+        /// The rejected fault kind, so the message can point at the
+        /// algorithms that do support it
+        /// ([`algorithms_supporting`]).
+        requested: FaultKind,
     },
     /// The graph family may be disconnected from the source, which only
     /// the informed-fraction-aware fast flood accepts.
@@ -409,7 +419,12 @@ impl fmt::Display for ScenarioError {
             ScenarioError::FaultMismatch {
                 algorithm,
                 tolerates,
-            } => write!(f, "{algorithm} tolerates {tolerates}"),
+                requested,
+            } => write!(
+                f,
+                "{algorithm} tolerates {tolerates}; {requested} faults are supported by: {}",
+                algorithms_supporting(requested)
+            ),
             ScenarioError::RequiresConnectivity { algorithm } => write!(
                 f,
                 "{algorithm} requires a graph connected to the source; only the \
@@ -423,6 +438,23 @@ impl fmt::Display for ScenarioError {
 }
 
 impl Error for ScenarioError {}
+
+/// The algorithm table names that accept the given fault kind, so a
+/// [`ScenarioError::FaultMismatch`] can point at what *would* work
+/// instead of only naming what failed.
+#[must_use]
+pub fn algorithms_supporting(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Omission | FaultKind::LimitedMalicious => {
+            "simple, simple-fast, flood, flood-fast, kucera, self-timed, \
+             expanded, decay, decay-fast"
+        }
+        FaultKind::Malicious => {
+            "simple, simple-fast (mp only), flood, flood-fast, kucera, \
+             self-timed, expanded"
+        }
+    }
+}
 
 impl From<KuceraError> for ScenarioError {
     fn from(e: KuceraError) -> Self {
@@ -491,16 +523,19 @@ impl Scenario {
         };
         match (self.algorithm, self.model) {
             (Algorithm::Simple, _) => {}
-            (Algorithm::SimpleFast { phase_len }, _) => {
-                // The fast kernel models omission only — malicious
-                // Simple needs the adversary hooks of the general
-                // engines. (The auto-fast path for plain Simple applies
-                // the same restriction by construction: it only engages
-                // for omission faults.)
-                if self.fault.kind != FaultKind::Omission {
+            (Algorithm::SimpleFast { phase_len }, model) => {
+                // The fast kernel realizes the flip rule (MP, Theorem
+                // 2.2) and the clamped lie-or-jam speaker rule
+                // (limited-malicious radio, Theorem 2.4). Full-malicious
+                // radio needs the general engine's jamming adversary —
+                // the auto-fast path for plain Simple applies the same
+                // restriction by construction.
+                if model == Model::Radio && self.fault.kind == FaultKind::Malicious {
                     return Err(ScenarioError::FaultMismatch {
                         algorithm: name,
-                        tolerates: "omission faults only (use simple for malicious)",
+                        tolerates: "omission and limited-malicious faults in the radio \
+                                    model (use simple for full-malicious radio)",
+                        requested: self.fault.kind,
                     });
                 }
                 if phase_len == Some(0) {
@@ -532,15 +567,17 @@ impl Scenario {
                 Algorithm::Decay { epoch_factor } | Algorithm::DecayFast { epoch_factor },
                 Model::Radio,
             ) => {
-                // The fast kernel models omission only ((limited-)
-                // malicious radio faults need the adversary hooks of
-                // the general engine), and the auto-selected fast path
-                // for plain Decay must reject the same configurations
-                // at every size.
-                if self.fault.kind != FaultKind::Omission {
+                // Decay tolerates omission and limited-malicious (the
+                // flip rule: a corrupted transmitter still collides,
+                // only its value lies). Full-malicious radio jamming
+                // needs the Expanded plan's robust schedule — both
+                // engines reject it identically at every size.
+                if self.fault.kind == FaultKind::Malicious {
                     return Err(ScenarioError::FaultMismatch {
                         algorithm: name,
-                        tolerates: "omission faults only (use expanded for malicious)",
+                        tolerates: "omission and limited-malicious faults \
+                                    (use expanded for full-malicious radio)",
+                        requested: self.fault.kind,
                     });
                 }
                 if epoch_factor == 0 {
@@ -575,9 +612,9 @@ impl Scenario {
     ///
     /// Returns a [`ScenarioError`] for invalid combinations: MP-only
     /// algorithms in the radio model (and vice versa), Decay under
-    /// non-omission faults, possibly-disconnected families outside the
-    /// fast flood, or parameters outside an algorithm's feasible range
-    /// (e.g. Kučera at `p ≥ 1/2`).
+    /// full-malicious faults, possibly-disconnected families outside
+    /// the fast flood, or parameters outside an algorithm's feasible
+    /// range (e.g. Kučera at `p ≥ 1/2`).
     pub fn try_prepare(self) -> Result<PreparedScenario, ScenarioError> {
         let graph = self.graph.build();
         self.try_prepare_on(graph)
@@ -602,24 +639,29 @@ impl Scenario {
         let malicious = self.fault.kind != FaultKind::Omission;
         let plan = match (self.algorithm, self.model) {
             (Algorithm::Simple, model) => {
-                if malicious {
+                // Full-malicious radio Simple stays on the general
+                // engine at every size (the jamming half of lie-or-jam
+                // needs per-round adjacency scans); everything else
+                // crosses to the statistically equivalent fast path at
+                // scale, with the theorem's fault-kind phase length.
+                let fast_capable =
+                    !(model == Model::Radio && self.fault.kind == FaultKind::Malicious);
+                if fast_capable && graph.node_count() >= SIMPLE_FAST_MIN_N {
+                    PlanKind::SimpleFast(simple_fast_plan(&graph, self.fault, model, None))
+                } else if malicious {
                     PlanKind::Simple(match model {
                         Model::Mp => SimplePlan::malicious_mp(&graph, source, p),
                         Model::Radio => SimplePlan::malicious_radio(&graph, source, p),
                     })
-                } else if graph.node_count() >= SIMPLE_FAST_MIN_N {
-                    // Statistically equivalent fast path for large n
-                    // (omission only; both models are the same process
-                    // under the Simple schedule).
-                    PlanKind::SimpleFast(simple_fast_plan(&graph, p, None))
                 } else {
                     PlanKind::Simple(SimplePlan::omission_with_p(&graph, source, p))
                 }
             }
-            (Algorithm::SimpleFast { phase_len }, _) => {
-                // Omission-only by validation; defined on disconnected
-                // graphs (unreachable nodes never adopt).
-                PlanKind::SimpleFast(simple_fast_plan(&graph, p, phase_len))
+            (Algorithm::SimpleFast { phase_len }, model) => {
+                // Full-malicious radio is rejected by validation;
+                // defined on disconnected graphs (unreachable nodes
+                // never adopt).
+                PlanKind::SimpleFast(simple_fast_plan(&graph, self.fault, model, phase_len))
             }
             (Algorithm::Flood { horizon_scale }, Model::Mp) => {
                 let horizon = theorem_horizon(&graph, source, p) * horizon_scale;
@@ -767,10 +809,29 @@ fn decay_fast_plan(graph: &Graph, cfg: DecayConfig) -> FastRadio {
 }
 
 /// Compiles the fast-path Simple kernel for a scenario graph (the
-/// source is always node 0), with the Theorem 2.1 phase length unless
-/// an explicit `m` is given.
-fn simple_fast_plan(graph: &Graph, p: f64, phase_len: Option<usize>) -> FastSimple {
-    let m = phase_len.unwrap_or_else(|| chernoff::phase_len_omission(graph.node_count().max(2), p));
+/// source is always node 0). Unless an explicit `m` is given, the
+/// phase length is the theorem prescription for the fault kind —
+/// Theorem 2.1 for omission, Theorem 2.2 for (limited-)malicious MP,
+/// Theorem 2.4 for limited-malicious radio — exactly as the general
+/// [`SimplePlan`] constructors compute it, so the two engines stay
+/// parameter-identical. An explicit `m` bypasses the prescriptions'
+/// feasibility asserts, which is how threshold sweeps trace across
+/// `p*` without panicking.
+fn simple_fast_plan(
+    graph: &Graph,
+    fault: FaultConfig,
+    model: Model,
+    phase_len: Option<usize>,
+) -> FastSimple {
+    let m = phase_len.unwrap_or_else(|| {
+        let n = graph.node_count().max(2);
+        let p = fault.p.get();
+        match (fault.kind, model) {
+            (FaultKind::Omission, _) => chernoff::phase_len_omission(n, p),
+            (_, Model::Mp) => chernoff::phase_len_malicious_mp(n, p),
+            (_, Model::Radio) => chernoff::phase_len_malicious_radio(n, p, graph.max_degree()),
+        }
+    });
     FastSimple::new(&CsrGraph::from(graph), graph.node(0), m)
 }
 
@@ -779,6 +840,26 @@ impl PreparedScenario {
     #[must_use]
     pub fn graph(&self) -> &Graph {
         self.graph.as_ref()
+    }
+
+    /// The fast-kernel [`FaultModel`] realizing this scenario's binding
+    /// adversary, or `None` when trials run the hard-wired omission
+    /// kernels (whose outputs must stay byte-identical) or a general
+    /// engine. The mapping mirrors the scalar adversary table: the flip
+    /// rule for (limited-)malicious MP and for limited-malicious Decay,
+    /// the lie-or-jam speaker rule for limited-malicious radio Simple.
+    fn fast_fault_model(&self) -> Option<Box<dyn FaultModel>> {
+        if self.scenario.fault.kind == FaultKind::Omission {
+            return None;
+        }
+        let p = self.scenario.fault.p.get();
+        match (&self.plan, self.scenario.model) {
+            (PlanKind::SimpleFast(_), Model::Radio) => Some(Box::new(LieOrJamFault::new(p))),
+            (PlanKind::SimpleFast(_) | PlanKind::FloodFast(_) | PlanKind::DecayFast(_), _) => {
+                Some(Box::new(FlipFault::new(p)))
+            }
+            _ => None,
+        }
     }
 
     /// The scenario this was compiled from.
@@ -887,11 +968,15 @@ impl PreparedScenario {
                 }),
             },
             PlanKind::SimpleFast(plan) => {
-                // Omission-only by construction; both models are the
-                // same process under the Simple schedule. Success iff
-                // every node holds the source bit; the fraction and
-                // almost-complete round mirror the flood metrics.
-                let out = plan.run(fault.p.get(), seed);
+                // Success iff every node holds the source bit; the
+                // fraction and almost-complete round mirror the flood
+                // metrics. Malicious kinds run the model kernel as
+                // lane 0 of block `seed`; omission keeps the scalar
+                // geometric-draw stream byte-stable.
+                let out = match self.fast_fault_model() {
+                    Some(model) => plan.run_lane_model(model.as_ref(), seed, 0),
+                    None => plan.run(fault.p.get(), seed),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.correct_fraction(),
@@ -902,9 +987,15 @@ impl PreparedScenario {
                 TrialOutcome::completed(plan.run(g, fault, seed).completion_round())
             }
             PlanKind::FloodFast(plan) => {
-                // The fast path matches the silent-adversary semantics
-                // the general flood runs under for every fault kind.
-                let out = plan.run(fault.p.get(), seed);
+                // Omission runs the byte-stable silent-fault frontier;
+                // malicious kinds run the flip value pass (deliveries
+                // on the BFS schedule, corrupted values, correct-set
+                // reporting) as lane 0 of block `seed` — the same
+                // semantics the general flood's flip adversary has.
+                let out = match self.fast_fault_model() {
+                    Some(model) => plan.run_lane_model(model.as_ref(), &FaultTapes::new(seed), 0),
+                    None => plan.run(fault.p.get(), seed),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.informed_fraction(),
@@ -940,9 +1031,14 @@ impl PreparedScenario {
                 run_decay(g, g.node(0), *cfg, fault, seed).completion_round(),
             ),
             PlanKind::DecayFast(plan) => {
-                // Omission-only by validation, so the silent-adversary
-                // semantics of the general engine apply directly.
-                let out = plan.run(fault.p.get(), seed);
+                // Omission keeps the byte-stable collision frontier;
+                // limited-malicious runs the flip value pass (the
+                // fault-free participation schedule with corrupted
+                // values) as lane 0 of block `seed`.
+                let out = match self.fast_fault_model() {
+                    Some(model) => plan.run_lane_model(model.as_ref(), seed, 0),
+                    None => plan.run(fault.p.get(), seed),
+                };
                 TrialOutcome::flooded(
                     out.completion_round(),
                     out.informed_fraction(),
@@ -987,11 +1083,14 @@ impl PreparedScenario {
         let p = self.scenario.fault.p.get();
         let lanes = 0..LANES as u32;
         let sp = self.shard_plan.as_ref();
+        let model = self.fast_fault_model();
         match &self.plan {
             PlanKind::SimpleFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
-                    None => plan.run_batch(p, block_seed),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => plan.run_batch_sharded_model(sp, m.as_ref(), block_seed),
+                    (Some(m), None) => plan.run_batch_model(m.as_ref(), block_seed),
+                    (None, Some(sp)) => plan.run_batch_sharded(sp, p, block_seed),
+                    (None, None) => plan.run_batch(p, block_seed),
                 };
                 lanes
                     .map(|lane| {
@@ -1004,9 +1103,15 @@ impl PreparedScenario {
                     .collect()
             }
             PlanKind::FloodFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
-                    None => plan.run_batch(p, block_seed),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => {
+                        plan.run_batch_sharded_model(sp, m.as_ref(), &FaultTapes::new(block_seed))
+                    }
+                    (Some(m), None) => {
+                        plan.run_batch_model(m.as_ref(), &FaultTapes::new(block_seed))
+                    }
+                    (None, Some(sp)) => plan.run_batch_sharded(sp, p, block_seed),
+                    (None, None) => plan.run_batch(p, block_seed),
                 };
                 lanes
                     .map(|lane| {
@@ -1019,9 +1124,11 @@ impl PreparedScenario {
                     .collect()
             }
             PlanKind::DecayFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_batch_sharded(sp, p, block_seed),
-                    None => plan.run_batch(p, block_seed),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => plan.run_batch_sharded_model(sp, m.as_ref(), block_seed),
+                    (Some(m), None) => plan.run_batch_model(m.as_ref(), block_seed),
+                    (None, Some(sp)) => plan.run_batch_sharded(sp, p, block_seed),
+                    (None, None) => plan.run_batch(p, block_seed),
                 };
                 lanes
                     .map(|lane| {
@@ -1051,11 +1158,16 @@ impl PreparedScenario {
         assert!((lane as usize) < LANES, "lane {lane} out of range");
         let p = self.scenario.fault.p.get();
         let sp = self.shard_plan.as_ref();
+        let model = self.fast_fault_model();
         match &self.plan {
             PlanKind::SimpleFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
-                    None => plan.run_lane(p, block_seed, lane),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => {
+                        plan.run_lane_sharded_model(sp, m.as_ref(), block_seed, lane)
+                    }
+                    (Some(m), None) => plan.run_lane_model(m.as_ref(), block_seed, lane),
+                    (None, Some(sp)) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    (None, None) => plan.run_lane(p, block_seed, lane),
                 };
                 TrialOutcome::flooded(
                     out.completion_round(),
@@ -1064,9 +1176,18 @@ impl PreparedScenario {
                 )
             }
             PlanKind::FloodFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
-                    None => plan.run_lane(p, block_seed, lane),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => plan.run_lane_sharded_model(
+                        sp,
+                        m.as_ref(),
+                        &FaultTapes::new(block_seed),
+                        lane,
+                    ),
+                    (Some(m), None) => {
+                        plan.run_lane_model(m.as_ref(), &FaultTapes::new(block_seed), lane)
+                    }
+                    (None, Some(sp)) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    (None, None) => plan.run_lane(p, block_seed, lane),
                 };
                 TrialOutcome::flooded(
                     out.completion_round(),
@@ -1075,9 +1196,13 @@ impl PreparedScenario {
                 )
             }
             PlanKind::DecayFast(plan) => {
-                let out = match sp {
-                    Some(sp) => plan.run_lane_sharded(sp, p, block_seed, lane),
-                    None => plan.run_lane(p, block_seed, lane),
+                let out = match (&model, sp) {
+                    (Some(m), Some(sp)) => {
+                        plan.run_lane_sharded_model(sp, m.as_ref(), block_seed, lane)
+                    }
+                    (Some(m), None) => plan.run_lane_model(m.as_ref(), block_seed, lane),
+                    (None, Some(sp)) => plan.run_lane_sharded(sp, p, block_seed, lane),
+                    (None, None) => plan.run_lane(p, block_seed, lane),
                 };
                 TrialOutcome::flooded(
                     out.completion_round(),
@@ -1275,6 +1400,53 @@ mod tests {
                         // And try_prepare fails identically without
                         // running a trial.
                         assert_eq!(scenario.try_prepare().err(), Some(e));
+                    }
+                }
+                if !valid {
+                    continue;
+                }
+                // For every valid Algorithm × Model pair, sweep the
+                // fault kinds against the tolerance table. The only
+                // remaining rejections are full-malicious radio for
+                // the Decay engines and the fast Simple kernel; each
+                // FaultMismatch must name algorithms that *do* support
+                // the requested kind.
+                for kind in [
+                    FaultKind::Omission,
+                    FaultKind::LimitedMalicious,
+                    FaultKind::Malicious,
+                ] {
+                    let cell = Scenario {
+                        fault: FaultConfig::new(kind, 0.1).expect("valid p"),
+                        ..scenario
+                    };
+                    let rejected = kind == FaultKind::Malicious
+                        && (matches!(
+                            algorithm,
+                            Algorithm::Decay { .. } | Algorithm::DecayFast { .. }
+                        ) || (model == Model::Radio
+                            && matches!(algorithm, Algorithm::SimpleFast { .. })));
+                    let fault_valid = !rejected;
+                    match cell.validate() {
+                        Ok(()) => {
+                            assert!(fault_valid, "{}/{model}/{kind} accepted", algorithm.name())
+                        }
+                        Err(e) => {
+                            assert!(
+                                !fault_valid,
+                                "{}/{model}/{kind} rejected: {e}",
+                                algorithm.name()
+                            );
+                            assert!(matches!(e, ScenarioError::FaultMismatch { .. }), "{e:?}");
+                            let msg = e.to_string();
+                            assert!(
+                                msg.contains(&format!(
+                                    "{kind} faults are supported by: {}",
+                                    algorithms_supporting(kind)
+                                )),
+                                "hint must list supporters: {msg}"
+                            );
+                        }
                     }
                 }
             }
@@ -1494,59 +1666,74 @@ mod tests {
     }
 
     /// Batched execution rides the fast-path plans, so its fault-model
-    /// surface is exactly theirs: the omission-only kernels reject
-    /// (limited-)malicious with the same typed [`FaultMismatch`] at
-    /// validate time — a sweep can never schedule a malicious batch.
-    /// (`flood-fast` is the one batch-capable plan that accepts
-    /// malicious faults, because the flood's silent-adversary
-    /// semantics coincide with omission for every fault kind.)
+    /// surface is exactly theirs: the adversary kernels cover
+    /// (limited-)malicious MP Simple, limited-malicious radio Simple,
+    /// every flood kind, and limited-malicious Decay. The two
+    /// remaining rejections — full-malicious radio for `simple-fast` /
+    /// `decay-fast` — surface the typed [`FaultMismatch`] at validate
+    /// time, and its message names the algorithms that *do* support
+    /// the requested kind.
     ///
     /// [`FaultMismatch`]: ScenarioError::FaultMismatch
     #[test]
     fn batch_capable_plans_reject_malicious_like_their_scalar_twins() {
-        for (algorithm, model, tolerates) in [
+        for (algorithm, model) in [
+            (Algorithm::SimpleFast { phase_len: None }, Model::Radio),
+            (Algorithm::DecayFast { epoch_factor: 1 }, Model::Radio),
+        ] {
+            let err = Scenario {
+                graph: GraphFamily::Path(4),
+                algorithm,
+                model,
+                fault: FaultConfig::malicious(0.1),
+                shards: ShardSpec::Auto,
+            }
+            .validate()
+            .expect_err("full-malicious radio needs a jamming adversary");
+            assert!(
+                matches!(err, ScenarioError::FaultMismatch { .. }),
+                "{err:?}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains("malicious faults are supported by: simple,"),
+                "hint must list supporting algorithms: {msg}"
+            );
+            assert!(msg.contains("expanded"), "{msg}");
+        }
+        // Everything else is batch-capable under its malicious kinds.
+        for (algorithm, model, fault) in [
             (
                 Algorithm::SimpleFast { phase_len: None },
                 Model::Mp,
-                "omission faults only (use simple for malicious)",
+                FaultConfig::malicious(0.2),
+            ),
+            (
+                Algorithm::SimpleFast { phase_len: None },
+                Model::Radio,
+                FaultConfig::limited_malicious(0.05),
+            ),
+            (
+                Algorithm::FloodFast { horizon_scale: 1 },
+                Model::Mp,
+                FaultConfig::malicious(0.1),
             ),
             (
                 Algorithm::DecayFast { epoch_factor: 1 },
                 Model::Radio,
-                "omission faults only (use expanded for malicious)",
+                FaultConfig::limited_malicious(0.1),
             ),
         ] {
-            for fault in [
-                FaultConfig::malicious(0.1),
-                FaultConfig::limited_malicious(0.1),
-            ] {
-                let err = Scenario {
-                    graph: GraphFamily::Path(4),
-                    algorithm,
-                    model,
-                    fault,
-                    shards: ShardSpec::Auto,
-                }
-                .validate()
-                .expect_err("batch-capable kernels model omission only");
-                assert_eq!(
-                    err,
-                    ScenarioError::FaultMismatch {
-                        algorithm: algorithm.name(),
-                        tolerates,
-                    }
-                );
+            let prep = Scenario {
+                graph: GraphFamily::Path(4),
+                algorithm,
+                model,
+                fault,
+                shards: ShardSpec::Auto,
             }
+            .prepare();
+            assert!(prep.supports_batch(), "{} {model}", algorithm.name());
         }
-        let flood_malicious = Scenario {
-            graph: GraphFamily::Path(4),
-            algorithm: Algorithm::FloodFast { horizon_scale: 1 },
-            model: Model::Mp,
-            fault: FaultConfig::malicious(0.1),
-            shards: ShardSpec::Auto,
-        }
-        .prepare();
-        assert!(flood_malicious.supports_batch());
     }
 
     /// `supports_batch` must track the fast path exactly: plain
@@ -1635,8 +1822,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "omission faults only")]
-    fn decay_rejects_malicious() {
+    #[should_panic(expected = "decay tolerates omission and limited-malicious")]
+    fn decay_rejects_full_malicious() {
         let _ = Scenario {
             graph: GraphFamily::Path(4),
             algorithm: Algorithm::Decay { epoch_factor: 1 },
@@ -1647,46 +1834,52 @@ mod tests {
         .prepare();
     }
 
-    /// The fast radio kernel only models omission: `decay-fast` (and
-    /// the auto-fast `decay` path, at every size) must reject
-    /// (limited-)malicious faults with the typed error, before any
-    /// graph is built.
+    /// Decay accepts limited-malicious (the flip rule) on both engines
+    /// but rejects full-malicious jamming at every size, with a typed
+    /// error whose message points at the supporting algorithms —
+    /// before any graph is built.
     #[test]
-    fn decay_fast_rejects_malicious_with_typed_error() {
+    fn decay_fast_rejects_full_malicious_with_typed_error() {
         for algorithm in [
             Algorithm::DecayFast { epoch_factor: 1 },
             Algorithm::Decay { epoch_factor: 1 },
         ] {
-            for fault in [
-                FaultConfig::malicious(0.1),
-                FaultConfig::limited_malicious(0.1),
+            // Both below and above the auto-fast threshold.
+            for graph in [
+                GraphFamily::Path(4),
+                GraphFamily::Gnp {
+                    n: RADIO_FAST_MIN_N,
+                    avg_deg: 6,
+                    seed: 2,
+                },
             ] {
-                // Both below and above the auto-fast threshold.
-                for graph in [
-                    GraphFamily::Path(4),
-                    GraphFamily::Gnp {
-                        n: RADIO_FAST_MIN_N,
-                        avg_deg: 6,
-                        seed: 2,
-                    },
-                ] {
-                    let err = Scenario {
-                        graph,
-                        algorithm,
-                        model: Model::Radio,
-                        fault,
-                        shards: ShardSpec::Auto,
-                    }
+                let scenario = Scenario {
+                    graph,
+                    algorithm,
+                    model: Model::Radio,
+                    fault: FaultConfig::malicious(0.1),
+                    shards: ShardSpec::Auto,
+                };
+                let err = scenario
                     .validate()
-                    .expect_err("fast kernel models omission only");
-                    assert_eq!(
-                        err,
-                        ScenarioError::FaultMismatch {
-                            algorithm: algorithm.name(),
-                            tolerates: "omission faults only (use expanded for malicious)",
-                        }
-                    );
+                    .expect_err("full-malicious radio needs a jamming adversary");
+                assert_eq!(
+                    err,
+                    ScenarioError::FaultMismatch {
+                        algorithm: algorithm.name(),
+                        tolerates: "omission and limited-malicious faults \
+                                    (use expanded for full-malicious radio)",
+                        requested: FaultKind::Malicious,
+                    }
+                );
+                assert!(err.to_string().contains("supported by:"), "{err}");
+                // …while limited-malicious is now valid.
+                assert!(Scenario {
+                    fault: FaultConfig::limited_malicious(0.1),
+                    ..scenario
                 }
+                .validate()
+                .is_ok());
             }
         }
     }
@@ -1764,7 +1957,7 @@ mod tests {
     }
 
     #[test]
-    fn simple_selects_fast_path_only_at_scale_and_only_for_omission() {
+    fn simple_selects_fast_path_at_scale_for_all_but_full_malicious_radio() {
         let small = Scenario {
             graph: GraphFamily::Grid(8, 8),
             algorithm: Algorithm::Simple,
@@ -1793,20 +1986,59 @@ mod tests {
             assert_eq!(large.phase_len(), Some(m));
             assert_eq!(large.rounds(), SIMPLE_FAST_MIN_N * m);
         }
-        // Malicious Simple stays on the general engines at every size.
-        let malicious = Scenario {
-            graph: GraphFamily::Gnp {
-                n: SIMPLE_FAST_MIN_N,
-                avg_deg: 6,
-                seed: 4,
-            },
+        // Malicious Simple crosses to the adversary kernels at scale
+        // too: the flip rule in MP (with the Theorem 2.2 phase
+        // length), the lie-or-jam speaker rule for limited-malicious
+        // radio. Only full-malicious radio stays general.
+        let large_gnp = GraphFamily::Gnp {
+            n: SIMPLE_FAST_MIN_N,
+            avg_deg: 6,
+            seed: 4,
+        };
+        let malicious_mp = Scenario {
+            graph: large_gnp,
             algorithm: Algorithm::Simple,
             model: Model::Mp,
             fault: FaultConfig::malicious(0.2),
             shards: ShardSpec::Auto,
         }
         .prepare();
-        assert!(!malicious.uses_fast_path());
+        assert!(malicious_mp.uses_fast_path());
+        assert_eq!(
+            malicious_mp.phase_len(),
+            Some(randcast_stats::chernoff::phase_len_malicious_mp(
+                SIMPLE_FAST_MIN_N,
+                0.2
+            ))
+        );
+        let limited_radio = Scenario {
+            graph: large_gnp,
+            algorithm: Algorithm::Simple,
+            model: Model::Radio,
+            fault: FaultConfig::limited_malicious(0.001),
+            shards: ShardSpec::Auto,
+        }
+        .prepare();
+        assert!(limited_radio.uses_fast_path());
+        let full_radio = Scenario {
+            graph: large_gnp,
+            algorithm: Algorithm::Simple,
+            model: Model::Radio,
+            fault: FaultConfig::malicious(0.001),
+            shards: ShardSpec::Auto,
+        }
+        .prepare();
+        assert!(!full_radio.uses_fast_path());
+        // Below the threshold malicious Simple stays general.
+        let small_malicious = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::Simple,
+            model: Model::Mp,
+            fault: FaultConfig::malicious(0.2),
+            shards: ShardSpec::Auto,
+        }
+        .prepare();
+        assert!(!small_malicious.uses_fast_path());
     }
 
     #[test]
@@ -1843,27 +2075,41 @@ mod tests {
     }
 
     #[test]
-    fn simple_fast_rejects_malicious_and_zero_phase_len() {
-        for fault in [
-            FaultConfig::malicious(0.1),
-            FaultConfig::limited_malicious(0.1),
+    fn simple_fast_rejects_full_malicious_radio_and_zero_phase_len() {
+        let err = Scenario {
+            graph: GraphFamily::Path(4),
+            algorithm: Algorithm::SimpleFast { phase_len: None },
+            model: Model::Radio,
+            fault: FaultConfig::malicious(0.1),
+            shards: ShardSpec::Auto,
+        }
+        .validate()
+        .expect_err("full-malicious radio needs the jamming adversary");
+        assert_eq!(
+            err,
+            ScenarioError::FaultMismatch {
+                algorithm: "simple-fast",
+                tolerates: "omission and limited-malicious faults in the radio \
+                            model (use simple for full-malicious radio)",
+                requested: FaultKind::Malicious,
+            }
+        );
+        assert!(err.to_string().contains("supported by:"), "{err}");
+        // MP malicious and radio limited-malicious are kernel-capable.
+        for (model, fault) in [
+            (Model::Mp, FaultConfig::malicious(0.1)),
+            (Model::Mp, FaultConfig::limited_malicious(0.1)),
+            (Model::Radio, FaultConfig::limited_malicious(0.05)),
         ] {
-            let err = Scenario {
+            assert!(Scenario {
                 graph: GraphFamily::Path(4),
                 algorithm: Algorithm::SimpleFast { phase_len: None },
-                model: Model::Radio,
+                model,
                 fault,
                 shards: ShardSpec::Auto,
             }
             .validate()
-            .expect_err("fast kernel models omission only");
-            assert_eq!(
-                err,
-                ScenarioError::FaultMismatch {
-                    algorithm: "simple-fast",
-                    tolerates: "omission faults only (use simple for malicious)",
-                }
-            );
+            .is_ok());
         }
         assert!(matches!(
             Scenario {
@@ -1910,6 +2156,89 @@ mod tests {
         let frac = out.informed_frac.expect("fast path reports fraction");
         assert!(frac > 0.0 && frac < 1.0, "this rgg is disconnected");
         assert!(!out.success);
+    }
+
+    /// The malicious fast plans keep the engines' lane-coupling and
+    /// shard-neutrality guarantees through the scenario layer: lane
+    /// `k` of a block equals the lane replay, the scalar trial is lane
+    /// 0 of block `seed`, and a fixed shard count changes nothing.
+    #[test]
+    fn malicious_fast_trials_couple_lanes_blocks_and_shards() {
+        for (algorithm, model, fault) in [
+            (
+                Algorithm::SimpleFast { phase_len: Some(5) },
+                Model::Mp,
+                FaultConfig::malicious(0.3),
+            ),
+            (
+                Algorithm::SimpleFast { phase_len: Some(5) },
+                Model::Radio,
+                FaultConfig::limited_malicious(0.05),
+            ),
+            (
+                Algorithm::FloodFast { horizon_scale: 1 },
+                Model::Mp,
+                FaultConfig::malicious(0.3),
+            ),
+            (
+                Algorithm::DecayFast { epoch_factor: 1 },
+                Model::Radio,
+                FaultConfig::limited_malicious(0.3),
+            ),
+        ] {
+            let base = Scenario {
+                graph: GraphFamily::Grid(6, 6),
+                algorithm,
+                model,
+                fault,
+                shards: ShardSpec::Auto,
+            };
+            let prep = base.prepare();
+            let block = prep.trial_block(9);
+            for lane in [0u32, 7, 63] {
+                assert_eq!(
+                    block[lane as usize],
+                    prep.trial_lane(9, lane),
+                    "{} {model} lane {lane}",
+                    algorithm.name()
+                );
+            }
+            assert_eq!(prep.trial(9), block[0], "{}", algorithm.name());
+            let sharded = Scenario {
+                shards: ShardSpec::Fixed(3),
+                ..base
+            }
+            .prepare();
+            assert_eq!(sharded.trial_block(9), block, "{}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn decay_selects_fast_path_for_limited_malicious_at_scale() {
+        let small = Scenario {
+            graph: GraphFamily::Grid(8, 8),
+            algorithm: Algorithm::Decay { epoch_factor: 2 },
+            model: Model::Radio,
+            fault: FaultConfig::limited_malicious(0.2),
+            shards: ShardSpec::Auto,
+        }
+        .prepare();
+        assert!(!small.uses_fast_path());
+        assert_eq!(small.trial(3), small.trial(3), "deterministic per seed");
+        let large = Scenario {
+            graph: GraphFamily::Gnp {
+                n: RADIO_FAST_MIN_N,
+                avg_deg: 6,
+                seed: 4,
+            },
+            algorithm: Algorithm::Decay { epoch_factor: 2 },
+            model: Model::Radio,
+            fault: FaultConfig::limited_malicious(0.2),
+            shards: ShardSpec::Auto,
+        }
+        .prepare();
+        assert!(large.uses_fast_path());
+        assert!(large.supports_batch());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::Rng;
 
 use randcast_graph::NodeId;
 
+use crate::kernel::ThrottleError;
 use crate::mp::{MpAdversary, MpRoundCtx, Outgoing};
 use crate::radio::{RadioAction, RadioAdversary, RadioRoundCtx};
 
@@ -245,20 +246,31 @@ pub struct Throttled<A> {
 impl<A> Throttled<A> {
     /// Wraps `inner`, throttling ambient rate `p` down to `p_target`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ThrottleError`] unless `0 < p_target ≤ p < 1` —
+    /// throttling only *removes* faults, so a target above the ambient
+    /// rate (or a degenerate zero/negative target) is unrealizable and
+    /// would silently yield a keep probability outside `(0, 1]`.
+    pub fn try_new(inner: A, p: f64, p_target: f64) -> Result<Self, ThrottleError> {
+        if !(0.0 < p_target && p_target <= p && p < 1.0) {
+            return Err(ThrottleError { p, p_target });
+        }
+        Ok(Throttled {
+            inner,
+            // Probability of *remaining* malicious given a fault.
+            keep_prob: p_target / p,
+        })
+    }
+
+    /// [`try_new`](Self::try_new), panicking on an infeasible target.
+    ///
     /// # Panics
     ///
     /// Panics unless `0 < p_target <= p < 1`.
     #[must_use]
     pub fn new(inner: A, p: f64, p_target: f64) -> Self {
-        assert!(
-            0.0 < p_target && p_target <= p && p < 1.0,
-            "need 0 < p_target <= p < 1"
-        );
-        Throttled {
-            inner,
-            // Probability of *remaining* malicious given a fault.
-            keep_prob: p_target / p,
-        }
+        Self::try_new(inner, p, p_target).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -391,6 +403,21 @@ mod tests {
     #[should_panic(expected = "p_target")]
     fn throttled_validates_targets() {
         let _ = Throttled::new(FlipMpAdversary, 0.3, 0.5);
+    }
+
+    #[test]
+    fn throttled_try_new_checks_every_boundary() {
+        // Feasible interior and the p_target == p boundary (keep = 1).
+        assert!(Throttled::try_new(FlipMpAdversary, 0.5, 0.2).is_ok());
+        assert!(Throttled::try_new(FlipMpAdversary, 0.5, 0.5).is_ok());
+        // Infeasible: target above ambient, zero/negative target,
+        // ambient at or above 1 — each yields the typed error carrying
+        // the rejected pair, not a degenerate adversary.
+        for (p, p_target) in [(0.3, 0.5), (0.5, 0.0), (0.5, -0.1), (1.0, 0.5)] {
+            let err = Throttled::try_new(FlipMpAdversary, p, p_target).unwrap_err();
+            assert_eq!((err.p, err.p_target), (p, p_target));
+            assert!(err.to_string().contains("p_target"), "{err}");
+        }
     }
 
     /// Radio: node `speaker` transmits `true` every round, rest listen.

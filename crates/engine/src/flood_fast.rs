@@ -32,6 +32,18 @@
 //! differs, so per-seed outcomes differ while every distribution
 //! matches — `crates/core/tests/flood_equivalence.rs` pins this.
 //!
+//! Every entry point also has a `*_model` sibling parametric in a
+//! [`FaultModel`](crate::kernel::FaultModel): `Silent` models (i.i.d.
+//! omission, throttled mixtures, worst-case placement) run the same
+//! frontier machinery with the model supplying the per-site corruption
+//! masks — the [`Omission`](crate::kernel::Omission) instance reads
+//! exactly the coin words the hard-wired path read, so the plain entry
+//! points stay byte-identical. Corrupted-*value* models (`Flip` /
+//! `Lie`, the paper's malicious transmitters) run a deterministic-
+//! timing value pass instead: every delivery succeeds, node `v` is
+//! informed at its BFS depth, and the outcome tracks which nodes end
+//! up *correctly* informed.
+//!
 //! Unlike the general engine, the fast path is **defined on graphs that
 //! are disconnected from the source**: it floods the source's component
 //! and reports the informed *fraction* and the time to reach an
@@ -47,8 +59,8 @@ use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
     lane_popcounts, planes_add_one_masked, planes_assign, planes_eq_mask, planes_gt_mask,
-    planes_le_mask, record_crossings, BatchBernoulli, BatchTape, BatchedInformedSet, FaultSampler,
-    InformedSet, LaneCounter, LaneMask, ShardFrontier, FAULT_STREAM, LANES,
+    planes_le_mask, record_crossings, BatchedInformedSet, CorruptionKind, FaultModel, FaultSampler,
+    FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, ShardFrontier, LANES,
 };
 
 /// The fault-coin site of `(node, index)`: the index (a 1-based round
@@ -228,8 +240,21 @@ impl FastFlood {
     pub fn run_lane(&self, p: f64, block_seed: u64, lane: u32) -> FastFloodOutcome {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert!((lane as usize) < LANES, "lane out of range");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        self.run_lane_silent(&Omission::new(p), &FaultTapes::new(block_seed), lane)
+    }
+
+    /// The frontier replay of [`run_lane`](Self::run_lane) generalized
+    /// over any `Silent` [`FaultModel`]: a corrupted transmission is
+    /// suppressed, everything else is the omission algorithm. The
+    /// [`Omission`] instance reads exactly the coin words the hard-wired
+    /// path read before the refactor, so the omission entry points stay
+    /// byte-identical.
+    fn run_lane_silent<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> FastFloodOutcome {
         let n = self.n;
         let mut informed = InformedSet::new(n);
         informed.insert(self.source);
@@ -258,7 +283,7 @@ impl FastFlood {
                         fault_site(round - 1 - informed_round[u as usize] as usize, u)
                     }
                 };
-                if faults.lane(&tape, site, lane) {
+                if model.corrupt_lane(tapes, site, u, lane) {
                     // Failed transmitter: stays in the frontier.
                     next_frontier.push(u);
                 } else {
@@ -340,11 +365,11 @@ impl FastFlood {
     #[must_use]
     pub fn run_batch(&self, p: f64, block_seed: u64) -> FastFloodBatch {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let model = Omission::new(p);
+        let tapes = FaultTapes::new(block_seed);
         match self.variant {
-            FastFloodVariant::Tree => self.run_batch_tree(&faults, &tape, self.bfs_order()),
-            FastFloodVariant::Graph => self.run_batch_graph(&faults, &tape),
+            FastFloodVariant::Tree => self.run_batch_tree(&model, &tapes, self.bfs_order()),
+            FastFloodVariant::Graph => self.run_batch_graph(&model, &tapes),
         }
     }
 
@@ -360,10 +385,10 @@ impl FastFlood {
     /// counts, max / second-max inform round, uninformed tally)
     /// collapses to one group-level update per *internal* node —
     /// leaves cost a plane copy and nothing else.
-    fn run_batch_tree(
+    fn run_batch_tree<M: FaultModel + ?Sized>(
         &self,
-        faults: &BatchBernoulli,
-        tape: &BatchTape,
+        model: &M,
+        tapes: &FaultTapes,
         order: &[u32],
     ) -> FastFloodBatch {
         let n = self.n;
@@ -460,7 +485,7 @@ impl FastFlood {
             let mut succeeded: LaneMask = 0;
             let mut a = 0u64;
             while surviving != 0 {
-                let fail = faults.mask(tape, fault_site(a as usize, u), surviving);
+                let fail = model.corrupt_mask(tapes, fault_site(a as usize, u), u, surviving);
                 let succ = surviving & !fail;
                 succeeded |= succ;
                 // Success sets are disjoint across attempts: OR the set
@@ -612,7 +637,11 @@ impl FastFlood {
     /// stale frontier entry (a lane whose targets were covered by
     /// someone else) only ever performs no-op transmissions before
     /// washing out.
-    fn run_batch_graph(&self, faults: &BatchBernoulli, tape: &BatchTape) -> FastFloodBatch {
+    fn run_batch_graph<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+    ) -> FastFloodBatch {
         let n = self.n;
         let reach = self.bfs_order().len();
         let mut informed = BatchedInformedSet::new(n);
@@ -677,7 +706,7 @@ impl FastFlood {
                     in_frontier[v as usize] = false;
                     continue;
                 }
-                let fail = faults.mask(tape, fault_site(round, v), fm);
+                let fail = model.corrupt_mask(tapes, fault_site(round, v), v, fm);
                 let succ = fm & !fail;
                 if succ != 0 {
                     for &t in self.targets_of(v as usize) {
@@ -771,9 +800,21 @@ impl FastFlood {
     ) -> FastFloodOutcome {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert!((lane as usize) < LANES, "lane out of range");
+        self.run_lane_sharded_silent(plan, &Omission::new(p), &FaultTapes::new(block_seed), lane)
+    }
+
+    /// [`run_lane_sharded`](Self::run_lane_sharded) generalized over
+    /// any `Silent` [`FaultModel`] (see
+    /// [`run_lane_silent`](Self::run_lane_silent) for the
+    /// byte-identity argument).
+    fn run_lane_sharded_silent<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> FastFloodOutcome {
         assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
         let n = self.n;
         let k = plan.shard_count();
         let mut informed = InformedSet::new(n);
@@ -806,7 +847,7 @@ impl FastFlood {
                             fault_site(round - 1 - informed_round[u as usize] as usize, u)
                         }
                     };
-                    if faults.lane(&tape, site, lane) {
+                    if model.corrupt_lane(tapes, site, u, lane) {
                         staged.push(s, u);
                     } else {
                         for &t in view.targets_of(u) {
@@ -863,13 +904,13 @@ impl FastFlood {
     pub fn run_batch_sharded(&self, plan: &ShardPlan, p: f64, block_seed: u64) -> FastFloodBatch {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let model = Omission::new(p);
+        let tapes = FaultTapes::new(block_seed);
         match self.variant {
             FastFloodVariant::Tree => {
-                self.run_batch_tree(&faults, &tape, &self.sharded_order(plan))
+                self.run_batch_tree(&model, &tapes, &self.sharded_order(plan))
             }
-            FastFloodVariant::Graph => self.run_batch_graph_sharded(plan, &faults, &tape),
+            FastFloodVariant::Graph => self.run_batch_graph_sharded(plan, &model, &tapes),
         }
     }
 
@@ -878,17 +919,27 @@ impl FastFlood {
     /// making each level's slice contiguous per shard — the
     /// shard-at-a-time iteration of the sharded tree batch.
     fn sharded_order(&self, plan: &ShardPlan) -> Vec<u32> {
-        let mut level = vec![0u32; self.n];
-        // BFS discovery order: a parent's level is assigned before its
-        // children are visited (tree edges have unique parents).
-        for &v in &self.order {
-            for &t in self.targets_of(v as usize) {
-                level[t as usize] = level[v as usize] + 1;
-            }
-        }
+        let level = self.bfs_levels();
         let mut order = self.order.clone();
         order.sort_by_key(|&v| (level[v as usize], plan.shard_of(v)));
         order
+    }
+
+    /// Per-node BFS depth along transmission targets (`u32::MAX` for
+    /// nodes unreachable from the source). First-write-wins over the
+    /// BFS order, so graph-variant cross edges cannot inflate a depth —
+    /// for trees this is simply the unique root distance.
+    fn bfs_levels(&self) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.n];
+        level[self.source as usize] = 0;
+        for &v in &self.order {
+            for &t in self.targets_of(v as usize) {
+                if level[t as usize] == u32::MAX {
+                    level[t as usize] = level[v as usize] + 1;
+                }
+            }
+        }
+        level
     }
 
     /// Graph-variant sharded batch backend: the
@@ -897,11 +948,11 @@ impl FastFlood {
     /// (`insert_masked`, pending unions, count planes) is value-based,
     /// so replaying a round's frontier shard-by-shard instead of in
     /// push order leaves every word identical.
-    fn run_batch_graph_sharded(
+    fn run_batch_graph_sharded<M: FaultModel + ?Sized>(
         &self,
         plan: &ShardPlan,
-        faults: &BatchBernoulli,
-        tape: &BatchTape,
+        model: &M,
+        tapes: &FaultTapes,
     ) -> FastFloodBatch {
         let n = self.n;
         let k = plan.shard_count();
@@ -965,7 +1016,7 @@ impl FastFlood {
                         in_frontier[v as usize] = false;
                         continue;
                     }
-                    let fail = faults.mask(tape, fault_site(round, v), fm);
+                    let fail = model.corrupt_mask(tapes, fault_site(round, v), v, fm);
                     let succ = fm & !fail;
                     if succ != 0 {
                         for &t in view.targets_of(v) {
@@ -1029,6 +1080,311 @@ impl FastFlood {
                 plane_width,
                 count_arena,
                 executed,
+            },
+        }
+    }
+
+    /// Runs the model's placement preprocessing against this plan's CSR
+    /// arrays — the BFS-tree child lists for the tree variant, the full
+    /// adjacency for the graph variant. Call once per plan before any
+    /// `*_model` run of a placement-based model.
+    pub fn preprocess<M: FaultModel + ?Sized>(&self, model: &mut M) {
+        match self.variant {
+            FastFloodVariant::Tree => {
+                model.preprocess_tree(&self.offsets, &self.targets, &self.order, self.source);
+            }
+            FastFloodVariant::Graph => {
+                model.preprocess_graph(&self.offsets, &self.targets, self.source);
+            }
+        }
+    }
+
+    /// [`run_lane`](Self::run_lane) under an arbitrary [`FaultModel`].
+    /// `Silent` models run the frontier replay (byte-identical to the
+    /// omission path for [`Omission`]); corrupted-value models
+    /// (`Flip` / `Lie`) run the deterministic-timing value pass — every
+    /// transmission delivers, so node `v` is informed exactly at its
+    /// BFS depth, and the adversary decides which lanes receive the
+    /// *correct* value. The outcome's informed set and growth curve
+    /// then track the **correctly informed** nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> FastFloodOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        match model.kind() {
+            CorruptionKind::Silent => self.run_lane_silent(model, tapes, lane),
+            _ => self.run_lane_values(model, tapes, lane),
+        }
+    }
+
+    /// [`run_batch`](Self::run_batch) under an arbitrary
+    /// [`FaultModel`]; lane `k` is byte-identical to
+    /// [`run_lane_model`](Self::run_lane_model)`(model, tapes, k)`.
+    /// See [`run_lane_model`](Self::run_lane_model) for the
+    /// corrupted-value semantics.
+    #[must_use]
+    pub fn run_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+    ) -> FastFloodBatch {
+        match model.kind() {
+            CorruptionKind::Silent => match self.variant {
+                FastFloodVariant::Tree => self.run_batch_tree(model, tapes, self.bfs_order()),
+                FastFloodVariant::Graph => self.run_batch_graph(model, tapes),
+            },
+            _ => self.run_batch_values(model, tapes, self.bfs_order()),
+        }
+    }
+
+    /// [`run_lane_sharded`](Self::run_lane_sharded) under an arbitrary
+    /// [`FaultModel`]; bit-identical to
+    /// [`run_lane_model`](Self::run_lane_model) for every plan. A
+    /// corrupted-value model has deterministic timing — the value pass
+    /// touches each CSR row once and its outputs are per-node values,
+    /// so there is nothing to shard and the plan only checks shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64` or the plan covers a different node count.
+    #[must_use]
+    pub fn run_lane_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> FastFloodOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        match model.kind() {
+            CorruptionKind::Silent => self.run_lane_sharded_silent(plan, model, tapes, lane),
+            _ => self.run_lane_values(model, tapes, lane),
+        }
+    }
+
+    /// [`run_batch_sharded`](Self::run_batch_sharded) under an
+    /// arbitrary [`FaultModel`]; bit-identical to
+    /// [`run_batch_model`](Self::run_batch_model) for every plan. The
+    /// corrupted-value pass replays over the (level, shard)-grouped
+    /// order: contributions compose by lane-mask AND and the counting
+    /// pass is per level, so the grouping cannot change any bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn run_batch_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+    ) -> FastFloodBatch {
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        match model.kind() {
+            CorruptionKind::Silent => match self.variant {
+                FastFloodVariant::Tree => {
+                    self.run_batch_tree(model, tapes, &self.sharded_order(plan))
+                }
+                FastFloodVariant::Graph => self.run_batch_graph_sharded(plan, model, tapes),
+            },
+            _ => self.run_batch_values(model, tapes, &self.sharded_order(plan)),
+        }
+    }
+
+    /// Corrupted-value scalar backend: deliveries always succeed, so
+    /// timing is the deterministic BFS schedule and only message
+    /// *values* are at stake. Node `t` at depth `d` hears all of its
+    /// depth-`d − 1` neighbors simultaneously at round `d` and ends up
+    /// correctly informed iff every one of them delivered the true
+    /// value — a `Flip` transmitter delivers its own value XOR the
+    /// corruption coin, a `Lie` transmitter delivers the true value
+    /// only when uncorrupted and holding it. The returned informed set
+    /// and growth curve track the correctly informed nodes (the
+    /// quantity the paper's malicious feasibility results are about).
+    fn run_lane_values<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> FastFloodOutcome {
+        let n = self.n;
+        let level = self.bfs_levels();
+        let order = self.bfs_order();
+        let max_depth = order
+            .iter()
+            .map(|&v| level[v as usize] as usize)
+            .max()
+            .unwrap_or(0);
+        let levels = max_depth.min(self.horizon);
+
+        // Every reachable node within the horizon is informed at its
+        // depth; values start true and parent contributions AND in.
+        let mut val = vec![false; n];
+        for &v in order {
+            if (level[v as usize] as usize) <= levels {
+                val[v as usize] = true;
+            }
+        }
+        for &u in order {
+            let du = level[u as usize] as usize;
+            if du >= levels {
+                break; // order is level-sorted: no transmitters left
+            }
+            let targets = self.targets_of(u as usize);
+            if targets.is_empty() {
+                continue;
+            }
+            let corrupt = model.corrupt_lane(tapes, fault_site(du + 1, u), u, lane);
+            let c = match model.kind() {
+                CorruptionKind::Flip => val[u as usize] ^ corrupt,
+                _ => val[u as usize] && !corrupt,
+            };
+            for &t in targets {
+                if level[t as usize] as usize == du + 1 {
+                    val[t as usize] &= c;
+                }
+            }
+        }
+
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(levels + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+        let mut count = 1usize;
+        let mut i = 1;
+        for l in 1..=levels {
+            while i < order.len() && level[order[i] as usize] as usize == l {
+                let v = order[i];
+                if val[v as usize] {
+                    informed.insert(v);
+                    count += 1;
+                }
+                i += 1;
+            }
+            informed_by_round.push(count);
+            if completion_round.is_none() && count == n {
+                completion_round = Some(l);
+            }
+        }
+
+        FastFloodOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        }
+    }
+
+    /// Corrupted-value batch backend: the 64-lane value pass of
+    /// [`run_lane_values`](Self::run_lane_values). Contributions are
+    /// lane masks composed by AND — commutative, so any level-sorted
+    /// `order` (the BFS order or its shard-grouped permutation)
+    /// produces bit-identical results. The per-level counting pass
+    /// snapshots the correct-count planes in the same arena layout as
+    /// the graph-variant silent backend, so
+    /// [`FastFloodBatch::lane_outcome`] reconstructs each lane's
+    /// correct-count curve unchanged.
+    fn run_batch_values<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        order: &[u32],
+    ) -> FastFloodBatch {
+        let n = self.n;
+        let level = self.bfs_levels();
+        let reach = order.len();
+        let max_depth = order
+            .iter()
+            .map(|&v| level[v as usize] as usize)
+            .max()
+            .unwrap_or(0);
+        let levels = max_depth.min(self.horizon);
+
+        let mut value_masks = vec![0u64; n];
+        for &v in order {
+            if (level[v as usize] as usize) <= levels {
+                value_masks[v as usize] = !0;
+            }
+        }
+        for &u in order {
+            let du = level[u as usize] as usize;
+            if du >= levels {
+                break;
+            }
+            let targets = self.targets_of(u as usize);
+            if targets.is_empty() {
+                continue;
+            }
+            let corrupt = model.corrupt_mask(tapes, fault_site(du + 1, u), u, !0);
+            let c = match model.kind() {
+                CorruptionKind::Flip => value_masks[u as usize] ^ corrupt,
+                _ => value_masks[u as usize] & !corrupt,
+            };
+            for &t in targets {
+                if level[t as usize] as usize == du + 1 {
+                    value_masks[t as usize] &= c;
+                }
+            }
+        }
+
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::with_capacity(levels * plane_width);
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1); // the source holds the true value everywhere
+        let mut i = 1;
+        for l in 1..=levels {
+            while i < order.len() && level[order[i] as usize] as usize == l {
+                counts.add_masked(value_masks[order[i] as usize], 1);
+                i += 1;
+            }
+            count_arena.extend_from_slice(counts.planes());
+            count_arena.resize(l * plane_width, 0);
+            let comp = counts.eq_mask(n as u64) & !completed;
+            record_crossings(comp, l, &mut completion_round);
+            completed |= comp;
+            if almost_done != !0 {
+                let almost = counts.ge_mask(almost_target) & !almost_done;
+                record_crossings(almost, l, &mut almost_round);
+                almost_done |= almost;
+            }
+        }
+
+        FastFloodBatch {
+            n,
+            horizon: self.horizon,
+            informed: BatchedInformedSet::from_parts(value_masks, counts),
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed: levels,
             },
         }
     }
@@ -1114,11 +1470,37 @@ impl ShardedFlood {
     ) -> Result<FastFloodOutcome, ShardError> {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert!((lane as usize) < LANES, "lane out of range");
+        self.run_lane_model(&Omission::new(p), &FaultTapes::new(block_seed), lane)
+    }
+
+    /// [`run_lane`](Self::run_lane) under an arbitrary `Silent`
+    /// [`FaultModel`]. Run [`FaultModel::preprocess_graph`] against the
+    /// in-core CSR before sharding if the model needs placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64` or the model is not `Silent` — a
+    /// corrupted-value flood has deterministic timing and needs no
+    /// out-of-core frontier at all (use
+    /// [`FastFlood::run_lane_model`]).
+    pub fn run_lane_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        lane: u32,
+    ) -> Result<FastFloodOutcome, ShardError> {
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert!(
+            model.kind() == CorruptionKind::Silent,
+            "out-of-core flooding supports silent fault models only"
+        );
         let plan = self.store.plan();
         let n = plan.node_count();
         let k = plan.shard_count();
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
         let mut scratch = ShardScratch::new();
         let mut informed = InformedSet::new(n);
         informed.insert(self.source);
@@ -1150,7 +1532,7 @@ impl ShardedFlood {
                 }
                 let view = self.store.view(s, &mut scratch)?;
                 for &u in frontier.shard(s) {
-                    if faults.lane(&tape, fault_site(round, u), lane) {
+                    if model.corrupt_lane(tapes, fault_site(round, u), u, lane) {
                         staged.push(s, u);
                     } else {
                         for &t in view.targets_of(u) {
@@ -1725,5 +2107,137 @@ mod tests {
                 assert_eq!(disk.run_lane(p, 77, lane).unwrap(), reference);
             }
         }
+    }
+
+    #[test]
+    fn silent_models_route_through_the_byte_identical_omission_machinery() {
+        let g = generators::gnp_connected(100, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(3));
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = plan(&g, 250, variant);
+            let model = Omission::new(0.4);
+            let tapes = FaultTapes::new(99);
+            assert_eq!(ff.run_batch_model(&model, &tapes), ff.run_batch(0.4, 99));
+            for lane in [0u32, 17, 63] {
+                assert_eq!(
+                    ff.run_lane_model(&model, &tapes, lane),
+                    ff.run_lane(0.4, 99, lane),
+                    "{variant:?} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_batch_lanes_match_model_lane_replays() {
+        use crate::kernel::{FlipFault, LieOrJamFault};
+        let g = generators::gnp_connected(90, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(12));
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = plan(&g, 200, variant);
+            for p in [0.0, 0.3, 0.76] {
+                let models: [&dyn FaultModel; 2] = [&FlipFault::new(p), &LieOrJamFault::new(p)];
+                for model in models {
+                    let tapes = FaultTapes::new(41);
+                    let batch = ff.run_batch_model(model, &tapes);
+                    for lane in [0u32, 5, 31, 63] {
+                        assert_eq!(
+                            batch.lane_outcome(lane),
+                            ff.run_lane_model(model, &tapes, lane),
+                            "{variant:?} {} p={p} lane={lane}",
+                            model.name()
+                        );
+                        assert_eq!(
+                            batch.completion_round(lane),
+                            batch.lane_outcome(lane).completion_round()
+                        );
+                        assert_eq!(
+                            batch.almost_complete_round(lane),
+                            batch.lane_outcome(lane).almost_complete_round(),
+                            "{variant:?} {} p={p} lane={lane}",
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_flood_at_p_zero_runs_on_the_exact_bfs_schedule() {
+        use crate::kernel::FlipFault;
+        let g = generators::grid(5, 7);
+        let d = traversal::radius_from(&g, g.node(0));
+        let ff = plan(&g, 100, FastFloodVariant::Graph);
+        let out = ff.run_lane_model(&FlipFault::new(0.0), &FaultTapes::new(1), 0);
+        assert_eq!(out.completion_round(), Some(d));
+        let layers = traversal::bfs_layers(&g, g.node(0));
+        let mut cumulative = 0;
+        for (r, layer) in layers.iter().enumerate() {
+            cumulative += layer.len();
+            assert_eq!(out.informed_by_round()[r], cumulative, "round {r}");
+        }
+    }
+
+    #[test]
+    fn sharded_model_runs_match_monolithic_exactly() {
+        use crate::kernel::{CorruptionKind, FlipFault, WorstCasePlacement};
+        let g = generators::gnp_connected(110, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(21));
+        let csr = CsrGraph::from(&g);
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = FastFlood::new(csr.clone(), g.node(0), 250, variant);
+            let mut placed = WorstCasePlacement::new(0.1, CorruptionKind::Silent);
+            ff.preprocess(&mut placed);
+            let flip = FlipFault::new(0.35);
+            let models: [&dyn FaultModel; 2] = [&placed, &flip];
+            let tapes = FaultTapes::new(7);
+            for model in models {
+                for shards in [1usize, 2, 3, 7] {
+                    let sp = ShardPlan::uniform(csr.node_count(), shards);
+                    assert_eq!(
+                        ff.run_batch_sharded_model(&sp, model, &tapes),
+                        ff.run_batch_model(model, &tapes),
+                        "{variant:?} {} shards={shards}",
+                        model.name()
+                    );
+                    for lane in [0u32, 9, 63] {
+                        assert_eq!(
+                            ff.run_lane_sharded_model(&sp, model, &tapes, lane),
+                            ff.run_lane_model(model, &tapes, lane),
+                            "{variant:?} {} shards={shards} lane={lane}",
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placed_faults_sever_or_poison_exactly_the_placed_subtrees() {
+        use crate::kernel::{CorruptionKind, WorstCasePlacement};
+        let g = generators::path(4);
+        let ff = plan(&g, 40, FastFloodVariant::Tree);
+        let tapes = FaultTapes::new(5);
+
+        // frac 0.25 of the 4 non-source nodes pins node 1, the root of
+        // the largest subtree on the path 0 → 1 → 2 → 3 → 4.
+        let mut silent = WorstCasePlacement::new(0.25, CorruptionKind::Silent);
+        ff.preprocess(&mut silent);
+        assert_eq!(silent.placed_count(), 1);
+        assert!(silent.is_placed(1));
+        let out = ff.run_lane_model(&silent, &tapes, 0);
+        // Node 1 hears the source, but its own transmissions all fail:
+        // everything behind it stays uninformed.
+        assert_eq!(out.informed_count(), 2);
+        assert!(!out.complete());
+
+        let mut flip = WorstCasePlacement::new(0.25, CorruptionKind::Flip);
+        ff.preprocess(&mut flip);
+        let out = ff.run_lane_model(&flip, &tapes, 0);
+        // Deliveries all land on the BFS schedule, but everything
+        // behind the flipping node hears the wrong value.
+        assert_eq!(out.informed_count(), 2);
+        assert!(!out.complete());
+        assert!(out.is_informed(g.node(1)));
+        assert!(!out.is_informed(g.node(2)));
     }
 }

@@ -599,6 +599,13 @@ impl LaneCounter {
         LaneCounter { planes }
     }
 
+    /// Resets every lane to zero, keeping the allocated planes — the
+    /// per-phase vote counters of the malicious kernels reuse one
+    /// counter across millions of phases.
+    pub fn clear(&mut self) {
+        self.planes.clear();
+    }
+
     /// Adds `amount` to every lane selected by `mask`.
     pub fn add_masked(&mut self, mask: LaneMask, amount: u64) {
         if mask == 0 || amount == 0 {
@@ -973,6 +980,482 @@ impl BatchedInformedSet {
             .iter()
             .filter(|&&m| m >> lane & 1 == 1)
             .count()
+    }
+}
+
+/// Seed-tree stream label for the per-(site) throttle (healing) coins
+/// of a batched block — the second coin of a [`ThrottledFault`], drawn
+/// from its own stream so it never collides with the fault coins at the
+/// same site.
+pub const THROTTLE_STREAM: u64 = 0x7407;
+
+/// What a corrupted transmission does to its payload, i.e. which
+/// adversary semantics a [`FaultModel`] instance realizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CorruptionKind {
+    /// The transmission is suppressed — the paper's omission faults
+    /// (§2.1). Received bits can always be trusted.
+    Silent,
+    /// The transmission is delivered with its bit inverted — the
+    /// opposite-behavior adversary of Theorem 2.3
+    /// (`FlipMpAdversary` on the trait engines).
+    Flip,
+    /// The transmission is delivered carrying the constant lie `¬truth`
+    /// — the lie half of the lie-or-jam radio adversary of Theorem 2.4
+    /// under the limited-malicious clamp (only *scheduled* speakers can
+    /// act, so the jam half is unreachable and lying is the binding
+    /// behavior).
+    Lie,
+}
+
+/// The coin tapes a [`FaultModel`] may read during a batched block:
+/// the fault coins (shared stream with the omission kernels, so the
+/// omission instance reads the very words the hard-wired kernels read)
+/// plus the throttle coins of [`ThrottledFault`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultTapes {
+    /// Per-(site) corruption coins ([`FAULT_STREAM`]).
+    pub fault: BatchTape,
+    /// Per-(site) keep/heal coins ([`THROTTLE_STREAM`]).
+    pub throttle: BatchTape,
+}
+
+impl FaultTapes {
+    /// Both tapes of one batched block.
+    #[must_use]
+    pub fn new(block_seed: u64) -> Self {
+        FaultTapes {
+            fault: BatchTape::new(block_seed, FAULT_STREAM),
+            throttle: BatchTape::new(block_seed, THROTTLE_STREAM),
+        }
+    }
+}
+
+/// Error returned when a throttling target is infeasible: throttling
+/// only *removes* corruption, so it needs `0 < p_target ≤ p < 1`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThrottleError {
+    /// The inner model's corruption probability.
+    pub p: f64,
+    /// The rejected target probability.
+    pub p_target: f64,
+}
+
+impl std::fmt::Display for ThrottleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "need 0 < p_target <= p < 1 (got p_target={}, p={})",
+            self.p_target, self.p
+        )
+    }
+}
+
+impl std::error::Error for ThrottleError {}
+
+/// A fault model the fast kernels are parametric over: *which* sites
+/// corrupt (a pure function of the site-addressed coin tapes plus any
+/// preprocessed placement) and *what* corruption does to the payload
+/// ([`CorruptionKind`]).
+///
+/// # The corruption-mask contract
+///
+/// `corrupt_mask(tapes, site, v, active)` returns the lanes of `active`
+/// in which node `v`'s transmission at `site` is corrupted. Like
+/// [`BatchBernoulli::mask`], restricting `active` never changes an
+/// included lane's bit, and `corrupt_lane` is bit `k` of the full mask
+/// exactly — the properties that make batched runs lane-exact with
+/// scalar replays and sharded walks outcome-neutral (the mask depends
+/// only on `(tapes, site, v)`, never on evaluation order).
+///
+/// # Placement preprocessing
+///
+/// Worst-case instances pin a node *set* instead of (or in addition to)
+/// flipping per-round coins. Engines hand the model their topology once
+/// per plan via [`preprocess_tree`](FaultModel::preprocess_tree) /
+/// [`preprocess_graph`](FaultModel::preprocess_graph) (default no-ops)
+/// before the first run; the placement then feeds `corrupt_mask`
+/// through the node argument `v`.
+pub trait FaultModel {
+    /// What corruption does to the payload.
+    fn kind(&self) -> CorruptionKind;
+
+    /// The marginal per-(node, round) corruption probability (for
+    /// display and feasibility prescriptions; placement instances
+    /// report their budget fraction).
+    fn rate(&self) -> f64;
+
+    /// `Some(p)` when corruption is i.i.d. Bernoulli(`p`) per site,
+    /// independent across sites — the license for [`Silent`]
+    /// (`CorruptionKind::Silent`) models to reuse the coupled
+    /// geometric/first-success omission kernels at the effective rate.
+    ///
+    /// [`Silent`]: CorruptionKind::Silent
+    fn iid_rate(&self) -> Option<f64>;
+
+    /// Stable display name (experiment tables, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Placement pass over a children-CSR broadcast tree (`order` is a
+    /// root-first BFS order of the tree's nodes). Default: no-op.
+    fn preprocess_tree(
+        &mut self,
+        child_offsets: &[u32],
+        children: &[u32],
+        order: &[u32],
+        source: u32,
+    ) {
+        let _ = (child_offsets, children, order, source);
+    }
+
+    /// Placement pass over a symmetric adjacency CSR. Default: no-op.
+    fn preprocess_graph(&mut self, offsets: &[u32], neighbors: &[u32], source: u32) {
+        let _ = (offsets, neighbors, source);
+    }
+
+    /// The lanes of `active` in which node `v`'s transmission at `site`
+    /// is corrupted.
+    fn corrupt_mask(&self, tapes: &FaultTapes, site: u64, v: u32, active: LaneMask) -> LaneMask;
+
+    /// Lane `k` of [`corrupt_mask`](Self::corrupt_mask), exactly.
+    fn corrupt_lane(&self, tapes: &FaultTapes, site: u64, v: u32, lane: u32) -> bool {
+        self.corrupt_mask(tapes, site, v, 1u64 << lane) >> lane & 1 == 1
+    }
+}
+
+/// The paper's omission faults (§2.1) as a [`FaultModel`]: i.i.d.
+/// Bernoulli(`p`) silent corruption, reading the [`FAULT_STREAM`] coins
+/// exactly as the hard-wired omission kernels do — the instance the
+/// byte-identity guarantee of the refactor is pinned against.
+#[derive(Clone, Copy, Debug)]
+pub struct Omission {
+    p: f64,
+    bern: BatchBernoulli,
+}
+
+impl Omission {
+    /// Omission faults at per-(node, round) probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        Omission {
+            p,
+            bern: BatchBernoulli::new(p),
+        }
+    }
+}
+
+impl FaultModel for Omission {
+    fn kind(&self) -> CorruptionKind {
+        CorruptionKind::Silent
+    }
+    fn rate(&self) -> f64 {
+        self.p
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        Some(self.p)
+    }
+    fn name(&self) -> &'static str {
+        "omission"
+    }
+    fn corrupt_mask(&self, tapes: &FaultTapes, site: u64, _v: u32, active: LaneMask) -> LaneMask {
+        self.bern.mask(&tapes.fault, site, active)
+    }
+    fn corrupt_lane(&self, tapes: &FaultTapes, site: u64, _v: u32, lane: u32) -> bool {
+        self.bern.lane(&tapes.fault, site, lane)
+    }
+}
+
+/// Theorem 2.3's opposite-behavior adversary as a [`FaultModel`]:
+/// i.i.d. Bernoulli(`p`) faults whose transmissions are delivered with
+/// the bit inverted (`FlipMpAdversary` semantics — identical under the
+/// full and limited malicious clamps, since flipping only alters
+/// *scheduled* transmissions).
+#[derive(Clone, Copy, Debug)]
+pub struct FlipFault {
+    p: f64,
+    bern: BatchBernoulli,
+}
+
+impl FlipFault {
+    /// Flip faults at per-(node, round) probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        FlipFault {
+            p,
+            bern: BatchBernoulli::new(p),
+        }
+    }
+}
+
+impl FaultModel for FlipFault {
+    fn kind(&self) -> CorruptionKind {
+        CorruptionKind::Flip
+    }
+    fn rate(&self) -> f64 {
+        self.p
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        Some(self.p)
+    }
+    fn name(&self) -> &'static str {
+        "flip"
+    }
+    fn corrupt_mask(&self, tapes: &FaultTapes, site: u64, _v: u32, active: LaneMask) -> LaneMask {
+        self.bern.mask(&tapes.fault, site, active)
+    }
+    fn corrupt_lane(&self, tapes: &FaultTapes, site: u64, _v: u32, lane: u32) -> bool {
+        self.bern.lane(&tapes.fault, site, lane)
+    }
+}
+
+/// The lie half of Theorem 2.4's lie-or-jam radio adversary under the
+/// limited-malicious clamp, as a [`FaultModel`]: i.i.d. Bernoulli(`p`)
+/// faults whose scheduled transmissions carry the constant lie
+/// `¬truth` (with the repo's `SOURCE_BIT = true` convention, a lie is
+/// `false` — a corrupted round contributes no vote for the truth).
+/// Out-of-turn jamming is clamped away, so lying is the adversary's
+/// only remaining move — see `LieOrJamAdversary` for the unclamped
+/// trait-engine original.
+#[derive(Clone, Copy, Debug)]
+pub struct LieOrJamFault {
+    p: f64,
+    bern: BatchBernoulli,
+}
+
+impl LieOrJamFault {
+    /// Lie faults at per-(node, round) probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        LieOrJamFault {
+            p,
+            bern: BatchBernoulli::new(p),
+        }
+    }
+}
+
+impl FaultModel for LieOrJamFault {
+    fn kind(&self) -> CorruptionKind {
+        CorruptionKind::Lie
+    }
+    fn rate(&self) -> f64 {
+        self.p
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        Some(self.p)
+    }
+    fn name(&self) -> &'static str {
+        "lie-or-jam"
+    }
+    fn corrupt_mask(&self, tapes: &FaultTapes, site: u64, _v: u32, active: LaneMask) -> LaneMask {
+        self.bern.mask(&tapes.fault, site, active)
+    }
+    fn corrupt_lane(&self, tapes: &FaultTapes, site: u64, _v: u32, lane: u32) -> bool {
+        self.bern.lane(&tapes.fault, site, lane)
+    }
+}
+
+/// `adversary::Throttled` ported onto the kernel interface: each
+/// corruption of the inner model independently *stays* with probability
+/// `p_target / p` (one keep coin from the [`THROTTLE_STREAM`] tape) and
+/// heals into a clean transmission otherwise, so the effective
+/// corruption rate is exactly `p_target` while the fault *sites* remain
+/// those of the inner model.
+#[derive(Clone, Copy, Debug)]
+pub struct ThrottledFault<M> {
+    inner: M,
+    keep: BatchBernoulli,
+    keep_prob: f64,
+}
+
+impl<M: FaultModel> ThrottledFault<M> {
+    /// Throttles `inner` down to effective rate `p_target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThrottleError`] unless `0 < p_target ≤ p < 1` where
+    /// `p = inner.rate()` — throttling can only remove corruption.
+    pub fn try_new(inner: M, p_target: f64) -> Result<Self, ThrottleError> {
+        let p = inner.rate();
+        if !(0.0 < p_target && p_target <= p && p < 1.0) {
+            return Err(ThrottleError { p, p_target });
+        }
+        let keep_prob = p_target / p;
+        Ok(ThrottledFault {
+            inner,
+            keep: BatchBernoulli::new(keep_prob),
+            keep_prob,
+        })
+    }
+}
+
+impl<M: FaultModel> FaultModel for ThrottledFault<M> {
+    fn kind(&self) -> CorruptionKind {
+        self.inner.kind()
+    }
+    fn rate(&self) -> f64 {
+        self.inner.rate() * self.keep_prob
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        // An i.i.d. inner coin AND an independent i.i.d. keep coin is
+        // itself i.i.d. at the product rate.
+        self.inner.iid_rate().map(|p| p * self.keep_prob)
+    }
+    fn name(&self) -> &'static str {
+        "throttled"
+    }
+    fn preprocess_tree(
+        &mut self,
+        child_offsets: &[u32],
+        children: &[u32],
+        order: &[u32],
+        source: u32,
+    ) {
+        self.inner
+            .preprocess_tree(child_offsets, children, order, source);
+    }
+    fn preprocess_graph(&mut self, offsets: &[u32], neighbors: &[u32], source: u32) {
+        self.inner.preprocess_graph(offsets, neighbors, source);
+    }
+    fn corrupt_mask(&self, tapes: &FaultTapes, site: u64, v: u32, active: LaneMask) -> LaneMask {
+        let hit = self.inner.corrupt_mask(tapes, site, v, active);
+        self.keep.mask(&tapes.throttle, site, hit)
+    }
+}
+
+/// Per-node subtree sizes of a children-CSR broadcast tree, computed by
+/// one reverse sweep over a root-first BFS `order` (children precede no
+/// ancestor in reverse order, so each node's size is final when read).
+/// Nodes outside `order` (unreachable) keep size 0.
+#[must_use]
+pub fn subtree_sizes(child_offsets: &[u32], children: &[u32], order: &[u32]) -> Vec<u64> {
+    let mut size = vec![0u64; child_offsets.len().saturating_sub(1)];
+    for &u in order.iter().rev() {
+        let ui = u as usize;
+        let mut s = 1u64;
+        for &c in &children[child_offsets[ui] as usize..child_offsets[ui + 1] as usize] {
+            s += size[c as usize];
+        }
+        size[ui] = s;
+    }
+    size
+}
+
+/// Godard–Peters-style adversarial fault *placement* as a
+/// [`FaultModel`]: the preprocessing pass pins the `⌈frac · (n − 1)⌉`
+/// non-source nodes with the heaviest cut weight — subtree size on a
+/// broadcast tree (corrupting `v` severs `v`'s whole subtree), degree
+/// on a radio adjacency — as *always* corrupt; everyone else is always
+/// clean. No per-round coins are read, so the placement composes with
+/// any site addressing. Deterministic: ties break toward the smaller
+/// node id.
+#[derive(Clone, Debug)]
+pub struct WorstCasePlacement {
+    frac: f64,
+    kind: CorruptionKind,
+    placed: Vec<u64>,
+    placed_count: usize,
+}
+
+impl WorstCasePlacement {
+    /// A placement adversary corrupting a `frac` fraction of the
+    /// non-source nodes with `kind` semantics. The placement itself is
+    /// empty until a `preprocess_*` pass runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(frac: f64, kind: CorruptionKind) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "placement fraction out of range"
+        );
+        WorstCasePlacement {
+            frac,
+            kind,
+            placed: Vec::new(),
+            placed_count: 0,
+        }
+    }
+
+    /// Whether node `v` is pinned corrupt.
+    #[must_use]
+    pub fn is_placed(&self, v: u32) -> bool {
+        self.placed
+            .get(v as usize / 64)
+            .is_some_and(|w| w >> (v % 64) & 1 == 1)
+    }
+
+    /// Number of pinned nodes (0 before preprocessing).
+    #[must_use]
+    pub fn placed_count(&self) -> usize {
+        self.placed_count
+    }
+
+    /// Pins the top-`⌈frac · (n − 1)⌉` non-source nodes by
+    /// `(weight desc, id asc)`.
+    fn place_by_weights(&mut self, weights: &[u64], source: u32) {
+        let n = weights.len();
+        self.placed = vec![0u64; n.div_ceil(64)];
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let budget = (self.frac * n.saturating_sub(1) as f64).ceil() as usize;
+        let mut ranked: Vec<u32> = (0..n as u32).filter(|&v| v != source).collect();
+        ranked.sort_unstable_by_key(|&v| (std::cmp::Reverse(weights[v as usize]), v));
+        self.placed_count = budget.min(ranked.len());
+        for &v in &ranked[..self.placed_count] {
+            self.placed[v as usize / 64] |= 1u64 << (v % 64);
+        }
+    }
+}
+
+impl FaultModel for WorstCasePlacement {
+    fn kind(&self) -> CorruptionKind {
+        self.kind
+    }
+    fn rate(&self) -> f64 {
+        self.frac
+    }
+    fn iid_rate(&self) -> Option<f64> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "worst-case-placement"
+    }
+    fn preprocess_tree(
+        &mut self,
+        child_offsets: &[u32],
+        children: &[u32],
+        order: &[u32],
+        source: u32,
+    ) {
+        let weights = subtree_sizes(child_offsets, children, order);
+        self.place_by_weights(&weights, source);
+    }
+    fn preprocess_graph(&mut self, offsets: &[u32], _neighbors: &[u32], source: u32) {
+        let weights: Vec<u64> = offsets.windows(2).map(|w| u64::from(w[1] - w[0])).collect();
+        self.place_by_weights(&weights, source);
+    }
+    fn corrupt_mask(&self, _tapes: &FaultTapes, _site: u64, v: u32, active: LaneMask) -> LaneMask {
+        if self.is_placed(v) {
+            active
+        } else {
+            0
+        }
     }
 }
 
@@ -1416,5 +1899,124 @@ mod tests {
             };
             assert_eq!(LaneCounter::get_in(&sum1, lane), expect, "lane={lane}");
         }
+    }
+
+    #[test]
+    fn omission_model_reads_the_omission_fault_words_exactly() {
+        // The byte-identity anchor: the omission instance's corruption
+        // coins are the very FAULT_STREAM coins the hard-wired kernels
+        // draw at the same sites.
+        let tapes = FaultTapes::new(77);
+        let reference_tape = BatchTape::new(77, FAULT_STREAM);
+        for p in [0.0, 0.3, 0.76] {
+            let model = Omission::new(p);
+            let bern = BatchBernoulli::new(p);
+            for site in 0..100u64 {
+                assert_eq!(
+                    model.corrupt_mask(&tapes, site, 9, !0),
+                    bern.mask(&reference_tape, site, !0),
+                    "p={p} site={site}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_models_are_lane_exact_and_active_restrictable() {
+        let tapes = FaultTapes::new(13);
+        let throttled = ThrottledFault::try_new(FlipFault::new(0.6), 0.2).unwrap();
+        let mut placed = WorstCasePlacement::new(0.5, CorruptionKind::Flip);
+        // Star around node 0: ranked by degree, nodes 1..=2 get pinned.
+        placed.preprocess_graph(&[0, 4, 5, 6, 7, 8], &[1, 2, 3, 4, 0, 0, 0, 0], 0);
+        let models: [&dyn FaultModel; 4] = [
+            &Omission::new(0.4),
+            &LieOrJamFault::new(0.3),
+            &throttled,
+            &placed,
+        ];
+        for model in models {
+            for site in 0..60u64 {
+                for v in [0u32, 1, 3] {
+                    let full = model.corrupt_mask(&tapes, site, v, !0);
+                    for lane in [0u32, 17, 63] {
+                        assert_eq!(
+                            full >> lane & 1 == 1,
+                            model.corrupt_lane(&tapes, site, v, lane),
+                            "{} site={site} v={v} lane={lane}",
+                            model.name()
+                        );
+                    }
+                    let half = model.corrupt_mask(&tapes, site, v, 0x5555_5555_5555_5555);
+                    assert_eq!(half, full & 0x5555_5555_5555_5555, "{}", model.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throttled_rate_hits_the_target() {
+        // p = 0.6 faults kept with probability 1/3 must corrupt at 0.2;
+        // 64 lanes x 4000 sites gives SE ~ 0.0008.
+        let tapes = FaultTapes::new(21);
+        let model = ThrottledFault::try_new(Omission::new(0.6), 0.2).unwrap();
+        assert!((model.rate() - 0.2).abs() < 1e-12);
+        assert_eq!(
+            model.iid_rate().map(|r| (r - 0.2).abs() < 1e-12),
+            Some(true)
+        );
+        let total: u32 = (0..4000u64)
+            .map(|site| model.corrupt_mask(&tapes, site, 5, !0).count_ones())
+            .sum();
+        let rate = f64::from(total) / (4000.0 * 64.0);
+        assert!((rate - 0.2).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn throttle_error_rejects_infeasible_targets() {
+        for (p, p_target) in [(0.3, 0.4), (0.3, 0.0), (0.3, -0.1)] {
+            let err = ThrottledFault::try_new(Omission::new(p), p_target).unwrap_err();
+            assert_eq!(err, ThrottleError { p, p_target });
+            assert!(err.to_string().contains("p_target"), "{err}");
+        }
+        // Boundary: p_target == p keeps every fault.
+        let same = ThrottledFault::try_new(Omission::new(0.3), 0.3).unwrap();
+        assert!((same.rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_sizes_match_a_hand_tree() {
+        // 0 -> {1, 2}, 1 -> {3, 4}, 4 -> {5}; node 6 unreachable.
+        let child_offsets = [0u32, 2, 4, 4, 4, 5, 5, 5];
+        let children = [1u32, 2, 3, 4, 5];
+        let order = [0u32, 1, 2, 3, 4, 5];
+        let sizes = subtree_sizes(&child_offsets, &children, &order);
+        assert_eq!(sizes, vec![6, 4, 1, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn placement_pins_cut_maximizing_nodes_deterministically() {
+        // Same tree: by subtree size the ranking (source excluded) is
+        // 1 (4), 4 (2), then the ties 2/3/5 (1 each) by id, then 6 (0).
+        let child_offsets = [0u32, 2, 4, 4, 4, 5, 5, 5];
+        let children = [1u32, 2, 3, 4, 5];
+        let order = [0u32, 1, 2, 3, 4, 5];
+        let mut m = WorstCasePlacement::new(0.5, CorruptionKind::Silent);
+        m.preprocess_tree(&child_offsets, &children, &order, 0);
+        // ceil(0.5 * 6) = 3 pinned: nodes 1, 4, 2.
+        assert_eq!(m.placed_count(), 3);
+        for v in [1u32, 4, 2] {
+            assert!(m.is_placed(v), "node {v}");
+        }
+        for v in [0u32, 3, 5, 6] {
+            assert!(!m.is_placed(v), "node {v}");
+        }
+        let tapes = FaultTapes::new(1);
+        assert_eq!(m.corrupt_mask(&tapes, 9, 1, !0), !0);
+        assert_eq!(m.corrupt_mask(&tapes, 9, 3, !0), 0);
+        // frac = 1 pins every non-source node that exists.
+        let mut all = WorstCasePlacement::new(1.0, CorruptionKind::Flip);
+        all.preprocess_tree(&child_offsets, &children, &order, 0);
+        assert_eq!(all.placed_count(), 6);
+        assert!(!all.is_placed(0), "source never pinned");
     }
 }

@@ -42,9 +42,22 @@
 //! Like [`flood_fast`](crate::flood_fast), the kernel is defined on
 //! graphs disconnected from the source: it broadcasts over the source's
 //! component and reports the informed *fraction* and the
-//! almost-complete (`1 − 1/n`) time. The kernel models **omission
-//! faults only** — malicious radio faults need the adversary hooks of
-//! the general engine (`Scenario::validate` enforces this).
+//! almost-complete (`1 − 1/n`) time.
+//!
+//! Every entry point has a `*_model` sibling parametric in a
+//! [`FaultModel`](crate::kernel::FaultModel). `Silent` models (i.i.d.
+//! omission, throttled mixtures, worst-case placement) run the same
+//! frontier machinery with the model supplying the per-site corruption
+//! masks — the [`Omission`](crate::kernel::Omission) instance reads
+//! exactly the coin words the hard-wired path read, so the plain entry
+//! points stay byte-identical. Corrupted-*value* models (`Flip` /
+//! `Lie`, the paper's limited-malicious transmitters) change what a
+//! fault does: a corrupted transmitter still transmits — it collides
+//! like any other — but the *message* it delivers is corrupted, a
+//! sole receiver adopts whatever its one audible neighbor sent, and
+//! wrong values propagate. The `*_model` outcome then tracks the
+//! **correctly informed** nodes. Full-malicious radio (lie *or jam*)
+//! still needs the adversary hooks of the general engine.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -54,8 +67,8 @@ use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
 use crate::kernel::{
-    record_crossings, BatchBernoulli, BatchTape, BatchedInformedSet, CollisionCounter,
-    FaultSampler, InformedSet, LaneCounter, LaneMask, DECAY_STREAM, FAULT_STREAM, LANES,
+    record_crossings, BatchTape, BatchedInformedSet, CollisionCounter, CorruptionKind, FaultModel,
+    FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, DECAY_STREAM, LANES,
 };
 
 /// The coin site of `(0-based round, node)`: both the fault coin and
@@ -292,9 +305,27 @@ impl FastRadio {
     pub fn run_lane(&self, p: f64, block_seed: u64, lane: u32) -> FastRadioOutcome {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert!((lane as usize) < LANES, "lane out of range");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
-        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        self.run_lane_silent(
+            &Omission::new(p),
+            &FaultTapes::new(block_seed),
+            &BatchTape::new(block_seed, DECAY_STREAM),
+            lane,
+        )
+    }
+
+    /// The frontier replay of [`run_lane`](Self::run_lane) generalized
+    /// over any `Silent` [`FaultModel`]: a corrupted transmission is
+    /// silenced, everything else is the omission algorithm. The
+    /// [`Omission`] instance reads exactly the coin words the
+    /// hard-wired path read before the refactor, so the omission entry
+    /// points stay byte-identical.
+    fn run_lane_silent<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+        lane: u32,
+    ) -> FastRadioOutcome {
         let n = self.n;
         let mut informed = InformedSet::new(n);
         informed.insert(self.source);
@@ -328,7 +359,7 @@ impl FastRadio {
 
             for &u in &active {
                 // The coin is an omission: `true` silences `u`.
-                if faults.lane(&tape, radio_site(r0, u), lane) {
+                if model.corrupt_lane(tapes, radio_site(r0, u), u, lane) {
                     continue;
                 }
                 for &v in self.neighbors_of(u as usize) {
@@ -383,9 +414,22 @@ impl FastRadio {
     #[must_use]
     pub fn run_batch(&self, p: f64, block_seed: u64) -> FastRadioBatch {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
-        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        self.run_batch_silent(
+            &Omission::new(p),
+            &FaultTapes::new(block_seed),
+            &BatchTape::new(block_seed, DECAY_STREAM),
+        )
+    }
+
+    /// [`run_batch`](Self::run_batch) generalized over any `Silent`
+    /// [`FaultModel`] (see [`run_lane_silent`](Self::run_lane_silent)
+    /// for the byte-identity argument).
+    fn run_batch_silent<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+    ) -> FastRadioBatch {
         let n = self.n;
         let mut informed = BatchedInformedSet::new(n);
         informed.insert_masked(self.source, !0);
@@ -506,7 +550,7 @@ impl FastRadio {
                 if useful == 0 {
                     continue;
                 }
-                let tx = useful & !faults.mask(&tape, radio_site(r0, v), useful);
+                let tx = useful & !model.corrupt_mask(tapes, radio_site(r0, v), v, useful);
                 if tx == 0 {
                     continue;
                 }
@@ -616,10 +660,28 @@ impl FastRadio {
     ) -> FastRadioOutcome {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
         assert!((lane as usize) < LANES, "lane out of range");
+        self.run_lane_sharded_silent(
+            plan,
+            &Omission::new(p),
+            &FaultTapes::new(block_seed),
+            &BatchTape::new(block_seed, DECAY_STREAM),
+            lane,
+        )
+    }
+
+    /// [`run_lane_sharded`](Self::run_lane_sharded) generalized over
+    /// any `Silent` [`FaultModel`] (see
+    /// [`run_lane_silent`](Self::run_lane_silent) for the
+    /// byte-identity argument).
+    fn run_lane_sharded_silent<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+        lane: u32,
+    ) -> FastRadioOutcome {
         assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
-        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
         let n = self.n;
         let k = plan.shard_count();
         let mut informed = InformedSet::new(n);
@@ -671,7 +733,7 @@ impl FastRadio {
                 let (start, end) = plan.range(s);
                 let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
                 for &u in act_list {
-                    if faults.lane(&tape, radio_site(r0, u), lane) {
+                    if model.corrupt_lane(tapes, radio_site(r0, u), u, lane) {
                         continue;
                     }
                     for &v in view.targets_of(u) {
@@ -726,10 +788,26 @@ impl FastRadio {
     #[must_use]
     pub fn run_batch_sharded(&self, plan: &ShardPlan, p: f64, block_seed: u64) -> FastRadioBatch {
         assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        self.run_batch_sharded_silent(
+            plan,
+            &Omission::new(p),
+            &FaultTapes::new(block_seed),
+            &BatchTape::new(block_seed, DECAY_STREAM),
+        )
+    }
+
+    /// [`run_batch_sharded`](Self::run_batch_sharded) generalized over
+    /// any `Silent` [`FaultModel`] (see
+    /// [`run_lane_silent`](Self::run_lane_silent) for the
+    /// byte-identity argument).
+    fn run_batch_sharded_silent<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+    ) -> FastRadioBatch {
         assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
-        let faults = BatchBernoulli::new(p);
-        let tape = BatchTape::new(block_seed, FAULT_STREAM);
-        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
         let n = self.n;
         let k = plan.shard_count();
         let mut informed = BatchedInformedSet::new(n);
@@ -844,7 +922,7 @@ impl FastRadio {
                     if useful == 0 {
                         continue;
                     }
-                    let tx = useful & !faults.mask(&tape, radio_site(r0, v), useful);
+                    let tx = useful & !model.corrupt_mask(tapes, radio_site(r0, v), v, useful);
                     if tx == 0 {
                         continue;
                     }
@@ -914,6 +992,490 @@ impl FastRadio {
             n,
             horizon: self.horizon,
             informed,
+            completion_round,
+            almost_round,
+            exhausted,
+            exhaust_end,
+            plane_width,
+            count_arena,
+            executed,
+        }
+    }
+
+    /// Runs the model's placement preprocessing against this plan's
+    /// CSR adjacency. Call once per plan before any `*_model` run of a
+    /// placement-based model.
+    pub fn preprocess<M: FaultModel + ?Sized>(&self, model: &mut M) {
+        model.preprocess_graph(&self.offsets, &self.neighbors, self.source);
+    }
+
+    /// [`run_lane`](Self::run_lane) under an arbitrary [`FaultModel`].
+    /// `Silent` models run the frontier replay (byte-identical to the
+    /// omission path for [`Omission`]); corrupted-value models
+    /// (`Flip` / `Lie`) run the value-tracking replay — a corrupted
+    /// transmitter still transmits and collides, but delivers a
+    /// corrupted message, and the outcome's informed set and growth
+    /// curve track the **correctly informed** nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastRadioOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        match model.kind() {
+            CorruptionKind::Silent => self.run_lane_silent(model, &tapes, &decay_tape, lane),
+            _ => self.run_lane_values_sharded(
+                &ShardPlan::uniform(self.n, 1),
+                model,
+                &tapes,
+                &decay_tape,
+                lane,
+            ),
+        }
+    }
+
+    /// [`run_batch`](Self::run_batch) under an arbitrary
+    /// [`FaultModel`]; lane `k` is byte-identical to
+    /// [`run_lane_model`](Self::run_lane_model)`(model, block_seed,
+    /// k)`. See [`run_lane_model`](Self::run_lane_model) for the
+    /// corrupted-value semantics.
+    #[must_use]
+    pub fn run_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+    ) -> FastRadioBatch {
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        match model.kind() {
+            CorruptionKind::Silent => self.run_batch_silent(model, &tapes, &decay_tape),
+            _ => self.run_batch_values_sharded(
+                &ShardPlan::uniform(self.n, 1),
+                model,
+                &tapes,
+                &decay_tape,
+            ),
+        }
+    }
+
+    /// [`run_lane_sharded`](Self::run_lane_sharded) under an arbitrary
+    /// [`FaultModel`]; bit-identical to
+    /// [`run_lane_model`](Self::run_lane_model) for every plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64` or the plan covers a different node count.
+    #[must_use]
+    pub fn run_lane_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastRadioOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        match model.kind() {
+            CorruptionKind::Silent => {
+                self.run_lane_sharded_silent(plan, model, &tapes, &decay_tape, lane)
+            }
+            _ => self.run_lane_values_sharded(plan, model, &tapes, &decay_tape, lane),
+        }
+    }
+
+    /// [`run_batch_sharded`](Self::run_batch_sharded) under an
+    /// arbitrary [`FaultModel`]; bit-identical to
+    /// [`run_batch_model`](Self::run_batch_model) for every plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn run_batch_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        block_seed: u64,
+    ) -> FastRadioBatch {
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        match model.kind() {
+            CorruptionKind::Silent => {
+                self.run_batch_sharded_silent(plan, model, &tapes, &decay_tape)
+            }
+            _ => self.run_batch_values_sharded(plan, model, &tapes, &decay_tape),
+        }
+    }
+
+    /// Corrupted-value scalar backend, executed shard-at-a-time (the
+    /// monolithic entry points pass a single-shard plan — same code,
+    /// same iteration order, bit-identical). Faults never silence:
+    /// every active node transmits, so the collision process is the
+    /// fault-free one and only message *values* are at stake. A sole
+    /// receiver adopts whatever its one audible neighbor sent — a
+    /// `Flip` transmitter sends its own value XOR the corruption coin,
+    /// a `Lie` transmitter sends the true value only when uncorrupted
+    /// and holding it — and retransmits that value in later epochs.
+    /// The returned informed set and growth curve track the correctly
+    /// informed nodes (the quantity the paper's malicious feasibility
+    /// results are about); participation and exhaustion bookkeeping
+    /// run on the heard set, exactly like the silent replay.
+    fn run_lane_values_sharded<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+        lane: u32,
+    ) -> FastRadioOutcome {
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut heard = InformedSet::new(n);
+        heard.insert(self.source);
+        let mut val = vec![false; n];
+        val[self.source as usize] = true;
+        let mut correct = InformedSet::new(n);
+        correct.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut participants: Vec<Vec<u32>> = vec![Vec::new(); k];
+        participants[plan.shard_of(self.source)].push(self.source);
+        let mut active: Vec<Vec<u32>> = vec![Vec::new(); k];
+        // Sole-receiver resolution carrying the first transmitter's
+        // value: `vonce[v]` is meaningful while `once[v]` is set.
+        let mut once = vec![false; n];
+        let mut twice = vec![false; n];
+        let mut vonce = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            if completion_round.is_some() {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any = false;
+                for (s, (parts, act_list)) in
+                    participants.iter_mut().zip(active.iter_mut()).enumerate()
+                {
+                    act_list.clear();
+                    if parts.is_empty() {
+                        continue;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                    parts.retain(|&u| view.targets_of(u).iter().any(|&t| !heard.contains(t)));
+                    act_list.extend_from_slice(parts);
+                    any |= !parts.is_empty();
+                }
+                if !any {
+                    break;
+                }
+            }
+
+            for (s, act_list) in active.iter().enumerate() {
+                if act_list.is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                for &u in act_list {
+                    let ui = u as usize;
+                    // Coins are site-addressed pure functions, so
+                    // skipping the draw for a transmission no listener
+                    // can use leaves every other read untouched.
+                    if !view.targets_of(u).iter().any(|&t| !heard.contains(t)) {
+                        continue;
+                    }
+                    let corrupt = model.corrupt_lane(tapes, radio_site(r0, u), u, lane);
+                    let txval = match model.kind() {
+                        CorruptionKind::Flip => val[ui] ^ corrupt,
+                        _ => val[ui] && !corrupt,
+                    };
+                    for &v in view.targets_of(u) {
+                        let vi = v as usize;
+                        if heard.contains(v) {
+                            continue;
+                        }
+                        if once[vi] {
+                            twice[vi] = true;
+                        } else {
+                            once[vi] = true;
+                            vonce[vi] = txval;
+                            touched.push(v);
+                        }
+                    }
+                }
+            }
+            for &v in &touched {
+                let vi = v as usize;
+                if !twice[vi] {
+                    heard.insert(v);
+                    participants[plan.shard_of(v)].push(v);
+                    val[vi] = vonce[vi];
+                    if val[vi] {
+                        correct.insert(v);
+                    }
+                }
+                once[vi] = false;
+                twice[vi] = false;
+            }
+            touched.clear();
+
+            informed_by_round.push(correct.count());
+            if correct.count() == n {
+                completion_round = Some(round);
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &mut active {
+                    list.retain(|&u| decay_tape.fair_lane(radio_site(r0, u), lane));
+                }
+            }
+        }
+
+        FastRadioOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed: correct,
+        }
+    }
+
+    /// Corrupted-value 64-lane batch backend, executed shard-at-a-time
+    /// (the monolithic entry points pass a single-shard plan). The
+    /// machinery of the silent batch with the fault application moved
+    /// from transmissions to values: `useful` lanes all transmit, the
+    /// `≥ 1` / `≥ 2` collision masks gain a first-transmitter value
+    /// mask, and a sole receiver adopts that value. Counts, crossings,
+    /// and the final informed set track the correctly informed nodes;
+    /// participation and exhaustion run on the heard set.
+    fn run_batch_values_sharded<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+    ) -> FastRadioBatch {
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut heard = BatchedInformedSet::new(n);
+        heard.insert_masked(self.source, !0);
+        let mut value_masks = vec![0u64; n];
+        value_masks[self.source as usize] = !0;
+        let mut correct_counts = LaneCounter::new();
+        correct_counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut exhausted: LaneMask = 0;
+        let mut exhaust_end = vec![0usize; LANES];
+
+        let mut plist: Vec<Vec<u32>> = vec![Vec::new(); k];
+        plist[plan.shard_of(self.source)].push(self.source);
+        let mut in_plist = vec![false; n];
+        in_plist[self.source as usize] = true;
+        let mut act: Vec<LaneMask> = vec![0; n];
+
+        let mut once: Vec<LaneMask> = vec![0; n];
+        let mut twice: Vec<LaneMask> = vec![0; n];
+        let mut vonce: Vec<LaneMask> = vec![0; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            let live = !(completed | exhausted);
+            if live == 0 {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any: LaneMask = 0;
+                for (s, list) in plist.iter_mut().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                    list.retain(|&v| {
+                        let vi = v as usize;
+                        let inf_v = heard.lanes(v);
+                        let mut un: LaneMask = 0;
+                        for &t in view.targets_of(v) {
+                            un |= !heard.lanes(t);
+                            if un & inf_v == inf_v {
+                                break;
+                            }
+                        }
+                        let m = inf_v & un;
+                        act[vi] = m;
+                        any |= m;
+                        if m == 0 {
+                            in_plist[vi] = false;
+                        }
+                        m != 0
+                    });
+                }
+                let newly_exhausted = live & !any;
+                if newly_exhausted != 0 {
+                    exhausted |= newly_exhausted;
+                    let mut bits = newly_exhausted;
+                    while bits != 0 {
+                        exhaust_end[bits.trailing_zeros() as usize] = executed;
+                        bits &= bits - 1;
+                    }
+                    if live & any == 0 {
+                        break;
+                    }
+                }
+            }
+            executed += 1;
+
+            for (s, list) in plist.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let (start, end) = plan.range(s);
+                let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                for &v in list {
+                    let a = act[v as usize];
+                    if a == 0 {
+                        continue;
+                    }
+                    let mut un_v: LaneMask = 0;
+                    for &t in view.targets_of(v) {
+                        un_v |= !heard.lanes(t);
+                        if un_v & a == a {
+                            break;
+                        }
+                    }
+                    let useful = a & un_v;
+                    if useful == 0 {
+                        continue;
+                    }
+                    // Every useful lane transmits; the coin corrupts
+                    // the delivered value instead of the delivery.
+                    let corrupt = model.corrupt_mask(tapes, radio_site(r0, v), v, useful);
+                    let txval = match model.kind() {
+                        CorruptionKind::Flip => (value_masks[v as usize] ^ corrupt) & useful,
+                        _ => value_masks[v as usize] & !corrupt & useful,
+                    };
+                    for &t in view.targets_of(v) {
+                        let ti = t as usize;
+                        let need = useful & !heard.lanes(t);
+                        if need == 0 {
+                            continue;
+                        }
+                        if once[ti] | twice[ti] == 0 {
+                            touched.push(t);
+                        }
+                        // Lanes where `v` is the first transmitter at
+                        // `t` record `v`'s value; a second transmitter
+                        // marks the collision and the value is moot.
+                        let first = need & !once[ti];
+                        vonce[ti] |= txval & first;
+                        twice[ti] |= once[ti] & need;
+                        once[ti] |= need;
+                    }
+                }
+            }
+
+            let mut changed = false;
+            for &t in &touched {
+                let ti = t as usize;
+                let hear = once[ti] & !twice[ti];
+                once[ti] = 0;
+                twice[ti] = 0;
+                let adopted = vonce[ti] & hear;
+                vonce[ti] = 0;
+                if hear == 0 {
+                    continue;
+                }
+                let newly = heard.insert_masked(t, hear);
+                if newly != 0 {
+                    changed = true;
+                    value_masks[ti] |= adopted & newly;
+                    correct_counts.add_masked(adopted & newly, 1);
+                    if !in_plist[ti] {
+                        in_plist[ti] = true;
+                        act[ti] = 0;
+                        plist[plan.shard_of(t)].push(t);
+                    }
+                }
+            }
+            touched.clear();
+
+            count_arena.extend_from_slice(correct_counts.planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = correct_counts.eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = correct_counts.ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &plist {
+                    for &v in list {
+                        let vi = v as usize;
+                        if act[vi] != 0 {
+                            act[vi] &= decay_tape.fair_mask(radio_site(r0, v));
+                        }
+                    }
+                }
+            }
+        }
+
+        FastRadioBatch {
+            n,
+            horizon: self.horizon,
+            informed: BatchedInformedSet::from_parts(value_masks, correct_counts),
             completion_round,
             almost_round,
             exhausted,
@@ -1432,5 +1994,134 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn silent_models_route_through_the_byte_identical_omission_machinery() {
+        let g = generators::grid(6, 6);
+        let fr = decay_plan(&g, 2000);
+        let model = Omission::new(0.4);
+        assert_eq!(fr.run_batch_model(&model, 77), fr.run_batch(0.4, 77));
+        for lane in [0u32, 17, 63] {
+            assert_eq!(
+                fr.run_lane_model(&model, 77, lane),
+                fr.run_lane(0.4, 77, lane),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_batch_lanes_match_model_lane_replays() {
+        use crate::kernel::{FlipFault, LieOrJamFault};
+        let graphs = [
+            generators::grid(5, 5),
+            generators::star(9),
+            generators::complete_bipartite(4, 5),
+        ];
+        for g in &graphs {
+            let epoch_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
+            let fr = plan(g, 700, FastRadioSchedule::Decay { epoch_len });
+            for p in [0.0, 0.3, 0.76] {
+                let models: [&dyn FaultModel; 2] = [&FlipFault::new(p), &LieOrJamFault::new(p)];
+                for model in models {
+                    let batch = fr.run_batch_model(model, 41);
+                    for lane in [0u32, 5, 31, 63] {
+                        assert_eq!(
+                            batch.lane_outcome(lane),
+                            fr.run_lane_model(model, 41, lane),
+                            "n={} {} p={p} lane={lane}",
+                            g.node_count(),
+                            model.name()
+                        );
+                        assert_eq!(
+                            batch.completion_round(lane),
+                            batch.lane_outcome(lane).completion_round()
+                        );
+                        assert_eq!(
+                            batch.almost_complete_round(lane),
+                            batch.lane_outcome(lane).almost_complete_round(),
+                            "n={} {} p={p} lane={lane}",
+                            g.node_count(),
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_at_p_zero_matches_the_fault_free_omission_run_exactly() {
+        use crate::kernel::FlipFault;
+        // With no corruption anywhere, "everyone transmits their (true)
+        // value" and "no transmission is ever silenced" are the same
+        // process, coin for coin: the decay tapes drive participation
+        // and the fault tape is never consulted.
+        let g = generators::grid(5, 5);
+        let fr = decay_plan(&g, 2000);
+        for lane in [0u32, 9, 63] {
+            assert_eq!(
+                fr.run_lane_model(&FlipFault::new(0.0), 13, lane),
+                fr.run_lane(0.0, 13, lane),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_model_runs_match_monolithic_exactly() {
+        use crate::kernel::{CorruptionKind, FlipFault, WorstCasePlacement};
+        let g = generators::gnp_connected(100, 0.05, &mut rand::rngs::SmallRng::seed_from_u64(23));
+        let csr = CsrGraph::from(&g);
+        let fr = FastRadio::new(
+            csr.clone(),
+            g.node(0),
+            600,
+            FastRadioSchedule::Decay { epoch_len: 8 },
+        );
+        let mut placed = WorstCasePlacement::new(0.1, CorruptionKind::Silent);
+        fr.preprocess(&mut placed);
+        let flip = FlipFault::new(0.3);
+        let models: [&dyn FaultModel; 2] = [&placed, &flip];
+        for model in models {
+            for shards in [1usize, 2, 3, 7] {
+                let sp = ShardPlan::uniform(csr.node_count(), shards);
+                assert_eq!(
+                    fr.run_batch_sharded_model(&sp, model, 7),
+                    fr.run_batch_model(model, 7),
+                    "{} shards={shards}",
+                    model.name()
+                );
+                for lane in [0u32, 9, 63] {
+                    assert_eq!(
+                        fr.run_lane_sharded_model(&sp, model, 7, lane),
+                        fr.run_lane_model(model, 7, lane),
+                        "{} shards={shards} lane={lane}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placed_flip_transmitter_poisons_its_listener() {
+        use crate::kernel::{CorruptionKind, WorstCasePlacement};
+        // Path 0-1-2: the placed flipping node 1 (the only non-source
+        // node of degree 2) delivers the wrong value to node 2, which
+        // is then heard-but-wrong: the correct count stays 2. (On a
+        // longer path two placed nodes in series would cancel — a flip
+        // of a flip restores the value.)
+        let g = generators::path(2);
+        let fr = decay_plan(&g, 2000);
+        let mut flip = WorstCasePlacement::new(0.5, CorruptionKind::Flip);
+        fr.preprocess(&mut flip);
+        assert!(flip.is_placed(1));
+        let out = fr.run_lane_model(&flip, 3, 0);
+        assert!(!out.complete());
+        assert_eq!(out.informed_count(), 2);
+        assert!(out.is_informed(g.node(1)));
+        assert!(!out.is_informed(g.node(2)));
     }
 }

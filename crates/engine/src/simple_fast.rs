@@ -35,6 +35,16 @@
 //! fixed seed **shrinks monotonically in `p`** — a coupling the
 //! property tests exploit.
 //!
+//! The `*_model` entry points generalize the same collapse to any
+//! [`FaultModel`]: a malicious parent still owns its phase exclusively,
+//! so the child-side majority vote over the `m` (possibly corrupted)
+//! transmissions resolves from one per-phase corruption count — the
+//! bit-sliced threshold counting runs Theorem 2.3's flip vote and
+//! Theorem 2.4's limited lie vote at the omission kernel's cost. The
+//! i.i.d. silent instance delegates to the hard-wired omission path
+//! (byte-identical outcomes); `crates/core/tests/malicious_equivalence.rs`
+//! pins the malicious instances against the trait engines.
+//!
 //! Like the other fast kernels, `FastSimple` is defined on graphs
 //! disconnected from the source: unreachable nodes simply never adopt,
 //! and the outcome reports the correct *fraction*. The schedule keeps
@@ -51,8 +61,8 @@ use randcast_graph::shard::{ShardPlan, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
-    BatchBernoulli, BatchTape, BatchedInformedSet, FaultSampler, InformedSet, LaneCounter,
-    LaneMask, FAULT_STREAM, LANES,
+    BatchBernoulli, BatchTape, BatchedInformedSet, CorruptionKind, FaultModel, FaultSampler,
+    FaultTapes, InformedSet, LaneCounter, LaneMask, FAULT_STREAM, LANES,
 };
 
 /// The first-success index of one lane's phase draw, shared by
@@ -74,6 +84,14 @@ fn phase_t(tape: &BatchTape, site: u64, lane: u32, ln_p: f64, m: usize) -> usize
     }
     let u = tape.uniform53(site, lane) as f64 / (1u64 << 53) as f64;
     (((1.0 - u).ln() / ln_p) as usize).min(m - 1)
+}
+
+/// Site key of transmission `t` of `v`'s phase on the malicious fault
+/// tapes. Unlike the omission collapse (one site per phase), the vote
+/// kernels draw one corruption coin per *round* of the phase; each node
+/// transmits during exactly one phase, so `(t, v)` never collides.
+fn vote_site(t: usize, v: u32) -> u64 {
+    (t as u64) << 32 | u64::from(v)
 }
 
 /// A compiled fast-path Simple plan: the BFS spanning structure of the
@@ -542,6 +560,474 @@ impl FastSimple {
             last_adoption,
         }
     }
+
+    /// Hands `model` the plan's broadcast-tree topology — call once
+    /// before the first `*_model` run so placement instances
+    /// ([`crate::kernel::WorstCasePlacement`]) can pin their node set;
+    /// a no-op for the coin-only instances.
+    pub fn preprocess<M: FaultModel + ?Sized>(&self, model: &mut M) {
+        model.preprocess_tree(
+            &self.child_offsets,
+            &self.children,
+            &self.order,
+            self.source,
+        );
+    }
+
+    /// Resolves one phase of parent `u` for all 64 lanes at once:
+    /// counts the corrupt transmissions of the phase into `k` (one
+    /// model coin per round, at site `(t << 32) | u`, shared by the
+    /// whole sibling set — the trait engines draw one fault coin per
+    /// transmitter per round) and applies the child-side rule of the
+    /// model's [`CorruptionKind`]. Returns the `(informed, correct)`
+    /// child masks given parent-informed lanes `act` and
+    /// parent-correct lanes `val`:
+    ///
+    /// * `Silent` — the child hears iff some transmission survives, and
+    ///   inherits the parent's value (omission semantics on arbitrary,
+    ///   e.g. placed, fault sites);
+    /// * `Flip` — all `m` bits arrive, `k` of them inverted; the
+    ///   majority vote keeps a true parent's value iff `k < m − ⌊m/2⌋`
+    ///   and fabricates truth from a false parent iff `k ≥ ⌊m/2⌋ + 1`
+    ///   (Theorem 2.3's opposite-behavior adversary);
+    /// * `Lie` — corrupt rounds deliver the constant lie `false`, so
+    ///   only a true parent with `k < m − ⌊m/2⌋` convinces the vote
+    ///   (Theorem 2.4's radio adversary under the limited clamp).
+    fn resolve_phase_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        k: &mut LaneCounter,
+        u: u32,
+        act: LaneMask,
+        val: LaneMask,
+    ) -> (LaneMask, LaneMask) {
+        let m = self.m;
+        k.clear();
+        for t in 0..m {
+            k.add_masked(model.corrupt_mask(tapes, vote_site(t, u), u, act), 1);
+        }
+        let hi = (m - m / 2) as u64;
+        match model.kind() {
+            CorruptionKind::Silent => {
+                let heard = act & !k.ge_mask(m as u64);
+                (heard, val & heard)
+            }
+            CorruptionKind::Flip => {
+                let lo = (m / 2 + 1) as u64;
+                (act, (val & !k.ge_mask(hi)) | (act & !val & k.ge_mask(lo)))
+            }
+            CorruptionKind::Lie => (act, val & !k.ge_mask(hi)),
+        }
+    }
+
+    /// The round at which the children of `order[phase]` settle in lane
+    /// `lane`: a majority vote needs the whole phase, while `Silent`
+    /// corruption adopts at the first clean transmission. The coins are
+    /// pure functions of (site, lane), so this lazy re-read is exact.
+    fn model_round<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        phase: usize,
+        lane: u32,
+    ) -> usize {
+        match model.kind() {
+            CorruptionKind::Silent => {
+                let u = self.order[phase];
+                let t = (0..self.m)
+                    .find(|&t| !model.corrupt_lane(tapes, vote_site(t, u), u, lane))
+                    .expect("an adopting phase has a clean transmission");
+                phase * self.m + t + 1
+            }
+            _ => (phase + 1) * self.m,
+        }
+    }
+
+    /// Scalar replay of lane `lane` of batched block `block_seed` under
+    /// an arbitrary [`FaultModel`] — see
+    /// [`resolve_phase_model`](Self::resolve_phase_model) for the vote
+    /// rules. I.i.d. `Silent` instances delegate to
+    /// [`run_lane`](Self::run_lane) and stay byte-identical with the
+    /// omission kernel.
+    ///
+    /// The outcome's `correct` set holds the nodes whose final value is
+    /// the source bit: under malicious corruption a node can be
+    /// informed yet *wrong*, and only correct nodes count toward
+    /// completion and the almost-complete crossing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`.
+    #[must_use]
+    pub fn run_lane_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastSimpleOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        if model.kind() == CorruptionKind::Silent {
+            if let Some(p) = model.iid_rate() {
+                return self.run_lane(p, block_seed, lane);
+            }
+        }
+        let tapes = FaultTapes::new(block_seed);
+        let bit: LaneMask = 1u64 << lane;
+        let mut k = LaneCounter::new();
+        let n = self.n;
+        let mut informed = InformedSet::new(n);
+        let mut correct = InformedSet::new(n);
+        informed.insert(self.source);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        for (phase, &u) in self.order.iter().enumerate() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() || !informed.contains(u) {
+                continue;
+            }
+            let val = if correct.contains(u) { bit } else { 0 };
+            let (inf_eff, val_eff) = self.resolve_phase_model(model, &tapes, &mut k, u, bit, val);
+            if inf_eff == 0 {
+                continue;
+            }
+            for &c in kids {
+                informed.insert(c);
+                if val_eff != 0 {
+                    correct.insert(c);
+                }
+            }
+            if val_eff != 0 {
+                let round = self.model_round(model, &tapes, phase, lane);
+                last_adoption = round;
+                if almost_round.is_none() && correct.count() >= almost_target {
+                    almost_round = Some(round);
+                }
+            }
+        }
+
+        FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        }
+    }
+
+    /// Runs all 64 trial lanes of block `block_seed` under an arbitrary
+    /// [`FaultModel`]: per phase, one bit-sliced corruption count over
+    /// the `m` transmission coins resolves every lane's majority vote
+    /// at once. Lane `k` of the result is byte-identical to
+    /// [`run_lane_model`](Self::run_lane_model)`(model, block_seed, k)`;
+    /// i.i.d. `Silent` instances delegate to
+    /// [`run_batch`](Self::run_batch).
+    #[must_use]
+    pub fn run_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+    ) -> FastSimpleBatch {
+        if model.kind() == CorruptionKind::Silent {
+            if let Some(p) = model.iid_rate() {
+                return self.run_batch(p, block_seed);
+            }
+        }
+        let tapes = FaultTapes::new(block_seed);
+        let n = self.n;
+        let mut informed_masks: Vec<LaneMask> = vec![0; n];
+        let mut value_masks: Vec<LaneMask> = vec![0; n];
+        informed_masks[self.source as usize] = !0;
+        value_masks[self.source as usize] = !0;
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut almost_done: LaneMask = 0;
+        let mut almost_phase = [0u32; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+        let mut k = LaneCounter::new();
+
+        for (phase, &u) in self.order.iter().enumerate() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            let act = informed_masks[u as usize];
+            if act == 0 {
+                continue;
+            }
+            let val = value_masks[u as usize];
+            let (inf_eff, val_eff) = self.resolve_phase_model(model, &tapes, &mut k, u, act, val);
+            if inf_eff == 0 {
+                continue;
+            }
+            for &c in kids {
+                informed_masks[c as usize] = inf_eff;
+                value_masks[c as usize] = val_eff;
+            }
+            counts.add_masked(val_eff, kids.len() as u64);
+            if almost_done != !0 {
+                let crossed = counts.ge_mask(almost_target) & !almost_done;
+                if crossed != 0 {
+                    let mut bits = crossed;
+                    while bits != 0 {
+                        almost_phase[bits.trailing_zeros() as usize] = phase as u32;
+                        bits &= bits - 1;
+                    }
+                    almost_done |= crossed;
+                }
+            }
+        }
+
+        self.finish_batch_model(
+            model,
+            &tapes,
+            value_masks,
+            counts,
+            almost_done,
+            &almost_phase,
+            almost_round,
+        )
+    }
+
+    /// Scalar model-lane replay executed shard-at-a-time — the same
+    /// maximal same-shard run walk as
+    /// [`run_lane_sharded`](Self::run_lane_sharded), and bit-identical
+    /// to [`run_lane_model`](Self::run_lane_model) for every plan (the
+    /// corruption coins key on the node's *global* phase position, so
+    /// the access path cannot move them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64` or the plan covers a different node count.
+    #[must_use]
+    pub fn run_lane_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        block_seed: u64,
+        lane: u32,
+    ) -> FastSimpleOutcome {
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        if model.kind() == CorruptionKind::Silent {
+            if let Some(p) = model.iid_rate() {
+                return self.run_lane_sharded(plan, p, block_seed, lane);
+            }
+        }
+        let tapes = FaultTapes::new(block_seed);
+        let bit: LaneMask = 1u64 << lane;
+        let mut k = LaneCounter::new();
+        let n = self.n;
+        let mut informed = InformedSet::new(n);
+        let mut correct = InformedSet::new(n);
+        informed.insert(self.source);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let (start, end) = plan.range(s);
+            let view = ShardView::over(&self.child_offsets, &self.children, start, end);
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if kids.is_empty() || !informed.contains(u) {
+                    phase += 1;
+                    continue;
+                }
+                let val = if correct.contains(u) { bit } else { 0 };
+                let (inf_eff, val_eff) =
+                    self.resolve_phase_model(model, &tapes, &mut k, u, bit, val);
+                if inf_eff != 0 {
+                    for &c in kids {
+                        informed.insert(c);
+                        if val_eff != 0 {
+                            correct.insert(c);
+                        }
+                    }
+                    if val_eff != 0 {
+                        let round = self.model_round(model, &tapes, phase, lane);
+                        last_adoption = round;
+                        if almost_round.is_none() && correct.count() >= almost_target {
+                            almost_round = Some(round);
+                        }
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        }
+    }
+
+    /// The 64-lane model batch with its forward pass executed
+    /// shard-at-a-time; bit-identical to
+    /// [`run_batch_model`](Self::run_batch_model) for every plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn run_batch_sharded_model<M: FaultModel + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        block_seed: u64,
+    ) -> FastSimpleBatch {
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        if model.kind() == CorruptionKind::Silent {
+            if let Some(p) = model.iid_rate() {
+                return self.run_batch_sharded(plan, p, block_seed);
+            }
+        }
+        let tapes = FaultTapes::new(block_seed);
+        let n = self.n;
+        let mut informed_masks: Vec<LaneMask> = vec![0; n];
+        let mut value_masks: Vec<LaneMask> = vec![0; n];
+        informed_masks[self.source as usize] = !0;
+        value_masks[self.source as usize] = !0;
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut almost_done: LaneMask = 0;
+        let mut almost_phase = [0u32; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+        let mut k = LaneCounter::new();
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let (start, end) = plan.range(s);
+            let view = ShardView::over(&self.child_offsets, &self.children, start, end);
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if kids.is_empty() {
+                    phase += 1;
+                    continue;
+                }
+                let act = informed_masks[u as usize];
+                if act == 0 {
+                    phase += 1;
+                    continue;
+                }
+                let val = value_masks[u as usize];
+                let (inf_eff, val_eff) =
+                    self.resolve_phase_model(model, &tapes, &mut k, u, act, val);
+                if inf_eff == 0 {
+                    phase += 1;
+                    continue;
+                }
+                for &c in kids {
+                    informed_masks[c as usize] = inf_eff;
+                    value_masks[c as usize] = val_eff;
+                }
+                counts.add_masked(val_eff, kids.len() as u64);
+                if almost_done != !0 {
+                    let crossed = counts.ge_mask(almost_target) & !almost_done;
+                    if crossed != 0 {
+                        let mut bits = crossed;
+                        while bits != 0 {
+                            almost_phase[bits.trailing_zeros() as usize] = phase as u32;
+                            bits &= bits - 1;
+                        }
+                        almost_done |= crossed;
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        self.finish_batch_model(
+            model,
+            &tapes,
+            value_masks,
+            counts,
+            almost_done,
+            &almost_phase,
+            almost_round,
+        )
+    }
+
+    /// Shared tail of the model batches: the backward last-correct-
+    /// adoption scan over the value masks plus the lazy per-lane round
+    /// resolution (both read only per-node values already in memory, so
+    /// they stay monolithic even for the sharded forward pass).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        value_masks: Vec<LaneMask>,
+        counts: LaneCounter,
+        almost_done: LaneMask,
+        almost_phase: &[u32; LANES],
+        mut almost_round: Vec<Option<usize>>,
+    ) -> FastSimpleBatch {
+        let mut last_phase = [0u32; LANES];
+        let mut adopted: LaneMask = 0;
+        for (phase, &u) in self.order.iter().enumerate().rev() {
+            let kids = self.children_of(u as usize);
+            if kids.is_empty() {
+                continue;
+            }
+            let hit = value_masks[kids[0] as usize] & !adopted;
+            if hit != 0 {
+                let mut bits = hit;
+                while bits != 0 {
+                    last_phase[bits.trailing_zeros() as usize] = phase as u32;
+                    bits &= bits - 1;
+                }
+                adopted |= hit;
+                if adopted == !0 {
+                    break;
+                }
+            }
+        }
+
+        let mut last_adoption = vec![0usize; LANES];
+        for lane in 0..LANES as u32 {
+            let li = lane as usize;
+            if adopted >> lane & 1 == 1 {
+                last_adoption[li] = self.model_round(model, tapes, last_phase[li] as usize, lane);
+            }
+            if almost_done >> lane & 1 == 1 && almost_round[li].is_none() {
+                almost_round[li] =
+                    Some(self.model_round(model, tapes, almost_phase[li] as usize, lane));
+            }
+        }
+
+        FastSimpleBatch {
+            n: self.n,
+            m: self.m,
+            correct: BatchedInformedSet::from_parts(value_masks, counts),
+            almost_round,
+            last_adoption,
+        }
+    }
 }
 
 /// Outcome of one batched 64-lane Simple block; per-lane views are
@@ -983,6 +1469,163 @@ mod tests {
                             "lane diverged: m={m} shards={shards} p={p} lane={lane}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    use crate::kernel::{
+        CorruptionKind, FlipFault, LieOrJamFault, Omission, ThrottledFault, WorstCasePlacement,
+    };
+
+    #[test]
+    fn model_batch_lanes_reproduce_model_lane_replays() {
+        let graphs = [
+            generators::grid(5, 5),
+            generators::star(9),
+            generators::path(11),
+            generators::balanced_tree(3, 3),
+        ];
+        for g in &graphs {
+            for m in [1usize, 3, 4] {
+                let fs = plan(g, m);
+                for p in [0.0, 0.3, 0.76] {
+                    let flip = FlipFault::new(p);
+                    let lie = LieOrJamFault::new(p);
+                    let models: [&dyn FaultModel; 2] = [&flip, &lie];
+                    for model in models {
+                        let seed = 3000 + (p * 100.0) as u64 + m as u64;
+                        let batch = fs.run_batch_model(model, seed);
+                        for lane in [0u32, 1, 17, 40, 63] {
+                            let scalar = fs.run_lane_model(model, seed, lane);
+                            assert_eq!(
+                                batch.lane_outcome(lane),
+                                scalar,
+                                "{} n={} m={m} p={p} lane={lane}",
+                                model.name(),
+                                g.node_count()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_iid_models_delegate_byte_identically_to_the_omission_kernel() {
+        let g = generators::grid(6, 6);
+        let fs = plan(&g, 3);
+        let om = Omission::new(0.6);
+        let throttled = ThrottledFault::try_new(Omission::new(0.9), 0.6).expect("feasible");
+        let eff = throttled.iid_rate().expect("iid inner stays iid");
+        assert!((eff - 0.6).abs() < 1e-12, "effective rate {eff}");
+        for seed in 0..2 {
+            assert_eq!(
+                fs.run_batch_model(&throttled, seed),
+                fs.run_batch(eff, seed)
+            );
+        }
+        for seed in 0..4 {
+            assert_eq!(fs.run_batch_model(&om, seed), fs.run_batch(0.6, seed));
+            for lane in [0u32, 33] {
+                assert_eq!(
+                    fs.run_lane_model(&om, seed, lane),
+                    fs.run_lane(0.6, seed, lane)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flip_vote_is_exact_and_end_of_phase_at_p_zero() {
+        let g = generators::grid(4, 5);
+        let fs = plan(&g, 3);
+        let out = fs.run_lane_model(&FlipFault::new(0.0), 7, 5);
+        assert!(out.complete());
+        // Majority votes settle at the end of the parent's phase.
+        assert_eq!(out.last_adoption_round() % 3, 0);
+    }
+
+    #[test]
+    fn throttled_flip_matches_unthrottled_at_full_rate() {
+        // keep_prob = 1: every keep coin keeps, so the corrupt sites are
+        // exactly the inner model's and outcomes match lane for lane.
+        let g = generators::balanced_tree(2, 4);
+        let fs = plan(&g, 3);
+        let inner = FlipFault::new(0.4);
+        let throttled = ThrottledFault::try_new(inner, 0.4).expect("feasible");
+        for seed in 0..4 {
+            assert_eq!(
+                fs.run_batch_model(&inner, seed),
+                fs.run_batch_model(&throttled, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn placed_silent_faults_sever_exactly_the_placed_subtrees() {
+        // Path 0-1-2-3-4 from 0: node 1 has the heaviest subtree, so a
+        // 0.25 budget pins it; its transmissions all die and nodes 2..4
+        // never hear anything, while node 1 itself still adopts.
+        let g = generators::path(4);
+        let fs = plan(&g, 3);
+        let mut model = WorstCasePlacement::new(0.25, CorruptionKind::Silent);
+        fs.preprocess(&mut model);
+        assert_eq!(model.placed_count(), 1);
+        assert!(model.is_placed(1));
+        for seed in 0..3 {
+            let out = fs.run_lane_model(&model, seed, 0);
+            assert_eq!(out.correct_count(), 2);
+            assert!(out.is_correct(g.node(1)));
+            assert!(!out.is_correct(g.node(2)));
+            // Clean parents adopt at the first round of the phase.
+            assert_eq!(out.last_adoption_round() % 3, 1);
+            let batch = fs.run_batch_model(&model, seed);
+            assert_eq!(batch.lane_outcome(17), fs.run_lane_model(&model, seed, 17));
+        }
+    }
+
+    #[test]
+    fn placed_flip_faults_poison_exactly_the_placed_subtrees() {
+        // Same placement under Flip: node 1 adopts correctly but its
+        // all-flipped phase hands nodes 2..4 the inverted bit — they
+        // end informed yet wrong.
+        let g = generators::path(4);
+        let fs = plan(&g, 3);
+        let mut model = WorstCasePlacement::new(0.25, CorruptionKind::Flip);
+        fs.preprocess(&mut model);
+        let out = fs.run_lane_model(&model, 0, 0);
+        assert_eq!(out.correct_count(), 2);
+        assert!(out.is_correct(g.node(1)));
+        assert!(!out.is_correct(g.node(4)));
+    }
+
+    #[test]
+    fn sharded_model_runs_match_monolithic_exactly() {
+        let g = generators::gnp_connected(150, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(13));
+        let csr = CsrGraph::from(&g);
+        let fs = FastSimple::new(&csr, g.node(0), 3);
+        let flip = FlipFault::new(0.4);
+        let lie = LieOrJamFault::new(0.2);
+        let models: [&dyn FaultModel; 2] = [&flip, &lie];
+        for shards in [1usize, 2, 3, 7] {
+            let plan = ShardPlan::uniform(csr.node_count(), shards);
+            for model in models {
+                let seed = 17 + shards as u64;
+                assert_eq!(
+                    fs.run_batch_sharded_model(&plan, model, seed),
+                    fs.run_batch_model(model, seed),
+                    "batch diverged: {} shards={shards}",
+                    model.name()
+                );
+                for lane in [0u32, 19, 63] {
+                    assert_eq!(
+                        fs.run_lane_sharded_model(&plan, model, seed, lane),
+                        fs.run_lane_model(model, seed, lane),
+                        "lane diverged: {} shards={shards} lane={lane}",
+                        model.name()
+                    );
                 }
             }
         }
