@@ -12,32 +12,48 @@
 //!    is outcome-neutral, so the JSON is byte-identical either way
 //!    (CI's shards-1-vs-4 determinism gate diffs exactly this
 //!    report).
-//! 2. **Out-of-core trial** (printed): one flood trial whose
-//!    adjacency *never resides in RAM* — `gnp_edges` streams the edge
-//!    run into a [`SpillSink`], `finalize` counting-sorts it into
-//!    per-shard CSR segment files, and [`ShardedFlood`] replays the
-//!    trial loading one segment at a time. At full scale this is the
-//!    `n = 10⁸` (mean degree 8, ~4·10⁸ half-edges ≈ 12.8 GB of
-//!    segments) trial of the scale table in `README.md`; `--quick`
-//!    shrinks it to `n = 2·10⁵` so CI still exercises the spill →
-//!    finalize → stream path end to end.
+//! 2. **Out-of-core trials** (printed + JSON rows): one trial per
+//!    kernel — flood, radio under the classical Decay schedule, and
+//!    Simple over a sharded BFS tree — against a *single* shared
+//!    adjacency store, handed from kernel to kernel without a rebuild.
+//!    With `--store disk` (the default) the adjacency *never resides
+//!    in RAM*: `gnp_edges` streams the edge run into a [`SpillSink`],
+//!    `finalize` counting-sorts it into per-shard CSR segment files,
+//!    and the kernels replay trials loading one segment at a time.
+//!    `--store ram` splits the same edge stream in memory
+//!    ([`ShardStore::Ram`]) — the in-core control arm of CI's
+//!    Ram-vs-Disk determinism gate, which diffs the normalized JSON of
+//!    both runs byte-for-byte. At full scale this is the `n = 10⁸`
+//!    (mean degree 8, ~4·10⁸ half-edges ≈ 13 GB of segments) block of
+//!    the scale table in `README.md`; `--quick` shrinks it to
+//!    `n = 2·10⁵` so CI still walks the spill → finalize → stream →
+//!    BFS-tree path end to end.
 //!
 //! Peak RSS is reported from `VmHWM` (Linux; `-` elsewhere), which
 //! captures the worst moment of the whole process — for part 2 that
 //! is the widest counting-sort bucket plus the resident bitsets, NOT
 //! the full adjacency, which is the point of the exercise.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use randcast_bench::{banner, cli, fmt_gib, peak_rss_bytes, write_json};
+use randcast_bench::{banner, cli, fmt_gib, peak_rss_bytes, write_json, Cli, StoreKind};
+use randcast_core::decay::DecayConfig;
 use randcast_core::scenario::{Algorithm, GraphFamily, Model, Scenario, ShardSpec};
-use randcast_core::sweep::CellResult;
+use randcast_core::sweep::{CellKind, CellResult, TrialOutcome};
 use randcast_engine::fault::FaultConfig;
 use randcast_engine::flood_fast::ShardedFlood;
+use randcast_engine::radio_fast::{FastRadioSchedule, ShardedRadio};
+use randcast_engine::simple_fast::ShardedSimple;
 use randcast_graph::generators::gnp_edges;
-use randcast_graph::shard::{default_scratch_dir, ShardPlan, ShardStore, SpillSink};
+use randcast_graph::shard::{
+    default_scratch_dir, EdgeSink, ShardError, ShardPlan, ShardStore, ShardedBfsTree, ShardedCsr,
+    SpillSink,
+};
+use randcast_graph::CsrGraph;
+use randcast_stats::chernoff::phase_len_omission;
+use randcast_stats::estimate::SuccessEstimate;
 use randcast_stats::quantile::QuantileSummary;
 use randcast_stats::table::{fmt_f2, Table};
 
@@ -50,7 +66,7 @@ fn main() {
     banner(
         "SCALE-XL (sharded + out-of-core)",
         "Shard-at-a-time frontier passes at n = 10^6..10^7 through the sweep driver,\n\
-         plus one out-of-core flood trial at n = 10^8 whose CSR streams from disk.",
+         plus out-of-core flood/radio/Simple trials at n = 10^8 whose CSR streams from disk.",
     );
     let quick = cli.scale > 1;
 
@@ -112,7 +128,7 @@ fn main() {
         }
     }
     let sweep_start = Instant::now();
-    let result = sweep.run();
+    let mut result = sweep.run();
     let sweep_wall = sweep_start.elapsed();
 
     println!("{}", xl_table(&specs, &result.cells).render());
@@ -122,90 +138,269 @@ fn main() {
         fmt_gib(peak_rss_bytes()),
     );
     println!();
-    write_json(&cli, &result);
 
-    // Part 2: the out-of-core trial. Skipped only if disk spill is
-    // impossible; --quick shrinks it rather than skipping so CI walks
-    // the spill -> finalize -> stream path every run.
-    let n: usize = if quick { 200_000 } else { 100_000_000 };
-    out_of_core_flood(&cli, n, quick);
+    // Part 2: the out-of-core trials. --quick shrinks them rather than
+    // skipping, so CI walks the spill -> finalize -> stream -> BFS-tree
+    // path every run; --sweep-only skips them outright (CI's speedup
+    // probe times part 1 at full scale without paying for 10^8). The
+    // synthetic per-trial rows land in the same JSON report as part 1
+    // (before write_json), so the Ram-vs-Disk and shards determinism
+    // gates cover the out-of-core path end to end.
+    if !cli.sweep_only {
+        let n: usize = if quick { 200_000 } else { 100_000_000 };
+        out_of_core_trials(&cli, n, quick, &mut result.cells);
+    }
+    write_json(&cli, &result);
 }
 
-/// Streams a `G(n, 8/n)` edge run to disk, finalizes per-shard CSR
-/// segments, and floods from node 0 with the adjacency paged in one
-/// shard at a time. Prints wall/RSS for both the build and the trial.
-fn out_of_core_flood(cli: &randcast_bench::Cli, n: usize, quick: bool) {
+/// The in-RAM [`EdgeSink`] for `--store ram`: collects the same edge
+/// stream the disk path spills, for a monolithic CSR build split along
+/// the identical shard plan.
+struct CollectSink(Vec<(u32, u32)>);
+
+impl EdgeSink for CollectSink {
+    fn edge(&mut self, u: u64, v: u64) -> Result<(), ShardError> {
+        debug_assert!(u < u64::from(u32::MAX) && v < u64::from(u32::MAX));
+        #[allow(clippy::cast_possible_truncation)]
+        self.0.push((u as u32, v as u32));
+        Ok(())
+    }
+}
+
+/// Streams a `G(n, 8/n)` edge run into the store `--store` selects,
+/// builds the sharded BFS tree for Simple, then runs one trial per
+/// kernel against the same adjacency store — flood first, then radio
+/// (Decay), with the store handed from kernel to kernel, and finally
+/// Simple's phase walk over the directed child segments. Prints
+/// wall/RSS metrics and appends one report row per trial to `cells`
+/// (store- and shard-agnostic fields only, so CI's determinism gates
+/// can diff the normalized JSON byte-for-byte).
+fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResult>) {
     #[allow(clippy::cast_precision_loss)]
     let nf = n as f64;
     let q = (8.0 / (nf - 1.0)).min(1.0);
     // One shard per GiB of adjacency by default; --shards K overrides.
     // Quick runs force 3 shards so CI always walks a genuinely
-    // multi-segment disk store (for_budget would pick 1 at 2·10^5).
+    // multi-segment store (for_budget would pick 1 at 2·10^5).
     let plan = match cli.shards {
         Some(k) => ShardPlan::uniform(n, k),
         None if quick => ShardPlan::uniform(n, 3),
         None => ShardPlan::for_budget(n, 8 * n as u64, 1 << 30),
     };
     let shards = plan.shard_count();
+    let store_label = match cli.store {
+        StoreKind::Ram => "ram",
+        StoreKind::Disk => "disk",
+    };
 
     let build_start = Instant::now();
-    let mut sink = SpillSink::create(default_scratch_dir(), plan)
-        .unwrap_or_else(|e| panic!("cannot create spill sink: {e}"));
     let mut rng = SmallRng::seed_from_u64(cli.seed ^ 0x0107_e8ed);
-    gnp_edges(&mut sink, n, q, &mut rng).unwrap_or_else(|e| panic!("edge stream failed: {e}"));
-    let disk = sink
-        .finalize()
-        .unwrap_or_else(|e| panic!("spill finalize failed: {e}"));
+    let (store, edges) = match cli.store {
+        StoreKind::Disk => {
+            let mut sink = SpillSink::create(default_scratch_dir(), plan)
+                .unwrap_or_else(|e| panic!("cannot create spill sink: {e}"));
+            gnp_edges(&mut sink, n, q, &mut rng)
+                .unwrap_or_else(|e| panic!("edge stream failed: {e}"));
+            let disk = sink
+                .finalize()
+                .unwrap_or_else(|e| panic!("spill finalize failed: {e}"));
+            let edges = disk.edge_count();
+            (ShardStore::Disk(disk), edges)
+        }
+        StoreKind::Ram => {
+            let mut sink = CollectSink(Vec::new());
+            gnp_edges(&mut sink, n, q, &mut rng)
+                .unwrap_or_else(|e| panic!("edge stream failed: {e}"));
+            let csr = CsrGraph::from_edges(n, &sink.0);
+            drop(sink);
+            let sharded = ShardedCsr::split(&csr, plan);
+            let edges = sharded.edge_count() as u64;
+            (ShardStore::Ram(sharded), edges)
+        }
+    };
     let build_wall = build_start.elapsed();
-    let entries = disk.edge_count();
+
+    // The BFS tree for Simple runs over the same store by reference
+    // (level-synchronous shard passes), spilling directed child
+    // segments of its own.
+    let tree_start = Instant::now();
+    let tree = ShardedBfsTree::build(&store, 0, default_scratch_dir())
+        .unwrap_or_else(|e| panic!("sharded BFS build failed: {e}"));
+    let tree_wall = tree_start.elapsed();
+    let reachable = tree.reachable();
+    let (order, children) = tree.into_parts();
 
     // Theorem 3.1 shape without a resident graph: estimate the
     // diameter of the giant component of G(n, 8/n) as 3·ln n / ln 8
-    // (generous; the trial stops early once the frontier dies).
+    // (generous; the trials stop early once nothing can change).
     let d_est = (3.0 * nf.ln() / 8f64.ln()).ceil();
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let horizon = ((2.0 * (d_est + 4.0 * nf.ln()) / (1.0 - P)).ceil() as usize).max(1);
 
-    let flood = ShardedFlood::new(ShardStore::Disk(disk), 0, horizon);
-    let trial_start = Instant::now();
-    let out = flood
-        .run_lane(P, cli.seeds().nth_seed(0), 0)
-        .unwrap_or_else(|e| panic!("out-of-core trial failed: {e}"));
-    let trial_wall = trial_start.elapsed();
-
-    println!("out-of-core flood: n = {n}, mean degree 8, p = {P}, {shards} shard(s)");
-    let mut table = Table::new(["metric", "value"]);
-    #[allow(clippy::cast_precision_loss)]
-    table
-        .row(["adjacency entries", &format!("{entries}")])
+    println!(
+        "out-of-core trials: n = {n}, mean degree 8, p = {P}, {shards} shard(s), store = {store_label}"
+    );
+    let mut setup = Table::new(["build metric", "value"]);
+    setup
+        .row(["adjacency edges", &format!("{edges}")])
         .row([
             "segment bytes",
-            &fmt_gib(Some(4 * entries + 4 * (n as u64 + shards as u64))),
-        ])
-        .row(["build wall", &format!("{:.1}s", build_wall.as_secs_f64())])
-        .row(["trial wall", &format!("{:.1}s", trial_wall.as_secs_f64())])
-        .row(["horizon", &format!("{horizon}")])
-        .row([
-            "completed round",
-            &out.completion_round()
-                .map_or_else(|| "-".into(), |r| r.to_string()),
+            &fmt_gib(Some(8 * edges + 4 * (n as u64 + shards as u64))),
         ])
         .row([
-            "informed fraction",
-            &format!("{:.6}", out.informed_fraction()),
+            "adjacency build wall",
+            &format!("{:.1}s", build_wall.as_secs_f64()),
         ])
-        .row([
-            "almost-complete round",
-            &out.almost_complete_round()
-                .map_or_else(|| "-".into(), |r| r.to_string()),
-        ])
-        .row(["peak RSS (VmHWM)", &fmt_gib(peak_rss_bytes())]);
-    println!("{}", table.render());
-    println!(
-        "expected: the giant component of G(n, 8/n) covers ~0.9997 of the nodes and\n\
-         floods it in ~D/(1-p) + O(log n) rounds; peak RSS stays near the resident\n\
-         bitsets + one shard segment, far below the full adjacency."
+        .row(["BFS tree wall", &format!("{:.1}s", tree_wall.as_secs_f64())])
+        .row(["tree reachable", &format!("{reachable}")])
+        .row(["peak RSS so far", &fmt_gib(peak_rss_bytes())]);
+    println!("{}", setup.render());
+
+    let mut trials = Table::new([
+        "kernel",
+        "rounds budget",
+        "trial wall",
+        "completed round",
+        "informed frac",
+        "almost-complete",
+        "peak RSS so far",
+    ]);
+    let fmt_round = |r: Option<usize>| r.map_or_else(|| "-".into(), |r| r.to_string());
+
+    // Flood: the store moves in and comes back out for radio.
+    let flood = ShardedFlood::new(store, 0, horizon);
+    let flood_start = Instant::now();
+    let fout = flood
+        .run_lane(P, cli.seeds().nth_seed(0), 0)
+        .unwrap_or_else(|e| panic!("out-of-core flood trial failed: {e}"));
+    let flood_wall = flood_start.elapsed();
+    trials.row([
+        "flood".into(),
+        format!("{horizon}"),
+        format!("{:.1}s", flood_wall.as_secs_f64()),
+        fmt_round(fout.completion_round()),
+        format!("{:.6}", fout.informed_fraction()),
+        fmt_round(fout.almost_complete_round()),
+        fmt_gib(peak_rss_bytes()),
+    ]);
+    cells.push(oc_cell(
+        "flood",
+        n,
+        fout.completion_round(),
+        fout.informed_fraction(),
+        fout.almost_complete_round(),
+        flood_wall,
+    ));
+    let store = flood.into_store();
+
+    // Radio under the classical Decay schedule: epoch length
+    // ⌈log₂ n⌉ + 1, epochs 2·(d + log₂ n) — the global collision
+    // counter and epoch-exhaustion sweep run across segment loads.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let decay = DecayConfig::classical(n, d_est as usize);
+    let radio = ShardedRadio::new(
+        store,
+        0,
+        decay.total_rounds(),
+        FastRadioSchedule::Decay {
+            epoch_len: decay.epoch_len,
+        },
     );
+    let radio_start = Instant::now();
+    let rout = radio
+        .run_lane(P, cli.seeds().nth_seed(1), 0)
+        .unwrap_or_else(|e| panic!("out-of-core radio trial failed: {e}"));
+    let radio_wall = radio_start.elapsed();
+    trials.row([
+        "radio/decay".into(),
+        format!("{}", decay.total_rounds()),
+        format!("{:.1}s", radio_wall.as_secs_f64()),
+        fmt_round(rout.completion_round()),
+        format!("{:.6}", rout.informed_fraction()),
+        fmt_round(rout.almost_complete_round()),
+        fmt_gib(peak_rss_bytes()),
+    ]);
+    cells.push(oc_cell(
+        "radio",
+        n,
+        rout.completion_round(),
+        rout.informed_fraction(),
+        rout.almost_complete_round(),
+        radio_wall,
+    ));
+    drop(radio); // releases the adjacency store (and its scratch dir)
+
+    // Simple: the (level, id)-sorted phase walk over the directed
+    // child segments the BFS build spilled.
+    let m = phase_len_omission(n.max(2), P);
+    let simple = ShardedSimple::new(ShardStore::Disk(children), order, 0, m);
+    let simple_start = Instant::now();
+    let sout = simple
+        .run_lane(P, cli.seeds().nth_seed(2), 0)
+        .unwrap_or_else(|e| panic!("out-of-core simple trial failed: {e}"));
+    let simple_wall = simple_start.elapsed();
+    trials.row([
+        "simple".into(),
+        format!("{}", sout.total_rounds()),
+        format!("{:.1}s", simple_wall.as_secs_f64()),
+        fmt_round(sout.completion_round()),
+        format!("{:.6}", sout.correct_fraction()),
+        fmt_round(sout.almost_complete_round()),
+        fmt_gib(peak_rss_bytes()),
+    ]);
+    cells.push(oc_cell(
+        "simple",
+        n,
+        sout.completion_round(),
+        sout.correct_fraction(),
+        sout.almost_complete_round(),
+        simple_wall,
+    ));
+
+    println!("{}", trials.render());
+    println!(
+        "expected: the giant component of G(n, 8/n) covers ~0.9997 of the nodes; flood\n\
+         covers it in ~D/(1-p) + O(log n) rounds, Decay in O((D + log n) log n), and\n\
+         Simple's fixed n·m schedule ends almost-complete. Peak RSS stays near the\n\
+         resident bitsets + one shard segment, far below the full adjacency."
+    );
+}
+
+/// One synthetic report row for an out-of-core trial. Only store- and
+/// shard-agnostic fields: the Ram-vs-Disk and shards determinism gates
+/// diff this JSON byte-for-byte (`wall_ms` is zeroed by
+/// `json_validate --normalize`).
+fn oc_cell(
+    engine: &str,
+    n: usize,
+    completed: Option<usize>,
+    informed_frac: f64,
+    almost: Option<usize>,
+    wall: Duration,
+) -> CellResult {
+    let success = completed.is_some();
+    #[allow(clippy::cast_precision_loss)]
+    let rounds = completed.map(|r| r as f64);
+    #[allow(clippy::cast_precision_loss)]
+    let almost_rounds = almost.map(|r| r as f64);
+    CellResult {
+        kind: CellKind::MonteCarlo,
+        params: vec![
+            ("engine".into(), format!("{engine}/out-of-core")),
+            ("n".into(), format!("{n}")),
+        ],
+        estimate: SuccessEstimate::new(usize::from(success), 1),
+        row: None,
+        mean_rounds: rounds,
+        mean_informed_frac: Some(informed_frac),
+        wall_ms: wall.as_secs_f64() * 1000.0,
+        outcomes: vec![TrialOutcome {
+            success,
+            rounds,
+            informed_frac: Some(informed_frac),
+            almost_rounds,
+        }],
+    }
 }
 
 /// One row per swept cell: engine, n, completion quantiles, informed

@@ -41,16 +41,37 @@ pub const QUICK_TRIALS: usize = 60;
 
 /// CLI usage text shared by all experiment binaries.
 pub const USAGE: &str =
-    "usage: exp_* [--quick] [--trials N] [--threads N] [--shards K] [--seed S] [--json PATH]
+    "usage: exp_* [--quick] [--trials N] [--threads N] [--shards K] [--store ram|disk] [--seed S] [--json PATH]
 
   --quick        reduced trial counts and sweep extents (smoke runs)
   --trials N     Monte-Carlo trials per table cell (default 400; 60 with --quick)
   --threads N    worker threads for the sweep driver (default: one per CPU)
   --shards K     frontier shards per batched trial; outcome-neutral
                  (default: auto — monolithic below ~8M nodes)
+  --store KIND   shard-store backend for the out-of-core trials of the
+                 scale binaries: `disk` (segment files, the default) or
+                 `ram` (in-memory split); outcome-neutral
+  --sweep-only   run only the sweep part of binaries with an extra
+                 out-of-core part (CI's speedup probe times the sweep
+                 without paying for the 10^8 trials)
   --seed S       root seed; every cell and trial derives from it (default 2005)
   --json PATH    also write the structured JSON report to PATH
   --help         print this message";
+
+/// Shard-store backend selected by `--store` for the out-of-core
+/// trials of the scale binaries. Ram-vs-Disk is outcome-neutral (the
+/// engines pin bit-identity between the two), so the flag only moves
+/// the peak-RSS/wall trade-off — and gives CI a lever to diff the two
+/// paths' reports byte-for-byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StoreKind {
+    /// In-RAM sharded adjacency (`ShardStore::Ram`).
+    Ram,
+    /// Disk-backed segment files (`ShardStore::Disk`) — the default,
+    /// and the only backend that holds the 10⁸ RSS budget.
+    #[default]
+    Disk,
+}
 
 /// Parsed shared CLI for the experiment binaries.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -68,6 +89,13 @@ pub struct Cli {
     /// size). Sharding is outcome-neutral, so this only moves the
     /// peak-RSS/wall trade-off.
     pub shards: Option<usize>,
+    /// Shard-store backend for the out-of-core trials of the scale
+    /// binaries (`--store ram|disk`; default disk). Outcome-neutral.
+    pub store: StoreKind,
+    /// Skip the out-of-core part of binaries that have one
+    /// (`--sweep-only`) — CI's multi-thread speedup probe times the
+    /// sweep alone.
+    pub sweep_only: bool,
     /// Root seed for all randomness.
     pub seed: u64,
     /// Where to write the JSON report, if requested.
@@ -101,6 +129,8 @@ impl Cli {
             scale: 1,
             threads: default_threads(),
             shards: None,
+            store: StoreKind::default(),
+            sweep_only: false,
             seed: DEFAULT_SEED,
             json: None,
         };
@@ -134,6 +164,21 @@ impl Cli {
                     }
                     cli.shards = Some(k);
                 }
+                "--store" => {
+                    let raw = args
+                        .next()
+                        .ok_or_else(|| CliError::Bad("--store needs a value".into()))?;
+                    cli.store = match raw.as_str() {
+                        "ram" => StoreKind::Ram,
+                        "disk" => StoreKind::Disk,
+                        other => {
+                            return Err(CliError::Bad(format!(
+                                "invalid value `{other}` for --store (expected `ram` or `disk`)"
+                            )));
+                        }
+                    };
+                }
+                "--sweep-only" => cli.sweep_only = true,
                 "--seed" => cli.seed = parse_value(&arg, args.next())?,
                 "--json" => {
                     let path = args
@@ -494,6 +539,21 @@ mod tests {
         assert_eq!(parse(&["--shards", "4"]).unwrap().shards, Some(4));
         assert!(matches!(parse(&["--shards", "0"]), Err(CliError::Bad(_))));
         assert!(matches!(parse(&["--shards"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn store_flag_parses_and_rejects_junk() {
+        assert_eq!(parse(&[]).unwrap().store, StoreKind::Disk);
+        assert_eq!(parse(&["--store", "ram"]).unwrap().store, StoreKind::Ram);
+        assert_eq!(parse(&["--store", "disk"]).unwrap().store, StoreKind::Disk);
+        assert!(matches!(parse(&["--store", "tape"]), Err(CliError::Bad(_))));
+        assert!(matches!(parse(&["--store"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn sweep_only_flag_parses() {
+        assert!(!parse(&[]).unwrap().sweep_only);
+        assert!(parse(&["--sweep-only"]).unwrap().sweep_only);
     }
 
     #[test]

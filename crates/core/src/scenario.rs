@@ -1080,6 +1080,23 @@ impl PreparedScenario {
     /// ([`supports_batch`](Self::supports_batch)).
     #[must_use]
     pub fn trial_block(&self, block_seed: u64) -> Vec<TrialOutcome> {
+        self.trial_block_threads(block_seed, 1)
+    }
+
+    /// [`trial_block`](Self::trial_block) with the block's independent
+    /// shard passes fanned across up to `threads` scoped workers —
+    /// **byte-identical** to the single-threaded block for every thread
+    /// count (the engines' deferred-write merge guarantee; see
+    /// DESIGN.md, "Parallel shard passes"). Only sharded omission
+    /// flood/radio blocks have a parallel backend; every other
+    /// combination runs the sequential path unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan is not batch-capable
+    /// ([`supports_batch`](Self::supports_batch)).
+    #[must_use]
+    pub fn trial_block_threads(&self, block_seed: u64, threads: usize) -> Vec<TrialOutcome> {
         let p = self.scenario.fault.p.get();
         let lanes = 0..LANES as u32;
         let sp = self.shard_plan.as_ref();
@@ -1110,7 +1127,7 @@ impl PreparedScenario {
                     (Some(m), None) => {
                         plan.run_batch_model(m.as_ref(), &FaultTapes::new(block_seed))
                     }
-                    (None, Some(sp)) => plan.run_batch_sharded(sp, p, block_seed),
+                    (None, Some(sp)) => plan.run_batch_sharded_threads(sp, p, block_seed, threads),
                     (None, None) => plan.run_batch(p, block_seed),
                 };
                 lanes
@@ -1127,7 +1144,7 @@ impl PreparedScenario {
                 let out = match (&model, sp) {
                     (Some(m), Some(sp)) => plan.run_batch_sharded_model(sp, m.as_ref(), block_seed),
                     (Some(m), None) => plan.run_batch_model(m.as_ref(), block_seed),
-                    (None, Some(sp)) => plan.run_batch_sharded(sp, p, block_seed),
+                    (None, Some(sp)) => plan.run_batch_sharded_threads(sp, p, block_seed, threads),
                     (None, None) => plan.run_batch(p, block_seed),
                 };
                 lanes

@@ -104,6 +104,14 @@ fn check_engine(name: &str, algorithm: Algorithm, model: Model) {
                 "{name} on {label} at p={p}, {k} shards: seed #{s} lane {lane} diverged"
             );
         }
+        for threads in [2usize, 4] {
+            assert_eq!(
+                sharded.trial_block_threads(block_seed, threads),
+                reference,
+                "{name} on {label} at p={p}, {k} shards × {threads} threads: \
+                 seed #{s} parallel batch diverged"
+            );
+        }
     }
 }
 

@@ -59,8 +59,8 @@ use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
     lane_popcounts, planes_add_one_masked, planes_assign, planes_eq_mask, planes_gt_mask,
-    planes_le_mask, record_crossings, BatchedInformedSet, CorruptionKind, FaultModel, FaultSampler,
-    FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, ShardFrontier, LANES,
+    planes_le_mask, record_crossings, shard_passes, BatchedInformedSet, CorruptionKind, FaultModel,
+    FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, ShardFrontier, LANES,
 };
 
 /// The fault-coin site of `(node, index)`: the index (a 1-based round
@@ -1084,6 +1084,252 @@ impl FastFlood {
         }
     }
 
+    /// [`run_batch_sharded`](Self::run_batch_sharded) with the round's
+    /// independent shard passes fanned across up to `threads` scoped
+    /// workers; **byte-identical** to the single-threaded sharded batch
+    /// (and hence to the monolithic batch) for every `threads × plan`
+    /// combination. Workers only read the round's frozen state and
+    /// return their writes as data; the sequential ascending-shard
+    /// merge then replays the exact write sequence of the
+    /// single-threaded pass (see DESIGN.md, "Parallel shard passes").
+    ///
+    /// The tree variant's topological resolution is a sequential scan,
+    /// so it delegates to the sequential sharded batch unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the plan covers a different node
+    /// count.
+    #[must_use]
+    pub fn run_batch_sharded_threads(
+        &self,
+        plan: &ShardPlan,
+        p: f64,
+        block_seed: u64,
+        threads: usize,
+    ) -> FastFloodBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let model = Omission::new(p);
+        let tapes = FaultTapes::new(block_seed);
+        self.run_batch_sharded_model_threads(plan, &model, &tapes, threads)
+    }
+
+    /// [`run_batch_sharded_model`](Self::run_batch_sharded_model) with
+    /// thread-parallel shard passes; byte-identical to it for every
+    /// thread count. Only the silent graph-variant pass parallelizes —
+    /// the tree resolution and the corrupted-value pass are sequential
+    /// scans and delegate unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn run_batch_sharded_model_threads<M: FaultModel + Sync + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        threads: usize,
+    ) -> FastFloodBatch {
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        match model.kind() {
+            CorruptionKind::Silent => match self.variant {
+                FastFloodVariant::Tree => {
+                    self.run_batch_tree(model, tapes, &self.sharded_order(plan))
+                }
+                FastFloodVariant::Graph => {
+                    if threads <= 1 || plan.shard_count() <= 1 {
+                        self.run_batch_graph_sharded(plan, model, tapes)
+                    } else {
+                        self.run_batch_graph_sharded_threads(plan, model, tapes, threads)
+                    }
+                }
+            },
+            _ => self.run_batch_values(model, tapes, &self.sharded_order(plan)),
+        }
+    }
+
+    /// Thread-parallel evolution of
+    /// [`run_batch_graph_sharded`](Self::run_batch_graph_sharded).
+    /// Each worker runs whole shard passes against the round's frozen
+    /// state (`frontier_mask` rows of its own shards, the lane masks of
+    /// the start-of-round informed set, `live`) and returns deferred
+    /// writes: delivery events `(target, success mask)` in visit order,
+    /// the retained frontier nodes with their kept masks, and the
+    /// dropped nodes. The merge applies shard results in ascending
+    /// shard order, so every `insert_masked` and `pending_nodes` push
+    /// happens in exactly the single-threaded sequence.
+    fn run_batch_graph_sharded_threads<M: FaultModel + Sync + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        threads: usize,
+    ) -> FastFloodBatch {
+        struct ShardPass {
+            events: Vec<(u32, LaneMask)>,
+            retained: Vec<(u32, LaneMask)>,
+            dropped: Vec<u32>,
+        }
+
+        let n = self.n;
+        let k = plan.shard_count();
+        let reach = self.bfs_order().len();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut frontier_mask = vec![0u64; n];
+        let mut in_frontier = vec![false; n];
+        if !self.targets_of(self.source as usize).is_empty() {
+            frontier[plan.shard_of(self.source)].push(self.source);
+            frontier_mask[self.source as usize] = !0;
+            in_frontier[self.source as usize] = true;
+        }
+        let mut pending = vec![0u64; n];
+        let mut pending_nodes: Vec<u32> = Vec::new();
+
+        let mut live: LaneMask = if reach > 1 { !0 } else { 0 };
+
+        for round in 1..=self.horizon {
+            if live == 0 {
+                break;
+            }
+            executed += 1;
+            pending_nodes.clear();
+            let mut changed = false;
+
+            // Parallel phase: every read is against state frozen for
+            // the round (workers write nothing shared), so shard
+            // results are independent of scheduling.
+            let passes = {
+                let frontier = &frontier;
+                let frontier_mask = &frontier_mask;
+                let informed = &informed;
+                shard_passes(k, threads, |s| {
+                    let mut pass = ShardPass {
+                        events: Vec::new(),
+                        retained: Vec::new(),
+                        dropped: Vec::new(),
+                    };
+                    if frontier[s].is_empty() {
+                        return pass;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.targets, start, end);
+                    for &v in &frontier[s] {
+                        let fm = frontier_mask[v as usize] & live;
+                        if fm == 0 {
+                            pass.dropped.push(v);
+                            continue;
+                        }
+                        let fail = model.corrupt_mask(tapes, fault_site(round, v), v, fm);
+                        let succ = fm & !fail;
+                        if succ != 0 {
+                            for &t in view.targets_of(v) {
+                                // Pre-filter against the frozen lanes:
+                                // the merge-time newly mask is a subset,
+                                // so a frozen-zero event writes nothing
+                                // in the single-threaded sequence
+                                // either.
+                                if succ & !informed.lanes(t) != 0 {
+                                    pass.events.push((t, succ));
+                                }
+                            }
+                        }
+                        let keep = fm & fail;
+                        if keep != 0 {
+                            pass.retained.push((v, keep));
+                        } else {
+                            pass.dropped.push(v);
+                        }
+                    }
+                    pass
+                })
+            };
+
+            // Sequential merge in ascending shard order: replays the
+            // exact write sequence of the single-threaded pass.
+            for (s, pass) in passes.into_iter().enumerate() {
+                let list = &mut frontier[s];
+                list.clear();
+                for (v, keep) in pass.retained {
+                    frontier_mask[v as usize] = keep;
+                    list.push(v);
+                }
+                for v in pass.dropped {
+                    frontier_mask[v as usize] = 0;
+                    in_frontier[v as usize] = false;
+                }
+                for (t, succ) in pass.events {
+                    let newly = informed.insert_masked(t, succ);
+                    if newly != 0 {
+                        changed = true;
+                        if pending[t as usize] == 0 {
+                            pending_nodes.push(t);
+                        }
+                        pending[t as usize] |= newly;
+                    }
+                }
+            }
+            for &t in &pending_nodes {
+                frontier_mask[t as usize] |= pending[t as usize];
+                pending[t as usize] = 0;
+                if !in_frontier[t as usize] {
+                    in_frontier[t as usize] = true;
+                    frontier[plan.shard_of(t)].push(t);
+                }
+            }
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+                live &= !informed.counts().ge_mask(reach as u64);
+            }
+        }
+
+        FastFloodBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed,
+            },
+        }
+    }
+
     /// Runs the model's placement preprocessing against this plan's CSR
     /// arrays — the BFS-tree child lists for the tree variant, the full
     /// adjacency for the graph variant. Call once per plan before any
@@ -1431,6 +1677,13 @@ impl ShardedFlood {
     #[must_use]
     pub fn store(&self) -> &ShardStore {
         &self.store
+    }
+
+    /// Unwraps the shard store, e.g. to hand the same on-disk segments
+    /// to another kernel without rebuilding them.
+    #[must_use]
+    pub fn into_store(self) -> ShardStore {
+        self.store
     }
 
     /// Number of nodes.
@@ -2070,6 +2323,29 @@ mod tests {
                             ff.run_lane_sharded(&plan, p, seed, lane),
                             ff.run_lane(p, seed, lane),
                             "lane diverged: {variant:?} shards={shards} p={p} lane={lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_parallel_sharded_batch_matches_monolithic_exactly() {
+        let g = generators::gnp_connected(140, 0.03, &mut rand::rngs::SmallRng::seed_from_u64(6));
+        let csr = CsrGraph::from(&g);
+        for variant in [FastFloodVariant::Tree, FastFloodVariant::Graph] {
+            let ff = FastFlood::new(csr.clone(), g.node(0), 300, variant);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::uniform(csr.node_count(), shards);
+                for p in [0.0, 0.4, 0.9] {
+                    let seed = 131 + shards as u64;
+                    let mono = ff.run_batch(p, seed);
+                    for threads in [1usize, 2, 4, 9] {
+                        assert_eq!(
+                            ff.run_batch_sharded_threads(&plan, p, seed, threads),
+                            mono,
+                            "diverged: {variant:?} shards={shards} threads={threads} p={p}"
                         );
                     }
                 }

@@ -189,6 +189,53 @@ impl ShardFrontier {
     }
 }
 
+/// Runs one read-only pass per shard, fanning contiguous shard ranges
+/// across at most `threads` scoped workers, and returns the per-shard
+/// results **in ascending shard order** regardless of which worker ran
+/// which shard or in what wall-clock order they finished.
+///
+/// This is the engine-side primitive behind the thread-parallel batched
+/// round: `pass` must only *read* shared round state (the frozen
+/// frontier, informed masks, activity words) and return the writes it
+/// would have performed as data — delivery events, retained node lists,
+/// per-node mask updates. The caller then applies the returned shard
+/// results sequentially in ascending shard order, which replays the
+/// exact write sequence of the single-threaded sharded pass, so
+/// outcomes are byte-identical for every thread count (see DESIGN.md,
+/// "Parallel shard passes").
+///
+/// With `threads <= 1` (or a single shard) no threads are spawned and
+/// `pass` runs inline, shard by shard.
+pub fn shard_passes<R, F>(shards: usize, threads: usize, pass: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.clamp(1, shards.max(1));
+    if workers <= 1 {
+        return (0..shards).map(pass).collect();
+    }
+    let mut per_worker: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * shards / workers;
+                let hi = (w + 1) * shards / workers;
+                let pass = &pass;
+                scope.spawn(move || (lo..hi).map(pass).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(shards);
+    for chunk in per_worker {
+        out.extend(chunk);
+    }
+    out
+}
+
 /// Aggregate per-round Bernoulli fault sampling over a participant
 /// list: each element independently *succeeds* (transmitter works) with
 /// probability `1 − p`.

@@ -62,13 +62,14 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_graph::shard::{ShardPlan, ShardView};
+use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
 use crate::kernel::{
-    record_crossings, BatchTape, BatchedInformedSet, CollisionCounter, CorruptionKind, FaultModel,
-    FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, DECAY_STREAM, LANES,
+    record_crossings, shard_passes, BatchTape, BatchedInformedSet, CollisionCounter,
+    CorruptionKind, FaultModel, FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask,
+    Omission, DECAY_STREAM, LANES,
 };
 
 /// The coin site of `(0-based round, node)`: both the fault coin and
@@ -1002,6 +1003,325 @@ impl FastRadio {
         }
     }
 
+    /// [`run_batch_sharded`](Self::run_batch_sharded) with the round's
+    /// independent shard passes fanned across up to `threads` scoped
+    /// workers; **byte-identical** to the single-threaded sharded batch
+    /// (and hence to the monolithic batch) for every `threads × plan`
+    /// combination. Both the epoch refilter and the transmit pass read
+    /// only state frozen for the pass (the informed lane masks are not
+    /// written until the single sole-receiver drain), so workers return
+    /// their writes as data and the sequential ascending-shard merge
+    /// replays the exact single-threaded write sequence — including the
+    /// `touched` list order the drain visits (see DESIGN.md, "Parallel
+    /// shard passes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or the plan covers a different node
+    /// count.
+    #[must_use]
+    pub fn run_batch_sharded_threads(
+        &self,
+        plan: &ShardPlan,
+        p: f64,
+        block_seed: u64,
+        threads: usize,
+    ) -> FastRadioBatch {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let model = Omission::new(p);
+        self.run_batch_sharded_model_threads(plan, &model, block_seed, threads)
+    }
+
+    /// [`run_batch_sharded_model`](Self::run_batch_sharded_model) with
+    /// thread-parallel shard passes; byte-identical to it for every
+    /// thread count. Only the silent pass parallelizes — the
+    /// corrupted-value pass carries per-node heard values through a
+    /// sequential epoch walk and delegates unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different node count.
+    #[must_use]
+    pub fn run_batch_sharded_model_threads<M: FaultModel + Sync + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        block_seed: u64,
+        threads: usize,
+    ) -> FastRadioBatch {
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        match model.kind() {
+            CorruptionKind::Silent => {
+                if threads <= 1 || plan.shard_count() <= 1 {
+                    self.run_batch_sharded_silent(plan, model, &tapes, &decay_tape)
+                } else {
+                    self.run_batch_sharded_silent_threads(plan, model, &tapes, &decay_tape, threads)
+                }
+            }
+            _ => self.run_batch_values_sharded(plan, model, &tapes, &decay_tape),
+        }
+    }
+
+    /// Thread-parallel evolution of
+    /// [`run_batch_sharded_silent`](Self::run_batch_sharded_silent).
+    /// Refilter workers return each shard's surviving participants with
+    /// their fresh activity masks plus the shard's participation union;
+    /// transmit workers return `(target, need)` delivery events
+    /// computed against the frozen informed masks — exactly the masks
+    /// the single-threaded pass reads, since `informed` is only written
+    /// in the drain. The ascending-shard merge then accumulates the
+    /// `≥ 1`/`≥ 2` collision words and the `touched` order identically
+    /// to the single-threaded pass, and the drain, crossing
+    /// bookkeeping, and Decay thinning run sequentially unchanged.
+    fn run_batch_sharded_silent_threads<M: FaultModel + Sync + ?Sized>(
+        &self,
+        plan: &ShardPlan,
+        model: &M,
+        tapes: &FaultTapes,
+        decay_tape: &BatchTape,
+        threads: usize,
+    ) -> FastRadioBatch {
+        struct RefilterPass {
+            retained: Vec<(u32, LaneMask)>,
+            dropped: Vec<u32>,
+            any: LaneMask,
+        }
+
+        assert_eq!(plan.node_count(), self.n, "plan/graph node count mismatch");
+        let n = self.n;
+        let k = plan.shard_count();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut exhausted: LaneMask = 0;
+        let mut exhaust_end = vec![0usize; LANES];
+
+        let mut plist: Vec<Vec<u32>> = vec![Vec::new(); k];
+        plist[plan.shard_of(self.source)].push(self.source);
+        let mut in_plist = vec![false; n];
+        in_plist[self.source as usize] = true;
+        let mut act: Vec<LaneMask> = vec![0; n];
+
+        let mut once: Vec<LaneMask> = vec![0; n];
+        let mut twice: Vec<LaneMask> = vec![0; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            let live = !(completed | exhausted);
+            if live == 0 {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                // Parallel refilter: workers read the frozen informed
+                // masks and their own shard's frozen participant list.
+                let passes = {
+                    let plist = &plist;
+                    let informed = &informed;
+                    shard_passes(k, threads, |s| {
+                        let mut pass = RefilterPass {
+                            retained: Vec::new(),
+                            dropped: Vec::new(),
+                            any: 0,
+                        };
+                        if plist[s].is_empty() {
+                            return pass;
+                        }
+                        let (start, end) = plan.range(s);
+                        let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                        for &v in &plist[s] {
+                            let inf_v = informed.lanes(v);
+                            let mut un: LaneMask = 0;
+                            for &t in view.targets_of(v) {
+                                un |= !informed.lanes(t);
+                                if un & inf_v == inf_v {
+                                    break;
+                                }
+                            }
+                            let m = inf_v & un;
+                            pass.any |= m;
+                            if m == 0 {
+                                pass.dropped.push(v);
+                            } else {
+                                pass.retained.push((v, m));
+                            }
+                        }
+                        pass
+                    })
+                };
+                let mut any: LaneMask = 0;
+                for (s, pass) in passes.into_iter().enumerate() {
+                    any |= pass.any;
+                    if pass.retained.is_empty() && pass.dropped.is_empty() {
+                        continue;
+                    }
+                    let list = &mut plist[s];
+                    list.clear();
+                    for (v, m) in pass.retained {
+                        act[v as usize] = m;
+                        list.push(v);
+                    }
+                    for v in pass.dropped {
+                        act[v as usize] = 0;
+                        in_plist[v as usize] = false;
+                    }
+                }
+                let newly_exhausted = live & !any;
+                if newly_exhausted != 0 {
+                    exhausted |= newly_exhausted;
+                    let mut bits = newly_exhausted;
+                    while bits != 0 {
+                        exhaust_end[bits.trailing_zeros() as usize] = executed;
+                        bits &= bits - 1;
+                    }
+                    if live & any == 0 {
+                        break;
+                    }
+                }
+            }
+            executed += 1;
+
+            // Parallel transmit: `informed` is frozen until the drain,
+            // so the per-target `need` masks workers compute are the
+            // very masks the single-threaded pass reads.
+            let events = {
+                let plist = &plist;
+                let act = &act;
+                let informed = &informed;
+                shard_passes(k, threads, |s| {
+                    let mut events: Vec<(u32, LaneMask)> = Vec::new();
+                    if plist[s].is_empty() {
+                        return events;
+                    }
+                    let (start, end) = plan.range(s);
+                    let view = ShardView::over(&self.offsets, &self.neighbors, start, end);
+                    for &v in &plist[s] {
+                        let a = act[v as usize];
+                        if a == 0 {
+                            continue;
+                        }
+                        let mut un_v: LaneMask = 0;
+                        for &t in view.targets_of(v) {
+                            un_v |= !informed.lanes(t);
+                            if un_v & a == a {
+                                break;
+                            }
+                        }
+                        let useful = a & un_v;
+                        if useful == 0 {
+                            continue;
+                        }
+                        let tx = useful & !model.corrupt_mask(tapes, radio_site(r0, v), v, useful);
+                        if tx == 0 {
+                            continue;
+                        }
+                        for &t in view.targets_of(v) {
+                            let need = tx & !informed.lanes(t);
+                            if need != 0 {
+                                events.push((t, need));
+                            }
+                        }
+                    }
+                    events
+                })
+            };
+            for shard_events in events {
+                for (t, need) in shard_events {
+                    let ti = t as usize;
+                    if once[ti] | twice[ti] == 0 {
+                        touched.push(t);
+                    }
+                    twice[ti] |= once[ti] & need;
+                    once[ti] |= need;
+                }
+            }
+
+            let mut changed = false;
+            for &t in &touched {
+                let ti = t as usize;
+                let hear = once[ti] & !twice[ti];
+                once[ti] = 0;
+                twice[ti] = 0;
+                if hear == 0 {
+                    continue;
+                }
+                let newly = informed.insert_masked(t, hear);
+                if newly != 0 {
+                    changed = true;
+                    if !in_plist[ti] {
+                        in_plist[ti] = true;
+                        act[ti] = 0;
+                        plist[plan.shard_of(t)].push(t);
+                    }
+                }
+            }
+            touched.clear();
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &plist {
+                    for &v in list {
+                        let vi = v as usize;
+                        if act[vi] != 0 {
+                            act[vi] &= decay_tape.fair_mask(radio_site(r0, v));
+                        }
+                    }
+                }
+            }
+        }
+
+        FastRadioBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            exhausted,
+            exhaust_end,
+            plane_width,
+            count_arena,
+            executed,
+        }
+    }
+
     /// Runs the model's placement preprocessing against this plan's
     /// CSR adjacency. Call once per plan before any `*_model` run of a
     /// placement-based model.
@@ -1484,6 +1804,225 @@ impl FastRadio {
             count_arena,
             executed,
         }
+    }
+}
+
+/// Out-of-core radio broadcasting: the [`FastRadio::run_lane`]
+/// algorithm executed against a [`ShardStore`], loading one shard's
+/// CSR rows at a time through a reusable [`ShardScratch`] so peak RSS
+/// stays near one shard plus the node-level state — the `n = 10⁸`
+/// path. Outcomes are **bit-identical** to [`FastRadio::run_lane`] on
+/// the same adjacency: the coin tape and sites are the same, the
+/// global [`CollisionCounter`] accumulates across every shard's
+/// transmit pass before the round's single sole-receiver drain, and
+/// the epoch-exhaustion sweep reads the participation union only after
+/// every segment's refilter has been folded in — the same points in
+/// the round where the monolithic replay reads them.
+pub struct ShardedRadio {
+    store: ShardStore,
+    source: u32,
+    horizon: usize,
+    schedule: FastRadioSchedule,
+}
+
+impl ShardedRadio {
+    /// Wraps a shard store for radio broadcasting from `source` over
+    /// at most `horizon` rounds under `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn new(
+        store: ShardStore,
+        source: u32,
+        horizon: usize,
+        schedule: FastRadioSchedule,
+    ) -> Self {
+        assert!(
+            (source as usize) < store.node_count(),
+            "source out of range"
+        );
+        ShardedRadio {
+            store,
+            source,
+            horizon,
+            schedule,
+        }
+    }
+
+    /// The underlying shard store.
+    #[must_use]
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// Unwraps the shard store, e.g. to hand the same on-disk segments
+    /// to another kernel without rebuilding them.
+    #[must_use]
+    pub fn into_store(self) -> ShardStore {
+        self.store
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    /// The horizon (maximum number of rounds executed).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The transmission schedule.
+    #[must_use]
+    pub fn schedule(&self) -> FastRadioSchedule {
+        self.schedule
+    }
+
+    /// Scalar lane replay over the shard store; bit-identical to
+    /// [`FastRadio::run_lane`] on the same adjacency. Each round makes
+    /// one shard-at-a-time transmit pass (plus, at epoch boundaries,
+    /// one refilter pass) against one resident segment; disk-backed
+    /// stores re-read each touched segment per pass and the OS page
+    /// cache makes reloads cheap while the *resident* footprint stays
+    /// near one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    pub fn run_lane(
+        &self,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> Result<FastRadioOutcome, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        self.run_lane_model(&Omission::new(p), block_seed, lane)
+    }
+
+    /// [`run_lane`](Self::run_lane) under an arbitrary `Silent`
+    /// [`FaultModel`]. Run the model's preprocessing against the
+    /// in-core CSR before sharding if the model needs placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64` or the model is not `Silent` — the
+    /// corrupted-value radio pass carries per-node heard values and is
+    /// served in core (use [`FastRadio::run_lane_model`]).
+    pub fn run_lane_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+        lane: u32,
+    ) -> Result<FastRadioOutcome, ShardError> {
+        assert!((lane as usize) < LANES, "lane out of range");
+        assert!(
+            model.kind() == CorruptionKind::Silent,
+            "out-of-core radio supports silent fault models only"
+        );
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let plan = self.store.plan();
+        let n = plan.node_count();
+        let k = plan.shard_count();
+        let mut scratch = ShardScratch::new();
+        let mut informed = InformedSet::new(n);
+        informed.insert(self.source);
+        let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
+        informed_by_round.push(1);
+        let mut completion_round = (n == 1).then_some(0);
+
+        let mut participants: Vec<Vec<u32>> = vec![Vec::new(); k];
+        participants[plan.shard_of(self.source)].push(self.source);
+        let mut active: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut counter = CollisionCounter::new(n);
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            if completion_round.is_some() {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                let mut any = false;
+                for (s, (parts, act_list)) in
+                    participants.iter_mut().zip(active.iter_mut()).enumerate()
+                {
+                    act_list.clear();
+                    if parts.is_empty() {
+                        continue;
+                    }
+                    let view = self.store.view(s, &mut scratch)?;
+                    parts.retain(|&u| view.targets_of(u).iter().any(|&t| !informed.contains(t)));
+                    act_list.extend_from_slice(parts);
+                    any |= !parts.is_empty();
+                }
+                if !any {
+                    break;
+                }
+            }
+
+            // The collision counter is global: it accumulates across
+            // every shard's transmit pass and drains exactly once per
+            // round, so cross-shard collisions block exactly as in the
+            // monolithic replay.
+            for (s, act_list) in active.iter().enumerate() {
+                if act_list.is_empty() {
+                    continue;
+                }
+                let view = self.store.view(s, &mut scratch)?;
+                for &u in act_list {
+                    if model.corrupt_lane(&tapes, radio_site(r0, u), u, lane) {
+                        continue;
+                    }
+                    for &v in view.targets_of(u) {
+                        if !informed.contains(v) {
+                            counter.add(v);
+                        }
+                    }
+                }
+            }
+            counter.drain_sole_receivers(|v| {
+                informed.insert(v);
+                participants[plan.shard_of(v)].push(v);
+            });
+
+            informed_by_round.push(informed.count());
+            if informed.count() == n {
+                completion_round = Some(round);
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &mut active {
+                    list.retain(|&u| decay_tape.fair_lane(radio_site(r0, u), lane));
+                }
+            }
+        }
+
+        Ok(FastRadioOutcome {
+            n,
+            horizon: self.horizon,
+            completion_round,
+            informed_by_round,
+            informed,
+        })
     }
 }
 
@@ -1991,6 +2530,79 @@ mod tests {
                             "lane diverged: {schedule:?} shards={shards} p={p} lane={lane}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_parallel_sharded_batch_matches_monolithic_exactly() {
+        let g = generators::gnp_connected(120, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(11));
+        let csr = CsrGraph::from(&g);
+        for schedule in [
+            FastRadioSchedule::Decay { epoch_len: 8 },
+            FastRadioSchedule::AllInformed,
+        ] {
+            let fr = FastRadio::new(csr.clone(), g.node(0), 600, schedule);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = ShardPlan::uniform(csr.node_count(), shards);
+                for p in [0.0, 0.3, 0.8] {
+                    let seed = 213 + shards as u64;
+                    let mono = fr.run_batch(p, seed);
+                    for threads in [1usize, 2, 4, 9] {
+                        assert_eq!(
+                            fr.run_batch_sharded_threads(&plan, p, seed, threads),
+                            mono,
+                            "diverged: {schedule:?} shards={shards} threads={threads} p={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_radio_matches_the_monolithic_lane_replay() {
+        use randcast_graph::shard::{default_scratch_dir, ShardStore, ShardedCsr, SpillSink};
+        let g = generators::gnp_connected(110, 0.05, &mut rand::rngs::SmallRng::seed_from_u64(9));
+        let csr = CsrGraph::from(&g);
+        let n = csr.node_count();
+        let epoch_len = (n.max(2) as f64).log2().ceil() as usize + 1;
+        let plan = ShardPlan::uniform(n, 3);
+        for schedule in [
+            FastRadioSchedule::Decay { epoch_len },
+            FastRadioSchedule::AllInformed,
+        ] {
+            let fr = FastRadio::new(csr.clone(), g.node(0), 900, schedule);
+            let ram = ShardedRadio::new(
+                ShardStore::Ram(ShardedCsr::split(&csr, plan.clone())),
+                0,
+                900,
+                schedule,
+            );
+            let mut sink = SpillSink::create(default_scratch_dir(), plan.clone()).unwrap();
+            for v in 0..n {
+                for &t in csr.neighbors_of(v) {
+                    if (v as u32) < t {
+                        sink.push(v as u64, u64::from(t)).unwrap();
+                    }
+                }
+            }
+            let disk =
+                ShardedRadio::new(ShardStore::Disk(sink.finalize().unwrap()), 0, 900, schedule);
+            for p in [0.0, 0.5] {
+                for lane in [0u32, 7, 63] {
+                    let mono = fr.run_lane(p, 77, lane);
+                    assert_eq!(
+                        ram.run_lane(p, 77, lane).unwrap(),
+                        mono,
+                        "ram p={p} lane={lane}"
+                    );
+                    assert_eq!(
+                        disk.run_lane(p, 77, lane).unwrap(),
+                        mono,
+                        "disk p={p} lane={lane}"
+                    );
                 }
             }
         }

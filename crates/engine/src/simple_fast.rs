@@ -57,7 +57,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_graph::shard::{ShardPlan, ShardView};
+use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
@@ -1030,6 +1030,143 @@ impl FastSimple {
     }
 }
 
+/// Out-of-core Simple broadcasting: the [`FastSimple::run_lane`]
+/// algorithm executed against a [`ShardStore`] holding the BFS tree's
+/// **child lists** as directed segments (built by
+/// `randcast_graph::shard::ShardedBfsTree` without ever materializing
+/// the monolithic tree), walking the (level, id)-sorted phase order in
+/// maximal same-shard runs — the walk is already segment-ordered, so
+/// sharding is a pure access-path change and outcomes are
+/// **bit-identical** to [`FastSimple::run_lane`] on the same tree.
+/// Vote state (the correct set, the almost-complete crossing, the last
+/// adoption round) is node-level and stays resident; only one shard's
+/// child rows are in memory at a time.
+pub struct ShardedSimple {
+    store: ShardStore,
+    order: Vec<u32>,
+    source: u32,
+    n: usize,
+    m: usize,
+}
+
+impl ShardedSimple {
+    /// Wraps a child-segment store and its (level, id)-sorted phase
+    /// order for Simple broadcasting from `source` with `m`-round
+    /// phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero, `source` is out of range, or the order
+    /// does not start at `source` (the phase walk requires the
+    /// parents-before-children (level, id) sort, whose first entry is
+    /// always the source).
+    #[must_use]
+    pub fn new(store: ShardStore, order: Vec<u32>, source: u32, m: usize) -> Self {
+        assert!(m > 0, "phase length must be positive");
+        let n = store.node_count();
+        assert!((source as usize) < n, "source out of range");
+        assert_eq!(order.first(), Some(&source), "order must start at source");
+        ShardedSimple {
+            store,
+            order,
+            source,
+            n,
+            m,
+        }
+    }
+
+    /// The underlying child-segment store.
+    #[must_use]
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Phase length `m`.
+    #[must_use]
+    pub fn phase_len(&self) -> usize {
+        self.m
+    }
+
+    /// Total protocol rounds (`n · m`).
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Scalar lane replay over the shard store; bit-identical to
+    /// [`FastSimple::run_lane`] on the same tree. Each maximal
+    /// same-shard run of the phase order acquires one segment view;
+    /// disk-backed stores re-read a segment per run and the OS page
+    /// cache makes reloads cheap while the *resident* footprint stays
+    /// near one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)` or `lane ≥ 64`.
+    pub fn run_lane(
+        &self,
+        p: f64,
+        block_seed: u64,
+        lane: u32,
+    ) -> Result<FastSimpleOutcome, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        assert!((lane as usize) < LANES, "lane out of range");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let plan = self.store.plan();
+        let mut scratch = ShardScratch::new();
+        let mut correct = InformedSet::new(n);
+        correct.insert(self.source);
+        let almost_target = n.saturating_sub(1).max(1);
+        let mut almost_round = (correct.count() >= almost_target).then_some(0);
+        let mut last_adoption = 0usize;
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let view = self.store.view(s, &mut scratch)?;
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if !kids.is_empty() && correct.contains(u) && adopt.lane(&tape, phase as u64, lane)
+                {
+                    let t = phase_t(&tape, phase as u64, lane, ln_p, self.m);
+                    let round = phase * self.m + t + 1;
+                    for &c in kids {
+                        correct.insert(c);
+                    }
+                    last_adoption = round;
+                    if almost_round.is_none() && correct.count() >= almost_target {
+                        almost_round = Some(round);
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        Ok(FastSimpleOutcome {
+            n,
+            m: self.m,
+            almost_round,
+            last_adoption,
+            correct,
+        })
+    }
+}
+
 /// Outcome of one batched 64-lane Simple block; per-lane views are
 /// byte-identical to the corresponding [`FastSimple::run_lane`] replay.
 #[derive(Clone, PartialEq, Debug)]
@@ -1470,6 +1607,51 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_simple_matches_the_monolithic_lane_replay() {
+        use randcast_graph::shard::{default_scratch_dir, ShardedBfsTree, ShardedCsr, SpillSink};
+        let g = generators::gnp_connected(130, 0.04, &mut rand::rngs::SmallRng::seed_from_u64(12));
+        let csr = CsrGraph::from(&g);
+        let n = csr.node_count();
+        let m = 4usize;
+        let fs = FastSimple::new(&csr, g.node(0), m);
+        let plan = ShardPlan::uniform(n, 3);
+        // Ram adjacency → disk child segments.
+        let adj = ShardStore::Ram(ShardedCsr::split(&csr, plan.clone()));
+        let tree = ShardedBfsTree::build(&adj, 0, default_scratch_dir()).expect("tree");
+        let (order, children) = tree.into_parts();
+        let ram_tree = ShardedSimple::new(ShardStore::Disk(children), order, 0, m);
+        // Disk adjacency → disk child segments, exercising the full
+        // spill pipeline end to end.
+        let mut sink = SpillSink::create(default_scratch_dir(), plan).expect("sink");
+        for v in 0..n {
+            for &t in csr.neighbors_of(v) {
+                if (v as u32) < t {
+                    sink.push(v as u64, u64::from(t)).expect("push");
+                }
+            }
+        }
+        let disk_adj = ShardStore::Disk(sink.finalize().expect("finalize"));
+        let tree2 = ShardedBfsTree::build(&disk_adj, 0, default_scratch_dir()).expect("tree");
+        let (order2, children2) = tree2.into_parts();
+        let disk_tree = ShardedSimple::new(ShardStore::Disk(children2), order2, 0, m);
+        for p in [0.0, 0.5, 0.9] {
+            for lane in [0u32, 7, 63] {
+                let mono = fs.run_lane(p, 99, lane);
+                assert_eq!(
+                    ram_tree.run_lane(p, 99, lane).expect("ram tree"),
+                    mono,
+                    "ram-adjacency tree p={p} lane={lane}"
+                );
+                assert_eq!(
+                    disk_tree.run_lane(p, 99, lane).expect("disk tree"),
+                    mono,
+                    "disk-adjacency tree p={p} lane={lane}"
+                );
             }
         }
     }

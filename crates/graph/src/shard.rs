@@ -43,6 +43,30 @@ pub enum ShardError {
     Graph(CsrError),
     /// Spill or segment file IO failed.
     Io(io::Error),
+    /// A segment file's header disagreed with the plan or with the
+    /// metadata recorded at finalize time — the file is truncated,
+    /// overwritten, or from another run.
+    SegmentCorrupt {
+        /// Shard whose segment failed validation.
+        shard: usize,
+        /// Which header field disagreed.
+        what: &'static str,
+        /// The value the plan/metadata requires.
+        expected: u64,
+        /// The value found in the file.
+        found: u64,
+    },
+    /// A segment file ended before its header-declared payload.
+    SegmentTruncated {
+        /// Shard whose segment ended early.
+        shard: usize,
+    },
+    /// A spill bucket's byte length was not a whole number of 8-byte
+    /// edge records — the spill was torn mid-write.
+    TornSpill {
+        /// Residual bytes past the last whole record.
+        trailing: usize,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -50,6 +74,21 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Graph(e) => write!(f, "{e}"),
             ShardError::Io(e) => write!(f, "shard spill IO: {e}"),
+            ShardError::SegmentCorrupt {
+                shard,
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "segment {shard}: {what} mismatch (expected {expected}, found {found})"
+            ),
+            ShardError::SegmentTruncated { shard } => {
+                write!(f, "segment {shard}: file ended before declared payload")
+            }
+            ShardError::TornSpill { trailing } => {
+                write!(f, "spill bucket torn: {trailing} trailing bytes")
+            }
         }
     }
 }
@@ -528,6 +567,10 @@ pub struct SpillSink {
     dir: PathBuf,
     writers: Vec<BufWriter<File>>,
     half_edges: Vec<u64>,
+    /// Directed sinks record each `(u, v)` push once, in `u`'s bucket
+    /// only — the tree-segment layout, where row `u` lists `u`'s
+    /// children.
+    directed: bool,
 }
 
 impl SpillSink {
@@ -539,6 +582,27 @@ impl SpillSink {
     /// Returns [`ShardError::Io`] if the directory or bucket files
     /// cannot be created.
     pub fn create(dir: impl AsRef<Path>, plan: ShardPlan) -> Result<Self, ShardError> {
+        Self::create_inner(dir, plan, false)
+    }
+
+    /// Opens a *directed* sink: each pushed `(u, v)` lands only in
+    /// `u`'s shard bucket, so the finalized segments form a directed
+    /// CSR (row `u` = the targets pushed from `u`, sorted, deduped) —
+    /// the on-disk layout of a BFS tree's child lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::Io`] if the directory or bucket files
+    /// cannot be created.
+    pub fn create_directed(dir: impl AsRef<Path>, plan: ShardPlan) -> Result<Self, ShardError> {
+        Self::create_inner(dir, plan, true)
+    }
+
+    fn create_inner(
+        dir: impl AsRef<Path>,
+        plan: ShardPlan,
+        directed: bool,
+    ) -> Result<Self, ShardError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let k = plan.shard_count();
@@ -552,6 +616,7 @@ impl SpillSink {
             dir,
             writers,
             half_edges: vec![0; k],
+            directed,
         })
     }
 
@@ -586,7 +651,12 @@ impl SpillSink {
             return Err(CsrError::SelfLoop { node: u }.into());
         }
         let (u, v) = (u as u32, v as u32);
-        for (src, dst) in [(u, v), (v, u)] {
+        let orientations: &[(u32, u32)] = if self.directed {
+            &[(u, v)]
+        } else {
+            &[(u, v), (v, u)]
+        };
+        for &(src, dst) in orientations {
             let s = self.plan.shard_of(src);
             let mut rec = [0u8; 8];
             rec[..4].copy_from_slice(&src.to_le_bytes());
@@ -612,6 +682,7 @@ impl SpillSink {
             dir,
             writers,
             half_edges,
+            directed: _,
         } = self;
         for w in writers {
             w.into_inner()
@@ -724,7 +795,11 @@ fn stream_records(
         if filled == 0 {
             return Ok(());
         }
-        assert_eq!(filled % 8, 0, "torn spill record");
+        if !filled.is_multiple_of(8) {
+            return Err(ShardError::TornSpill {
+                trailing: filled % 8,
+            });
+        }
         for rec in buf[..filled].chunks_exact(8) {
             let src = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
             let dst = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
@@ -766,10 +841,19 @@ impl DiskShards {
         self.plan.node_count()
     }
 
-    /// Number of undirected edges after dedup.
+    /// Number of undirected edges after dedup. Meaningful only for
+    /// stores finalized from an undirected sink ([`SpillSink::create`]);
+    /// directed tree stores count each child edge once — use
+    /// [`entry_count`](Self::entry_count).
     #[must_use]
     pub fn edge_count(&self) -> u64 {
         self.entry_count / 2
+    }
+
+    /// Total adjacency entries across all segments after dedup.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
     }
 
     /// Adjacency entries of the largest shard — the resident-set
@@ -783,36 +867,59 @@ impl DiskShards {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if the segment cannot be read.
+    /// Returns [`ShardError::Io`] if the segment cannot be opened or
+    /// read (e.g. the scratch directory vanished mid-trial),
+    /// [`ShardError::SegmentCorrupt`] if the header disagrees with the
+    /// plan or the finalize-time metadata, and
+    /// [`ShardError::SegmentTruncated`] if the file ends before its
+    /// declared payload.
     ///
     /// # Panics
     ///
-    /// Panics if `s >= shard_count()` or the segment file disagrees
-    /// with the plan.
+    /// Panics if `s >= shard_count()`.
     pub fn load<'a>(
         &self,
         s: usize,
         scratch: &'a mut ShardScratch,
     ) -> Result<ShardView<'a>, ShardError> {
         let (start, end) = self.plan.range(s);
+        let truncated = |e: ShardError| match e {
+            ShardError::Io(ref io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                ShardError::SegmentTruncated { shard: s }
+            }
+            other => other,
+        };
         let mut file = File::open(self.dir.join(format!("segment_{s}.bin")))?;
-        let rows = read_u64(&mut file)?;
-        let entries = read_u64(&mut file)?;
-        assert_eq!(rows, (end - start) as u64, "segment/plan row mismatch");
-        assert_eq!(rows, self.metas[s].rows, "segment/meta row mismatch");
-        assert_eq!(entries, self.metas[s].entries, "segment/meta mismatch");
+        let rows = read_u64(&mut file).map_err(|e| truncated(e.into()))?;
+        let entries = read_u64(&mut file).map_err(|e| truncated(e.into()))?;
+        for (what, expected, found) in [
+            ("plan rows", (end - start) as u64, rows),
+            ("meta rows", self.metas[s].rows, rows),
+            ("meta entries", self.metas[s].entries, entries),
+        ] {
+            if found != expected {
+                return Err(ShardError::SegmentCorrupt {
+                    shard: s,
+                    what,
+                    expected,
+                    found,
+                });
+            }
+        }
         read_words(
             &mut file,
             &mut scratch.offsets,
             rows as usize + 1,
             &mut scratch.buf,
-        )?;
+        )
+        .map_err(|e| truncated(e.into()))?;
         read_words(
             &mut file,
             &mut scratch.targets,
             entries as usize,
             &mut scratch.buf,
-        )?;
+        )
+        .map_err(|e| truncated(e.into()))?;
         Ok(ShardView::from_parts(
             start,
             end,
@@ -870,6 +977,157 @@ impl ShardStore {
             ShardStore::Ram(store) => Ok(store.view(s)),
             ShardStore::Disk(d) => d.load(s, scratch),
         }
+    }
+}
+
+/// The BFS spanning structure of one source component, built
+/// out-of-core from a sharded adjacency store: the level-order
+/// enumeration (in RAM, `4` bytes per reachable node) plus the child
+/// lists as directed [`DiskShards`] segments — the inputs the fast
+/// Simple kernel needs, at `n = 10⁸` scale.
+///
+/// The builder reproduces [`CsrGraph::bfs_tree`] **exactly**:
+///
+/// * In FIFO BFS every discoverer of a level-`L + 1` node is a level-`L`
+///   node, and the recorded parent is the *first* FIFO discoverer —
+///   equivalently, the level-`L` neighbor of minimum FIFO rank. The
+///   level-synchronous sharded sweep keeps per-node FIFO ranks and
+///   resolves each discovered node's parent to the minimum-rank
+///   discoverer across all shard passes, which is order-independent.
+/// * The FIFO order of level `L + 1` is "nodes grouped by their
+///   parent's FIFO rank, ascending id within a group" (CSR rows are
+///   sorted), so ranks for the next level are assigned by sorting the
+///   discovered set by `(rank(parent), id)`.
+/// * The final enumeration sorts each level by id, and the per-parent
+///   child lists come out ascending — exactly what
+///   [`SpillSink::finalize`]'s per-row sort produces from the directed
+///   `(parent, child)` spill.
+///
+/// `crates/graph` pins the equivalence against [`CsrGraph::bfs_tree`]
+/// on random graphs for both store backends.
+pub struct ShardedBfsTree {
+    order: Vec<u32>,
+    children: DiskShards,
+    reachable: usize,
+}
+
+impl ShardedBfsTree {
+    /// Runs the sharded BFS over `store`'s adjacency from `source` and
+    /// finalizes the child lists into directed segments under `dir`.
+    ///
+    /// Peak RSS during the build is two `u32` words per node (parent
+    /// and FIFO rank, dropped on return) plus the order, one shard's
+    /// adjacency, and the current level's frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if an adjacency segment cannot be read or
+    /// the child spill fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn build(
+        store: &ShardStore,
+        source: u32,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ShardError> {
+        let plan = store.plan().clone();
+        let n = plan.node_count();
+        assert!((source as usize) < n, "source out of range");
+        let k = plan.shard_count();
+        const UNSET: u32 = u32::MAX;
+
+        let mut sink = SpillSink::create_directed(dir, plan.clone())?;
+        let mut scratch = ShardScratch::new();
+        let mut parent = vec![UNSET; n];
+        let mut rank = vec![UNSET; n];
+        parent[source as usize] = source;
+        rank[source as usize] = 0;
+        let mut next_rank = 1u32;
+        let mut order: Vec<u32> = vec![source];
+
+        let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
+        frontier[plan.shard_of(source)].push(source);
+        let mut discovered: Vec<u32> = Vec::new();
+
+        while frontier.iter().any(|l| !l.is_empty()) {
+            discovered.clear();
+            for (s, list) in frontier.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let view = store.view(s, &mut scratch)?;
+                for &u in list {
+                    for &v in view.targets_of(u) {
+                        let vi = v as usize;
+                        if rank[vi] != UNSET {
+                            continue; // settled at this level or above
+                        }
+                        if parent[vi] == UNSET {
+                            parent[vi] = u;
+                            discovered.push(v);
+                        } else if rank[parent[vi] as usize] > rank[u as usize] {
+                            parent[vi] = u;
+                        }
+                    }
+                }
+            }
+            for list in &mut frontier {
+                list.clear();
+            }
+            if discovered.is_empty() {
+                break;
+            }
+            // FIFO order of the next level: discoverers ascend by rank,
+            // ids ascend within one discoverer's sorted adjacency row.
+            discovered.sort_unstable_by_key(|&v| (rank[parent[v as usize] as usize], v));
+            for &v in &discovered {
+                rank[v as usize] = next_rank;
+                next_rank += 1;
+                sink.push(u64::from(parent[v as usize]), u64::from(v))?;
+                frontier[plan.shard_of(v)].push(v);
+            }
+            let level_start = order.len();
+            order.extend_from_slice(&discovered);
+            order[level_start..].sort_unstable();
+        }
+
+        drop(parent);
+        drop(rank);
+        let children = sink.finalize()?;
+        let reachable = order.len();
+        Ok(ShardedBfsTree {
+            order,
+            children,
+            reachable,
+        })
+    }
+
+    /// The source component in nondecreasing-level order (ties by node
+    /// id) — equal to [`CsrTree::order`](crate::CsrTree::order) of the
+    /// in-RAM tree.
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of nodes reachable from the source.
+    #[must_use]
+    pub fn reachable(&self) -> usize {
+        self.reachable
+    }
+
+    /// The directed child-list segments.
+    #[must_use]
+    pub fn children(&self) -> &DiskShards {
+        &self.children
+    }
+
+    /// Consumes the tree into its order and child segments.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<u32>, DiskShards) {
+        (self.order, self.children)
     }
 }
 
@@ -1032,6 +1290,181 @@ mod tests {
         let store = ShardStore::Disk(disk);
         let view = store.view(0, &mut scratch).expect("view");
         assert_eq!(view.targets_of(0), &[1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A deterministic irregular graph: ring plus long-range chords,
+    /// giving multi-parent discovery races at every level.
+    fn chord_edges(n: u32) -> Vec<(u32, u32)> {
+        let mut edges = ring_edges(n);
+        for v in 0..n {
+            let w = (v * v + 3 * v + 7) % n;
+            if w != v {
+                edges.push((v, w));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn sharded_bfs_tree_matches_in_ram_bfs_tree() {
+        let n = 150usize;
+        let edges = chord_edges(n as u32);
+        let csr = CsrGraph::from_edges(n, &edges);
+        let reference = csr.bfs_tree(0);
+        let (ref_offsets, ref_children) = reference.clone().into_children_csr();
+        for k in [1usize, 2, 3, 7] {
+            let plan = ShardPlan::uniform(n, k);
+            let ram = ShardStore::Ram(ShardedCsr::split(&csr, plan.clone()));
+            let tree = ShardedBfsTree::build(&ram, 0, default_scratch_dir()).expect("build");
+            assert_eq!(tree.order(), reference.order(), "order diverged at k={k}");
+            assert_eq!(tree.reachable(), reference.order().len());
+            let mut scratch = ShardScratch::new();
+            for s in 0..plan.shard_count() {
+                let view = tree.children().load(s, &mut scratch).expect("load");
+                for v in view.start()..view.end() {
+                    let lo = ref_offsets[v as usize] as usize;
+                    let hi = ref_offsets[v as usize + 1] as usize;
+                    assert_eq!(
+                        view.targets_of(v),
+                        &ref_children[lo..hi],
+                        "children of {v} diverged at k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_bfs_tree_from_disk_adjacency_and_disconnected_source() {
+        // Two components: the chord graph on 0..100 plus an isolated
+        // ring on 100..120 — the tree must cover only the source's.
+        let n = 120usize;
+        let mut edges: Vec<(u32, u32)> = chord_edges(100)
+            .into_iter()
+            .filter(|&(u, v)| u < 100 && v < 100)
+            .collect();
+        for v in 100..(n as u32) {
+            edges.push((v, if v + 1 < n as u32 { v + 1 } else { 100 }));
+        }
+        let csr = CsrGraph::from_edges(n, &edges);
+        let reference = csr.bfs_tree(0);
+        let plan = ShardPlan::uniform(n, 5);
+        let mut sink = SpillSink::create(default_scratch_dir(), plan).expect("sink");
+        for &(u, v) in &edges {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        let disk = ShardStore::Disk(sink.finalize().expect("finalize"));
+        let tree = ShardedBfsTree::build(&disk, 0, default_scratch_dir()).expect("build");
+        assert_eq!(tree.order(), reference.order());
+        assert_eq!(tree.reachable(), 100);
+    }
+
+    #[test]
+    fn directed_sink_keeps_one_orientation() {
+        let dir = default_scratch_dir();
+        let mut sink =
+            SpillSink::create_directed(&dir, ShardPlan::uniform(6, 2)).expect("create sink");
+        sink.push(0, 4).expect("push");
+        sink.push(4, 2).expect("push");
+        let disk = sink.finalize().expect("finalize");
+        assert_eq!(disk.entry_count(), 2);
+        let mut scratch = ShardScratch::new();
+        let v0 = disk.load(0, &mut scratch).expect("load");
+        assert_eq!(v0.targets_of(0), &[4]);
+        assert_eq!(v0.targets_of(2), &[] as &[u32]);
+        let v1 = disk.load(1, &mut scratch).expect("load");
+        assert_eq!(v1.targets_of(4), &[2]);
+    }
+
+    #[test]
+    fn truncated_segment_surfaces_a_typed_error() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(40, 2)).expect("create sink");
+        for &(u, v) in &ring_edges(40) {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        let disk = sink.finalize().expect("finalize");
+        // Cut the payload short (keep the 16-byte header intact).
+        let seg = disk.dir.join("segment_0.bin");
+        let len = fs::metadata(&seg).expect("metadata").len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("open")
+            .set_len(len - 8)
+            .expect("truncate");
+        let mut scratch = ShardScratch::new();
+        match disk.load(0, &mut scratch) {
+            Err(ShardError::SegmentTruncated { shard: 0 }) => {}
+            other => panic!("expected SegmentTruncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_header_surfaces_a_typed_error() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(40, 2)).expect("create sink");
+        for &(u, v) in &ring_edges(40) {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        let disk = sink.finalize().expect("finalize");
+        // Overwrite the row count in the header.
+        let seg = disk.dir.join("segment_1.bin");
+        let mut bytes = fs::read(&seg).expect("read");
+        bytes[..8].copy_from_slice(&999u64.to_le_bytes());
+        fs::write(&seg, &bytes).expect("write");
+        let mut scratch = ShardScratch::new();
+        match disk.load(1, &mut scratch) {
+            Err(ShardError::SegmentCorrupt {
+                shard: 1,
+                found: 999,
+                ..
+            }) => {}
+            other => panic!("expected SegmentCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vanished_scratch_dir_surfaces_a_typed_error() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(20, 2)).expect("create sink");
+        sink.push(0, 1).expect("push");
+        let disk = sink.finalize().expect("finalize");
+        fs::remove_dir_all(&dir).expect("remove scratch dir");
+        let mut scratch = ShardScratch::new();
+        match disk.load(0, &mut scratch) {
+            Err(ShardError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected Io(NotFound), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_spill_surfaces_a_typed_error() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(10, 1)).expect("create sink");
+        sink.push(0, 1).expect("push");
+        // Tear the bucket: append half a record.
+        sink.writers[0].write_all(&[0u8; 4]).expect("tear");
+        match sink.finalize().map(|_| ()) {
+            Err(ShardError::TornSpill { trailing: 4 }) => {}
+            other => panic!("expected TornSpill, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bucket_overflow_in_finalize_is_a_typed_error() {
+        let dir = default_scratch_dir();
+        let mut sink = SpillSink::create(&dir, ShardPlan::uniform(10, 2)).expect("create sink");
+        sink.push(0, 1).expect("push");
+        // Fake an overflowing bucket count: writing 2^32 real edges in
+        // a unit test is not an option.
+        sink.half_edges[0] = <u32 as CsrWidth>::MAX_INDEX + 1;
+        match sink.finalize().map(|_| ()) {
+            Err(ShardError::Graph(CsrError::AdjacencyOverflow { .. })) => {}
+            other => panic!("expected AdjacencyOverflow, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 
