@@ -13,13 +13,17 @@ use randcast_core::flood::{theorem_horizon, FloodPlan, FloodVariant};
 use randcast_core::simple::SimplePlan;
 use randcast_engine::adversary::FlipMpAdversary;
 use randcast_engine::fault::FaultConfig;
-use randcast_engine::flood_fast::{FastFlood, FastFloodVariant};
+use randcast_engine::flood_fast::{FastFlood, FastFloodVariant, ShardedFlood};
 use randcast_engine::kernel::{FaultTapes, FlipFault};
 use randcast_engine::mp::{MpNetwork, MpNode, Outgoing, SilentMpAdversary};
 use randcast_engine::radio::{RadioAction, RadioNetwork, RadioNode};
-use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule};
-use randcast_engine::simple_fast::FastSimple;
+use randcast_engine::radio_fast::{FastRadio, FastRadioSchedule, ShardedRadio};
+use randcast_engine::simple_fast::{FastSimple, ShardedSimple};
+use randcast_graph::shard::{
+    default_scratch_dir, ShardPlan, ShardStore, ShardedBfsTree, SpillSink,
+};
 use randcast_graph::{generators, traversal, CsrGraph, Graph, NodeId};
+use randcast_stats::chernoff::phase_len_omission;
 
 /// Flooding automaton (the engine stress case: every informed node sends
 /// every round).
@@ -375,6 +379,116 @@ fn bench_radio_fast_vs_trait(c: &mut Criterion) {
     group.finish();
 }
 
+/// Out-of-core kernels on a disk-backed 3-segment store (prefetch
+/// pipeline on): one scalar lane vs one 64-lane batched block per
+/// kernel. The batched rows amortize every segment load across the
+/// lanes; bench_gate `--bar` floors their per-trial speedup in CI.
+fn bench_oc_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oc_engines");
+    group.sample_size(10);
+    let label = "gnp4096-d8";
+    let g = generators::gnp_connected(4096, 8.0 / 4095.0, &mut SmallRng::seed_from_u64(7));
+    let csr = CsrGraph::from(&g);
+    let n = csr.node_count();
+    let plan = ShardPlan::uniform(n, 3);
+    let disk_store = || {
+        let mut sink = SpillSink::create(default_scratch_dir(), plan.clone()).expect("spill sink");
+        for v in 0..n {
+            for &t in csr.neighbors_of(v) {
+                if (v as u32) < t {
+                    sink.push(v as u64, u64::from(t)).expect("spill edge");
+                }
+            }
+        }
+        ShardStore::Disk(sink.finalize().expect("finalize"))
+    };
+    let p = 0.3;
+    let source = g.node(0);
+
+    let horizon = theorem_horizon(&g, source, p);
+    group.throughput(Throughput::Elements((horizon * n) as u64));
+    let flood = ShardedFlood::new(disk_store(), 0, horizon);
+    group.bench_with_input(BenchmarkId::new("flood-scalar", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            flood
+                .run_lane(p, seed, 0)
+                .expect("oc flood")
+                .informed_count()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("flood-batch", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            flood
+                .run_batch(p, seed, n)
+                .expect("oc flood batch")
+                .informed_count(0)
+        })
+    });
+
+    let cfg = DecayConfig::classical(n, traversal::radius_from(&g, source));
+    group.throughput(Throughput::Elements((cfg.total_rounds() * n) as u64));
+    let radio = ShardedRadio::new(
+        disk_store(),
+        0,
+        cfg.total_rounds(),
+        FastRadioSchedule::Decay {
+            epoch_len: cfg.epoch_len,
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("radio-scalar", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            radio
+                .run_lane(p, seed, 0)
+                .expect("oc radio")
+                .informed_count()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("radio-batch", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            radio
+                .run_batch(p, seed)
+                .expect("oc radio batch")
+                .informed_count(0)
+        })
+    });
+
+    let m = phase_len_omission(n, p);
+    let store = disk_store();
+    let tree = ShardedBfsTree::build(&store, 0, default_scratch_dir()).expect("BFS tree");
+    let (order, children) = tree.into_parts();
+    let simple = ShardedSimple::new(ShardStore::Disk(children), order, 0, m);
+    group.throughput(Throughput::Elements((n * m * n) as u64));
+    group.bench_with_input(BenchmarkId::new("simple-scalar", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simple
+                .run_lane(p, seed, 0)
+                .expect("oc simple")
+                .correct_count()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("simple-batch", label), &p, |b, &p| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simple
+                .run_batch(p, seed)
+                .expect("oc simple batch")
+                .correct_count(0)
+        })
+    });
+    group.finish();
+}
+
 fn bench_radio(c: &mut Criterion) {
     let mut group = c.benchmark_group("radio_rounds");
     for side in [8usize, 16, 32] {
@@ -403,6 +517,6 @@ fn bench_radio(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio, bench_radio_fast_vs_trait, bench_simple_fast_vs_trait
+    targets = bench_mp, bench_mp_directed, bench_flood_fast_vs_mp, bench_radio, bench_radio_fast_vs_trait, bench_simple_fast_vs_trait, bench_oc_engines
 }
 criterion_main!(benches);

@@ -12,14 +12,19 @@
 //!    is outcome-neutral, so the JSON is byte-identical either way
 //!    (CI's shards-1-vs-4 determinism gate diffs exactly this
 //!    report).
-//! 2. **Out-of-core trials** (printed + JSON rows): one trial per
-//!    kernel — flood, radio under the classical Decay schedule, and
-//!    Simple over a sharded BFS tree — against a *single* shared
-//!    adjacency store, handed from kernel to kernel without a rebuild.
+//! 2. **Out-of-core trials** (printed + JSON rows): one scalar trial
+//!    plus one 64-lane batched block per kernel — flood, radio under
+//!    the classical Decay schedule, and Simple over a sharded BFS tree
+//!    — against a *single* shared adjacency store, handed from kernel
+//!    to kernel without a rebuild. The batched blocks amortize every
+//!    segment load over 64 bit-sliced trials, so their *per-trial*
+//!    wall is the headline number of the part-2 table.
 //!    With `--store disk` (the default) the adjacency *never resides
 //!    in RAM*: `gnp_edges` streams the edge run into a [`SpillSink`],
 //!    `finalize` counting-sorts it into per-shard CSR segment files,
-//!    and the kernels replay trials loading one segment at a time.
+//!    and the kernels replay trials loading one segment at a time
+//!    (with `--prefetch on`, the default, a background reader overlaps
+//!    the next segment's read with the current shard's compute).
 //!    `--store ram` splits the same edge stream in memory
 //!    ([`ShardStore::Ram`]) — the in-core control arm of CI's
 //!    Ram-vs-Disk determinism gate, which diffs the normalized JSON of
@@ -237,8 +242,9 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let horizon = ((2.0 * (d_est + 4.0 * nf.ln()) / (1.0 - P)).ceil() as usize).max(1);
 
+    let prefetch_label = if cli.prefetch { "on" } else { "off" };
     println!(
-        "out-of-core trials: n = {n}, mean degree 8, p = {P}, {shards} shard(s), store = {store_label}"
+        "out-of-core trials: n = {n}, mean degree 8, p = {P}, {shards} shard(s), store = {store_label}, prefetch = {prefetch_label}"
     );
     let mut setup = Table::new(["build metric", "value"]);
     setup
@@ -259,7 +265,9 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
     let mut trials = Table::new([
         "kernel",
         "rounds budget",
-        "trial wall",
+        "wall",
+        "per-trial wall",
+        "prefetch",
         "completed round",
         "informed frac",
         "almost-complete",
@@ -268,7 +276,7 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
     let fmt_round = |r: Option<usize>| r.map_or_else(|| "-".into(), |r| r.to_string());
 
     // Flood: the store moves in and comes back out for radio.
-    let flood = ShardedFlood::new(store, 0, horizon);
+    let flood = ShardedFlood::new(store, 0, horizon).with_prefetch(cli.prefetch);
     let flood_start = Instant::now();
     let fout = flood
         .run_lane(P, cli.seeds().nth_seed(0), 0)
@@ -278,6 +286,8 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         "flood".into(),
         format!("{horizon}"),
         format!("{:.1}s", flood_wall.as_secs_f64()),
+        format!("{:.2}s", flood_wall.as_secs_f64()),
+        prefetch_label.into(),
         fmt_round(fout.completion_round()),
         format!("{:.6}", fout.informed_fraction()),
         fmt_round(fout.almost_complete_round()),
@@ -291,6 +301,30 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         fout.almost_complete_round(),
         flood_wall,
     ));
+
+    // 64-lane batched block over the same store: every segment load is
+    // amortized across the lanes, so the per-trial wall collapses.
+    let fb_start = Instant::now();
+    let fbatch = flood
+        .run_batch(P, cli.seeds().nth_seed(3), reachable)
+        .unwrap_or_else(|e| panic!("out-of-core flood batch failed: {e}"));
+    let fb_wall = fb_start.elapsed();
+    let fb_lanes = lane_stats(|l| {
+        (
+            fbatch.completion_round(l),
+            fbatch.informed_fraction(l),
+            fbatch.almost_complete_round(l),
+        )
+    });
+    batch_row(
+        &mut trials,
+        "flood x64",
+        horizon,
+        fb_wall,
+        prefetch_label,
+        &fb_lanes,
+    );
+    cells.push(oc_batch_cell("flood", n, &fb_lanes, fb_wall));
     let store = flood.into_store();
 
     // Radio under the classical Decay schedule: epoch length
@@ -305,7 +339,9 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         FastRadioSchedule::Decay {
             epoch_len: decay.epoch_len,
         },
-    );
+    )
+    .with_prefetch(cli.prefetch)
+    .with_threads(cli.threads);
     let radio_start = Instant::now();
     let rout = radio
         .run_lane(P, cli.seeds().nth_seed(1), 0)
@@ -315,6 +351,8 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         "radio/decay".into(),
         format!("{}", decay.total_rounds()),
         format!("{:.1}s", radio_wall.as_secs_f64()),
+        format!("{:.2}s", radio_wall.as_secs_f64()),
+        prefetch_label.into(),
         fmt_round(rout.completion_round()),
         format!("{:.6}", rout.informed_fraction()),
         fmt_round(rout.almost_complete_round()),
@@ -328,12 +366,35 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         rout.almost_complete_round(),
         radio_wall,
     ));
+
+    let rb_start = Instant::now();
+    let rbatch = radio
+        .run_batch(P, cli.seeds().nth_seed(4))
+        .unwrap_or_else(|e| panic!("out-of-core radio batch failed: {e}"));
+    let rb_wall = rb_start.elapsed();
+    let rb_lanes = lane_stats(|l| {
+        (
+            rbatch.completion_round(l),
+            rbatch.informed_fraction(l),
+            rbatch.almost_complete_round(l),
+        )
+    });
+    batch_row(
+        &mut trials,
+        "radio/decay x64",
+        decay.total_rounds(),
+        rb_wall,
+        prefetch_label,
+        &rb_lanes,
+    );
+    cells.push(oc_batch_cell("radio", n, &rb_lanes, rb_wall));
     drop(radio); // releases the adjacency store (and its scratch dir)
 
     // Simple: the (level, id)-sorted phase walk over the directed
     // child segments the BFS build spilled.
     let m = phase_len_omission(n.max(2), P);
-    let simple = ShardedSimple::new(ShardStore::Disk(children), order, 0, m);
+    let simple =
+        ShardedSimple::new(ShardStore::Disk(children), order, 0, m).with_prefetch(cli.prefetch);
     let simple_start = Instant::now();
     let sout = simple
         .run_lane(P, cli.seeds().nth_seed(2), 0)
@@ -343,6 +404,8 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         "simple".into(),
         format!("{}", sout.total_rounds()),
         format!("{:.1}s", simple_wall.as_secs_f64()),
+        format!("{:.2}s", simple_wall.as_secs_f64()),
+        prefetch_label.into(),
         fmt_round(sout.completion_round()),
         format!("{:.6}", sout.correct_fraction()),
         fmt_round(sout.almost_complete_round()),
@@ -356,6 +419,28 @@ fn out_of_core_trials(cli: &Cli, n: usize, quick: bool, cells: &mut Vec<CellResu
         sout.almost_complete_round(),
         simple_wall,
     ));
+
+    let sb_start = Instant::now();
+    let sbatch = simple
+        .run_batch(P, cli.seeds().nth_seed(5))
+        .unwrap_or_else(|e| panic!("out-of-core simple batch failed: {e}"));
+    let sb_wall = sb_start.elapsed();
+    let sb_lanes = lane_stats(|l| {
+        (
+            sbatch.completion_round(l),
+            sbatch.correct_fraction(l),
+            sbatch.almost_complete_round(l),
+        )
+    });
+    batch_row(
+        &mut trials,
+        "simple x64",
+        sbatch.total_rounds(),
+        sb_wall,
+        prefetch_label,
+        &sb_lanes,
+    );
+    cells.push(oc_batch_cell("simple", n, &sb_lanes, sb_wall));
 
     println!("{}", trials.render());
     println!(
@@ -400,6 +485,93 @@ fn oc_cell(
             informed_frac: Some(informed_frac),
             almost_rounds,
         }],
+    }
+}
+
+/// Per-lane `(completion round, informed/correct fraction,
+/// almost-complete round)` of one 64-lane batched block.
+type LaneStats = (Option<usize>, f64, Option<usize>);
+
+/// Collects the per-lane stats of a 64-lane batched block.
+fn lane_stats(per_lane: impl Fn(u32) -> LaneStats) -> Vec<LaneStats> {
+    (0..64).map(per_lane).collect()
+}
+
+/// One printed row for a batched block: total and per-trial wall, lane
+/// medians for the round columns, lane mean for the fraction.
+fn batch_row(
+    trials: &mut Table,
+    kernel: &str,
+    budget: usize,
+    wall: Duration,
+    prefetch: &str,
+    lanes: &[LaneStats],
+) {
+    #[allow(clippy::cast_precision_loss)]
+    let completed: Vec<f64> = lanes
+        .iter()
+        .filter_map(|&(c, _, _)| c.map(|r| r as f64))
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let almost: Vec<f64> = lanes
+        .iter()
+        .filter_map(|&(_, _, a)| a.map(|r| r as f64))
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_frac = lanes.iter().map(|(_, f, _)| f).sum::<f64>() / lanes.len() as f64;
+    let fmt_p50 = |q: Option<QuantileSummary>| {
+        q.map_or_else(|| "-".into(), |s| format!("p50 {}", fmt_f2(s.p50)))
+    };
+    #[allow(clippy::cast_precision_loss)]
+    trials.row([
+        kernel.into(),
+        format!("{budget}"),
+        format!("{:.1}s", wall.as_secs_f64()),
+        format!("{:.2}s", wall.as_secs_f64() / lanes.len() as f64),
+        prefetch.into(),
+        fmt_p50(QuantileSummary::from_unsorted(&completed)),
+        format!("{mean_frac:.6}"),
+        fmt_p50(QuantileSummary::from_unsorted(&almost)),
+        fmt_gib(peak_rss_bytes()),
+    ]);
+}
+
+/// One synthetic report row for a 64-lane batched block: one
+/// [`TrialOutcome`] per lane. Like [`oc_cell`], only store-, shard-,
+/// thread-, and prefetch-agnostic fields, so the determinism gates
+/// diff the normalized JSON byte-for-byte across every knob.
+fn oc_batch_cell(engine: &str, n: usize, lanes: &[LaneStats], wall: Duration) -> CellResult {
+    #[allow(clippy::cast_precision_loss)]
+    let outcomes: Vec<TrialOutcome> = lanes
+        .iter()
+        .map(|&(completed, frac, almost)| TrialOutcome {
+            success: completed.is_some(),
+            rounds: completed.map(|r| r as f64),
+            informed_frac: Some(frac),
+            almost_rounds: almost.map(|r| r as f64),
+        })
+        .collect();
+    let successes = outcomes.iter().filter(|o| o.success).count();
+    let rounds: Vec<f64> = outcomes.iter().filter_map(|o| o.rounds).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_rounds =
+        (!rounds.is_empty()).then(|| rounds.iter().sum::<f64>() / rounds.len() as f64);
+    #[allow(clippy::cast_precision_loss)]
+    let mean_frac =
+        outcomes.iter().filter_map(|o| o.informed_frac).sum::<f64>() / outcomes.len() as f64;
+    CellResult {
+        kind: CellKind::MonteCarlo,
+        params: vec![
+            ("engine".into(), format!("{engine}/out-of-core-batch")),
+            ("n".into(), format!("{n}")),
+            ("lanes".into(), format!("{}", lanes.len())),
+        ],
+        estimate: SuccessEstimate::new(successes, outcomes.len()),
+        row: None,
+        mean_rounds,
+        mean_informed_frac: Some(mean_frac),
+        wall_ms: wall.as_secs_f64() * 1000.0,
+        outcomes,
     }
 }
 

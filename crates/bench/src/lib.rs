@@ -51,6 +51,9 @@ pub const USAGE: &str =
   --store KIND   shard-store backend for the out-of-core trials of the
                  scale binaries: `disk` (segment files, the default) or
                  `ram` (in-memory split); outcome-neutral
+  --prefetch V   `on` (default) overlaps the next segment read with the
+                 current shard's compute in the out-of-core trials;
+                 `off` loads segments synchronously; outcome-neutral
   --sweep-only   run only the sweep part of binaries with an extra
                  out-of-core part (CI's speedup probe times the sweep
                  without paying for the 10^8 trials)
@@ -92,6 +95,11 @@ pub struct Cli {
     /// Shard-store backend for the out-of-core trials of the scale
     /// binaries (`--store ram|disk`; default disk). Outcome-neutral.
     pub store: StoreKind,
+    /// Pipelined segment prefetch for the out-of-core trials of the
+    /// scale binaries (`--prefetch on|off`; default on). A background
+    /// reader overlaps the next segment's read with the current
+    /// shard's compute; outcome-neutral either way.
+    pub prefetch: bool,
     /// Skip the out-of-core part of binaries that have one
     /// (`--sweep-only`) — CI's multi-thread speedup probe times the
     /// sweep alone.
@@ -130,6 +138,7 @@ impl Cli {
             threads: default_threads(),
             shards: None,
             store: StoreKind::default(),
+            prefetch: true,
             sweep_only: false,
             seed: DEFAULT_SEED,
             json: None,
@@ -174,6 +183,20 @@ impl Cli {
                         other => {
                             return Err(CliError::Bad(format!(
                                 "invalid value `{other}` for --store (expected `ram` or `disk`)"
+                            )));
+                        }
+                    };
+                }
+                "--prefetch" => {
+                    let raw = args
+                        .next()
+                        .ok_or_else(|| CliError::Bad("--prefetch needs a value".into()))?;
+                    cli.prefetch = match raw.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(CliError::Bad(format!(
+                                "invalid value `{other}` for --prefetch (expected `on` or `off`)"
                             )));
                         }
                     };
@@ -548,6 +571,18 @@ mod tests {
         assert_eq!(parse(&["--store", "disk"]).unwrap().store, StoreKind::Disk);
         assert!(matches!(parse(&["--store", "tape"]), Err(CliError::Bad(_))));
         assert!(matches!(parse(&["--store"]), Err(CliError::Bad(_))));
+    }
+
+    #[test]
+    fn prefetch_flag_parses_and_rejects_junk() {
+        assert!(parse(&[]).unwrap().prefetch);
+        assert!(parse(&["--prefetch", "on"]).unwrap().prefetch);
+        assert!(!parse(&["--prefetch", "off"]).unwrap().prefetch);
+        assert!(matches!(
+            parse(&["--prefetch", "maybe"]),
+            Err(CliError::Bad(_))
+        ));
+        assert!(matches!(parse(&["--prefetch"]), Err(CliError::Bad(_))));
     }
 
     #[test]

@@ -22,11 +22,21 @@
 //! [`trial_block`]: randcast_core::scenario::PreparedScenario::trial_block
 //! [`trial_lane`]: randcast_core::scenario::PreparedScenario::trial_lane
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use randcast_core::scenario::{
     Algorithm, GraphFamily, Model, PreparedScenario, Scenario, ShardSpec,
 };
 use randcast_core::sweep::BATCH_LANES;
 use randcast_engine::fault::FaultConfig;
+use randcast_engine::flood_fast::ShardedFlood;
+use randcast_engine::radio_fast::{FastRadioSchedule, ShardedRadio};
+use randcast_engine::simple_fast::ShardedSimple;
+use randcast_graph::generators::gnp_connected;
+use randcast_graph::shard::{
+    default_scratch_dir, ShardPlan, ShardStore, ShardedBfsTree, SpillSink,
+};
+use randcast_graph::CsrGraph;
 use randcast_stats::seed::SeedSequence;
 
 const SEEDS: usize = 250;
@@ -140,6 +150,109 @@ fn sharded_simple_blocks_match_monolithic_element_wise() {
         Algorithm::SimpleFast { phase_len: None },
         Model::Mp,
     );
+}
+
+/// Builds a disk-backed copy of `csr` under `plan` (segment files in
+/// the scratch dir, freed when the returned store drops).
+fn disk_store(csr: &CsrGraph, plan: ShardPlan) -> ShardStore {
+    let mut sink = SpillSink::create(default_scratch_dir(), plan).expect("spill sink");
+    for v in 0..csr.node_count() {
+        for &t in csr.neighbors_of(v) {
+            if (v as u32) < t {
+                sink.push(v as u64, u64::from(t)).expect("spill edge");
+            }
+        }
+    }
+    ShardStore::Disk(sink.finalize().expect("finalize"))
+}
+
+/// The `--prefetch` leg of the outcome-neutrality contract: on
+/// disk-backed stores, the pipelined background reader must be byte-
+/// invisible — for all 250 seeds × 3 out-of-core engines, a scalar
+/// lane replayed with prefetch **on** must equal the same lane with
+/// prefetch **off** (and, every 25th seed, the whole 64-lane batched
+/// block must too). The graph is connected and small; each engine gets
+/// its own 3-segment disk store so every pass crosses segment bounds.
+#[test]
+fn prefetch_toggle_is_byte_invisible_on_disk_stores() {
+    let n = 400;
+    let g = gnp_connected(n, 0.018, &mut SmallRng::seed_from_u64(0x0F0E));
+    let csr = CsrGraph::from(&g);
+    let plan = ShardPlan::uniform(n, 3);
+    let seeds = SeedSequence::new(0x07AD_0251);
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let epoch_len = (n as f64).log2().ceil() as usize + 1;
+    let mut flood = ShardedFlood::new(disk_store(&csr, plan.clone()), 0, 600);
+    let mut radio = ShardedRadio::new(
+        disk_store(&csr, plan.clone()),
+        0,
+        1200,
+        FastRadioSchedule::Decay { epoch_len },
+    );
+    let simple_base = disk_store(&csr, plan);
+    let tree = ShardedBfsTree::build(&simple_base, 0, default_scratch_dir()).expect("BFS tree");
+    assert_eq!(tree.reachable(), n, "gnp_connected source component");
+    let (order, children) = tree.into_parts();
+    let mut simple = ShardedSimple::new(ShardStore::Disk(children), order, 0, 3);
+
+    for s in 0..SEEDS {
+        let p = PS[s % PS.len()];
+        let block_seed = seeds.nth_seed(s as u64);
+        let lane = (s % BATCH_LANES) as u32;
+        let check_batch = s % 25 == 0;
+
+        flood = flood.with_prefetch(true);
+        let f_lane = flood.run_lane(p, block_seed, lane).expect("flood on");
+        let f_batch = check_batch.then(|| flood.run_batch(p, block_seed, n).expect("flood batch"));
+        flood = flood.with_prefetch(false);
+        assert_eq!(
+            f_lane,
+            flood.run_lane(p, block_seed, lane).expect("flood off"),
+            "flood: seed #{s} p={p} lane={lane} diverged across prefetch"
+        );
+        if let Some(batch) = f_batch {
+            assert_eq!(
+                batch,
+                flood.run_batch(p, block_seed, n).expect("flood batch off"),
+                "flood: seed #{s} p={p} batch diverged across prefetch"
+            );
+        }
+
+        radio = radio.with_prefetch(true);
+        let r_lane = radio.run_lane(p, block_seed, lane).expect("radio on");
+        let r_batch = check_batch.then(|| radio.run_batch(p, block_seed).expect("radio batch"));
+        radio = radio.with_prefetch(false);
+        assert_eq!(
+            r_lane,
+            radio.run_lane(p, block_seed, lane).expect("radio off"),
+            "radio: seed #{s} p={p} lane={lane} diverged across prefetch"
+        );
+        if let Some(batch) = r_batch {
+            assert_eq!(
+                batch,
+                radio.run_batch(p, block_seed).expect("radio batch off"),
+                "radio: seed #{s} p={p} batch diverged across prefetch"
+            );
+        }
+
+        simple = simple.with_prefetch(true);
+        let s_lane = simple.run_lane(p, block_seed, lane).expect("simple on");
+        let s_batch = check_batch.then(|| simple.run_batch(p, block_seed).expect("simple batch"));
+        simple = simple.with_prefetch(false);
+        assert_eq!(
+            s_lane,
+            simple.run_lane(p, block_seed, lane).expect("simple off"),
+            "simple: seed #{s} p={p} lane={lane} diverged across prefetch"
+        );
+        if let Some(batch) = s_batch {
+            assert_eq!(
+                batch,
+                simple.run_batch(p, block_seed).expect("simple batch off"),
+                "simple: seed #{s} p={p} batch diverged across prefetch"
+            );
+        }
+    }
 }
 
 #[test]

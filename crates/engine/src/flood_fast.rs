@@ -54,13 +54,14 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
+use randcast_graph::shard::{PassLoader, ShardError, ShardPlan, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
     lane_popcounts, planes_add_one_masked, planes_assign, planes_eq_mask, planes_gt_mask,
-    planes_le_mask, record_crossings, shard_passes, BatchedInformedSet, CorruptionKind, FaultModel,
-    FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask, Omission, ShardFrontier, LANES,
+    planes_le_mask, range_passes, record_crossings, shard_passes, BatchedInformedSet,
+    CorruptionKind, FaultModel, FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask,
+    Omission, ShardFrontier, LANES,
 };
 
 /// The fault-coin site of `(node, index)`: the index (a 1-based round
@@ -1167,9 +1168,26 @@ impl FastFlood {
         threads: usize,
     ) -> FastFloodBatch {
         struct ShardPass {
-            events: Vec<(u32, LaneMask)>,
+            /// Delivery events bucketed by the *listener's* shard, so
+            /// the merge fans out over listener ranges.
+            events: Vec<Vec<(u32, LaneMask)>>,
             retained: Vec<(u32, LaneMask)>,
             dropped: Vec<u32>,
+        }
+
+        /// One listener shard's slice of the merge state: the event
+        /// buckets addressed to it (transmit shards ascending), its
+        /// frontier list, and its `split_at_mut` windows of the shared
+        /// node-indexed planes.
+        struct MergeSlice<'a> {
+            buckets: Vec<Vec<(u32, LaneMask)>>,
+            retained: Vec<(u32, LaneMask)>,
+            dropped: Vec<u32>,
+            frontier: Vec<u32>,
+            masks: &'a mut [u64],
+            pending: &'a mut [u64],
+            frontier_mask: &'a mut [u64],
+            in_frontier: &'a mut [bool],
         }
 
         let n = self.n;
@@ -1205,7 +1223,6 @@ impl FastFlood {
             in_frontier[self.source as usize] = true;
         }
         let mut pending = vec![0u64; n];
-        let mut pending_nodes: Vec<u32> = Vec::new();
 
         let mut live: LaneMask = if reach > 1 { !0 } else { 0 };
 
@@ -1214,7 +1231,6 @@ impl FastFlood {
                 break;
             }
             executed += 1;
-            pending_nodes.clear();
             let mut changed = false;
 
             // Parallel phase: every read is against state frozen for
@@ -1226,7 +1242,7 @@ impl FastFlood {
                 let informed = &informed;
                 shard_passes(k, threads, |s| {
                     let mut pass = ShardPass {
-                        events: Vec::new(),
+                        events: vec![Vec::new(); k],
                         retained: Vec::new(),
                         dropped: Vec::new(),
                     };
@@ -1251,7 +1267,7 @@ impl FastFlood {
                                 // in the single-threaded sequence
                                 // either.
                                 if succ & !informed.lanes(t) != 0 {
-                                    pass.events.push((t, succ));
+                                    pass.events[plan.shard_of(t)].push((t, succ));
                                 }
                             }
                         }
@@ -1266,36 +1282,100 @@ impl FastFlood {
                 })
             };
 
-            // Sequential merge in ascending shard order: replays the
-            // exact write sequence of the single-threaded pass.
-            for (s, pass) in passes.into_iter().enumerate() {
-                let list = &mut frontier[s];
-                list.clear();
-                for (v, keep) in pass.retained {
-                    frontier_mask[v as usize] = keep;
-                    list.push(v);
+            // Parallel merge over listener shards: shard `l`'s event
+            // stream (transmit shards ascending, emission order within
+            // each) is the restriction of the sequential merge order to
+            // listeners in `l`, and every plane it writes — informed
+            // masks, pending masks, frontier membership — is indexed by
+            // nodes of `l` alone, handed out via `split_at_mut`. Each
+            // worker accumulates its own LaneCounter delta; the
+            // ascending fold below replays the exact counter sums, and
+            // the counter is only *observed* after the fold.
+            let slices: Vec<MergeSlice> = {
+                let (masks, _) = informed.parts_mut();
+                let mut masks_rest: &mut [u64] = masks;
+                let mut pending_rest: &mut [u64] = &mut pending;
+                let mut fmask_rest: &mut [u64] = &mut frontier_mask;
+                let mut infr_rest: &mut [bool] = &mut in_frontier;
+                let mut slices: Vec<MergeSlice> = Vec::with_capacity(k);
+                for (s, list) in frontier.iter_mut().enumerate() {
+                    let (start, end) = plan.range(s);
+                    let rows = (end - start) as usize;
+                    let (masks, m_rest) = std::mem::take(&mut masks_rest).split_at_mut(rows);
+                    let (pending, p_rest) = std::mem::take(&mut pending_rest).split_at_mut(rows);
+                    let (frontier_mask, f_rest) =
+                        std::mem::take(&mut fmask_rest).split_at_mut(rows);
+                    let (in_frontier, i_rest) = std::mem::take(&mut infr_rest).split_at_mut(rows);
+                    masks_rest = m_rest;
+                    pending_rest = p_rest;
+                    fmask_rest = f_rest;
+                    infr_rest = i_rest;
+                    slices.push(MergeSlice {
+                        buckets: Vec::with_capacity(k),
+                        retained: Vec::new(),
+                        dropped: Vec::new(),
+                        frontier: std::mem::take(list),
+                        masks,
+                        pending,
+                        frontier_mask,
+                        in_frontier,
+                    });
                 }
-                for v in pass.dropped {
-                    frontier_mask[v as usize] = 0;
-                    in_frontier[v as usize] = false;
+                for (s, pass) in passes.into_iter().enumerate() {
+                    for (l, bucket) in pass.events.into_iter().enumerate() {
+                        slices[l].buckets.push(bucket);
+                    }
+                    slices[s].retained = pass.retained;
+                    slices[s].dropped = pass.dropped;
                 }
-                for (t, succ) in pass.events {
-                    let newly = informed.insert_masked(t, succ);
-                    if newly != 0 {
-                        changed = true;
-                        if pending[t as usize] == 0 {
-                            pending_nodes.push(t);
+                slices
+            };
+            let merged = range_passes(slices, threads, |l, mut slice| {
+                let (start, _) = plan.range(l);
+                slice.frontier.clear();
+                for &(v, keep) in &slice.retained {
+                    slice.frontier_mask[(v - start) as usize] = keep;
+                    slice.frontier.push(v);
+                }
+                for &v in &slice.dropped {
+                    slice.frontier_mask[(v - start) as usize] = 0;
+                    slice.in_frontier[(v - start) as usize] = false;
+                }
+                let mut delta = LaneCounter::new();
+                let mut changed = false;
+                let mut pending_nodes: Vec<u32> = Vec::new();
+                for bucket in &slice.buckets {
+                    for &(t, succ) in bucket {
+                        let ti = (t - start) as usize;
+                        let newly = succ & !slice.masks[ti];
+                        if newly != 0 {
+                            slice.masks[ti] |= newly;
+                            delta.add_masked(newly, 1);
+                            changed = true;
+                            if slice.pending[ti] == 0 {
+                                pending_nodes.push(t);
+                            }
+                            slice.pending[ti] |= newly;
                         }
-                        pending[t as usize] |= newly;
                     }
                 }
-            }
-            for &t in &pending_nodes {
-                frontier_mask[t as usize] |= pending[t as usize];
-                pending[t as usize] = 0;
-                if !in_frontier[t as usize] {
-                    in_frontier[t as usize] = true;
-                    frontier[plan.shard_of(t)].push(t);
+                for &t in &pending_nodes {
+                    let ti = (t - start) as usize;
+                    slice.frontier_mask[ti] |= slice.pending[ti];
+                    slice.pending[ti] = 0;
+                    if !slice.in_frontier[ti] {
+                        slice.in_frontier[ti] = true;
+                        slice.frontier.push(t);
+                    }
+                }
+                (slice.frontier, delta, changed)
+            });
+            {
+                let (_, counts) = informed.parts_mut();
+                for (list, (new_list, delta, shard_changed)) in frontier.iter_mut().zip(merged) {
+                    *list = new_list;
+                    counts.add_counter(&delta);
+                    changed |= shard_changed;
                 }
             }
 
@@ -1651,6 +1731,7 @@ pub struct ShardedFlood {
     store: ShardStore,
     source: u32,
     horizon: usize,
+    prefetch: bool,
 }
 
 impl ShardedFlood {
@@ -1670,7 +1751,16 @@ impl ShardedFlood {
             store,
             source,
             horizon,
+            prefetch: true,
         }
+    }
+
+    /// Enables or disables the segment prefetch pipeline
+    /// (outcome-neutral; only meaningful for disk stores).
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
     }
 
     /// The underlying shard store.
@@ -1703,14 +1793,16 @@ impl ShardedFlood {
     /// same adjacency. Each round makes two shard-at-a-time passes:
     /// one transmitting from the frontier, one re-filtering the staged
     /// frontier against the end-of-round informed set (the monolithic
-    /// round-boundary filter, shard by shard). Disk-backed stores
-    /// re-read each touched segment per pass; the OS page cache makes
-    /// reloads cheap while the *resident* footprint stays near one
-    /// shard.
+    /// round-boundary filter, shard by shard). Disk-backed passes are
+    /// served by the [`PassLoader`]: full segment reads overlapped with
+    /// the previous shard's compute, or coalesced sparse row reads when
+    /// a pass touches a small fraction of a shard — both
+    /// outcome-invisible.
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
     ///
     /// # Panics
     ///
@@ -1732,7 +1824,8 @@ impl ShardedFlood {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
     ///
     /// # Panics
     ///
@@ -1751,10 +1844,12 @@ impl ShardedFlood {
             model.kind() == CorruptionKind::Silent,
             "out-of-core flooding supports silent fault models only"
         );
-        let plan = self.store.plan();
+        let plan = self.store.plan().clone();
         let n = plan.node_count();
         let k = plan.shard_count();
-        let mut scratch = ShardScratch::new();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        let mut sorted: Vec<u32> = Vec::new();
+        let mut full_pass: Vec<usize> = Vec::new();
         let mut informed = InformedSet::new(n);
         informed.insert(self.source);
         let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
@@ -1765,7 +1860,13 @@ impl ShardedFlood {
         let mut staged = ShardFrontier::new(k);
         {
             let src_shard = plan.shard_of(self.source);
-            let view = self.store.view(src_shard, &mut scratch)?;
+            let sparse = loader.use_sparse(src_shard, 1);
+            if !sparse {
+                loader.begin_pass(&[src_shard]);
+            }
+            sorted.clear();
+            sorted.push(self.source);
+            let view = loader.view_pass(src_shard, &sorted, sparse)?;
             if view
                 .targets_of(self.source)
                 .iter()
@@ -1779,11 +1880,25 @@ impl ShardedFlood {
             if frontier.is_empty() {
                 break;
             }
+            full_pass.clear();
+            for s in 0..k {
+                let len = frontier.shard(s).len();
+                if len > 0 && !loader.use_sparse(s, len) {
+                    full_pass.push(s);
+                }
+            }
+            loader.begin_pass(&full_pass);
             for s in 0..k {
                 if frontier.shard(s).is_empty() {
                     continue;
                 }
-                let view = self.store.view(s, &mut scratch)?;
+                let sparse = loader.use_sparse(s, frontier.shard(s).len());
+                if sparse {
+                    sorted.clear();
+                    sorted.extend_from_slice(frontier.shard(s));
+                    sorted.sort_unstable();
+                }
+                let view = loader.view_pass(s, &sorted, sparse)?;
                 for &u in frontier.shard(s) {
                     if model.corrupt_lane(tapes, fault_site(round, u), u, lane) {
                         staged.push(s, u);
@@ -1800,12 +1915,26 @@ impl ShardedFlood {
             if completion_round.is_none() && informed.count() == n {
                 completion_round = Some(round);
             }
+            full_pass.clear();
+            for s in 0..k {
+                let len = staged.shard(s).len();
+                if len > 0 && !loader.use_sparse(s, len) {
+                    full_pass.push(s);
+                }
+            }
+            loader.begin_pass(&full_pass);
             for s in 0..k {
                 if staged.shard(s).is_empty() {
                     frontier.refill_from(&mut staged, s, |_| true);
                     continue;
                 }
-                let view = self.store.view(s, &mut scratch)?;
+                let sparse = loader.use_sparse(s, staged.shard(s).len());
+                if sparse {
+                    sorted.clear();
+                    sorted.extend_from_slice(staged.shard(s));
+                    sorted.sort_unstable();
+                }
+                let view = loader.view_pass(s, &sorted, sparse)?;
                 frontier.refill_from(&mut staged, s, |u| {
                     view.targets_of(u).iter().any(|&t| !informed.contains(t))
                 });
@@ -1818,6 +1947,206 @@ impl ShardedFlood {
             completion_round,
             informed_by_round,
             informed,
+        })
+    }
+
+    /// One batched 64-lane block over the shard store — the lane
+    /// semantics of [`FastFlood::run_batch`] with
+    /// [`FastFloodVariant::Graph`], with every segment read amortized
+    /// across all 64 trials. `reach` is the size of the source's
+    /// component (e.g. [`ShardedBfsTree::reachable`]
+    /// (randcast_graph::shard::ShardedBfsTree::reachable)): the batch
+    /// needs it to retire lanes whose replay can no longer change,
+    /// exactly as the in-RAM batch derives it from its own BFS order.
+    /// Per-lane outcomes are byte-identical to 64 scalar
+    /// [`run_lane`](Self::run_lane) replays of the same block seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn run_batch(
+        &self,
+        p: f64,
+        block_seed: u64,
+        reach: usize,
+    ) -> Result<FastFloodBatch, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        self.run_batch_model(&Omission::new(p), &FaultTapes::new(block_seed), reach)
+    }
+
+    /// [`run_batch`](Self::run_batch) under an arbitrary `Silent`
+    /// [`FaultModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not `Silent`.
+    pub fn run_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        tapes: &FaultTapes,
+        reach: usize,
+    ) -> Result<FastFloodBatch, ShardError> {
+        assert!(
+            model.kind() == CorruptionKind::Silent,
+            "out-of-core flooding supports silent fault models only"
+        );
+        let plan = self.store.plan().clone();
+        let n = plan.node_count();
+        let k = plan.shard_count();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        let mut sorted: Vec<u32> = Vec::new();
+        let mut full_pass: Vec<usize> = Vec::new();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut frontier_mask = vec![0u64; n];
+        let mut in_frontier = vec![false; n];
+        {
+            let src_shard = plan.shard_of(self.source);
+            let sparse = loader.use_sparse(src_shard, 1);
+            if !sparse {
+                loader.begin_pass(&[src_shard]);
+            }
+            sorted.clear();
+            sorted.push(self.source);
+            let view = loader.view_pass(src_shard, &sorted, sparse)?;
+            if !view.targets_of(self.source).is_empty() {
+                frontier[src_shard].push(self.source);
+                frontier_mask[self.source as usize] = !0;
+                in_frontier[self.source as usize] = true;
+            }
+        }
+        let mut pending = vec![0u64; n];
+        let mut pending_nodes: Vec<u32> = Vec::new();
+
+        let mut live: LaneMask = if reach > 1 { !0 } else { 0 };
+
+        for round in 1..=self.horizon {
+            if live == 0 {
+                break;
+            }
+            executed += 1;
+            pending_nodes.clear();
+            let mut changed = false;
+
+            full_pass.clear();
+            for (s, list) in frontier.iter().enumerate() {
+                if !list.is_empty() && !loader.use_sparse(s, list.len()) {
+                    full_pass.push(s);
+                }
+            }
+            loader.begin_pass(&full_pass);
+            for (s, list) in frontier.iter_mut().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let sparse = loader.use_sparse(s, list.len());
+                if sparse {
+                    sorted.clear();
+                    sorted.extend_from_slice(list);
+                    sorted.sort_unstable();
+                }
+                let view = loader.view_pass(s, &sorted, sparse)?;
+                let mut write = 0usize;
+                for i in 0..list.len() {
+                    let v = list[i];
+                    let fm = frontier_mask[v as usize] & live;
+                    if fm == 0 {
+                        frontier_mask[v as usize] = 0;
+                        in_frontier[v as usize] = false;
+                        continue;
+                    }
+                    let fail = model.corrupt_mask(tapes, fault_site(round, v), v, fm);
+                    let succ = fm & !fail;
+                    if succ != 0 {
+                        for &t in view.targets_of(v) {
+                            let newly = informed.insert_masked(t, succ);
+                            if newly != 0 {
+                                changed = true;
+                                if pending[t as usize] == 0 {
+                                    pending_nodes.push(t);
+                                }
+                                pending[t as usize] |= newly;
+                            }
+                        }
+                    }
+                    let keep = fm & fail;
+                    frontier_mask[v as usize] = keep;
+                    if keep != 0 {
+                        list[write] = v;
+                        write += 1;
+                    } else {
+                        in_frontier[v as usize] = false;
+                    }
+                }
+                list.truncate(write);
+            }
+            for &t in &pending_nodes {
+                frontier_mask[t as usize] |= pending[t as usize];
+                pending[t as usize] = 0;
+                if !in_frontier[t as usize] {
+                    in_frontier[t as usize] = true;
+                    frontier[plan.shard_of(t)].push(t);
+                }
+            }
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+                live &= !informed.counts().ge_mask(reach as u64);
+            }
+        }
+
+        Ok(FastFloodBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            curve: BatchCurve::Rounds {
+                reach,
+                plane_width,
+                count_arena,
+                executed,
+            },
         })
     }
 }
@@ -2381,6 +2710,53 @@ mod tests {
                 let reference = ff.run_lane(p, 77, lane);
                 assert_eq!(ram.run_lane(p, 77, lane).unwrap(), reference);
                 assert_eq!(disk.run_lane(p, 77, lane).unwrap(), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_flood_batch_and_prefetch_are_byte_invisible() {
+        use randcast_graph::shard::{default_scratch_dir, ShardStore, ShardedCsr, SpillSink};
+        // Big enough that one-participant rounds go sparse on disk
+        // while bulk rounds take full segment views.
+        let g = generators::gnp_connected(900, 0.012, &mut rand::rngs::SmallRng::seed_from_u64(31));
+        let csr = CsrGraph::from(&g);
+        let n = csr.node_count();
+        let ff = FastFlood::new(csr.clone(), g.node(0), 400, FastFloodVariant::Graph);
+        let reach = ff.bfs_order().len();
+        let mono = ff.run_batch(0.3, 55);
+        let plan = ShardPlan::uniform(n, 3);
+        let mut sink = SpillSink::create(default_scratch_dir(), plan.clone()).unwrap();
+        for v in 0..n {
+            for &t in csr.neighbors_of(v) {
+                if (v as u32) < t {
+                    sink.push(v as u64, u64::from(t)).unwrap();
+                }
+            }
+        }
+        let stores = [
+            (
+                ShardStore::Ram(ShardedCsr::split(&csr, plan.clone())),
+                "ram",
+            ),
+            (ShardStore::Disk(sink.finalize().unwrap()), "disk"),
+        ];
+        for (store, what) in stores {
+            let mut flood = ShardedFlood::new(store, 0, 400);
+            for prefetch in [true, false] {
+                flood = flood.with_prefetch(prefetch);
+                assert_eq!(
+                    flood.run_batch(0.3, 55, reach).unwrap(),
+                    mono,
+                    "{what} batch diverged: prefetch={prefetch}"
+                );
+                for lane in [0u32, 63] {
+                    assert_eq!(
+                        flood.run_lane(0.3, 55, lane).unwrap(),
+                        mono.lane_outcome(lane),
+                        "{what} lane diverged: prefetch={prefetch} lane={lane}"
+                    );
+                }
             }
         }
     }

@@ -236,6 +236,60 @@ where
     out
 }
 
+/// [`shard_passes`] for passes that need *owned mutable* per-shard
+/// state: each element of `state` is moved into its shard's pass, and
+/// the results come back in ascending shard order. This is the merge
+/// side of a deferred-write round — per-listener-shard event buckets
+/// or split mask ranges fan out to workers, each worker folds its
+/// shard's events in the ascending-transmit-shard order the sequential
+/// merge uses, and the caller applies the returned results
+/// sequentially, exactly as with [`shard_passes`].
+///
+/// With `threads <= 1` (or a single shard) no threads are spawned.
+pub fn range_passes<S, R, F>(state: Vec<S>, threads: usize, pass: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, S) -> R + Sync,
+{
+    let shards = state.len();
+    let workers = threads.clamp(1, shards.max(1));
+    if workers <= 1 {
+        return state
+            .into_iter()
+            .enumerate()
+            .map(|(s, st)| pass(s, st))
+            .collect();
+    }
+    let mut per_worker: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut state = state.into_iter();
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * shards / workers;
+                let hi = (w + 1) * shards / workers;
+                let chunk: Vec<S> = state.by_ref().take(hi - lo).collect();
+                let pass = &pass;
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, st)| pass(lo + i, st))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("range worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(shards);
+    for chunk in per_worker {
+        out.extend(chunk);
+    }
+    out
+}
+
 /// Aggregate per-round Bernoulli fault sampling over a participant
 /// list: each element independently *succeeds* (transmitter works) with
 /// probability `1 − p`.
@@ -395,6 +449,112 @@ impl CollisionCounter {
             self.counts[v as usize] = 0;
         }
         self.touched.clear();
+    }
+}
+
+/// A [`CollisionCounter`] partitioned by listener shard, so the
+/// per-round sole-receiver extraction fans out across
+/// [`shard_passes`] workers while replaying the sequential drain
+/// exactly.
+///
+/// Ordering argument: each listener belongs to exactly one shard, so
+/// the monolithic counter's global first-touch sequence *restricted to
+/// shard ℓ* is precisely shard ℓ's local touched list — provided adds
+/// arrive in the same global order, which they do because the caller
+/// folds transmit results in ascending transmit-shard order. Draining
+/// shard lists in ascending ℓ therefore visits, for every ℓ, the same
+/// listeners in the same order as the monolithic drain; and the only
+/// state radio rounds mutate under the drain callback partitions by
+/// listener shard (the informed bitset is order-free, the participant
+/// list of shard ℓ receives exactly ℓ's restriction). See DESIGN.md,
+/// "Parallel collision drain".
+#[derive(Clone, Debug)]
+pub struct ShardedCollisions {
+    bounds: Vec<u32>,
+    counts: Vec<u8>,
+    touched: Vec<Vec<u32>>,
+}
+
+impl ShardedCollisions {
+    /// A zeroed counter over the shard bounds of a plan
+    /// (`bounds[s]..bounds[s + 1]` is shard `s`; last bound is `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` has fewer than two entries.
+    #[must_use]
+    pub fn new(bounds: &[u32]) -> Self {
+        assert!(bounds.len() >= 2, "bounds must cover at least one shard");
+        let n = bounds[bounds.len() - 1] as usize;
+        let k = bounds.len() - 1;
+        ShardedCollisions {
+            bounds: bounds.to_vec(),
+            counts: vec![0u8; n],
+            touched: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Records one transmission reaching listener `v`. The shard lookup
+    /// runs only on first touch.
+    pub fn add(&mut self, v: u32) {
+        let vi = v as usize;
+        if self.counts[vi] == 0 {
+            let s = self.bounds.partition_point(|&b| b <= v) - 1;
+            self.touched[s].push(v);
+        }
+        self.counts[vi] = self.counts[vi].saturating_add(1);
+    }
+
+    /// Visits every listener that heard **exactly one** transmitter —
+    /// ascending listener shard, first-touch order within a shard, the
+    /// order the monolithic [`CollisionCounter`] produces restricted
+    /// per shard — then resets the counter for the next round.
+    ///
+    /// With `threads > 1` the per-shard sole-receiver lists are
+    /// extracted concurrently (a read-only scan of the counts); `hear`
+    /// and the reset still run sequentially, so the callback sees a
+    /// thread-count-independent sequence.
+    pub fn drain_sole_receivers(&mut self, threads: usize, mut hear: impl FnMut(usize, u32)) {
+        let k = self.touched.len();
+        if threads <= 1 || k <= 1 {
+            for s in 0..k {
+                for i in 0..self.touched[s].len() {
+                    let v = self.touched[s][i];
+                    if self.counts[v as usize] == 1 {
+                        hear(s, v);
+                    }
+                    self.counts[v as usize] = 0;
+                }
+                self.touched[s].clear();
+            }
+            return;
+        }
+        let counts = &self.counts;
+        let touched = &self.touched;
+        let sole = shard_passes(k, threads, |s| {
+            touched[s]
+                .iter()
+                .copied()
+                .filter(|&v| counts[v as usize] == 1)
+                .collect::<Vec<u32>>()
+        });
+        for (s, list) in sole.into_iter().enumerate() {
+            for v in list {
+                hear(s, v);
+            }
+        }
+        for list in &mut self.touched {
+            for &v in list.iter() {
+                self.counts[v as usize] = 0;
+            }
+            list.clear();
+        }
+    }
+
+    /// Total touched listeners this round (pre-drain).
+    #[must_use]
+    pub fn touched_len(&self) -> usize {
+        self.touched.iter().map(Vec::len).sum()
     }
 }
 
@@ -670,6 +830,28 @@ impl LaneCounter {
             } else {
                 0
             };
+            let partial = a ^ b;
+            self.planes[bit] = partial ^ carry;
+            carry = (a & b) | (partial & carry);
+            bit += 1;
+        }
+    }
+
+    /// Adds another counter's per-lane values to this one — the
+    /// bit-sliced addition of two plane sets, used to fold per-worker
+    /// count deltas back into the global counter. Lane-wise addition is
+    /// commutative and associative, so the fold order cannot change the
+    /// resulting counts.
+    pub fn add_counter(&mut self, other: &LaneCounter) {
+        let width = self.planes.len().max(other.planes.len());
+        let mut carry = 0u64;
+        let mut bit = 0usize;
+        while bit < width || carry != 0 {
+            if self.planes.len() == bit {
+                self.planes.push(0);
+            }
+            let a = self.planes[bit];
+            let b = other.planes.get(bit).copied().unwrap_or(0);
             let partial = a ^ b;
             self.planes[bit] = partial ^ carry;
             carry = (a & b) | (partial & carry);
@@ -969,6 +1151,17 @@ impl BatchedInformedSet {
     pub(crate) fn from_parts(masks: Vec<u64>, counts: LaneCounter) -> Self {
         let n = masks.len();
         BatchedInformedSet { masks, counts, n }
+    }
+
+    /// Splits the set into its raw mask words and size counter for a
+    /// parallel merge: workers mutate disjoint `masks` ranges (via
+    /// `split_at_mut` along shard bounds) and accumulate their own
+    /// [`LaneCounter`] deltas, which the caller folds back with
+    /// [`LaneCounter::add_counter`]. The counter is only *observed*
+    /// after the fold, so the split never exposes an inconsistent
+    /// `(masks, counts)` pair to readers.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [u64], &mut LaneCounter) {
+        (&mut self.masks, &mut self.counts)
     }
 
     /// Inserts node `v` into every lane of `lanes`; returns the lanes
@@ -1571,6 +1764,82 @@ mod tests {
         assert!(cur.shard(2).is_empty());
         cur.clear();
         assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn sharded_collisions_replay_the_monolithic_drain_per_shard() {
+        let bounds = [0u32, 40, 90, 120];
+        let n = 120usize;
+        let shard_of = |v: u32| bounds.partition_point(|&b| b <= v) - 1;
+        let mut rng = SmallRng::seed_from_u64(7);
+        for round in 0..20 {
+            use rand::Rng;
+            let adds: Vec<u32> = (0..rng.gen_range(0..200))
+                .map(|_| rng.gen_range(0..n as u32))
+                .collect();
+            // Reference: the monolithic counter's global drain order,
+            // restricted per listener shard.
+            let mut mono = CollisionCounter::new(n);
+            for &v in &adds {
+                mono.add(v);
+            }
+            let mut want: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            mono.drain_sole_receivers(|v| want[shard_of(v)].push(v));
+            for threads in [1usize, 2, 8] {
+                let mut sharded = ShardedCollisions::new(&bounds);
+                for &v in &adds {
+                    sharded.add(v);
+                }
+                let mut got: Vec<Vec<u32>> = vec![Vec::new(); 3];
+                let mut last_shard = 0usize;
+                sharded.drain_sole_receivers(threads, |s, v| {
+                    assert!(s >= last_shard, "shards must drain ascending");
+                    last_shard = s;
+                    got[s].push(v);
+                });
+                assert_eq!(got, want, "round {round}, threads {threads}");
+                // Counter must be fully reset for the next round.
+                assert_eq!(sharded.touched_len(), 0);
+                sharded.add(3);
+                let mut seen = Vec::new();
+                sharded.drain_sole_receivers(1, |_, v| seen.push(v));
+                assert_eq!(seen, vec![3]);
+            }
+        }
+    }
+
+    #[test]
+    fn range_passes_move_state_and_keep_ascending_order() {
+        for threads in [1usize, 2, 3, 16] {
+            let state: Vec<String> = (0..7).map(|i| format!("s{i}")).collect();
+            let out = range_passes(state, threads, |s, owned: String| format!("{s}:{owned}"));
+            let want: Vec<String> = (0..7).map(|i| format!("{i}:s{i}")).collect();
+            assert_eq!(out, want, "threads {threads}");
+        }
+        assert!(range_passes(Vec::<u8>::new(), 4, |_, x| x).is_empty());
+    }
+
+    #[test]
+    fn add_counter_matches_per_lane_scalar_addition() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        use rand::Rng;
+        for _ in 0..50 {
+            let a_counts: [u32; LANES] = std::array::from_fn(|_| rng.gen_range(0..500));
+            let b_counts: [u32; LANES] = std::array::from_fn(|_| rng.gen_range(0..500));
+            let mut a = LaneCounter::from_counts(&a_counts);
+            let b = LaneCounter::from_counts(&b_counts);
+            a.add_counter(&b);
+            for lane in 0..LANES as u32 {
+                assert_eq!(
+                    a.get(lane),
+                    u64::from(a_counts[lane as usize]) + u64::from(b_counts[lane as usize])
+                );
+            }
+        }
+        // Adding an empty counter is the identity.
+        let mut c = LaneCounter::from_counts(&[3u32; LANES]);
+        c.add_counter(&LaneCounter::new());
+        assert_eq!(c.get(0), 3);
     }
 
     #[test]

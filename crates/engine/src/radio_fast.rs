@@ -62,14 +62,14 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
+use randcast_graph::shard::{PassLoader, ShardError, ShardPlan, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 use randcast_stats::seed::{splitmix64, SeedSequence};
 
 use crate::kernel::{
-    record_crossings, shard_passes, BatchTape, BatchedInformedSet, CollisionCounter,
+    range_passes, record_crossings, shard_passes, BatchTape, BatchedInformedSet, CollisionCounter,
     CorruptionKind, FaultModel, FaultSampler, FaultTapes, InformedSet, LaneCounter, LaneMask,
-    Omission, DECAY_STREAM, LANES,
+    Omission, ShardedCollisions, DECAY_STREAM, LANES,
 };
 
 /// The coin site of `(0-based round, node)`: both the fault coin and
@@ -1123,7 +1123,6 @@ impl FastRadio {
 
         let mut once: Vec<LaneMask> = vec![0; n];
         let mut twice: Vec<LaneMask> = vec![0; n];
-        let mut touched: Vec<u32> = Vec::new();
 
         let (decay, epoch_len) = match self.schedule {
             FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
@@ -1208,13 +1207,15 @@ impl FastRadio {
 
             // Parallel transmit: `informed` is frozen until the drain,
             // so the per-target `need` masks workers compute are the
-            // very masks the single-threaded pass reads.
+            // very masks the single-threaded pass reads. Events come
+            // back bucketed by the *listener's* shard so the merge can
+            // fan out too.
             let events = {
                 let plist = &plist;
                 let act = &act;
                 let informed = &informed;
                 shard_passes(k, threads, |s| {
-                    let mut events: Vec<(u32, LaneMask)> = Vec::new();
+                    let mut events: Vec<Vec<(u32, LaneMask)>> = vec![Vec::new(); k];
                     if plist[s].is_empty() {
                         return events;
                     }
@@ -1243,44 +1244,93 @@ impl FastRadio {
                         for &t in view.targets_of(v) {
                             let need = tx & !informed.lanes(t);
                             if need != 0 {
-                                events.push((t, need));
+                                events[plan.shard_of(t)].push((t, need));
                             }
                         }
                     }
                     events
                 })
             };
-            for shard_events in events {
-                for (t, need) in shard_events {
-                    let ti = t as usize;
-                    if once[ti] | twice[ti] == 0 {
-                        touched.push(t);
-                    }
-                    twice[ti] |= once[ti] & need;
-                    once[ti] |= need;
+
+            // Parallel merge + drain: each listener shard's event
+            // stream (transmit shards ascending, emission order within
+            // each) is the restriction of the sequential merge order to
+            // that shard, so folding it into that shard's slice of the
+            // once/twice planes replays the single-threaded first-touch
+            // order exactly. Workers emit `(t, hear)` in first-touch
+            // order and reset their slices; only the `informed` insert
+            // stays sequential.
+            let mut regrouped: Vec<Vec<Vec<(u32, LaneMask)>>> = vec![Vec::with_capacity(k); k];
+            for per_tx in events {
+                for (l, bucket) in per_tx.into_iter().enumerate() {
+                    regrouped[l].push(bucket);
                 }
             }
+            // One listener shard's drain state: its event buckets (one
+            // per transmit shard, ascending) plus its slices of the
+            // once/twice hearing planes.
+            type ListenerDrain<'a> = (
+                Vec<Vec<(u32, LaneMask)>>,
+                &'a mut [LaneMask],
+                &'a mut [LaneMask],
+            );
+            let state: Vec<ListenerDrain> = {
+                let mut state = Vec::with_capacity(k);
+                let mut once_rest: &mut [LaneMask] = &mut once;
+                let mut twice_rest: &mut [LaneMask] = &mut twice;
+                let mut prev = 0u32;
+                for (l, buckets) in regrouped.into_iter().enumerate() {
+                    let (_, end) = plan.range(l);
+                    let (once_l, o_rest) = once_rest.split_at_mut((end - prev) as usize);
+                    let (twice_l, t_rest) = twice_rest.split_at_mut((end - prev) as usize);
+                    once_rest = o_rest;
+                    twice_rest = t_rest;
+                    prev = end;
+                    state.push((buckets, once_l, twice_l));
+                }
+                state
+            };
+            let drained = range_passes(state, threads, |l, (buckets, once_l, twice_l)| {
+                let (start, _) = plan.range(l);
+                let mut local_touched: Vec<u32> = Vec::new();
+                for bucket in &buckets {
+                    for &(t, need) in bucket {
+                        let ti = (t - start) as usize;
+                        if once_l[ti] | twice_l[ti] == 0 {
+                            local_touched.push(t);
+                        }
+                        twice_l[ti] |= once_l[ti] & need;
+                        once_l[ti] |= need;
+                    }
+                }
+                let mut heard: Vec<(u32, LaneMask)> = Vec::with_capacity(local_touched.len());
+                for t in local_touched {
+                    let ti = (t - start) as usize;
+                    let hear = once_l[ti] & !twice_l[ti];
+                    once_l[ti] = 0;
+                    twice_l[ti] = 0;
+                    if hear != 0 {
+                        heard.push((t, hear));
+                    }
+                }
+                heard
+            });
 
             let mut changed = false;
-            for &t in &touched {
-                let ti = t as usize;
-                let hear = once[ti] & !twice[ti];
-                once[ti] = 0;
-                twice[ti] = 0;
-                if hear == 0 {
-                    continue;
-                }
-                let newly = informed.insert_masked(t, hear);
-                if newly != 0 {
-                    changed = true;
-                    if !in_plist[ti] {
-                        in_plist[ti] = true;
-                        act[ti] = 0;
-                        plist[plan.shard_of(t)].push(t);
+            for heard in drained {
+                for (t, hear) in heard {
+                    let ti = t as usize;
+                    let newly = informed.insert_masked(t, hear);
+                    if newly != 0 {
+                        changed = true;
+                        if !in_plist[ti] {
+                            in_plist[ti] = true;
+                            act[ti] = 0;
+                            plist[plan.shard_of(t)].push(t);
+                        }
                     }
                 }
             }
-            touched.clear();
 
             count_arena.extend_from_slice(informed.counts().planes());
             count_arena.resize(executed * plane_width, 0);
@@ -1823,11 +1873,16 @@ pub struct ShardedRadio {
     source: u32,
     horizon: usize,
     schedule: FastRadioSchedule,
+    threads: usize,
+    prefetch: bool,
 }
 
 impl ShardedRadio {
     /// Wraps a shard store for radio broadcasting from `source` over
-    /// at most `horizon` rounds under `schedule`.
+    /// at most `horizon` rounds under `schedule`. Runs single-threaded
+    /// with segment prefetch on; both knobs
+    /// ([`with_threads`](Self::with_threads),
+    /// [`with_prefetch`](Self::with_prefetch)) are outcome-invisible.
     ///
     /// # Panics
     ///
@@ -1848,7 +1903,25 @@ impl ShardedRadio {
             source,
             horizon,
             schedule,
+            threads: 1,
+            prefetch: true,
         }
+    }
+
+    /// Sets the worker count for the parallel collision drain
+    /// (byte-outcome-invisible; clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the background segment prefetcher
+    /// (byte-outcome-invisible; on by default).
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
     }
 
     /// The underlying shard store.
@@ -1885,14 +1958,18 @@ impl ShardedRadio {
     /// Scalar lane replay over the shard store; bit-identical to
     /// [`FastRadio::run_lane`] on the same adjacency. Each round makes
     /// one shard-at-a-time transmit pass (plus, at epoch boundaries,
-    /// one refilter pass) against one resident segment; disk-backed
-    /// stores re-read each touched segment per pass and the OS page
-    /// cache makes reloads cheap while the *resident* footprint stays
-    /// near one shard.
+    /// one refilter pass); for disk stores each shard pass is served
+    /// either by a full segment read overlapped with the previous
+    /// shard's compute (the [`PassLoader`] prefetch pipeline) or, when
+    /// the pass touches a small fraction of the shard — the common case
+    /// under Decay thinning — by coalesced sparse row reads that skip
+    /// the segment decode entirely. Neither choice, nor the
+    /// `threads`/`prefetch` knobs, can change a byte of the outcome.
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
     ///
     /// # Panics
     ///
@@ -1914,7 +1991,8 @@ impl ShardedRadio {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
     ///
     /// # Panics
     ///
@@ -1934,10 +2012,12 @@ impl ShardedRadio {
         );
         let tapes = FaultTapes::new(block_seed);
         let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
-        let plan = self.store.plan();
+        let plan = self.store.plan().clone();
         let n = plan.node_count();
         let k = plan.shard_count();
-        let mut scratch = ShardScratch::new();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        let mut sorted: Vec<u32> = Vec::new();
+        let mut full_pass: Vec<usize> = Vec::new();
         let mut informed = InformedSet::new(n);
         informed.insert(self.source);
         let mut informed_by_round = Vec::with_capacity(self.horizon.min(1024) + 1);
@@ -1947,7 +2027,7 @@ impl ShardedRadio {
         let mut participants: Vec<Vec<u32>> = vec![Vec::new(); k];
         participants[plan.shard_of(self.source)].push(self.source);
         let mut active: Vec<Vec<u32>> = vec![Vec::new(); k];
-        let mut counter = CollisionCounter::new(n);
+        let mut counter = ShardedCollisions::new(plan.bounds());
 
         let (decay, epoch_len) = match self.schedule {
             FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
@@ -1961,6 +2041,16 @@ impl ShardedRadio {
             let r0 = round - 1;
             let j = r0 % epoch_len;
             if j == 0 {
+                // Announce the refilter pass's full-view shards before
+                // touching any of them, so the reader thread works
+                // ahead of the compute.
+                full_pass.clear();
+                for (s, parts) in participants.iter().enumerate() {
+                    if !parts.is_empty() && !loader.use_sparse(s, parts.len()) {
+                        full_pass.push(s);
+                    }
+                }
+                loader.begin_pass(&full_pass);
                 let mut any = false;
                 for (s, (parts, act_list)) in
                     participants.iter_mut().zip(active.iter_mut()).enumerate()
@@ -1969,7 +2059,13 @@ impl ShardedRadio {
                     if parts.is_empty() {
                         continue;
                     }
-                    let view = self.store.view(s, &mut scratch)?;
+                    let sparse = loader.use_sparse(s, parts.len());
+                    if sparse {
+                        sorted.clear();
+                        sorted.extend_from_slice(parts);
+                        sorted.sort_unstable();
+                    }
+                    let view = loader.view_pass(s, &sorted, sparse)?;
                     parts.retain(|&u| view.targets_of(u).iter().any(|&t| !informed.contains(t)));
                     act_list.extend_from_slice(parts);
                     any |= !parts.is_empty();
@@ -1979,15 +2075,28 @@ impl ShardedRadio {
                 }
             }
 
-            // The collision counter is global: it accumulates across
-            // every shard's transmit pass and drains exactly once per
-            // round, so cross-shard collisions block exactly as in the
+            // The collision counter accumulates across every shard's
+            // transmit pass and drains exactly once per round, so
+            // cross-shard collisions block exactly as in the
             // monolithic replay.
+            full_pass.clear();
+            for (s, act_list) in active.iter().enumerate() {
+                if !act_list.is_empty() && !loader.use_sparse(s, act_list.len()) {
+                    full_pass.push(s);
+                }
+            }
+            loader.begin_pass(&full_pass);
             for (s, act_list) in active.iter().enumerate() {
                 if act_list.is_empty() {
                     continue;
                 }
-                let view = self.store.view(s, &mut scratch)?;
+                let sparse = loader.use_sparse(s, act_list.len());
+                if sparse {
+                    sorted.clear();
+                    sorted.extend_from_slice(act_list);
+                    sorted.sort_unstable();
+                }
+                let view = loader.view_pass(s, &sorted, sparse)?;
                 for &u in act_list {
                     if model.corrupt_lane(&tapes, radio_site(r0, u), u, lane) {
                         continue;
@@ -1999,9 +2108,9 @@ impl ShardedRadio {
                     }
                 }
             }
-            counter.drain_sole_receivers(|v| {
+            counter.drain_sole_receivers(self.threads, |s, v| {
                 informed.insert(v);
-                participants[plan.shard_of(v)].push(v);
+                participants[s].push(v);
             });
 
             informed_by_round.push(informed.count());
@@ -2022,6 +2131,269 @@ impl ShardedRadio {
             completion_round,
             informed_by_round,
             informed,
+        })
+    }
+
+    /// One batched 64-lane block over the shard store — the lane
+    /// semantics of [`FastRadio::run_batch_sharded`], with every
+    /// segment read amortized across all 64 trials. Per-lane outcomes
+    /// are byte-identical to 64 scalar [`run_lane`](Self::run_lane)
+    /// replays of the same block seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn run_batch(&self, p: f64, block_seed: u64) -> Result<FastRadioBatch, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        self.run_batch_model(&Omission::new(p), block_seed)
+    }
+
+    /// [`run_batch`](Self::run_batch) under an arbitrary `Silent`
+    /// [`FaultModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not `Silent`.
+    pub fn run_batch_model<M: FaultModel + ?Sized>(
+        &self,
+        model: &M,
+        block_seed: u64,
+    ) -> Result<FastRadioBatch, ShardError> {
+        assert!(
+            model.kind() == CorruptionKind::Silent,
+            "out-of-core radio supports silent fault models only"
+        );
+        let tapes = FaultTapes::new(block_seed);
+        let decay_tape = BatchTape::new(block_seed, DECAY_STREAM);
+        let plan = self.store.plan().clone();
+        let n = plan.node_count();
+        let k = plan.shard_count();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        let mut sorted: Vec<u32> = Vec::new();
+        let mut full_pass: Vec<usize> = Vec::new();
+        let mut informed = BatchedInformedSet::new(n);
+        informed.insert_masked(self.source, !0);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+
+        let mut completion_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        let mut completed: LaneMask = 0;
+        let mut almost_done: LaneMask = 0;
+        if n == 1 {
+            completed = !0;
+            completion_round.fill(Some(0));
+        }
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let plane_width = (usize::BITS - n.leading_zeros()) as usize;
+        let mut count_arena: Vec<u64> = Vec::new();
+        let mut executed = 0usize;
+
+        let mut exhausted: LaneMask = 0;
+        let mut exhaust_end = vec![0usize; LANES];
+
+        let mut plist: Vec<Vec<u32>> = vec![Vec::new(); k];
+        plist[plan.shard_of(self.source)].push(self.source);
+        let mut in_plist = vec![false; n];
+        in_plist[self.source as usize] = true;
+        let mut act: Vec<LaneMask> = vec![0; n];
+
+        let mut once: Vec<LaneMask> = vec![0; n];
+        let mut twice: Vec<LaneMask> = vec![0; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let (decay, epoch_len) = match self.schedule {
+            FastRadioSchedule::Decay { epoch_len } => (true, epoch_len),
+            FastRadioSchedule::AllInformed => (false, 1),
+        };
+
+        for round in 1..=self.horizon {
+            let live = !(completed | exhausted);
+            if live == 0 {
+                break;
+            }
+            let r0 = round - 1;
+            let j = r0 % epoch_len;
+            if j == 0 {
+                full_pass.clear();
+                for (s, list) in plist.iter().enumerate() {
+                    if !list.is_empty() && !loader.use_sparse(s, list.len()) {
+                        full_pass.push(s);
+                    }
+                }
+                loader.begin_pass(&full_pass);
+                let mut any: LaneMask = 0;
+                for (s, list) in plist.iter_mut().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let sparse = loader.use_sparse(s, list.len());
+                    if sparse {
+                        sorted.clear();
+                        sorted.extend_from_slice(list);
+                        sorted.sort_unstable();
+                    }
+                    let view = loader.view_pass(s, &sorted, sparse)?;
+                    list.retain(|&v| {
+                        let vi = v as usize;
+                        let inf_v = informed.lanes(v);
+                        let mut un: LaneMask = 0;
+                        for &t in view.targets_of(v) {
+                            un |= !informed.lanes(t);
+                            if un & inf_v == inf_v {
+                                break;
+                            }
+                        }
+                        let m = inf_v & un;
+                        act[vi] = m;
+                        any |= m;
+                        if m == 0 {
+                            in_plist[vi] = false;
+                        }
+                        m != 0
+                    });
+                }
+                // Exhaustion is a whole-round property: read it only
+                // after every shard's refilter has been folded in.
+                let newly_exhausted = live & !any;
+                if newly_exhausted != 0 {
+                    exhausted |= newly_exhausted;
+                    let mut bits = newly_exhausted;
+                    while bits != 0 {
+                        exhaust_end[bits.trailing_zeros() as usize] = executed;
+                        bits &= bits - 1;
+                    }
+                    if live & any == 0 {
+                        break;
+                    }
+                }
+            }
+            executed += 1;
+
+            full_pass.clear();
+            for (s, list) in plist.iter().enumerate() {
+                if !list.is_empty() && !loader.use_sparse(s, list.len()) {
+                    full_pass.push(s);
+                }
+            }
+            loader.begin_pass(&full_pass);
+            for (s, list) in plist.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let sparse = loader.use_sparse(s, list.len());
+                if sparse {
+                    sorted.clear();
+                    sorted.extend_from_slice(list);
+                    sorted.sort_unstable();
+                }
+                let view = loader.view_pass(s, &sorted, sparse)?;
+                for &v in list {
+                    let a = act[v as usize];
+                    if a == 0 {
+                        continue;
+                    }
+                    let mut un_v: LaneMask = 0;
+                    for &t in view.targets_of(v) {
+                        un_v |= !informed.lanes(t);
+                        if un_v & a == a {
+                            break;
+                        }
+                    }
+                    let useful = a & un_v;
+                    if useful == 0 {
+                        continue;
+                    }
+                    let tx = useful & !model.corrupt_mask(&tapes, radio_site(r0, v), v, useful);
+                    if tx == 0 {
+                        continue;
+                    }
+                    for &t in view.targets_of(v) {
+                        let ti = t as usize;
+                        let need = tx & !informed.lanes(t);
+                        if need == 0 {
+                            continue;
+                        }
+                        if once[ti] | twice[ti] == 0 {
+                            touched.push(t);
+                        }
+                        twice[ti] |= once[ti] & need;
+                        once[ti] |= need;
+                    }
+                }
+            }
+
+            let mut changed = false;
+            for &t in &touched {
+                let ti = t as usize;
+                let hear = once[ti] & !twice[ti];
+                once[ti] = 0;
+                twice[ti] = 0;
+                if hear == 0 {
+                    continue;
+                }
+                let newly = informed.insert_masked(t, hear);
+                if newly != 0 {
+                    changed = true;
+                    if !in_plist[ti] {
+                        in_plist[ti] = true;
+                        act[ti] = 0;
+                        plist[plan.shard_of(t)].push(t);
+                    }
+                }
+            }
+            touched.clear();
+
+            count_arena.extend_from_slice(informed.counts().planes());
+            count_arena.resize(executed * plane_width, 0);
+
+            if changed {
+                let comp = informed.counts().eq_mask(n as u64) & !completed;
+                record_crossings(comp, round, &mut completion_round);
+                completed |= comp;
+                if almost_done != !0 {
+                    let almost = informed.counts().ge_mask(almost_target) & !almost_done;
+                    record_crossings(almost, round, &mut almost_round);
+                    almost_done |= almost;
+                }
+            }
+
+            if decay && j + 1 < epoch_len {
+                for list in &plist {
+                    for &v in list {
+                        let vi = v as usize;
+                        if act[vi] != 0 {
+                            act[vi] &= decay_tape.fair_mask(radio_site(r0, v));
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(FastRadioBatch {
+            n,
+            horizon: self.horizon,
+            informed,
+            completion_round,
+            almost_round,
+            exhausted,
+            exhaust_end,
+            plane_width,
+            count_arena,
+            executed,
         })
     }
 }
@@ -2603,6 +2975,61 @@ mod tests {
                         mono,
                         "disk p={p} lane={lane}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_batch_and_every_knob_are_byte_invisible() {
+        use randcast_graph::shard::{default_scratch_dir, ShardStore, ShardedCsr, SpillSink};
+        // Big enough that early rounds (one or two participants per
+        // shard) take the sparse row-read path while bulk rounds take
+        // full segment views, so both loaders face the equality gate.
+        let g = generators::gnp_connected(900, 0.012, &mut rand::rngs::SmallRng::seed_from_u64(21));
+        let csr = CsrGraph::from(&g);
+        let n = csr.node_count();
+        let epoch_len = (n.max(2) as f64).log2().ceil() as usize + 1;
+        let plan = ShardPlan::uniform(n, 3);
+        for schedule in [
+            FastRadioSchedule::Decay { epoch_len },
+            FastRadioSchedule::AllInformed,
+        ] {
+            let fr = FastRadio::new(csr.clone(), g.node(0), 1200, schedule);
+            let mono = fr.run_batch(0.3, 91);
+            let mut sink = SpillSink::create(default_scratch_dir(), plan.clone()).unwrap();
+            for v in 0..n {
+                for &t in csr.neighbors_of(v) {
+                    if (v as u32) < t {
+                        sink.push(v as u64, u64::from(t)).unwrap();
+                    }
+                }
+            }
+            let stores = [
+                (
+                    ShardStore::Ram(ShardedCsr::split(&csr, plan.clone())),
+                    "ram",
+                ),
+                (ShardStore::Disk(sink.finalize().unwrap()), "disk"),
+            ];
+            for (store, what) in stores {
+                let mut radio = ShardedRadio::new(store, 0, 1200, schedule);
+                for prefetch in [true, false] {
+                    for threads in [1usize, 4] {
+                        radio = radio.with_prefetch(prefetch).with_threads(threads);
+                        assert_eq!(
+                            radio.run_batch(0.3, 91).unwrap(),
+                            mono,
+                            "{what} batch diverged: {schedule:?} prefetch={prefetch} threads={threads}"
+                        );
+                        for lane in [0u32, 63] {
+                            assert_eq!(
+                                radio.run_lane(0.3, 91, lane).unwrap(),
+                                mono.lane_outcome(lane),
+                                "{what} lane diverged: {schedule:?} prefetch={prefetch} threads={threads} lane={lane}"
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -57,7 +57,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use randcast_graph::shard::{ShardError, ShardPlan, ShardScratch, ShardStore, ShardView};
+use randcast_graph::shard::{PassLoader, ShardError, ShardPlan, ShardStore, ShardView};
 use randcast_graph::{CsrGraph, NodeId};
 
 use crate::kernel::{
@@ -1047,6 +1047,7 @@ pub struct ShardedSimple {
     source: u32,
     n: usize,
     m: usize,
+    prefetch: bool,
 }
 
 impl ShardedSimple {
@@ -1072,7 +1073,30 @@ impl ShardedSimple {
             source,
             n,
             m,
+            prefetch: true,
         }
+    }
+
+    /// Enables or disables the segment prefetch pipeline
+    /// (outcome-neutral; only meaningful for disk stores).
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// The sequence of shards the (level, id)-sorted phase walk visits,
+    /// one entry per maximal same-shard run — the full pass
+    /// announcement for the prefetch pipeline.
+    fn pass_shards(&self, plan: &ShardPlan) -> Vec<usize> {
+        let mut shards = Vec::new();
+        for &u in &self.order {
+            let s = plan.shard_of(u);
+            if shards.last() != Some(&s) {
+                shards.push(s);
+            }
+        }
+        shards
     }
 
     /// The underlying child-segment store.
@@ -1102,13 +1126,15 @@ impl ShardedSimple {
     /// Scalar lane replay over the shard store; bit-identical to
     /// [`FastSimple::run_lane`] on the same tree. Each maximal
     /// same-shard run of the phase order acquires one segment view;
-    /// disk-backed stores re-read a segment per run and the OS page
-    /// cache makes reloads cheap while the *resident* footprint stays
-    /// near one shard.
+    /// on disk stores the whole run sequence is announced to the
+    /// [`PassLoader`] up front, so the next run's segment read overlaps
+    /// the current run's compute. The walk touches every row of every
+    /// visited segment, so there is no sparse path here.
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
     ///
     /// # Panics
     ///
@@ -1125,8 +1151,9 @@ impl ShardedSimple {
         let tape = BatchTape::new(block_seed, FAULT_STREAM);
         let ln_p = p.ln();
         let n = self.n;
-        let plan = self.store.plan();
-        let mut scratch = ShardScratch::new();
+        let plan = self.store.plan().clone();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        loader.begin_pass(&self.pass_shards(&plan));
         let mut correct = InformedSet::new(n);
         correct.insert(self.source);
         let almost_target = n.saturating_sub(1).max(1);
@@ -1137,7 +1164,7 @@ impl ShardedSimple {
         let mut phase = 0usize;
         while phase < len {
             let s = plan.shard_of(self.order[phase]);
-            let view = self.store.view(s, &mut scratch)?;
+            let view = loader.view_full(s)?;
             while phase < len && view.contains(self.order[phase]) {
                 let u = self.order[phase];
                 let kids = view.targets_of(u);
@@ -1163,6 +1190,124 @@ impl ShardedSimple {
             almost_round,
             last_adoption,
             correct,
+        })
+    }
+
+    /// One batched 64-lane block over the shard store — the lane
+    /// semantics of [`FastSimple::run_batch`], with every segment read
+    /// amortized across all 64 trials. Per-lane outcomes are
+    /// byte-identical to 64 scalar [`run_lane`](Self::run_lane) replays
+    /// of the same block seed.
+    ///
+    /// The monolithic batch finds each lane's last adoption with a
+    /// *backward* scan over the phase order; out of core that would
+    /// re-read every segment in reverse. This walk instead overwrites
+    /// `last_phase[lane] = phase` at every effective phase during the
+    /// forward pass — the backward scan returns the *maximum* phase
+    /// whose `eff` mask has the lane set (children are written exactly
+    /// once, by their own parent's phase, so the child mask it reads
+    /// *is* that phase's `eff`), and a forward overwrite computes the
+    /// same maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::SegmentIo`] (and friends) if a disk
+    /// segment cannot be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn run_batch(&self, p: f64, block_seed: u64) -> Result<FastSimpleBatch, ShardError> {
+        assert!((0.0..1.0).contains(&p), "failure probability out of range");
+        let adopt = BatchBernoulli::new(1.0 - p.powi(self.m as i32));
+        let tape = BatchTape::new(block_seed, FAULT_STREAM);
+        let ln_p = p.ln();
+        let n = self.n;
+        let plan = self.store.plan().clone();
+        let mut loader = PassLoader::new(&self.store, self.prefetch);
+        loader.begin_pass(&self.pass_shards(&plan));
+        let mut correct_masks: Vec<LaneMask> = vec![0; n];
+        correct_masks[self.source as usize] = !0;
+        let mut counts = LaneCounter::new();
+        counts.add_masked(!0, 1);
+        let almost_target = n.saturating_sub(1).max(1) as u64;
+        let mut almost_done: LaneMask = 0;
+        let mut almost_phase = [0u32; LANES];
+        let mut almost_round: Vec<Option<usize>> = vec![None; LANES];
+        if 1 >= almost_target {
+            almost_done = !0;
+            almost_round.fill(Some(0));
+        }
+
+        let mut last_phase = [0u32; LANES];
+        let mut adopted: LaneMask = 0;
+
+        let len = self.order.len();
+        let mut phase = 0usize;
+        while phase < len {
+            let s = plan.shard_of(self.order[phase]);
+            let view = loader.view_full(s)?;
+            while phase < len && view.contains(self.order[phase]) {
+                let u = self.order[phase];
+                let kids = view.targets_of(u);
+                if kids.is_empty() {
+                    phase += 1;
+                    continue;
+                }
+                let eff = adopt.mask(&tape, phase as u64, correct_masks[u as usize]);
+                if eff == 0 {
+                    phase += 1;
+                    continue;
+                }
+                // Tree children have unique parents: each child's mask
+                // is written exactly once, by its own parent's phase.
+                for &c in kids {
+                    correct_masks[c as usize] = eff;
+                }
+                counts.add_masked(eff, kids.len() as u64);
+                let mut bits = eff;
+                while bits != 0 {
+                    last_phase[bits.trailing_zeros() as usize] = phase as u32;
+                    bits &= bits - 1;
+                }
+                adopted |= eff;
+                if almost_done != !0 {
+                    let crossed = counts.ge_mask(almost_target) & !almost_done;
+                    if crossed != 0 {
+                        let mut bits = crossed;
+                        while bits != 0 {
+                            almost_phase[bits.trailing_zeros() as usize] = phase as u32;
+                            bits &= bits - 1;
+                        }
+                        almost_done |= crossed;
+                    }
+                }
+                phase += 1;
+            }
+        }
+
+        // Lazy `t` extraction for the at most two stat-relevant phases
+        // per lane.
+        let mut last_adoption = vec![0usize; LANES];
+        for lane in 0..LANES as u32 {
+            let li = lane as usize;
+            if adopted >> lane & 1 == 1 {
+                let ph = last_phase[li] as usize;
+                last_adoption[li] = ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1;
+            }
+            if almost_done >> lane & 1 == 1 && almost_round[li].is_none() {
+                let ph = almost_phase[li] as usize;
+                almost_round[li] =
+                    Some(ph * self.m + phase_t(&tape, ph as u64, lane, ln_p, self.m) + 1);
+            }
+        }
+
+        Ok(FastSimpleBatch {
+            n,
+            m: self.m,
+            correct: BatchedInformedSet::from_parts(correct_masks, counts),
+            almost_round,
+            last_adoption,
         })
     }
 }
@@ -1651,6 +1796,39 @@ mod tests {
                     disk_tree.run_lane(p, 99, lane).expect("disk tree"),
                     mono,
                     "disk-adjacency tree p={p} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_core_simple_batch_and_prefetch_are_byte_invisible() {
+        use randcast_graph::shard::{default_scratch_dir, ShardedBfsTree, ShardedCsr};
+        let g = generators::gnp_connected(400, 0.02, &mut rand::rngs::SmallRng::seed_from_u64(17));
+        let csr = CsrGraph::from(&g);
+        let n = csr.node_count();
+        let m = 3usize;
+        let fs = FastSimple::new(&csr, g.node(0), m);
+        let plan = ShardPlan::uniform(n, 3);
+        let adj = ShardStore::Ram(ShardedCsr::split(&csr, plan.clone()));
+        let tree = ShardedBfsTree::build(&adj, 0, default_scratch_dir()).expect("tree");
+        let (order, children) = tree.into_parts();
+        let mut simple = ShardedSimple::new(ShardStore::Disk(children), order, 0, m);
+        for p in [0.0, 0.5, 0.9] {
+            let mono = fs.run_batch(p, 47);
+            for prefetch in [true, false] {
+                simple = simple.with_prefetch(prefetch);
+                assert_eq!(
+                    simple.run_batch(p, 47).expect("batch"),
+                    mono,
+                    "batch diverged: p={p} prefetch={prefetch}"
+                );
+            }
+            for lane in [0u32, 31, 63] {
+                assert_eq!(
+                    simple.run_lane(p, 47, lane).expect("lane"),
+                    mono.lane_outcome(lane),
+                    "lane diverged: p={p} lane={lane}"
                 );
             }
         }

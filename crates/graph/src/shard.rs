@@ -26,11 +26,15 @@
 //! order in which shards replay a round's frontier cannot change any
 //! draw. See DESIGN.md for the full argument.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Read, Write};
+use std::mem;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
 
 use crate::csr::{CsrError, CsrGraph, CsrWidth};
 
@@ -41,14 +45,28 @@ use crate::csr::{CsrError, CsrGraph, CsrWidth};
 pub enum ShardError {
     /// The edge stream violated the CSR invariants.
     Graph(CsrError),
-    /// Spill or segment file IO failed.
+    /// IO failed outside any particular segment (e.g. creating the
+    /// scratch directory). Per-segment failures carry their shard index
+    /// and path via [`ShardError::SegmentIo`].
     Io(io::Error),
+    /// Reading or writing one shard's spill bucket or segment file
+    /// failed, with the shard index and file path attached.
+    SegmentIo {
+        /// Shard whose file failed.
+        shard: usize,
+        /// The spill bucket or segment file involved.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: io::Error,
+    },
     /// A segment file's header disagreed with the plan or with the
     /// metadata recorded at finalize time — the file is truncated,
     /// overwritten, or from another run.
     SegmentCorrupt {
         /// Shard whose segment failed validation.
         shard: usize,
+        /// The segment file involved.
+        path: PathBuf,
         /// Which header field disagreed.
         what: &'static str,
         /// The value the plan/metadata requires.
@@ -60,10 +78,16 @@ pub enum ShardError {
     SegmentTruncated {
         /// Shard whose segment ended early.
         shard: usize,
+        /// The segment file involved.
+        path: PathBuf,
     },
     /// A spill bucket's byte length was not a whole number of 8-byte
     /// edge records — the spill was torn mid-write.
     TornSpill {
+        /// Shard whose bucket was torn.
+        shard: usize,
+        /// The spill bucket involved.
+        path: PathBuf,
         /// Residual bytes past the last whole record.
         trailing: usize,
     },
@@ -74,20 +98,39 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Graph(e) => write!(f, "{e}"),
             ShardError::Io(e) => write!(f, "shard spill IO: {e}"),
+            ShardError::SegmentIo {
+                shard,
+                path,
+                source,
+            } => write!(f, "segment {shard} ({}): {source}", path.display()),
             ShardError::SegmentCorrupt {
                 shard,
+                path,
                 what,
                 expected,
                 found,
             } => write!(
                 f,
-                "segment {shard}: {what} mismatch (expected {expected}, found {found})"
+                "segment {shard} ({}): {what} mismatch (expected {expected}, found {found})",
+                path.display()
             ),
-            ShardError::SegmentTruncated { shard } => {
-                write!(f, "segment {shard}: file ended before declared payload")
+            ShardError::SegmentTruncated { shard, path } => {
+                write!(
+                    f,
+                    "segment {shard} ({}): file ended before declared payload",
+                    path.display()
+                )
             }
-            ShardError::TornSpill { trailing } => {
-                write!(f, "spill bucket torn: {trailing} trailing bytes")
+            ShardError::TornSpill {
+                shard,
+                path,
+                trailing,
+            } => {
+                write!(
+                    f,
+                    "spill bucket {shard} ({}) torn: {trailing} trailing bytes",
+                    path.display()
+                )
             }
         }
     }
@@ -485,6 +528,11 @@ impl ShardScratch {
 
 /// Bounded decode buffer: stream `words` little-endian `u32`s from
 /// `reader` into `out` without buffering the whole payload.
+///
+/// Both `out` and `buf` keep their allocations across calls: `buf` is
+/// pinned at the chunk size once, and `out` is only re-zeroed where it
+/// grows past its previous length, so back-to-back loads of same-sized
+/// segments never touch memory they are not about to overwrite.
 fn read_words(
     reader: &mut impl Read,
     out: &mut Vec<u32>,
@@ -492,18 +540,23 @@ fn read_words(
     buf: &mut Vec<u8>,
 ) -> io::Result<()> {
     const CHUNK: usize = 1 << 20;
-    out.clear();
-    out.reserve(words);
-    let mut left = words;
-    while left > 0 {
-        let take = left.min(CHUNK / 4);
-        buf.resize(take * 4, 0);
-        reader.read_exact(buf)?;
-        out.extend(
-            buf.chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-        );
-        left -= take;
+    if buf.len() < CHUNK {
+        buf.resize(CHUNK, 0);
+    }
+    if out.len() > words {
+        out.truncate(words);
+    } else {
+        out.resize(words, 0);
+    }
+    let mut done = 0usize;
+    while done < words {
+        let take = (words - done).min(CHUNK / 4);
+        let bytes = &mut buf[..take * 4];
+        reader.read_exact(bytes)?;
+        for (o, c) in out[done..done + take].iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        done += take;
     }
     Ok(())
 }
@@ -631,8 +684,9 @@ impl SpillSink {
     /// # Errors
     ///
     /// Returns a typed [`CsrError`] for endpoints past the `u32` word,
-    /// out-of-range endpoints, or self-loops; [`ShardError::Io`] if a
-    /// bucket write fails.
+    /// out-of-range endpoints, or self-loops; [`ShardError::SegmentIo`]
+    /// (with the bucket's shard index and path) if a bucket write
+    /// fails.
     pub fn push(&mut self, u: u64, v: u64) -> Result<(), ShardError> {
         let n = self.plan.node_count() as u64;
         for e in [u, v] {
@@ -661,7 +715,13 @@ impl SpillSink {
             let mut rec = [0u8; 8];
             rec[..4].copy_from_slice(&src.to_le_bytes());
             rec[4..].copy_from_slice(&dst.to_le_bytes());
-            self.writers[s].write_all(&rec)?;
+            self.writers[s]
+                .write_all(&rec)
+                .map_err(|source| ShardError::SegmentIo {
+                    shard: s,
+                    path: self.dir.join(format!("spill_{s}.bin")),
+                    source,
+                })?;
             self.half_edges[s] += 1;
         }
         Ok(())
@@ -705,7 +765,7 @@ impl SpillSink {
             }
             // Pass 1: per-row degree from the bucket stream.
             let mut degree = vec![0u32; rows];
-            stream_records(&spill, &mut scratch.buf, |src, _| {
+            stream_records(&spill, s, &mut scratch.buf, |src, _| {
                 degree[(src - start) as usize] += 1;
             })?;
             let mut offsets = Vec::with_capacity(rows + 1);
@@ -719,7 +779,7 @@ impl SpillSink {
             // Pass 2: scatter targets, then sort + dedup per row.
             let mut targets = vec![0u32; acc as usize];
             let mut cursor = offsets.clone();
-            stream_records(&spill, &mut scratch.buf, |src, dst| {
+            stream_records(&spill, s, &mut scratch.buf, |src, dst| {
                 let c = &mut cursor[(src - start) as usize];
                 targets[*c as usize] = dst;
                 *c += 1;
@@ -746,47 +806,65 @@ impl SpillSink {
             total_entries += write as u64;
             // Segment file: [rows u64][entries u64][offsets][targets].
             let seg_path = dir.join(format!("segment_{s}.bin"));
-            let mut out = BufWriter::new(File::create(&seg_path)?);
-            out.write_all(&(rows as u64).to_le_bytes())?;
-            out.write_all(&(write as u64).to_le_bytes())?;
+            let seg_io = |source: io::Error| ShardError::SegmentIo {
+                shard: s,
+                path: seg_path.clone(),
+                source,
+            };
+            let mut out = BufWriter::new(File::create(&seg_path).map_err(seg_io)?);
+            out.write_all(&(rows as u64).to_le_bytes())
+                .map_err(seg_io)?;
+            out.write_all(&(write as u64).to_le_bytes())
+                .map_err(seg_io)?;
             for &o in &compact {
-                out.write_all(&o.to_le_bytes())?;
+                out.write_all(&o.to_le_bytes()).map_err(seg_io)?;
             }
             for &t in &targets {
-                out.write_all(&t.to_le_bytes())?;
+                out.write_all(&t.to_le_bytes()).map_err(seg_io)?;
             }
             out.into_inner()
-                .map_err(|e| io::Error::other(e.to_string()))?
-                .sync_all()?;
+                .map_err(|e| io::Error::other(e.to_string()))
+                .map_err(seg_io)?
+                .sync_all()
+                .map_err(seg_io)?;
             metas.push(SegmentMeta {
                 rows: rows as u64,
                 entries: write as u64,
             });
-            fs::remove_file(&spill)?;
+            fs::remove_file(&spill).map_err(|source| ShardError::SegmentIo {
+                shard: s,
+                path: spill.clone(),
+                source,
+            })?;
         }
         Ok(DiskShards {
-            plan,
-            dir,
-            metas,
+            catalog: SegmentCatalog { plan, dir, metas },
             entry_count: total_entries,
         })
     }
 }
 
-/// Streams the 8-byte `(src, dst)` records of one spill bucket through
-/// `f`, using `buf` as the bounded decode buffer.
+/// Streams the 8-byte `(src, dst)` records of shard `shard`'s spill
+/// bucket through `f`, using `buf` as the bounded decode buffer. IO
+/// failures carry the bucket's shard index and path.
 fn stream_records(
     path: &Path,
+    shard: usize,
     buf: &mut Vec<u8>,
     mut f: impl FnMut(u32, u32),
 ) -> Result<(), ShardError> {
     const CHUNK: usize = 1 << 20;
-    let mut file = File::open(path)?;
+    let seg_io = |source: io::Error| ShardError::SegmentIo {
+        shard,
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut file = File::open(path).map_err(seg_io)?;
     buf.resize(CHUNK, 0);
     loop {
         let mut filled = 0usize;
         while filled < CHUNK {
-            let got = file.read(&mut buf[filled..])?;
+            let got = file.read(&mut buf[filled..]).map_err(seg_io)?;
             if got == 0 {
                 break;
             }
@@ -797,6 +875,8 @@ fn stream_records(
         }
         if !filled.is_multiple_of(8) {
             return Err(ShardError::TornSpill {
+                shard,
+                path: path.to_path_buf(),
                 trailing: filled % 8,
             });
         }
@@ -817,14 +897,120 @@ struct SegmentMeta {
     entries: u64,
 }
 
+/// Everything a reader needs to locate and validate segments: the plan,
+/// the scratch directory, and the finalize-time metadata. A clone of
+/// the catalog is what the prefetch worker thread owns, so background
+/// reads never borrow the [`DiskShards`] that will outlive them.
+#[derive(Clone)]
+struct SegmentCatalog {
+    plan: ShardPlan,
+    dir: PathBuf,
+    metas: Vec<SegmentMeta>,
+}
+
+impl SegmentCatalog {
+    fn seg_path(&self, s: usize) -> PathBuf {
+        self.dir.join(format!("segment_{s}.bin"))
+    }
+
+    /// Opens segment `s`, validates its header, and returns the open
+    /// file positioned at the offsets payload plus the validated
+    /// `(rows, entries)` pair.
+    fn open_segment(&self, s: usize) -> Result<(File, u64, u64), ShardError> {
+        let (start, end) = self.plan.range(s);
+        let path = self.seg_path(s);
+        let mut file = File::open(&path).map_err(|source| ShardError::SegmentIo {
+            shard: s,
+            path: path.clone(),
+            source,
+        })?;
+        let header = |e: io::Error| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ShardError::SegmentTruncated {
+                    shard: s,
+                    path: path.clone(),
+                }
+            } else {
+                ShardError::SegmentIo {
+                    shard: s,
+                    path: path.clone(),
+                    source: e,
+                }
+            }
+        };
+        let rows = read_u64(&mut file).map_err(header)?;
+        let entries = read_u64(&mut file).map_err(header)?;
+        for (what, expected, found) in [
+            ("plan rows", (end - start) as u64, rows),
+            ("meta rows", self.metas[s].rows, rows),
+            ("meta entries", self.metas[s].entries, entries),
+        ] {
+            if found != expected {
+                return Err(ShardError::SegmentCorrupt {
+                    shard: s,
+                    path: path.clone(),
+                    what,
+                    expected,
+                    found,
+                });
+            }
+        }
+        Ok((file, rows, entries))
+    }
+
+    /// Reads segment `s` into `scratch` and returns its view — the body
+    /// behind [`DiskShards::load`], shared with the prefetch worker.
+    fn load<'a>(
+        &self,
+        s: usize,
+        scratch: &'a mut ShardScratch,
+    ) -> Result<ShardView<'a>, ShardError> {
+        let (start, end) = self.plan.range(s);
+        let (mut file, rows, entries) = self.open_segment(s)?;
+        let payload = |e: io::Error| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ShardError::SegmentTruncated {
+                    shard: s,
+                    path: self.seg_path(s),
+                }
+            } else {
+                ShardError::SegmentIo {
+                    shard: s,
+                    path: self.seg_path(s),
+                    source: e,
+                }
+            }
+        };
+        read_words(
+            &mut file,
+            &mut scratch.offsets,
+            rows as usize + 1,
+            &mut scratch.buf,
+        )
+        .map_err(payload)?;
+        read_words(
+            &mut file,
+            &mut scratch.targets,
+            entries as usize,
+            &mut scratch.buf,
+        )
+        .map_err(payload)?;
+        Ok(ShardView::from_parts(
+            start,
+            end,
+            &scratch.offsets,
+            0,
+            &scratch.targets,
+        ))
+    }
+}
+
 /// The finalized out-of-core CSR: one rebased segment file per shard
 /// under the scratch directory. Segments are loaded one at a time into
 /// a caller-owned [`ShardScratch`]; the whole directory is removed on
 /// drop.
 pub struct DiskShards {
-    plan: ShardPlan,
-    dir: PathBuf,
-    metas: Vec<SegmentMeta>,
+    catalog: SegmentCatalog,
     entry_count: u64,
 }
 
@@ -832,13 +1018,13 @@ impl DiskShards {
     /// The shard plan the segments follow.
     #[must_use]
     pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+        &self.catalog.plan
     }
 
     /// Number of nodes across all shards.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.plan.node_count()
+        self.catalog.plan.node_count()
     }
 
     /// Number of undirected edges after dedup. Meaningful only for
@@ -860,15 +1046,20 @@ impl DiskShards {
     /// high-water contribution of shard streaming.
     #[must_use]
     pub fn max_shard_entries(&self) -> u64 {
-        self.metas.iter().map(|m| m.entries).max().unwrap_or(0)
+        self.catalog
+            .metas
+            .iter()
+            .map(|m| m.entries)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Reads segment `s` into `scratch` and returns its view.
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if the segment cannot be opened or
-    /// read (e.g. the scratch directory vanished mid-trial),
+    /// Returns [`ShardError::SegmentIo`] if the segment cannot be
+    /// opened or read (e.g. the scratch directory vanished mid-trial),
     /// [`ShardError::SegmentCorrupt`] if the header disagrees with the
     /// plan or the finalize-time metadata, and
     /// [`ShardError::SegmentTruncated`] if the file ends before its
@@ -882,57 +1073,13 @@ impl DiskShards {
         s: usize,
         scratch: &'a mut ShardScratch,
     ) -> Result<ShardView<'a>, ShardError> {
-        let (start, end) = self.plan.range(s);
-        let truncated = |e: ShardError| match e {
-            ShardError::Io(ref io) if io.kind() == io::ErrorKind::UnexpectedEof => {
-                ShardError::SegmentTruncated { shard: s }
-            }
-            other => other,
-        };
-        let mut file = File::open(self.dir.join(format!("segment_{s}.bin")))?;
-        let rows = read_u64(&mut file).map_err(|e| truncated(e.into()))?;
-        let entries = read_u64(&mut file).map_err(|e| truncated(e.into()))?;
-        for (what, expected, found) in [
-            ("plan rows", (end - start) as u64, rows),
-            ("meta rows", self.metas[s].rows, rows),
-            ("meta entries", self.metas[s].entries, entries),
-        ] {
-            if found != expected {
-                return Err(ShardError::SegmentCorrupt {
-                    shard: s,
-                    what,
-                    expected,
-                    found,
-                });
-            }
-        }
-        read_words(
-            &mut file,
-            &mut scratch.offsets,
-            rows as usize + 1,
-            &mut scratch.buf,
-        )
-        .map_err(|e| truncated(e.into()))?;
-        read_words(
-            &mut file,
-            &mut scratch.targets,
-            entries as usize,
-            &mut scratch.buf,
-        )
-        .map_err(|e| truncated(e.into()))?;
-        Ok(ShardView::from_parts(
-            start,
-            end,
-            &scratch.offsets,
-            0,
-            &scratch.targets,
-        ))
+        self.catalog.load(s, scratch)
     }
 }
 
 impl Drop for DiskShards {
     fn drop(&mut self) {
-        let _ = fs::remove_dir_all(&self.dir);
+        let _ = fs::remove_dir_all(&self.catalog.dir);
     }
 }
 
@@ -967,7 +1114,8 @@ impl ShardStore {
     ///
     /// # Errors
     ///
-    /// Returns [`ShardError::Io`] if a disk segment cannot be read.
+    /// Returns [`ShardError::SegmentIo`] if a disk segment cannot be
+    /// read.
     pub fn view<'a>(
         &'a self,
         s: usize,
@@ -976,6 +1124,543 @@ impl ShardStore {
         match self {
             ShardStore::Ram(store) => Ok(store.view(s)),
             ShardStore::Disk(d) => d.load(s, scratch),
+        }
+    }
+}
+
+/// Positioned exact read: `pread` on unix (one syscall per coalesced
+/// run, no shared cursor), seek + read elsewhere.
+fn read_exact_at(file: &mut File, pos: u64, buf: &mut [u8]) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, pos)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::Start(pos))?;
+        file.read_exact(buf)
+    }
+}
+
+/// What the prefetch worker sends back: the segment it read and either
+/// the filled scratch or the typed error the read produced.
+type FetchResult = (usize, Result<ShardScratch, ShardError>);
+
+/// The background half of the prefetch pipeline: one reader thread that
+/// owns a clone of the segment catalog, a command channel carrying
+/// `(segment, empty scratch)` requests, and a result channel carrying
+/// the filled scratch back. Exactly two [`ShardScratch`] buffers
+/// circulate (`cur` + the one in flight or `spare`), so the pipeline's
+/// RSS contribution is two segments — the double-buffering the
+/// out-of-core budget story is built on.
+struct Pipe {
+    catalog: SegmentCatalog,
+    cmd: Option<mpsc::Sender<(usize, ShardScratch)>>,
+    res: mpsc::Receiver<FetchResult>,
+    worker: Option<thread::JoinHandle<()>>,
+    /// Holds the most recently served segment (what live views point
+    /// into between `view` calls).
+    cur: ShardScratch,
+    /// The idle second buffer, handed to the worker on the next
+    /// prefetch command.
+    spare: Option<ShardScratch>,
+    /// Segment the worker is currently reading, if any.
+    inflight: Option<usize>,
+    /// Segments the current pass will still ask for, in order.
+    queue: VecDeque<usize>,
+}
+
+impl Pipe {
+    fn recv(&mut self) -> Result<FetchResult, ShardError> {
+        let got = self
+            .res
+            .recv()
+            .map_err(|_| ShardError::Io(io::Error::other("segment prefetch worker exited")))?;
+        self.inflight = None;
+        Ok(got)
+    }
+
+    /// Issues the next announced segment to the worker if it is idle
+    /// and a buffer is free.
+    fn pump(&mut self) {
+        if self.inflight.is_some() {
+            return;
+        }
+        let Some(&next) = self.queue.front() else {
+            return;
+        };
+        let Some(buf) = self.spare.take() else {
+            return;
+        };
+        match &self.cmd {
+            Some(cmd) if cmd.send((next, buf)).is_ok() => {
+                self.inflight = Some(next);
+            }
+            // A dead worker degrades to synchronous loads in `view`.
+            _ => {}
+        }
+    }
+
+    fn view(&mut self, s: usize) -> Result<ShardView<'_>, ShardError> {
+        if self.queue.front() == Some(&s) {
+            self.queue.pop_front();
+        }
+        if self.inflight == Some(s) {
+            let (_seg, res) = self.recv()?;
+            let filled = res?;
+            let old = mem::replace(&mut self.cur, filled);
+            self.spare = Some(old);
+        } else {
+            if self.inflight.is_some() {
+                // Misprediction: retire the in-flight read, keep its
+                // buffer. A speculative read's error is dropped here —
+                // if the segment is genuinely unreadable the on-demand
+                // load below surfaces the same typed error.
+                let (_seg, res) = self.recv()?;
+                if let Ok(buf) = res {
+                    self.spare = Some(buf);
+                }
+            }
+            self.catalog.load(s, &mut self.cur).map(|_| ())?;
+        }
+        self.pump();
+        let (start, end) = self.catalog.plan.range(s);
+        Ok(ShardView::from_parts(
+            start,
+            end,
+            &self.cur.offsets,
+            0,
+            &self.cur.targets,
+        ))
+    }
+}
+
+impl Drop for Pipe {
+    fn drop(&mut self) {
+        // Closing the command channel ends the worker's recv loop; the
+        // join waits out any read still in flight.
+        drop(self.cmd.take());
+        while self.res.try_recv().is_ok() {}
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A pipelined reader over a [`ShardStore`]: segment reads for disk
+/// stores overlap the caller's compute pass on the previous segment.
+///
+/// The caller announces each pass's segment sequence up front with
+/// [`begin_pass`](Self::begin_pass); [`view`](Self::view) then serves
+/// announced segments from the background reader (blocking only for
+/// the part of the read that has not finished yet) and anything else
+/// by a synchronous load. Prefetching is pure plumbing: the views
+/// returned are byte-identical to [`ShardStore::view`]'s for every
+/// request sequence, announced or not, so the `--prefetch` knob cannot
+/// change outcomes. RAM stores and `enabled = false` degrade to the
+/// plain synchronous path with no worker thread.
+///
+/// Typed [`ShardError`]s cross the thread boundary intact: a truncated
+/// or corrupt segment read in the background surfaces from the `view`
+/// call that asks for that segment.
+pub struct PrefetchingStore<'s> {
+    store: &'s ShardStore,
+    pipe: Option<Pipe>,
+    /// Scratch for the passthrough path (RAM store, prefetch off, or
+    /// unannounced requests after a worker death).
+    sync_scratch: ShardScratch,
+}
+
+impl<'s> PrefetchingStore<'s> {
+    /// Wraps `store`, spawning the background reader only when
+    /// `enabled` holds and the store is on disk.
+    #[must_use]
+    pub fn new(store: &'s ShardStore, enabled: bool) -> Self {
+        let pipe = match store {
+            ShardStore::Disk(d) if enabled => {
+                let catalog = d.catalog.clone();
+                let worker_catalog = catalog.clone();
+                let (cmd_tx, cmd_rx) = mpsc::channel::<(usize, ShardScratch)>();
+                let (res_tx, res_rx) = mpsc::channel();
+                let worker = thread::Builder::new()
+                    .name("segment-prefetch".into())
+                    .spawn(move || {
+                        while let Ok((s, mut scratch)) = cmd_rx.recv() {
+                            let loaded = worker_catalog.load(s, &mut scratch).map(|_| ());
+                            let msg = match loaded {
+                                Ok(()) => (s, Ok(scratch)),
+                                Err(e) => (s, Err(e)),
+                            };
+                            if res_tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn segment-prefetch worker");
+                Some(Pipe {
+                    catalog,
+                    cmd: Some(cmd_tx),
+                    res: res_rx,
+                    worker: Some(worker),
+                    cur: ShardScratch::new(),
+                    spare: Some(ShardScratch::new()),
+                    inflight: None,
+                    queue: VecDeque::new(),
+                })
+            }
+            _ => None,
+        };
+        PrefetchingStore {
+            store,
+            pipe,
+            sync_scratch: ShardScratch::new(),
+        }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn store(&self) -> &'s ShardStore {
+        self.store
+    }
+
+    /// The shard plan of the wrapped store.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        self.store.plan()
+    }
+
+    /// Whether a background reader is running (disk store with
+    /// prefetch enabled).
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipe.is_some()
+    }
+
+    /// Announces the segments the upcoming pass will `view`, in order.
+    /// Replaces any previous announcement; a no-op without a pipeline.
+    pub fn begin_pass(&mut self, upcoming: &[usize]) {
+        if let Some(pipe) = &mut self.pipe {
+            pipe.queue.clear();
+            pipe.queue.extend(upcoming.iter().copied());
+            pipe.pump();
+        }
+    }
+
+    /// A view of shard `s` — from the background reader when `s` was
+    /// announced and is in flight, by synchronous load otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ShardStore::view`]'s errors, including those raised on
+    /// the reader thread.
+    pub fn view(&mut self, s: usize) -> Result<ShardView<'_>, ShardError> {
+        let store = self.store;
+        match &mut self.pipe {
+            None => store.view(s, &mut self.sync_scratch),
+            Some(pipe) => pipe.view(s),
+        }
+    }
+}
+
+/// A borrowed window over an explicitly requested row subset of one
+/// shard, produced by [`SparseLoader::load_rows`]. Target lists are
+/// packed in ascending row order; lookup is by binary search over the
+/// requested row list, so callers may iterate rows in any order.
+#[derive(Clone, Copy, Debug)]
+pub struct RowSetView<'a> {
+    rows: &'a [u32],
+    offsets: &'a [u32],
+    targets: &'a [u32],
+}
+
+impl RowSetView<'_> {
+    /// The adjacency of requested row `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not in the requested row set.
+    #[must_use]
+    pub fn targets_of(&self, v: u32) -> &[u32] {
+        match self.rows.binary_search(&v) {
+            Ok(i) => &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => panic!("row {v} was not requested from the sparse loader"),
+        }
+    }
+
+    /// Total packed adjacency entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Byte gap (in `u32` words) below which adjacent row reads are merged
+/// into one positioned read. 4096 words = 16 KiB — around the point
+/// where skipping ahead beats decoding through.
+const COALESCE_GAP_WORDS: u32 = 4096;
+
+/// Sparse row reads from disk segments: when a pass touches a small
+/// fraction of a shard, reading exactly the touched rows' target
+/// ranges (coalesced into few positioned reads) beats decoding the
+/// whole multi-hundred-megabyte segment.
+///
+/// The loader caches each shard's row-offset index on first touch —
+/// `4 · (rows + 1)` bytes per touched shard, one sequential read each,
+/// kept for the loader's lifetime. That cache is the price of skipping
+/// full-segment loads and is counted in the RSS budget (DESIGN.md).
+pub struct SparseLoader<'s> {
+    store: &'s ShardStore,
+    index: Vec<Option<Vec<u32>>>,
+    files: Vec<Option<File>>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    buf: Vec<u8>,
+}
+
+impl<'s> SparseLoader<'s> {
+    /// A loader over `store` with no indexes resident yet.
+    #[must_use]
+    pub fn new(store: &'s ShardStore) -> Self {
+        let k = store.plan().shard_count();
+        SparseLoader {
+            store,
+            index: (0..k).map(|_| None).collect(),
+            files: (0..k).map(|_| None).collect(),
+            offsets: Vec::new(),
+            targets: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Loads the adjacency of `rows` (sorted ascending, unique, all in
+    /// shard `s`) and returns a view over exactly those rows.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`ShardError`]s as a full segment load.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a RAM store (callers gate on
+    /// [`PassLoader::use_sparse`]), or if `rows` is unsorted or out of
+    /// the shard's range.
+    pub fn load_rows<'a>(
+        &'a mut self,
+        s: usize,
+        rows: &'a [u32],
+    ) -> Result<RowSetView<'a>, ShardError> {
+        let ShardStore::Disk(d) = self.store else {
+            panic!("sparse row loads are a disk-store path");
+        };
+        let (start, end) = d.plan().range(s);
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+        if let (Some(&first), Some(&last)) = (rows.first(), rows.last()) {
+            assert!(first >= start && last < end, "rows outside shard range");
+        }
+        if self.index[s].is_none() {
+            let (mut file, seg_rows, _entries) = d.catalog.open_segment(s)?;
+            let mut idx = Vec::new();
+            read_words(&mut file, &mut idx, seg_rows as usize + 1, &mut self.buf)
+                .map_err(|e| segment_read_err(&d.catalog, s, e))?;
+            self.index[s] = Some(idx);
+            self.files[s] = Some(file);
+        }
+        let idx = self.index[s].as_ref().expect("index resident");
+        let file = self.files[s].as_mut().expect("file open");
+        // Payload layout: 16-byte header, (rows + 1) offset words, then
+        // the target words the offsets index into.
+        let target_base = 16 + (idx.len() as u64) * 4;
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.push(0);
+        let local = |v: u32| (v - start) as usize;
+        let mut i = 0;
+        while i < rows.len() {
+            let lo = idx[local(rows[i])];
+            let mut hi = idx[local(rows[i]) + 1];
+            let mut j = i + 1;
+            while j < rows.len() {
+                let next_lo = idx[local(rows[j])];
+                if next_lo - hi <= COALESCE_GAP_WORDS {
+                    hi = idx[local(rows[j]) + 1];
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let bytes = ((hi - lo) as usize) * 4;
+            if self.buf.len() < bytes {
+                self.buf.resize(bytes, 0);
+            }
+            read_exact_at(
+                file,
+                target_base + u64::from(lo) * 4,
+                &mut self.buf[..bytes],
+            )
+            .map_err(|e| segment_read_err(&d.catalog, s, e))?;
+            for r in i..j {
+                let (rlo, rhi) = (idx[local(rows[r])], idx[local(rows[r]) + 1]);
+                let span = &self.buf[((rlo - lo) as usize) * 4..((rhi - lo) as usize) * 4];
+                self.targets.extend(
+                    span.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+                self.offsets.push(self.targets.len() as u32);
+            }
+            i = j;
+        }
+        Ok(RowSetView {
+            rows,
+            offsets: &self.offsets,
+            targets: &self.targets,
+        })
+    }
+}
+
+/// Maps a payload-read IO failure on segment `s` to the typed error a
+/// full load would raise.
+fn segment_read_err(catalog: &SegmentCatalog, s: usize, e: io::Error) -> ShardError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ShardError::SegmentTruncated {
+            shard: s,
+            path: catalog.seg_path(s),
+        }
+    } else {
+        ShardError::SegmentIo {
+            shard: s,
+            path: catalog.seg_path(s),
+            source: e,
+        }
+    }
+}
+
+/// A pass touching fewer than `rows / SPARSE_RATIO` rows of a disk
+/// shard is served by coalesced row reads instead of a full segment
+/// load. A full load costs ~32 bytes of sequential decode per shard
+/// row (average degree 8); a sparse row costs roughly one positioned
+/// read, ~2 orders of magnitude more per row — hence the ratio.
+const SPARSE_RATIO: usize = 256;
+
+/// The engines' per-pass segment reader: a [`PrefetchingStore`] for
+/// full-segment passes plus a [`SparseLoader`] for passes that touch a
+/// small fraction of a shard, behind one adaptive threshold.
+///
+/// Both paths return exactly the bytes [`ShardStore::view`] would, so
+/// the full/sparse choice — like prefetching and like the shard count —
+/// is invisible in outcomes.
+pub struct PassLoader<'s> {
+    store: &'s ShardStore,
+    prefetch: PrefetchingStore<'s>,
+    sparse: SparseLoader<'s>,
+}
+
+impl<'s> PassLoader<'s> {
+    /// A loader over `store`; `prefetch` spawns the background segment
+    /// reader (disk stores only).
+    #[must_use]
+    pub fn new(store: &'s ShardStore, prefetch: bool) -> Self {
+        PassLoader {
+            store,
+            prefetch: PrefetchingStore::new(store, prefetch),
+            sparse: SparseLoader::new(store),
+        }
+    }
+
+    /// The underlying store's plan.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        self.store.plan()
+    }
+
+    /// Whether a pass touching `requested` rows of shard `s` should use
+    /// sparse row loads. Always false for RAM stores (everything is
+    /// already resident) and for empty requests (the caller skips the
+    /// shard outright).
+    #[must_use]
+    pub fn use_sparse(&self, s: usize, requested: usize) -> bool {
+        if !matches!(self.store, ShardStore::Disk(_)) || requested == 0 {
+            return false;
+        }
+        let (start, end) = self.store.plan().range(s);
+        requested.saturating_mul(SPARSE_RATIO) < (end - start) as usize
+    }
+
+    /// Announces the upcoming pass's *full-view* segment sequence to
+    /// the prefetcher (sparse shards are not announced — they never
+    /// cost a segment read).
+    pub fn begin_pass(&mut self, full: &[usize]) {
+        self.prefetch.begin_pass(full);
+    }
+
+    /// A full view of shard `s` through the prefetch pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ShardStore::view`]'s errors.
+    pub fn view_full(&mut self, s: usize) -> Result<ShardView<'_>, ShardError> {
+        self.prefetch.view(s)
+    }
+
+    /// A sparse view over `rows` (sorted, unique, within shard `s`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ShardStore::view`]'s errors.
+    pub fn view_rows<'a>(
+        &'a mut self,
+        s: usize,
+        rows: &'a [u32],
+    ) -> Result<RowSetView<'a>, ShardError> {
+        self.sparse.load_rows(s, rows)
+    }
+
+    /// One pass view of shard `s`: the sparse row view over
+    /// `rows_sorted` when `sparse` holds, the full prefetched segment
+    /// otherwise. `rows_sorted` is ignored on the full path, so callers
+    /// only pay for sorting when the shard actually goes sparse.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ShardStore::view`]'s errors.
+    pub fn view_pass<'a>(
+        &'a mut self,
+        s: usize,
+        rows_sorted: &'a [u32],
+        sparse: bool,
+    ) -> Result<PassView<'a>, ShardError> {
+        if sparse {
+            Ok(PassView::Rows(self.sparse.load_rows(s, rows_sorted)?))
+        } else {
+            Ok(PassView::Full(self.prefetch.view(s)?))
+        }
+    }
+}
+
+/// Either kind of per-pass shard view — full segment or explicit row
+/// subset — behind the one accessor the engine passes use. Both kinds
+/// serve exactly the bytes the plain [`ShardStore::view`] would, so
+/// which one a pass got is invisible in outcomes.
+pub enum PassView<'a> {
+    /// A full segment view (prefetched or synchronously loaded).
+    Full(ShardView<'a>),
+    /// A sparse row-subset view.
+    Rows(RowSetView<'a>),
+}
+
+impl PassView<'_> {
+    /// The adjacency of row `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the view (or, for a sparse view, was
+    /// not in the requested row set).
+    #[must_use]
+    pub fn targets_of(&self, v: u32) -> &[u32] {
+        match self {
+            PassView::Full(view) => view.targets_of(v),
+            PassView::Rows(view) => view.targets_of(v),
         }
     }
 }
@@ -1261,7 +1946,7 @@ mod tests {
                 assert_eq!(view.targets_of(v), reference.neighbors_of(v as usize));
             }
         }
-        let kept = disk.dir.clone();
+        let kept = disk.catalog.dir.clone();
         drop(disk);
         assert!(!kept.exists(), "scratch dir must be removed on drop");
     }
@@ -1386,7 +2071,7 @@ mod tests {
         }
         let disk = sink.finalize().expect("finalize");
         // Cut the payload short (keep the 16-byte header intact).
-        let seg = disk.dir.join("segment_0.bin");
+        let seg = disk.catalog.seg_path(0);
         let len = fs::metadata(&seg).expect("metadata").len();
         fs::OpenOptions::new()
             .write(true)
@@ -1396,7 +2081,9 @@ mod tests {
             .expect("truncate");
         let mut scratch = ShardScratch::new();
         match disk.load(0, &mut scratch) {
-            Err(ShardError::SegmentTruncated { shard: 0 }) => {}
+            Err(ShardError::SegmentTruncated { shard: 0, path }) => {
+                assert_eq!(path, seg);
+            }
             other => panic!("expected SegmentTruncated, got {other:?}"),
         }
     }
@@ -1410,7 +2097,7 @@ mod tests {
         }
         let disk = sink.finalize().expect("finalize");
         // Overwrite the row count in the header.
-        let seg = disk.dir.join("segment_1.bin");
+        let seg = disk.catalog.seg_path(1);
         let mut bytes = fs::read(&seg).expect("read");
         bytes[..8].copy_from_slice(&999u64.to_le_bytes());
         fs::write(&seg, &bytes).expect("write");
@@ -1434,8 +2121,15 @@ mod tests {
         fs::remove_dir_all(&dir).expect("remove scratch dir");
         let mut scratch = ShardScratch::new();
         match disk.load(0, &mut scratch) {
-            Err(ShardError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
-            other => panic!("expected Io(NotFound), got {other:?}"),
+            Err(ShardError::SegmentIo {
+                shard: 0,
+                path,
+                source,
+            }) => {
+                assert_eq!(source.kind(), io::ErrorKind::NotFound);
+                assert!(path.ends_with("segment_0.bin"));
+            }
+            other => panic!("expected SegmentIo(NotFound), got {other:?}"),
         }
     }
 
@@ -1447,7 +2141,13 @@ mod tests {
         // Tear the bucket: append half a record.
         sink.writers[0].write_all(&[0u8; 4]).expect("tear");
         match sink.finalize().map(|_| ()) {
-            Err(ShardError::TornSpill { trailing: 4 }) => {}
+            Err(ShardError::TornSpill {
+                shard: 0,
+                path,
+                trailing: 4,
+            }) => {
+                assert!(path.ends_with("spill_0.bin"));
+            }
             other => panic!("expected TornSpill, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);
@@ -1466,6 +2166,123 @@ mod tests {
             other => panic!("expected AdjacencyOverflow, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn disk_store(n: u32, shards: usize) -> ShardStore {
+        let dir = default_scratch_dir();
+        let mut sink =
+            SpillSink::create(&dir, ShardPlan::uniform(n as usize, shards)).expect("create sink");
+        for &(u, v) in &chord_edges(n) {
+            sink.push(u as u64, v as u64).expect("push");
+        }
+        ShardStore::Disk(sink.finalize().expect("finalize"))
+    }
+
+    #[test]
+    fn prefetching_store_matches_direct_views() {
+        let store = disk_store(120, 4);
+        let mut direct = ShardScratch::new();
+        // Announced in-order pass, an unannounced (mispredicted)
+        // request, a re-announced pass, and a request after the
+        // announcement ran dry — every path must serve the same bytes.
+        let sequences: &[(&[usize], &[usize])] = &[
+            (&[0, 1, 2, 3], &[0, 1, 2, 3]),
+            (&[0, 1, 2, 3], &[0, 3, 1]),
+            (&[2, 0], &[2, 0, 1, 3]),
+            (&[], &[3, 0]),
+        ];
+        for enabled in [true, false] {
+            let mut pf = PrefetchingStore::new(&store, enabled);
+            assert_eq!(pf.is_pipelined(), enabled);
+            for &(announce, requests) in sequences {
+                pf.begin_pass(announce);
+                for &s in requests {
+                    let got = pf.view(s).expect("prefetch view");
+                    let want = store.view(s, &mut direct).expect("direct view");
+                    assert_eq!(got.start(), want.start());
+                    assert_eq!(got.end(), want.end());
+                    for v in want.start()..want.end() {
+                        assert_eq!(got.targets_of(v), want.targets_of(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_thread_surfaces_typed_error_without_hanging() {
+        let store = disk_store(120, 3);
+        let ShardStore::Disk(d) = &store else {
+            unreachable!()
+        };
+        // Truncate segment 1 before announcing it, so the *background*
+        // read is the one that fails.
+        let seg = d.catalog.seg_path(1);
+        let len = fs::metadata(&seg).expect("metadata").len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("open")
+            .set_len(len - 4)
+            .expect("truncate");
+        let mut pf = PrefetchingStore::new(&store, true);
+        pf.begin_pass(&[0, 1, 2]);
+        pf.view(0).expect("segment 0 intact");
+        match pf.view(1) {
+            Err(ShardError::SegmentTruncated { shard: 1, path }) => {
+                assert_eq!(path, seg);
+            }
+            other => panic!("expected SegmentTruncated from worker, got {other:?}"),
+        }
+        // The pipeline stays usable and shuts down cleanly.
+        pf.view(2).expect("segment 2 intact");
+        drop(pf);
+    }
+
+    #[test]
+    fn sparse_rows_match_full_views() {
+        let n = 200u32;
+        let store = disk_store(n, 4);
+        let mut scratch = ShardScratch::new();
+        let mut loader = SparseLoader::new(&store);
+        for s in 0..4 {
+            let full = store.view(s, &mut scratch).expect("full view");
+            let (start, end) = store.plan().range(s);
+            // Subsets with gaps both below and above the coalescing
+            // threshold, plus singletons and the full row range.
+            let all: Vec<u32> = (start..end).collect();
+            let sparse_rows: Vec<u32> = (start..end).step_by(7).collect();
+            let single = vec![start];
+            for rows in [&all, &sparse_rows, &single] {
+                let view = loader.load_rows(s, rows).expect("sparse load");
+                for &v in rows {
+                    assert_eq!(view.targets_of(v), full.targets_of(v), "row {v}");
+                }
+            }
+            assert!(loader.load_rows(s, &[]).expect("empty").entry_count() == 0);
+        }
+    }
+
+    #[test]
+    fn pass_loader_picks_sparse_only_for_small_disk_requests() {
+        let n = 10_000u32;
+        let store = disk_store(n, 2);
+        let mut loader = PassLoader::new(&store, true);
+        assert!(loader.use_sparse(0, 3));
+        assert!(!loader.use_sparse(0, 3_000));
+        assert!(!loader.use_sparse(0, 0));
+        loader.begin_pass(&[0, 1]);
+        let full_entries = loader.view_full(0).expect("full").entry_count();
+        assert!(full_entries > 0);
+        let rows = [0u32, 17, 290];
+        let sparse = loader.view_rows(0, &rows).expect("sparse");
+        assert!(sparse.entry_count() > 0);
+
+        let edges = chord_edges(64);
+        let csr = CsrGraph::from_edges(64, &edges);
+        let ram = ShardStore::Ram(ShardedCsr::split(&csr, ShardPlan::uniform(64, 2)));
+        let ram_loader = PassLoader::new(&ram, true);
+        assert!(!ram_loader.use_sparse(0, 1));
     }
 
     #[test]
